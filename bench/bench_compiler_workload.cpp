@@ -1,0 +1,107 @@
+//===- bench_compiler_workload.cpp - Experiment E14 (compile-time share) ----===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's motivation quote (Stroustrup, personal communication):
+// "the time spent on member lookups in a compiler can be as much as 15%
+// of the total compilation time". This benchmark simulates a compiler
+// front end translating a file: a fixed library hierarchy and a long
+// stream of member-access expressions (skewed towards a few hot classes
+// and members, as real code is), answered by
+//
+//   * figure8-eager: tabulate everything once, O(1) per access;
+//   * figure8-lazy : tabulate only the columns the file touches;
+//   * rossie-friedman / gxx-bfs: traversal per access over a cached
+//     subobject graph (what pre-1997 front ends effectively did).
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/GxxBfsEngine.h"
+#include "memlook/core/SubobjectLookupEngine.h"
+#include "memlook/support/Rng.h"
+#include "memlook/workload/Generators.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace memlook;
+
+namespace {
+
+/// One simulated translation unit: (class, member) access pairs, skewed
+/// so ~80% of the accesses hit ~20% of the classes/members.
+struct AccessStream {
+  Workload W;
+  std::vector<std::pair<ClassId, Symbol>> Accesses;
+};
+
+AccessStream makeStream(uint32_t NumAccesses, uint64_t Seed) {
+  AccessStream Stream{makeWideForest(12, 3, 3, 6), {}};
+  const Hierarchy &H = Stream.W.H;
+
+  // Candidate contexts: all classes; hot subset: every 7th.
+  std::vector<ClassId> All, Hot;
+  for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx) {
+    All.push_back(ClassId(Idx));
+    if (Idx % 7 == 0)
+      Hot.push_back(ClassId(Idx));
+  }
+  const std::vector<Symbol> &Members = H.allMemberNames();
+  std::vector<Symbol> HotMembers(Members.begin(),
+                                 Members.begin() +
+                                     std::max<size_t>(1, Members.size() / 3));
+
+  Rng Rng(Seed);
+  Stream.Accesses.reserve(NumAccesses);
+  for (uint32_t I = 0; I != NumAccesses; ++I) {
+    bool HotDraw = Rng.nextChance(4, 5);
+    ClassId C = HotDraw ? Hot[Rng.nextBelow(Hot.size())]
+                        : All[Rng.nextBelow(All.size())];
+    Symbol M = HotDraw ? HotMembers[Rng.nextBelow(HotMembers.size())]
+                       : Members[Rng.nextBelow(Members.size())];
+    Stream.Accesses.push_back({C, M});
+  }
+  return Stream;
+}
+
+template <typename EngineT, typename... ArgTs>
+void runStream(benchmark::State &State, ArgTs &&...Args) {
+  AccessStream Stream =
+      makeStream(static_cast<uint32_t>(State.range(0)), 99);
+  for (auto _ : State) {
+    EngineT Engine(Stream.W.H, std::forward<ArgTs>(Args)...);
+    for (const auto &[C, M] : Stream.Accesses)
+      benchmark::DoNotOptimize(Engine.lookup(C, M));
+  }
+  State.counters["accesses"] = static_cast<double>(Stream.Accesses.size());
+  State.counters["classes"] = Stream.W.H.numClasses();
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Stream.Accesses.size()));
+}
+
+void BM_CompileEagerTable(benchmark::State &State) {
+  runStream<DominanceLookupEngine>(State, DominanceLookupEngine::Mode::Eager);
+}
+BENCHMARK(BM_CompileEagerTable)->RangeMultiplier(8)->Range(64, 262144);
+
+void BM_CompileLazyTable(benchmark::State &State) {
+  runStream<DominanceLookupEngine>(State, DominanceLookupEngine::Mode::Lazy);
+}
+BENCHMARK(BM_CompileLazyTable)->RangeMultiplier(8)->Range(64, 262144);
+
+void BM_CompileRossieFriedman(benchmark::State &State) {
+  runStream<SubobjectLookupEngine>(State);
+}
+BENCHMARK(BM_CompileRossieFriedman)->RangeMultiplier(8)->Range(64, 32768);
+
+void BM_CompileGxxBfs(benchmark::State &State) {
+  runStream<GxxBfsEngine>(State);
+}
+BENCHMARK(BM_CompileGxxBfs)->RangeMultiplier(8)->Range(64, 32768);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+//===- bench_frontend.cpp - Mini-language parsing throughput ----------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+//
+// Not a paper experiment, but part of keeping the tool honest: the
+// front end must never be the bottleneck when the lookup engines are
+// compared through lookup_tool. Parses synthesized programs of growing
+// size and reports bytes/sec.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/frontend/Parser.h"
+#include "memlook/support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+using namespace memlook;
+
+namespace {
+
+std::string synthesizeProgram(uint32_t Classes, uint64_t Seed) {
+  Rng Rng(Seed);
+  std::string Source;
+  Source.reserve(Classes * 64);
+  for (uint32_t I = 0; I != Classes; ++I) {
+    Source += (I % 2 ? "struct K" : "class K") + std::to_string(I);
+    if (I != 0) {
+      Source += " : ";
+      uint32_t Bases = 1 + static_cast<uint32_t>(Rng.nextBelow(
+                               std::min<uint64_t>(I, 3)));
+      for (uint32_t B = 0; B != Bases; ++B) {
+        if (B)
+          Source += ", ";
+        if (Rng.nextChance(1, 3))
+          Source += "virtual ";
+        if (Rng.nextChance(1, 4))
+          Source += "public ";
+        // Distinct recent bases; collisions would be duplicate-base
+        // errors, so step back deterministically.
+        Source += "K" + std::to_string(I - 1 - B);
+      }
+    }
+    Source += " { ";
+    for (uint32_t M = 0, E = static_cast<uint32_t>(Rng.nextBelow(4)); M != E;
+         ++M) {
+      if (Rng.nextChance(1, 5))
+        Source += "static ";
+      else if (Rng.nextChance(1, 5))
+        Source += "virtual ";
+      Source += "void m" + std::to_string(M) + "(); ";
+    }
+    Source += "};\n";
+  }
+  Source += "lookup K" + std::to_string(Classes - 1) + "::m0;\n";
+  return Source;
+}
+
+void BM_ParseProgram(benchmark::State &State) {
+  std::string Source =
+      synthesizeProgram(static_cast<uint32_t>(State.range(0)), 7);
+  size_t Failures = 0;
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    std::optional<ParsedProgram> Program = parseProgram(Source, Diags);
+    if (!Program)
+      ++Failures;
+    benchmark::DoNotOptimize(Program);
+  }
+  if (Failures != 0)
+    State.SkipWithError("synthesized program failed to parse");
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(Source.size()));
+  State.counters["classes"] = static_cast<double>(State.range(0));
+}
+BENCHMARK(BM_ParseProgram)->RangeMultiplier(8)->Range(16, 8192);
+
+void BM_LexOnly(benchmark::State &State) {
+  std::string Source =
+      synthesizeProgram(static_cast<uint32_t>(State.range(0)), 7);
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    Lexer Lex(Source, Diags);
+    benchmark::DoNotOptimize(Lex.tokens().size());
+  }
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(Source.size()));
+}
+BENCHMARK(BM_LexOnly)->RangeMultiplier(8)->Range(16, 8192);
+
+} // namespace
+
+BENCHMARK_MAIN();

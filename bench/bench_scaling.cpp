@@ -1,0 +1,168 @@
+//===- bench_scaling.cpp - Experiments E11/E12 ------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's complexity claims (Section 5):
+//
+//  * ambiguity-free programs: a single member's lookups cost
+//    O(|N| + |E|), the whole table O((|M| + |N|) * (|N| + |E|))   [E11]
+//  * general programs: worst case O(|N| * (|N| + |E|)) per member  [E12]
+//
+// Each benchmark fixes a hierarchy family, sweeps its size, and builds
+// the full Figure 8 table. The reported "ops" counter is the engine's
+// dominance-test + entry count, so the *shape* (linear vs superlinear)
+// is visible independent of machine noise: per-element time should stay
+// flat for E11 families and grow for E12 families.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/workload/Generators.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace memlook;
+
+namespace {
+
+void reportTable(benchmark::State &State, const Hierarchy &H) {
+  uint64_t Ops = 0;
+  uint64_t Bytes = 0;
+  for (auto _ : State) {
+    DominanceLookupEngine Engine(H);
+    Ops = Engine.stats().EntriesComputed + Engine.stats().DominanceTests +
+          Engine.stats().BlueElementsMoved;
+    Bytes = Engine.approximateTableBytes();
+    benchmark::DoNotOptimize(Engine.stats());
+  }
+  State.counters["classes"] = H.numClasses();
+  State.counters["edges"] = H.numEdges();
+  State.counters["graph"] = H.numClasses() + H.numEdges();
+  State.counters["ops"] = static_cast<double>(Ops);
+  State.counters["ops_per_graph_elem"] =
+      static_cast<double>(Ops) / (H.numClasses() + H.numEdges());
+  State.counters["table_bytes"] = static_cast<double>(Bytes);
+  State.SetComplexityN(H.numClasses() + H.numEdges());
+}
+
+//===----------------------------------------------------------------------===
+// E11: ambiguity-free families -> linear table construction
+//===----------------------------------------------------------------------===
+
+void BM_TableChain(benchmark::State &State) {
+  Workload W = makeChain(static_cast<uint32_t>(State.range(0)), 8);
+  reportTable(State, W.H);
+}
+BENCHMARK(BM_TableChain)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+void BM_TableVirtualDiamonds(benchmark::State &State) {
+  Workload W =
+      makeVirtualDiamondStack(static_cast<uint32_t>(State.range(0)));
+  reportTable(State, W.H);
+}
+BENCHMARK(BM_TableVirtualDiamonds)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity();
+
+void BM_TableRedeclaredDiamonds(benchmark::State &State) {
+  Workload W = makeNonVirtualDiamondStack(
+      static_cast<uint32_t>(State.range(0)), /*RedeclareAtJoins=*/true);
+  reportTable(State, W.H);
+}
+BENCHMARK(BM_TableRedeclaredDiamonds)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity();
+
+void BM_TableWideForest(benchmark::State &State) {
+  // Trees of fanout 4, depth 3: 85 classes per tree.
+  Workload W = makeWideForest(static_cast<uint32_t>(State.range(0)), 4, 3);
+  reportTable(State, W.H);
+}
+BENCHMARK(BM_TableWideForest)
+    ->RangeMultiplier(4)
+    ->Range(1, 64)
+    ->Complexity();
+
+//===----------------------------------------------------------------------===
+// E12: ambiguity-dense families -> superlinear (up to quadratic)
+//===----------------------------------------------------------------------===
+
+void BM_TableAmbiguousDiamonds(benchmark::State &State) {
+  Workload W = makeNonVirtualDiamondStack(
+      static_cast<uint32_t>(State.range(0)), /*RedeclareAtJoins=*/false);
+  reportTable(State, W.H);
+}
+BENCHMARK(BM_TableAmbiguousDiamonds)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity();
+
+void BM_TableGrid(benchmark::State &State) {
+  uint32_t Side = static_cast<uint32_t>(State.range(0));
+  Workload W = makeGrid(Side, Side);
+  reportTable(State, W.H);
+}
+BENCHMARK(BM_TableGrid)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_TableAmbiguityFan(benchmark::State &State) {
+  // The true quadratic adversary: every spine class accumulates a blue
+  // set with one more distinct leastVirtual value, so ops/graph-element
+  // grows linearly with size (total Theta(N^2)). The diamond and grid
+  // families above stay linear because their blue sets deduplicate to a
+  // handful of abstractions - which is itself a measurement: the paper's
+  // "common case" reaches far beyond ambiguity-free programs.
+  Workload W = makeAmbiguityFan(static_cast<uint32_t>(State.range(0)));
+  reportTable(State, W.H);
+}
+BENCHMARK(BM_TableAmbiguityFan)
+    ->RangeMultiplier(4)
+    ->Range(8, 2048)
+    ->Complexity(benchmark::oNSquared);
+
+//===----------------------------------------------------------------------===
+// Single lookups after tabulation are O(1) (the paper's eager regime)
+//===----------------------------------------------------------------------===
+
+void BM_TabulatedLookup(benchmark::State &State) {
+  Workload W =
+      makeVirtualDiamondStack(static_cast<uint32_t>(State.range(0)));
+  DominanceLookupEngine Engine(W.H);
+  ClassId Top = W.QueryClasses.front();
+  Symbol M = W.QueryMembers.front();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Engine.lookup(Top, M));
+  State.SetComplexityN(W.H.numClasses() + W.H.numEdges());
+}
+BENCHMARK(BM_TabulatedLookup)
+    ->RangeMultiplier(8)
+    ->Range(16, 8192)
+    ->Complexity(benchmark::o1);
+
+//===----------------------------------------------------------------------===
+// Lazy mode: first query pays one column, follow-ups are table hits
+//===----------------------------------------------------------------------===
+
+void BM_LazyFirstQuery(benchmark::State &State) {
+  Workload W =
+      makeVirtualDiamondStack(static_cast<uint32_t>(State.range(0)));
+  ClassId Top = W.QueryClasses.front();
+  Symbol M = W.QueryMembers.front();
+  for (auto _ : State) {
+    DominanceLookupEngine Engine(W.H, DominanceLookupEngine::Mode::Lazy);
+    benchmark::DoNotOptimize(Engine.lookup(Top, M));
+  }
+  State.SetComplexityN(W.H.numClasses() + W.H.numEdges());
+}
+BENCHMARK(BM_LazyFirstQuery)
+    ->RangeMultiplier(8)
+    ->Range(16, 8192)
+    ->Complexity(benchmark::oN);
+
+} // namespace
+
+BENCHMARK_MAIN();

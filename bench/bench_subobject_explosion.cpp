@@ -1,0 +1,135 @@
+//===- bench_subobject_explosion.cpp - Experiment E13 ------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 7.1: "the subobject graph's size can be exponential in the
+// size of the class hierarchy graph and, hence, all the algorithms
+// mentioned above have a worst-case complexity that is exponential ...
+// while the complexity of our algorithm ranges from linear to quadratic".
+//
+// The k-stacked non-virtual diamond family realizes the blowup: the CHG
+// has 3k+1 classes while the top class has 2^k apex subobjects. These
+// benchmarks chart (a) the measured subobject count, (b) the cost of any
+// subobject-graph-based engine, and (c) the Figure 8 engine's cost on the
+// *same* hierarchy - the paper's headline asymptotic separation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/GxxBfsEngine.h"
+#include "memlook/core/SubobjectLookupEngine.h"
+#include "memlook/subobject/SubobjectCount.h"
+#include "memlook/subobject/SubobjectGraph.h"
+#include "memlook/workload/Generators.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace memlook;
+
+namespace {
+
+void BM_SubobjectGraphBuild(benchmark::State &State) {
+  uint32_t Diamonds = static_cast<uint32_t>(State.range(0));
+  Workload W = makeNonVirtualDiamondStack(Diamonds);
+  ClassId Top = W.QueryClasses.front();
+  uint32_t Count = 0;
+  for (auto _ : State) {
+    auto Graph = SubobjectGraph::build(W.H, Top, /*MaxSubobjects=*/1u << 22);
+    Count = Graph ? Graph->numSubobjects() : 0;
+    benchmark::DoNotOptimize(Graph);
+  }
+  State.counters["classes"] = W.H.numClasses();
+  State.counters["subobjects"] = Count;
+  State.counters["blowup"] =
+      static_cast<double>(Count) / W.H.numClasses();
+}
+BENCHMARK(BM_SubobjectGraphBuild)->DenseRange(2, 16, 2);
+
+void BM_VirtualSubobjectGraphBuild(benchmark::State &State) {
+  // The virtual twin stays linear: the control for the blowup chart.
+  uint32_t Diamonds = static_cast<uint32_t>(State.range(0));
+  Workload W = makeVirtualDiamondStack(Diamonds);
+  ClassId Top = W.QueryClasses.front();
+  uint32_t Count = 0;
+  for (auto _ : State) {
+    auto Graph = SubobjectGraph::build(W.H, Top);
+    Count = Graph ? Graph->numSubobjects() : 0;
+    benchmark::DoNotOptimize(Graph);
+  }
+  State.counters["classes"] = W.H.numClasses();
+  State.counters["subobjects"] = Count;
+}
+BENCHMARK(BM_VirtualSubobjectGraphBuild)->DenseRange(2, 16, 2);
+
+void BM_RossieFriedmanOnDiamonds(benchmark::State &State) {
+  uint32_t Diamonds = static_cast<uint32_t>(State.range(0));
+  Workload W = makeNonVirtualDiamondStack(Diamonds,
+                                          /*RedeclareAtJoins=*/true);
+  // Query one level below the top so the traversal is not short-circuited
+  // by a local declaration.
+  ClassId L = W.H.findClass("L" + std::to_string(Diamonds));
+  Symbol M = W.QueryMembers.front();
+  for (auto _ : State) {
+    SubobjectLookupEngine Engine(W.H, /*MaxSubobjects=*/1u << 22);
+    benchmark::DoNotOptimize(Engine.lookup(L, M));
+  }
+  State.counters["classes"] = W.H.numClasses();
+}
+BENCHMARK(BM_RossieFriedmanOnDiamonds)->DenseRange(2, 12, 2);
+
+void BM_GxxBfsOnDiamonds(benchmark::State &State) {
+  uint32_t Diamonds = static_cast<uint32_t>(State.range(0));
+  Workload W = makeNonVirtualDiamondStack(Diamonds,
+                                          /*RedeclareAtJoins=*/true);
+  ClassId L = W.H.findClass("L" + std::to_string(Diamonds));
+  Symbol M = W.QueryMembers.front();
+  for (auto _ : State) {
+    GxxBfsEngine Engine(W.H, /*MaxSubobjects=*/1u << 22);
+    benchmark::DoNotOptimize(Engine.lookup(L, M));
+  }
+  State.counters["classes"] = W.H.numClasses();
+}
+BENCHMARK(BM_GxxBfsOnDiamonds)->DenseRange(2, 12, 2);
+
+void BM_Figure8OnDiamonds(benchmark::State &State) {
+  // The paper's algorithm on the same hierarchy: polynomial (the whole
+  // table, not just one lookup, stays cheap).
+  uint32_t Diamonds = static_cast<uint32_t>(State.range(0));
+  Workload W = makeNonVirtualDiamondStack(Diamonds,
+                                          /*RedeclareAtJoins=*/true);
+  ClassId L = W.H.findClass("L" + std::to_string(Diamonds));
+  Symbol M = W.QueryMembers.front();
+  for (auto _ : State) {
+    DominanceLookupEngine Engine(W.H);
+    benchmark::DoNotOptimize(Engine.lookup(L, M));
+  }
+  State.counters["classes"] = W.H.numClasses();
+}
+BENCHMARK(BM_Figure8OnDiamonds)->DenseRange(2, 16, 2);
+
+// Far beyond any subobject-graph engine's reach: Figure 8 at diamond
+// depths whose subobject graphs would hold ~2^256 nodes.
+void BM_Figure8DeepDiamonds(benchmark::State &State) {
+  uint32_t Diamonds = static_cast<uint32_t>(State.range(0));
+  Workload W = makeNonVirtualDiamondStack(Diamonds,
+                                          /*RedeclareAtJoins=*/true);
+  ClassId L = W.H.findClass("L" + std::to_string(Diamonds));
+  Symbol M = W.QueryMembers.front();
+  for (auto _ : State) {
+    DominanceLookupEngine Engine(W.H);
+    benchmark::DoNotOptimize(Engine.lookup(L, M));
+  }
+  State.counters["classes"] = W.H.numClasses();
+  // The subobject count the traversal engines would have to face,
+  // computed in closed form (saturates at 2^64-1 past ~62 diamonds).
+  State.counters["subobjects_predicted"] = static_cast<double>(
+      countSubobjects(W.H, W.QueryClasses.front()));
+}
+BENCHMARK(BM_Figure8DeepDiamonds)->RangeMultiplier(2)->Range(32, 256);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+//===- bench_tabulation.cpp - Tabulation-mode ablation -----------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 5 offers two tabulation disciplines and asserts the memoizing
+// lazy variant "will not worsen the complexity". This ablation answers
+// the practical question the paper leaves open: *when* does each mode
+// win? The sweep varies query density - what fraction of the (class,
+// member) table a translation unit actually touches - on a fixed
+// 400-class forest:
+//
+//   * eager pays the whole table once, regardless of density;
+//   * lazy (per-member columns) pays per touched member name;
+//   * lazy-recursive pays only for touched down-closures.
+//
+// Expect a crossover: recursive wins at low density, eager at high.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/support/Rng.h"
+#include "memlook/workload/Generators.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace memlook;
+
+namespace {
+
+/// Query set touching roughly Permille/1000 of all (class, member) pairs.
+std::vector<std::pair<ClassId, Symbol>>
+makeQuerySet(const Hierarchy &H, uint32_t Permille, uint64_t Seed) {
+  Rng Rng(Seed);
+  std::vector<std::pair<ClassId, Symbol>> Queries;
+  for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx)
+    for (Symbol Member : H.allMemberNames())
+      if (Rng.nextChance(Permille, 1000))
+        Queries.push_back({ClassId(Idx), Member});
+  if (Queries.empty())
+    Queries.push_back({ClassId(0), H.allMemberNames().front()});
+  return Queries;
+}
+
+void runMode(benchmark::State &State, DominanceLookupEngine::Mode Mode) {
+  Workload W = makeWideForest(10, 4, 3, 8);
+  auto Queries =
+      makeQuerySet(W.H, static_cast<uint32_t>(State.range(0)), 1234);
+  for (auto _ : State) {
+    DominanceLookupEngine Engine(W.H, Mode);
+    for (const auto &[C, M] : Queries)
+      benchmark::DoNotOptimize(Engine.lookup(C, M));
+  }
+  State.counters["classes"] = W.H.numClasses();
+  State.counters["queries"] = static_cast<double>(Queries.size());
+  State.counters["density_permille"] = static_cast<double>(State.range(0));
+}
+
+void BM_Eager(benchmark::State &State) {
+  runMode(State, DominanceLookupEngine::Mode::Eager);
+}
+BENCHMARK(BM_Eager)->Arg(1)->Arg(10)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_LazyColumns(benchmark::State &State) {
+  runMode(State, DominanceLookupEngine::Mode::Lazy);
+}
+BENCHMARK(BM_LazyColumns)->Arg(1)->Arg(10)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_LazyRecursive(benchmark::State &State) {
+  runMode(State, DominanceLookupEngine::Mode::LazyRecursive);
+}
+BENCHMARK(BM_LazyRecursive)->Arg(1)->Arg(10)->Arg(100)->Arg(500)->Arg(1000);
+
+// The entries actually computed per mode, at the extremes - a
+// machine-independent view of the same ablation.
+void BM_EntriesComputedRecursive(benchmark::State &State) {
+  Workload W = makeWideForest(10, 4, 3, 8);
+  auto Queries =
+      makeQuerySet(W.H, static_cast<uint32_t>(State.range(0)), 1234);
+  uint64_t Entries = 0;
+  for (auto _ : State) {
+    DominanceLookupEngine Engine(W.H,
+                                 DominanceLookupEngine::Mode::LazyRecursive);
+    for (const auto &[C, M] : Queries)
+      benchmark::DoNotOptimize(Engine.lookup(C, M));
+    Entries = Engine.stats().EntriesComputed;
+  }
+  uint64_t FullTable =
+      uint64_t(W.H.numClasses()) * W.H.allMemberNames().size();
+  State.counters["entries"] = static_cast<double>(Entries);
+  State.counters["full_table"] = static_cast<double>(FullTable);
+  State.counters["fraction"] =
+      static_cast<double>(Entries) / static_cast<double>(FullTable);
+}
+BENCHMARK(BM_EntriesComputedRecursive)->Arg(1)->Arg(100)->Arg(1000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+//===- iostream_hierarchy.cpp - A realistic compiler workload --------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+//
+// The classic real-world virtual diamond - an iostreams-like hierarchy -
+// pushed through the full compiler pipeline this library models: member
+// lookup, vtable construction, and object layout. This is the paper's
+// motivating use ("in performing static analysis and in constructing
+// virtual-function tables").
+//
+//   $ ./iostream_hierarchy
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/apps/CompleteObjectVTables.h"
+#include "memlook/apps/ObjectLayout.h"
+#include "memlook/apps/VTableBuilder.h"
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/workload/Generators.h"
+
+#include <iomanip>
+#include <iostream>
+
+using namespace memlook;
+
+int main() {
+  Workload W = makeIostreamLike();
+  const Hierarchy &H = W.H;
+  DominanceLookupEngine Engine(H);
+
+  std::cout << "== Member lookups a compiler would run ==\n";
+  struct Query {
+    const char *Class;
+    const char *Member;
+  } Queries[] = {
+      {"basic_fstream", "read"},     {"basic_fstream", "write"},
+      {"basic_fstream", "flags"},    {"basic_fstream", "open"},
+      {"basic_iostream", "rdbuf"},   {"basic_iostream", "gcount"},
+      {"basic_stringstream", "str"}, {"basic_ifstream", "put"},
+  };
+  for (const Query &Q : Queries) {
+    LookupResult R = Engine.lookup(H.findClass(Q.Class), Q.Member);
+    std::cout << "  " << std::left << std::setw(18) << Q.Class << "."
+              << std::setw(8) << Q.Member << " -> "
+              << formatLookupResult(H, R) << '\n';
+  }
+
+  // basic_ifstream has no 'put' (that is ostream-side): show NotFound
+  // behaves sensibly above; an ambiguous case needs sibling redefinition,
+  // which a sane iostream library avoids - exactly why every row above
+  // resolves.
+
+  std::cout << "\n== Virtual function tables ==\n";
+  VTableBuilder Tables(H, Engine);
+  for (const char *Class : {"basic_istream", "basic_iostream",
+                            "basic_fstream"}) {
+    VTable Table = Tables.build(H.findClass(Class));
+    std::cout << "  vtable of " << Class << ":\n";
+    for (const VTable::Slot &S : Table.Slots)
+      std::cout << "    [" << H.spelling(S.Member) << "] -> "
+                << formatLookupResult(H, S.Overrider) << '\n';
+  }
+
+  std::cout << "\n== Object layout of basic_fstream ==\n";
+  ClassId FStream = H.findClass("basic_fstream");
+  ObjectLayout Layout = computeObjectLayout(H, FStream);
+  std::cout << "  size: " << Layout.Size << " bytes\n";
+  for (const auto &[Key, Offset] : Layout.SubobjectOffsets)
+    std::cout << "  +" << std::setw(4) << Offset << "  "
+              << formatSubobjectKey(H, Key) << '\n';
+
+  std::cout << "\n== Complete-object vtables of basic_fstream ==\n";
+  CompleteObjectVTables Abi =
+      buildCompleteObjectVTables(H, Engine, FStream);
+  for (const auto &Table : Abi.Tables) {
+    std::cout << "  vtable for subobject "
+              << formatSubobjectKey(H, Table.Key) << " (offset "
+              << Table.Offset << "):\n";
+    for (const auto &Slot : Table.Slots) {
+      std::cout << "    [" << H.spelling(Slot.Member) << "] -> "
+                << formatLookupResult(H, Slot.Overrider);
+      if (Slot.NeedsThunk)
+        std::cout << "  (thunk: this += " << Slot.ThisAdjustment << ")";
+      std::cout << '\n';
+    }
+  }
+  std::cout << "  total thunk entries: " << Abi.thunkCount() << '\n';
+
+  std::cout << "\n== Where is fstream.flags? ==\n";
+  Symbol Flags = H.findName("flags");
+  LookupResult R = Engine.lookup(FStream, Flags);
+  if (auto Offset = Layout.memberOffset(H, R, Flags))
+    std::cout << "  lookup resolves to "
+              << H.className(R.DefiningClass) << "::flags at byte offset "
+              << *Offset << " of the complete object\n";
+
+  return 0;
+}

@@ -1,0 +1,305 @@
+//===- lookup_tool.cpp - The memlook command-line driver --------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+//
+// A small compiler-front-end-shaped tool: parse a class-declaration file
+// in the mini language, run its `lookup C::m;` directives (or --query
+// flags), and optionally dump the whole lookup table or DOT graphs.
+//
+//   $ ./lookup_tool file.mlk
+//   $ ./lookup_tool file.mlk --query E::m --engine gxx
+//   $ ./lookup_tool file.mlk --table
+//   $ ./lookup_tool file.mlk --dot-chg out.dot
+//   $ echo 'class A { void m(); }; lookup A::m;' | ./lookup_tool -
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/chg/DotExport.h"
+#include "memlook/core/DifferentialCheck.h"
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/ExplainAmbiguity.h"
+#include "memlook/core/GxxBfsEngine.h"
+#include "memlook/core/NaivePropagationEngine.h"
+#include "memlook/core/SubobjectLookupEngine.h"
+#include "memlook/core/TableStatistics.h"
+#include "memlook/frontend/CodeResolution.h"
+#include "memlook/frontend/Parser.h"
+#include "memlook/frontend/SourcePrinter.h"
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace memlook;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::cerr
+      << "usage: " << Prog << " <file.mlk | -> [options]\n"
+      << "  --query C::m     resolve member m in class C (repeatable)\n"
+      << "  --explain        list candidate subobjects for ambiguities\n"
+      << "  --table          print the full lookup table\n"
+      << "  --engine NAME    figure8 (default), naive, killing,\n"
+      << "                   rossie-friedman, gxx\n"
+      << "  --self-check     audit all engines against each other\n"
+      << "  --stats          print aggregate lookup-table statistics\n"
+      << "  --emit-source F  re-emit the hierarchy as mini-language text\n"
+      << "  --dot-chg FILE   write the class hierarchy graph as DOT\n"
+      << "  --dot-sog C FILE write the subobject graph of class C\n";
+  return 2;
+}
+
+std::unique_ptr<LookupEngine> makeEngine(const std::string &Name,
+                                         const Hierarchy &H) {
+  if (Name == "figure8")
+    return std::make_unique<DominanceLookupEngine>(H);
+  if (Name == "naive")
+    return std::make_unique<NaivePropagationEngine>(
+        H, NaivePropagationEngine::Killing::Disabled);
+  if (Name == "killing")
+    return std::make_unique<NaivePropagationEngine>(
+        H, NaivePropagationEngine::Killing::Enabled);
+  if (Name == "rossie-friedman")
+    return std::make_unique<SubobjectLookupEngine>(H);
+  if (Name == "gxx")
+    return std::make_unique<GxxBfsEngine>(H);
+  return nullptr;
+}
+
+} // namespace
+
+int main(int ArgC, char **ArgV) {
+  if (ArgC < 2)
+    return usage(ArgV[0]);
+
+  std::string InputName = ArgV[1];
+  std::vector<std::string> Queries;
+  std::string EngineName = "figure8";
+  std::string DotChgFile;
+  std::string DotSogClass, DotSogFile;
+  bool PrintTable = false;
+  bool Explain = false;
+  bool SelfCheck = false;
+  bool PrintStats = false;
+  std::string EmitSourceFile;
+
+  for (int I = 2; I < ArgC; ++I) {
+    std::string Arg = ArgV[I];
+    if (Arg == "--table") {
+      PrintTable = true;
+    } else if (Arg == "--explain") {
+      Explain = true;
+    } else if (Arg == "--self-check") {
+      SelfCheck = true;
+    } else if (Arg == "--stats") {
+      PrintStats = true;
+    } else if (Arg == "--emit-source" && I + 1 < ArgC) {
+      EmitSourceFile = ArgV[++I];
+    } else if (Arg == "--query" && I + 1 < ArgC) {
+      Queries.push_back(ArgV[++I]);
+    } else if (Arg == "--engine" && I + 1 < ArgC) {
+      EngineName = ArgV[++I];
+    } else if (Arg == "--dot-chg" && I + 1 < ArgC) {
+      DotChgFile = ArgV[++I];
+    } else if (Arg == "--dot-sog" && I + 2 < ArgC) {
+      DotSogClass = ArgV[++I];
+      DotSogFile = ArgV[++I];
+    } else {
+      std::cerr << ArgV[0] << ": error: unknown option '" << Arg << "'\n";
+      return usage(ArgV[0]);
+    }
+  }
+
+  // Read the program text.
+  std::string Source;
+  if (InputName == "-") {
+    std::ostringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Source = Buffer.str();
+    InputName = "<stdin>";
+  } else {
+    std::ifstream File(InputName);
+    if (!File) {
+      std::cerr << ArgV[0] << ": error: cannot open '" << InputName
+                << "'\n";
+      return 1;
+    }
+    std::ostringstream Buffer;
+    Buffer << File.rdbuf();
+    Source = Buffer.str();
+  }
+
+  // Parse.
+  DiagnosticEngine Diags;
+  std::optional<ParsedProgram> Program = parseProgram(Source, Diags);
+  Diags.print(std::cerr, InputName);
+  if (!Program)
+    return 1;
+  Hierarchy &H = Program->H;
+
+  std::unique_ptr<LookupEngine> Engine = makeEngine(EngineName, H);
+  if (!Engine) {
+    std::cerr << ArgV[0] << ": error: unknown engine '" << EngineName
+              << "'\n";
+    return 2;
+  }
+
+  // In-file directives first, then command-line queries. `expect`
+  // directives are verified; any mismatch fails the run.
+  unsigned ExpectFailures = 0;
+  auto RunQuery = [&](const std::string &Class, const std::string &Member,
+                      const std::optional<LookupExpectation> &Expectation) {
+    ClassId Id = H.findClass(Class);
+    if (!Id.isValid()) {
+      std::cout << Class << "::" << Member << " -> error: no class named '"
+                << Class << "'\n";
+      if (Expectation)
+        ++ExpectFailures;
+      return;
+    }
+    LookupResult R = Engine->lookup(Id, Member);
+    std::cout << Class << "::" << Member << " -> "
+              << formatLookupResult(H, R) << '\n';
+    if (Explain && R.Status == LookupStatus::Ambiguous) {
+      Symbol Sym = H.findName(Member);
+      std::cout << "  "
+                << formatAmbiguityCandidates(
+                       H, Sym, explainAmbiguity(H, Id, Sym))
+                << '\n';
+    }
+    if (!Expectation)
+      return;
+
+    bool Ok = false;
+    std::string Wanted;
+    switch (Expectation->ExpectKind) {
+    case LookupExpectation::Kind::Ambiguous:
+      Ok = R.Status == LookupStatus::Ambiguous;
+      Wanted = "ambiguous";
+      break;
+    case LookupExpectation::Kind::NotFound:
+      Ok = R.Status == LookupStatus::NotFound;
+      Wanted = "notfound";
+      break;
+    case LookupExpectation::Kind::ResolvesTo:
+      Ok = R.Status == LookupStatus::Unambiguous &&
+           H.className(R.DefiningClass) == Expectation->DefiningClass;
+      Wanted = Expectation->DefiningClass;
+      break;
+    }
+    if (!Ok) {
+      ++ExpectFailures;
+      std::cout << "  EXPECT FAILED: wanted " << Wanted << '\n';
+    }
+  };
+
+  for (const LookupDirective &Directive : Program->Lookups)
+    RunQuery(Directive.ClassName, Directive.MemberName,
+             Directive.Expectation);
+
+  for (const std::string &Query : Queries) {
+    size_t Sep = Query.find("::");
+    if (Sep == std::string::npos) {
+      std::cerr << ArgV[0] << ": error: query '" << Query
+                << "' is not of the form C::m\n";
+      return 2;
+    }
+    RunQuery(Query.substr(0, Sep), Query.substr(Sep + 2), std::nullopt);
+  }
+
+  // Code blocks: resolve every name use against the block's class.
+  unsigned CodeErrors = 0;
+  for (const CodeBlock &Block : Program->CodeBlocks) {
+    std::cout << "code " << Block.ClassName << ":\n";
+    for (const ResolvedUse &Use : resolveCodeBlock(H, *Engine, Block)) {
+      std::cout << "  " << Use.Description << '\n';
+      if (!useMatchesExpectation(H, Use)) {
+        ++CodeErrors;
+        std::cout << "    EXPECT FAILED: wanted " << Use.Use->Expected
+                  << '\n';
+      } else if (Use.Use && Use.Use->Expected.empty() &&
+                 Use.UseKind != ResolvedUse::Kind::Member) {
+        ++CodeErrors;
+      }
+    }
+  }
+
+  if (PrintTable) {
+    std::cout << "lookup table (" << Engine->engineName() << "):\n";
+    for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx)
+      for (Symbol Member : H.allMemberNames()) {
+        LookupResult R = Engine->lookup(ClassId(Idx), Member);
+        if (R.Status == LookupStatus::NotFound)
+          continue;
+        std::cout << "  " << H.className(ClassId(Idx))
+                  << "::" << H.spelling(Member) << " -> "
+                  << formatLookupResult(H, R) << '\n';
+      }
+  }
+
+  if (!DotChgFile.empty()) {
+    std::ofstream Out(DotChgFile);
+    writeHierarchyDot(H, Out);
+    std::cout << "wrote " << DotChgFile << '\n';
+  }
+
+  if (!DotSogFile.empty()) {
+    ClassId Id = H.findClass(DotSogClass);
+    if (!Id.isValid()) {
+      std::cerr << ArgV[0] << ": error: no class named '" << DotSogClass
+                << "'\n";
+      return 1;
+    }
+    auto Graph = SubobjectGraph::build(H, Id);
+    if (!Graph) {
+      std::cerr << ArgV[0]
+                << ": error: subobject graph exceeds the budget\n";
+      return 1;
+    }
+    std::ofstream Out(DotSogFile);
+    Graph->writeDot(Out);
+    std::cout << "wrote " << DotSogFile << '\n';
+  }
+
+  if (!EmitSourceFile.empty()) {
+    std::ofstream Out(EmitSourceFile);
+    printHierarchySource(H, Out);
+    std::cout << "wrote " << EmitSourceFile << '\n';
+  }
+
+  if (PrintStats) {
+    DominanceLookupEngine StatsEngine(H);
+    std::cout << formatTableStatistics(
+        H, computeTableStatistics(H, StatsEngine));
+  }
+
+  if (SelfCheck) {
+    DifferentialReport Report = runDifferentialCheck(H);
+    std::cout << "self-check: " << Report.PairsChecked << " pairs checked, "
+              << Report.PairsSkipped << " skipped, "
+              << Report.Mismatches.size() << " mismatches\n";
+    for (const std::string &Mismatch : Report.Mismatches)
+      std::cout << "  MISMATCH: " << Mismatch << '\n';
+    if (!Report.passed())
+      return 1;
+  }
+
+  if (ExpectFailures != 0) {
+    std::cerr << ArgV[0] << ": error: " << ExpectFailures
+              << " expect directive(s) failed\n";
+    return 1;
+  }
+  if (CodeErrors != 0) {
+    std::cerr << ArgV[0] << ": error: " << CodeErrors
+              << " name use(s) failed to resolve\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+//===- memlook/apps/CompleteObjectVTables.h - ABI tables --------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The full compiler story the paper's introduction motivates, one level
+/// deeper than VTableBuilder: in a complete object, *every polymorphic
+/// subobject* carries a vtable, because a virtual call can be made
+/// through a pointer to any base. Each slot dispatches to the complete
+/// object's final overrider (the dyn lookup of Section 7.1 =
+/// lookup(complete class, m)), and when the overrider lives in a
+/// different subobject than the table's, the entry needs a thunk that
+/// adjusts the this-pointer by the difference of the two subobjects'
+/// layout offsets.
+///
+/// This composes three parts of the library - member lookup, the
+/// canonical subobject keys, and the object-layout assigner - exactly
+/// the way a C++ ABI does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_APPS_COMPLETEOBJECTVTABLES_H
+#define MEMLOOK_APPS_COMPLETEOBJECTVTABLES_H
+
+#include "memlook/apps/ObjectLayout.h"
+#include "memlook/core/LookupEngine.h"
+
+#include <vector>
+
+namespace memlook {
+
+/// Collects the virtual member names visible in \p Class (declared
+/// virtual by it or any base), in deterministic first-declaration order.
+std::vector<Symbol> collectVirtualMemberNames(const Hierarchy &H,
+                                              ClassId Class);
+
+/// All vtables of one complete-object type.
+struct CompleteObjectVTables {
+  /// One dispatch slot of one subobject's table.
+  struct Slot {
+    Symbol Member;
+    /// The final overrider: lookup(complete class, Member). Ambiguous
+    /// means the program cannot instantiate this class.
+    LookupResult Overrider;
+    /// Offset delta from this table's subobject to the overrider's
+    /// subobject; a call through this slot must adjust `this` by it.
+    int64_t ThisAdjustment = 0;
+    /// True iff ThisAdjustment != 0: the entry needs a thunk.
+    bool NeedsThunk = false;
+  };
+
+  /// The vtable attached to one polymorphic subobject.
+  struct SubobjectVTable {
+    SubobjectKey Key;
+    uint64_t Offset = 0; ///< the subobject's layout offset
+    std::vector<Slot> Slots;
+  };
+
+  ClassId Complete;
+  ObjectLayout Layout;
+  /// Tables in layout-placement order; subobjects with no visible
+  /// virtual members carry none.
+  std::vector<SubobjectVTable> Tables;
+
+  /// Total number of thunk entries across all tables.
+  uint64_t thunkCount() const {
+    uint64_t Count = 0;
+    for (const SubobjectVTable &Table : Tables)
+      for (const Slot &S : Table.Slots)
+        if (S.NeedsThunk)
+          ++Count;
+    return Count;
+  }
+};
+
+/// Builds every subobject vtable of a complete \p Complete object,
+/// resolving slots through \p Engine.
+CompleteObjectVTables buildCompleteObjectVTables(const Hierarchy &H,
+                                                 LookupEngine &Engine,
+                                                 ClassId Complete);
+
+} // namespace memlook
+
+#endif // MEMLOOK_APPS_COMPLETEOBJECTVTABLES_H

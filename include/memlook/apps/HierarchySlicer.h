@@ -1,0 +1,63 @@
+//===- memlook/apps/HierarchySlicer.h - Class hierarchy slicing -*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Class-hierarchy slicing in the spirit of Tip, Choi, Field and
+/// Ramalingam [12], the paper's third stated application ("our lookup
+/// algorithm is also useful in efficiently implementing class hierarchy
+/// slicing"). Given the set of lookups a program performs, produce a
+/// smaller hierarchy that yields the *same result for every one of those
+/// lookups*.
+///
+/// This implementation takes the provably safe slice: a class is kept
+/// iff it is a queried context or a (transitive) base of one, and a
+/// member declaration is kept iff its name is queried. Member lookup
+/// only ever examines the down-closed (base-ward) subgraph of the
+/// context class and the declarations of the looked-up name, so the
+/// slice preserves every queried lookup by construction - including its
+/// ambiguity status and resolved subobject. (The full Tip et al.
+/// analysis prunes more aggressively inside that subgraph; doing so
+/// requires their dedicated machinery, and a wrongly dropped interior
+/// class can flip a virtual-base fact that dominance depends on.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_APPS_HIERARCHYSLICER_H
+#define MEMLOOK_APPS_HIERARCHYSLICER_H
+
+#include "memlook/chg/Hierarchy.h"
+
+#include <string>
+#include <vector>
+
+namespace memlook {
+
+/// One observed lookup: resolve Member in the context of Class.
+struct LookupQuery {
+  ClassId Class;
+  Symbol Member;
+};
+
+/// The outcome of slicing.
+struct SliceResult {
+  /// The sliced hierarchy (finalized). Class and member *names* are
+  /// preserved, ids are renumbered densely.
+  Hierarchy Sliced;
+  /// Names of the classes that were kept, in original id order.
+  std::vector<std::string> KeptClasses;
+  uint32_t OriginalClassCount = 0;
+  uint32_t OriginalMemberDecls = 0;
+  uint32_t SlicedMemberDecls = 0;
+};
+
+/// Slices \p H against \p Queries.
+SliceResult sliceHierarchy(const Hierarchy &H,
+                           const std::vector<LookupQuery> &Queries);
+
+} // namespace memlook
+
+#endif // MEMLOOK_APPS_HIERARCHYSLICER_H

@@ -1,0 +1,74 @@
+//===- memlook/apps/ObjectLayout.h - Object layout --------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simplified Itanium-style object-layout assigner. It is the second
+/// half of the "compiler back end" story the paper motivates: member
+/// lookup names a subobject; layout turns that subobject into a byte
+/// offset the generated code can add to an object pointer.
+///
+/// Model (documented simplification of the real ABI):
+///  * every non-static member occupies 8 bytes;
+///  * a class with virtual members (own or inherited) has an 8-byte
+///    vptr header in its own part;
+///  * the non-virtual part of a class is: header, then the non-virtual
+///    parts of its non-virtual direct bases in declaration order, then
+///    its own members;
+///  * the complete object is its own non-virtual part followed by the
+///    non-virtual parts of all virtual bases, each exactly once, in
+///    topological order.
+///
+/// Every placed subobject is keyed by its canonical SubobjectKey, so the
+/// layout composes directly with lookup results: the offset of a
+/// resolved member is SubobjectOffset[result.Subobject] + member offset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_APPS_OBJECTLAYOUT_H
+#define MEMLOOK_APPS_OBJECTLAYOUT_H
+
+#include "memlook/core/LookupResult.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace memlook {
+
+/// Computed layout of one complete-object type.
+struct ObjectLayout {
+  ClassId Complete;
+  uint64_t Size = 0;
+
+  /// Offset of every subobject, by canonical key, in placement order.
+  std::vector<std::pair<SubobjectKey, uint64_t>> SubobjectOffsets;
+
+  /// Offset of a member within the *non-virtual part of its declaring
+  /// class* (one entry per (class, member)); add the subobject offset to
+  /// get the member's place in the complete object.
+  std::unordered_map<uint64_t, uint64_t> MemberOffsetInClass;
+
+  /// Looks up a placed subobject's offset.
+  std::optional<uint64_t> subobjectOffset(const SubobjectKey &Key) const;
+
+  /// The absolute offset of the member a lookup resolved to, or
+  /// std::nullopt if the result is not unambiguous.
+  std::optional<uint64_t> memberOffset(const Hierarchy &H,
+                                       const LookupResult &R,
+                                       Symbol Member) const;
+
+  static uint64_t memberKey(ClassId Class, Symbol Member) {
+    return (static_cast<uint64_t>(Class.index()) << 32) | Member.index();
+  }
+};
+
+/// Computes the layout of a complete object of class \p Complete.
+ObjectLayout computeObjectLayout(const Hierarchy &H, ClassId Complete);
+
+} // namespace memlook
+
+#endif // MEMLOOK_APPS_OBJECTLAYOUT_H

@@ -1,0 +1,74 @@
+//===- memlook/apps/VTableBuilder.h - Vtable construction -------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One of the paper's two stated compiler applications of member lookup
+/// ("in performing static analysis and in constructing virtual-function
+/// tables", Section 1). For each class, the vtable has one slot per
+/// virtual member name visible in the class; the slot's target is the
+/// final overrider, which is exactly lookup(C, m) - an ambiguous lookup
+/// means the program has no unique final overrider and is ill-formed if
+/// the class is instantiated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_APPS_VTABLEBUILDER_H
+#define MEMLOOK_APPS_VTABLEBUILDER_H
+
+#include "memlook/core/LookupEngine.h"
+
+#include <vector>
+
+namespace memlook {
+
+/// The virtual-function table of one class.
+struct VTable {
+  /// One dispatch slot.
+  struct Slot {
+    Symbol Member;
+    /// lookup(Class, Member): the final overrider; Status Ambiguous
+    /// means no unique final overrider exists.
+    LookupResult Overrider;
+  };
+
+  ClassId Class;
+  /// Slots in first-virtual-declaration order (deterministic).
+  std::vector<Slot> Slots;
+
+  /// True iff some slot has no unique final overrider.
+  bool hasAmbiguousSlot() const {
+    for (const Slot &S : Slots)
+      if (S.Overrider.Status == LookupStatus::Ambiguous)
+        return true;
+    return false;
+  }
+};
+
+/// Builds vtables from lookup results.
+class VTableBuilder {
+public:
+  /// \p Engine supplies lookup(C, m); any engine works, but the Figure 8
+  /// engine is the intended one (this application is why compilers run
+  /// "all possible member lookups", the O((|M|+|N|)(|N|+|E|)) case).
+  VTableBuilder(const Hierarchy &H, LookupEngine &Engine)
+      : H(H), Engine(Engine) {}
+
+  /// The vtable of \p Class: a slot for every member name that some
+  /// class in {Class} + bases(Class) declares virtual.
+  VTable build(ClassId Class);
+
+  /// Vtables for every class, in topological order.
+  std::vector<VTable> buildAll();
+
+private:
+  const Hierarchy &H;
+  LookupEngine &Engine;
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_APPS_VTABLEBUILDER_H

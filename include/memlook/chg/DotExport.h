@@ -1,0 +1,31 @@
+//===- memlook/chg/DotExport.h - CHG Graphviz export ------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a class hierarchy graph as Graphviz DOT in the paper's style:
+/// solid edges for non-virtual inheritance, dashed edges for virtual
+/// inheritance, and member names listed beside each class (Figures 1(b),
+/// 2(b), 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CHG_DOTEXPORT_H
+#define MEMLOOK_CHG_DOTEXPORT_H
+
+#include "memlook/chg/Hierarchy.h"
+
+#include <ostream>
+
+namespace memlook {
+
+/// Writes \p H as a DOT digraph named \p GraphName to \p OS.
+void writeHierarchyDot(const Hierarchy &H, std::ostream &OS,
+                       std::string_view GraphName = "chg");
+
+} // namespace memlook
+
+#endif // MEMLOOK_CHG_DOTEXPORT_H

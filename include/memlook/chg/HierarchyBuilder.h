@@ -1,0 +1,108 @@
+//===- memlook/chg/HierarchyBuilder.h - Fluent CHG builder ------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fluent programmatic builder for class hierarchies, used throughout
+/// the tests, examples, and benchmarks. Bases are referenced by name and
+/// must already exist, mirroring C++'s requirement that a base class be
+/// defined before it is inherited from:
+///
+/// \code
+///   HierarchyBuilder B;
+///   B.addClass("A").withMember("m");
+///   B.addClass("B").withBase("A");
+///   B.addClass("C").withVirtualBase("B");
+///   Hierarchy H = std::move(B).build();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CHG_HIERARCHYBUILDER_H
+#define MEMLOOK_CHG_HIERARCHYBUILDER_H
+
+#include "memlook/chg/Hierarchy.h"
+
+namespace memlook {
+
+/// Fluent builder over Hierarchy. Errors in the described hierarchy
+/// (unknown base, duplicate class, cycle) are programming errors in the
+/// caller and therefore assert.
+class HierarchyBuilder {
+public:
+  class ClassHandle;
+
+  HierarchyBuilder() = default;
+
+  /// Seeds the builder with a copy of \p Source's classes, bases, and
+  /// members (a finalized hierarchy is immutable; this is how a tool
+  /// extends one: copy, add, finalize again). Ids are renumbered
+  /// densely in topological order; names are preserved.
+  static HierarchyBuilder fromHierarchy(const Hierarchy &Source);
+
+  /// Creates class \p Name and returns a handle for attaching bases and
+  /// members.
+  ClassHandle addClass(std::string_view Name);
+
+  /// Returns a handle to the existing class \p Name (asserts on absence),
+  /// for incremental construction across helper functions.
+  ClassHandle getClass(std::string_view Name);
+
+  /// Finalizes and returns the hierarchy. Consumes the builder; asserts
+  /// that validation succeeded.
+  Hierarchy build() &&;
+
+  /// Access to the hierarchy under construction (e.g. to pre-intern
+  /// names).
+  Hierarchy &hierarchy() { return H; }
+
+  /// Fluent per-class construction handle.
+  class ClassHandle {
+  public:
+    /// Adds a non-virtual base named \p Name.
+    ClassHandle &withBase(std::string_view Name,
+                          AccessSpec Access = AccessSpec::Public);
+
+    /// Adds a virtual base named \p Name.
+    ClassHandle &withVirtualBase(std::string_view Name,
+                                 AccessSpec Access = AccessSpec::Public);
+
+    /// Declares a non-static member named \p Name.
+    ClassHandle &withMember(std::string_view Name,
+                            AccessSpec Access = AccessSpec::Public);
+
+    /// Declares a static member named \p Name.
+    ClassHandle &withStaticMember(std::string_view Name,
+                                  AccessSpec Access = AccessSpec::Public);
+
+    /// Declares a virtual (function) member named \p Name.
+    ClassHandle &withVirtualMember(std::string_view Name,
+                                   AccessSpec Access = AccessSpec::Public);
+
+    /// Adds `using From::Name;`. \p From must already exist (it is
+    /// validated as a base at build()).
+    ClassHandle &withUsing(std::string_view From, std::string_view Name,
+                           AccessSpec Access = AccessSpec::Public);
+
+    /// The id of the class being built.
+    ClassId id() const { return Id; }
+
+  private:
+    friend class HierarchyBuilder;
+    ClassHandle(HierarchyBuilder &Builder, ClassId Id)
+        : Builder(Builder), Id(Id) {}
+
+    HierarchyBuilder &Builder;
+    ClassId Id;
+  };
+
+private:
+  Hierarchy H;
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_CHG_HIERARCHYBUILDER_H

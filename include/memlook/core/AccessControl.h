@@ -1,0 +1,56 @@
+//===- memlook/core/AccessControl.h - Access rights -------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6's access-rights extension. The paper stresses that access
+/// rules do not affect lookup at all: they are applied *after* a
+/// successful lookup, to decide whether the particular access is legal.
+/// This module implements that post-pass: given the witness path of a
+/// resolved member, compose the member's own access with the access of
+/// every inheritance edge crossed, taking the most restrictive at each
+/// step (private inheritance demotes everything to private, protected
+/// caps at protected).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CORE_ACCESSCONTROL_H
+#define MEMLOOK_CORE_ACCESSCONTROL_H
+
+#include "memlook/core/LookupResult.h"
+
+namespace memlook {
+
+/// Who is performing the member access.
+enum class AccessContext : uint8_t {
+  /// Ordinary code outside any class: only public survives.
+  Outside,
+  /// Code in a member of the context class or a class derived from it:
+  /// protected also survives.
+  DerivedMember,
+  /// Code in a member of the defining class itself (or a friend):
+  /// everything survives.
+  SelfOrFriend,
+};
+
+/// The composed access of the member named by \p Witness: the member's
+/// declared access restricted by the access of each inheritance edge the
+/// witness path crosses, in ldc-to-mdc order.
+AccessSpec effectiveAccess(const Hierarchy &H, const Path &Witness,
+                           AccessSpec MemberAccess);
+
+/// Applies the access post-pass to a successful lookup result for member
+/// \p Member: returns true iff \p R (which must be Unambiguous with a
+/// witness) is accessible from \p Context. Lookup resolution is never
+/// re-run - exactly the paper's "access rights do not affect the member
+/// lookup process; they are applied only after a successful member
+/// lookup".
+bool isAccessible(const Hierarchy &H, const LookupResult &R, Symbol Member,
+                  AccessContext Context);
+
+} // namespace memlook
+
+#endif // MEMLOOK_CORE_ACCESSCONTROL_H

@@ -1,0 +1,53 @@
+//===- memlook/core/DifferentialCheck.h - Self-check ------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A packaged form of the repository's central correctness argument:
+/// run every (class, member) lookup through three independent
+/// implementations - the Figure 8 abstraction algorithm, the explicit
+/// path propagation with killing, and the Rossie-Friedman subobject
+/// reference - and report any disagreement. Exposed as a library
+/// function so tools (lookup_tool --self-check) and fuzz drivers can
+/// audit arbitrary hierarchies, not just the ones the unit tests ship.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CORE_DIFFERENTIALCHECK_H
+#define MEMLOOK_CORE_DIFFERENTIALCHECK_H
+
+#include "memlook/chg/Hierarchy.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memlook {
+
+/// Outcome of a differential audit.
+struct DifferentialReport {
+  /// (class, member) pairs compared.
+  uint64_t PairsChecked = 0;
+  /// Pairs skipped because a reference engine exceeded its subobject or
+  /// definition budget (the hierarchy is replication-heavy).
+  uint64_t PairsSkipped = 0;
+  /// Human-readable description of each disagreement. Empty = engines
+  /// agree everywhere.
+  std::vector<std::string> Mismatches;
+
+  bool passed() const { return Mismatches.empty(); }
+};
+
+/// Audits \p H: compares figure8-eager, figure8-lazy-recursive,
+/// propagation-killing, and rossie-friedman on every (class, member)
+/// pair. \p MaxSubobjects bounds the reference engines; pairs they
+/// cannot afford are counted as skipped, not failed.
+DifferentialReport runDifferentialCheck(const Hierarchy &H,
+                                        size_t MaxSubobjects = 1u << 18);
+
+} // namespace memlook
+
+#endif // MEMLOOK_CORE_DIFFERENTIALCHECK_H

@@ -1,0 +1,233 @@
+//===- memlook/core/DominanceLookupEngine.h - Figure 8 ----------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's member-lookup algorithm (Figure 8): a topological-order
+/// pass over the class hierarchy graph that propagates *abstractions* of
+/// definitions instead of paths or subobjects:
+///
+///  * an unambiguous lookup at a class is a "red" value - the pair
+///    (ldc, leastVirtual), which Lemma 4 shows suffices to test
+///    dominance against anything arriving along a different edge;
+///  * an ambiguous lookup is a "blue" set of leastVirtual abstractions,
+///    still propagated because a blue definition, while never the
+///    winner, can demote a red definition at a join (the Figure 5
+///    bar-at-H scenario).
+///
+/// Both abstractions are transported across an edge B -> D with the
+/// Definition 15 operator
+///     X o (B->D) = X  if X != Omega,
+///                  B  if the edge is virtual,
+///                  Omega otherwise,
+/// which abstracts path extension exactly
+/// (leastVirtual(p . (B->D)) = leastVirtual(p) o (B->D)).
+///
+/// Dominance between a red (L1,V1) and a definition abstracted as
+/// (L2,V2) that arrived along a different edge is Lemma 4's
+/// constant-time test:
+///     V2 in virtual-bases[L1]  or  V1 = V2 != Omega.
+///
+/// ## The static-member generalization (Section 6, Definition 17)
+///
+/// The paper says the extension to static members is "straightforward":
+/// add the clause "L1 = L2 and m is a static member of L1" to the
+/// dominates function. Implemented literally, that clause is *unsound*:
+/// it treats one subobject as a stand-in for the whole maximal set. When
+/// two same-class static definitions meet (legal under Definition 17(2):
+/// one entity, many subobjects), the set's members can carry *different*
+/// leastVirtual abstractions; a later competitor may dominate the kept
+/// representative yet fail to dominate a discarded member, and the
+/// algorithm would wrongly report the lookup unambiguous. (A concrete
+/// failing hierarchy is pinned in
+/// tests/core/StaticMembersTest.cpp::SetAbstractionRegression; our
+/// randomized differential tests found it within forty seeds.)
+///
+/// This implementation therefore generalizes the red value to
+///     Red (L, {V1, ..., Vk}),
+/// the abstractions of *all* maximal definitions (which Definition 17(2)
+/// guarantees share the defining class L; k = 1 always for members that
+/// are not static). A competitor must cover every member:
+///     covers((L,Vs), (L2,V2)) :=
+///         (V2 != Omega and V2 in virtual-bases[L])   [Lemma 4 (i)]
+///      or (V2 != Omega and V2 in Vs)                 [Lemma 4 (ii)]
+/// and a same-L static definition that is not covered is *absorbed* into
+/// the member set instead of being dropped. Blue elements carry their
+/// defining class for the same reason. For programs without static
+/// members every set is a singleton and the algorithm is exactly
+/// Figure 8; the complexity bound gains at most the same |N|+1 factor a
+/// blue set already has.
+///
+/// Complexity (Section 5): constructing the full table is
+/// O(|M| * |N| * (|N|+|E|)) worst case and O((|M|+|N|) * (|N|+|E|)) when
+/// no lookup is ambiguous. This implementation offers three tabulation
+/// disciplines: Eager builds the whole table at construction; Lazy
+/// materializes one member's column on first query of that member; and
+/// LazyRecursive is the memoizing variant Section 5 describes, computing
+/// exactly the queried class's down-closure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CORE_DOMINANCELOOKUPENGINE_H
+#define MEMLOOK_CORE_DOMINANCELOOKUPENGINE_H
+
+#include "memlook/core/LookupEngine.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace memlook {
+
+/// The paper's Figure 8 algorithm behind the common engine interface.
+class DominanceLookupEngine : public LookupEngine {
+public:
+  /// Tabulation discipline (all three variants Section 5 discusses).
+  enum class Mode {
+    /// Build the whole |M| x |N| table at construction; every query is
+    /// then a table read.
+    Eager,
+    /// Materialize the full column of a member name on its first query.
+    Lazy,
+    /// The paper's memoizing variant: a query for lookup[C,m] computes
+    /// entries only for C and its (transitive) bases.
+    LazyRecursive,
+  };
+
+  DominanceLookupEngine(const Hierarchy &H, Mode Mode = Mode::Eager);
+
+  LookupResult lookup(ClassId Context, Symbol Member) override;
+  using LookupEngine::lookup;
+
+  std::string_view engineName() const override;
+
+  //===--------------------------------------------------------------------===
+  // Introspection (used by the Figure 6/7 reproduction tests and the
+  // operation-count benchmarks)
+  //===--------------------------------------------------------------------===
+
+  /// One element of a blue set: the leastVirtual abstraction of a
+  /// definition plus its defining class (see file comment).
+  struct BlueElement {
+    ClassId LeastVirtual;
+    ClassId DefiningClass;
+
+    friend bool operator==(BlueElement A, BlueElement B) {
+      return A.LeastVirtual == B.LeastVirtual &&
+             A.DefiningClass == B.DefiningClass;
+    }
+    friend bool operator<(BlueElement A, BlueElement B) {
+      if (A.LeastVirtual != B.LeastVirtual)
+        return A.LeastVirtual < B.LeastVirtual;
+      return A.DefiningClass < B.DefiningClass;
+    }
+  };
+
+  /// The lookup[C,m] table entry.
+  struct Entry {
+    enum class Kind : uint8_t {
+      Absent, ///< m is not a member of C
+      Red,    ///< unambiguous
+      Blue,   ///< ambiguous
+    };
+
+    Kind EntryKind = Kind::Absent;
+
+    /// Red: ldc of the result. All maximal definitions share it
+    /// (Definition 17(2)).
+    ClassId DefiningClass;
+    /// Red: the leastVirtual abstractions of the maximal definitions,
+    /// sorted by raw id (an invalid id is the paper's Omega). Singleton
+    /// unless the static-member rule merged subobjects.
+    std::vector<ClassId> RedVs;
+    /// Red: leastVirtual of the representative member, whose witness
+    /// path the Via chain reconstructs.
+    ClassId RepresentativeV;
+    /// Red: the direct base the representative was inherited through,
+    /// or invalid when m is declared in C itself. Following the chain
+    /// downward reconstructs the paper's full-path triple
+    /// (ldc, leastVirtual, path) without changing the complexity.
+    ClassId Via;
+    /// Red: true when the maximal set provably names more than one
+    /// subobject of one static entity (Definition 17(2)) - possibly
+    /// with coinciding abstractions, so this is not just RedVs.size()>1.
+    bool StaticMerged = false;
+    /// Red: the representative member's access composed along its
+    /// witness path (the member's declared access restricted by every
+    /// inheritance edge crossed) - the Section 6 access-rights
+    /// extension, tabulated during propagation at no extra asymptotic
+    /// cost.
+    AccessSpec Access = AccessSpec::Public;
+
+    std::vector<BlueElement> Blues; ///< sorted+unique; valid iff Blue
+  };
+
+  /// The table entry for (Context, Member), computing the member's
+  /// column first if the engine is lazy. Returns the Absent entry for
+  /// names that are not members anywhere.
+  const Entry &entry(ClassId Context, Symbol Member);
+
+  /// Operation counters for the complexity-validation benchmarks.
+  struct Stats {
+    uint64_t EntriesComputed = 0;   ///< table slots filled (incl. Absent)
+    uint64_t DominanceTests = 0;    ///< Lemma 4 element tests performed
+    uint64_t BlueElementsMoved = 0; ///< blue elements composed across edges
+  };
+  const Stats &stats() const { return EngineStats; }
+
+  /// Approximate heap footprint of the materialized table (entry slots
+  /// plus red-set and blue-set payloads) - the space counterpart of the
+  /// complexity story, reported by the scaling benchmarks.
+  uint64_t approximateTableBytes() const;
+
+private:
+  /// Computes the single entry lookup[C, Member], assuming the entries
+  /// of every direct base of C in \p Column are final.
+  void computeEntryAt(std::vector<Entry> &Column, ClassId C, Symbol Member);
+
+  /// Computes the full column lookup[*, Member] in topological order
+  /// (skipping entries a LazyRecursive query already produced).
+  void computeColumn(uint32_t MemberIdx);
+
+  /// Computes lookup[Context, Member] and exactly the base entries it
+  /// transitively needs (explicit work-stack, no recursion).
+  void computeEntryRecursive(uint32_t MemberIdx, ClassId Context);
+
+  /// Allocates a column's entry and computed-flag storage on first use.
+  void ensureColumnStorage(uint32_t MemberIdx);
+
+  /// Lemma 4 on the set abstraction: does the red value (L, Vs) cover
+  /// the definition abstracted as V2 (arriving along a different edge)?
+  bool redCovers(ClassId L, const std::vector<ClassId> &Vs, ClassId V2,
+                 const std::vector<Entry> &Column);
+
+  /// Definition 15's o operator across the direct edge \p Spec.Base ->
+  /// derived (edge kind taken from \p Spec).
+  static ClassId composeAcross(ClassId V, const BaseSpecifier &Spec) {
+    if (V.isValid())
+      return V;
+    if (Spec.Kind == InheritanceKind::Virtual)
+      return Spec.Base;
+    return ClassId(); // Omega
+  }
+
+  /// Reconstructs the witness path of a red entry by walking Via links.
+  Path reconstructWitness(ClassId Context, uint32_t MemberIdx) const;
+
+  Mode TabulationMode;
+  std::unordered_map<Symbol, uint32_t> MemberIndex;
+  /// Column-major table: Columns[memberIdx][classIdx]. A column is
+  /// allocated lazily; EntryComputed tracks which entries are final.
+  std::vector<std::vector<Entry>> Columns;
+  std::vector<std::vector<bool>> EntryComputed;
+  std::unordered_set<uint32_t> ColumnFullyComputed;
+  Entry AbsentEntry;
+  Stats EngineStats;
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_CORE_DOMINANCELOOKUPENGINE_H

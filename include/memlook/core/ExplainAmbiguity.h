@@ -1,0 +1,50 @@
+//===- memlook/core/ExplainAmbiguity.h - Diagnostics ------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turning an ambiguous lookup into a user-facing diagnostic. The
+/// Figure 8 algorithm deliberately forgets the candidate subobjects (its
+/// blue value is an abstraction), which is the right trade for speed but
+/// the wrong one for error messages. This helper recomputes the maximal
+/// candidate set with the explicit-path propagation engine - the same
+/// information a compiler needs to emit
+///
+///   error: member 'm' is ambiguous in 'E'
+///   note: candidates are A::m (in subobject ABCE) and D::m (in DE)
+///
+/// Cost is bounded by the killing propagation for one member name, which
+/// on real hierarchies is negligible and only ever paid on the error
+/// path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CORE_EXPLAINAMBIGUITY_H
+#define MEMLOOK_CORE_EXPLAINAMBIGUITY_H
+
+#include "memlook/core/MostDominant.h"
+
+#include <string>
+#include <vector>
+
+namespace memlook {
+
+/// The maximal (mutually incomparable) definitions of \p Member visible
+/// in \p Context: the candidates an ambiguity diagnostic should list.
+/// Empty when the member is unknown or the reconstruction exceeds
+/// \p MaxDefsPerClass (pathologically replicated hierarchies).
+std::vector<DefinitionRecord>
+explainAmbiguity(const Hierarchy &H, ClassId Context, Symbol Member,
+                 size_t MaxDefsPerClass = 1u << 20);
+
+/// Renders the candidates as one diagnostic-ready line, e.g.
+/// "candidates: A::m (in ABCE), D::m (in DE)".
+std::string formatAmbiguityCandidates(const Hierarchy &H, Symbol Member,
+                                      const std::vector<DefinitionRecord> &Defs);
+
+} // namespace memlook
+
+#endif // MEMLOOK_CORE_EXPLAINAMBIGUITY_H

@@ -1,0 +1,69 @@
+//===- memlook/core/LookupEngine.h - Engine interface -----------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common interface of all member-lookup engines. The repository
+/// implements the paper's algorithm plus every baseline the paper
+/// discusses, behind this one interface, so that they can be compared
+/// both differentially (tests) and for performance (benchmarks):
+///
+///   * DominanceLookupEngine  - the paper's Figure 8 algorithm (core
+///                              contribution), eager or lazy;
+///   * NaivePropagationEngine - Section 4's explicit-path propagation,
+///                              with or without killing;
+///   * SubobjectLookupEngine  - the Rossie-Friedman executable definition
+///                              over the materialized subobject graph;
+///   * GxxBfsEngine           - g++ 2.7.2's breadth-first traversal,
+///                              faithfully including its ambiguity bug
+///                              (Figure 9);
+///   * TopsortShortcutEngine  - Section 7.2's topological-number
+///                              shortcut, valid only for programs without
+///                              ambiguous lookups.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CORE_LOOKUPENGINE_H
+#define MEMLOOK_CORE_LOOKUPENGINE_H
+
+#include "memlook/core/LookupResult.h"
+
+#include <memory>
+#include <string_view>
+
+namespace memlook {
+
+/// Abstract member-lookup engine over a finalized hierarchy.
+class LookupEngine {
+public:
+  explicit LookupEngine(const Hierarchy &H) : H(H) {
+    assert(H.isFinalized() && "lookup requires a finalized hierarchy");
+  }
+  virtual ~LookupEngine();
+
+  LookupEngine(const LookupEngine &) = delete;
+  LookupEngine &operator=(const LookupEngine &) = delete;
+
+  /// Resolves member \p Member in the context of class \p Context
+  /// (the paper's lookup(C, m)). Non-const: engines memoize.
+  virtual LookupResult lookup(ClassId Context, Symbol Member) = 0;
+
+  /// Engine display name for benchmarks and reports.
+  virtual std::string_view engineName() const = 0;
+
+  /// Convenience overload resolving \p Member by spelling; names never
+  /// interned anywhere in the hierarchy are NotFound without allocating.
+  LookupResult lookup(ClassId Context, std::string_view Member);
+
+  const Hierarchy &hierarchy() const { return H; }
+
+protected:
+  const Hierarchy &H;
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_CORE_LOOKUPENGINE_H

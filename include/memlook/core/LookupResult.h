@@ -1,0 +1,116 @@
+//===- memlook/core/LookupResult.h - Lookup results -------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result of a member lookup (Definitions 9 and 17 of the paper),
+/// shared by every lookup engine so that they can be compared
+/// differentially.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CORE_LOOKUPRESULT_H
+#define MEMLOOK_CORE_LOOKUPRESULT_H
+
+#include "memlook/chg/Path.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace memlook {
+
+/// Outcome category of a lookup.
+enum class LookupStatus : uint8_t {
+  /// The lookup resolved to a unique dominant definition (or, with the
+  /// static-member rule of Definition 17(2), to a representative of a
+  /// maximal set that shares one defining class).
+  Unambiguous,
+  /// Defns(C, m) has no most-dominant element: the program is ill-formed
+  /// at this use (Definition 9's bottom).
+  Ambiguous,
+  /// m is not a member of C at all.
+  NotFound,
+  /// The engine could not answer within its resource budget. Only the
+  /// subobject-graph-based engines can report this: their data structure
+  /// is worst-case exponential in the hierarchy size (Section 7.1), which
+  /// is precisely the cost the paper's algorithm avoids.
+  Overflow,
+};
+
+/// Returns "unambiguous" / "ambiguous" / "not-found" / "overflow".
+const char *lookupStatusLabel(LookupStatus Status);
+
+/// Result of looking up member m in the context of class C.
+struct LookupResult {
+  LookupStatus Status = LookupStatus::NotFound;
+
+  /// Unambiguous only: the defining class ldc(u) of the dominant
+  /// definition u.
+  ClassId DefiningClass;
+
+  /// Unambiguous only: the canonical subobject the lookup resolved to.
+  /// Engines that only compute the paper's (ldc, leastVirtual)
+  /// abstraction reconstruct this from their witness path.
+  std::optional<SubobjectKey> Subobject;
+
+  /// Unambiguous only: a full CHG path naming the resolved subobject,
+  /// when the engine tracks one (Section 4 notes compilers want this to
+  /// generate code).
+  std::optional<Path> Witness;
+
+  /// Unambiguous only: true when Definition 17(2) applied - the maximal
+  /// set had several subobjects sharing one static member; Subobject /
+  /// Witness then name an arbitrary representative, as the paper allows.
+  bool SharedStatic = false;
+
+  /// Unambiguous only: the member's access composed along the witness
+  /// path (Section 6 extension), for engines that tabulate it; others
+  /// leave it unset and clients use effectiveAccess() on the witness.
+  std::optional<AccessSpec> EffectiveAccess;
+
+  /// Ambiguous only: the maximal defining subobjects, for engines that
+  /// can enumerate them (reference engines); possibly empty for engines
+  /// that only keep the paper's blue abstraction.
+  std::vector<SubobjectKey> AmbiguousCandidates;
+
+  /// Convenience factories.
+  static LookupResult notFound() { return LookupResult{}; }
+
+  static LookupResult overflow() {
+    LookupResult R;
+    R.Status = LookupStatus::Overflow;
+    return R;
+  }
+
+  static LookupResult unambiguous(ClassId DefiningClass,
+                                  std::optional<SubobjectKey> Subobject,
+                                  std::optional<Path> Witness,
+                                  bool SharedStatic = false) {
+    LookupResult R;
+    R.Status = LookupStatus::Unambiguous;
+    R.DefiningClass = DefiningClass;
+    R.Subobject = std::move(Subobject);
+    R.Witness = std::move(Witness);
+    R.SharedStatic = SharedStatic;
+    return R;
+  }
+
+  static LookupResult ambiguous(std::vector<SubobjectKey> Candidates) {
+    LookupResult R;
+    R.Status = LookupStatus::Ambiguous;
+    R.AmbiguousCandidates = std::move(Candidates);
+    return R;
+  }
+};
+
+/// Renders a result for diagnostics and the examples, e.g.
+/// "A (subobject ABD*H)" or "ambiguous {ABD*H, ACD*H}".
+std::string formatLookupResult(const Hierarchy &H, const LookupResult &R);
+
+} // namespace memlook
+
+#endif // MEMLOOK_CORE_LOOKUPRESULT_H

@@ -1,0 +1,49 @@
+//===- memlook/core/MostDominant.h - Defns -> result ------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared back half of the reference engines: given the explicit set of
+/// definitions Defns(C, m) (as canonical subobject keys with witness
+/// paths), compute maximal(Defns) and apply the lookup definition -
+/// Definition 9 for ordinary members, extended by Definitions 16/17 for
+/// static members (a maximal set whose elements all share one defining
+/// class with a static member resolves to any representative).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CORE_MOSTDOMINANT_H
+#define MEMLOOK_CORE_MOSTDOMINANT_H
+
+#include "memlook/core/LookupResult.h"
+
+#include <vector>
+
+namespace memlook {
+
+/// One explicit definition: the subobject it lives in plus a
+/// representative path.
+struct DefinitionRecord {
+  SubobjectKey Key;
+  Path Witness;
+};
+
+/// maximal(A) (Definition 16): the definitions not strictly dominated by
+/// another. Input keys must be distinct; order is preserved.
+std::vector<DefinitionRecord>
+maximalDefinitions(const Hierarchy &H,
+                   const std::vector<DefinitionRecord> &Defs);
+
+/// Applies Definitions 9/17 to an explicit Defns(C, m) set: NotFound on
+/// empty input, Unambiguous when the maximal set is a singleton or
+/// shares one static defining class, Ambiguous otherwise.
+LookupResult resolveByDominance(const Hierarchy &H,
+                                const std::vector<DefinitionRecord> &Defs,
+                                Symbol Member);
+
+} // namespace memlook
+
+#endif // MEMLOOK_CORE_MOSTDOMINANT_H

@@ -1,0 +1,96 @@
+//===- memlook/core/NaivePropagationEngine.h - Section 4 --------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4's "simple, but inefficient" algorithm, in both variants the
+/// paper walks through on Figures 4 and 5:
+///
+///  * WithoutKilling - the two-phase algorithm: propagate *every*
+///    definition (a full CHG path) through the graph, then find the
+///    most-dominant reaching definition per class. The per-class
+///    reaching sets are exactly DefnsPath(C, m) up to ~-equivalence
+///    (definitions are deduplicated by their canonical subobject key,
+///    since ~-equivalent paths denote the same definition).
+///
+///  * WithKilling - the optimized propagation justified by Lemma 3 and
+///    Corollary 1: at each class only the maximal (non-dominated)
+///    reaching definitions survive and are propagated further; when the
+///    lookup at a class is unambiguous that is a single "red"
+///    definition, otherwise the survivors are the "blue" definitions.
+///
+/// This engine exists for three reasons: it is the stepping stone the
+/// paper uses to derive Figure 8; its reaching-definition sets reproduce
+/// Figures 4 and 5 directly (tests/core/PropagationTest.cpp); and it is
+/// an independent implementation of the lookup semantics - it works on
+/// explicit paths and the general dominance test, sharing no abstraction
+/// machinery with Figure 8 - which makes it a strong differential-test
+/// oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CORE_NAIVEPROPAGATIONENGINE_H
+#define MEMLOOK_CORE_NAIVEPROPAGATIONENGINE_H
+
+#include "memlook/core/LookupEngine.h"
+#include "memlook/core/MostDominant.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace memlook {
+
+/// Explicit-path propagation lookup (Section 4).
+class NaivePropagationEngine : public LookupEngine {
+public:
+  /// Whether dominated definitions are killed during propagation.
+  enum class Killing { Disabled, Enabled };
+
+  NaivePropagationEngine(const Hierarchy &H,
+                         Killing KillPolicy = Killing::Disabled,
+                         size_t MaxDefsPerClass = 1u << 20);
+
+  LookupResult lookup(ClassId Context, Symbol Member) override;
+  using LookupEngine::lookup;
+
+  std::string_view engineName() const override {
+    return KillPolicy == Killing::Enabled ? "propagation-killing"
+                                          : "propagation-naive";
+  }
+
+  /// One propagated definition: a canonical subobject key plus a witness
+  /// path (a representative of the ~-class).
+  using Definition = DefinitionRecord;
+
+  /// The definitions of \p Member reaching \p Context that survived this
+  /// engine's propagation policy: all of DefnsPath(C,m) (up to ~) when
+  /// killing is disabled, only the maximal ones when enabled. Reproduces
+  /// the per-node annotation of Figures 4 and 5. Empty when overflowed.
+  const std::vector<Definition> &reachingDefinitions(ClassId Context,
+                                                     Symbol Member);
+
+  /// True if the member's column blew past MaxDefsPerClass (possible for
+  /// the non-killing variant on replication-heavy hierarchies).
+  bool overflowed(Symbol Member);
+
+private:
+  struct Column {
+    std::vector<std::vector<Definition>> DefsPerClass;
+    bool Overflowed = false;
+  };
+
+  const Column &columnFor(Symbol Member);
+  void computeColumn(Symbol Member, Column &Out);
+
+  Killing KillPolicy;
+  size_t MaxDefsPerClass;
+  std::unordered_map<Symbol, Column> Cache;
+  std::vector<Definition> Empty;
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_CORE_NAIVEPROPAGATIONENGINE_H

@@ -1,0 +1,65 @@
+//===- memlook/core/QualifiedLookup.h - x.B::m ------------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6 distinguishes the two qualified-name forms a compiler must
+/// resolve: `x.m` (the plain member lookup this library centers on) and
+/// `x.B::m` - lookup through an explicit naming class. The latter
+/// composes three pieces the library already has:
+///
+///   1. B must be the type of x or an *unambiguous* base of it (the
+///      standard-conversion rule): exactly one B subobject, counted in
+///      closed form without materializing anything;
+///   2. m is resolved in the context of B (ordinary member lookup);
+///   3. the found subobject is re-embedded into the complete object by
+///      key composition, yielding the subobject an implementation needs
+///      for code generation (Section 7.1's stat operation, done entirely
+///      on the CHG).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CORE_QUALIFIEDLOOKUP_H
+#define MEMLOOK_CORE_QUALIFIEDLOOKUP_H
+
+#include "memlook/core/LookupEngine.h"
+
+namespace memlook {
+
+/// Outcome of resolving `x.B::m` where x has static type ObjectType.
+struct QualifiedLookupResult {
+  enum class Kind : uint8_t {
+    /// Resolved; Member holds the (re-embedded) result.
+    Ok,
+    /// B is not ObjectType or one of its bases.
+    NotABase,
+    /// ObjectType contains more than one B subobject: the implicit
+    /// conversion to B is ambiguous before member lookup even starts.
+    AmbiguousBase,
+    /// The base was fine but lookup(B, m) was ambiguous or not found;
+    /// Member holds that inner result.
+    MemberProblem,
+  };
+
+  Kind ResultKind = Kind::NotABase;
+  /// The unique B subobject of ObjectType (Ok and MemberProblem).
+  std::optional<SubobjectKey> BaseSubobject;
+  /// Ok: the member result with subobject/witness re-embedded into the
+  /// complete ObjectType. MemberProblem: the inner result as-is.
+  LookupResult Member;
+};
+
+/// Resolves `x.NamingClass::Member` for an object of static type
+/// \p ObjectType, using \p Engine for the member lookups.
+QualifiedLookupResult qualifiedMemberLookup(const Hierarchy &H,
+                                            LookupEngine &Engine,
+                                            ClassId ObjectType,
+                                            ClassId NamingClass,
+                                            Symbol Member);
+
+} // namespace memlook
+
+#endif // MEMLOOK_CORE_QUALIFIEDLOOKUP_H

@@ -1,0 +1,71 @@
+//===- memlook/core/SubobjectLookupEngine.h - R-F reference -----*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Rossie-Friedman executable definition of member lookup [9],
+/// implemented directly on the materialized subobject graph: enumerate
+/// Defns(C, m) as the subobjects whose ldc declares m, then return the
+/// most-dominant one under the containment order (plus the Definition 17
+/// static-member relaxation).
+///
+/// The paper's Section 7.1 points out that this is a perfectly good
+/// *specification* but a potentially exponential *algorithm*, because
+/// the subobject graph can be exponentially larger than the CHG. This
+/// engine therefore carries a subobject budget and reports Overflow when
+/// a hierarchy blows past it; bench_subobject_explosion charts exactly
+/// where that happens.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CORE_SUBOBJECTLOOKUPENGINE_H
+#define MEMLOOK_CORE_SUBOBJECTLOOKUPENGINE_H
+
+#include "memlook/core/LookupEngine.h"
+#include "memlook/subobject/SubobjectGraph.h"
+
+#include <optional>
+#include <unordered_map>
+
+namespace memlook {
+
+/// Reference lookup over the explicit subobject graph.
+class SubobjectLookupEngine : public LookupEngine {
+public:
+  explicit SubobjectLookupEngine(const Hierarchy &H,
+                                 size_t MaxSubobjects = 1u << 20);
+
+  LookupResult lookup(ClassId Context, Symbol Member) override;
+  using LookupEngine::lookup;
+
+  std::string_view engineName() const override {
+    return "rossie-friedman";
+  }
+
+  /// The cached subobject graph for \p Complete (nullptr on overflow).
+  const SubobjectGraph *graphFor(ClassId Complete);
+
+  /// Rossie-Friedman dyn(m, s) (Section 7.1): the run-time lookup for a
+  /// virtual call on subobject \p S of a complete \p Complete object -
+  /// lookup in the context of the *most* derived class.
+  LookupResult dynLookup(ClassId Complete, const SubobjectKey &S,
+                         Symbol Member);
+
+  /// Rossie-Friedman stat(m, s) (Section 7.1): the lookup for a
+  /// non-virtual call on subobject \p S - resolve in the context of
+  /// ldc(S), then re-embed the result into the complete object by key
+  /// composition ([a] o [s] = [a . s]).
+  LookupResult statLookup(ClassId Complete, const SubobjectKey &S,
+                          Symbol Member);
+
+private:
+  size_t MaxSubobjects;
+  std::unordered_map<ClassId, std::optional<SubobjectGraph>> GraphCache;
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_CORE_SUBOBJECTLOOKUPENGINE_H

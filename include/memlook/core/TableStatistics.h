@@ -1,0 +1,63 @@
+//===- memlook/core/TableStatistics.h - Table metrics -----------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregate metrics over a full lookup table - the numbers a compiler
+/// team would look at to understand a codebase's use of multiple
+/// inheritance: how many lookups are ambiguous, how large the blue
+/// abstractions get (the paper's complexity driver), and how far the
+/// subobject count diverges from the class count (the replication the
+/// paper's representation avoids materializing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CORE_TABLESTATISTICS_H
+#define MEMLOOK_CORE_TABLESTATISTICS_H
+
+#include "memlook/core/DominanceLookupEngine.h"
+
+#include <string>
+
+namespace memlook {
+
+/// Aggregates over the (class, member) lookup table.
+struct TableStatistics {
+  uint32_t Classes = 0;
+  uint32_t Edges = 0;
+  uint32_t MemberNames = 0;
+  uint32_t MemberDecls = 0;
+
+  uint64_t Pairs = 0;             ///< |N| x |M|
+  uint64_t UnambiguousPairs = 0;
+  uint64_t AmbiguousPairs = 0;
+  uint64_t NotFoundPairs = 0;
+  uint64_t SharedStaticPairs = 0; ///< unambiguous via Definition 17(2)
+
+  /// Largest blue set in the table, and where it occurs (the paper's
+  /// O(|N|+1) bound per set; large values signal fan-like ambiguity).
+  uint64_t MaxBlueSetSize = 0;
+  ClassId MaxBlueSetClass;
+  Symbol MaxBlueSetMember;
+
+  /// Subobject counts by the closed-form counter (saturating).
+  uint64_t TotalSubobjects = 0;
+  uint64_t MaxSubobjects = 0;
+  ClassId MaxSubobjectsClass;
+};
+
+/// Computes the statistics via the Figure 8 engine (eagerly tabulating
+/// if the engine has not already).
+TableStatistics computeTableStatistics(const Hierarchy &H,
+                                       DominanceLookupEngine &Engine);
+
+/// Renders the statistics as a short human-readable report.
+std::string formatTableStatistics(const Hierarchy &H,
+                                  const TableStatistics &Stats);
+
+} // namespace memlook
+
+#endif // MEMLOOK_CORE_TABLESTATISTICS_H

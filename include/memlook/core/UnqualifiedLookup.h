@@ -1,0 +1,92 @@
+//===- memlook/core/UnqualifiedLookup.h - Scope stack -----------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6's unqualified-name resolution: "essentially the same as the
+/// traditional name lookup process in the presence of nested scopes. The
+/// only complication is that any of these nested scopes may itself be a
+/// class, and the local lookup within a class scope itself reduces to
+/// the member lookup problem addressed in this paper."
+///
+/// The ScopeStack models exactly that: block and namespace scopes hold
+/// plain name sets; class scopes delegate to a member-lookup engine.
+/// Resolution walks innermost to outermost and stops at the first scope
+/// that binds the name. An ambiguous member lookup in a class scope
+/// *stops* the walk (the name is found but ill-formed there), matching
+/// C++'s rule that lookup failure due to ambiguity is not "not found".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CORE_UNQUALIFIEDLOOKUP_H
+#define MEMLOOK_CORE_UNQUALIFIEDLOOKUP_H
+
+#include "memlook/core/LookupEngine.h"
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace memlook {
+
+/// What an unqualified name resolved to.
+struct ResolvedName {
+  enum class Kind : uint8_t {
+    NotFound,   ///< no scope binds the name
+    LocalName,  ///< bound by a block or namespace scope
+    Member,     ///< bound by a class scope; see MemberResult
+  };
+
+  Kind NameKind = Kind::NotFound;
+  /// Index of the binding scope, innermost = highest.
+  size_t ScopeIndex = 0;
+  /// For LocalName: the scope's display name.
+  std::string ScopeName;
+  /// For Member: the full member-lookup result (possibly Ambiguous).
+  std::optional<LookupResult> MemberResult;
+  /// For Member: the class whose scope bound the name.
+  ClassId ClassScope;
+};
+
+/// A stack of nested scopes for unqualified-name resolution.
+class ScopeStack {
+public:
+  explicit ScopeStack(LookupEngine &Engine) : Engine(Engine) {}
+
+  /// Pushes a block or namespace scope with display name \p Name.
+  void pushLexicalScope(std::string Name);
+
+  /// Pushes the scope of class \p Class (e.g. on entering one of its
+  /// member function bodies).
+  void pushClassScope(ClassId Class);
+
+  /// Pops the innermost scope.
+  void popScope();
+
+  /// Declares \p Name in the innermost scope, which must be lexical.
+  void declare(std::string_view Name);
+
+  /// Resolves \p Name innermost-first.
+  ResolvedName resolve(std::string_view Name);
+
+  size_t depth() const { return Scopes.size(); }
+
+private:
+  struct Scope {
+    bool IsClass = false;
+    ClassId Class;                         // class scopes
+    std::string Name;                      // lexical scopes
+    std::unordered_set<std::string> Names; // lexical scopes
+  };
+
+  LookupEngine &Engine;
+  std::vector<Scope> Scopes;
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_CORE_UNQUALIFIEDLOOKUP_H

@@ -1,0 +1,74 @@
+//===- memlook/core/UsingDeclarations.h - using B::m ------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The using-declaration extension. `using B::m;` in class D is, for
+/// name lookup, a declaration of m *in D* - it hides every inherited m,
+/// which is exactly how the hierarchy models it (MemberDecl::UsingFrom).
+/// The lookup algorithms therefore handle using-declarations without a
+/// single change; this is the classic idiom for repairing exactly the
+/// ambiguities the paper's algorithm detects:
+///
+/// \code
+///   struct D : L, R { using L::f; };   // D::f now unambiguous
+/// \endcode
+///
+/// What does need extra work is the *entity* question: which member does
+/// the introduced name denote? That is a member lookup of m in the
+/// context of the named base B - the paper's own machinery again - and
+/// C++ rejects a using-declaration whose target is missing or ambiguous.
+/// This header provides that post-finalize validation and target
+/// resolution (a deliberate echo of how access rights are a post-pass in
+/// Section 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CORE_USINGDECLARATIONS_H
+#define MEMLOOK_CORE_USINGDECLARATIONS_H
+
+#include "memlook/core/LookupEngine.h"
+
+#include <string>
+#include <vector>
+
+namespace memlook {
+
+/// One problem found by validateUsingDeclarations.
+struct UsingIssue {
+  ClassId Class;        ///< the class containing the using-declaration
+  Symbol Member;        ///< the introduced name
+  ClassId NamedBase;    ///< the B in `using B::m;`
+  LookupStatus Status;  ///< NotFound or Ambiguous in B
+  std::string Message;  ///< diagnostic-ready description
+};
+
+/// Checks every using-declaration in \p H: `using B::m;` requires
+/// lookup(B, m) to be unambiguous. Returns all violations (empty =
+/// well-formed). Base-ness of B was already enforced by finalize().
+std::vector<UsingIssue> validateUsingDeclarations(const Hierarchy &H,
+                                                  LookupEngine &Engine);
+
+/// Resolves the entity behind the using-declaration \p Decl (which must
+/// satisfy Decl.isUsingDeclaration()): the lookup of the name in the
+/// context of the named base. The result's witness/subobject are
+/// relative to a complete object of the named base.
+LookupResult resolveUsingTarget(const Hierarchy &H, LookupEngine &Engine,
+                                const MemberDecl &Decl);
+
+/// Follows a chain of using-declarations to the class that declares the
+/// underlying entity: if lookup resolved m to a using-declaration, this
+/// hops `using B::m` links until a non-using declaration is reached.
+/// Returns the invalid id if any hop is missing or ambiguous.
+/// (Class-level only: the subobject-level embedding of a forwarded
+/// entity is intentionally out of scope - C++ resolves the target set in
+/// the deriving class's context, which our name-only model collapses.)
+ClassId ultimateUsingTarget(const Hierarchy &H, LookupEngine &Engine,
+                            ClassId DeclaringClass, Symbol Member);
+
+} // namespace memlook
+
+#endif // MEMLOOK_CORE_USINGDECLARATIONS_H

@@ -1,0 +1,67 @@
+//===- memlook/frontend/CodeResolution.h - code blocks ----------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resolution of the name uses in a `code C { ... }` block - the
+/// end-to-end composition of Section 6's machinery:
+///
+///  * an unqualified use `x;` resolves through the scope stack with C's
+///    class scope active (reducing to member lookup in C);
+///  * a qualified use `B::x;` resolves the naming class B against C
+///    (unambiguous-base check) and then the member within B,
+///    re-embedding the result into the complete C object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_FRONTEND_CODERESOLUTION_H
+#define MEMLOOK_FRONTEND_CODERESOLUTION_H
+
+#include "memlook/core/QualifiedLookup.h"
+#include "memlook/frontend/Parser.h"
+
+#include <string>
+#include <vector>
+
+namespace memlook {
+
+/// Outcome of resolving one name use in a code block.
+struct ResolvedUse {
+  const NameUse *Use = nullptr; ///< points into the ParsedProgram
+
+  enum class Kind : uint8_t {
+    Member,          ///< resolved to an unambiguous member
+    AmbiguousMember, ///< found, but ambiguous (error at the use)
+    UnknownName,     ///< nothing binds the name
+    BadQualifier,    ///< the naming class is unknown, not a base, or an
+                     ///< ambiguous base of the block's class
+  };
+  Kind UseKind = Kind::UnknownName;
+
+  /// For Member: the full lookup result (re-embedded for qualified
+  /// uses); for AmbiguousMember: the ambiguous result.
+  LookupResult Member;
+
+  /// Diagnostic-ready, e.g. "x -> A::x (subobject AB*C)".
+  std::string Description;
+};
+
+/// Resolves every use in \p Block against \p Program's hierarchy using
+/// \p Engine. The block's class must exist (reported as a single
+/// BadQualifier entry otherwise).
+std::vector<ResolvedUse> resolveCodeBlock(const Hierarchy &H,
+                                          LookupEngine &Engine,
+                                          const CodeBlock &Block);
+
+/// Checks a resolution against the use's `=> X` assertion, if any:
+/// a class name expects Member with that defining class, `ambiguous`
+/// expects AmbiguousMember, `error` expects any non-Member outcome.
+/// Returns true when there is no assertion or it holds.
+bool useMatchesExpectation(const Hierarchy &H, const ResolvedUse &Use);
+
+} // namespace memlook
+
+#endif // MEMLOOK_FRONTEND_CODERESOLUTION_H

@@ -1,0 +1,89 @@
+//===- memlook/frontend/Lexer.h - Mini-C++ lexer ----------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for the class-declaration subset of C++ the lookup tool
+/// understands - rich enough to paste the paper's figures in verbatim:
+///
+/// \code
+///   class A { void m(); };
+///   class C : virtual B {};
+///   struct E : C, D {};
+///   lookup E::m;
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_FRONTEND_LEXER_H
+#define MEMLOOK_FRONTEND_LEXER_H
+
+#include "memlook/support/Diagnostics.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memlook {
+
+/// Token kinds of the mini language.
+enum class TokenKind : uint8_t {
+  Identifier,
+  KwClass,
+  KwStruct,
+  KwVirtual,
+  KwStatic,
+  KwPublic,
+  KwProtected,
+  KwPrivate,
+  KwLookup,   ///< the tool's query directive
+  KwExpect,   ///< the tool's assertion directive
+  KwUsing,    ///< using-declarations in class bodies
+  KwCode,     ///< member-function-body blocks (name-use resolution)
+  LBrace,     ///< {
+  RBrace,     ///< }
+  LParen,     ///< (
+  RParen,     ///< )
+  Colon,      ///< :
+  Equals,     ///< =
+  Arrow,      ///< =>
+  ColonColon, ///< ::
+  Comma,      ///< ,
+  Semicolon,  ///< ;
+  EndOfFile,
+  Invalid,
+};
+
+/// Returns a human-readable token-kind name for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::Invalid;
+  std::string_view Text; ///< points into the lexer's source buffer
+  SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Lexes the whole buffer up front; '//' and '/*...*/' comments are
+/// skipped. Unknown characters produce a diagnostic and an Invalid token.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// All tokens, ending with EndOfFile.
+  const std::vector<Token> &tokens() const { return Tokens; }
+
+private:
+  void lexAll(std::string_view Source, DiagnosticEngine &Diags);
+
+  std::vector<Token> Tokens;
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_FRONTEND_LEXER_H

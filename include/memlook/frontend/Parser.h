@@ -1,0 +1,109 @@
+//===- memlook/frontend/Parser.h - Mini-C++ parser --------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the class-declaration subset. The grammar (informally):
+///
+/// \code
+///   program     := (class-def | lookup-stmt)*
+///   class-def   := ('class'|'struct') IDENT [':' base-list]
+///                  '{' member* '}' ';'
+///   base-list   := base-spec (',' base-spec)*
+///   base-spec   := ('virtual' | access-spec)* IDENT
+///   member      := access-spec ':'                     // access label
+///                | 'using' IDENT '::' IDENT ';'        // using-decl
+///                | ['static'] ['virtual'] IDENT [IDENT] ['(' ')'] ';'
+///   lookup-stmt := 'lookup' IDENT '::' IDENT ';'
+///                | 'expect' IDENT '::' IDENT '=' IDENT ';'
+///   code-block  := 'code' IDENT '{' name-use* '}' [';']
+///   name-use    := use-expr ['=>' IDENT] ';'
+///   use-expr    := IDENT | IDENT '::' IDENT
+/// \endcode
+///
+/// `expect` is `lookup` plus an assertion on the outcome, turning a
+/// .mlk file into a self-checking test vector (see tests/corpus/).
+///
+/// In a member declaration with two identifiers the first is a type name
+/// and ignored (so `void m();` works verbatim); with one identifier it
+/// is the member name (`m;`). Default member access is private in a
+/// `class` and public in a `struct`; default base access likewise,
+/// matching C++.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_FRONTEND_PARSER_H
+#define MEMLOOK_FRONTEND_PARSER_H
+
+#include "memlook/chg/Hierarchy.h"
+#include "memlook/frontend/Lexer.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace memlook {
+
+/// The asserted outcome of an `expect` directive.
+struct LookupExpectation {
+  enum class Kind : uint8_t {
+    ResolvesTo, ///< expect C::m = D;
+    Ambiguous,  ///< expect C::m = ambiguous;
+    NotFound,   ///< expect C::m = notfound;
+  };
+  Kind ExpectKind = Kind::ResolvesTo;
+  std::string DefiningClass; ///< ResolvesTo only
+};
+
+/// A `lookup C::m;` or `expect C::m = ...;` directive. The spellings
+/// `ambiguous` and `notfound` are contextual on the right-hand side of
+/// an expect; any other identifier names the expected defining class.
+struct LookupDirective {
+  std::string ClassName;
+  std::string MemberName;
+  SourceLoc Loc;
+  std::optional<LookupExpectation> Expectation;
+};
+
+/// One name use inside a `code` block: `x;` (unqualified) or `B::x;`
+/// (qualified by a naming class).
+struct NameUse {
+  std::string Qualifier; ///< empty for an unqualified use
+  std::string Name;
+  SourceLoc Loc;
+  /// Optional assertion: `x => A;` expects resolution in class A;
+  /// `x => ambiguous;` and `x => error;` expect those outcomes
+  /// (contextual spellings). Empty = no assertion.
+  std::string Expected;
+};
+
+/// A `code C { x; B::y; ... }` block: a stand-in for a member-function
+/// body of class C, holding the member-access expressions whose names
+/// the Section 6 machinery must resolve (unqualified names through the
+/// scope stack, qualified ones through the naming-class rules).
+struct CodeBlock {
+  std::string ClassName;
+  std::vector<NameUse> Uses;
+  SourceLoc Loc;
+};
+
+/// A successfully parsed program: a finalized hierarchy plus the lookup
+/// directives and code blocks to run against it.
+struct ParsedProgram {
+  Hierarchy H;
+  std::vector<LookupDirective> Lookups;
+  std::vector<CodeBlock> CodeBlocks;
+};
+
+/// Parses \p Source. Returns std::nullopt (with diagnostics in \p Diags)
+/// on any error; the parser recovers within class bodies so that several
+/// errors can be reported per run.
+std::optional<ParsedProgram> parseProgram(std::string_view Source,
+                                          DiagnosticEngine &Diags);
+
+} // namespace memlook
+
+#endif // MEMLOOK_FRONTEND_PARSER_H

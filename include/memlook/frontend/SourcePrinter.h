@@ -1,0 +1,35 @@
+//===- memlook/frontend/SourcePrinter.h - Hierarchy -> source ---*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-prints a Hierarchy back into the mini-language, such that
+/// parseProgram() reproduces an equivalent hierarchy (same classes,
+/// edges, edge kinds and accesses, member names and flags). The
+/// mini-language is thereby the library's serialization format:
+/// generated workloads can be exported, inspected, shrunk by hand, and
+/// replayed through lookup_tool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_FRONTEND_SOURCEPRINTER_H
+#define MEMLOOK_FRONTEND_SOURCEPRINTER_H
+
+#include "memlook/chg/Hierarchy.h"
+
+#include <ostream>
+
+namespace memlook {
+
+/// Writes \p H as parseable mini-language source: one `struct` per class
+/// in topological order (so every base is defined before use), explicit
+/// access specifiers on bases and member labels, `virtual`/`static`
+/// flags preserved.
+void printHierarchySource(const Hierarchy &H, std::ostream &OS);
+
+} // namespace memlook
+
+#endif // MEMLOOK_FRONTEND_SOURCEPRINTER_H

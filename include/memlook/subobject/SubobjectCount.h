@@ -1,0 +1,60 @@
+//===- memlook/subobject/SubobjectCount.h - Counting ------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closed-form counting over the CHG, without materializing anything:
+///
+///  * countPaths(H, From, To): the number of CHG paths between two
+///    classes - the quantity whose potential exponential growth makes
+///    the Rossie-Friedman representation expensive;
+///  * countSubobjects(H, C): the number of subobjects of a complete C
+///    object, i.e. |{ [a] : mdc(a) = C }|. By Definition 3 a subobject
+///    is named by its virtual-free fixed path plus mdc, so the count is
+///    the number of virtual-free paths ending at C or at any virtual
+///    base of C - a linear-time dynamic program over the topological
+///    order.
+///
+/// Both saturate at UINT64_MAX instead of overflowing, so they remain
+/// meaningful on hierarchies whose subobject graphs could never be
+/// built (the explosion benchmark charts predicted vs materialized
+/// counts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SUBOBJECT_SUBOBJECTCOUNT_H
+#define MEMLOOK_SUBOBJECT_SUBOBJECTCOUNT_H
+
+#include "memlook/chg/Hierarchy.h"
+
+#include <cstdint>
+
+namespace memlook {
+
+/// Saturating addition at UINT64_MAX.
+inline uint64_t saturatingAdd(uint64_t A, uint64_t B) {
+  uint64_t Sum = A + B;
+  return Sum < A ? UINT64_MAX : Sum;
+}
+
+/// Number of CHG paths from \p From to \p To (1 for From == To: the
+/// trivial path), saturating.
+uint64_t countPaths(const Hierarchy &H, ClassId From, ClassId To);
+
+/// Number of subobjects of a complete object of class \p C, saturating.
+/// Agrees with SubobjectGraph::build(...)->numSubobjects() whenever the
+/// graph fits in memory.
+uint64_t countSubobjects(const Hierarchy &H, ClassId C);
+
+/// Number of subobjects of class \p Ldc within a complete object of
+/// class \p C (the "two A subobjects of an E object" count of Figures 1
+/// and 2), saturating. Zero means Ldc is not C or a base of C; one means
+/// the standard conversion C* -> Ldc* is unambiguous.
+uint64_t countSubobjectsWithLdc(const Hierarchy &H, ClassId C, ClassId Ldc);
+
+} // namespace memlook
+
+#endif // MEMLOOK_SUBOBJECT_SUBOBJECTCOUNT_H

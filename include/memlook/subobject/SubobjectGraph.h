@@ -1,0 +1,135 @@
+//===- memlook/subobject/SubobjectGraph.h - R-F subobjects ------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Rossie-Friedman subobject graph [9], which the paper uses as the
+/// semantic reference: the collection of subobjects that constitute an
+/// instance of a class C is { [a] in Psi(G) | mdc(a) = C }, and subobject
+/// containment is the order that Theorem 1 proves isomorphic to the
+/// paper's dominance relation on ~-equivalence classes.
+///
+/// The graph is materialized explicitly here - including its potential
+/// exponential blowup under non-virtual inheritance, which is exactly the
+/// cost the paper's CHG-based algorithm avoids. Construction is therefore
+/// guarded by a configurable subobject budget; reference engines and the
+/// explosion benchmark (bench_subobject_explosion) exercise both sides of
+/// the budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SUBOBJECT_SUBOBJECTGRAPH_H
+#define MEMLOOK_SUBOBJECT_SUBOBJECTGRAPH_H
+
+#include "memlook/chg/Path.h"
+#include "memlook/support/BitVector.h"
+
+#include <optional>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+namespace memlook {
+
+struct SubobjectTag {};
+
+/// Dense id of a subobject within one SubobjectGraph.
+using SubobjectId = StrongId<SubobjectTag>;
+
+/// The subobject graph of one complete object type.
+class SubobjectGraph {
+public:
+  /// One subobject: a ~-equivalence class of CHG paths.
+  struct Subobject {
+    /// Canonical name of the equivalence class (fixed part + mdc).
+    SubobjectKey Key;
+    /// A representative member of the class: the path by which the
+    /// subobject was first discovered. Useful for printing and for
+    /// engines that must return full path information.
+    Path Repr;
+    /// Direct base subobjects: for ldc(Key) = A with direct base X, the
+    /// X-subobject [(X->A) . Repr].
+    std::vector<SubobjectId> DirectBases;
+  };
+
+  /// Builds the subobject graph of a complete object of class \p Complete.
+  /// Returns std::nullopt if more than \p MaxSubobjects subobjects exist
+  /// (the exponential case); otherwise the fully materialized graph.
+  static std::optional<SubobjectGraph> build(const Hierarchy &H,
+                                             ClassId Complete,
+                                             size_t MaxSubobjects = 1u << 20);
+
+  const Hierarchy &hierarchy() const { return H; }
+
+  /// The complete-object class C.
+  ClassId completeClass() const { return Complete; }
+
+  /// The subobject corresponding to the trivial path <C>.
+  SubobjectId root() const { return SubobjectId(0); }
+
+  uint32_t numSubobjects() const {
+    return static_cast<uint32_t>(Subobjects.size());
+  }
+
+  const Subobject &subobject(SubobjectId Id) const {
+    assert(Id.isValid() && Id.index() < Subobjects.size() && "bad id");
+    return Subobjects[Id.index()];
+  }
+
+  /// Finds the subobject with canonical key \p Key, if it exists.
+  SubobjectId find(const SubobjectKey &Key) const;
+
+  /// True iff \p Inner is a (transitive or equal) base subobject of
+  /// \p Outer - the Rossie-Friedman containment order, and by Theorem 1
+  /// exactly "Outer dominates Inner".
+  bool contains(SubobjectId Outer, SubobjectId Inner) const;
+
+  /// The set of subobjects contained in \p Outer (including itself) as a
+  /// bit vector indexed by subobject index. Computed by DFS per call.
+  BitVector reachableFrom(SubobjectId Outer) const;
+
+  /// Defns(C, m) (Definition 7): every subobject whose ldc directly
+  /// declares \p Member, in discovery (BFS) order.
+  std::vector<SubobjectId> definingSubobjects(Symbol Member) const;
+
+  /// Number of subobjects whose ldc is \p Class - e.g. the two A
+  /// subobjects of an E object in Figure 1 versus the single one in
+  /// Figure 2.
+  uint32_t countWithLdc(ClassId Class) const;
+
+  /// Writes the subobject graph as DOT (Figures 1(c), 2(c) style):
+  /// each node labeled with its canonical key, dashed edges where the
+  /// containment step crosses a virtual inheritance edge.
+  void writeDot(std::ostream &OS, std::string_view GraphName = "sog") const;
+
+private:
+  SubobjectGraph(const Hierarchy &H, ClassId Complete)
+      : H(H), Complete(Complete) {}
+
+  const Hierarchy &H;
+  ClassId Complete;
+  std::vector<Subobject> Subobjects;
+  std::unordered_map<SubobjectKey, SubobjectId, SubobjectKeyHash> Index;
+};
+
+/// Composes subobject keys (Section 7.1): for [a] a subobject of an
+/// L-object and [s] an L-subobject of a C-object (ldc(s) = L = mdc(a)),
+/// returns the key of [a . s], a subobject of the C-object.
+SubobjectKey composeSubobjectKeys(const SubobjectKey &A,
+                                  const SubobjectKey &S);
+
+/// Structural check of Theorem 1 for complete objects of class \p C: the
+/// poset of ~-equivalence classes of CHG paths under `dominates` (Path.h)
+/// must be isomorphic to the subobject containment poset. Returns an
+/// explanatory message on the first violation, or std::nullopt when the
+/// posets agree. \p MaxPaths bounds the path enumeration; hierarchies
+/// exceeding it are skipped (returns std::nullopt).
+std::optional<std::string> checkTheorem1(const Hierarchy &H, ClassId C,
+                                         size_t MaxPaths = 1u << 16);
+
+} // namespace memlook
+
+#endif // MEMLOOK_SUBOBJECT_SUBOBJECTGRAPH_H

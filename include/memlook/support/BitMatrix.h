@@ -1,0 +1,71 @@
+//===- memlook/support/BitMatrix.h - Dense boolean matrix -------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense NxM boolean matrix stored as packed rows. The paper's Lemma 4
+/// dominance test needs a constant-time "is X a virtual base of Y" query;
+/// the matrix provides it after an O(|N|*(|N|+|E|)) closure construction
+/// (which the paper notes a compiler computes anyway).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SUPPORT_BITMATRIX_H
+#define MEMLOOK_SUPPORT_BITMATRIX_H
+
+#include "memlook/support/BitVector.h"
+
+#include <cassert>
+#include <vector>
+
+namespace memlook {
+
+/// Dense boolean matrix with packed rows and row-parallel union.
+class BitMatrix {
+public:
+  BitMatrix() = default;
+
+  /// Creates a \p Rows x \p Cols matrix, all clear.
+  BitMatrix(size_t Rows, size_t Cols)
+      : RowData(Rows, BitVector(Cols)), NumCols(Cols) {}
+
+  size_t rows() const { return RowData.size(); }
+  size_t cols() const { return NumCols; }
+
+  bool test(size_t Row, size_t Col) const {
+    assert(Row < RowData.size() && "row out of range");
+    return RowData[Row].test(Col);
+  }
+
+  void set(size_t Row, size_t Col) {
+    assert(Row < RowData.size() && "row out of range");
+    RowData[Row].set(Col);
+  }
+
+  /// Unions row \p Src into row \p Dst (Dst |= Src).
+  void unionRows(size_t Dst, size_t Src) {
+    assert(Dst < RowData.size() && Src < RowData.size() && "row out of range");
+    RowData[Dst] |= RowData[Src];
+  }
+
+  const BitVector &row(size_t Row) const {
+    assert(Row < RowData.size() && "row out of range");
+    return RowData[Row];
+  }
+
+  BitVector &row(size_t Row) {
+    assert(Row < RowData.size() && "row out of range");
+    return RowData[Row];
+  }
+
+private:
+  std::vector<BitVector> RowData;
+  size_t NumCols = 0;
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_SUPPORT_BITMATRIX_H

@@ -1,0 +1,90 @@
+//===- memlook/support/Diagnostics.h - Diagnostics --------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and a collecting diagnostic engine. The library does
+/// not use exceptions; the front end and the hierarchy validator report
+/// user-input problems through Diagnostic records instead, in the LLVM
+/// message style (lowercase first word, no trailing period).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SUPPORT_DIAGNOSTICS_H
+#define MEMLOOK_SUPPORT_DIAGNOSTICS_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace memlook {
+
+/// A 1-based line/column position in an input buffer. Line 0 means
+/// "no location" (e.g. diagnostics from the programmatic builder API).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+/// Severity of a diagnostic.
+enum class Severity { Note, Warning, Error };
+
+/// Returns a human-readable label for \p S ("note", "warning", "error").
+const char *severityLabel(Severity S);
+
+/// One reported problem.
+struct Diagnostic {
+  Severity Level = Severity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics; consumers query hasErrors() and render at the end.
+class DiagnosticEngine {
+public:
+  /// Appends a diagnostic of severity \p Level at \p Loc.
+  void report(Severity Level, SourceLoc Loc, std::string Message);
+
+  /// Appends an error with no source location.
+  void error(std::string Message) {
+    report(Severity::Error, SourceLoc(), std::move(Message));
+  }
+
+  /// Appends an error at \p Loc.
+  void error(SourceLoc Loc, std::string Message) {
+    report(Severity::Error, Loc, std::move(Message));
+  }
+
+  /// Appends a warning at \p Loc.
+  void warning(SourceLoc Loc, std::string Message) {
+    report(Severity::Warning, Loc, std::move(Message));
+  }
+
+  /// True iff at least one error was reported.
+  bool hasErrors() const { return NumErrors != 0; }
+
+  /// Number of errors reported so far.
+  unsigned errorCount() const { return NumErrors; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "<name>:<line>:<col>: <sev>: <msg>" lines.
+  void print(std::ostream &OS, const std::string &InputName) const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_SUPPORT_DIAGNOSTICS_H

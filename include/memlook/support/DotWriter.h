@@ -1,0 +1,57 @@
+//===- memlook/support/DotWriter.h - Graphviz emission ----------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal Graphviz DOT writer used to render class hierarchy graphs
+/// (Figures 1(b), 2(b), 3) and subobject graphs (Figures 1(c), 2(c)) in
+/// the paper's visual convention: solid edges for non-virtual inheritance
+/// and dashed edges for virtual inheritance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SUPPORT_DOTWRITER_H
+#define MEMLOOK_SUPPORT_DOTWRITER_H
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace memlook {
+
+/// Streams a DOT digraph. Nodes and edges are emitted in call order, so
+/// callers control determinism.
+class DotWriter {
+public:
+  /// Begins a digraph named \p GraphName on \p OS.
+  DotWriter(std::ostream &OS, std::string_view GraphName);
+
+  /// Closes the digraph. Emitting after destruction is invalid.
+  ~DotWriter();
+
+  DotWriter(const DotWriter &) = delete;
+  DotWriter &operator=(const DotWriter &) = delete;
+
+  /// Emits node \p Id with display \p Label and optional extra attributes
+  /// (raw DOT attribute text such as "shape=box").
+  void node(std::string_view Id, std::string_view Label,
+            std::string_view ExtraAttrs = {});
+
+  /// Emits an edge From -> To; \p Dashed renders the paper's virtual-edge
+  /// style.
+  void edge(std::string_view From, std::string_view To, bool Dashed = false,
+            std::string_view Label = {});
+
+  /// Escapes \p Text for use inside a double-quoted DOT string.
+  static std::string escape(std::string_view Text);
+
+private:
+  std::ostream &OS;
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_SUPPORT_DOTWRITER_H

@@ -1,0 +1,79 @@
+//===- memlook/support/StrongId.h - Strongly typed indices ------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines StrongId, a tiny strongly-typed wrapper around a dense 32-bit
+/// index. Classes, members, and interned strings are all identified by
+/// dense indices into arenas; wrapping them in distinct types prevents the
+/// classic bug of passing a member index where a class index is expected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SUPPORT_STRONGID_H
+#define MEMLOOK_SUPPORT_STRONGID_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace memlook {
+
+/// A strongly-typed dense index.
+///
+/// \tparam Tag an empty tag type that distinguishes unrelated id spaces.
+/// The default-constructed value is the invalid sentinel; ids obtained
+/// from arenas are always valid.
+template <typename Tag> class StrongId {
+public:
+  using ValueType = uint32_t;
+
+  /// The invalid sentinel value.
+  static constexpr ValueType InvalidValue =
+      std::numeric_limits<ValueType>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(ValueType Value) : Value(Value) {}
+
+  /// Returns true if this id refers to an arena element.
+  constexpr bool isValid() const { return Value != InvalidValue; }
+
+  /// Returns the underlying index. The id must be valid.
+  constexpr ValueType index() const {
+    assert(isValid() && "querying index of invalid id");
+    return Value;
+  }
+
+  /// Returns the underlying raw value, valid or not.
+  constexpr ValueType rawValue() const { return Value; }
+
+  friend constexpr bool operator==(StrongId A, StrongId B) {
+    return A.Value == B.Value;
+  }
+  friend constexpr bool operator!=(StrongId A, StrongId B) {
+    return A.Value != B.Value;
+  }
+  /// Orders ids by index; useful for deterministic iteration of id sets.
+  friend constexpr bool operator<(StrongId A, StrongId B) {
+    return A.Value < B.Value;
+  }
+
+private:
+  ValueType Value = InvalidValue;
+};
+
+} // namespace memlook
+
+namespace std {
+template <typename Tag> struct hash<memlook::StrongId<Tag>> {
+  size_t operator()(memlook::StrongId<Tag> Id) const noexcept {
+    return std::hash<uint32_t>()(Id.rawValue());
+  }
+};
+} // namespace std
+
+#endif // MEMLOOK_SUPPORT_STRONGID_H

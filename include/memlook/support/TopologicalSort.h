@@ -1,0 +1,50 @@
+//===- memlook/support/TopologicalSort.h - DAG ordering ---------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Kahn's-algorithm topological sort over adjacency lists of dense node
+/// indices. The Figure 8 lookup algorithm visits classes so that every
+/// base class is processed before its derived classes; this utility
+/// produces that order and detects inheritance cycles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SUPPORT_TOPOLOGICALSORT_H
+#define MEMLOOK_SUPPORT_TOPOLOGICALSORT_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace memlook {
+
+/// Result of a topological sort attempt.
+struct TopologicalSortResult {
+  /// Node indices in topological order (edge sources before targets).
+  /// Empty when the graph is cyclic.
+  std::vector<uint32_t> Order;
+
+  /// True iff the graph was acyclic and Order is a valid ordering.
+  bool IsAcyclic = false;
+
+  /// When cyclic, one node that participates in a cycle (for diagnostics).
+  std::optional<uint32_t> CycleWitness;
+};
+
+/// Topologically sorts the graph with \p NumNodes nodes and \p Successors
+/// adjacency lists (Successors[N] are the targets of edges out of N).
+///
+/// Ties are broken by node index so that the returned order is
+/// deterministic; this keeps every downstream table and diagnostic stable
+/// across runs.
+TopologicalSortResult
+topologicalSort(uint32_t NumNodes,
+                const std::vector<std::vector<uint32_t>> &Successors);
+
+} // namespace memlook
+
+#endif // MEMLOOK_SUPPORT_TOPOLOGICALSORT_H

@@ -1,0 +1,129 @@
+//===- memlook/workload/Generators.h - Hierarchy generators -----*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Workload generators for the tests and benchmarks: the structured
+/// hierarchy families the paper's complexity discussion distinguishes,
+/// plus seeded random hierarchies for differential property testing.
+///
+/// Structured families:
+///  * chain          - single-inheritance spine; the easy case.
+///  * nvDiamondStack - k stacked *non-virtual* diamonds: the subobject
+///    graph has Theta(2^k) subobjects while the CHG has 3k+1 nodes.
+///    This is the paper's exponential-separation scenario (Section 7.1).
+///  * vDiamondStack  - the same shape with virtual inheritance: one
+///    shared subobject per class, all lookups unambiguous.
+///  * grid           - the Figure 3 shape tiled: multiple inheritance
+///    with merge points, ambiguity-free if only the root declares.
+///  * wideForest     - many shallow independent trees, approximating the
+///    "class hierarchies that arise in practice" the paper refers to.
+///
+/// All generators declare members so that every family exercises both
+/// resolved and (where requested) ambiguous lookups.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_WORKLOAD_GENERATORS_H
+#define MEMLOOK_WORKLOAD_GENERATORS_H
+
+#include "memlook/chg/Hierarchy.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memlook {
+
+/// A generated workload: the hierarchy plus the classes/members worth
+/// querying.
+struct Workload {
+  Hierarchy H;
+  /// Deepest / most-derived classes - natural lookup contexts.
+  std::vector<ClassId> QueryClasses;
+  /// Member names declared somewhere in the hierarchy.
+  std::vector<Symbol> QueryMembers;
+};
+
+/// Single-inheritance chain of \p Length classes C0 <- C1 <- ... with a
+/// member "m" declared every \p DeclareEvery classes (>=1).
+Workload makeChain(uint32_t Length, uint32_t DeclareEvery = 1);
+
+/// \p Diamonds stacked diamonds using non-virtual inheritance. The apex
+/// declares "m"; when \p RedeclareAtJoins each join class redeclares it
+/// (keeping lookups unambiguous); otherwise lookups of "m" above the
+/// first diamond are ambiguous. Subobject count of the top class grows
+/// as 2^Diamonds.
+Workload makeNonVirtualDiamondStack(uint32_t Diamonds,
+                                    bool RedeclareAtJoins = false);
+
+/// Same shape with virtual inheritance: subobject count stays linear and
+/// every lookup is unambiguous.
+Workload makeVirtualDiamondStack(uint32_t Diamonds,
+                                 bool RedeclareAtJoins = false);
+
+/// A \p Rows x \p Cols grid: class (r,c) inherits (r-1,c) and (r,c-1).
+/// Class (0,0) declares "m". Every edge non-virtual; lookups stay
+/// unambiguous only for Rows==1 or Cols==1, so the grid doubles as an
+/// ambiguity-rich family. When \p Virtual, row-edges are virtual, which
+/// collapses replication.
+Workload makeGrid(uint32_t Rows, uint32_t Cols, bool Virtual = false);
+
+/// The adversarial family for the paper's quadratic worst case: \p Arms
+/// root classes R_i all declaring "m", lifted through virtual edges
+/// (M_i : virtual R_i) and joined one at a time along a spine
+/// (C_i : C_(i-1), M_(i+1)). Every spine class accumulates a blue set
+/// with one more distinct leastVirtual value, so the Figure 8 pass moves
+/// Theta(Arms^2) blue elements across Theta(Arms) classes - the
+/// O(|N| * (|N|+|E|)) regime, unreachable by families whose blue sets
+/// stay small.
+Workload makeAmbiguityFan(uint32_t Arms);
+
+/// \p Trees independent trees of fan-out \p Fanout and depth \p Depth
+/// (single inheritance inside each tree), each root declaring \p
+/// MembersPerRoot members; models practice-like shallow forests.
+Workload makeWideForest(uint32_t Trees, uint32_t Fanout, uint32_t Depth,
+                        uint32_t MembersPerRoot = 4);
+
+/// Parameters of the random-hierarchy generator.
+struct RandomHierarchyParams {
+  uint32_t NumClasses = 32;
+  /// Expected number of direct bases per class (bounded by available
+  /// earlier classes).
+  double AvgBases = 1.6;
+  /// Probability that an inheritance edge is virtual.
+  double VirtualEdgeChance = 0.3;
+  /// Pool of member names to draw from.
+  uint32_t MemberPool = 6;
+  /// Probability that a class declares any given pool member.
+  double DeclareChance = 0.25;
+  /// Probability that a declared member is static.
+  double StaticChance = 0.15;
+  /// Probability that a declared member is virtual (functions).
+  double VirtualMemberChance = 0.3;
+  /// Probability that an edge is non-public (split between protected
+  /// and private).
+  double RestrictedEdgeChance = 0.2;
+  /// Probability that a class adds a using-declaration re-exporting a
+  /// pool member from one of its direct bases.
+  double UsingChance = 0.0;
+};
+
+/// Seeded random DAG hierarchy; deterministic for a given (Params, Seed).
+/// Edges always point from earlier-created to later-created classes, so
+/// the result is guaranteed acyclic.
+Workload makeRandomHierarchy(const RandomHierarchyParams &Params,
+                             uint64_t Seed);
+
+/// An iostream-like realistic hierarchy (the classic virtual-base
+/// diamond: ios_base <- basic_ios <=v= istream/ostream <- iostream <-
+/// fstream/stringstream), with plausible members. Used by the
+/// iostream_hierarchy example and the practice-shaped benchmarks.
+Workload makeIostreamLike();
+
+} // namespace memlook
+
+#endif // MEMLOOK_WORKLOAD_GENERATORS_H

@@ -1,0 +1,78 @@
+//===- HierarchySlicer.cpp - Class hierarchy slicing ------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/apps/HierarchySlicer.h"
+
+#include "memlook/support/BitVector.h"
+
+#include <unordered_set>
+
+using namespace memlook;
+
+SliceResult memlook::sliceHierarchy(const Hierarchy &H,
+                                    const std::vector<LookupQuery> &Queries) {
+  assert(H.isFinalized() && "slicing requires finalize()");
+
+  // Keep every queried context and all of its bases.
+  BitVector Keep(H.numClasses());
+  std::unordered_set<Symbol> KeepMembers;
+  for (const LookupQuery &Q : Queries) {
+    Keep.set(Q.Class.index());
+    Keep |= H.basesOf(Q.Class);
+    KeepMembers.insert(Q.Member);
+  }
+
+  SliceResult Result;
+  Result.OriginalClassCount = H.numClasses();
+  Result.OriginalMemberDecls = H.numMemberDecls();
+
+  // Rebuild in topological order so every base exists before use.
+  Hierarchy Sliced;
+  for (ClassId Old : H.topologicalOrder()) {
+    if (!Keep.test(Old.index()))
+      continue;
+    ClassId New = Sliced.createClass(H.className(Old), H.info(Old).Loc);
+    assert(New.isValid() && "duplicate class while slicing");
+
+    for (const BaseSpecifier &Spec : H.info(Old).DirectBases) {
+      // Every base of a kept class is kept (down-closure), so it is
+      // already recreated.
+      ClassId NewBase = Sliced.findClass(H.className(Spec.Base));
+      assert(NewBase.isValid() && "slice dropped a base of a kept class");
+      Sliced.addBase(New, NewBase, Spec.Kind, Spec.Access, Spec.Loc);
+    }
+
+    uint32_t KeptDecls = 0;
+    for (const MemberDecl &Member : H.info(Old).Members) {
+      if (!KeepMembers.count(Member.Name))
+        continue;
+      if (Member.isUsingDeclaration()) {
+        // The named base is a base of a kept class, hence kept itself.
+        ClassId NewFrom = Sliced.findClass(H.className(Member.UsingFrom));
+        assert(NewFrom.isValid() && "slice dropped a using-decl base");
+        Sliced.addUsingDeclaration(New, NewFrom, H.spelling(Member.Name),
+                                   Member.Access, Member.Loc);
+      } else {
+        Sliced.addMember(New, H.spelling(Member.Name), Member.IsStatic,
+                         Member.IsVirtual, Member.Access, Member.Loc);
+      }
+      ++KeptDecls;
+    }
+    Result.SlicedMemberDecls += KeptDecls;
+  }
+
+  DiagnosticEngine Diags;
+  bool Ok = Sliced.finalize(Diags);
+  (void)Ok;
+  assert(Ok && "slice of an acyclic hierarchy cannot be cyclic");
+
+  for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx)
+    if (Keep.test(Idx))
+      Result.KeptClasses.push_back(std::string(H.className(ClassId(Idx))));
+  Result.Sliced = std::move(Sliced);
+  return Result;
+}

@@ -1,0 +1,124 @@
+//===- ObjectLayout.cpp - Object layout ------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/apps/ObjectLayout.h"
+
+using namespace memlook;
+
+namespace {
+
+constexpr uint64_t MemberSize = 8;
+constexpr uint64_t VptrSize = 8;
+
+/// Recursive placement of non-virtual parts.
+class LayoutBuilder {
+public:
+  LayoutBuilder(const Hierarchy &H, ObjectLayout &Out) : H(H), Out(Out) {}
+
+  /// Places the non-virtual part of the class at the front of
+  /// \p FixedSoFar (the fixed path identifying this subobject, ldc
+  /// first) at \p Offset; returns the size consumed.
+  uint64_t placeNonVirtualPart(std::vector<ClassId> FixedPath,
+                               uint64_t Offset) {
+    ClassId Class = FixedPath.front();
+    Out.SubobjectOffsets.push_back(
+        {SubobjectKey{FixedPath, Out.Complete}, Offset});
+
+    uint64_t Cursor = Offset;
+    if (classNeedsVptr(Class))
+      Cursor += VptrSize;
+
+    for (const BaseSpecifier &Spec : H.info(Class).DirectBases) {
+      if (Spec.Kind == InheritanceKind::Virtual)
+        continue; // virtual bases are placed once, at the tail
+      std::vector<ClassId> BasePath;
+      BasePath.reserve(FixedPath.size() + 1);
+      BasePath.push_back(Spec.Base);
+      BasePath.insert(BasePath.end(), FixedPath.begin(), FixedPath.end());
+      Cursor += placeNonVirtualPart(std::move(BasePath), Cursor);
+    }
+
+    uint64_t MembersStart = Cursor - Offset;
+    uint64_t Index = 0;
+    for (const MemberDecl &Member : H.info(Class).Members) {
+      if (Member.IsStatic)
+        continue; // statics live outside the object
+      Out.MemberOffsetInClass.emplace(
+          ObjectLayout::memberKey(Class, Member.Name),
+          MembersStart + Index * MemberSize);
+      ++Index;
+    }
+    Cursor += Index * MemberSize;
+
+    // Empty parts still take a byte in C++; round up to the member
+    // granularity to keep offsets simple.
+    if (Cursor == Offset)
+      Cursor += MemberSize;
+    return Cursor - Offset;
+  }
+
+private:
+  bool classNeedsVptr(ClassId Class) const {
+    for (const MemberDecl &Member : H.info(Class).Members)
+      if (Member.IsVirtual)
+        return true;
+    return false;
+  }
+
+  const Hierarchy &H;
+  ObjectLayout &Out;
+};
+
+} // namespace
+
+ObjectLayout memlook::computeObjectLayout(const Hierarchy &H,
+                                          ClassId Complete) {
+  assert(H.isFinalized() && "layout requires finalize()");
+  ObjectLayout Out;
+  Out.Complete = Complete;
+
+  LayoutBuilder Builder(H, Out);
+  uint64_t Cursor = Builder.placeNonVirtualPart({Complete}, 0);
+
+  // Virtual bases: exactly once each, topological order (bases of bases
+  // first, the order construction would run).
+  for (ClassId VBase : H.topologicalOrder()) {
+    if (!H.isVirtualBaseOf(VBase, Complete))
+      continue;
+    Cursor += Builder.placeNonVirtualPart({VBase}, Cursor);
+  }
+
+  Out.Size = Cursor;
+  return Out;
+}
+
+std::optional<uint64_t>
+ObjectLayout::subobjectOffset(const SubobjectKey &Key) const {
+  for (const auto &[K, Offset] : SubobjectOffsets)
+    if (K == Key)
+      return Offset;
+  return std::nullopt;
+}
+
+std::optional<uint64_t> ObjectLayout::memberOffset(const Hierarchy &H,
+                                                   const LookupResult &R,
+                                                   Symbol Member) const {
+  if (R.Status != LookupStatus::Unambiguous || !R.Subobject)
+    return std::nullopt;
+
+  const MemberDecl *Decl = H.declaredMember(R.DefiningClass, Member);
+  if (!Decl || Decl->IsStatic)
+    return std::nullopt; // statics have no in-object offset
+
+  std::optional<uint64_t> Base = subobjectOffset(*R.Subobject);
+  if (!Base)
+    return std::nullopt;
+  auto It = MemberOffsetInClass.find(memberKey(R.DefiningClass, Member));
+  if (It == MemberOffsetInClass.end())
+    return std::nullopt;
+  return *Base + It->second;
+}

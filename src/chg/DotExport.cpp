@@ -1,0 +1,42 @@
+//===- DotExport.cpp - CHG Graphviz export ---------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/chg/DotExport.h"
+
+#include "memlook/support/DotWriter.h"
+
+#include <string>
+
+using namespace memlook;
+
+void memlook::writeHierarchyDot(const Hierarchy &H, std::ostream &OS,
+                                std::string_view GraphName) {
+  DotWriter Writer(OS, GraphName);
+
+  for (uint32_t Idx = 0, N = H.numClasses(); Idx != N; ++Idx) {
+    ClassId Id(Idx);
+    const Hierarchy::ClassInfo &Info = H.info(Id);
+
+    std::string Label(H.className(Id));
+    for (const MemberDecl &Member : Info.Members) {
+      Label += '\n';
+      if (Member.IsStatic)
+        Label += "static ";
+      Label += H.spelling(Member.Name);
+      if (!Member.IsStatic)
+        Label += "()";
+    }
+    Writer.node(H.className(Id), Label, "shape=box");
+  }
+
+  for (uint32_t Idx = 0, N = H.numClasses(); Idx != N; ++Idx) {
+    ClassId Derived(Idx);
+    for (const BaseSpecifier &Spec : H.info(Derived).DirectBases)
+      Writer.edge(H.className(Spec.Base), H.className(Derived),
+                  Spec.Kind == InheritanceKind::Virtual);
+  }
+}

@@ -1,0 +1,249 @@
+//===- Hierarchy.cpp - C++ class hierarchy graph ---------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/chg/Hierarchy.h"
+
+#include "memlook/support/TopologicalSort.h"
+
+#include <string>
+
+using namespace memlook;
+
+const char *memlook::accessSpelling(AccessSpec Access) {
+  switch (Access) {
+  case AccessSpec::Public:
+    return "public";
+  case AccessSpec::Protected:
+    return "protected";
+  case AccessSpec::Private:
+    return "private";
+  }
+  return "unknown";
+}
+
+ClassId Hierarchy::createClass(std::string_view Name, SourceLoc Loc,
+                               DiagnosticEngine *Diags) {
+  assert(!Finalized && "cannot add classes after finalize()");
+  Symbol Sym = Names.intern(Name);
+  auto It = ClassByName.find(Sym);
+  if (It != ClassByName.end()) {
+    if (Diags)
+      Diags->error(Loc, "redefinition of class '" + std::string(Name) + "'");
+    return ClassId();
+  }
+
+  ClassId Id(static_cast<uint32_t>(Classes.size()));
+  Classes.push_back(ClassInfo{Sym, Loc, {}, {}, {}});
+  ClassByName.emplace(Sym, Id);
+  return Id;
+}
+
+bool Hierarchy::addBase(ClassId Derived, ClassId Base, InheritanceKind Kind,
+                        AccessSpec Access, SourceLoc Loc,
+                        DiagnosticEngine *Diags) {
+  assert(!Finalized && "cannot add edges after finalize()");
+  assert(Derived.isValid() && Derived.index() < Classes.size() &&
+         "bad derived class id");
+  assert(Base.isValid() && Base.index() < Classes.size() && "bad base id");
+
+  if (Base == Derived) {
+    if (Diags)
+      Diags->error(Loc, "class '" + std::string(className(Derived)) +
+                            "' cannot inherit from itself");
+    return false;
+  }
+
+  // C++ forbids naming the same class twice in one base-specifier list
+  // ([class.mi]); this also keeps the CHG a plain graph rather than a
+  // multigraph, which Definition 15's abstraction operator relies on.
+  ClassInfo &DerivedInfo = Classes[Derived.index()];
+  for (const BaseSpecifier &Spec : DerivedInfo.DirectBases)
+    if (Spec.Base == Base) {
+      if (Diags)
+        Diags->error(Loc, "duplicate direct base class '" +
+                              std::string(className(Base)) + "' of '" +
+                              std::string(className(Derived)) + "'");
+      return false;
+    }
+
+  DerivedInfo.DirectBases.push_back(BaseSpecifier{Base, Kind, Access, Loc});
+  Classes[Base.index()].DirectDerived.push_back(Derived);
+  ++NumEdges;
+  return true;
+}
+
+void Hierarchy::addMember(ClassId Class, std::string_view Name, bool IsStatic,
+                          bool IsVirtual, AccessSpec Access, SourceLoc Loc,
+                          DiagnosticEngine *Diags) {
+  assert(!Finalized && "cannot add members after finalize()");
+  assert(Class.isValid() && Class.index() < Classes.size() && "bad class id");
+
+  Symbol Sym = Names.intern(Name);
+  ClassInfo &Info = Classes[Class.index()];
+  for (const MemberDecl &Existing : Info.Members)
+    if (Existing.Name == Sym) {
+      // We model member *names*, not overload sets; fold redeclarations.
+      if (Diags)
+        Diags->warning(Loc, "member '" + std::string(Name) +
+                                "' already declared in class '" +
+                                std::string(className(Class)) +
+                                "'; ignoring redeclaration");
+      return;
+    }
+
+  Info.Members.push_back(
+      MemberDecl{Sym, IsStatic, IsVirtual, Access, Loc, ClassId()});
+  ++NumMemberDecls;
+}
+
+void Hierarchy::addUsingDeclaration(ClassId Class, ClassId From,
+                                    std::string_view Name, AccessSpec Access,
+                                    SourceLoc Loc, DiagnosticEngine *Diags) {
+  assert(!Finalized && "cannot add members after finalize()");
+  assert(Class.isValid() && Class.index() < Classes.size() && "bad class id");
+  assert(From.isValid() && From.index() < Classes.size() && "bad base id");
+
+  Symbol Sym = Names.intern(Name);
+  ClassInfo &Info = Classes[Class.index()];
+  for (const MemberDecl &Existing : Info.Members)
+    if (Existing.Name == Sym) {
+      if (Diags)
+        Diags->warning(Loc, "member '" + std::string(Name) +
+                                "' already declared in class '" +
+                                std::string(className(Class)) +
+                                "'; ignoring using-declaration");
+      return;
+    }
+
+  Info.Members.push_back(MemberDecl{Sym, /*IsStatic=*/false,
+                                    /*IsVirtual=*/false, Access, Loc, From});
+  ++NumMemberDecls;
+}
+
+bool Hierarchy::finalize(DiagnosticEngine &Diags) {
+  assert(!Finalized && "finalize() called twice");
+
+  uint32_t N = numClasses();
+  std::vector<std::vector<uint32_t>> Successors(N);
+  for (uint32_t D = 0; D != N; ++D)
+    for (const BaseSpecifier &Spec : Classes[D].DirectBases)
+      Successors[Spec.Base.index()].push_back(D);
+
+  TopologicalSortResult Topo = topologicalSort(N, Successors);
+  if (!Topo.IsAcyclic) {
+    std::string Witness =
+        Topo.CycleWitness
+            ? std::string(className(ClassId(*Topo.CycleWitness)))
+            : std::string("<unknown>");
+    Diags.error("inheritance graph is cyclic (class '" + Witness +
+                "' participates in a cycle)");
+    return false;
+  }
+
+  TopoOrder.reserve(N);
+  for (uint32_t Idx : Topo.Order)
+    TopoOrder.push_back(ClassId(Idx));
+
+  // Transitive closures, bases before derived:
+  //   Bases[D]   = union over direct bases B of D of Bases[B] + {B}
+  //   Virtual[D] = union over direct bases B of
+  //                  Virtual[B] + ({B} if the edge B->D is virtual)
+  // The second line is the paper's Section 2 definition: X is a virtual
+  // base of Y iff some path X -> ... -> Y *starts* with a virtual edge.
+  BasesClosure = BitMatrix(N, N);
+  VirtualClosure = BitMatrix(N, N);
+  for (ClassId C : TopoOrder) {
+    for (const BaseSpecifier &Spec : Classes[C.index()].DirectBases) {
+      BasesClosure.unionRows(C.index(), Spec.Base.index());
+      BasesClosure.set(C.index(), Spec.Base.index());
+      VirtualClosure.unionRows(C.index(), Spec.Base.index());
+      if (Spec.Kind == InheritanceKind::Virtual)
+        VirtualClosure.set(C.index(), Spec.Base.index());
+    }
+  }
+
+  // A using-declaration must name a (transitive) base of its class
+  // ([namespace.udecl]); this needs the closure just computed.
+  bool UsingOk = true;
+  for (uint32_t D = 0; D != N; ++D)
+    for (const MemberDecl &Member : Classes[D].Members)
+      if (Member.isUsingDeclaration() &&
+          !BasesClosure.test(D, Member.UsingFrom.index())) {
+        Diags.error(Member.Loc,
+                    "'" + std::string(className(Member.UsingFrom)) +
+                        "' in using-declaration is not a base class of '" +
+                        std::string(className(ClassId(D))) + "'");
+        UsingOk = false;
+      }
+  if (!UsingOk)
+    return false;
+
+  // Direct-edge attribute index for O(1) edgeKind / edgeAccess.
+  for (uint32_t D = 0; D != N; ++D)
+    for (const BaseSpecifier &Spec : Classes[D].DirectBases)
+      EdgeIndex.emplace(edgeKey(Spec.Base, ClassId(D)),
+                        std::make_pair(Spec.Kind, Spec.Access));
+
+  // Collect the program's distinct member names |M| in first-declaration
+  // order (deterministic: class creation order, then declaration order).
+  std::vector<bool> Seen(Names.size(), false);
+  for (const ClassInfo &Info : Classes)
+    for (const MemberDecl &Member : Info.Members) {
+      if (Member.Name.index() < Seen.size() && Seen[Member.Name.index()])
+        continue;
+      if (Member.Name.index() >= Seen.size())
+        Seen.resize(Member.Name.index() + 1, false);
+      Seen[Member.Name.index()] = true;
+      MemberNames.push_back(Member.Name);
+    }
+
+  Finalized = true;
+  return true;
+}
+
+ClassId Hierarchy::findClass(std::string_view Name) const {
+  Symbol Sym = Names.find(Name);
+  if (!Sym.isValid())
+    return ClassId();
+  auto It = ClassByName.find(Sym);
+  return It == ClassByName.end() ? ClassId() : It->second;
+}
+
+const MemberDecl *Hierarchy::declaredMember(ClassId Class, Symbol Name) const {
+  for (const MemberDecl &Member : info(Class).Members)
+    if (Member.Name == Name)
+      return &Member;
+  return nullptr;
+}
+
+std::optional<InheritanceKind> Hierarchy::edgeKind(ClassId Base,
+                                                   ClassId Derived) const {
+  if (Finalized) {
+    auto It = EdgeIndex.find(edgeKey(Base, Derived));
+    if (It == EdgeIndex.end())
+      return std::nullopt;
+    return It->second.first;
+  }
+  for (const BaseSpecifier &Spec : info(Derived).DirectBases)
+    if (Spec.Base == Base)
+      return Spec.Kind;
+  return std::nullopt;
+}
+
+std::optional<AccessSpec> Hierarchy::edgeAccess(ClassId Base,
+                                                ClassId Derived) const {
+  if (Finalized) {
+    auto It = EdgeIndex.find(edgeKey(Base, Derived));
+    if (It == EdgeIndex.end())
+      return std::nullopt;
+    return It->second.second;
+  }
+  for (const BaseSpecifier &Spec : info(Derived).DirectBases)
+    if (Spec.Base == Base)
+      return Spec.Access;
+  return std::nullopt;
+}

@@ -1,0 +1,121 @@
+//===- HierarchyBuilder.cpp - Fluent CHG builder ---------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/chg/HierarchyBuilder.h"
+
+using namespace memlook;
+
+HierarchyBuilder HierarchyBuilder::fromHierarchy(const Hierarchy &Source) {
+  assert(Source.isFinalized() && "copy the finished article, not a draft");
+  HierarchyBuilder Builder;
+  Hierarchy &H = Builder.H;
+
+  // Topological order guarantees bases exist before their derivers.
+  for (ClassId Old : Source.topologicalOrder()) {
+    const Hierarchy::ClassInfo &Info = Source.info(Old);
+    ClassId New = H.createClass(Source.className(Old), Info.Loc);
+    assert(New.isValid() && "source hierarchy had duplicate names?");
+
+    for (const BaseSpecifier &Spec : Info.DirectBases) {
+      ClassId NewBase = H.findClass(Source.className(Spec.Base));
+      assert(NewBase.isValid() && "base precedes deriver in topo order");
+      H.addBase(New, NewBase, Spec.Kind, Spec.Access, Spec.Loc);
+    }
+
+    for (const MemberDecl &Member : Info.Members) {
+      if (Member.isUsingDeclaration()) {
+        ClassId NewFrom = H.findClass(Source.className(Member.UsingFrom));
+        assert(NewFrom.isValid());
+        H.addUsingDeclaration(New, NewFrom, Source.spelling(Member.Name),
+                              Member.Access, Member.Loc);
+      } else {
+        H.addMember(New, Source.spelling(Member.Name), Member.IsStatic,
+                    Member.IsVirtual, Member.Access, Member.Loc);
+      }
+    }
+  }
+  return Builder;
+}
+
+HierarchyBuilder::ClassHandle
+HierarchyBuilder::addClass(std::string_view Name) {
+  ClassId Id = H.createClass(Name);
+  assert(Id.isValid() && "duplicate class in builder");
+  return ClassHandle(*this, Id);
+}
+
+HierarchyBuilder::ClassHandle
+HierarchyBuilder::getClass(std::string_view Name) {
+  ClassId Id = H.findClass(Name);
+  assert(Id.isValid() && "getClass() of unknown class");
+  return ClassHandle(*this, Id);
+}
+
+Hierarchy HierarchyBuilder::build() && {
+  DiagnosticEngine Diags;
+  bool Ok = H.finalize(Diags);
+  (void)Ok;
+  assert(Ok && "builder-described hierarchy failed validation");
+  return std::move(H);
+}
+
+HierarchyBuilder::ClassHandle &
+HierarchyBuilder::ClassHandle::withBase(std::string_view Name,
+                                        AccessSpec Access) {
+  ClassId Base = Builder.H.findClass(Name);
+  assert(Base.isValid() && "base class must be defined before use");
+  bool Ok =
+      Builder.H.addBase(Id, Base, InheritanceKind::NonVirtual, Access);
+  (void)Ok;
+  assert(Ok && "invalid base specifier");
+  return *this;
+}
+
+HierarchyBuilder::ClassHandle &
+HierarchyBuilder::ClassHandle::withVirtualBase(std::string_view Name,
+                                               AccessSpec Access) {
+  ClassId Base = Builder.H.findClass(Name);
+  assert(Base.isValid() && "base class must be defined before use");
+  bool Ok = Builder.H.addBase(Id, Base, InheritanceKind::Virtual, Access);
+  (void)Ok;
+  assert(Ok && "invalid base specifier");
+  return *this;
+}
+
+HierarchyBuilder::ClassHandle &
+HierarchyBuilder::ClassHandle::withMember(std::string_view Name,
+                                          AccessSpec Access) {
+  Builder.H.addMember(Id, Name, /*IsStatic=*/false, /*IsVirtual=*/false,
+                      Access);
+  return *this;
+}
+
+HierarchyBuilder::ClassHandle &
+HierarchyBuilder::ClassHandle::withStaticMember(std::string_view Name,
+                                                AccessSpec Access) {
+  Builder.H.addMember(Id, Name, /*IsStatic=*/true, /*IsVirtual=*/false,
+                      Access);
+  return *this;
+}
+
+HierarchyBuilder::ClassHandle &
+HierarchyBuilder::ClassHandle::withVirtualMember(std::string_view Name,
+                                                 AccessSpec Access) {
+  Builder.H.addMember(Id, Name, /*IsStatic=*/false, /*IsVirtual=*/true,
+                      Access);
+  return *this;
+}
+
+HierarchyBuilder::ClassHandle &
+HierarchyBuilder::ClassHandle::withUsing(std::string_view From,
+                                         std::string_view Name,
+                                         AccessSpec Access) {
+  ClassId FromId = Builder.H.findClass(From);
+  assert(FromId.isValid() && "using-declaration names an unknown class");
+  Builder.H.addUsingDeclaration(Id, FromId, Name, Access);
+  return *this;
+}

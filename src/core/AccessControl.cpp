@@ -1,0 +1,49 @@
+//===- AccessControl.cpp - Access rights -----------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/AccessControl.h"
+
+using namespace memlook;
+
+AccessSpec memlook::effectiveAccess(const Hierarchy &H, const Path &Witness,
+                                    AccessSpec MemberAccess) {
+  AccessSpec Effective = MemberAccess;
+  for (size_t I = 0, E = Witness.length() - 1; I != E; ++I) {
+    auto EdgeAcc = H.edgeAccess(Witness.Nodes[I], Witness.Nodes[I + 1]);
+    assert(EdgeAcc && "witness is not a CHG path");
+    // Private inheritance makes inherited members private in the derived
+    // class; protected caps them at protected; public passes through.
+    Effective = restrictAccess(Effective, *EdgeAcc);
+  }
+  return Effective;
+}
+
+bool memlook::isAccessible(const Hierarchy &H, const LookupResult &R,
+                           Symbol Member, AccessContext Context) {
+  assert(R.Status == LookupStatus::Unambiguous &&
+         "access applies only after successful lookup");
+  assert(R.Witness && "access check requires the witness path");
+
+  const MemberDecl *Decl = H.declaredMember(R.DefiningClass, Member);
+  assert(Decl && "resolved member is not declared in its defining class");
+
+  switch (Context) {
+  case AccessContext::SelfOrFriend:
+    // A member (or friend) of the context class sees everything the
+    // class itself sees, including privately inherited members.
+    return true;
+  case AccessContext::DerivedMember: {
+    AccessSpec Effective = effectiveAccess(H, *R.Witness, Decl->Access);
+    return Effective != AccessSpec::Private;
+  }
+  case AccessContext::Outside: {
+    AccessSpec Effective = effectiveAccess(H, *R.Witness, Decl->Access);
+    return Effective == AccessSpec::Public;
+  }
+  }
+  return false;
+}

@@ -1,0 +1,77 @@
+//===- DifferentialCheck.cpp - Self-check ------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DifferentialCheck.h"
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/NaivePropagationEngine.h"
+#include "memlook/core/SubobjectLookupEngine.h"
+
+using namespace memlook;
+
+namespace {
+
+/// Comparison rendering: status, defining class, and (for non-static
+/// singleton results) the canonical subobject. Shared-static results
+/// compare on (status, class) only, since any representative is legal.
+std::string renderForComparison(const Hierarchy &H, const LookupResult &R) {
+  std::string Out = lookupStatusLabel(R.Status);
+  if (R.Status != LookupStatus::Unambiguous)
+    return Out;
+  Out += ':';
+  Out += H.className(R.DefiningClass);
+  if (!R.SharedStatic && R.Subobject) {
+    Out += ':';
+    Out += formatSubobjectKey(H, *R.Subobject);
+  }
+  return Out;
+}
+
+} // namespace
+
+DifferentialReport memlook::runDifferentialCheck(const Hierarchy &H,
+                                                 size_t MaxSubobjects) {
+  assert(H.isFinalized() && "differential check requires finalize()");
+  DifferentialReport Report;
+
+  DominanceLookupEngine Eager(H, DominanceLookupEngine::Mode::Eager);
+  DominanceLookupEngine Recursive(H,
+                                  DominanceLookupEngine::Mode::LazyRecursive);
+  NaivePropagationEngine Killing(H, NaivePropagationEngine::Killing::Enabled,
+                                 MaxSubobjects);
+  SubobjectLookupEngine Reference(H, MaxSubobjects);
+
+  std::vector<LookupEngine *> Others{&Recursive, &Killing, &Reference};
+
+  for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx) {
+    ClassId C(Idx);
+    for (Symbol Member : H.allMemberNames()) {
+      LookupResult Baseline = Eager.lookup(C, Member);
+      std::string BaselineKey = renderForComparison(H, Baseline);
+      bool Skipped = false;
+      for (LookupEngine *Other : Others) {
+        LookupResult R = Other->lookup(C, Member);
+        if (R.Status == LookupStatus::Overflow) {
+          Skipped = true;
+          continue;
+        }
+        std::string Key = renderForComparison(H, R);
+        if (Key != BaselineKey)
+          Report.Mismatches.push_back(
+              std::string(H.className(C)) + "::" +
+              std::string(H.spelling(Member)) + ": figure8-eager says '" +
+              BaselineKey + "' but " + std::string(Other->engineName()) +
+              " says '" + Key + "'");
+      }
+      if (Skipped)
+        ++Report.PairsSkipped;
+      else
+        ++Report.PairsChecked;
+    }
+  }
+  return Report;
+}

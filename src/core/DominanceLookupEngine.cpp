@@ -1,0 +1,403 @@
+//===- DominanceLookupEngine.cpp - Figure 8 --------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DominanceLookupEngine.h"
+
+#include <algorithm>
+
+using namespace memlook;
+
+DominanceLookupEngine::DominanceLookupEngine(const Hierarchy &H, Mode Mode)
+    : LookupEngine(H), TabulationMode(Mode) {
+  const std::vector<Symbol> &Names = H.allMemberNames();
+  MemberIndex.reserve(Names.size());
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Names.size()); I != E; ++I)
+    MemberIndex.emplace(Names[I], I);
+
+  Columns.resize(Names.size());
+  EntryComputed.resize(Names.size());
+
+  if (TabulationMode == Mode::Eager)
+    for (uint32_t I = 0, E = static_cast<uint32_t>(Names.size()); I != E; ++I)
+      computeColumn(I);
+}
+
+std::string_view DominanceLookupEngine::engineName() const {
+  switch (TabulationMode) {
+  case Mode::Eager:
+    return "figure8-eager";
+  case Mode::Lazy:
+    return "figure8-lazy";
+  case Mode::LazyRecursive:
+    return "figure8-lazy-recursive";
+  }
+  return "figure8";
+}
+
+bool DominanceLookupEngine::redCovers(ClassId L,
+                                      const std::vector<ClassId> &Vs,
+                                      ClassId V2,
+                                      const std::vector<Entry> &Column) {
+  ++EngineStats.DominanceTests;
+  if (!V2.isValid())
+    return false;
+  // Lemma 4 clause (i): V2 is a virtual base of the defining class.
+  // Sound for any member of the set: only the shared ldc matters.
+  if (H.isVirtualBaseOf(V2, L))
+    return true;
+  // Lemma 4 clause (ii): some maximal member crossed the same first
+  // virtual node. Soundness requires that member's fixed part to
+  // dominate every definition reaching V2 - equivalently, that the
+  // entry *at* V2 is red with the same defining class. Members that
+  // were propagated red-all-the-way satisfy this by construction (a red
+  // lineage passes through V2 while red); members absorbed from blue
+  // elements by the static rule need the explicit check, since their
+  // fixed part may be just one of several incomparable definitions
+  // at V2.
+  if (std::find(Vs.begin(), Vs.end(), V2) == Vs.end())
+    return false;
+  const Entry &AtV2 = Column[V2.index()];
+  return AtV2.EntryKind == Entry::Kind::Red && AtV2.DefiningClass == L;
+}
+
+namespace {
+
+/// Working state for one class's red candidate: the generalized red
+/// value (L, member V-set) plus representative provenance and the
+/// representative's composed access (the Section 6 access extension).
+struct CandidateState {
+  bool Present = false;
+  ClassId L;
+  std::vector<ClassId> Vs; // unsorted during accumulation; deduped
+  ClassId RepresentativeV;
+  ClassId Via;
+  AccessSpec Access = AccessSpec::Public;
+  bool StaticMerged = false;
+
+  void addV(ClassId V) {
+    if (std::find(Vs.begin(), Vs.end(), V) == Vs.end())
+      Vs.push_back(V);
+  }
+};
+
+} // namespace
+
+void DominanceLookupEngine::computeEntryAt(std::vector<Entry> &Column,
+                                           ClassId C, Symbol Member) {
+  ++EngineStats.EntriesComputed;
+  Entry &Out = Column[C.index()];
+
+  auto IsStaticIn = [&](ClassId L) {
+    const MemberDecl *Decl = H.declaredMember(L, Member);
+    return Decl && Decl->IsStatic;
+  };
+
+  // Line [12]: a local declaration trivially dominates everything that
+  // reaches C (it hides every inherited definition).
+  if (const MemberDecl *Decl = H.declaredMember(C, Member)) {
+    Out.EntryKind = Entry::Kind::Red;
+    Out.DefiningClass = C;
+    Out.RedVs = {ClassId()};
+    Out.RepresentativeV = ClassId();
+    Out.Via = ClassId();
+    Out.Access = Decl->Access;
+    return;
+  }
+
+  // Lines [14]-[33]: fold the values arriving along each incoming edge,
+  // maintaining at most one red candidate (now a member *set*, see the
+  // header) and the blue abstractions it must dominate.
+  bool SawAnything = false;
+  CandidateState Cand;
+  std::vector<BlueElement> ToBeDominated;
+
+  // Duplicates are tolerated during accumulation and removed in one
+  // sort+unique pass below: a per-insert membership scan would make the
+  // ambiguity-heavy regime cubic instead of the paper's quadratic.
+  auto AddBlue = [&](BlueElement Elem) { ToBeDominated.push_back(Elem); };
+
+  auto DedupeBlues = [](std::vector<BlueElement> &Blues) {
+    std::sort(Blues.begin(), Blues.end());
+    Blues.erase(std::unique(Blues.begin(), Blues.end()), Blues.end());
+  };
+
+  auto DemoteCandidateToBlue = [&]() {
+    for (ClassId V : Cand.Vs)
+      AddBlue(BlueElement{V, Cand.L});
+    Cand = CandidateState{};
+  };
+
+  for (const BaseSpecifier &Spec : H.info(C).DirectBases) {
+    const Entry &In = Column[Spec.Base.index()];
+    if (In.EntryKind == Entry::Kind::Absent)
+      continue;
+    SawAnything = true;
+
+    if (In.EntryKind == Entry::Kind::Blue) {
+      // Lines [29]-[32]: compose every blue element across the edge.
+      for (const BlueElement &Elem : In.Blues) {
+        ++EngineStats.BlueElementsMoved;
+        AddBlue(BlueElement{composeAcross(Elem.LeastVirtual, Spec),
+                            Elem.DefiningClass});
+      }
+      continue;
+    }
+
+    // A red value arrives: compose its member set across the edge. The
+    // composed access restricts the inherited access by the edge's
+    // (Section 6: access is determined along the witness path; private
+    // inheritance demotes, protected caps).
+    std::vector<ClassId> NewVs;
+    for (ClassId V : In.RedVs) {
+      ClassId Composed = composeAcross(V, Spec);
+      if (std::find(NewVs.begin(), NewVs.end(), Composed) == NewVs.end())
+        NewVs.push_back(Composed);
+    }
+    ClassId NewL = In.DefiningClass;
+    ClassId NewRepV = composeAcross(In.RepresentativeV, Spec);
+    AccessSpec NewAccess = restrictAccess(In.Access, Spec.Access);
+    bool NewStaticMerged = In.StaticMerged;
+
+    auto AdoptNew = [&]() {
+      Cand.Present = true;
+      Cand.L = NewL;
+      Cand.Vs = std::move(NewVs);
+      Cand.RepresentativeV = NewRepV;
+      Cand.Via = Spec.Base;
+      Cand.Access = NewAccess;
+      Cand.StaticMerged = NewStaticMerged;
+    };
+
+    if (!Cand.Present) {
+      AdoptNew();
+      continue;
+    }
+
+    // Lines [18]-[28], set-generalized: keep whichever side covers the
+    // other; for same-class statics, union what neither side covers;
+    // otherwise mutual non-domination means ambiguity.
+    auto Covers = [&](ClassId LA, const std::vector<ClassId> &VsA,
+                      const std::vector<ClassId> &VsB) {
+      for (ClassId V : VsB)
+        if (!redCovers(LA, VsA, V, Column))
+          return false;
+      return true;
+    };
+
+    if (Covers(Cand.L, Cand.Vs, NewVs)) {
+      // Existing candidate dominates the arrival (which includes the
+      // virtual-sharing case where both edges deliver the very same
+      // subobject).
+      continue;
+    }
+    if (Covers(NewL, NewVs, Cand.Vs)) {
+      AdoptNew();
+      continue;
+    }
+
+    if (Cand.L == NewL && IsStaticIn(NewL)) {
+      // Definition 17(2): one entity seen through several genuinely
+      // distinct subobjects. Union the uncovered members: each must
+      // keep constraining later competitors.
+      for (ClassId V : NewVs)
+        if (!redCovers(Cand.L, Cand.Vs, V, Column))
+          Cand.addV(V);
+      Cand.StaticMerged = true;
+      continue;
+    }
+
+    // Mutual non-domination: both sides become blue.
+    for (ClassId V : NewVs)
+      AddBlue(BlueElement{V, NewL});
+    DemoteCandidateToBlue();
+  }
+
+  if (!SawAnything)
+    return; // Absent: m is not a member of C.
+
+  DedupeBlues(ToBeDominated);
+
+  if (!Cand.Present) {
+    // Lines [34]-[35].
+    Out.EntryKind = Entry::Kind::Blue;
+    Out.Blues = std::move(ToBeDominated);
+    return;
+  }
+
+  // Lines [36]-[44]: the candidate must cover every blue element;
+  // same-class static elements are absorbed instead (one entity).
+  std::vector<BlueElement> Surviving;
+  for (const BlueElement &Elem : ToBeDominated) {
+    if (redCovers(Cand.L, Cand.Vs, Elem.LeastVirtual, Column))
+      continue;
+    if (Elem.DefiningClass == Cand.L && IsStaticIn(Cand.L)) {
+      Cand.addV(Elem.LeastVirtual);
+      Cand.StaticMerged = true;
+      continue;
+    }
+    Surviving.push_back(Elem);
+  }
+
+  if (Surviving.empty()) {
+    Out.EntryKind = Entry::Kind::Red;
+    Out.DefiningClass = Cand.L;
+    std::sort(Cand.Vs.begin(), Cand.Vs.end());
+    Out.RedVs = std::move(Cand.Vs);
+    Out.RepresentativeV = Cand.RepresentativeV;
+    Out.Via = Cand.Via;
+    Out.Access = Cand.Access;
+    Out.StaticMerged = Cand.StaticMerged;
+  } else {
+    for (ClassId V : Cand.Vs)
+      Surviving.push_back(BlueElement{V, Cand.L});
+    std::sort(Surviving.begin(), Surviving.end());
+    Surviving.erase(std::unique(Surviving.begin(), Surviving.end()),
+                    Surviving.end());
+    Out.EntryKind = Entry::Kind::Blue;
+    Out.Blues = std::move(Surviving);
+  }
+}
+
+void DominanceLookupEngine::ensureColumnStorage(uint32_t MemberIdx) {
+  if (Columns[MemberIdx].empty()) {
+    Columns[MemberIdx].assign(H.numClasses(), Entry{});
+    EntryComputed[MemberIdx].assign(H.numClasses(), false);
+  }
+}
+
+void DominanceLookupEngine::computeColumn(uint32_t MemberIdx) {
+  ensureColumnStorage(MemberIdx);
+  Symbol Member = H.allMemberNames()[MemberIdx];
+  std::vector<Entry> &Column = Columns[MemberIdx];
+  std::vector<bool> &Done = EntryComputed[MemberIdx];
+
+  for (ClassId C : H.topologicalOrder()) {
+    if (Done[C.index()])
+      continue;
+    computeEntryAt(Column, C, Member);
+    Done[C.index()] = true;
+  }
+  ColumnFullyComputed.insert(MemberIdx);
+}
+
+void DominanceLookupEngine::computeEntryRecursive(uint32_t MemberIdx,
+                                                  ClassId Context) {
+  // The paper's memoizing lazy variant (Section 5): "a request for
+  // lookup[C,m] will recursively invoke lookup[B,m] for every direct
+  // base class B of C if necessary". Implemented with an explicit stack
+  // so pathological chains cannot overflow the call stack.
+  ensureColumnStorage(MemberIdx);
+  Symbol Member = H.allMemberNames()[MemberIdx];
+  std::vector<Entry> &Column = Columns[MemberIdx];
+  std::vector<bool> &Done = EntryComputed[MemberIdx];
+
+  std::vector<ClassId> Stack{Context};
+  while (!Stack.empty()) {
+    ClassId Cur = Stack.back();
+    if (Done[Cur.index()]) {
+      Stack.pop_back();
+      continue;
+    }
+    bool Ready = true;
+    for (const BaseSpecifier &Spec : H.info(Cur).DirectBases)
+      if (!Done[Spec.Base.index()]) {
+        Stack.push_back(Spec.Base);
+        Ready = false;
+      }
+    if (!Ready)
+      continue;
+    computeEntryAt(Column, Cur, Member);
+    Done[Cur.index()] = true;
+    Stack.pop_back();
+  }
+}
+
+const DominanceLookupEngine::Entry &
+DominanceLookupEngine::entry(ClassId Context, Symbol Member) {
+  assert(Context.isValid() && Context.index() < H.numClasses() &&
+         "bad class id");
+  auto It = MemberIndex.find(Member);
+  if (It == MemberIndex.end())
+    return AbsentEntry; // name never declared anywhere
+
+  uint32_t MemberIdx = It->second;
+  switch (TabulationMode) {
+  case Mode::Eager:
+    break; // everything was computed at construction
+  case Mode::Lazy:
+    if (!ColumnFullyComputed.count(MemberIdx))
+      computeColumn(MemberIdx);
+    break;
+  case Mode::LazyRecursive:
+    ensureColumnStorage(MemberIdx);
+    if (!EntryComputed[MemberIdx][Context.index()])
+      computeEntryRecursive(MemberIdx, Context);
+    break;
+  }
+  return Columns[MemberIdx][Context.index()];
+}
+
+uint64_t DominanceLookupEngine::approximateTableBytes() const {
+  uint64_t Bytes = 0;
+  for (const std::vector<Entry> &Column : Columns) {
+    Bytes += Column.capacity() * sizeof(Entry);
+    for (const Entry &E : Column) {
+      Bytes += E.RedVs.capacity() * sizeof(ClassId);
+      Bytes += E.Blues.capacity() * sizeof(BlueElement);
+    }
+  }
+  return Bytes;
+}
+
+Path DominanceLookupEngine::reconstructWitness(ClassId Context,
+                                               uint32_t MemberIdx) const {
+  // Follow Via links from Context down to the declaring class; the
+  // witness runs ldc-first, so collect backwards and reverse.
+  std::vector<ClassId> Reversed;
+  ClassId Cur = Context;
+  while (true) {
+    Reversed.push_back(Cur);
+    const Entry &E = Columns[MemberIdx][Cur.index()];
+    assert(E.EntryKind == Entry::Kind::Red && "witness of non-red entry");
+    if (!E.Via.isValid())
+      break;
+    Cur = E.Via;
+  }
+  std::reverse(Reversed.begin(), Reversed.end());
+  return Path(std::move(Reversed));
+}
+
+LookupResult DominanceLookupEngine::lookup(ClassId Context, Symbol Member) {
+  const Entry &E = entry(Context, Member);
+  switch (E.EntryKind) {
+  case Entry::Kind::Absent:
+    return LookupResult::notFound();
+  case Entry::Kind::Blue:
+    // The blue abstraction intentionally forgets the candidate
+    // subobjects (that is the point of the algorithm); entry() exposes
+    // the abstraction itself, and explainAmbiguity() reconstructs the
+    // candidates for diagnostics.
+    return LookupResult::ambiguous({});
+  case Entry::Kind::Red:
+    break;
+  }
+
+  uint32_t MemberIdx = MemberIndex.at(Member);
+
+  // The witness chain crosses entries for base classes, all of which
+  // were computed before this entry in every tabulation mode.
+  Path Witness = reconstructWitness(Context, MemberIdx);
+  assert(Witness.ldc() == E.DefiningClass &&
+         "witness does not start at the defining class");
+  assert(leastVirtual(H, Witness) == E.RepresentativeV &&
+         "witness abstraction disagrees with the table");
+  SubobjectKey Key = subobjectKey(H, Witness);
+  LookupResult R = LookupResult::unambiguous(
+      E.DefiningClass, std::move(Key), std::move(Witness), E.StaticMerged);
+  R.EffectiveAccess = E.Access;
+  return R;
+}

@@ -1,0 +1,43 @@
+//===- ExplainAmbiguity.cpp - Diagnostics -----------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/ExplainAmbiguity.h"
+
+#include "memlook/core/NaivePropagationEngine.h"
+
+using namespace memlook;
+
+std::vector<DefinitionRecord>
+memlook::explainAmbiguity(const Hierarchy &H, ClassId Context, Symbol Member,
+                          size_t MaxDefsPerClass) {
+  // The killing engine's surviving set at Context *is* the maximal set.
+  NaivePropagationEngine Engine(H, NaivePropagationEngine::Killing::Enabled,
+                                MaxDefsPerClass);
+  if (Engine.overflowed(Member))
+    return {};
+  return Engine.reachingDefinitions(Context, Member);
+}
+
+std::string memlook::formatAmbiguityCandidates(
+    const Hierarchy &H, Symbol Member,
+    const std::vector<DefinitionRecord> &Defs) {
+  std::string Out = "candidates:";
+  if (Defs.empty())
+    return Out + " <unavailable>";
+  bool First = true;
+  for (const DefinitionRecord &Def : Defs) {
+    Out += First ? " " : ", ";
+    First = false;
+    Out += H.className(Def.Key.ldc());
+    Out += "::";
+    Out += H.spelling(Member);
+    Out += " (in ";
+    Out += formatSubobjectKey(H, Def.Key);
+    Out += ')';
+  }
+  return Out;
+}

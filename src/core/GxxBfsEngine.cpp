@@ -1,0 +1,92 @@
+//===- GxxBfsEngine.cpp - g++ 2.7.2 baseline -------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/GxxBfsEngine.h"
+
+#include <deque>
+
+using namespace memlook;
+
+GxxBfsEngine::GxxBfsEngine(const Hierarchy &H, size_t MaxSubobjects)
+    : LookupEngine(H), MaxSubobjects(MaxSubobjects) {}
+
+const SubobjectGraph *GxxBfsEngine::graphFor(ClassId Complete) {
+  auto It = GraphCache.find(Complete);
+  if (It == GraphCache.end())
+    It = GraphCache
+             .emplace(Complete,
+                      SubobjectGraph::build(H, Complete, MaxSubobjects))
+             .first;
+  return It->second ? &*It->second : nullptr;
+}
+
+LookupResult GxxBfsEngine::lookup(ClassId Context, Symbol Member) {
+  // A member of the class itself short-circuits the traversal.
+  if (H.declaresMember(Context, Member)) {
+    Path Trivial(Context);
+    return LookupResult::unambiguous(Context, subobjectKey(H, Trivial),
+                                     Trivial);
+  }
+
+  const SubobjectGraph *Graph = graphFor(Context);
+  if (!Graph)
+    return LookupResult::overflow();
+
+  // Breadth-first scan of the subobject graph from the complete object,
+  // visiting each subobject once, direct bases in declaration order.
+  std::optional<SubobjectId> Best;
+  BitVector Visited(Graph->numSubobjects());
+  std::deque<SubobjectId> Queue{Graph->root()};
+  Visited.set(Graph->root().index());
+
+  while (!Queue.empty()) {
+    SubobjectId Cur = Queue.front();
+    Queue.pop_front();
+    const SubobjectGraph::Subobject &S = Graph->subobject(Cur);
+
+    const MemberDecl *Decl =
+        Cur == Graph->root() ? nullptr
+                             : H.declaredMember(S.Key.ldc(), Member);
+    if (Decl) {
+      if (!Best) {
+        Best = Cur;
+      } else {
+        // Keep whichever of the two dominates; report ambiguity as soon
+        // as neither does. The early report is g++ 2.7.2's bug: a
+        // definition dominating both may still be ahead in the queue.
+        const SubobjectGraph::Subobject &BestS = Graph->subobject(*Best);
+        bool BestWins = Graph->contains(*Best, Cur);
+        bool CurWins = Graph->contains(Cur, *Best);
+        if (!BestWins && !CurWins) {
+          // Static members of one class are one entity; mirror the
+          // Definition 17(2) allowance so the baseline is only wrong
+          // where the paper says it is wrong.
+          const MemberDecl *BestDecl =
+              H.declaredMember(BestS.Key.ldc(), Member);
+          bool SharedStatic = BestDecl && BestDecl->IsStatic &&
+                              BestS.Key.ldc() == S.Key.ldc();
+          if (!SharedStatic)
+            return LookupResult::ambiguous(
+                {BestS.Key, S.Key});
+        } else if (CurWins) {
+          Best = Cur;
+        }
+      }
+    }
+
+    for (SubobjectId Base : S.DirectBases)
+      if (!Visited.test(Base.index())) {
+        Visited.set(Base.index());
+        Queue.push_back(Base);
+      }
+  }
+
+  if (!Best)
+    return LookupResult::notFound();
+  const SubobjectGraph::Subobject &BestS = Graph->subobject(*Best);
+  return LookupResult::unambiguous(BestS.Key.ldc(), BestS.Key, BestS.Repr);
+}

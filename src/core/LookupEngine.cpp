@@ -1,0 +1,19 @@
+//===- LookupEngine.cpp - Engine interface ---------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/LookupEngine.h"
+
+using namespace memlook;
+
+LookupEngine::~LookupEngine() = default;
+
+LookupResult LookupEngine::lookup(ClassId Context, std::string_view Member) {
+  Symbol Sym = H.findName(Member);
+  if (!Sym.isValid())
+    return LookupResult::notFound();
+  return lookup(Context, Sym);
+}

@@ -1,0 +1,59 @@
+//===- LookupResult.cpp - Lookup results -----------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/LookupResult.h"
+
+using namespace memlook;
+
+const char *memlook::lookupStatusLabel(LookupStatus Status) {
+  switch (Status) {
+  case LookupStatus::Unambiguous:
+    return "unambiguous";
+  case LookupStatus::Ambiguous:
+    return "ambiguous";
+  case LookupStatus::NotFound:
+    return "not-found";
+  case LookupStatus::Overflow:
+    return "overflow";
+  }
+  return "unknown";
+}
+
+std::string memlook::formatLookupResult(const Hierarchy &H,
+                                        const LookupResult &R) {
+  switch (R.Status) {
+  case LookupStatus::NotFound:
+    return "not found";
+  case LookupStatus::Overflow:
+    return "overflow (engine budget exceeded)";
+  case LookupStatus::Ambiguous: {
+    std::string Out = "ambiguous";
+    if (!R.AmbiguousCandidates.empty()) {
+      Out += " {";
+      for (size_t I = 0, E = R.AmbiguousCandidates.size(); I != E; ++I) {
+        if (I != 0)
+          Out += ", ";
+        Out += formatSubobjectKey(H, R.AmbiguousCandidates[I]);
+      }
+      Out += '}';
+    }
+    return Out;
+  }
+  case LookupStatus::Unambiguous:
+    break;
+  }
+
+  std::string Out(H.className(R.DefiningClass));
+  if (R.Subobject) {
+    Out += " (subobject ";
+    Out += formatSubobjectKey(H, *R.Subobject);
+    Out += ')';
+  }
+  if (R.SharedStatic)
+    Out += " [shared static]";
+  return Out;
+}

@@ -1,0 +1,71 @@
+//===- MostDominant.cpp - Defns -> result ----------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/MostDominant.h"
+
+using namespace memlook;
+
+std::vector<DefinitionRecord>
+memlook::maximalDefinitions(const Hierarchy &H,
+                            const std::vector<DefinitionRecord> &Defs) {
+  std::vector<DefinitionRecord> Maximal;
+  for (size_t I = 0, E = Defs.size(); I != E; ++I) {
+    bool Dominated = false;
+    for (size_t J = 0; J != E && !Dominated; ++J) {
+      if (I == J)
+        continue;
+      // Dominance is a partial order on distinct subobjects (Lemma 2),
+      // so "J dominates I" here is necessarily strict.
+      if (dominates(H, Defs[J].Key, Defs[I].Key))
+        Dominated = true;
+    }
+    if (!Dominated)
+      Maximal.push_back(Defs[I]);
+  }
+  return Maximal;
+}
+
+LookupResult
+memlook::resolveByDominance(const Hierarchy &H,
+                            const std::vector<DefinitionRecord> &Defs,
+                            Symbol Member) {
+  if (Defs.empty())
+    return LookupResult::notFound();
+
+  std::vector<DefinitionRecord> Maximal = maximalDefinitions(H, Defs);
+  assert(!Maximal.empty() && "non-empty set must have maximal elements");
+
+  if (Maximal.size() == 1)
+    return LookupResult::unambiguous(Maximal.front().Key.ldc(),
+                                     Maximal.front().Key,
+                                     Maximal.front().Witness);
+
+  // Definition 17(2): several maximal subobjects are fine when they all
+  // share one defining class whose member is static (including class-
+  // scope type names and enumerators, which behave like statics).
+  ClassId SharedLdc = Maximal.front().Key.ldc();
+  bool AllShare = true;
+  for (const DefinitionRecord &Def : Maximal)
+    if (Def.Key.ldc() != SharedLdc) {
+      AllShare = false;
+      break;
+    }
+  if (AllShare) {
+    const MemberDecl *Decl = H.declaredMember(SharedLdc, Member);
+    assert(Decl && "maximal definition without declaration");
+    if (Decl->IsStatic)
+      return LookupResult::unambiguous(SharedLdc, Maximal.front().Key,
+                                       Maximal.front().Witness,
+                                       /*SharedStatic=*/true);
+  }
+
+  std::vector<SubobjectKey> Candidates;
+  Candidates.reserve(Maximal.size());
+  for (DefinitionRecord &Def : Maximal)
+    Candidates.push_back(std::move(Def.Key));
+  return LookupResult::ambiguous(std::move(Candidates));
+}

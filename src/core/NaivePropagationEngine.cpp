@@ -1,0 +1,102 @@
+//===- NaivePropagationEngine.cpp - Section 4 ------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/NaivePropagationEngine.h"
+
+#include "memlook/core/MostDominant.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace memlook;
+
+NaivePropagationEngine::NaivePropagationEngine(const Hierarchy &H,
+                                               Killing KillPolicy,
+                                               size_t MaxDefsPerClass)
+    : LookupEngine(H), KillPolicy(KillPolicy),
+      MaxDefsPerClass(MaxDefsPerClass) {}
+
+const NaivePropagationEngine::Column &
+NaivePropagationEngine::columnFor(Symbol Member) {
+  auto It = Cache.find(Member);
+  if (It != Cache.end())
+    return It->second;
+  Column &Out = Cache[Member];
+  computeColumn(Member, Out);
+  return Out;
+}
+
+void NaivePropagationEngine::computeColumn(Symbol Member, Column &Out) {
+  Out.DefsPerClass.assign(H.numClasses(), {});
+
+  // Propagate definitions in topological order. A definition is a path;
+  // ~-equivalent paths denote the same definition, so each class's set
+  // is deduplicated by canonical subobject key (keeping the first
+  // witness path encountered, in deterministic traversal order).
+  for (ClassId C : H.topologicalOrder()) {
+    std::vector<Definition> &Defs = Out.DefsPerClass[C.index()];
+    std::unordered_set<SubobjectKey, SubobjectKeyHash> SeenKeys;
+
+    auto AddDefinition = [&](Definition Def) {
+      if (SeenKeys.insert(Def.Key).second)
+        Defs.push_back(std::move(Def));
+    };
+
+    // Generated definition: the trivial path <C> (Section 4 calls the
+    // set of these { A::m | m in Members(A) }).
+    if (H.declaresMember(C, Member)) {
+      Path Trivial(C);
+      AddDefinition(Definition{subobjectKey(H, Trivial), Trivial});
+    }
+
+    // Inherited definitions: extend what each direct base propagates
+    // across the edge X -> C.
+    for (const BaseSpecifier &Spec : H.info(C).DirectBases) {
+      for (const Definition &In : Out.DefsPerClass[Spec.Base.index()]) {
+        Path Extended = extend(In.Witness, C);
+        AddDefinition(Definition{subobjectKey(H, Extended),
+                                 std::move(Extended)});
+      }
+      if (Defs.size() > MaxDefsPerClass) {
+        Out.Overflowed = true;
+        Out.DefsPerClass.assign(H.numClasses(), {});
+        return;
+      }
+    }
+
+    // With killing enabled only the maximal definitions survive - both
+    // as this class's reaching set and for further propagation
+    // (Corollary 1 justifies dropping the dominated ones; the maximal
+    // ones are the paper's red/blue survivors).
+    if (KillPolicy == Killing::Enabled && Defs.size() > 1)
+      Defs = maximalDefinitions(H, Defs);
+  }
+}
+
+const std::vector<NaivePropagationEngine::Definition> &
+NaivePropagationEngine::reachingDefinitions(ClassId Context, Symbol Member) {
+  assert(Context.isValid() && Context.index() < H.numClasses() &&
+         "bad class id");
+  const Column &Col = columnFor(Member);
+  if (Col.Overflowed)
+    return Empty;
+  return Col.DefsPerClass[Context.index()];
+}
+
+bool NaivePropagationEngine::overflowed(Symbol Member) {
+  return columnFor(Member).Overflowed;
+}
+
+LookupResult NaivePropagationEngine::lookup(ClassId Context, Symbol Member) {
+  assert(Context.isValid() && Context.index() < H.numClasses() &&
+         "bad class id");
+  const Column &Col = columnFor(Member);
+  if (Col.Overflowed)
+    return LookupResult::overflow();
+
+  return resolveByDominance(H, Col.DefsPerClass[Context.index()], Member);
+}

@@ -1,0 +1,75 @@
+//===- SubobjectLookupEngine.cpp - R-F reference ---------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/SubobjectLookupEngine.h"
+
+#include "memlook/core/MostDominant.h"
+
+using namespace memlook;
+
+SubobjectLookupEngine::SubobjectLookupEngine(const Hierarchy &H,
+                                             size_t MaxSubobjects)
+    : LookupEngine(H), MaxSubobjects(MaxSubobjects) {}
+
+const SubobjectGraph *SubobjectLookupEngine::graphFor(ClassId Complete) {
+  auto It = GraphCache.find(Complete);
+  if (It == GraphCache.end())
+    It = GraphCache
+             .emplace(Complete,
+                      SubobjectGraph::build(H, Complete, MaxSubobjects))
+             .first;
+  return It->second ? &*It->second : nullptr;
+}
+
+LookupResult SubobjectLookupEngine::lookup(ClassId Context, Symbol Member) {
+  const SubobjectGraph *Graph = graphFor(Context);
+  if (!Graph)
+    return LookupResult::overflow();
+
+  std::vector<DefinitionRecord> Defs;
+  for (SubobjectId Id : Graph->definingSubobjects(Member)) {
+    const SubobjectGraph::Subobject &S = Graph->subobject(Id);
+    Defs.push_back(DefinitionRecord{S.Key, S.Repr});
+  }
+  return resolveByDominance(H, Defs, Member);
+}
+
+LookupResult SubobjectLookupEngine::dynLookup(ClassId Complete,
+                                              const SubobjectKey &S,
+                                              Symbol Member) {
+  // dyn(m, s) = lookup(mdc(s), m): virtual dispatch always resolves in
+  // the context of the complete object's class.
+  assert(S.Mdc == Complete && "subobject key from a different object");
+  (void)Complete;
+  return lookup(S.Mdc, Member);
+}
+
+LookupResult SubobjectLookupEngine::statLookup(ClassId Complete,
+                                               const SubobjectKey &S,
+                                               Symbol Member) {
+  // stat(m, s) = lookup(ldc(s), m) o s: resolve against the static type,
+  // then re-embed the found subobject into the complete object.
+  assert(S.Mdc == Complete && "subobject key from a different object");
+  LookupResult Inner = lookup(S.ldc(), Member);
+  if (Inner.Status != LookupStatus::Unambiguous)
+    return Inner;
+
+  assert(Inner.Subobject && Inner.Witness && "reference result lacks key");
+  SubobjectKey Composed = composeSubobjectKeys(*Inner.Subobject, S);
+
+  // The witness path of the composition: inner witness continued by a
+  // representative path of s (taken from the complete object's graph).
+  std::optional<Path> Witness;
+  if (const SubobjectGraph *Graph = graphFor(Complete)) {
+    SubobjectId SId = Graph->find(S);
+    assert(SId.isValid() && "key does not name a subobject");
+    Witness = concat(*Inner.Witness, Graph->subobject(SId).Repr);
+  }
+
+  return LookupResult::unambiguous(Inner.DefiningClass, std::move(Composed),
+                                   std::move(Witness), Inner.SharedStatic);
+}

@@ -1,0 +1,89 @@
+//===- TableStatistics.cpp - Table metrics -----------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/TableStatistics.h"
+
+#include "memlook/subobject/SubobjectCount.h"
+
+#include <sstream>
+
+using namespace memlook;
+
+TableStatistics
+memlook::computeTableStatistics(const Hierarchy &H,
+                                DominanceLookupEngine &Engine) {
+  TableStatistics Stats;
+  Stats.Classes = H.numClasses();
+  Stats.Edges = H.numEdges();
+  Stats.MemberNames = static_cast<uint32_t>(H.allMemberNames().size());
+  Stats.MemberDecls = H.numMemberDecls();
+
+  using Entry = DominanceLookupEngine::Entry;
+  for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx) {
+    ClassId C(Idx);
+    for (Symbol Member : H.allMemberNames()) {
+      ++Stats.Pairs;
+      const Entry &E = Engine.entry(C, Member);
+      switch (E.EntryKind) {
+      case Entry::Kind::Absent:
+        ++Stats.NotFoundPairs;
+        break;
+      case Entry::Kind::Red:
+        ++Stats.UnambiguousPairs;
+        if (E.StaticMerged)
+          ++Stats.SharedStaticPairs;
+        break;
+      case Entry::Kind::Blue:
+        ++Stats.AmbiguousPairs;
+        if (E.Blues.size() > Stats.MaxBlueSetSize) {
+          Stats.MaxBlueSetSize = E.Blues.size();
+          Stats.MaxBlueSetClass = C;
+          Stats.MaxBlueSetMember = Member;
+        }
+        break;
+      }
+    }
+
+    uint64_t Count = countSubobjects(H, C);
+    Stats.TotalSubobjects = saturatingAdd(Stats.TotalSubobjects, Count);
+    if (Count > Stats.MaxSubobjects) {
+      Stats.MaxSubobjects = Count;
+      Stats.MaxSubobjectsClass = C;
+    }
+  }
+  return Stats;
+}
+
+std::string memlook::formatTableStatistics(const Hierarchy &H,
+                                           const TableStatistics &Stats) {
+  std::ostringstream OS;
+  OS << "classes " << Stats.Classes << ", edges " << Stats.Edges
+     << ", member names " << Stats.MemberNames << " ("
+     << Stats.MemberDecls << " declarations)\n";
+  OS << "lookup table: " << Stats.Pairs << " pairs = "
+     << Stats.UnambiguousPairs << " unambiguous ("
+     << Stats.SharedStaticPairs << " via shared static), "
+     << Stats.AmbiguousPairs << " ambiguous, " << Stats.NotFoundPairs
+     << " not-found\n";
+  if (Stats.MaxBlueSetSize != 0)
+    OS << "largest blue set: " << Stats.MaxBlueSetSize << " at "
+       << H.className(Stats.MaxBlueSetClass)
+       << "::" << H.spelling(Stats.MaxBlueSetMember) << '\n';
+  OS << "subobjects: "
+     << (Stats.TotalSubobjects == UINT64_MAX
+             ? std::string(">= 2^64")
+             : std::to_string(Stats.TotalSubobjects))
+     << " total across complete-object types, largest ";
+  if (Stats.MaxSubobjects == UINT64_MAX)
+    OS << ">= 2^64";
+  else
+    OS << Stats.MaxSubobjects;
+  if (Stats.MaxSubobjectsClass.isValid())
+    OS << " (" << H.className(Stats.MaxSubobjectsClass) << ")";
+  OS << '\n';
+  return OS.str();
+}

@@ -1,0 +1,66 @@
+//===- TopsortShortcutEngine.cpp - Section 7.2 -----------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/TopsortShortcutEngine.h"
+
+using namespace memlook;
+
+TopsortShortcutEngine::TopsortShortcutEngine(const Hierarchy &H)
+    : LookupEngine(H) {
+  TopoNumber.assign(H.numClasses(), 0);
+  const std::vector<ClassId> &Order = H.topologicalOrder();
+  for (uint32_t Pos = 0, E = static_cast<uint32_t>(Order.size()); Pos != E;
+       ++Pos)
+    TopoNumber[Order[Pos].index()] = Pos;
+}
+
+LookupResult TopsortShortcutEngine::lookup(ClassId Context, Symbol Member) {
+  // Select the declaring class with the maximum topological number among
+  // Context and its bases. (Any declaring class reaches Context by some
+  // path; when the program has no ambiguous lookups all those paths name
+  // the same subobject, so one greedy witness path below suffices.)
+  ClassId BestClass;
+  uint32_t BestNumber = 0;
+  auto Consider = [&](ClassId Candidate) {
+    if (!H.declaresMember(Candidate, Member))
+      return;
+    if (!BestClass.isValid() || TopoNumber[Candidate.index()] > BestNumber) {
+      BestClass = Candidate;
+      BestNumber = TopoNumber[Candidate.index()];
+    }
+  };
+
+  Consider(Context);
+  H.basesOf(Context).forEachSetBit(
+      [&](size_t Idx) { Consider(ClassId(static_cast<uint32_t>(Idx))); });
+
+  if (!BestClass.isValid())
+    return LookupResult::notFound();
+
+  // Greedy witness: walk derived-wards from the defining class toward
+  // Context, always stepping into a class that still reaches Context.
+  Path Witness(BestClass);
+  ClassId Cur = BestClass;
+  while (Cur != Context) {
+    ClassId Next;
+    for (ClassId Derived : H.info(Cur).DirectDerived)
+      if (Derived == Context || H.isBaseOf(Derived, Context)) {
+        Next = Derived;
+        break;
+      }
+    assert(Next.isValid() && "declaring class does not reach context");
+    Witness.Nodes.push_back(Next);
+    Cur = Next;
+  }
+
+  // Compute the key before the move: argument evaluation order is
+  // unspecified, so passing subobjectKey(H, Witness) and
+  // std::move(Witness) in one call would be a use-after-move hazard.
+  SubobjectKey Key = subobjectKey(H, Witness);
+  return LookupResult::unambiguous(BestClass, std::move(Key),
+                                   std::move(Witness));
+}

@@ -1,0 +1,68 @@
+//===- UnqualifiedLookup.cpp - Scope stack ---------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/UnqualifiedLookup.h"
+
+using namespace memlook;
+
+void ScopeStack::pushLexicalScope(std::string Name) {
+  Scope S;
+  S.IsClass = false;
+  S.Name = std::move(Name);
+  Scopes.push_back(std::move(S));
+}
+
+void ScopeStack::pushClassScope(ClassId Class) {
+  assert(Class.isValid() && "pushing invalid class scope");
+  Scope S;
+  S.IsClass = true;
+  S.Class = Class;
+  Scopes.push_back(std::move(S));
+}
+
+void ScopeStack::popScope() {
+  assert(!Scopes.empty() && "pop of empty scope stack");
+  Scopes.pop_back();
+}
+
+void ScopeStack::declare(std::string_view Name) {
+  assert(!Scopes.empty() && "declare with no scope");
+  assert(!Scopes.back().IsClass &&
+         "class scopes are populated by the hierarchy, not declare()");
+  Scopes.back().Names.insert(std::string(Name));
+}
+
+ResolvedName ScopeStack::resolve(std::string_view Name) {
+  for (size_t I = Scopes.size(); I-- > 0;) {
+    Scope &S = Scopes[I];
+    if (!S.IsClass) {
+      if (S.Names.count(std::string(Name))) {
+        ResolvedName R;
+        R.NameKind = ResolvedName::Kind::LocalName;
+        R.ScopeIndex = I;
+        R.ScopeName = S.Name;
+        return R;
+      }
+      continue;
+    }
+
+    // Class scope: the local lookup is exactly the member lookup
+    // problem. Both a successful and an *ambiguous* member lookup bind
+    // the name (the latter is then an error at the use site); only
+    // NotFound continues outward.
+    LookupResult MemberResult = Engine.lookup(S.Class, Name);
+    if (MemberResult.Status == LookupStatus::NotFound)
+      continue;
+    ResolvedName R;
+    R.NameKind = ResolvedName::Kind::Member;
+    R.ScopeIndex = I;
+    R.ClassScope = S.Class;
+    R.MemberResult = std::move(MemberResult);
+    return R;
+  }
+  return ResolvedName{};
+}

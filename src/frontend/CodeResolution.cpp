@@ -1,0 +1,160 @@
+//===- CodeResolution.cpp - code blocks ---------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/frontend/CodeResolution.h"
+
+#include "memlook/core/UnqualifiedLookup.h"
+#include "memlook/subobject/SubobjectCount.h"
+
+using namespace memlook;
+
+namespace {
+
+std::string describeMember(const Hierarchy &H, const NameUse &Use,
+                           const LookupResult &R) {
+  std::string Out;
+  if (!Use.Qualifier.empty()) {
+    Out += Use.Qualifier;
+    Out += "::";
+  }
+  Out += Use.Name;
+  Out += " -> ";
+  Out += formatLookupResult(H, R);
+  return Out;
+}
+
+} // namespace
+
+bool memlook::useMatchesExpectation(const Hierarchy &H,
+                                    const ResolvedUse &Use) {
+  if (!Use.Use || Use.Use->Expected.empty())
+    return true;
+  const std::string &Expected = Use.Use->Expected;
+  if (Expected == "ambiguous")
+    return Use.UseKind == ResolvedUse::Kind::AmbiguousMember;
+  if (Expected == "error")
+    return Use.UseKind != ResolvedUse::Kind::Member;
+  return Use.UseKind == ResolvedUse::Kind::Member &&
+         H.className(Use.Member.DefiningClass) == Expected;
+}
+
+std::vector<ResolvedUse> memlook::resolveCodeBlock(const Hierarchy &H,
+                                                   LookupEngine &Engine,
+                                                   const CodeBlock &Block) {
+  std::vector<ResolvedUse> Results;
+
+  ClassId Context = H.findClass(Block.ClassName);
+  if (!Context.isValid()) {
+    ResolvedUse Bad;
+    Bad.UseKind = ResolvedUse::Kind::BadQualifier;
+    Bad.Description =
+        "code block names unknown class '" + Block.ClassName + "'";
+    Results.push_back(std::move(Bad));
+    return Results;
+  }
+
+  // The lexical context of a member function body: the class scope.
+  ScopeStack Scopes(Engine);
+  Scopes.pushClassScope(Context);
+
+  for (const NameUse &Use : Block.Uses) {
+    ResolvedUse Out;
+    Out.Use = &Use;
+
+    if (Use.Qualifier.empty()) {
+      // Unqualified: ordinary scope resolution; the class scope
+      // delegates to member lookup (paper Section 6).
+      ResolvedName R = Scopes.resolve(Use.Name);
+      switch (R.NameKind) {
+      case ResolvedName::Kind::NotFound:
+        Out.UseKind = ResolvedUse::Kind::UnknownName;
+        Out.Description = Use.Name + " -> error: undeclared name";
+        break;
+      case ResolvedName::Kind::LocalName:
+        // Cannot happen here: the stack holds only the class scope.
+        Out.UseKind = ResolvedUse::Kind::Member;
+        Out.Description = Use.Name + " -> local";
+        break;
+      case ResolvedName::Kind::Member:
+        Out.Member = std::move(*R.MemberResult);
+        Out.UseKind = Out.Member.Status == LookupStatus::Unambiguous
+                          ? ResolvedUse::Kind::Member
+                          : ResolvedUse::Kind::AmbiguousMember;
+        Out.Description = describeMember(H, Use, Out.Member);
+        break;
+      }
+      Results.push_back(std::move(Out));
+      continue;
+    }
+
+    // Qualified: B::x.
+    ClassId Naming = H.findClass(Use.Qualifier);
+    if (!Naming.isValid()) {
+      Out.UseKind = ResolvedUse::Kind::BadQualifier;
+      Out.Description = Use.Qualifier + "::" + Use.Name +
+                        " -> error: unknown class '" + Use.Qualifier + "'";
+      Results.push_back(std::move(Out));
+      continue;
+    }
+
+    Symbol Member = H.findName(Use.Name);
+    if (!Member.isValid()) {
+      // The name was never declared anywhere; report the base problem
+      // first if there is one (the better diagnostic), else not-found.
+      uint64_t Copies = countSubobjectsWithLdc(H, Context, Naming);
+      if (Copies == 0) {
+        Out.UseKind = ResolvedUse::Kind::BadQualifier;
+        Out.Description = Use.Qualifier + "::" + Use.Name +
+                          " -> error: '" + Use.Qualifier + "' is not " +
+                          Block.ClassName + " or one of its bases";
+      } else if (Copies > 1) {
+        Out.UseKind = ResolvedUse::Kind::BadQualifier;
+        Out.Description = Use.Qualifier + "::" + Use.Name +
+                          " -> error: '" + Use.Qualifier +
+                          "' is an ambiguous base of " + Block.ClassName;
+      } else {
+        Out.UseKind = ResolvedUse::Kind::UnknownName;
+        Out.Description = Use.Qualifier + "::" + Use.Name +
+                          " -> error: no member named '" + Use.Name + "'";
+      }
+      Results.push_back(std::move(Out));
+      continue;
+    }
+
+    QualifiedLookupResult Q =
+        qualifiedMemberLookup(H, Engine, Context, Naming, Member);
+    switch (Q.ResultKind) {
+    case QualifiedLookupResult::Kind::NotABase:
+      Out.UseKind = ResolvedUse::Kind::BadQualifier;
+      Out.Description = Use.Qualifier + "::" + Use.Name + " -> error: '" +
+                        Use.Qualifier + "' is not " + Block.ClassName +
+                        " or one of its bases";
+      break;
+    case QualifiedLookupResult::Kind::AmbiguousBase:
+      Out.UseKind = ResolvedUse::Kind::BadQualifier;
+      Out.Description = Use.Qualifier + "::" + Use.Name + " -> error: '" +
+                        Use.Qualifier + "' is an ambiguous base of " +
+                        Block.ClassName;
+      break;
+    case QualifiedLookupResult::Kind::MemberProblem:
+      Out.Member = std::move(Q.Member);
+      Out.UseKind = Out.Member.Status == LookupStatus::Ambiguous
+                        ? ResolvedUse::Kind::AmbiguousMember
+                        : ResolvedUse::Kind::UnknownName;
+      Out.Description = describeMember(H, Use, Out.Member);
+      break;
+    case QualifiedLookupResult::Kind::Ok:
+      Out.Member = std::move(Q.Member);
+      Out.UseKind = ResolvedUse::Kind::Member;
+      Out.Description = describeMember(H, Use, Out.Member);
+      break;
+    }
+    Results.push_back(std::move(Out));
+  }
+
+  return Results;
+}

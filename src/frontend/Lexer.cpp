@@ -1,0 +1,200 @@
+//===- Lexer.cpp - Mini-C++ lexer ------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/frontend/Lexer.h"
+
+#include <cctype>
+
+using namespace memlook;
+
+const char *memlook::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::KwClass:
+    return "'class'";
+  case TokenKind::KwStruct:
+    return "'struct'";
+  case TokenKind::KwVirtual:
+    return "'virtual'";
+  case TokenKind::KwStatic:
+    return "'static'";
+  case TokenKind::KwPublic:
+    return "'public'";
+  case TokenKind::KwProtected:
+    return "'protected'";
+  case TokenKind::KwPrivate:
+    return "'private'";
+  case TokenKind::KwLookup:
+    return "'lookup'";
+  case TokenKind::KwExpect:
+    return "'expect'";
+  case TokenKind::KwUsing:
+    return "'using'";
+  case TokenKind::KwCode:
+    return "'code'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Equals:
+    return "'='";
+  case TokenKind::Arrow:
+    return "'=>'";
+  case TokenKind::ColonColon:
+    return "'::'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::EndOfFile:
+    return "end of input";
+  case TokenKind::Invalid:
+    return "invalid token";
+  }
+  return "unknown";
+}
+
+static TokenKind keywordOrIdentifier(std::string_view Text) {
+  if (Text == "class")
+    return TokenKind::KwClass;
+  if (Text == "struct")
+    return TokenKind::KwStruct;
+  if (Text == "virtual")
+    return TokenKind::KwVirtual;
+  if (Text == "static")
+    return TokenKind::KwStatic;
+  if (Text == "public")
+    return TokenKind::KwPublic;
+  if (Text == "protected")
+    return TokenKind::KwProtected;
+  if (Text == "private")
+    return TokenKind::KwPrivate;
+  if (Text == "lookup")
+    return TokenKind::KwLookup;
+  if (Text == "expect")
+    return TokenKind::KwExpect;
+  if (Text == "using")
+    return TokenKind::KwUsing;
+  if (Text == "code")
+    return TokenKind::KwCode;
+  return TokenKind::Identifier;
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags) {
+  lexAll(Source, Diags);
+}
+
+void Lexer::lexAll(std::string_view Source, DiagnosticEngine &Diags) {
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+
+  auto Advance = [&](size_t Count) {
+    for (size_t I = 0; I != Count; ++I) {
+      if (Source[Pos + I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+    Pos += Count;
+  };
+
+  auto Emit = [&](TokenKind Kind, size_t Length) {
+    Tokens.push_back(
+        Token{Kind, Source.substr(Pos, Length), SourceLoc{Line, Col}});
+    Advance(Length);
+  };
+
+  while (Pos < Source.size()) {
+    char C = Source[Pos];
+
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance(1);
+      continue;
+    }
+
+    // Comments.
+    if (C == '/' && Pos + 1 < Source.size()) {
+      if (Source[Pos + 1] == '/') {
+        size_t End = Source.find('\n', Pos);
+        Advance((End == std::string_view::npos ? Source.size() : End) - Pos);
+        continue;
+      }
+      if (Source[Pos + 1] == '*') {
+        size_t End = Source.find("*/", Pos + 2);
+        if (End == std::string_view::npos) {
+          Diags.error(SourceLoc{Line, Col}, "unterminated block comment");
+          Advance(Source.size() - Pos);
+          continue;
+        }
+        Advance(End + 2 - Pos);
+        continue;
+      }
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Length = 1;
+      while (Pos + Length < Source.size() &&
+             (std::isalnum(static_cast<unsigned char>(Source[Pos + Length])) ||
+              Source[Pos + Length] == '_'))
+        ++Length;
+      Emit(keywordOrIdentifier(Source.substr(Pos, Length)), Length);
+      continue;
+    }
+
+    switch (C) {
+    case '{':
+      Emit(TokenKind::LBrace, 1);
+      continue;
+    case '}':
+      Emit(TokenKind::RBrace, 1);
+      continue;
+    case '(':
+      Emit(TokenKind::LParen, 1);
+      continue;
+    case ')':
+      Emit(TokenKind::RParen, 1);
+      continue;
+    case ',':
+      Emit(TokenKind::Comma, 1);
+      continue;
+    case ';':
+      Emit(TokenKind::Semicolon, 1);
+      continue;
+    case '=':
+      if (Pos + 1 < Source.size() && Source[Pos + 1] == '>') {
+        Emit(TokenKind::Arrow, 2);
+      } else {
+        Emit(TokenKind::Equals, 1);
+      }
+      continue;
+    case ':':
+      if (Pos + 1 < Source.size() && Source[Pos + 1] == ':') {
+        Emit(TokenKind::ColonColon, 2);
+      } else {
+        Emit(TokenKind::Colon, 1);
+      }
+      continue;
+    default:
+      Diags.error(SourceLoc{Line, Col},
+                  std::string("unexpected character '") + C + "'");
+      Emit(TokenKind::Invalid, 1);
+      continue;
+    }
+  }
+
+  Tokens.push_back(Token{TokenKind::EndOfFile, {}, SourceLoc{Line, Col}});
+}

@@ -1,0 +1,398 @@
+//===- Parser.cpp - Mini-C++ parser ----------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/frontend/Parser.h"
+
+#include <string>
+
+using namespace memlook;
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+public:
+  Parser(const std::vector<Token> &Tokens, DiagnosticEngine &Diags)
+      : Tokens(Tokens), Diags(Diags) {}
+
+  std::optional<ParsedProgram> run();
+
+private:
+  const Token &peek(size_t Ahead = 0) const {
+    size_t Idx = std::min(Pos + Ahead, Tokens.size() - 1);
+    return Tokens[Idx];
+  }
+
+  const Token &advance() {
+    const Token &T = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+
+  bool consumeIf(TokenKind Kind) {
+    if (!peek().is(Kind))
+      return false;
+    advance();
+    return true;
+  }
+
+  /// Consumes a token of \p Kind or reports "expected X" and returns
+  /// false.
+  bool expect(TokenKind Kind) {
+    if (consumeIf(Kind))
+      return true;
+    Diags.error(peek().Loc, std::string("expected ") + tokenKindName(Kind) +
+                                " before " + tokenKindName(peek().Kind));
+    return false;
+  }
+
+  /// Skips tokens until after the next semicolon (or closing brace /
+  /// EOF) - the error-recovery resynchronization point.
+  void skipToSemicolon() {
+    while (!peek().is(TokenKind::EndOfFile)) {
+      if (advance().is(TokenKind::Semicolon))
+        return;
+      if (peek().is(TokenKind::RBrace))
+        return;
+    }
+  }
+
+  void parseClassDef();
+  void parseBaseList(ClassId Class, AccessSpec DefaultAccess);
+  void parseMember(ClassId Class, AccessSpec &CurrentAccess);
+  void parseLookupDirective();
+  void parseCodeBlock();
+
+  const std::vector<Token> &Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+
+  Hierarchy H;
+  std::vector<LookupDirective> Lookups;
+  std::vector<CodeBlock> CodeBlocks;
+};
+
+} // namespace
+
+std::optional<ParsedProgram> Parser::run() {
+  while (!peek().is(TokenKind::EndOfFile)) {
+    if (peek().is(TokenKind::KwClass) || peek().is(TokenKind::KwStruct)) {
+      parseClassDef();
+      continue;
+    }
+    if (peek().is(TokenKind::KwLookup) || peek().is(TokenKind::KwExpect)) {
+      parseLookupDirective();
+      continue;
+    }
+    if (peek().is(TokenKind::KwCode)) {
+      parseCodeBlock();
+      continue;
+    }
+    Diags.error(peek().Loc,
+                std::string(
+                    "expected 'class', 'struct', 'lookup', 'expect', or "
+                    "'code', got ") +
+                    tokenKindName(peek().Kind));
+    advance();
+  }
+
+  if (Diags.hasErrors())
+    return std::nullopt;
+  if (!H.finalize(Diags))
+    return std::nullopt;
+  return ParsedProgram{std::move(H), std::move(Lookups),
+                       std::move(CodeBlocks)};
+}
+
+void Parser::parseClassDef() {
+  bool IsStruct = peek().is(TokenKind::KwStruct);
+  SourceLoc KeywordLoc = advance().Loc;
+  AccessSpec DefaultAccess =
+      IsStruct ? AccessSpec::Public : AccessSpec::Private;
+
+  if (!peek().is(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected class name");
+    skipToSemicolon();
+    return;
+  }
+  Token NameTok = advance();
+  ClassId Class = H.createClass(NameTok.Text, NameTok.Loc, &Diags);
+  if (!Class.isValid()) {
+    skipToSemicolon();
+    return;
+  }
+  (void)KeywordLoc;
+
+  if (consumeIf(TokenKind::Colon))
+    parseBaseList(Class, DefaultAccess);
+
+  if (!expect(TokenKind::LBrace)) {
+    skipToSemicolon();
+    return;
+  }
+
+  AccessSpec CurrentAccess = DefaultAccess;
+  while (!peek().is(TokenKind::RBrace) && !peek().is(TokenKind::EndOfFile))
+    parseMember(Class, CurrentAccess);
+
+  expect(TokenKind::RBrace);
+  expect(TokenKind::Semicolon);
+}
+
+void Parser::parseBaseList(ClassId Class, AccessSpec DefaultAccess) {
+  do {
+    bool Virtual = false;
+    bool SawAccess = false;
+    AccessSpec Access = DefaultAccess;
+
+    // C++ allows 'virtual' and the access specifier in either order.
+    while (true) {
+      if (consumeIf(TokenKind::KwVirtual)) {
+        Virtual = true;
+        continue;
+      }
+      if (peek().is(TokenKind::KwPublic) ||
+          peek().is(TokenKind::KwProtected) ||
+          peek().is(TokenKind::KwPrivate)) {
+        if (SawAccess)
+          Diags.error(peek().Loc, "duplicate access specifier in base");
+        SawAccess = true;
+        TokenKind K = advance().Kind;
+        Access = K == TokenKind::KwPublic      ? AccessSpec::Public
+                 : K == TokenKind::KwProtected ? AccessSpec::Protected
+                                               : AccessSpec::Private;
+        continue;
+      }
+      break;
+    }
+
+    if (!peek().is(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected base class name");
+      return;
+    }
+    Token BaseTok = advance();
+    ClassId Base = H.findClass(BaseTok.Text);
+    if (!Base.isValid()) {
+      Diags.error(BaseTok.Loc, "base class '" + std::string(BaseTok.Text) +
+                                   "' is not defined");
+      continue;
+    }
+    H.addBase(Class, Base,
+              Virtual ? InheritanceKind::Virtual : InheritanceKind::NonVirtual,
+              Access, BaseTok.Loc, &Diags);
+  } while (consumeIf(TokenKind::Comma));
+}
+
+void Parser::parseMember(ClassId Class, AccessSpec &CurrentAccess) {
+  // Access label: 'public:' etc.
+  if (peek().is(TokenKind::KwPublic) || peek().is(TokenKind::KwProtected) ||
+      peek().is(TokenKind::KwPrivate)) {
+    if (peek(1).is(TokenKind::Colon)) {
+      TokenKind K = advance().Kind;
+      advance(); // ':'
+      CurrentAccess = K == TokenKind::KwPublic      ? AccessSpec::Public
+                      : K == TokenKind::KwProtected ? AccessSpec::Protected
+                                                    : AccessSpec::Private;
+      return;
+    }
+  }
+
+  // Using-declaration: `using Base::name;`.
+  if (consumeIf(TokenKind::KwUsing)) {
+    if (!peek().is(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected base class name after 'using'");
+      skipToSemicolon();
+      return;
+    }
+    Token BaseTok = advance();
+    if (!expect(TokenKind::ColonColon)) {
+      skipToSemicolon();
+      return;
+    }
+    if (!peek().is(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected member name after '::'");
+      skipToSemicolon();
+      return;
+    }
+    Token NameTok = advance();
+    expect(TokenKind::Semicolon);
+
+    ClassId Base = H.findClass(BaseTok.Text);
+    if (!Base.isValid()) {
+      Diags.error(BaseTok.Loc, "class '" + std::string(BaseTok.Text) +
+                                   "' in using-declaration is not defined");
+      return;
+    }
+    H.addUsingDeclaration(Class, Base, NameTok.Text, CurrentAccess,
+                          NameTok.Loc, &Diags);
+    return;
+  }
+
+  bool IsStatic = false;
+  bool IsVirtual = false;
+  while (true) {
+    if (consumeIf(TokenKind::KwStatic)) {
+      IsStatic = true;
+      continue;
+    }
+    if (consumeIf(TokenKind::KwVirtual)) {
+      IsVirtual = true;
+      continue;
+    }
+    break;
+  }
+
+  if (!peek().is(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, std::string("expected member declaration, got ") +
+                                tokenKindName(peek().Kind));
+    skipToSemicolon();
+    return;
+  }
+
+  // One identifier: the member name. Two: a type name we ignore, then
+  // the member name ('void m();').
+  Token First = advance();
+  Token NameTok = First;
+  if (peek().is(TokenKind::Identifier))
+    NameTok = advance();
+
+  if (consumeIf(TokenKind::LParen))
+    expect(TokenKind::RParen);
+
+  if (!expect(TokenKind::Semicolon)) {
+    skipToSemicolon();
+    return;
+  }
+
+  H.addMember(Class, NameTok.Text, IsStatic, IsVirtual, CurrentAccess,
+              NameTok.Loc, &Diags);
+}
+
+void Parser::parseLookupDirective() {
+  bool IsExpect = peek().is(TokenKind::KwExpect);
+  SourceLoc Loc = advance().Loc; // 'lookup' or 'expect'
+
+  if (!peek().is(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, std::string("expected class name after '") +
+                                (IsExpect ? "expect'" : "lookup'"));
+    skipToSemicolon();
+    return;
+  }
+  Token ClassTok = advance();
+
+  if (!expect(TokenKind::ColonColon)) {
+    skipToSemicolon();
+    return;
+  }
+
+  if (!peek().is(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected member name after '::'");
+    skipToSemicolon();
+    return;
+  }
+  Token MemberTok = advance();
+
+  std::optional<LookupExpectation> Expectation;
+  if (IsExpect) {
+    if (!expect(TokenKind::Equals)) {
+      skipToSemicolon();
+      return;
+    }
+    if (!peek().is(TokenKind::Identifier)) {
+      Diags.error(peek().Loc,
+                  "expected class name, 'ambiguous', or 'notfound' "
+                  "after '='");
+      skipToSemicolon();
+      return;
+    }
+    Token OutcomeTok = advance();
+    LookupExpectation E;
+    if (OutcomeTok.Text == "ambiguous") {
+      E.ExpectKind = LookupExpectation::Kind::Ambiguous;
+    } else if (OutcomeTok.Text == "notfound") {
+      E.ExpectKind = LookupExpectation::Kind::NotFound;
+    } else {
+      E.ExpectKind = LookupExpectation::Kind::ResolvesTo;
+      E.DefiningClass = std::string(OutcomeTok.Text);
+    }
+    Expectation = std::move(E);
+  }
+  expect(TokenKind::Semicolon);
+
+  Lookups.push_back(LookupDirective{std::string(ClassTok.Text),
+                                    std::string(MemberTok.Text), Loc,
+                                    std::move(Expectation)});
+}
+
+void Parser::parseCodeBlock() {
+  SourceLoc Loc = advance().Loc; // 'code'
+
+  if (!peek().is(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected class name after 'code'");
+    skipToSemicolon();
+    return;
+  }
+  Token ClassTok = advance();
+
+  CodeBlock Block;
+  Block.ClassName = std::string(ClassTok.Text);
+  Block.Loc = Loc;
+
+  if (!expect(TokenKind::LBrace)) {
+    skipToSemicolon();
+    return;
+  }
+
+  while (!peek().is(TokenKind::RBrace) && !peek().is(TokenKind::EndOfFile)) {
+    if (!peek().is(TokenKind::Identifier)) {
+      Diags.error(peek().Loc,
+                  std::string("expected a name use, got ") +
+                      tokenKindName(peek().Kind));
+      skipToSemicolon();
+      continue;
+    }
+    Token First = advance();
+    NameUse Use;
+    Use.Loc = First.Loc;
+    if (consumeIf(TokenKind::ColonColon)) {
+      if (!peek().is(TokenKind::Identifier)) {
+        Diags.error(peek().Loc, "expected member name after '::'");
+        skipToSemicolon();
+        continue;
+      }
+      Token NameTok = advance();
+      Use.Qualifier = std::string(First.Text);
+      Use.Name = std::string(NameTok.Text);
+    } else {
+      Use.Name = std::string(First.Text);
+    }
+    if (consumeIf(TokenKind::Arrow)) {
+      if (!peek().is(TokenKind::Identifier)) {
+        Diags.error(peek().Loc,
+                    "expected class name, 'ambiguous', or 'error' "
+                    "after '=>'");
+        skipToSemicolon();
+        continue;
+      }
+      Use.Expected = std::string(advance().Text);
+    }
+    expect(TokenKind::Semicolon);
+    Block.Uses.push_back(std::move(Use));
+  }
+
+  expect(TokenKind::RBrace);
+  consumeIf(TokenKind::Semicolon); // optional trailing ';'
+  CodeBlocks.push_back(std::move(Block));
+}
+
+std::optional<ParsedProgram> memlook::parseProgram(std::string_view Source,
+                                                   DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.tokens(), Diags);
+  return P.run();
+}

@@ -1,0 +1,57 @@
+//===- SourcePrinter.cpp - Hierarchy -> source --------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/frontend/SourcePrinter.h"
+
+using namespace memlook;
+
+void memlook::printHierarchySource(const Hierarchy &H, std::ostream &OS) {
+  assert(H.isFinalized() && "printing requires finalize()");
+
+  for (ClassId C : H.topologicalOrder()) {
+    const Hierarchy::ClassInfo &Info = H.info(C);
+
+    // `struct` keeps the default access public; everything else is
+    // spelled out explicitly, so the emitted text is default-free.
+    OS << "struct " << H.className(C);
+    bool FirstBase = true;
+    for (const BaseSpecifier &Spec : Info.DirectBases) {
+      OS << (FirstBase ? " : " : ", ");
+      FirstBase = false;
+      if (Spec.Kind == InheritanceKind::Virtual)
+        OS << "virtual ";
+      OS << accessSpelling(Spec.Access) << ' ' << H.className(Spec.Base);
+    }
+
+    if (Info.Members.empty()) {
+      OS << " {};\n";
+      continue;
+    }
+
+    OS << " {\n";
+    // Track the current label; structs start public.
+    AccessSpec Current = AccessSpec::Public;
+    for (const MemberDecl &Member : Info.Members) {
+      if (Member.Access != Current) {
+        Current = Member.Access;
+        OS << accessSpelling(Current) << ":\n";
+      }
+      OS << "  ";
+      if (Member.isUsingDeclaration()) {
+        OS << "using " << H.className(Member.UsingFrom)
+           << "::" << H.spelling(Member.Name) << ";\n";
+        continue;
+      }
+      if (Member.IsStatic)
+        OS << "static ";
+      if (Member.IsVirtual)
+        OS << "virtual ";
+      OS << H.spelling(Member.Name) << ";\n";
+    }
+    OS << "};\n";
+  }
+}

@@ -1,0 +1,81 @@
+//===- SubobjectCount.cpp - Counting ----------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/subobject/SubobjectCount.h"
+
+#include <vector>
+
+using namespace memlook;
+
+uint64_t memlook::countPaths(const Hierarchy &H, ClassId From, ClassId To) {
+  assert(H.isFinalized() && "counting requires finalize()");
+  // Paths[X] = number of paths From -> ... -> X; a single pass in
+  // topological order suffices on a DAG.
+  std::vector<uint64_t> Paths(H.numClasses(), 0);
+  Paths[From.index()] = 1;
+  for (ClassId C : H.topologicalOrder()) {
+    if (Paths[C.index()] == 0)
+      continue;
+    if (C == To)
+      break; // everything after C in the order cannot reach back into To
+    for (ClassId Derived : H.info(C).DirectDerived)
+      Paths[Derived.index()] =
+          saturatingAdd(Paths[Derived.index()], Paths[C.index()]);
+  }
+  return Paths[To.index()];
+}
+
+uint64_t memlook::countSubobjects(const Hierarchy &H, ClassId C) {
+  assert(H.isFinalized() && "counting requires finalize()");
+
+  // NvPaths[X] = number of virtual-free paths ending at X (from any
+  // class, including the trivial path <X>):
+  //   NvPaths[X] = 1 + sum over non-virtual in-edges (U -> X) NvPaths[U]
+  std::vector<uint64_t> NvPaths(H.numClasses(), 0);
+  for (ClassId X : H.topologicalOrder()) {
+    uint64_t Total = 1;
+    for (const BaseSpecifier &Spec : H.info(X).DirectBases)
+      if (Spec.Kind == InheritanceKind::NonVirtual)
+        Total = saturatingAdd(Total, NvPaths[Spec.Base.index()]);
+    NvPaths[X.index()] = Total;
+  }
+
+  // A subobject key (Fixed, C) exists iff Fixed is a virtual-free path
+  // ending at C itself, or at a node w from which some path to C starts
+  // with a virtual edge - exactly "w is a virtual base of C".
+  uint64_t Count = NvPaths[C.index()];
+  H.virtualBasesOf(C).forEachSetBit([&](size_t Idx) {
+    Count = saturatingAdd(Count, NvPaths[Idx]);
+  });
+  return Count;
+}
+
+uint64_t memlook::countSubobjectsWithLdc(const Hierarchy &H, ClassId C,
+                                         ClassId Ldc) {
+  assert(H.isFinalized() && "counting requires finalize()");
+
+  // Same argument as countSubobjects, restricted to fixed parts that
+  // start at Ldc: NvFrom[X] = number of virtual-free paths Ldc -> X.
+  std::vector<uint64_t> NvFrom(H.numClasses(), 0);
+  NvFrom[Ldc.index()] = 1;
+  for (ClassId X : H.topologicalOrder()) {
+    if (NvFrom[X.index()] == 0)
+      continue;
+    for (ClassId Derived : H.info(X).DirectDerived) {
+      auto Kind = H.edgeKind(X, Derived);
+      if (Kind && *Kind == InheritanceKind::NonVirtual)
+        NvFrom[Derived.index()] =
+            saturatingAdd(NvFrom[Derived.index()], NvFrom[X.index()]);
+    }
+  }
+
+  uint64_t Count = NvFrom[C.index()];
+  H.virtualBasesOf(C).forEachSetBit([&](size_t Idx) {
+    Count = saturatingAdd(Count, NvFrom[Idx]);
+  });
+  return Count;
+}

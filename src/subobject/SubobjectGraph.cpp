@@ -1,0 +1,234 @@
+//===- SubobjectGraph.cpp - R-F subobjects ---------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/subobject/SubobjectGraph.h"
+
+#include "memlook/support/DotWriter.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace memlook;
+
+std::optional<SubobjectGraph> SubobjectGraph::build(const Hierarchy &H,
+                                                    ClassId Complete,
+                                                    size_t MaxSubobjects) {
+  assert(H.isFinalized() && "subobject graph requires finalize()");
+  SubobjectGraph Graph(H, Complete);
+
+  // BFS from the complete object [<C>], prepending direct-base edges.
+  // Prepending edge X -> A onto a class with fixed part F(A first):
+  //   virtual edge:      new fixed part is just <X>;
+  //   non-virtual edge:  new fixed part is <X> ++ F.
+  SubobjectKey RootKey{{Complete}, Complete};
+  Graph.Subobjects.push_back(
+      Subobject{RootKey, Path(Complete), {}});
+  Graph.Index.emplace(std::move(RootKey), SubobjectId(0));
+
+  std::deque<SubobjectId> Worklist{SubobjectId(0)};
+  while (!Worklist.empty()) {
+    SubobjectId CurId = Worklist.front();
+    Worklist.pop_front();
+
+    // Copy what we need: Subobjects may reallocate as we append.
+    ClassId Ldc = Graph.Subobjects[CurId.index()].Key.ldc();
+    std::vector<BaseSpecifier> Bases = H.info(Ldc).DirectBases;
+
+    for (const BaseSpecifier &Spec : Bases) {
+      SubobjectKey NewKey;
+      NewKey.Mdc = Complete;
+      if (Spec.Kind == InheritanceKind::Virtual) {
+        NewKey.Fixed = {Spec.Base};
+      } else {
+        const SubobjectKey &CurKey = Graph.Subobjects[CurId.index()].Key;
+        NewKey.Fixed.reserve(CurKey.Fixed.size() + 1);
+        NewKey.Fixed.push_back(Spec.Base);
+        NewKey.Fixed.insert(NewKey.Fixed.end(), CurKey.Fixed.begin(),
+                            CurKey.Fixed.end());
+      }
+
+      auto It = Graph.Index.find(NewKey);
+      SubobjectId BaseId;
+      if (It != Graph.Index.end()) {
+        BaseId = It->second;
+      } else {
+        if (Graph.Subobjects.size() >= MaxSubobjects)
+          return std::nullopt;
+        BaseId = SubobjectId(static_cast<uint32_t>(Graph.Subobjects.size()));
+        Path Repr = Graph.Subobjects[CurId.index()].Repr;
+        Repr.Nodes.insert(Repr.Nodes.begin(), Spec.Base);
+        Graph.Subobjects.push_back(Subobject{NewKey, std::move(Repr), {}});
+        Graph.Index.emplace(std::move(NewKey), BaseId);
+        Worklist.push_back(BaseId);
+      }
+
+      std::vector<SubobjectId> &Out =
+          Graph.Subobjects[CurId.index()].DirectBases;
+      if (std::find(Out.begin(), Out.end(), BaseId) == Out.end())
+        Out.push_back(BaseId);
+    }
+  }
+
+  return Graph;
+}
+
+SubobjectId SubobjectGraph::find(const SubobjectKey &Key) const {
+  auto It = Index.find(Key);
+  return It == Index.end() ? SubobjectId() : It->second;
+}
+
+BitVector SubobjectGraph::reachableFrom(SubobjectId Outer) const {
+  BitVector Reached(Subobjects.size());
+  std::vector<SubobjectId> Stack{Outer};
+  Reached.set(Outer.index());
+  while (!Stack.empty()) {
+    SubobjectId Cur = Stack.back();
+    Stack.pop_back();
+    for (SubobjectId Base : Subobjects[Cur.index()].DirectBases)
+      if (!Reached.test(Base.index())) {
+        Reached.set(Base.index());
+        Stack.push_back(Base);
+      }
+  }
+  return Reached;
+}
+
+bool SubobjectGraph::contains(SubobjectId Outer, SubobjectId Inner) const {
+  if (Outer == Inner)
+    return true;
+  // Plain DFS; reference-engine usage only ever asks about the small set
+  // of defining subobjects, so no closure matrix is kept.
+  std::vector<SubobjectId> Stack{Outer};
+  BitVector Reached(Subobjects.size());
+  Reached.set(Outer.index());
+  while (!Stack.empty()) {
+    SubobjectId Cur = Stack.back();
+    Stack.pop_back();
+    for (SubobjectId Base : Subobjects[Cur.index()].DirectBases) {
+      if (Base == Inner)
+        return true;
+      if (!Reached.test(Base.index())) {
+        Reached.set(Base.index());
+        Stack.push_back(Base);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<SubobjectId>
+SubobjectGraph::definingSubobjects(Symbol Member) const {
+  std::vector<SubobjectId> Result;
+  for (uint32_t Idx = 0, N = numSubobjects(); Idx != N; ++Idx)
+    if (H.declaresMember(Subobjects[Idx].Key.ldc(), Member))
+      Result.push_back(SubobjectId(Idx));
+  return Result;
+}
+
+uint32_t SubobjectGraph::countWithLdc(ClassId Class) const {
+  uint32_t Count = 0;
+  for (const Subobject &S : Subobjects)
+    if (S.Key.ldc() == Class)
+      ++Count;
+  return Count;
+}
+
+void SubobjectGraph::writeDot(std::ostream &OS,
+                              std::string_view GraphName) const {
+  DotWriter Writer(OS, GraphName);
+  for (uint32_t Idx = 0, N = numSubobjects(); Idx != N; ++Idx) {
+    const Subobject &S = Subobjects[Idx];
+    Writer.node(formatSubobjectKey(H, S.Key),
+                std::string(H.className(S.Key.ldc())) + " [" +
+                    formatSubobjectKey(H, S.Key) + "]");
+  }
+  // Containment edges point from base subobject to containing subobject,
+  // matching the figures (derived classes on top, rankdir=BT).
+  for (uint32_t Idx = 0, N = numSubobjects(); Idx != N; ++Idx) {
+    const Subobject &Outer = Subobjects[Idx];
+    for (SubobjectId BaseId : Outer.DirectBases) {
+      const Subobject &Inner = Subobjects[BaseId.index()];
+      auto Kind = H.edgeKind(Inner.Key.ldc(), Outer.Key.ldc());
+      Writer.edge(formatSubobjectKey(H, Inner.Key),
+                  formatSubobjectKey(H, Outer.Key),
+                  Kind && *Kind == InheritanceKind::Virtual);
+    }
+  }
+}
+
+SubobjectKey memlook::composeSubobjectKeys(const SubobjectKey &A,
+                                           const SubobjectKey &S) {
+  assert(A.Mdc == S.ldc() && "keys do not meet");
+  SubobjectKey Result;
+  Result.Mdc = S.Mdc;
+  if (A.isVirtualPathClass()) {
+    // a crosses a virtual edge, so fixed(a . s) = fixed(a).
+    Result.Fixed = A.Fixed;
+  } else {
+    // a is virtual-free, hence fixed(a) = a in full; fixed(a . s) extends
+    // through a into fixed(s).
+    Result.Fixed = A.Fixed;
+    Result.Fixed.insert(Result.Fixed.end(), S.Fixed.begin() + 1,
+                        S.Fixed.end());
+  }
+  return Result;
+}
+
+std::optional<std::string> memlook::checkTheorem1(const Hierarchy &H,
+                                                  ClassId C,
+                                                  size_t MaxPaths) {
+  // Side A: ~-equivalence classes of all paths with mdc = C, with the
+  // dominance order computed by the Path.h calculus.
+  std::map<SubobjectKey, Path> Classes;
+  bool Complete = enumeratePathsTo(
+      H, C,
+      [&](const Path &P) {
+        SubobjectKey Key = subobjectKey(H, P);
+        Classes.emplace(std::move(Key), P);
+      },
+      MaxPaths);
+  if (!Complete)
+    return std::nullopt; // too large; skip rather than half-check
+
+  // Side B: the explicitly-built subobject graph.
+  std::optional<SubobjectGraph> Graph =
+      SubobjectGraph::build(H, C, MaxPaths);
+  if (!Graph)
+    return "subobject graph exceeded budget although path enumeration "
+           "did not";
+
+  if (Classes.size() != Graph->numSubobjects())
+    return "cardinality mismatch: " + std::to_string(Classes.size()) +
+           " path classes vs " + std::to_string(Graph->numSubobjects()) +
+           " subobjects";
+
+  // The carrier map must be a bijection on canonical keys.
+  for (const auto &[Key, Repr] : Classes)
+    if (!Graph->find(Key).isValid())
+      return "path class " + formatSubobjectKey(H, Key) +
+             " has no subobject";
+
+  // Order isomorphism: dominates(a, b) iff contains(a, b).
+  for (const auto &[KeyA, ReprA] : Classes) {
+    SubobjectId IdA = Graph->find(KeyA);
+    BitVector Reach = Graph->reachableFrom(IdA);
+    for (const auto &[KeyB, ReprB] : Classes) {
+      SubobjectId IdB = Graph->find(KeyB);
+      bool Dom = dominates(H, KeyA, KeyB);
+      bool Contains = Reach.test(IdB.index());
+      if (Dom != Contains)
+        return "order mismatch between " + formatSubobjectKey(H, KeyA) +
+               " and " + formatSubobjectKey(H, KeyB) + ": dominates=" +
+               (Dom ? "true" : "false") + " contains=" +
+               (Contains ? "true" : "false");
+    }
+  }
+
+  return std::nullopt;
+}

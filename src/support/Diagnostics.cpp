@@ -1,0 +1,39 @@
+//===- Diagnostics.cpp - Diagnostics ---------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/support/Diagnostics.h"
+
+using namespace memlook;
+
+const char *memlook::severityLabel(Severity S) {
+  switch (S) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::report(Severity Level, SourceLoc Loc,
+                              std::string Message) {
+  if (Level == Severity::Error)
+    ++NumErrors;
+  Diags.push_back(Diagnostic{Level, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::print(std::ostream &OS,
+                             const std::string &InputName) const {
+  for (const Diagnostic &D : Diags) {
+    OS << InputName;
+    if (D.Loc.isValid())
+      OS << ':' << D.Loc.Line << ':' << D.Loc.Col;
+    OS << ": " << severityLabel(D.Level) << ": " << D.Message << '\n';
+  }
+}

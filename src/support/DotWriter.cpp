@@ -1,0 +1,62 @@
+//===- DotWriter.cpp - Graphviz emission -----------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/support/DotWriter.h"
+
+using namespace memlook;
+
+DotWriter::DotWriter(std::ostream &OS, std::string_view GraphName) : OS(OS) {
+  OS << "digraph \"" << escape(GraphName) << "\" {\n";
+  OS << "  rankdir=BT;\n"; // bases at the bottom, like the paper's figures
+}
+
+DotWriter::~DotWriter() { OS << "}\n"; }
+
+void DotWriter::node(std::string_view Id, std::string_view Label,
+                     std::string_view ExtraAttrs) {
+  OS << "  \"" << escape(Id) << "\" [label=\"" << escape(Label) << '"';
+  if (!ExtraAttrs.empty())
+    OS << ", " << ExtraAttrs;
+  OS << "];\n";
+}
+
+void DotWriter::edge(std::string_view From, std::string_view To, bool Dashed,
+                     std::string_view Label) {
+  OS << "  \"" << escape(From) << "\" -> \"" << escape(To) << '"';
+  bool NeedAttrs = Dashed || !Label.empty();
+  if (NeedAttrs) {
+    OS << " [";
+    bool First = true;
+    if (Dashed) {
+      OS << "style=dashed";
+      First = false;
+    }
+    if (!Label.empty()) {
+      if (!First)
+        OS << ", ";
+      OS << "label=\"" << escape(Label) << '"';
+    }
+    OS << ']';
+  }
+  OS << ";\n";
+}
+
+std::string DotWriter::escape(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '\n') {
+      // Render embedded newlines as DOT line breaks.
+      Out += "\\n";
+      continue;
+    }
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}

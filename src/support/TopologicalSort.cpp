@@ -1,0 +1,59 @@
+//===- TopologicalSort.cpp - DAG ordering ----------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/support/TopologicalSort.h"
+
+#include <cassert>
+#include <functional>
+#include <queue>
+
+using namespace memlook;
+
+TopologicalSortResult memlook::topologicalSort(
+    uint32_t NumNodes, const std::vector<std::vector<uint32_t>> &Successors) {
+  assert(Successors.size() == NumNodes && "adjacency list size mismatch");
+
+  TopologicalSortResult Result;
+  std::vector<uint32_t> InDegree(NumNodes, 0);
+  for (const auto &Succs : Successors)
+    for (uint32_t Succ : Succs) {
+      assert(Succ < NumNodes && "edge target out of range");
+      ++InDegree[Succ];
+    }
+
+  // A min-heap of ready nodes makes the order deterministic (smallest
+  // index first among nodes whose predecessors are all emitted).
+  std::priority_queue<uint32_t, std::vector<uint32_t>, std::greater<>> Ready;
+  for (uint32_t N = 0; N != NumNodes; ++N)
+    if (InDegree[N] == 0)
+      Ready.push(N);
+
+  Result.Order.reserve(NumNodes);
+  while (!Ready.empty()) {
+    uint32_t N = Ready.top();
+    Ready.pop();
+    Result.Order.push_back(N);
+    for (uint32_t Succ : Successors[N])
+      if (--InDegree[Succ] == 0)
+        Ready.push(Succ);
+  }
+
+  if (Result.Order.size() == NumNodes) {
+    Result.IsAcyclic = true;
+    return Result;
+  }
+
+  // Some node was never emitted: it sits on (or downstream of) a cycle.
+  // Report the smallest node with a remaining in-degree as the witness.
+  Result.Order.clear();
+  for (uint32_t N = 0; N != NumNodes; ++N)
+    if (InDegree[N] != 0) {
+      Result.CycleWitness = N;
+      break;
+    }
+  return Result;
+}

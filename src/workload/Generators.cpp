@@ -1,0 +1,277 @@
+//===- Generators.cpp - Hierarchy generators --------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/workload/Generators.h"
+
+#include "memlook/chg/HierarchyBuilder.h"
+#include "memlook/support/Rng.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace memlook;
+
+static Workload finish(HierarchyBuilder &&Builder,
+                       std::vector<std::string> QueryClassNames) {
+  Workload W{std::move(Builder).build(), {}, {}};
+  for (const std::string &Name : QueryClassNames) {
+    ClassId Id = W.H.findClass(Name);
+    assert(Id.isValid() && "generator queried unknown class");
+    W.QueryClasses.push_back(Id);
+  }
+  W.QueryMembers = W.H.allMemberNames();
+  return W;
+}
+
+Workload memlook::makeChain(uint32_t Length, uint32_t DeclareEvery) {
+  assert(Length > 0 && DeclareEvery > 0 && "degenerate chain");
+  HierarchyBuilder B;
+  for (uint32_t I = 0; I != Length; ++I) {
+    auto C = B.addClass("C" + std::to_string(I));
+    if (I != 0)
+      C.withBase("C" + std::to_string(I - 1));
+    if (I % DeclareEvery == 0)
+      C.withMember("m");
+  }
+  return finish(std::move(B), {"C" + std::to_string(Length - 1)});
+}
+
+static Workload makeDiamondStack(uint32_t Diamonds, bool Virtual,
+                                 bool RedeclareAtJoins) {
+  assert(Diamonds > 0 && "empty diamond stack");
+  HierarchyBuilder B;
+  B.addClass("J0").withMember("m");
+  for (uint32_t I = 1; I <= Diamonds; ++I) {
+    std::string Below = "J" + std::to_string(I - 1);
+    std::string Left = "L" + std::to_string(I);
+    std::string Right = "R" + std::to_string(I);
+    std::string Join = "J" + std::to_string(I);
+    if (Virtual) {
+      B.addClass(Left).withVirtualBase(Below);
+      B.addClass(Right).withVirtualBase(Below);
+    } else {
+      B.addClass(Left).withBase(Below);
+      B.addClass(Right).withBase(Below);
+    }
+    auto J = B.addClass(Join).withBase(Left).withBase(Right);
+    if (RedeclareAtJoins)
+      J.withMember("m");
+  }
+  return finish(std::move(B), {"J" + std::to_string(Diamonds),
+                               "L" + std::to_string(Diamonds)});
+}
+
+Workload memlook::makeNonVirtualDiamondStack(uint32_t Diamonds,
+                                             bool RedeclareAtJoins) {
+  return makeDiamondStack(Diamonds, /*Virtual=*/false, RedeclareAtJoins);
+}
+
+Workload memlook::makeVirtualDiamondStack(uint32_t Diamonds,
+                                          bool RedeclareAtJoins) {
+  return makeDiamondStack(Diamonds, /*Virtual=*/true, RedeclareAtJoins);
+}
+
+Workload memlook::makeGrid(uint32_t Rows, uint32_t Cols, bool Virtual) {
+  assert(Rows > 0 && Cols > 0 && "degenerate grid");
+  HierarchyBuilder B;
+  auto Name = [](uint32_t R, uint32_t C) {
+    return "G" + std::to_string(R) + "_" + std::to_string(C);
+  };
+  for (uint32_t R = 0; R != Rows; ++R)
+    for (uint32_t C = 0; C != Cols; ++C) {
+      auto Cls = B.addClass(Name(R, C));
+      if (R == 0 && C == 0)
+        Cls.withMember("m");
+      if (R != 0) {
+        if (Virtual)
+          Cls.withVirtualBase(Name(R - 1, C));
+        else
+          Cls.withBase(Name(R - 1, C));
+      }
+      if (C != 0)
+        Cls.withBase(Name(R, C - 1));
+    }
+  return finish(std::move(B), {Name(Rows - 1, Cols - 1)});
+}
+
+Workload memlook::makeAmbiguityFan(uint32_t Arms) {
+  assert(Arms >= 2 && "a fan needs at least two arms");
+  HierarchyBuilder B;
+  for (uint32_t I = 1; I <= Arms; ++I) {
+    std::string Root = "R" + std::to_string(I);
+    B.addClass(Root).withMember("m");
+    B.addClass("M" + std::to_string(I)).withVirtualBase(Root);
+  }
+  B.addClass("C1").withBase("M1").withBase("M2");
+  for (uint32_t I = 2; I < Arms; ++I)
+    B.addClass("C" + std::to_string(I))
+        .withBase("C" + std::to_string(I - 1))
+        .withBase("M" + std::to_string(I + 1));
+  return finish(std::move(B), {"C" + std::to_string(Arms - 1)});
+}
+
+Workload memlook::makeWideForest(uint32_t Trees, uint32_t Fanout,
+                                 uint32_t Depth, uint32_t MembersPerRoot) {
+  assert(Trees > 0 && Fanout > 0 && "degenerate forest");
+  HierarchyBuilder B;
+  std::vector<std::string> Leaves;
+  for (uint32_t T = 0; T != Trees; ++T) {
+    std::string Root = "T" + std::to_string(T);
+    auto R = B.addClass(Root);
+    for (uint32_t M = 0; M != MembersPerRoot; ++M) {
+      // Alternate plain and virtual members to keep the vtable
+      // application interesting.
+      if (M % 2 == 0)
+        R.withMember("m" + std::to_string(M));
+      else
+        R.withVirtualMember("m" + std::to_string(M));
+    }
+
+    std::vector<std::string> Frontier{Root};
+    for (uint32_t D = 0; D != Depth; ++D) {
+      std::vector<std::string> Next;
+      for (const std::string &Parent : Frontier)
+        for (uint32_t F = 0; F != Fanout; ++F) {
+          std::string Child = Parent + "_" + std::to_string(F);
+          auto C = B.addClass(Child).withBase(Parent);
+          // Leaf-level overriders, one member redefined per child.
+          if (D + 1 == Depth)
+            C.withMember("m0");
+          Next.push_back(Child);
+        }
+      Frontier = std::move(Next);
+    }
+    if (Depth == 0)
+      Leaves.push_back(Root);
+    else
+      Leaves.push_back(Frontier.front());
+  }
+  return finish(std::move(B), std::move(Leaves));
+}
+
+Workload memlook::makeRandomHierarchy(const RandomHierarchyParams &Params,
+                                      uint64_t Seed) {
+  assert(Params.NumClasses > 0 && "empty hierarchy");
+  Rng Rng(Seed);
+  HierarchyBuilder B;
+
+  for (uint32_t I = 0; I != Params.NumClasses; ++I) {
+    auto Cls = B.addClass("K" + std::to_string(I));
+
+    // Bases: drawn from the already-created classes, so acyclicity is
+    // structural. Expected count ~= AvgBases, capped by availability.
+    if (I != 0) {
+      uint32_t Whole = static_cast<uint32_t>(Params.AvgBases);
+      double Frac = Params.AvgBases - Whole;
+      uint32_t Want = Whole + (Rng.nextUnit() < Frac ? 1 : 0);
+      Want = std::min(Want, std::min(I, 6u));
+
+      std::vector<uint32_t> Chosen;
+      for (uint32_t Attempt = 0; Chosen.size() < Want && Attempt != 32;
+           ++Attempt) {
+        uint32_t Pick = static_cast<uint32_t>(Rng.nextBelow(I));
+        if (std::find(Chosen.begin(), Chosen.end(), Pick) == Chosen.end())
+          Chosen.push_back(Pick);
+      }
+      for (uint32_t Pick : Chosen) {
+        AccessSpec Access = AccessSpec::Public;
+        if (Rng.nextUnit() < Params.RestrictedEdgeChance)
+          Access = Rng.nextUnit() < 0.5 ? AccessSpec::Protected
+                                        : AccessSpec::Private;
+        std::string BaseName = "K" + std::to_string(Pick);
+        if (Rng.nextUnit() < Params.VirtualEdgeChance)
+          Cls.withVirtualBase(BaseName, Access);
+        else
+          Cls.withBase(BaseName, Access);
+      }
+    }
+
+    // Optional using-declaration from a random direct base.
+    if (I != 0 && Rng.nextUnit() < Params.UsingChance) {
+      const auto &Bases = B.hierarchy().info(Cls.id()).DirectBases;
+      if (!Bases.empty()) {
+        ClassId From = Bases[Rng.nextBelow(Bases.size())].Base;
+        std::string Member =
+            "m" + std::to_string(Rng.nextBelow(Params.MemberPool));
+        B.hierarchy().addUsingDeclaration(Cls.id(), From, Member);
+      }
+    }
+
+    for (uint32_t M = 0; M != Params.MemberPool; ++M) {
+      if (Rng.nextUnit() >= Params.DeclareChance)
+        continue;
+      std::string Member = "m" + std::to_string(M);
+      AccessSpec Access = AccessSpec::Public;
+      double AccessDraw = Rng.nextUnit();
+      if (AccessDraw < 0.15)
+        Access = AccessSpec::Private;
+      else if (AccessDraw < 0.30)
+        Access = AccessSpec::Protected;
+      if (Rng.nextUnit() < Params.StaticChance)
+        Cls.withStaticMember(Member, Access);
+      else if (Rng.nextUnit() < Params.VirtualMemberChance)
+        Cls.withVirtualMember(Member, Access);
+      else
+        Cls.withMember(Member, Access);
+    }
+  }
+
+  Workload W{std::move(B).build(), {}, {}};
+  W.QueryClasses.reserve(W.H.numClasses());
+  for (uint32_t I = 0; I != W.H.numClasses(); ++I)
+    W.QueryClasses.push_back(ClassId(I));
+  W.QueryMembers = W.H.allMemberNames();
+  return W;
+}
+
+Workload memlook::makeIostreamLike() {
+  HierarchyBuilder B;
+  B.addClass("ios_base")
+      .withMember("flags")
+      .withMember("precision")
+      .withMember("width")
+      .withStaticMember("sync_with_stdio");
+  B.addClass("basic_ios")
+      .withBase("ios_base")
+      .withMember("rdstate")
+      .withMember("clear")
+      .withMember("fail")
+      .withMember("rdbuf");
+  B.addClass("basic_istream")
+      .withVirtualBase("basic_ios")
+      .withMember("read")
+      .withMember("get")
+      .withMember("gcount")
+      .withVirtualMember("underflow_hook");
+  B.addClass("basic_ostream")
+      .withVirtualBase("basic_ios")
+      .withMember("write")
+      .withMember("put")
+      .withMember("flush")
+      .withVirtualMember("overflow_hook");
+  B.addClass("basic_iostream")
+      .withBase("basic_istream")
+      .withBase("basic_ostream");
+  B.addClass("basic_fstream")
+      .withBase("basic_iostream")
+      .withMember("open")
+      .withMember("close")
+      .withMember("is_open");
+  B.addClass("basic_stringstream")
+      .withBase("basic_iostream")
+      .withMember("str");
+  B.addClass("basic_ifstream")
+      .withBase("basic_istream")
+      .withMember("open")
+      .withMember("close");
+  B.addClass("basic_ofstream")
+      .withBase("basic_ostream")
+      .withMember("open")
+      .withMember("close");
+  return finish(std::move(B), {"basic_fstream", "basic_stringstream",
+                               "basic_iostream"});
+}

@@ -1,0 +1,123 @@
+//===- tests/TestUtil.h - Shared test fixtures ------------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's example hierarchies (Figures 1, 2, 3, and 9), shared by
+/// the unit, property, and reproduction tests, plus small comparison
+/// helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_TESTS_TESTUTIL_H
+#define MEMLOOK_TESTS_TESTUTIL_H
+
+#include "memlook/chg/HierarchyBuilder.h"
+#include "memlook/chg/Path.h"
+#include "memlook/core/LookupResult.h"
+
+#include <string>
+#include <vector>
+
+namespace memlook {
+namespace testutil {
+
+/// Figure 1: the non-virtual inheritance example.
+///   class A { void m(); };  class B : A {};  class C : B {};
+///   class D : B { void m(); };  class E : C, D {};
+/// lookup(E, m) is ambiguous (two A subobjects).
+inline Hierarchy makeFigure1() {
+  HierarchyBuilder B;
+  B.addClass("A").withMember("m");
+  B.addClass("B").withBase("A");
+  B.addClass("C").withBase("B");
+  B.addClass("D").withBase("B").withMember("m");
+  B.addClass("E").withBase("C").withBase("D");
+  return std::move(B).build();
+}
+
+/// Figure 2: the virtual inheritance twin of Figure 1.
+///   class A { void m(); };  class B : A {};  class C : virtual B {};
+///   class D : virtual B { void m(); };  class E : C, D {};
+/// lookup(E, m) resolves to D::m (one shared A subobject).
+inline Hierarchy makeFigure2() {
+  HierarchyBuilder B;
+  B.addClass("A").withMember("m");
+  B.addClass("B").withBase("A");
+  B.addClass("C").withVirtualBase("B");
+  B.addClass("D").withVirtualBase("B").withMember("m");
+  B.addClass("E").withBase("C").withBase("D");
+  return std::move(B).build();
+}
+
+/// Figure 3 (as completed by Figures 4-7): A -> B, A -> C, B -> D,
+/// C -> D non-virtual; D -> F, D -> G virtual; E -> F, F -> H, G -> H
+/// non-virtual. Members: A::foo, G::foo, E::bar, D::bar, G::bar.
+inline Hierarchy makeFigure3() {
+  HierarchyBuilder B;
+  B.addClass("A").withMember("foo");
+  B.addClass("B").withBase("A");
+  B.addClass("C").withBase("A");
+  B.addClass("D").withBase("B").withBase("C").withMember("bar");
+  B.addClass("E").withMember("bar");
+  B.addClass("F").withVirtualBase("D").withBase("E");
+  B.addClass("G").withVirtualBase("D").withMember("foo").withMember("bar");
+  B.addClass("H").withBase("F").withBase("G");
+  return std::move(B).build();
+}
+
+/// Figure 9: the g++ counterexample.
+///   struct S { int m; };
+///   struct A : virtual S { int m; };
+///   struct B : virtual S { int m; };
+///   struct C : virtual A, virtual B { int m; };
+///   struct D : C {};
+///   struct E : virtual A, virtual B, D {};
+/// lookup(E, m) is unambiguous (C::m), but a breadth-first scan meets
+/// A::m and B::m first and g++ 2.7.2 reported ambiguity.
+inline Hierarchy makeFigure9() {
+  HierarchyBuilder B;
+  B.addClass("S").withMember("m");
+  B.addClass("A").withVirtualBase("S").withMember("m");
+  B.addClass("B").withVirtualBase("S").withMember("m");
+  B.addClass("C").withVirtualBase("A").withVirtualBase("B").withMember("m");
+  B.addClass("D").withBase("C");
+  B.addClass("E").withVirtualBase("A").withVirtualBase("B").withBase("D");
+  return std::move(B).build();
+}
+
+/// Builds the Path for a sequence of class names, asserting each exists.
+inline Path pathOf(const Hierarchy &H, const std::vector<std::string> &Names) {
+  Path P;
+  for (const std::string &Name : Names) {
+    ClassId Id = H.findClass(Name);
+    assert(Id.isValid() && "unknown class in pathOf");
+    P.Nodes.push_back(Id);
+  }
+  return P;
+}
+
+/// Canonical comparison key of a LookupResult for differential tests:
+/// status label, defining-class name, and subobject key rendering (or
+/// just status+class for shared-static results, where engines may pick
+/// different representatives).
+inline std::string comparisonKey(const Hierarchy &H, const LookupResult &R) {
+  std::string Out = lookupStatusLabel(R.Status);
+  if (R.Status != LookupStatus::Unambiguous)
+    return Out;
+  Out += ':';
+  Out += H.className(R.DefiningClass);
+  if (!R.SharedStatic && R.Subobject) {
+    Out += ':';
+    Out += formatSubobjectKey(H, *R.Subobject);
+  }
+  return Out;
+}
+
+} // namespace testutil
+} // namespace memlook
+
+#endif // MEMLOOK_TESTS_TESTUTIL_H

@@ -1,0 +1,175 @@
+//===- CompleteObjectVTablesTest.cpp ----------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/apps/CompleteObjectVTables.h"
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+/// struct Shape { virtual draw; };
+/// struct Circle : Shape { draw; };          - overrides
+/// struct Widget { virtual paint; };
+/// struct Button : Widget, Circle { draw; paint; }
+Hierarchy makeMultiBasePoly() {
+  HierarchyBuilder B;
+  B.addClass("Shape").withVirtualMember("draw");
+  B.addClass("Circle").withBase("Shape").withMember("draw");
+  B.addClass("Widget").withVirtualMember("paint");
+  B.addClass("Button")
+      .withBase("Widget")
+      .withBase("Circle")
+      .withMember("draw")
+      .withMember("paint");
+  return std::move(B).build();
+}
+
+const CompleteObjectVTables::SubobjectVTable *
+findTable(const CompleteObjectVTables &Tables, const Hierarchy &H,
+          const std::string &KeyText) {
+  for (const auto &Table : Tables.Tables)
+    if (formatSubobjectKey(H, Table.Key) == KeyText)
+      return &Table;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(CompleteObjectVTablesTest, EveryPolymorphicSubobjectGetsATable) {
+  Hierarchy H = makeMultiBasePoly();
+  DominanceLookupEngine Engine(H);
+  CompleteObjectVTables Tables =
+      buildCompleteObjectVTables(H, Engine, H.findClass("Button"));
+
+  // Button, Widget-in-Button, Circle-in-Button, Shape-in-Circle all see
+  // virtual members.
+  EXPECT_EQ(Tables.Tables.size(), 4u);
+  EXPECT_NE(findTable(Tables, H, "Button"), nullptr);
+  EXPECT_NE(findTable(Tables, H, "Widget.Button"), nullptr);
+  EXPECT_NE(findTable(Tables, H, "Circle.Button"), nullptr);
+  EXPECT_NE(findTable(Tables, H, "Shape.Circle.Button"), nullptr);
+}
+
+TEST(CompleteObjectVTablesTest, SlotsDispatchToFinalOverriders) {
+  Hierarchy H = makeMultiBasePoly();
+  DominanceLookupEngine Engine(H);
+  ClassId Button = H.findClass("Button");
+  CompleteObjectVTables Tables =
+      buildCompleteObjectVTables(H, Engine, Button);
+
+  for (const auto &Table : Tables.Tables)
+    for (const auto &Slot : Table.Slots) {
+      ASSERT_EQ(Slot.Overrider.Status, LookupStatus::Unambiguous);
+      EXPECT_EQ(Slot.Overrider.DefiningClass, Button)
+          << "Button overrides both draw and paint";
+    }
+}
+
+TEST(CompleteObjectVTablesTest, NonPrimaryBaseNeedsThunk) {
+  Hierarchy H = makeMultiBasePoly();
+  DominanceLookupEngine Engine(H);
+  ClassId Button = H.findClass("Button");
+  CompleteObjectVTables Tables =
+      buildCompleteObjectVTables(H, Engine, Button);
+
+  // The Button subobject sits at offset 0: its own slots need no thunk.
+  const auto *Own = &Tables.Tables.front();
+  EXPECT_EQ(formatSubobjectKey(H, Own->Key), "Button");
+  for (const auto &Slot : Own->Slots) {
+    EXPECT_EQ(Slot.ThisAdjustment, 0);
+    EXPECT_FALSE(Slot.NeedsThunk);
+  }
+
+  // The Circle subobject is laid out at a nonzero offset (after
+  // Widget); dispatching draw through a Circle* must adjust this back
+  // to the Button subobject.
+  const auto *Circle = findTable(
+      Tables, H,
+      formatSubobjectKey(
+          H, SubobjectKey{{H.findClass("Circle"), Button}, Button}));
+  ASSERT_NE(Circle, nullptr);
+  ASSERT_GT(Circle->Offset, 0u);
+  for (const auto &Slot : Circle->Slots)
+    if (H.spelling(Slot.Member) == "draw") {
+      EXPECT_TRUE(Slot.NeedsThunk);
+      EXPECT_EQ(Slot.ThisAdjustment,
+                -static_cast<int64_t>(Circle->Offset));
+    }
+  EXPECT_GT(Tables.thunkCount(), 0u);
+}
+
+TEST(CompleteObjectVTablesTest, VirtualDiamondSharedBaseTable) {
+  // The iostream shape: the shared basic_ios subobject's table must
+  // dispatch the hooks into the istream/ostream parts with adjustments.
+  Workload W = makeIostreamLike();
+  DominanceLookupEngine Engine(W.H);
+  ClassId FStream = W.H.findClass("basic_fstream");
+  CompleteObjectVTables Tables =
+      buildCompleteObjectVTables(W.H, Engine, FStream);
+
+  uint64_t TablesWithSlots = 0;
+  for (const auto &Table : Tables.Tables) {
+    TablesWithSlots += !Table.Slots.empty();
+    for (const auto &Slot : Table.Slots) {
+      ASSERT_EQ(Slot.Overrider.Status, LookupStatus::Unambiguous);
+      // underflow_hook's final overrider is basic_istream; overflow's
+      // is basic_ostream.
+      std::string Member(W.H.spelling(Slot.Member));
+      if (Member == "underflow_hook")
+        EXPECT_EQ(Slot.Overrider.DefiningClass,
+                  W.H.findClass("basic_istream"));
+      if (Member == "overflow_hook")
+        EXPECT_EQ(Slot.Overrider.DefiningClass,
+                  W.H.findClass("basic_ostream"));
+    }
+  }
+  EXPECT_GT(TablesWithSlots, 2u);
+  EXPECT_GT(Tables.thunkCount(), 0u)
+      << "cross-part dispatch requires adjustment";
+}
+
+TEST(CompleteObjectVTablesTest, AmbiguousOverriderSurfaces) {
+  HierarchyBuilder B;
+  B.addClass("IFace").withVirtualMember("run");
+  B.addClass("ImplA").withVirtualBase("IFace").withMember("run");
+  B.addClass("ImplB").withVirtualBase("IFace").withMember("run");
+  B.addClass("Broken").withBase("ImplA").withBase("ImplB");
+  Hierarchy H = std::move(B).build();
+  DominanceLookupEngine Engine(H);
+  CompleteObjectVTables Tables =
+      buildCompleteObjectVTables(H, Engine, H.findClass("Broken"));
+  bool SawAmbiguous = false;
+  for (const auto &Table : Tables.Tables)
+    for (const auto &Slot : Table.Slots)
+      SawAmbiguous |= Slot.Overrider.Status == LookupStatus::Ambiguous;
+  EXPECT_TRUE(SawAmbiguous);
+}
+
+TEST(CompleteObjectVTablesTest, NoVirtualsNoTables) {
+  Hierarchy H = makeFigure1();
+  DominanceLookupEngine Engine(H);
+  CompleteObjectVTables Tables =
+      buildCompleteObjectVTables(H, Engine, H.findClass("E"));
+  EXPECT_TRUE(Tables.Tables.empty());
+}
+
+TEST(CompleteObjectVTablesTest, CollectVirtualNamesOrderedAndDeduped) {
+  Hierarchy H = makeMultiBasePoly();
+  std::vector<Symbol> Names =
+      collectVirtualMemberNames(H, H.findClass("Button"));
+  ASSERT_EQ(Names.size(), 2u);
+  EXPECT_EQ(H.spelling(Names[0]), "draw");
+  EXPECT_EQ(H.spelling(Names[1]), "paint");
+}

@@ -1,0 +1,187 @@
+//===- HierarchySlicerTest.cpp ---------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The Tip-et-al.-style slicing application: the slice must preserve the
+/// result of every queried lookup, including its ambiguity status and
+/// resolved subobject (compared by class-name rendering, since the slice
+/// renumbers ids).
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/apps/HierarchySlicer.h"
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+/// Renders a result with names only, portable across renumbered ids.
+std::string renderForComparison(const Hierarchy &H, const LookupResult &R) {
+  std::string Out = lookupStatusLabel(R.Status);
+  if (R.Status != LookupStatus::Unambiguous)
+    return Out;
+  Out += ':';
+  Out += H.className(R.DefiningClass);
+  if (!R.SharedStatic && R.Subobject) {
+    Out += ':';
+    Out += formatSubobjectKey(H, *R.Subobject);
+  }
+  return Out;
+}
+
+void expectSlicePreserves(const Hierarchy &H,
+                          const std::vector<LookupQuery> &Queries) {
+  SliceResult Slice = sliceHierarchy(H, Queries);
+  DominanceLookupEngine Original(const_cast<const Hierarchy &>(H));
+  DominanceLookupEngine Sliced(Slice.Sliced);
+
+  for (const LookupQuery &Q : Queries) {
+    LookupResult Before = Original.lookup(Q.Class, Q.Member);
+    ClassId NewClass = Slice.Sliced.findClass(H.className(Q.Class));
+    ASSERT_TRUE(NewClass.isValid());
+    Symbol NewMember = Slice.Sliced.findName(H.spelling(Q.Member));
+    LookupResult After =
+        NewMember.isValid()
+            ? Sliced.lookup(NewClass, NewMember)
+            : LookupResult::notFound();
+    EXPECT_EQ(renderForComparison(H, Before),
+              renderForComparison(Slice.Sliced, After))
+        << H.className(Q.Class) << "::" << H.spelling(Q.Member);
+  }
+}
+
+} // namespace
+
+TEST(HierarchySlicerTest, PreservesFigure3Queries) {
+  Hierarchy H = makeFigure3();
+  std::vector<LookupQuery> Queries{
+      {H.findClass("H"), H.findName("foo")},
+      {H.findClass("H"), H.findName("bar")},
+      {H.findClass("F"), H.findName("bar")},
+  };
+  expectSlicePreserves(H, Queries);
+}
+
+TEST(HierarchySlicerTest, DropsUnrelatedClasses) {
+  Hierarchy H = makeFigure3();
+  // Querying only F: G and H are not needed.
+  SliceResult Slice = sliceHierarchy(
+      H, {{H.findClass("F"), H.findName("bar")}});
+  EXPECT_FALSE(Slice.Sliced.findClass("G").isValid());
+  EXPECT_FALSE(Slice.Sliced.findClass("H").isValid());
+  EXPECT_TRUE(Slice.Sliced.findClass("F").isValid());
+  EXPECT_TRUE(Slice.Sliced.findClass("D").isValid());
+  EXPECT_LT(Slice.Sliced.numClasses(), H.numClasses());
+}
+
+TEST(HierarchySlicerTest, DropsUnqueriedMembers) {
+  Hierarchy H = makeFigure3();
+  SliceResult Slice = sliceHierarchy(
+      H, {{H.findClass("H"), H.findName("bar")}});
+  // foo declarations are gone; bar declarations survive.
+  EXPECT_EQ(Slice.Sliced.allMemberNames().size(), 1u);
+  EXPECT_LT(Slice.SlicedMemberDecls, Slice.OriginalMemberDecls);
+  ClassId G = Slice.Sliced.findClass("G");
+  ASSERT_TRUE(G.isValid());
+  EXPECT_TRUE(
+      Slice.Sliced.declaresMember(G, Slice.Sliced.findName("bar")));
+}
+
+TEST(HierarchySlicerTest, KeepsEdgeAttributes) {
+  Hierarchy H = makeFigure3();
+  SliceResult Slice = sliceHierarchy(
+      H, {{H.findClass("H"), H.findName("foo")}});
+  const Hierarchy &S = Slice.Sliced;
+  EXPECT_EQ(*S.edgeKind(S.findClass("D"), S.findClass("F")),
+            InheritanceKind::Virtual);
+  EXPECT_EQ(*S.edgeKind(S.findClass("A"), S.findClass("B")),
+            InheritanceKind::NonVirtual);
+}
+
+TEST(HierarchySlicerTest, PreservesOnRandomHierarchies) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 20;
+  Params.VirtualEdgeChance = 0.35;
+  Params.StaticChance = 0.3;
+  for (uint64_t Seed = 1; Seed <= 15; ++Seed) {
+    Workload W = makeRandomHierarchy(Params, Seed * 577 + 23);
+    std::vector<LookupQuery> Queries;
+    for (ClassId C : W.QueryClasses)
+      if (C.index() % 4 == 1)
+        for (Symbol M : W.QueryMembers)
+          Queries.push_back(LookupQuery{C, M});
+    if (Queries.empty())
+      continue;
+    expectSlicePreserves(W.H, Queries);
+  }
+}
+
+TEST(HierarchySlicerTest, SliceOfEverythingIsIdentityOnClasses) {
+  Hierarchy H = makeFigure9();
+  std::vector<LookupQuery> Queries;
+  for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx)
+    Queries.push_back(LookupQuery{ClassId(Idx), H.findName("m")});
+  SliceResult Slice = sliceHierarchy(H, Queries);
+  EXPECT_EQ(Slice.Sliced.numClasses(), H.numClasses());
+}
+
+TEST(HierarchySlicerTest, PreservesUsingDeclarations) {
+  HierarchyBuilder B;
+  B.addClass("A").withMember("f");
+  B.addClass("L").withBase("A");
+  B.addClass("R").withBase("A");
+  B.addClass("D").withBase("L").withBase("R").withUsing("L", "f");
+  Hierarchy H = std::move(B).build();
+
+  SliceResult Slice =
+      sliceHierarchy(H, {{H.findClass("D"), H.findName("f")}});
+  const Hierarchy &S = Slice.Sliced;
+  const MemberDecl *Decl =
+      S.declaredMember(S.findClass("D"), S.findName("f"));
+  ASSERT_NE(Decl, nullptr);
+  ASSERT_TRUE(Decl->isUsingDeclaration());
+  EXPECT_EQ(S.className(Decl->UsingFrom), "L");
+
+  // And the repaired lookup survives the slice.
+  DominanceLookupEngine Engine(Slice.Sliced);
+  LookupResult R = Engine.lookup(S.findClass("D"), "f");
+  ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.DefiningClass, S.findClass("D"));
+}
+
+TEST(HierarchySlicerTest, PreservesOnRandomHierarchiesWithUsing) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 18;
+  Params.UsingChance = 0.5;
+  Params.StaticChance = 0.25;
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    Workload W = makeRandomHierarchy(Params, Seed * 911 + 4);
+    std::vector<LookupQuery> Queries;
+    for (ClassId C : W.QueryClasses)
+      if (C.index() % 3 == 0)
+        for (Symbol M : W.QueryMembers)
+          Queries.push_back(LookupQuery{C, M});
+    if (!Queries.empty())
+      expectSlicePreserves(W.H, Queries);
+  }
+}
+
+TEST(HierarchySlicerTest, ReportsStatistics) {
+  Hierarchy H = makeFigure3();
+  SliceResult Slice = sliceHierarchy(
+      H, {{H.findClass("F"), H.findName("bar")}});
+  EXPECT_EQ(Slice.OriginalClassCount, H.numClasses());
+  EXPECT_EQ(Slice.KeptClasses.size(), Slice.Sliced.numClasses());
+  EXPECT_EQ(Slice.OriginalMemberDecls, H.numMemberDecls());
+}

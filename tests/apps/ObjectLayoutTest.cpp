@@ -1,0 +1,186 @@
+//===- ObjectLayoutTest.cpp ------------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/apps/ObjectLayout.h"
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/workload/Generators.h"
+#include "memlook/subobject/SubobjectGraph.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+TEST(ObjectLayoutTest, EveryFigure1SubobjectIsPlacedOnce) {
+  Hierarchy H = makeFigure1();
+  ClassId E = H.findClass("E");
+  ObjectLayout Layout = computeObjectLayout(H, E);
+
+  auto Graph = SubobjectGraph::build(H, E);
+  ASSERT_TRUE(Graph);
+  EXPECT_EQ(Layout.SubobjectOffsets.size(), Graph->numSubobjects());
+
+  std::set<SubobjectKey> Placed;
+  for (const auto &[Key, Offset] : Layout.SubobjectOffsets) {
+    EXPECT_TRUE(Graph->find(Key).isValid())
+        << "placed key " << formatSubobjectKey(H, Key)
+        << " is not a subobject";
+    EXPECT_TRUE(Placed.insert(Key).second) << "duplicate placement";
+  }
+}
+
+TEST(ObjectLayoutTest, VirtualBasePlacedOnceAtTheTail) {
+  Hierarchy H = makeFigure2();
+  ClassId E = H.findClass("E");
+  ObjectLayout Layout = computeObjectLayout(H, E);
+
+  // The shared B (and its A) appear exactly once.
+  auto Graph = SubobjectGraph::build(H, E);
+  ASSERT_TRUE(Graph);
+  EXPECT_EQ(Layout.SubobjectOffsets.size(), Graph->numSubobjects());
+
+  // The virtual B part sits after every non-virtual part.
+  auto BOffset =
+      Layout.subobjectOffset(SubobjectKey{{H.findClass("B")}, E});
+  ASSERT_TRUE(BOffset.has_value());
+  auto COffset = Layout.subobjectOffset(
+      SubobjectKey{{H.findClass("C"), E}, E});
+  auto DOffset = Layout.subobjectOffset(
+      SubobjectKey{{H.findClass("D"), E}, E});
+  ASSERT_TRUE(COffset && DOffset);
+  EXPECT_GT(*BOffset, *COffset);
+  EXPECT_GT(*BOffset, *DOffset);
+}
+
+TEST(ObjectLayoutTest, ReplicatedBasesGetDistinctOffsets) {
+  Hierarchy H = makeFigure1();
+  ClassId E = H.findClass("E");
+  ObjectLayout Layout = computeObjectLayout(H, E);
+
+  ClassId A = H.findClass("A"), B = H.findClass("B"), C = H.findClass("C"),
+          D = H.findClass("D");
+  auto AViaC = Layout.subobjectOffset(SubobjectKey{{A, B, C, E}, E});
+  auto AViaD = Layout.subobjectOffset(SubobjectKey{{A, B, D, E}, E});
+  ASSERT_TRUE(AViaC && AViaD);
+  EXPECT_NE(*AViaC, *AViaD);
+}
+
+TEST(ObjectLayoutTest, MemberOffsetComposesWithLookup) {
+  Hierarchy H = makeFigure2();
+  ClassId E = H.findClass("E");
+  ObjectLayout Layout = computeObjectLayout(H, E);
+
+  DominanceLookupEngine Engine(H);
+  Symbol M = H.findName("m");
+  LookupResult R = Engine.lookup(E, M);
+  ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+
+  std::optional<uint64_t> Offset = Layout.memberOffset(H, R, M);
+  ASSERT_TRUE(Offset.has_value());
+  // D::m lives in the D non-virtual part.
+  auto DOffset = Layout.subobjectOffset(
+      SubobjectKey{{H.findClass("D"), E}, E});
+  ASSERT_TRUE(DOffset.has_value());
+  EXPECT_EQ(*Offset, *DOffset);
+}
+
+TEST(ObjectLayoutTest, AmbiguousLookupHasNoOffset) {
+  Hierarchy H = makeFigure1();
+  ClassId E = H.findClass("E");
+  ObjectLayout Layout = computeObjectLayout(H, E);
+  DominanceLookupEngine Engine(H);
+  Symbol M = H.findName("m");
+  EXPECT_FALSE(Layout.memberOffset(H, Engine.lookup(E, M), M).has_value());
+}
+
+TEST(ObjectLayoutTest, StaticMembersHaveNoObjectOffset) {
+  HierarchyBuilder B;
+  B.addClass("A").withStaticMember("s").withMember("f");
+  Hierarchy H = std::move(B).build();
+  ClassId A = H.findClass("A");
+  ObjectLayout Layout = computeObjectLayout(H, A);
+
+  DominanceLookupEngine Engine(H);
+  Symbol S = H.findName("s");
+  Symbol F = H.findName("f");
+  EXPECT_FALSE(Layout.memberOffset(H, Engine.lookup(A, S), S).has_value());
+  EXPECT_TRUE(Layout.memberOffset(H, Engine.lookup(A, F), F).has_value());
+}
+
+TEST(ObjectLayoutTest, SizeIsMonotoneInContent) {
+  HierarchyBuilder B;
+  B.addClass("Small").withMember("a");
+  B.addClass("Big").withBase("Small").withMember("b").withMember("c");
+  Hierarchy H = std::move(B).build();
+  uint64_t Small = computeObjectLayout(H, H.findClass("Small")).Size;
+  uint64_t Big = computeObjectLayout(H, H.findClass("Big")).Size;
+  EXPECT_GT(Big, Small);
+}
+
+TEST(ObjectLayoutTest, VptrReservedForVirtualMembers) {
+  HierarchyBuilder B;
+  B.addClass("Plain").withMember("a");
+  B.addClass("Poly").withVirtualMember("a");
+  Hierarchy H = std::move(B).build();
+  uint64_t Plain = computeObjectLayout(H, H.findClass("Plain")).Size;
+  uint64_t Poly = computeObjectLayout(H, H.findClass("Poly")).Size;
+  EXPECT_EQ(Poly, Plain + 8) << "one vptr header";
+}
+
+TEST(ObjectLayoutTest, ResolvedMemberOffsetsNeverCollide) {
+  // Property: two lookups resolving to different (defining class,
+  // member, subobject) triples must land on different byte offsets -
+  // i.e. the layout never aliases distinct storage.
+  auto CheckHierarchy = [](const Hierarchy &H, const char *Tag) {
+    DominanceLookupEngine Engine(const_cast<const Hierarchy &>(H));
+    for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx) {
+      ClassId Complete(Idx);
+      ObjectLayout Layout = computeObjectLayout(H, Complete);
+      std::map<uint64_t, std::string> SeenOffsets;
+      for (Symbol Member : H.allMemberNames()) {
+        LookupResult R = Engine.lookup(Complete, Member);
+        if (R.Status != LookupStatus::Unambiguous)
+          continue;
+        std::optional<uint64_t> Offset = Layout.memberOffset(H, R, Member);
+        if (!Offset)
+          continue; // static member
+        std::string Identity =
+            formatSubobjectKey(H, *R.Subobject) + "::" +
+            std::string(H.spelling(Member));
+        auto [It, Inserted] = SeenOffsets.emplace(*Offset, Identity);
+        EXPECT_TRUE(Inserted || It->second == Identity)
+            << Tag << ": offset " << *Offset << " used by " << It->second
+            << " and " << Identity << " in "
+            << H.className(Complete);
+      }
+      EXPECT_LE(Layout.SubobjectOffsets.back().second, Layout.Size);
+    }
+  };
+
+  CheckHierarchy(makeFigure2(), "figure2");
+  CheckHierarchy(makeFigure9(), "figure9");
+  CheckHierarchy(makeIostreamLike().H, "iostream");
+
+  RandomHierarchyParams Params;
+  Params.NumClasses = 16;
+  Params.VirtualEdgeChance = 0.4;
+  for (uint64_t Seed = 210; Seed != 225; ++Seed)
+    CheckHierarchy(makeRandomHierarchy(Params, Seed).H, "random");
+}
+
+TEST(ObjectLayoutTest, EmptyClassHasNonZeroSize) {
+  HierarchyBuilder B;
+  B.addClass("Empty");
+  Hierarchy H = std::move(B).build();
+  EXPECT_GT(computeObjectLayout(H, H.findClass("Empty")).Size, 0u);
+}

@@ -1,0 +1,115 @@
+//===- VTableBuilderTest.cpp -----------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/apps/VTableBuilder.h"
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+Hierarchy makeVirtualCallHierarchy() {
+  // struct Shape { virtual draw; virtual area; };
+  // struct Circle : Shape { draw; };           (overrides draw)
+  // struct Square : Shape { draw; area; };
+  // struct Logged : virtual Shape { draw; };
+  // struct LoggedCircle : Logged, virtual Shape {};
+  HierarchyBuilder B;
+  B.addClass("Shape").withVirtualMember("draw").withVirtualMember("area");
+  B.addClass("Circle").withBase("Shape").withMember("draw");
+  B.addClass("Square").withBase("Shape").withMember("draw").withMember(
+      "area");
+  B.addClass("Logged").withVirtualBase("Shape").withMember("draw");
+  B.addClass("LoggedCircle").withBase("Logged").withVirtualBase("Shape");
+  return std::move(B).build();
+}
+
+} // namespace
+
+TEST(VTableBuilderTest, SlotsForAllVirtualNames) {
+  Hierarchy H = makeVirtualCallHierarchy();
+  DominanceLookupEngine Engine(H);
+  VTableBuilder Builder(H, Engine);
+
+  VTable Table = Builder.build(H.findClass("Circle"));
+  ASSERT_EQ(Table.Slots.size(), 2u);
+  EXPECT_EQ(H.spelling(Table.Slots[0].Member), "draw");
+  EXPECT_EQ(H.spelling(Table.Slots[1].Member), "area");
+}
+
+TEST(VTableBuilderTest, FinalOverriderIsTheLookupResult) {
+  Hierarchy H = makeVirtualCallHierarchy();
+  DominanceLookupEngine Engine(H);
+  VTableBuilder Builder(H, Engine);
+
+  VTable Circle = Builder.build(H.findClass("Circle"));
+  EXPECT_EQ(Circle.Slots[0].Overrider.DefiningClass, H.findClass("Circle"))
+      << "draw overridden";
+  EXPECT_EQ(Circle.Slots[1].Overrider.DefiningClass, H.findClass("Shape"))
+      << "area inherited";
+
+  VTable Base = Builder.build(H.findClass("Shape"));
+  for (const VTable::Slot &S : Base.Slots)
+    EXPECT_EQ(S.Overrider.DefiningClass, H.findClass("Shape"));
+}
+
+TEST(VTableBuilderTest, VirtualDiamondOverriderThroughVirtualBase) {
+  Hierarchy H = makeVirtualCallHierarchy();
+  DominanceLookupEngine Engine(H);
+  VTableBuilder Builder(H, Engine);
+
+  VTable LC = Builder.build(H.findClass("LoggedCircle"));
+  ASSERT_EQ(LC.Slots.size(), 2u);
+  EXPECT_EQ(LC.Slots[0].Overrider.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(LC.Slots[0].Overrider.DefiningClass, H.findClass("Logged"))
+      << "Logged::draw dominates Shape::draw through the virtual base";
+  EXPECT_FALSE(LC.hasAmbiguousSlot());
+}
+
+TEST(VTableBuilderTest, AmbiguousFinalOverriderIsReported) {
+  // Two sibling overriders meeting in a virtual diamond: no unique
+  // final overrider for draw.
+  HierarchyBuilder B;
+  B.addClass("Shape").withVirtualMember("draw");
+  B.addClass("Red").withVirtualBase("Shape").withMember("draw");
+  B.addClass("Blue").withVirtualBase("Shape").withMember("draw");
+  B.addClass("RedBlue").withBase("Red").withBase("Blue");
+  Hierarchy H = std::move(B).build();
+
+  DominanceLookupEngine Engine(H);
+  VTableBuilder Builder(H, Engine);
+  VTable Table = Builder.build(H.findClass("RedBlue"));
+  ASSERT_EQ(Table.Slots.size(), 1u);
+  EXPECT_EQ(Table.Slots[0].Overrider.Status, LookupStatus::Ambiguous);
+  EXPECT_TRUE(Table.hasAmbiguousSlot());
+}
+
+TEST(VTableBuilderTest, NoVirtualMembersNoSlots) {
+  Hierarchy H = makeFigure1(); // m is a plain member everywhere
+  DominanceLookupEngine Engine(H);
+  VTableBuilder Builder(H, Engine);
+  EXPECT_TRUE(Builder.build(H.findClass("E")).Slots.empty());
+}
+
+TEST(VTableBuilderTest, BuildAllCoversEveryClass) {
+  Workload W = makeIostreamLike();
+  DominanceLookupEngine Engine(W.H);
+  VTableBuilder Builder(W.H, Engine);
+  std::vector<VTable> Tables = Builder.buildAll();
+  EXPECT_EQ(Tables.size(), W.H.numClasses());
+  // iostream-like: both hooks are virtual and visible in basic_iostream.
+  for (const VTable &T : Tables)
+    if (T.Class == W.H.findClass("basic_iostream"))
+      EXPECT_EQ(T.Slots.size(), 2u);
+}

@@ -1,0 +1,232 @@
+//===- DominanceLawsTest.cpp - Experiment E10 ------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property-based validation of the paper's formal core on randomly
+/// generated hierarchies:
+///
+///  * the closed-form dominance test (Path.h) agrees with the literal
+///    Definition 5 ("a dominates b iff a hides some a' ~ b") evaluated
+///    by brute-force path enumeration;
+///  * Lemma 1: dominance is ~-invariant;
+///  * Lemma 2: dominance is a partial order on ~-classes;
+///  * Lemma 3: path extension distributes over dominance.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/chg/Path.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+/// Literal Definition 5: a dominates b iff a is a suffix of some a' with
+/// a' ~ b. Brute force over all paths with mdc(b)'s target.
+bool dominatesLiteral(const Hierarchy &H, const Path &A, const Path &B) {
+  if (A.mdc() != B.mdc())
+    return false;
+  bool Found = false;
+  enumeratePathsTo(H, B.mdc(), [&](const Path &Candidate) {
+    if (!Found && equivalent(H, Candidate, B) && hides(A, Candidate))
+      Found = true;
+  });
+  return Found;
+}
+
+/// All paths ending at Mdc, capped.
+std::vector<Path> pathsTo(const Hierarchy &H, ClassId Mdc) {
+  std::vector<Path> Paths;
+  enumeratePathsTo(H, Mdc, [&](const Path &P) { Paths.push_back(P); },
+                   /*MaxPaths=*/4096);
+  return Paths;
+}
+
+class DominanceLawsTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(DominanceLawsTest, ClosedFormMatchesLiteralDefinition5) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 14;
+  Params.AvgBases = 1.7;
+  Params.VirtualEdgeChance = 0.35;
+  Workload W = makeRandomHierarchy(Params, GetParam());
+
+  for (ClassId C : W.QueryClasses) {
+    std::vector<Path> Paths = pathsTo(W.H, C);
+    if (Paths.size() > 40)
+      Paths.resize(40); // keep the O(paths^2 * paths) check tractable
+    for (const Path &A : Paths)
+      for (const Path &B : Paths)
+        EXPECT_EQ(dominates(W.H, A, B), dominatesLiteral(W.H, A, B))
+            << "seed " << GetParam() << ": " << formatPath(W.H, A) << " vs "
+            << formatPath(W.H, B);
+  }
+}
+
+TEST_P(DominanceLawsTest, Lemma1DominanceIsEquivalenceInvariant) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 12;
+  Params.VirtualEdgeChance = 0.4;
+  Workload W = makeRandomHierarchy(Params, GetParam() * 7919 + 1);
+
+  for (ClassId C : W.QueryClasses) {
+    std::vector<Path> Paths = pathsTo(W.H, C);
+    if (Paths.size() > 30)
+      Paths.resize(30);
+    for (const Path &A : Paths)
+      for (const Path &A2 : Paths) {
+        if (!equivalent(W.H, A, A2))
+          continue;
+        for (const Path &B : Paths)
+          EXPECT_EQ(dominates(W.H, A, B), dominates(W.H, A2, B))
+              << "left-invariance, seed " << GetParam();
+      }
+  }
+}
+
+TEST_P(DominanceLawsTest, Lemma2PartialOrderOnClasses) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 12;
+  Params.VirtualEdgeChance = 0.3;
+  Workload W = makeRandomHierarchy(Params, GetParam() * 104729 + 3);
+
+  for (ClassId C : W.QueryClasses) {
+    // One representative per ~-class.
+    std::map<SubobjectKey, Path> Classes;
+    for (const Path &P : pathsTo(W.H, C))
+      Classes.emplace(subobjectKey(W.H, P), P);
+
+    // Reflexivity.
+    for (const auto &[Key, Repr] : Classes)
+      EXPECT_TRUE(dominates(W.H, Key, Key));
+
+    // Antisymmetry on distinct classes.
+    for (const auto &[KeyA, ReprA] : Classes)
+      for (const auto &[KeyB, ReprB] : Classes) {
+        if (KeyA == KeyB)
+          continue;
+        EXPECT_FALSE(dominates(W.H, KeyA, KeyB) &&
+                     dominates(W.H, KeyB, KeyA))
+            << "antisymmetry violated, seed " << GetParam();
+      }
+
+    // Transitivity.
+    for (const auto &[KeyA, ReprA] : Classes)
+      for (const auto &[KeyB, ReprB] : Classes)
+        for (const auto &[KeyC, ReprC] : Classes)
+          if (dominates(W.H, KeyA, KeyB) && dominates(W.H, KeyB, KeyC)) {
+            EXPECT_TRUE(dominates(W.H, KeyA, KeyC))
+                << "transitivity violated, seed " << GetParam();
+          }
+  }
+}
+
+TEST_P(DominanceLawsTest, Lemma3ExtensionDistributes) {
+  // gamma . (X->Y) dominates delta . (X->Y) iff gamma dominates delta.
+  RandomHierarchyParams Params;
+  Params.NumClasses = 12;
+  Params.VirtualEdgeChance = 0.35;
+  Workload W = makeRandomHierarchy(Params, GetParam() * 31337 + 5);
+
+  for (uint32_t Idx = 0; Idx != W.H.numClasses(); ++Idx) {
+    ClassId X(Idx);
+    std::vector<Path> ToX = pathsTo(W.H, X);
+    if (ToX.size() > 25)
+      ToX.resize(25);
+    for (ClassId Y : W.H.info(X).DirectDerived)
+      for (const Path &Gamma : ToX)
+        for (const Path &Delta : ToX)
+          EXPECT_EQ(dominates(W.H, extend(Gamma, Y), extend(Delta, Y)),
+                    dominates(W.H, Gamma, Delta))
+              << "seed " << GetParam() << ": " << formatPath(W.H, Gamma)
+              << " / " << formatPath(W.H, Delta) << " over edge to "
+              << W.H.className(Y);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominanceLawsTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST_P(DominanceLawsTest, HidesImpliesDominatesAndSuffixLaws) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 12;
+  Params.VirtualEdgeChance = 0.35;
+  Workload W = makeRandomHierarchy(Params, GetParam() * 55441 + 2);
+
+  for (ClassId C : W.QueryClasses) {
+    std::vector<Path> Paths = pathsTo(W.H, C);
+    if (Paths.size() > 30)
+      Paths.resize(30);
+    for (const Path &A : Paths)
+      for (const Path &B : Paths) {
+        // Definition 5: hides is the suffix relation, and hiding is a
+        // special case of dominating (take b' = b).
+        if (hides(A, B)) {
+          EXPECT_TRUE(dominates(W.H, A, B))
+              << formatPath(W.H, A) << " hides but does not dominate "
+              << formatPath(W.H, B);
+          // Suffix facts: shared mdc, ldc(A) on B's node list.
+          EXPECT_EQ(A.mdc(), B.mdc());
+          EXPECT_NE(std::find(B.Nodes.begin(), B.Nodes.end(), A.ldc()),
+                    B.Nodes.end());
+        }
+        // hides is antisymmetric outright (exact suffix both ways =>
+        // equality), unlike dominates which is antisymmetric only up
+        // to ~.
+        if (hides(A, B) && hides(B, A)) {
+          EXPECT_EQ(A, B);
+        }
+      }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic corner cases
+//===----------------------------------------------------------------------===//
+
+TEST(DominanceCornersTest, TrivialPathDominatesEverythingAtItsClass) {
+  Hierarchy H = makeFigure1();
+  ClassId E = H.findClass("E");
+  Path Trivial(E);
+  enumeratePathsTo(H, E, [&](const Path &P) {
+    EXPECT_TRUE(dominates(H, Trivial, P))
+        << "the class's own scope hides all inherited members";
+  });
+}
+
+TEST(DominanceCornersTest, VirtualDiamondSharedBaseIsDominated) {
+  Hierarchy H = makeFigure2();
+  // In Figure 2, <D,E> dominates the shared A subobject <A,B>*E.
+  Path DE = pathOf(H, {"D", "E"});
+  Path ABE = pathOf(H, {"A", "B", "D", "E"}); // one witness of <A,B>*E
+  EXPECT_TRUE(dominates(H, DE, ABE));
+  EXPECT_FALSE(dominates(H, ABE, DE));
+}
+
+TEST(DominanceCornersTest, NonVirtualReplicationIsIncomparable) {
+  Hierarchy H = makeFigure1();
+  Path ViaC = pathOf(H, {"A", "B", "C", "E"});
+  Path ViaD = pathOf(H, {"A", "B", "D", "E"});
+  EXPECT_FALSE(dominates(H, ViaC, ViaD));
+  EXPECT_FALSE(dominates(H, ViaD, ViaC));
+}
+
+TEST(DominanceCornersTest, DifferentMdcNeverDominates) {
+  Hierarchy H = makeFigure3();
+  EXPECT_FALSE(
+      dominates(H, pathOf(H, {"A", "B"}), pathOf(H, {"A", "C"})));
+}

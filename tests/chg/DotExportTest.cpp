@@ -1,0 +1,53 @@
+//===- DotExportTest.cpp ---------------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/chg/DotExport.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+TEST(DotExportTest, Figure2StyleMatchesPaperConvention) {
+  Hierarchy H = makeFigure2();
+  std::ostringstream OS;
+  writeHierarchyDot(H, OS, "fig2");
+  std::string Out = OS.str();
+
+  // Every class appears as a node.
+  for (const char *Name : {"A", "B", "C", "D", "E"})
+    EXPECT_NE(Out.find(std::string("\"") + Name + "\" [label="),
+              std::string::npos)
+        << Name;
+
+  // Virtual edges dashed (B -> C, B -> D), non-virtual solid (A -> B).
+  EXPECT_NE(Out.find("\"B\" -> \"C\" [style=dashed];"), std::string::npos);
+  EXPECT_NE(Out.find("\"B\" -> \"D\" [style=dashed];"), std::string::npos);
+  EXPECT_NE(Out.find("\"A\" -> \"B\";"), std::string::npos);
+}
+
+TEST(DotExportTest, MembersListedInNodeLabels) {
+  Hierarchy H = makeFigure3();
+  std::ostringstream OS;
+  writeHierarchyDot(H, OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("A\\nfoo()"), std::string::npos);
+  EXPECT_NE(Out.find("G\\nfoo()\\nbar()"), std::string::npos);
+}
+
+TEST(DotExportTest, StaticMembersMarked) {
+  HierarchyBuilder B;
+  B.addClass("A").withStaticMember("s");
+  Hierarchy H = std::move(B).build();
+  std::ostringstream OS;
+  writeHierarchyDot(H, OS);
+  EXPECT_NE(OS.str().find("static s"), std::string::npos);
+}

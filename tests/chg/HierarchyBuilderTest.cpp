@@ -1,0 +1,116 @@
+//===- HierarchyBuilderTest.cpp --------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/chg/HierarchyBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+
+TEST(HierarchyBuilderTest, BuildsFinalizedHierarchy) {
+  HierarchyBuilder B;
+  B.addClass("A").withMember("m");
+  B.addClass("B").withBase("A");
+  Hierarchy H = std::move(B).build();
+  EXPECT_TRUE(H.isFinalized());
+  EXPECT_EQ(H.numClasses(), 2u);
+  EXPECT_TRUE(H.isBaseOf(H.findClass("A"), H.findClass("B")));
+}
+
+TEST(HierarchyBuilderTest, VirtualBaseFlag) {
+  HierarchyBuilder B;
+  B.addClass("A");
+  B.addClass("B").withVirtualBase("A");
+  Hierarchy H = std::move(B).build();
+  EXPECT_EQ(*H.edgeKind(H.findClass("A"), H.findClass("B")),
+            InheritanceKind::Virtual);
+}
+
+TEST(HierarchyBuilderTest, MemberFlagsArePreserved) {
+  HierarchyBuilder B;
+  B.addClass("A")
+      .withMember("plain")
+      .withStaticMember("stat", AccessSpec::Protected)
+      .withVirtualMember("virt", AccessSpec::Private);
+  Hierarchy H = std::move(B).build();
+  ClassId A = H.findClass("A");
+
+  const MemberDecl *Plain = H.declaredMember(A, H.findName("plain"));
+  const MemberDecl *Stat = H.declaredMember(A, H.findName("stat"));
+  const MemberDecl *Virt = H.declaredMember(A, H.findName("virt"));
+  ASSERT_TRUE(Plain && Stat && Virt);
+  EXPECT_FALSE(Plain->IsStatic);
+  EXPECT_FALSE(Plain->IsVirtual);
+  EXPECT_TRUE(Stat->IsStatic);
+  EXPECT_EQ(Stat->Access, AccessSpec::Protected);
+  EXPECT_TRUE(Virt->IsVirtual);
+  EXPECT_EQ(Virt->Access, AccessSpec::Private);
+}
+
+TEST(HierarchyBuilderTest, GetClassContinuesConstruction) {
+  HierarchyBuilder B;
+  B.addClass("A");
+  B.getClass("A").withMember("late");
+  Hierarchy H = std::move(B).build();
+  EXPECT_TRUE(H.declaresMember(H.findClass("A"), H.findName("late")));
+}
+
+TEST(HierarchyBuilderTest, FromHierarchyCopiesEverything) {
+  HierarchyBuilder B;
+  B.addClass("A").withMember("m").withStaticMember("s", AccessSpec::Private);
+  B.addClass("L").withBase("A", AccessSpec::Protected);
+  B.addClass("R").withVirtualBase("A");
+  B.addClass("D").withBase("L").withBase("R").withUsing("L", "m");
+  Hierarchy Original = std::move(B).build();
+
+  Hierarchy Copy = std::move(HierarchyBuilder::fromHierarchy(Original)).build();
+  EXPECT_EQ(Copy.numClasses(), Original.numClasses());
+  EXPECT_EQ(Copy.numEdges(), Original.numEdges());
+  EXPECT_EQ(Copy.numMemberDecls(), Original.numMemberDecls());
+  EXPECT_EQ(*Copy.edgeAccess(Copy.findClass("A"), Copy.findClass("L")),
+            AccessSpec::Protected);
+  EXPECT_EQ(*Copy.edgeKind(Copy.findClass("A"), Copy.findClass("R")),
+            InheritanceKind::Virtual);
+  const MemberDecl *S =
+      Copy.declaredMember(Copy.findClass("A"), Copy.findName("s"));
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->IsStatic);
+  EXPECT_EQ(S->Access, AccessSpec::Private);
+  const MemberDecl *U =
+      Copy.declaredMember(Copy.findClass("D"), Copy.findName("m"));
+  ASSERT_NE(U, nullptr);
+  EXPECT_TRUE(U->isUsingDeclaration());
+}
+
+TEST(HierarchyBuilderTest, FromHierarchySupportsExtension) {
+  // The immutable-after-finalize workflow: copy, extend, re-finalize,
+  // and the old hierarchy keeps answering unchanged.
+  HierarchyBuilder B;
+  B.addClass("Base").withMember("m");
+  B.addClass("Derived").withBase("Base");
+  Hierarchy V1 = std::move(B).build();
+
+  HierarchyBuilder Extend = HierarchyBuilder::fromHierarchy(V1);
+  Extend.addClass("Grandchild").withBase("Derived").withMember("m");
+  Hierarchy V2 = std::move(Extend).build();
+
+  EXPECT_EQ(V1.numClasses(), 2u);
+  EXPECT_EQ(V2.numClasses(), 3u);
+  EXPECT_TRUE(
+      V2.isBaseOf(V2.findClass("Base"), V2.findClass("Grandchild")));
+  EXPECT_TRUE(V2.declaresMember(V2.findClass("Grandchild"),
+                                V2.findName("m")));
+}
+
+TEST(HierarchyBuilderTest, BaseAccessIsRecorded) {
+  HierarchyBuilder B;
+  B.addClass("A");
+  B.addClass("B").withBase("A", AccessSpec::Private);
+  Hierarchy H = std::move(B).build();
+  EXPECT_EQ(*H.edgeAccess(H.findClass("A"), H.findClass("B")),
+            AccessSpec::Private);
+}

@@ -1,0 +1,215 @@
+//===- PathCalculusTest.cpp - Experiment E3 --------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces the worked example of Section 3 on the Figure 3 hierarchy:
+/// the four A..H paths, their fixed parts, the ~-equivalences, and the
+/// hides/dominates facts the paper states verbatim.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/chg/Path.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+class PathCalculusTest : public ::testing::Test {
+protected:
+  PathCalculusTest() : H(makeFigure3()) {}
+
+  Path path(std::initializer_list<const char *> Names) {
+    std::vector<std::string> Strings(Names.begin(), Names.end());
+    return pathOf(H, Strings);
+  }
+
+  Hierarchy H;
+};
+
+} // namespace
+
+TEST_F(PathCalculusTest, ValidityFollowsEdges) {
+  EXPECT_TRUE(isValidPath(H, path({"A", "B", "D", "F", "H"})));
+  EXPECT_TRUE(isValidPath(H, path({"G", "H"})));
+  EXPECT_TRUE(isValidPath(H, path({"A"}))) << "trivial path";
+  EXPECT_FALSE(isValidPath(H, path({"A", "D"}))) << "no direct edge A->D";
+  EXPECT_FALSE(isValidPath(H, path({"H", "G"}))) << "edges are directed";
+  EXPECT_FALSE(isValidPath(H, Path())) << "empty path is invalid";
+}
+
+TEST_F(PathCalculusTest, LdcAndMdc) {
+  Path P = path({"A", "B", "D", "F", "H"});
+  EXPECT_EQ(P.ldc(), H.findClass("A"));
+  EXPECT_EQ(P.mdc(), H.findClass("H"));
+}
+
+TEST_F(PathCalculusTest, FixedPartsMatchSection3Example) {
+  // Paper: fixed(ABDFH) = ABD, fixed(ABDGH) = ABD,
+  //        fixed(ACDFH) = ACD, fixed(ACDGH) = ACD.
+  EXPECT_EQ(formatPath(H, fixedPrefix(H, path({"A", "B", "D", "F", "H"}))),
+            "ABD");
+  EXPECT_EQ(formatPath(H, fixedPrefix(H, path({"A", "B", "D", "G", "H"}))),
+            "ABD");
+  EXPECT_EQ(formatPath(H, fixedPrefix(H, path({"A", "C", "D", "F", "H"}))),
+            "ACD");
+  EXPECT_EQ(formatPath(H, fixedPrefix(H, path({"A", "C", "D", "G", "H"}))),
+            "ACD");
+  // A path with no virtual edge is its own fixed part.
+  EXPECT_EQ(formatPath(H, fixedPrefix(H, path({"G", "H"}))), "GH");
+  EXPECT_EQ(formatPath(H, fixedPrefix(H, path({"E", "F", "H"}))), "EFH");
+}
+
+TEST_F(PathCalculusTest, EquivalencesMatchSection3Example) {
+  // Paper: ABDFH ~ ABDGH and ACDFH ~ ACDGH, but ABDFH !~ ACDFH.
+  EXPECT_TRUE(equivalent(H, path({"A", "B", "D", "F", "H"}),
+                         path({"A", "B", "D", "G", "H"})));
+  EXPECT_TRUE(equivalent(H, path({"A", "C", "D", "F", "H"}),
+                         path({"A", "C", "D", "G", "H"})));
+  EXPECT_FALSE(equivalent(H, path({"A", "B", "D", "F", "H"}),
+                          path({"A", "C", "D", "F", "H"})));
+  EXPECT_TRUE(equivalent(H, path({"G", "H"}), path({"G", "H"})));
+}
+
+TEST_F(PathCalculusTest, TwoASubobjectsInAnHObject) {
+  // "Thus, there are two different subobjects of class A in an instance
+  // of H."
+  std::set<SubobjectKey> Keys;
+  ClassId A = H.findClass("A");
+  enumeratePathsTo(H, H.findClass("H"), [&](const Path &P) {
+    if (P.ldc() == A)
+      Keys.insert(subobjectKey(H, P));
+  });
+  EXPECT_EQ(Keys.size(), 2u);
+}
+
+TEST_F(PathCalculusTest, VPathAndLeastVirtual) {
+  EXPECT_TRUE(isVPath(H, path({"A", "B", "D", "F", "H"})));
+  EXPECT_FALSE(isVPath(H, path({"G", "H"})));
+  EXPECT_FALSE(isVPath(H, path({"A", "B", "D"})));
+
+  // leastVirtual = mdc(fixed(p)) for v-paths, Omega otherwise (Def 14).
+  EXPECT_EQ(leastVirtual(H, path({"A", "B", "D", "F", "H"})),
+            H.findClass("D"));
+  EXPECT_EQ(leastVirtual(H, path({"D", "G", "H"})), H.findClass("D"));
+  EXPECT_FALSE(leastVirtual(H, path({"G", "H"})).isValid());
+  EXPECT_FALSE(leastVirtual(H, path({"E", "F", "H"})).isValid());
+}
+
+TEST_F(PathCalculusTest, HidesIsSuffix) {
+  // Paper: "path GH hides ABDGH but not ABDFH".
+  EXPECT_TRUE(hides(path({"G", "H"}), path({"A", "B", "D", "G", "H"})));
+  EXPECT_FALSE(hides(path({"G", "H"}), path({"A", "B", "D", "F", "H"})));
+  EXPECT_TRUE(hides(path({"H"}), path({"G", "H"})));
+  Path Self = path({"A", "B", "D"});
+  EXPECT_TRUE(hides(Self, Self)) << "a path hides itself";
+}
+
+TEST_F(PathCalculusTest, DominatesMatchesSection3Example) {
+  // Paper: GH dominates ABDFH (via ABDGH ~ ABDFH); FH dominates ABDGH.
+  EXPECT_TRUE(
+      dominates(H, path({"G", "H"}), path({"A", "B", "D", "F", "H"})));
+  EXPECT_TRUE(
+      dominates(H, path({"F", "H"}), path({"A", "B", "D", "G", "H"})));
+  EXPECT_FALSE(
+      dominates(H, path({"A", "B", "D", "F", "H"}), path({"G", "H"})));
+  // Equivalent paths dominate each other (reflexivity up to ~).
+  EXPECT_TRUE(dominates(H, path({"A", "B", "D", "F", "H"}),
+                        path({"A", "B", "D", "G", "H"})));
+}
+
+TEST_F(PathCalculusTest, SubobjectKeyCanonicality) {
+  SubobjectKey K1 = subobjectKey(H, path({"A", "B", "D", "F", "H"}));
+  SubobjectKey K2 = subobjectKey(H, path({"A", "B", "D", "G", "H"}));
+  SubobjectKey K3 = subobjectKey(H, path({"A", "C", "D", "F", "H"}));
+  EXPECT_EQ(K1, K2);
+  EXPECT_FALSE(K1 == K3);
+  EXPECT_EQ(SubobjectKeyHash()(K1), SubobjectKeyHash()(K2));
+  EXPECT_EQ(K1.ldc(), H.findClass("A"));
+  EXPECT_EQ(K1.Mdc, H.findClass("H"));
+  EXPECT_TRUE(K1.isVirtualPathClass());
+  EXPECT_EQ(K1.fixedEnd(), H.findClass("D"));
+
+  SubobjectKey NonVirtual = subobjectKey(H, path({"G", "H"}));
+  EXPECT_FALSE(NonVirtual.isVirtualPathClass());
+  EXPECT_EQ(NonVirtual.fixedEnd(), H.findClass("H"));
+}
+
+TEST_F(PathCalculusTest, KeyDominanceAgreesWithPathDominance) {
+  std::vector<Path> Paths;
+  enumeratePathsTo(H, H.findClass("H"),
+                   [&](const Path &P) { Paths.push_back(P); });
+  for (const Path &A : Paths)
+    for (const Path &B : Paths)
+      EXPECT_EQ(dominates(H, A, B),
+                dominates(H, subobjectKey(H, A), subobjectKey(H, B)))
+          << formatPath(H, A) << " vs " << formatPath(H, B);
+}
+
+TEST_F(PathCalculusTest, ConcatAndExtend) {
+  Path AB = path({"A", "B"});
+  Path BD = path({"B", "D"});
+  Path ABD = concat(AB, BD);
+  EXPECT_EQ(formatPath(H, ABD), "ABD");
+  EXPECT_TRUE(isValidPath(H, ABD));
+  EXPECT_EQ(formatPath(H, extend(ABD, H.findClass("F"))), "ABDF");
+}
+
+TEST_F(PathCalculusTest, FormatMultiCharNamesUsesDots) {
+  HierarchyBuilder Builder;
+  Builder.addClass("Base");
+  Builder.addClass("Derived").withBase("Base");
+  Hierarchy H2 = std::move(Builder).build();
+  Path P = pathOf(H2, {"Base", "Derived"});
+  EXPECT_EQ(formatPath(H2, P), "Base.Derived");
+}
+
+TEST_F(PathCalculusTest, FormatSubobjectKeyShowsVirtualTail) {
+  EXPECT_EQ(formatSubobjectKey(
+                H, subobjectKey(H, path({"A", "B", "D", "F", "H"}))),
+            "ABD*H");
+  EXPECT_EQ(formatSubobjectKey(H, subobjectKey(H, path({"G", "H"}))), "GH");
+}
+
+TEST_F(PathCalculusTest, EnumeratePathsFindsAllFourAToH) {
+  std::vector<std::string> Found;
+  enumeratePaths(H, H.findClass("A"), H.findClass("H"),
+                 [&](const Path &P) { Found.push_back(formatPath(H, P)); });
+  EXPECT_EQ(Found, (std::vector<std::string>{"ABDFH", "ABDGH", "ACDFH",
+                                             "ACDGH"}));
+}
+
+TEST_F(PathCalculusTest, EnumeratePathsRespectsCap) {
+  size_t Count = 0;
+  bool Complete = enumeratePaths(
+      H, H.findClass("A"), H.findClass("H"), [&](const Path &) { ++Count; },
+      /*MaxPaths=*/2);
+  EXPECT_FALSE(Complete);
+  EXPECT_EQ(Count, 2u);
+}
+
+TEST_F(PathCalculusTest, EnumeratePathsToIncludesTrivialPath) {
+  size_t Trivial = 0;
+  enumeratePathsTo(H, H.findClass("H"), [&](const Path &P) {
+    if (P.length() == 1)
+      ++Trivial;
+  });
+  EXPECT_EQ(Trivial, 1u);
+}
+
+TEST_F(PathCalculusTest, NoPathsBetweenUnrelatedClasses) {
+  size_t Count = 0;
+  bool Complete = enumeratePaths(H, H.findClass("E"), H.findClass("G"),
+                                 [&](const Path &) { ++Count; });
+  EXPECT_TRUE(Complete);
+  EXPECT_EQ(Count, 0u);
+}

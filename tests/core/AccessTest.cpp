@@ -1,0 +1,172 @@
+//===- AccessTest.cpp - Experiment E16 (Section 6 access rights) -----------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Section 6: "The access rights do not affect the member lookup process
+/// in any way; they are applied only after a successful member lookup to
+/// determine if that particular member access is legal."
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/AccessControl.h"
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+Hierarchy makeAccessHierarchy() {
+  // class Base { public: p; protected: q; private: r; };
+  // class Pub : public Base {};
+  // class Prot : protected Base {};
+  // class Priv : private Base {};
+  HierarchyBuilder B;
+  B.addClass("Base")
+      .withMember("p", AccessSpec::Public)
+      .withMember("q", AccessSpec::Protected)
+      .withMember("r", AccessSpec::Private);
+  B.addClass("Pub").withBase("Base", AccessSpec::Public);
+  B.addClass("Prot").withBase("Base", AccessSpec::Protected);
+  B.addClass("Priv").withBase("Base", AccessSpec::Private);
+  B.addClass("PubPub").withBase("Pub", AccessSpec::Public);
+  B.addClass("PrivPub").withBase("Priv", AccessSpec::Public);
+  return std::move(B).build();
+}
+
+} // namespace
+
+TEST(AccessTest, LookupIgnoresAccessEntirely) {
+  // Even a private member in a privately-inherited base resolves; only
+  // the post-pass rejects the access.
+  Hierarchy H = makeAccessHierarchy();
+  DominanceLookupEngine Engine(H);
+  LookupResult R = Engine.lookup(H.findClass("PrivPub"), "r");
+  EXPECT_EQ(R.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.DefiningClass, H.findClass("Base"));
+}
+
+TEST(AccessTest, EffectiveAccessComposesEdges) {
+  Hierarchy H = makeAccessHierarchy();
+  DominanceLookupEngine Engine(H);
+
+  auto Effective = [&](const char *Class, const char *Member) {
+    LookupResult R = Engine.lookup(H.findClass(Class), Member);
+    EXPECT_EQ(R.Status, LookupStatus::Unambiguous);
+    const MemberDecl *Decl =
+        H.declaredMember(R.DefiningClass, H.findName(Member));
+    return effectiveAccess(H, *R.Witness, Decl->Access);
+  };
+
+  // Direct member of Base: its declared access.
+  EXPECT_EQ(Effective("Base", "p"), AccessSpec::Public);
+  EXPECT_EQ(Effective("Base", "q"), AccessSpec::Protected);
+  EXPECT_EQ(Effective("Base", "r"), AccessSpec::Private);
+
+  // Public inheritance preserves access.
+  EXPECT_EQ(Effective("Pub", "p"), AccessSpec::Public);
+  EXPECT_EQ(Effective("Pub", "q"), AccessSpec::Protected);
+
+  // Protected inheritance caps public at protected.
+  EXPECT_EQ(Effective("Prot", "p"), AccessSpec::Protected);
+  EXPECT_EQ(Effective("Prot", "q"), AccessSpec::Protected);
+
+  // Private inheritance demotes everything.
+  EXPECT_EQ(Effective("Priv", "p"), AccessSpec::Private);
+  EXPECT_EQ(Effective("Priv", "q"), AccessSpec::Private);
+
+  // Two hops: public-over-public keeps public; public-over-private is
+  // still private.
+  EXPECT_EQ(Effective("PubPub", "p"), AccessSpec::Public);
+  EXPECT_EQ(Effective("PrivPub", "p"), AccessSpec::Private);
+}
+
+TEST(AccessTest, IsAccessibleByContext) {
+  Hierarchy H = makeAccessHierarchy();
+  DominanceLookupEngine Engine(H);
+  Symbol P = H.findName("p");
+  Symbol Q = H.findName("q");
+
+  LookupResult PubP = Engine.lookup(H.findClass("Pub"), P);
+  EXPECT_TRUE(isAccessible(H, PubP, P, AccessContext::Outside));
+  EXPECT_TRUE(isAccessible(H, PubP, P, AccessContext::DerivedMember));
+
+  LookupResult PubQ = Engine.lookup(H.findClass("Pub"), Q);
+  EXPECT_FALSE(isAccessible(H, PubQ, Q, AccessContext::Outside))
+      << "protected member is not visible to outsiders";
+  EXPECT_TRUE(isAccessible(H, PubQ, Q, AccessContext::DerivedMember));
+  EXPECT_TRUE(isAccessible(H, PubQ, Q, AccessContext::SelfOrFriend));
+
+  LookupResult PrivP = Engine.lookup(H.findClass("Priv"), P);
+  EXPECT_FALSE(isAccessible(H, PrivP, P, AccessContext::Outside))
+      << "private inheritance hides the public member";
+  EXPECT_FALSE(isAccessible(H, PrivP, P, AccessContext::DerivedMember));
+  EXPECT_TRUE(isAccessible(H, PrivP, P, AccessContext::SelfOrFriend));
+}
+
+TEST(AccessTest, TabulatedAccessMatchesWitnessPostPass) {
+  // The Figure 8 engine tabulates effective access during propagation
+  // (the extension of the paper's companion report [8]); it must agree
+  // with the witness-path post-pass on arbitrary hierarchies.
+  RandomHierarchyParams Params;
+  Params.NumClasses = 22;
+  Params.VirtualEdgeChance = 0.3;
+  Params.RestrictedEdgeChance = 0.5;
+  Params.StaticChance = 0.2;
+  for (uint64_t Seed = 300; Seed != 320; ++Seed) {
+    Workload W = makeRandomHierarchy(Params, Seed);
+    DominanceLookupEngine Engine(W.H);
+    for (ClassId C : W.QueryClasses)
+      for (Symbol Member : W.QueryMembers) {
+        LookupResult R = Engine.lookup(C, Member);
+        if (R.Status != LookupStatus::Unambiguous)
+          continue;
+        ASSERT_TRUE(R.EffectiveAccess.has_value());
+        const MemberDecl *Decl =
+            W.H.declaredMember(R.DefiningClass, Member);
+        ASSERT_NE(Decl, nullptr);
+        EXPECT_EQ(*R.EffectiveAccess,
+                  effectiveAccess(W.H, *R.Witness, Decl->Access))
+            << W.H.className(C) << "::" << W.H.spelling(Member) << " seed "
+            << Seed;
+      }
+  }
+}
+
+TEST(AccessTest, TabulatedAccessOnKnownShapes) {
+  Hierarchy H = makeAccessHierarchy();
+  DominanceLookupEngine Engine(H);
+  auto Tabulated = [&](const char *Class, const char *Member) {
+    LookupResult R = Engine.lookup(H.findClass(Class), Member);
+    EXPECT_EQ(R.Status, LookupStatus::Unambiguous);
+    return *R.EffectiveAccess;
+  };
+  EXPECT_EQ(Tabulated("Pub", "p"), AccessSpec::Public);
+  EXPECT_EQ(Tabulated("Prot", "p"), AccessSpec::Protected);
+  EXPECT_EQ(Tabulated("Priv", "p"), AccessSpec::Private);
+  EXPECT_EQ(Tabulated("PrivPub", "p"), AccessSpec::Private);
+  EXPECT_EQ(Tabulated("Base", "r"), AccessSpec::Private);
+}
+
+TEST(AccessTest, AmbiguityIsDetectedBeforeAccessEvenMatters) {
+  // Two privately-inherited copies: the lookup is ambiguous regardless
+  // of the fact that neither copy would be accessible anyway - the
+  // paper's ordering of the two checks.
+  HierarchyBuilder B;
+  B.addClass("A").withMember("m", AccessSpec::Private);
+  B.addClass("L").withBase("A", AccessSpec::Private);
+  B.addClass("R").withBase("A", AccessSpec::Private);
+  B.addClass("D").withBase("L").withBase("R");
+  Hierarchy H = std::move(B).build();
+  DominanceLookupEngine Engine(H);
+  EXPECT_EQ(Engine.lookup(H.findClass("D"), "m").Status,
+            LookupStatus::Ambiguous);
+}

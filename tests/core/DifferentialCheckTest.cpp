@@ -1,0 +1,66 @@
+//===- DifferentialCheckTest.cpp -------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DifferentialCheck.h"
+
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+TEST(DifferentialCheckTest, PassesOnPaperFigures) {
+  for (auto Make : {&makeFigure1, &makeFigure2, &makeFigure3, &makeFigure9}) {
+    Hierarchy H = Make();
+    DifferentialReport Report = runDifferentialCheck(H);
+    EXPECT_TRUE(Report.passed())
+        << (Report.Mismatches.empty() ? "" : Report.Mismatches.front());
+    EXPECT_GT(Report.PairsChecked, 0u);
+    EXPECT_EQ(Report.PairsSkipped, 0u);
+  }
+}
+
+TEST(DifferentialCheckTest, PassesOnStructuredFamilies) {
+  EXPECT_TRUE(runDifferentialCheck(makeIostreamLike().H).passed());
+  EXPECT_TRUE(runDifferentialCheck(makeGrid(4, 4).H).passed());
+  EXPECT_TRUE(runDifferentialCheck(makeAmbiguityFan(10).H).passed());
+  EXPECT_TRUE(
+      runDifferentialCheck(makeNonVirtualDiamondStack(6, true).H).passed());
+}
+
+TEST(DifferentialCheckTest, PassesOnRandomSweep) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 20;
+  Params.VirtualEdgeChance = 0.3;
+  Params.StaticChance = 0.35;
+  for (uint64_t Seed = 7000; Seed != 7030; ++Seed) {
+    DifferentialReport Report =
+        runDifferentialCheck(makeRandomHierarchy(Params, Seed).H);
+    EXPECT_TRUE(Report.passed())
+        << "seed " << Seed << ": "
+        << (Report.Mismatches.empty() ? "" : Report.Mismatches.front());
+  }
+}
+
+TEST(DifferentialCheckTest, CountsPairs) {
+  Hierarchy H = makeFigure3();
+  DifferentialReport Report = runDifferentialCheck(H);
+  // 8 classes x 2 member names.
+  EXPECT_EQ(Report.PairsChecked, 16u);
+}
+
+TEST(DifferentialCheckTest, SkipsWhenReferenceOverflows) {
+  // 20 stacked non-virtual diamonds blow any 2^18 subobject budget; the
+  // audit must degrade to "skipped", not fail or hang.
+  Workload W = makeNonVirtualDiamondStack(20, /*RedeclareAtJoins=*/true);
+  DifferentialReport Report = runDifferentialCheck(W.H, /*MaxSubobjects=*/4096);
+  EXPECT_TRUE(Report.passed());
+  EXPECT_GT(Report.PairsSkipped, 0u);
+}

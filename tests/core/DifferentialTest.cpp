@@ -1,0 +1,155 @@
+//===- DifferentialTest.cpp - Experiment E7 --------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The central correctness property: the Figure 8 algorithm computes
+/// exactly the lookup function defined on the Rossie-Friedman subobject
+/// model, for *every* (class, member) pair. Four independent
+/// implementations are compared pairwise:
+///
+///   figure8-eager / figure8-lazy  (abstraction propagation, Lemma 4)
+///   propagation-naive             (explicit paths, general dominance)
+///   propagation-killing           (explicit paths + Corollary 1)
+///   rossie-friedman               (materialized subobject graph)
+///
+/// on the paper's figures, the structured families, and a large seeded
+/// random sweep that includes virtual/non-virtual mixes, static members,
+/// and restricted access.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/NaivePropagationEngine.h"
+#include "memlook/core/SubobjectLookupEngine.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+void compareAllEngines(const Hierarchy &H, const char *Tag) {
+  DominanceLookupEngine Eager(H, DominanceLookupEngine::Mode::Eager);
+  DominanceLookupEngine Lazy(H, DominanceLookupEngine::Mode::Lazy);
+  NaivePropagationEngine Naive(H, NaivePropagationEngine::Killing::Disabled);
+  NaivePropagationEngine Killing(H, NaivePropagationEngine::Killing::Enabled);
+  SubobjectLookupEngine Reference(H);
+
+  std::vector<LookupEngine *> Others{&Lazy, &Naive, &Killing, &Reference};
+
+  for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx) {
+    ClassId C(Idx);
+    for (Symbol Member : H.allMemberNames()) {
+      LookupResult Baseline = Eager.lookup(C, Member);
+      std::string BaselineKey = comparisonKey(H, Baseline);
+      for (LookupEngine *Other : Others) {
+        LookupResult R = Other->lookup(C, Member);
+        if (R.Status == LookupStatus::Overflow)
+          continue; // reference ran out of budget; nothing to compare
+        EXPECT_EQ(BaselineKey, comparisonKey(H, R))
+            << Tag << ": " << Other->engineName() << " disagrees on "
+            << H.className(C) << "::" << H.spelling(Member);
+      }
+    }
+  }
+}
+
+} // namespace
+
+TEST(DifferentialTest, PaperFigures) {
+  compareAllEngines(makeFigure1(), "figure1");
+  compareAllEngines(makeFigure2(), "figure2");
+  compareAllEngines(makeFigure3(), "figure3");
+  compareAllEngines(makeFigure9(), "figure9");
+}
+
+TEST(DifferentialTest, StructuredFamilies) {
+  compareAllEngines(makeChain(20, 3).H, "chain");
+  compareAllEngines(makeNonVirtualDiamondStack(5).H, "nv-diamonds");
+  compareAllEngines(makeNonVirtualDiamondStack(5, true).H,
+                    "nv-diamonds-redeclared");
+  compareAllEngines(makeVirtualDiamondStack(8).H, "v-diamonds");
+  compareAllEngines(makeVirtualDiamondStack(8, true).H,
+                    "v-diamonds-redeclared");
+  compareAllEngines(makeGrid(4, 4).H, "grid");
+  compareAllEngines(makeGrid(4, 4, true).H, "v-grid");
+  compareAllEngines(makeWideForest(3, 3, 3).H, "forest");
+  compareAllEngines(makeIostreamLike().H, "iostream");
+}
+
+class DifferentialRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialRandomTest, RandomHierarchies) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 24;
+  Params.AvgBases = 1.8;
+  Params.VirtualEdgeChance = 0.35;
+  Params.MemberPool = 5;
+  Params.DeclareChance = 0.3;
+  Params.StaticChance = 0.0; // statics compared separately (E15)
+  Workload W = makeRandomHierarchy(Params, GetParam());
+  compareAllEngines(W.H, "random");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialRandomTest,
+                         ::testing::Range<uint64_t>(1, 61));
+
+class DifferentialStaticRandomTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialStaticRandomTest, RandomHierarchiesWithStatics) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 20;
+  Params.AvgBases = 1.9;
+  Params.VirtualEdgeChance = 0.3;
+  Params.MemberPool = 4;
+  Params.DeclareChance = 0.35;
+  Params.StaticChance = 0.5; // exercise Definition 17 heavily
+  Workload W = makeRandomHierarchy(Params, GetParam() * 2654435761u);
+  compareAllEngines(W.H, "random-static");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialStaticRandomTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+TEST(DifferentialTest, RandomHierarchiesWithUsingDeclarations) {
+  // Using-declarations are modeled as ordinary declarations, so every
+  // engine must keep agreeing when they are sprinkled in.
+  RandomHierarchyParams Params;
+  Params.NumClasses = 22;
+  Params.AvgBases = 1.8;
+  Params.VirtualEdgeChance = 0.3;
+  Params.StaticChance = 0.2;
+  Params.UsingChance = 0.5;
+  for (uint64_t Seed = 800; Seed != 820; ++Seed)
+    compareAllEngines(makeRandomHierarchy(Params, Seed).H, "random-using");
+}
+
+TEST(DifferentialTest, DenseVirtualHierarchies) {
+  // All-virtual edges: maximal sharing, frequent Definition 17(1) hits.
+  RandomHierarchyParams Params;
+  Params.NumClasses = 24;
+  Params.AvgBases = 2.2;
+  Params.VirtualEdgeChance = 1.0;
+  for (uint64_t Seed = 500; Seed != 510; ++Seed)
+    compareAllEngines(makeRandomHierarchy(Params, Seed).H, "all-virtual");
+}
+
+TEST(DifferentialTest, DenseNonVirtualHierarchies) {
+  // No virtual edges at all: pure replication semantics.
+  RandomHierarchyParams Params;
+  Params.NumClasses = 18; // replication explodes; keep moderate
+  Params.AvgBases = 2.0;
+  Params.VirtualEdgeChance = 0.0;
+  for (uint64_t Seed = 600; Seed != 610; ++Seed)
+    compareAllEngines(makeRandomHierarchy(Params, Seed).H, "all-nonvirtual");
+}

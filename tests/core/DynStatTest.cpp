@@ -1,0 +1,144 @@
+//===- DynStatTest.cpp - Section 7.1 dyn/stat operations --------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Section 7.1 relates the Rossie-Friedman lookups to the paper's:
+///
+///     dyn(m, s)  = lookup(mdc(s), m)
+///     stat(m, s) = lookup(ldc(s), m) o s
+///
+/// dyn models a virtual call (resolve against the complete object's
+/// class); stat models a non-virtual call (resolve against the static
+/// type, then re-embed). These tests exercise both on hierarchies where
+/// they differ - the essence of virtual dispatch.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/SubobjectLookupEngine.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+/// Shape with an override: Base::f is redefined in Derived.
+///   struct Base { f; };  struct Mid : Base {};
+///   struct Derived : Mid { f; };
+Hierarchy makeOverrideChain() {
+  HierarchyBuilder B;
+  B.addClass("Base").withMember("f");
+  B.addClass("Mid").withBase("Base");
+  B.addClass("Derived").withBase("Mid").withMember("f");
+  return std::move(B).build();
+}
+
+} // namespace
+
+TEST(DynStatTest, DynResolvesAgainstTheCompleteObject) {
+  Hierarchy H = makeOverrideChain();
+  SubobjectLookupEngine Engine(H);
+  ClassId Derived = H.findClass("Derived");
+  Symbol F = H.findName("f");
+
+  // The Base subobject inside a Derived object.
+  SubobjectKey BaseSub{{H.findClass("Base"), H.findClass("Mid"), Derived},
+                       Derived};
+  LookupResult Dyn = Engine.dynLookup(Derived, BaseSub, F);
+  ASSERT_EQ(Dyn.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(Dyn.DefiningClass, Derived)
+      << "virtual dispatch sees the override";
+}
+
+TEST(DynStatTest, StatResolvesAgainstTheStaticType) {
+  Hierarchy H = makeOverrideChain();
+  SubobjectLookupEngine Engine(H);
+  ClassId Derived = H.findClass("Derived");
+  Symbol F = H.findName("f");
+
+  SubobjectKey BaseSub{{H.findClass("Base"), H.findClass("Mid"), Derived},
+                       Derived};
+  LookupResult Stat = Engine.statLookup(Derived, BaseSub, F);
+  ASSERT_EQ(Stat.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(Stat.DefiningClass, H.findClass("Base"))
+      << "a non-virtual call through Base* stays at Base::f";
+  // The re-embedded subobject lives inside the complete object.
+  ASSERT_TRUE(Stat.Subobject.has_value());
+  EXPECT_EQ(Stat.Subobject->Mdc, Derived);
+  EXPECT_EQ(Stat.Subobject->ldc(), H.findClass("Base"));
+}
+
+TEST(DynStatTest, DynEqualsLookupAtMdc) {
+  // The defining equation, checked over every subobject of Figure 3's H.
+  Hierarchy H = makeFigure3();
+  SubobjectLookupEngine Engine(H);
+  ClassId Complete = H.findClass("H");
+  const SubobjectGraph *Graph = Engine.graphFor(Complete);
+  ASSERT_NE(Graph, nullptr);
+
+  for (Symbol Member : H.allMemberNames())
+    for (uint32_t Idx = 0; Idx != Graph->numSubobjects(); ++Idx) {
+      const SubobjectKey &Key = Graph->subobject(SubobjectId(Idx)).Key;
+      LookupResult Dyn = Engine.dynLookup(Complete, Key, Member);
+      LookupResult Direct = Engine.lookup(Complete, Member);
+      EXPECT_EQ(comparisonKey(H, Dyn), comparisonKey(H, Direct));
+    }
+}
+
+TEST(DynStatTest, StatOnTheCompleteSubobjectIsPlainLookup) {
+  // s = [<C>]: stat(m, s) composes with the identity.
+  Hierarchy H = makeFigure2();
+  SubobjectLookupEngine Engine(H);
+  ClassId E = H.findClass("E");
+  Symbol M = H.findName("m");
+  SubobjectKey Root{{E}, E};
+  EXPECT_EQ(comparisonKey(H, Engine.statLookup(E, Root, M)),
+            comparisonKey(H, Engine.lookup(E, M)));
+}
+
+TEST(DynStatTest, StatCanBeAmbiguousWhileDynIsNot) {
+  // In Figure 3, lookup(F, bar) is ambiguous but lookup(H, bar) is also
+  // ambiguous; use foo instead: lookup(F, foo) ambiguous (two A copies
+  // through the virtual D), lookup(H, foo) = G::foo. So a non-virtual
+  // call through an F* fails where a virtual call on the H object
+  // succeeds.
+  Hierarchy H = makeFigure3();
+  SubobjectLookupEngine Engine(H);
+  ClassId Complete = H.findClass("H");
+  Symbol Foo = H.findName("foo");
+
+  SubobjectKey FSub{{H.findClass("F"), Complete}, Complete};
+  LookupResult Stat = Engine.statLookup(Complete, FSub, Foo);
+  EXPECT_EQ(Stat.Status, LookupStatus::Ambiguous);
+
+  LookupResult Dyn = Engine.dynLookup(Complete, FSub, Foo);
+  ASSERT_EQ(Dyn.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(Dyn.DefiningClass, H.findClass("G"));
+}
+
+TEST(DynStatTest, StatReembeddingLandsOnARealSubobject) {
+  // stat's composed key must name an actual subobject of the complete
+  // object - across all subobjects and members of Figure 9.
+  Hierarchy H = makeFigure9();
+  SubobjectLookupEngine Engine(H);
+  ClassId Complete = H.findClass("E");
+  const SubobjectGraph *Graph = Engine.graphFor(Complete);
+  ASSERT_NE(Graph, nullptr);
+
+  for (Symbol Member : H.allMemberNames())
+    for (uint32_t Idx = 0; Idx != Graph->numSubobjects(); ++Idx) {
+      const SubobjectKey &Key = Graph->subobject(SubobjectId(Idx)).Key;
+      LookupResult Stat = Engine.statLookup(Complete, Key, Member);
+      if (Stat.Status != LookupStatus::Unambiguous)
+        continue;
+      ASSERT_TRUE(Stat.Subobject.has_value());
+      EXPECT_TRUE(Graph->find(*Stat.Subobject).isValid())
+          << formatSubobjectKey(H, *Stat.Subobject);
+    }
+}

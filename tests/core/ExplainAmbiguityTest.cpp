@@ -1,0 +1,106 @@
+//===- ExplainAmbiguityTest.cpp --------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/ExplainAmbiguity.h"
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/SubobjectLookupEngine.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+TEST(ExplainAmbiguityTest, Figure1Candidates) {
+  Hierarchy H = makeFigure1();
+  std::vector<DefinitionRecord> Defs =
+      explainAmbiguity(H, H.findClass("E"), H.findName("m"));
+  std::set<std::string> Keys;
+  for (const DefinitionRecord &Def : Defs)
+    Keys.insert(formatSubobjectKey(H, Def.Key));
+  EXPECT_EQ(Keys, (std::set<std::string>{"ABCE", "DE"}));
+}
+
+TEST(ExplainAmbiguityTest, Figure3BarCandidates) {
+  Hierarchy H = makeFigure3();
+  std::vector<DefinitionRecord> Defs =
+      explainAmbiguity(H, H.findClass("H"), H.findName("bar"));
+  std::set<std::string> Keys;
+  for (const DefinitionRecord &Def : Defs)
+    Keys.insert(formatSubobjectKey(H, Def.Key));
+  // The maximal candidates at H: EFH and GH (D*H is dominated by GH).
+  EXPECT_EQ(Keys, (std::set<std::string>{"EFH", "GH"}));
+}
+
+TEST(ExplainAmbiguityTest, MatchesReferenceAmbiguousCandidates) {
+  Hierarchy H = makeFigure9();
+  SubobjectLookupEngine Reference(H);
+  DominanceLookupEngine Figure8(H);
+  for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx)
+    for (Symbol Member : H.allMemberNames()) {
+      LookupResult R = Figure8.lookup(ClassId(Idx), Member);
+      if (R.Status != LookupStatus::Ambiguous)
+        continue;
+      LookupResult Ref = Reference.lookup(ClassId(Idx), Member);
+      std::set<std::string> FromExplain, FromRef;
+      for (const auto &Def : explainAmbiguity(H, ClassId(Idx), Member))
+        FromExplain.insert(formatSubobjectKey(H, Def.Key));
+      for (const SubobjectKey &Key : Ref.AmbiguousCandidates)
+        FromRef.insert(formatSubobjectKey(H, Key));
+      EXPECT_EQ(FromExplain, FromRef);
+    }
+}
+
+TEST(ExplainAmbiguityTest, MatchesReferenceOnRandomHierarchies) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 18;
+  Params.AvgBases = 2.0;
+  Params.VirtualEdgeChance = 0.25;
+  Params.StaticChance = 0.0;
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    Workload W = makeRandomHierarchy(Params, Seed * 3163 + 9);
+    SubobjectLookupEngine Reference(W.H);
+    for (ClassId C : W.QueryClasses)
+      for (Symbol Member : W.QueryMembers) {
+        LookupResult Ref = Reference.lookup(C, Member);
+        if (Ref.Status != LookupStatus::Ambiguous)
+          continue;
+        std::set<std::string> FromExplain, FromRef;
+        for (const auto &Def : explainAmbiguity(W.H, C, Member))
+          FromExplain.insert(formatSubobjectKey(W.H, Def.Key));
+        for (const SubobjectKey &Key : Ref.AmbiguousCandidates)
+          FromRef.insert(formatSubobjectKey(W.H, Key));
+        EXPECT_EQ(FromExplain, FromRef)
+            << W.H.className(C) << "::" << W.H.spelling(Member) << " seed "
+            << Seed;
+      }
+  }
+}
+
+TEST(ExplainAmbiguityTest, FormattingIsDiagnosticReady) {
+  Hierarchy H = makeFigure1();
+  Symbol M = H.findName("m");
+  std::vector<DefinitionRecord> Defs =
+      explainAmbiguity(H, H.findClass("E"), M);
+  std::string Line = formatAmbiguityCandidates(H, M, Defs);
+  EXPECT_NE(Line.find("candidates:"), std::string::npos);
+  EXPECT_NE(Line.find("A::m (in ABCE)"), std::string::npos);
+  EXPECT_NE(Line.find("D::m (in DE)"), std::string::npos);
+}
+
+TEST(ExplainAmbiguityTest, EmptyForUnknownMember) {
+  Hierarchy H = makeFigure1();
+  Symbol Unknown = H.internName("zzz");
+  EXPECT_TRUE(explainAmbiguity(H, H.findClass("E"), Unknown).empty());
+  EXPECT_EQ(formatAmbiguityCandidates(H, Unknown, {}),
+            "candidates: <unavailable>");
+}

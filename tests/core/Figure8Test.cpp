@@ -1,0 +1,164 @@
+//===- Figure8Test.cpp - Experiment E6 (Figures 6 and 7) -------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces Figures 6 and 7: the red/blue *abstractions* the Figure 8
+/// algorithm computes at every node of the Figure 3 hierarchy, for the
+/// members foo and bar. (Omega is rendered as "~".)
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DominanceLookupEngine.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+using Entry = DominanceLookupEngine::Entry;
+
+class Figure8Test : public ::testing::Test {
+protected:
+  Figure8Test() : H(makeFigure3()), Engine(H) {}
+
+  const Entry &entryOf(const char *Class, const char *Member) {
+    return Engine.entry(H.findClass(Class), H.findName(Member));
+  }
+
+  std::string name(ClassId Id) {
+    return Id.isValid() ? std::string(H.className(Id)) : std::string("~");
+  }
+
+  /// Renders a red entry as "(L,V)".
+  std::string redOf(const char *Class, const char *Member) {
+    const Entry &E = entryOf(Class, Member);
+    EXPECT_EQ(E.EntryKind, Entry::Kind::Red) << Class << "::" << Member;
+    if (E.EntryKind != Entry::Kind::Red)
+      return "<not red>";
+    return "(" + name(E.DefiningClass) + "," + name(E.RepresentativeV) +
+           ")";
+  }
+
+  /// Renders a blue entry as the set of its V components (the paper's
+  /// blue abstraction; the enriched L components are checked
+  /// separately).
+  std::set<std::string> blueOf(const char *Class, const char *Member) {
+    const Entry &E = entryOf(Class, Member);
+    EXPECT_EQ(E.EntryKind, Entry::Kind::Blue) << Class << "::" << Member;
+    std::set<std::string> Out;
+    for (const auto &Elem : E.Blues)
+      Out.insert(name(Elem.LeastVirtual));
+    return Out;
+  }
+
+  Hierarchy H;
+  DominanceLookupEngine Engine;
+};
+
+} // namespace
+
+TEST_F(Figure8Test, Figure6FooAbstractions) {
+  // Figure 6: A, B, C carry red (A,~); D becomes blue {~}; the blue set
+  // crosses the virtual edge D->F as {D}; G and H are red (G,~).
+  EXPECT_EQ(redOf("A", "foo"), "(A,~)");
+  EXPECT_EQ(redOf("B", "foo"), "(A,~)");
+  EXPECT_EQ(redOf("C", "foo"), "(A,~)");
+  EXPECT_EQ(blueOf("D", "foo"), (std::set<std::string>{"~"}));
+  EXPECT_EQ(blueOf("F", "foo"), (std::set<std::string>{"D"}));
+  EXPECT_EQ(redOf("G", "foo"), "(G,~)");
+  EXPECT_EQ(redOf("H", "foo"), "(G,~)");
+  EXPECT_EQ(entryOf("E", "foo").EntryKind, Entry::Kind::Absent);
+}
+
+TEST_F(Figure8Test, Figure7BarAbstractions) {
+  // Figure 7: D, E, G generate red definitions; F joins (E,~) and (D,D)
+  // into blue {~, D}; at H the red (G,~) kills D but not ~, leaving
+  // blue {~}.
+  EXPECT_EQ(redOf("D", "bar"), "(D,~)");
+  EXPECT_EQ(redOf("E", "bar"), "(E,~)");
+  EXPECT_EQ(redOf("G", "bar"), "(G,~)");
+  EXPECT_EQ(blueOf("F", "bar"), (std::set<std::string>{"~", "D"}));
+  EXPECT_EQ(blueOf("H", "bar"), (std::set<std::string>{"~"}));
+  EXPECT_EQ(entryOf("A", "bar").EntryKind, Entry::Kind::Absent);
+  EXPECT_EQ(entryOf("B", "bar").EntryKind, Entry::Kind::Absent);
+  EXPECT_EQ(entryOf("C", "bar").EntryKind, Entry::Kind::Absent);
+}
+
+TEST_F(Figure8Test, BlueElementsRememberTheirDefiningClass) {
+  // The enrichment this implementation adds for the static-member rule:
+  // each blue element also carries the ldc of the definition it
+  // abstracts. At F the bar blues came from D and E.
+  const Entry &E = entryOf("F", "bar");
+  ASSERT_EQ(E.EntryKind, Entry::Kind::Blue);
+  std::set<std::string> Ldcs;
+  for (const auto &Elem : E.Blues)
+    Ldcs.insert(name(Elem.DefiningClass));
+  EXPECT_EQ(Ldcs, (std::set<std::string>{"D", "E"}));
+}
+
+TEST_F(Figure8Test, RedEntriesRecordProvenance) {
+  // The Via chain reconstructs the full-path triple of Section 4.
+  const Entry &EB = entryOf("B", "foo");
+  ASSERT_EQ(EB.EntryKind, Entry::Kind::Red);
+  EXPECT_EQ(EB.Via, H.findClass("A"));
+
+  const Entry &EG = entryOf("G", "foo");
+  ASSERT_EQ(EG.EntryKind, Entry::Kind::Red);
+  EXPECT_FALSE(EG.Via.isValid()) << "declared locally";
+
+  const Entry &EH = entryOf("H", "foo");
+  ASSERT_EQ(EH.EntryKind, Entry::Kind::Red);
+  EXPECT_EQ(EH.Via, H.findClass("G"));
+}
+
+TEST_F(Figure8Test, LookupMaterializesWitnessAndKey) {
+  LookupResult R = Engine.lookup(H.findClass("H"), H.findName("foo"));
+  ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.DefiningClass, H.findClass("G"));
+  ASSERT_TRUE(R.Witness.has_value());
+  EXPECT_EQ(formatPath(H, *R.Witness), "GH");
+  EXPECT_EQ(formatSubobjectKey(H, *R.Subobject), "GH");
+}
+
+TEST_F(Figure8Test, LazyModeComputesIdenticalEntries) {
+  DominanceLookupEngine Lazy(H, DominanceLookupEngine::Mode::Lazy);
+  for (const char *Class : {"A", "B", "C", "D", "E", "F", "G", "H"})
+    for (const char *Member : {"foo", "bar"}) {
+      const Entry &E1 = Engine.entry(H.findClass(Class), H.findName(Member));
+      const Entry &E2 = Lazy.entry(H.findClass(Class), H.findName(Member));
+      EXPECT_EQ(E1.EntryKind, E2.EntryKind) << Class << "::" << Member;
+      if (E1.EntryKind == Entry::Kind::Red) {
+        EXPECT_EQ(E1.DefiningClass, E2.DefiningClass);
+        EXPECT_EQ(E1.RepresentativeV, E2.RepresentativeV);
+        EXPECT_EQ(E1.RedVs, E2.RedVs);
+      }
+    }
+}
+
+TEST_F(Figure8Test, LazyModeOnlyMaterializesQueriedColumns) {
+  DominanceLookupEngine Lazy(H, DominanceLookupEngine::Mode::Lazy);
+  EXPECT_EQ(Lazy.stats().EntriesComputed, 0u);
+  Lazy.lookup(H.findClass("H"), H.findName("foo"));
+  uint64_t AfterFirst = Lazy.stats().EntriesComputed;
+  EXPECT_EQ(AfterFirst, H.numClasses()) << "one column";
+  Lazy.lookup(H.findClass("F"), H.findName("foo"));
+  EXPECT_EQ(Lazy.stats().EntriesComputed, AfterFirst)
+      << "same column is memoized";
+}
+
+TEST_F(Figure8Test, UnknownMemberIsAbsentEverywhere) {
+  Symbol Unknown = H.internName("nosuch");
+  for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx)
+    EXPECT_EQ(Engine.entry(ClassId(Idx), Unknown).EntryKind,
+              Entry::Kind::Absent);
+}

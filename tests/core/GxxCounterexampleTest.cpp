@@ -1,0 +1,131 @@
+//===- GxxCounterexampleTest.cpp - Experiment E8 (Figure 9) ----------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 9: "Though the lookup in line [s2] is unambiguous, the g++
+/// compiler flags it as being ambiguous. (In fact, 3 of the 7 compilers
+/// we tried this example on reported this lookup as being ambiguous.)"
+///
+/// The faithful g++-2.7.2 BFS baseline must reproduce the *wrong*
+/// answer; every correct engine must resolve E::m to C::m.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/GxxBfsEngine.h"
+#include "memlook/core/NaivePropagationEngine.h"
+#include "memlook/core/SubobjectLookupEngine.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+TEST(GxxCounterexampleTest, CorrectEnginesResolveToC) {
+  Hierarchy H = makeFigure9();
+  ClassId E = H.findClass("E");
+  ClassId C = H.findClass("C");
+
+  DominanceLookupEngine Figure8(H);
+  NaivePropagationEngine Naive(H);
+  SubobjectLookupEngine Reference(H);
+  for (LookupEngine *Engine :
+       {static_cast<LookupEngine *>(&Figure8),
+        static_cast<LookupEngine *>(&Naive),
+        static_cast<LookupEngine *>(&Reference)}) {
+    LookupResult R = Engine->lookup(E, "m");
+    ASSERT_EQ(R.Status, LookupStatus::Unambiguous) << Engine->engineName();
+    EXPECT_EQ(R.DefiningClass, C) << Engine->engineName();
+  }
+}
+
+TEST(GxxCounterexampleTest, GxxBaselineReportsSpuriousAmbiguity) {
+  Hierarchy H = makeFigure9();
+  GxxBfsEngine Gxx(H);
+  LookupResult R = Gxx.lookup(H.findClass("E"), "m");
+  EXPECT_EQ(R.Status, LookupStatus::Ambiguous)
+      << "the baseline must reproduce the g++ 2.7.2 bug";
+  // The premature conflict is between the A and B definitions, both of
+  // which C::m would have dominated.
+  ASSERT_EQ(R.AmbiguousCandidates.size(), 2u);
+  std::set<std::string> Culprits;
+  for (const SubobjectKey &Key : R.AmbiguousCandidates)
+    Culprits.insert(std::string(H.className(Key.ldc())));
+  EXPECT_EQ(Culprits, (std::set<std::string>{"A", "B"}));
+}
+
+TEST(GxxCounterexampleTest, GxxBaselineIsRightOnTheEasyCases) {
+  // The bug needs a later definition dominating two earlier incomparable
+  // ones; on the paper's other figures the BFS answers correctly.
+  {
+    Hierarchy H = makeFigure1();
+    GxxBfsEngine Gxx(H);
+    EXPECT_EQ(Gxx.lookup(H.findClass("E"), "m").Status,
+              LookupStatus::Ambiguous)
+        << "genuine ambiguity is still reported";
+  }
+  {
+    Hierarchy H = makeFigure2();
+    GxxBfsEngine Gxx(H);
+    LookupResult R = Gxx.lookup(H.findClass("E"), "m");
+    ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+    EXPECT_EQ(R.DefiningClass, H.findClass("D"));
+  }
+  {
+    Hierarchy H = makeFigure3();
+    GxxBfsEngine Gxx(H);
+    LookupResult R = Gxx.lookup(H.findClass("H"), "foo");
+    ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+    EXPECT_EQ(R.DefiningClass, H.findClass("G"));
+  }
+}
+
+TEST(GxxCounterexampleTest, LocalDeclarationShortCircuits) {
+  Hierarchy H = makeFigure9();
+  GxxBfsEngine Gxx(H);
+  LookupResult R = Gxx.lookup(H.findClass("C"), "m");
+  ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.DefiningClass, H.findClass("C"));
+}
+
+TEST(GxxCounterexampleTest, LookupAtDIsCorrectEvenForGxx) {
+  // At D (below the second A/B join) the BFS sees C::m first, which then
+  // dominates A::m and B::m as they arrive: no spurious report.
+  Hierarchy H = makeFigure9();
+  GxxBfsEngine Gxx(H);
+  LookupResult R = Gxx.lookup(H.findClass("D"), "m");
+  ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.DefiningClass, H.findClass("C"));
+}
+
+TEST(GxxCounterexampleTest, OverflowOnExponentialSubobjectGraphs) {
+  // Unlike the Figure 8 engine, the traversal baseline inherits the
+  // subobject graph's exponential worst case.
+  HierarchyBuilder B;
+  B.addClass("J0").withMember("m");
+  for (uint32_t I = 1; I <= 16; ++I) {
+    std::string Below = "J" + std::to_string(I - 1);
+    B.addClass("L" + std::to_string(I)).withBase(Below);
+    B.addClass("R" + std::to_string(I)).withBase(Below);
+    B.addClass("J" + std::to_string(I))
+        .withBase("L" + std::to_string(I))
+        .withBase("R" + std::to_string(I))
+        .withMember("m");
+  }
+  Hierarchy H = std::move(B).build();
+  GxxBfsEngine Gxx(H, /*MaxSubobjects=*/5000);
+  // J16 declares m itself, which short-circuits; query one level up
+  // where the scan is actually needed.
+  EXPECT_EQ(Gxx.lookup(H.findClass("L16"), "m").Status,
+            LookupStatus::Overflow);
+
+  DominanceLookupEngine Figure8(H);
+  EXPECT_EQ(Figure8.lookup(H.findClass("L16"), H.findName("m")).Status,
+            LookupStatus::Unambiguous)
+      << "the paper's algorithm is immune to the blowup";
+}

@@ -1,0 +1,173 @@
+//===- KillingTest.cpp - Experiment E10 (Lemma 4 / Corollary 1) ------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Two algorithm-justifying properties, validated on random hierarchies:
+///
+///  * Corollary 1: killing dominated definitions during propagation never
+///    changes any lookup result;
+///  * the Figure 8 red result really is the most-dominant definition:
+///    its witness path dominates every element of Defns(C, m) under the
+///    *general* dominance test - i.e. the Lemma 4 abstraction reached the
+///    same conclusion the full path calculus would.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/NaivePropagationEngine.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+class KillingRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(KillingRandomTest, Corollary1KillingPreservesAllResults) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 22;
+  Params.AvgBases = 1.9;
+  Params.VirtualEdgeChance = 0.3;
+  Params.StaticChance = 0.25;
+  Workload W = makeRandomHierarchy(Params, GetParam() * 97 + 11);
+
+  NaivePropagationEngine Full(W.H,
+                              NaivePropagationEngine::Killing::Disabled);
+  NaivePropagationEngine Killed(W.H,
+                                NaivePropagationEngine::Killing::Enabled);
+  for (ClassId C : W.QueryClasses)
+    for (Symbol Member : W.QueryMembers) {
+      LookupResult A = Full.lookup(C, Member);
+      LookupResult B = Killed.lookup(C, Member);
+      if (A.Status == LookupStatus::Overflow ||
+          B.Status == LookupStatus::Overflow)
+        continue;
+      EXPECT_EQ(comparisonKey(W.H, A), comparisonKey(W.H, B))
+          << W.H.className(C) << "::" << W.H.spelling(Member) << " seed "
+          << GetParam();
+    }
+}
+
+TEST_P(KillingRandomTest, KillingShrinksOrKeepsReachingSets) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 22;
+  Params.VirtualEdgeChance = 0.3;
+  Workload W = makeRandomHierarchy(Params, GetParam() * 193 + 7);
+
+  NaivePropagationEngine Full(W.H,
+                              NaivePropagationEngine::Killing::Disabled);
+  NaivePropagationEngine Killed(W.H,
+                                NaivePropagationEngine::Killing::Enabled);
+  for (ClassId C : W.QueryClasses)
+    for (Symbol Member : W.QueryMembers) {
+      size_t FullSize = Full.reachingDefinitions(C, Member).size();
+      size_t KilledSize = Killed.reachingDefinitions(C, Member).size();
+      EXPECT_LE(KilledSize, FullSize);
+      // Killing keeps exactly the maximal definitions, which are never
+      // empty when any definition reaches the class.
+      EXPECT_EQ(KilledSize == 0, FullSize == 0);
+    }
+}
+
+TEST_P(KillingRandomTest, RedWitnessDominatesAllOfDefns) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 20;
+  Params.AvgBases = 1.8;
+  Params.VirtualEdgeChance = 0.35;
+  Params.StaticChance = 0.0;
+  Workload W = makeRandomHierarchy(Params, GetParam() * 7 + 3);
+
+  DominanceLookupEngine Figure8(W.H);
+  NaivePropagationEngine Defns(W.H,
+                               NaivePropagationEngine::Killing::Disabled);
+  for (ClassId C : W.QueryClasses)
+    for (Symbol Member : W.QueryMembers) {
+      LookupResult R = Figure8.lookup(C, Member);
+      if (R.Status != LookupStatus::Unambiguous)
+        continue;
+      ASSERT_TRUE(R.Witness.has_value());
+      for (const auto &Def : Defns.reachingDefinitions(C, Member))
+        EXPECT_TRUE(dominates(W.H, subobjectKey(W.H, *R.Witness), Def.Key))
+            << "red result fails to dominate "
+            << formatSubobjectKey(W.H, Def.Key) << " at "
+            << W.H.className(C) << "::" << W.H.spelling(Member) << " seed "
+            << GetParam();
+    }
+}
+
+TEST_P(KillingRandomTest, AmbiguousMeansNoMostDominantElement) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 20;
+  Params.VirtualEdgeChance = 0.35;
+  Params.StaticChance = 0.0;
+  Workload W = makeRandomHierarchy(Params, GetParam() * 131 + 17);
+
+  DominanceLookupEngine Figure8(W.H);
+  NaivePropagationEngine Defns(W.H,
+                               NaivePropagationEngine::Killing::Disabled);
+  for (ClassId C : W.QueryClasses)
+    for (Symbol Member : W.QueryMembers) {
+      if (Figure8.lookup(C, Member).Status != LookupStatus::Ambiguous)
+        continue;
+      const auto &AllDefs = Defns.reachingDefinitions(C, Member);
+      for (const auto &Candidate : AllDefs) {
+        bool DominatesAll = true;
+        for (const auto &Other : AllDefs)
+          if (!dominates(W.H, Candidate.Key, Other.Key))
+            DominatesAll = false;
+        EXPECT_FALSE(DominatesAll)
+            << formatSubobjectKey(W.H, Candidate.Key)
+            << " would be most-dominant although Figure 8 said ambiguous";
+      }
+    }
+}
+
+TEST_P(KillingRandomTest, RedWitnessSatisfiesDefinition12) {
+  // Definition 12: a red definition's every proper prefix is a
+  // most-dominant element of DefnsPath at its own mdc. The Figure 8
+  // engine's witness path must satisfy this for members without statics
+  // (the static generalization deliberately relaxes it to maximal-set
+  // membership).
+  RandomHierarchyParams Params;
+  Params.NumClasses = 18;
+  Params.AvgBases = 1.8;
+  Params.VirtualEdgeChance = 0.35;
+  Params.StaticChance = 0.0;
+  Workload W = makeRandomHierarchy(Params, GetParam() * 409 + 77);
+
+  DominanceLookupEngine Figure8(W.H);
+  NaivePropagationEngine Defns(W.H,
+                               NaivePropagationEngine::Killing::Disabled);
+  for (ClassId C : W.QueryClasses)
+    for (Symbol Member : W.QueryMembers) {
+      LookupResult R = Figure8.lookup(C, Member);
+      if (R.Status != LookupStatus::Unambiguous)
+        continue;
+      const Path &Witness = *R.Witness;
+      for (size_t Len = 1; Len <= Witness.length(); ++Len) {
+        Path Prefix(std::vector<ClassId>(Witness.Nodes.begin(),
+                                         Witness.Nodes.begin() + Len));
+        SubobjectKey PrefixKey = subobjectKey(W.H, Prefix);
+        for (const auto &Def :
+             Defns.reachingDefinitions(Prefix.mdc(), Member))
+          EXPECT_TRUE(dominates(W.H, PrefixKey, Def.Key))
+              << "prefix " << formatPath(W.H, Prefix)
+              << " is not most-dominant at its mdc (vs "
+              << formatSubobjectKey(W.H, Def.Key) << "), seed "
+              << GetParam();
+      }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KillingRandomTest,
+                         ::testing::Range<uint64_t>(1, 26));

@@ -1,0 +1,64 @@
+//===- LookupResultTest.cpp ------------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/LookupResult.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+TEST(LookupResultTest, StatusLabels) {
+  EXPECT_STREQ(lookupStatusLabel(LookupStatus::Unambiguous), "unambiguous");
+  EXPECT_STREQ(lookupStatusLabel(LookupStatus::Ambiguous), "ambiguous");
+  EXPECT_STREQ(lookupStatusLabel(LookupStatus::NotFound), "not-found");
+  EXPECT_STREQ(lookupStatusLabel(LookupStatus::Overflow), "overflow");
+}
+
+TEST(LookupResultTest, FactoriesSetStatus) {
+  EXPECT_EQ(LookupResult::notFound().Status, LookupStatus::NotFound);
+  EXPECT_EQ(LookupResult::overflow().Status, LookupStatus::Overflow);
+  EXPECT_EQ(LookupResult::ambiguous({}).Status, LookupStatus::Ambiguous);
+}
+
+TEST(LookupResultTest, FormatUnambiguousWithSubobject) {
+  Hierarchy H = makeFigure3();
+  Path GH = pathOf(H, {"G", "H"});
+  LookupResult R = LookupResult::unambiguous(H.findClass("G"),
+                                             subobjectKey(H, GH), GH);
+  EXPECT_EQ(formatLookupResult(H, R), "G (subobject GH)");
+}
+
+TEST(LookupResultTest, FormatSharedStatic) {
+  Hierarchy H = makeFigure3();
+  Path GH = pathOf(H, {"G", "H"});
+  LookupResult R = LookupResult::unambiguous(
+      H.findClass("G"), subobjectKey(H, GH), GH, /*SharedStatic=*/true);
+  EXPECT_EQ(formatLookupResult(H, R), "G (subobject GH) [shared static]");
+}
+
+TEST(LookupResultTest, FormatAmbiguousWithCandidates) {
+  Hierarchy H = makeFigure3();
+  LookupResult R = LookupResult::ambiguous(
+      {subobjectKey(H, pathOf(H, {"E", "F", "H"})),
+       subobjectKey(H, pathOf(H, {"G", "H"}))});
+  EXPECT_EQ(formatLookupResult(H, R), "ambiguous {EFH, GH}");
+}
+
+TEST(LookupResultTest, FormatAmbiguousWithoutCandidates) {
+  Hierarchy H = makeFigure3();
+  EXPECT_EQ(formatLookupResult(H, LookupResult::ambiguous({})), "ambiguous");
+}
+
+TEST(LookupResultTest, FormatNotFoundAndOverflow) {
+  Hierarchy H = makeFigure3();
+  EXPECT_EQ(formatLookupResult(H, LookupResult::notFound()), "not found");
+  EXPECT_EQ(formatLookupResult(H, LookupResult::overflow()),
+            "overflow (engine budget exceeded)");
+}

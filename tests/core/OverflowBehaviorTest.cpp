@@ -1,0 +1,125 @@
+//===- OverflowBehaviorTest.cpp ---------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Budget edges: engines with worst-case-exponential data structures
+/// must degrade to an explicit Overflow status - never hang, crash, or
+/// silently answer wrong - and the Figure 8 engine must keep answering
+/// the same queries exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/GxxBfsEngine.h"
+#include "memlook/core/NaivePropagationEngine.h"
+#include "memlook/core/SubobjectLookupEngine.h"
+#include "memlook/subobject/SubobjectCount.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+TEST(OverflowBehaviorTest, BudgetExactlyAtCountSucceeds) {
+  Workload W = makeNonVirtualDiamondStack(6);
+  ClassId Top = W.QueryClasses.front();
+  uint64_t Needed = countSubobjects(W.H, Top);
+  EXPECT_TRUE(SubobjectGraph::build(W.H, Top, Needed).has_value());
+  EXPECT_FALSE(SubobjectGraph::build(W.H, Top, Needed - 1).has_value());
+}
+
+TEST(OverflowBehaviorTest, ReferenceEngineOverflowIsPerCompleteClass) {
+  // The budget binds per complete-object type: a huge class overflows,
+  // a small one in the same hierarchy still answers.
+  Workload W = makeNonVirtualDiamondStack(16);
+  SubobjectLookupEngine Engine(W.H, /*MaxSubobjects=*/256);
+  Symbol M = W.QueryMembers.front();
+
+  EXPECT_EQ(Engine.lookup(W.H.findClass("J16"), M).Status,
+            LookupStatus::Overflow);
+  LookupResult Small = Engine.lookup(W.H.findClass("J3"), M);
+  EXPECT_NE(Small.Status, LookupStatus::Overflow)
+      << "J3 has only " << countSubobjects(W.H, W.H.findClass("J3"))
+      << " subobjects";
+}
+
+TEST(OverflowBehaviorTest, GxxEngineShortCircuitBeatsOverflow) {
+  // A class declaring the member itself answers without touching the
+  // subobject graph, even when the graph would overflow.
+  Workload W = makeNonVirtualDiamondStack(16, /*RedeclareAtJoins=*/true);
+  GxxBfsEngine Engine(W.H, /*MaxSubobjects=*/64);
+  LookupResult R = Engine.lookup(W.H.findClass("J16"), "m");
+  ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.DefiningClass, W.H.findClass("J16"));
+  EXPECT_EQ(Engine.lookup(W.H.findClass("L16"), "m").Status,
+            LookupStatus::Overflow);
+}
+
+TEST(OverflowBehaviorTest, PropagationOverflowIsPerMemberColumn) {
+  HierarchyBuilder B;
+  B.addClass("Apex").withMember("wide");
+  for (uint32_t I = 1; I <= 14; ++I) {
+    std::string Below = I == 1 ? "Apex" : "J" + std::to_string(I - 1);
+    B.addClass("L" + std::to_string(I)).withBase(Below);
+    B.addClass("R" + std::to_string(I)).withBase(Below);
+    B.addClass("J" + std::to_string(I))
+        .withBase("L" + std::to_string(I))
+        .withBase("R" + std::to_string(I));
+  }
+  // A second member declared only at the top: its column is tiny.
+  B.getClass("J14").withMember("narrow");
+  Hierarchy H = std::move(B).build();
+
+  NaivePropagationEngine Engine(H, NaivePropagationEngine::Killing::Disabled,
+                                /*MaxDefsPerClass=*/1000);
+  EXPECT_EQ(Engine.lookup(H.findClass("J14"), "wide").Status,
+            LookupStatus::Overflow);
+  EXPECT_EQ(Engine.lookup(H.findClass("J14"), "narrow").Status,
+            LookupStatus::Unambiguous)
+      << "overflow of one member's column must not poison another's";
+}
+
+TEST(OverflowBehaviorTest, KillingAvoidsTheOverflowNaiveHits) {
+  // With joins redeclaring the member, every replicated definition is
+  // dominated: killing keeps singleton sets while the naive variant
+  // still materializes the exponential replication and overflows.
+  // (Without redeclaration killing would NOT help - the replicated
+  // definitions are all maximal - which KillingShrinksOrKeepsReachingSets
+  // already demonstrates.)
+  Workload W = makeNonVirtualDiamondStack(14, /*RedeclareAtJoins=*/true);
+  ClassId L14 = W.H.findClass("L14");
+  Symbol M = W.QueryMembers.front();
+
+  NaivePropagationEngine Naive(W.H,
+                               NaivePropagationEngine::Killing::Disabled,
+                               /*MaxDefsPerClass=*/1000);
+  EXPECT_EQ(Naive.lookup(L14, M).Status, LookupStatus::Overflow);
+
+  NaivePropagationEngine Killing(W.H,
+                                 NaivePropagationEngine::Killing::Enabled,
+                                 /*MaxDefsPerClass=*/1000);
+  LookupResult R = Killing.lookup(L14, M);
+  ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.DefiningClass, W.H.findClass("J13"));
+}
+
+TEST(OverflowBehaviorTest, Figure8NeverOverflows) {
+  // The point of the paper: 64 stacked diamonds (2^64-scale subobject
+  // graph, beyond any budget) and the Figure 8 table still answers
+  // every query.
+  Workload W = makeNonVirtualDiamondStack(64, /*RedeclareAtJoins=*/true);
+  DominanceLookupEngine Engine(W.H);
+  for (uint32_t Idx = 0; Idx != W.H.numClasses(); ++Idx) {
+    LookupResult R = Engine.lookup(ClassId(Idx), W.QueryMembers.front());
+    EXPECT_NE(R.Status, LookupStatus::Overflow);
+    EXPECT_NE(R.Status, LookupStatus::NotFound);
+  }
+  EXPECT_EQ(countSubobjects(W.H, W.QueryClasses.front()), UINT64_MAX)
+      << "the saturating counter confirms the scale";
+}

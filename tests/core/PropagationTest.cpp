@@ -1,0 +1,164 @@
+//===- PropagationTest.cpp - Experiment E5 (Figures 4 and 5) ----------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces Figures 4 and 5: the per-node reaching-definition sets of
+/// the Section 4 propagation algorithm, without killing (the sets *are*
+/// Defns up to ~) and with killing (only the paper's surviving red/blue
+/// definitions remain; the crossed-out ones are gone).
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/NaivePropagationEngine.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+std::set<std::string> reachingSet(NaivePropagationEngine &Engine,
+                                  const Hierarchy &H, const char *Class,
+                                  const char *Member) {
+  std::set<std::string> Out;
+  for (const auto &Def :
+       Engine.reachingDefinitions(H.findClass(Class), H.findName(Member)))
+    Out.insert(formatSubobjectKey(H, Def.Key));
+  return Out;
+}
+
+} // namespace
+
+TEST(PropagationTest, Figure4ReachingSetsWithoutKilling) {
+  Hierarchy H = makeFigure3();
+  NaivePropagationEngine Engine(H, NaivePropagationEngine::Killing::Disabled);
+
+  EXPECT_EQ(reachingSet(Engine, H, "A", "foo"),
+            (std::set<std::string>{"A"}));
+  EXPECT_EQ(reachingSet(Engine, H, "B", "foo"),
+            (std::set<std::string>{"AB"}));
+  EXPECT_EQ(reachingSet(Engine, H, "C", "foo"),
+            (std::set<std::string>{"AC"}));
+  // Two definitions reach D: ABD and ACD (the figure's ambiguity at D).
+  EXPECT_EQ(reachingSet(Engine, H, "D", "foo"),
+            (std::set<std::string>{"ABD", "ACD"}));
+  // Across the virtual edge D -> F the fixed part freezes at D.
+  EXPECT_EQ(reachingSet(Engine, H, "F", "foo"),
+            (std::set<std::string>{"ABD*F", "ACD*F"}));
+  // G generates its own definition; without killing the inherited two
+  // remain in the set (the figure shows them crossed out only in the
+  // killing regime).
+  EXPECT_EQ(reachingSet(Engine, H, "G", "foo"),
+            (std::set<std::string>{"ABD*G", "ACD*G", "G"}));
+  // At H all paths merge: exactly Defns(H, foo) from the paper.
+  EXPECT_EQ(reachingSet(Engine, H, "H", "foo"),
+            (std::set<std::string>{"ABD*H", "ACD*H", "GH"}));
+  // E has no foo at all.
+  EXPECT_TRUE(reachingSet(Engine, H, "E", "foo").empty());
+}
+
+TEST(PropagationTest, Figure4ReachingSetsWithKilling) {
+  Hierarchy H = makeFigure3();
+  NaivePropagationEngine Engine(H, NaivePropagationEngine::Killing::Enabled);
+
+  // G::foo kills ABDG::foo and ACDG::foo (paper, Section 4 example).
+  EXPECT_EQ(reachingSet(Engine, H, "G", "foo"),
+            (std::set<std::string>{"G"}));
+  // At F nothing dominates: both blue definitions survive.
+  EXPECT_EQ(reachingSet(Engine, H, "F", "foo"),
+            (std::set<std::string>{"ABD*F", "ACD*F"}));
+  // GH dominates ABDFH and ACDFH, so they are killed at H.
+  EXPECT_EQ(reachingSet(Engine, H, "H", "foo"),
+            (std::set<std::string>{"GH"}));
+}
+
+TEST(PropagationTest, Figure5ReachingSetsWithoutKilling) {
+  Hierarchy H = makeFigure3();
+  NaivePropagationEngine Engine(H, NaivePropagationEngine::Killing::Disabled);
+
+  EXPECT_EQ(reachingSet(Engine, H, "D", "bar"),
+            (std::set<std::string>{"D"}));
+  EXPECT_EQ(reachingSet(Engine, H, "E", "bar"),
+            (std::set<std::string>{"E"}));
+  EXPECT_EQ(reachingSet(Engine, H, "F", "bar"),
+            (std::set<std::string>{"D*F", "EF"}));
+  EXPECT_EQ(reachingSet(Engine, H, "G", "bar"),
+            (std::set<std::string>{"D*G", "G"}));
+  // Defns(H, bar) = { {EFH}, {DFH,DGH}, {GH} } from the paper.
+  EXPECT_EQ(reachingSet(Engine, H, "H", "bar"),
+            (std::set<std::string>{"EFH", "D*H", "GH"}));
+}
+
+TEST(PropagationTest, Figure5ReachingSetsWithKilling) {
+  Hierarchy H = makeFigure3();
+  NaivePropagationEngine Engine(H, NaivePropagationEngine::Killing::Enabled);
+
+  // lookup(F, bar) is ambiguous: both definitions are blue and both are
+  // propagated (the paper stresses blue EF must flow on to H).
+  EXPECT_EQ(reachingSet(Engine, H, "F", "bar"),
+            (std::set<std::string>{"D*F", "EF"}));
+  EXPECT_EQ(reachingSet(Engine, H, "G", "bar"),
+            (std::set<std::string>{"G"}));
+  // At H, GH kills the D definition but EFH remains: still ambiguous.
+  EXPECT_EQ(reachingSet(Engine, H, "H", "bar"),
+            (std::set<std::string>{"EFH", "GH"}));
+}
+
+TEST(PropagationTest, BlueDefinitionsMustBePropagated) {
+  // The paper's central subtlety (Section 4): if blue EF were killed at
+  // F, lookup(H, bar) would wrongly appear unambiguous. Check the final
+  // verdicts under both policies.
+  Hierarchy H = makeFigure3();
+  for (auto Policy : {NaivePropagationEngine::Killing::Disabled,
+                      NaivePropagationEngine::Killing::Enabled}) {
+    NaivePropagationEngine Engine(H, Policy);
+    EXPECT_EQ(Engine.lookup(H.findClass("H"), "bar").Status,
+              LookupStatus::Ambiguous);
+    EXPECT_EQ(Engine.lookup(H.findClass("H"), "foo").Status,
+              LookupStatus::Unambiguous);
+  }
+}
+
+TEST(PropagationTest, KillingNeverChangesLookupResults) {
+  // Corollary 1 in action on the whole Figure 3 table.
+  Hierarchy H = makeFigure3();
+  NaivePropagationEngine Full(H, NaivePropagationEngine::Killing::Disabled);
+  NaivePropagationEngine Killed(H, NaivePropagationEngine::Killing::Enabled);
+  for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx)
+    for (Symbol Member : H.allMemberNames()) {
+      LookupResult A = Full.lookup(ClassId(Idx), Member);
+      LookupResult B = Killed.lookup(ClassId(Idx), Member);
+      EXPECT_EQ(comparisonKey(H, A), comparisonKey(H, B))
+          << H.className(ClassId(Idx)) << "::" << H.spelling(Member);
+    }
+}
+
+TEST(PropagationTest, OverflowOnExplosiveHierarchies) {
+  // Without killing, the propagation engine materializes every
+  // definition; 18 stacked non-virtual diamonds exceed a small budget.
+  HierarchyBuilder B;
+  B.addClass("J0").withMember("m");
+  for (uint32_t I = 1; I <= 18; ++I) {
+    std::string Below = "J" + std::to_string(I - 1);
+    B.addClass("L" + std::to_string(I)).withBase(Below);
+    B.addClass("R" + std::to_string(I)).withBase(Below);
+    B.addClass("J" + std::to_string(I))
+        .withBase("L" + std::to_string(I))
+        .withBase("R" + std::to_string(I));
+  }
+  Hierarchy H = std::move(B).build();
+  NaivePropagationEngine Engine(H, NaivePropagationEngine::Killing::Disabled,
+                                /*MaxDefsPerClass=*/10000);
+  EXPECT_EQ(Engine.lookup(H.findClass("J18"), "m").Status,
+            LookupStatus::Overflow);
+  EXPECT_TRUE(Engine.overflowed(H.findName("m")));
+}

@@ -1,0 +1,172 @@
+//===- QualifiedLookupTest.cpp -----------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// `x.B::m` (Section 6's other qualified form): the naming class must be
+/// an unambiguous base, the member resolves in B's context, and the
+/// result re-embeds into the complete object.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/QualifiedLookup.h"
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/subobject/SubobjectCount.h"
+#include "memlook/subobject/SubobjectGraph.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+using Kind = QualifiedLookupResult::Kind;
+
+TEST(QualifiedLookupTest, BypassesADerivedOverrider) {
+  // The textbook use: x.Base::m reaches the hidden base member.
+  HierarchyBuilder B;
+  B.addClass("Base").withMember("m");
+  B.addClass("Derived").withBase("Base").withMember("m");
+  Hierarchy H = std::move(B).build();
+  DominanceLookupEngine Engine(H);
+
+  ClassId Derived = H.findClass("Derived");
+  QualifiedLookupResult R = qualifiedMemberLookup(
+      H, Engine, Derived, H.findClass("Base"), H.findName("m"));
+  ASSERT_EQ(R.ResultKind, Kind::Ok);
+  EXPECT_EQ(R.Member.DefiningClass, H.findClass("Base"));
+  EXPECT_EQ(formatSubobjectKey(H, *R.Member.Subobject), "Base.Derived");
+
+  // The plain lookup, in contrast, finds the overrider.
+  EXPECT_EQ(Engine.lookup(Derived, "m").DefiningClass, Derived);
+}
+
+TEST(QualifiedLookupTest, SelfQualificationIsPlainLookup) {
+  Hierarchy H = makeFigure2();
+  DominanceLookupEngine Engine(H);
+  ClassId E = H.findClass("E");
+  QualifiedLookupResult R =
+      qualifiedMemberLookup(H, Engine, E, E, H.findName("m"));
+  ASSERT_EQ(R.ResultKind, Kind::Ok);
+  EXPECT_EQ(R.Member.DefiningClass, H.findClass("D"));
+}
+
+TEST(QualifiedLookupTest, ReplicatedBaseIsRejected) {
+  // Figure 1: E has two A (and two B) subobjects, so e.A::m and e.B::m
+  // fail before member lookup - the conversion is ambiguous.
+  Hierarchy H = makeFigure1();
+  DominanceLookupEngine Engine(H);
+  ClassId E = H.findClass("E");
+  Symbol M = H.findName("m");
+
+  EXPECT_EQ(qualifiedMemberLookup(H, Engine, E, H.findClass("A"), M)
+                .ResultKind,
+            Kind::AmbiguousBase);
+  EXPECT_EQ(qualifiedMemberLookup(H, Engine, E, H.findClass("B"), M)
+                .ResultKind,
+            Kind::AmbiguousBase);
+  // C and D are unique bases; through D the lookup succeeds and even
+  // disambiguates the Figure 1 conflict.
+  QualifiedLookupResult ViaD =
+      qualifiedMemberLookup(H, Engine, E, H.findClass("D"), M);
+  ASSERT_EQ(ViaD.ResultKind, Kind::Ok);
+  EXPECT_EQ(ViaD.Member.DefiningClass, H.findClass("D"));
+}
+
+TEST(QualifiedLookupTest, VirtualSharingMakesTheBaseUnique) {
+  // Figure 2: the virtual B collapses to one subobject, so e.A::m works.
+  Hierarchy H = makeFigure2();
+  DominanceLookupEngine Engine(H);
+  ClassId E = H.findClass("E");
+  QualifiedLookupResult R = qualifiedMemberLookup(
+      H, Engine, E, H.findClass("A"), H.findName("m"));
+  ASSERT_EQ(R.ResultKind, Kind::Ok);
+  EXPECT_EQ(R.Member.DefiningClass, H.findClass("A"));
+  EXPECT_EQ(formatSubobjectKey(H, *R.Member.Subobject), "AB*E");
+}
+
+TEST(QualifiedLookupTest, UnrelatedClassIsNotABase) {
+  Hierarchy H = makeFigure3();
+  DominanceLookupEngine Engine(H);
+  EXPECT_EQ(qualifiedMemberLookup(H, Engine, H.findClass("G"),
+                                  H.findClass("E"), H.findName("bar"))
+                .ResultKind,
+            Kind::NotABase);
+}
+
+TEST(QualifiedLookupTest, MemberProblemIsReportedAfterBaseCheck) {
+  Hierarchy H = makeFigure3();
+  DominanceLookupEngine Engine(H);
+  ClassId HClass = H.findClass("H");
+
+  // F is a unique base of H, but lookup(F, bar) is ambiguous.
+  QualifiedLookupResult Ambig = qualifiedMemberLookup(
+      H, Engine, HClass, H.findClass("F"), H.findName("bar"));
+  EXPECT_EQ(Ambig.ResultKind, Kind::MemberProblem);
+  EXPECT_EQ(Ambig.Member.Status, LookupStatus::Ambiguous);
+
+  // And an unknown member reports NotFound through the same channel.
+  QualifiedLookupResult Missing = qualifiedMemberLookup(
+      H, Engine, HClass, H.findClass("F"), H.internName("zap"));
+  EXPECT_EQ(Missing.ResultKind, Kind::MemberProblem);
+  EXPECT_EQ(Missing.Member.Status, LookupStatus::NotFound);
+}
+
+TEST(QualifiedLookupTest, QualificationCanRescueAnAmbiguousPlainLookup) {
+  // lookup(H, bar) is ambiguous, but h.G::bar and h.E::bar both resolve.
+  Hierarchy H = makeFigure3();
+  DominanceLookupEngine Engine(H);
+  ClassId HClass = H.findClass("H");
+  Symbol Bar = H.findName("bar");
+
+  EXPECT_EQ(Engine.lookup(HClass, Bar).Status, LookupStatus::Ambiguous);
+
+  QualifiedLookupResult ViaG =
+      qualifiedMemberLookup(H, Engine, HClass, H.findClass("G"), Bar);
+  ASSERT_EQ(ViaG.ResultKind, Kind::Ok);
+  EXPECT_EQ(ViaG.Member.DefiningClass, H.findClass("G"));
+  EXPECT_EQ(formatSubobjectKey(H, *ViaG.Member.Subobject), "GH");
+
+  QualifiedLookupResult ViaE =
+      qualifiedMemberLookup(H, Engine, HClass, H.findClass("E"), Bar);
+  ASSERT_EQ(ViaE.ResultKind, Kind::Ok);
+  EXPECT_EQ(ViaE.Member.DefiningClass, H.findClass("E"));
+  EXPECT_EQ(formatSubobjectKey(H, *ViaE.Member.Subobject), "EFH");
+}
+
+TEST(QualifiedLookupTest, ReembeddedWitnessIsValid) {
+  Hierarchy H = makeFigure3();
+  DominanceLookupEngine Engine(H);
+  QualifiedLookupResult R = qualifiedMemberLookup(
+      H, Engine, H.findClass("H"), H.findClass("G"), H.findName("foo"));
+  ASSERT_EQ(R.ResultKind, Kind::Ok);
+  ASSERT_TRUE(R.Member.Witness.has_value());
+  EXPECT_TRUE(isValidPath(H, *R.Member.Witness));
+  EXPECT_EQ(R.Member.Witness->mdc(), H.findClass("H"));
+  EXPECT_EQ(subobjectKey(H, *R.Member.Witness), *R.Member.Subobject);
+}
+
+TEST(QualifiedLookupTest, CountWithLdcMatchesMaterializedGraphs) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 16;
+  Params.AvgBases = 1.9;
+  Params.VirtualEdgeChance = 0.35;
+  for (uint64_t Seed = 400; Seed != 420; ++Seed) {
+    Workload W = makeRandomHierarchy(Params, Seed);
+    for (ClassId C : W.QueryClasses) {
+      auto Graph = SubobjectGraph::build(W.H, C, 1u << 16);
+      if (!Graph)
+        continue;
+      for (uint32_t L = 0; L != W.H.numClasses(); ++L)
+        EXPECT_EQ(countSubobjectsWithLdc(W.H, C, ClassId(L)),
+                  Graph->countWithLdc(ClassId(L)))
+            << W.H.className(C) << " / " << W.H.className(ClassId(L))
+            << " seed " << Seed;
+    }
+  }
+}

@@ -1,0 +1,144 @@
+//===- StressTest.cpp - Structural extremes -----------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Degenerate and extreme hierarchy shapes: the engines must stay
+/// correct (and finish) on inputs far outside anything a human writes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/NaivePropagationEngine.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+TEST(StressTest, EmptyHierarchy) {
+  Hierarchy H;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(H.finalize(Diags));
+  DominanceLookupEngine Engine(H);
+  EXPECT_EQ(H.numClasses(), 0u);
+  EXPECT_TRUE(H.allMemberNames().empty());
+}
+
+TEST(StressTest, SingleClassNoMembers) {
+  HierarchyBuilder B;
+  B.addClass("Lonely");
+  Hierarchy H = std::move(B).build();
+  DominanceLookupEngine Engine(H);
+  EXPECT_EQ(Engine.lookup(H.findClass("Lonely"), "anything").Status,
+            LookupStatus::NotFound);
+}
+
+TEST(StressTest, ThousandDirectBases) {
+  // One class with 1000 direct bases, each declaring m: a single join
+  // with a 1000-way conflict.
+  HierarchyBuilder B;
+  for (uint32_t I = 0; I != 1000; ++I)
+    B.addClass("B" + std::to_string(I)).withMember("m");
+  auto Join = B.addClass("Join");
+  for (uint32_t I = 0; I != 1000; ++I)
+    Join.withBase("B" + std::to_string(I));
+  Hierarchy H = std::move(B).build();
+
+  DominanceLookupEngine Engine(H);
+  EXPECT_EQ(Engine.lookup(H.findClass("Join"), "m").Status,
+            LookupStatus::Ambiguous);
+
+  // A redeclaring subclass resolves all 1000 at once.
+  HierarchyBuilder B2;
+  for (uint32_t I = 0; I != 1000; ++I)
+    B2.addClass("B" + std::to_string(I)).withMember("m");
+  auto Join2 = B2.addClass("Join");
+  for (uint32_t I = 0; I != 1000; ++I)
+    Join2.withBase("B" + std::to_string(I));
+  B2.addClass("Fix").withBase("Join").withMember("m");
+  Hierarchy H2 = std::move(B2).build();
+  DominanceLookupEngine Engine2(H2);
+  LookupResult R = Engine2.lookup(H2.findClass("Fix"), "m");
+  ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.DefiningClass, H2.findClass("Fix"));
+}
+
+TEST(StressTest, ThousandMemberNames) {
+  // Column-per-member bookkeeping with |M| = 1000 on a small hierarchy.
+  HierarchyBuilder B;
+  auto A = B.addClass("A");
+  for (uint32_t I = 0; I != 1000; ++I)
+    A.withMember("m" + std::to_string(I));
+  B.addClass("D").withBase("A");
+  Hierarchy H = std::move(B).build();
+
+  DominanceLookupEngine Engine(H);
+  EXPECT_EQ(H.allMemberNames().size(), 1000u);
+  for (uint32_t I = 0; I < 1000; I += 97) {
+    LookupResult R =
+        Engine.lookup(H.findClass("D"), "m" + std::to_string(I));
+    ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+    EXPECT_EQ(R.DefiningClass, H.findClass("A"));
+  }
+}
+
+TEST(StressTest, DeepVirtualChain) {
+  // 5000 alternating virtual/non-virtual edges; the fixed parts keep
+  // resetting, so abstractions stay tiny while witnesses are long.
+  HierarchyBuilder B;
+  B.addClass("C0").withMember("m");
+  for (uint32_t I = 1; I != 5000; ++I) {
+    auto C = B.addClass("C" + std::to_string(I));
+    if (I % 2)
+      C.withVirtualBase("C" + std::to_string(I - 1));
+    else
+      C.withBase("C" + std::to_string(I - 1));
+  }
+  Hierarchy H = std::move(B).build();
+  DominanceLookupEngine Engine(H);
+  LookupResult R = Engine.lookup(H.findClass("C4999"), "m");
+  ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.DefiningClass, H.findClass("C0"));
+  EXPECT_EQ(R.Witness->length(), 5000u);
+  EXPECT_TRUE(isValidPath(H, *R.Witness));
+}
+
+TEST(StressTest, WideFanTimesDeepChainStaysPolynomial) {
+  // 400-arm fan (blue sets of size 400) to make sure nothing in the
+  // quadratic path is accidentally worse than quadratic in practice.
+  Workload W = makeAmbiguityFan(400);
+  DominanceLookupEngine Engine(W.H);
+  Symbol M = W.H.findName("m");
+  LookupResult R = Engine.lookup(W.QueryClasses.front(), M);
+  EXPECT_EQ(R.Status, LookupStatus::Ambiguous);
+  const auto &E = Engine.entry(W.QueryClasses.front(), M);
+  EXPECT_EQ(E.Blues.size(), 400u);
+}
+
+TEST(StressTest, ManyIndependentComponents) {
+  // A forest of 500 disjoint pairs: closures and tables must not mix
+  // components.
+  HierarchyBuilder B;
+  for (uint32_t I = 0; I != 500; ++I) {
+    B.addClass("Base" + std::to_string(I)).withMember("m");
+    B.addClass("Derived" + std::to_string(I))
+        .withBase("Base" + std::to_string(I));
+  }
+  Hierarchy H = std::move(B).build();
+  DominanceLookupEngine Engine(H);
+  for (uint32_t I = 0; I < 500; I += 61) {
+    LookupResult R =
+        Engine.lookup(H.findClass("Derived" + std::to_string(I)), "m");
+    ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+    EXPECT_EQ(R.DefiningClass, H.findClass("Base" + std::to_string(I)));
+    EXPECT_FALSE(H.isBaseOf(H.findClass("Base" + std::to_string(I)),
+                            H.findClass("Derived" + std::to_string(
+                                            (I + 61) % 500))));
+  }
+}

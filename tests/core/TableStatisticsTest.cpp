@@ -1,0 +1,82 @@
+//===- TableStatisticsTest.cpp -----------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/TableStatistics.h"
+
+#include "memlook/subobject/SubobjectCount.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+TEST(TableStatisticsTest, Figure3Counts) {
+  Hierarchy H = makeFigure3();
+  DominanceLookupEngine Engine(H);
+  TableStatistics Stats = computeTableStatistics(H, Engine);
+
+  EXPECT_EQ(Stats.Classes, 8u);
+  EXPECT_EQ(Stats.Edges, 9u);
+  EXPECT_EQ(Stats.MemberNames, 2u);
+  EXPECT_EQ(Stats.Pairs, 16u);
+  // foo: red at A,B,C,G,H; blue at D,F; absent at E.
+  // bar: red at D,E,G; blue at F,H; absent at A,B,C.
+  EXPECT_EQ(Stats.UnambiguousPairs, 8u);
+  EXPECT_EQ(Stats.AmbiguousPairs, 4u);
+  EXPECT_EQ(Stats.NotFoundPairs, 4u);
+  EXPECT_EQ(Stats.SharedStaticPairs, 0u);
+  EXPECT_GE(Stats.MaxBlueSetSize, 2u);
+}
+
+TEST(TableStatisticsTest, PartitionAlwaysSumsToPairs) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 25;
+  Params.StaticChance = 0.3;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    Workload W = makeRandomHierarchy(Params, Seed * 7919);
+    DominanceLookupEngine Engine(W.H);
+    TableStatistics Stats = computeTableStatistics(W.H, Engine);
+    EXPECT_EQ(Stats.UnambiguousPairs + Stats.AmbiguousPairs +
+                  Stats.NotFoundPairs,
+              Stats.Pairs);
+    EXPECT_LE(Stats.SharedStaticPairs, Stats.UnambiguousPairs);
+  }
+}
+
+TEST(TableStatisticsTest, SubobjectAggregatesSaturate) {
+  Workload W = makeNonVirtualDiamondStack(70);
+  DominanceLookupEngine Engine(W.H);
+  TableStatistics Stats = computeTableStatistics(W.H, Engine);
+  EXPECT_EQ(Stats.MaxSubobjects, UINT64_MAX);
+  EXPECT_EQ(Stats.TotalSubobjects, UINT64_MAX);
+  // Ties at the saturation cap keep the first class encountered, so the
+  // reported class is *a* saturating one, not necessarily the top.
+  ASSERT_TRUE(Stats.MaxSubobjectsClass.isValid());
+  EXPECT_EQ(countSubobjects(W.H, Stats.MaxSubobjectsClass), UINT64_MAX);
+}
+
+TEST(TableStatisticsTest, FanMaxBlueSetGrowsWithArms) {
+  Workload W = makeAmbiguityFan(12);
+  DominanceLookupEngine Engine(W.H);
+  TableStatistics Stats = computeTableStatistics(W.H, Engine);
+  EXPECT_EQ(Stats.MaxBlueSetSize, 12u);
+  EXPECT_EQ(W.H.className(Stats.MaxBlueSetClass), "C11");
+}
+
+TEST(TableStatisticsTest, FormattingMentionsTheEssentials) {
+  Hierarchy H = makeFigure3();
+  DominanceLookupEngine Engine(H);
+  std::string Report =
+      formatTableStatistics(H, computeTableStatistics(H, Engine));
+  EXPECT_NE(Report.find("classes 8"), std::string::npos);
+  EXPECT_NE(Report.find("ambiguous"), std::string::npos);
+  EXPECT_NE(Report.find("largest blue set"), std::string::npos);
+  EXPECT_NE(Report.find("subobjects"), std::string::npos);
+}

@@ -1,0 +1,102 @@
+//===- TopsortShortcutTest.cpp - Experiment E17 (Section 7.2) --------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Section 7.2: on a program with no ambiguous lookups, picking the
+/// declaring class with the maximum topological number gives the correct
+/// answer. The shortcut engine must agree with Figure 8 on ambiguity-free
+/// hierarchies - and is permitted to be wrong elsewhere, which a
+/// dedicated test demonstrates (that is the paper's point: the hard part
+/// of C++ lookup is detecting ambiguity).
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/TopsortShortcutEngine.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+/// Compares the shortcut against Figure 8 on every pair whose true
+/// result is unambiguous or not-found; requires the hierarchy to be
+/// ambiguity-free for full coverage.
+void expectAgreesOnUnambiguous(const Hierarchy &H, const char *Tag) {
+  DominanceLookupEngine Truth(H);
+  TopsortShortcutEngine Shortcut(H);
+  for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx)
+    for (Symbol Member : H.allMemberNames()) {
+      LookupResult Expected = Truth.lookup(ClassId(Idx), Member);
+      if (Expected.Status == LookupStatus::Ambiguous)
+        continue;
+      LookupResult Got = Shortcut.lookup(ClassId(Idx), Member);
+      EXPECT_EQ(comparisonKey(H, Expected), comparisonKey(H, Got))
+          << Tag << ": " << H.className(ClassId(Idx))
+          << "::" << H.spelling(Member);
+    }
+}
+
+} // namespace
+
+TEST(TopsortShortcutTest, AgreesOnChains) {
+  expectAgreesOnUnambiguous(makeChain(30, 4).H, "chain");
+}
+
+TEST(TopsortShortcutTest, AgreesOnVirtualDiamonds) {
+  expectAgreesOnUnambiguous(makeVirtualDiamondStack(8).H, "v-diamonds");
+  expectAgreesOnUnambiguous(makeVirtualDiamondStack(8, true).H,
+                            "v-diamonds-redeclared");
+}
+
+TEST(TopsortShortcutTest, AgreesOnRedeclaredNonVirtualDiamonds) {
+  expectAgreesOnUnambiguous(makeNonVirtualDiamondStack(6, true).H,
+                            "nv-redeclared");
+}
+
+TEST(TopsortShortcutTest, AgreesOnForestsAndIostream) {
+  expectAgreesOnUnambiguous(makeWideForest(3, 2, 3).H, "forest");
+  expectAgreesOnUnambiguous(makeIostreamLike().H, "iostream");
+}
+
+TEST(TopsortShortcutTest, AgreesOnUnambiguousPairsOfRandomHierarchies) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 20;
+  Params.VirtualEdgeChance = 0.4;
+  Params.StaticChance = 0.0;
+  for (uint64_t Seed = 40; Seed != 60; ++Seed) {
+    Workload W = makeRandomHierarchy(Params, Seed);
+    // Only unambiguous pairs are comparable; the helper skips the rest.
+    expectAgreesOnUnambiguous(W.H, "random");
+  }
+}
+
+TEST(TopsortShortcutTest, IsConfidentlyWrongOnAmbiguousLookups) {
+  // Figure 1: the true answer is "ambiguous"; the shortcut just returns
+  // the topologically-largest declaring class (D). This is exactly the
+  // unsoundness the paper ascribes to the assume-well-typed approach.
+  Hierarchy H = makeFigure1();
+  TopsortShortcutEngine Shortcut(H);
+  LookupResult R = Shortcut.lookup(H.findClass("E"), "m");
+  EXPECT_EQ(R.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.DefiningClass, H.findClass("D"));
+
+  DominanceLookupEngine Truth(H);
+  EXPECT_EQ(Truth.lookup(H.findClass("E"), H.findName("m")).Status,
+            LookupStatus::Ambiguous);
+}
+
+TEST(TopsortShortcutTest, NotFoundForForeignNames) {
+  Hierarchy H = makeChain(5).H;
+  TopsortShortcutEngine Shortcut(H);
+  EXPECT_EQ(Shortcut.lookup(H.findClass("C4"), "nosuch").Status,
+            LookupStatus::NotFound);
+}

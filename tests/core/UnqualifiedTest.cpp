@@ -1,0 +1,133 @@
+//===- UnqualifiedTest.cpp - Experiment E16 (Section 6 scopes) -------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Section 6: unqualified-name resolution is traditional nested-scope
+/// lookup where class scopes delegate to the member-lookup problem.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/UnqualifiedLookup.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+class UnqualifiedTest : public ::testing::Test {
+protected:
+  UnqualifiedTest() : H(makeFigure3()), Engine(H), Scopes(Engine) {}
+
+  Hierarchy H;
+  DominanceLookupEngine Engine;
+  ScopeStack Scopes;
+};
+
+} // namespace
+
+TEST_F(UnqualifiedTest, InnermostLexicalScopeWins) {
+  Scopes.pushLexicalScope("global");
+  Scopes.declare("x");
+  Scopes.pushLexicalScope("block");
+  Scopes.declare("x");
+
+  ResolvedName R = Scopes.resolve("x");
+  EXPECT_EQ(R.NameKind, ResolvedName::Kind::LocalName);
+  EXPECT_EQ(R.ScopeName, "block");
+  EXPECT_EQ(R.ScopeIndex, 1u);
+}
+
+TEST_F(UnqualifiedTest, FallsThroughToOuterScope) {
+  Scopes.pushLexicalScope("global");
+  Scopes.declare("g");
+  Scopes.pushLexicalScope("block");
+
+  ResolvedName R = Scopes.resolve("g");
+  EXPECT_EQ(R.NameKind, ResolvedName::Kind::LocalName);
+  EXPECT_EQ(R.ScopeName, "global");
+}
+
+TEST_F(UnqualifiedTest, ClassScopeUsesMemberLookup) {
+  // Inside a member function of H, the name foo resolves via
+  // lookup(H, foo) = G::foo.
+  Scopes.pushLexicalScope("global");
+  Scopes.pushClassScope(H.findClass("H"));
+  Scopes.pushLexicalScope("memberFnBody");
+
+  ResolvedName R = Scopes.resolve("foo");
+  ASSERT_EQ(R.NameKind, ResolvedName::Kind::Member);
+  EXPECT_EQ(R.ClassScope, H.findClass("H"));
+  ASSERT_TRUE(R.MemberResult.has_value());
+  EXPECT_EQ(R.MemberResult->Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.MemberResult->DefiningClass, H.findClass("G"));
+}
+
+TEST_F(UnqualifiedTest, LocalVariableShadowsMember) {
+  Scopes.pushClassScope(H.findClass("H"));
+  Scopes.pushLexicalScope("memberFnBody");
+  Scopes.declare("foo");
+
+  ResolvedName R = Scopes.resolve("foo");
+  EXPECT_EQ(R.NameKind, ResolvedName::Kind::LocalName);
+}
+
+TEST_F(UnqualifiedTest, AmbiguousMemberStopsTheWalk) {
+  // lookup(H, bar) is ambiguous. The class scope still *binds* the
+  // name - resolution does not silently skip to an outer declaration.
+  Scopes.pushLexicalScope("global");
+  Scopes.declare("bar"); // a would-be outer binding
+  Scopes.pushClassScope(H.findClass("H"));
+  Scopes.pushLexicalScope("memberFnBody");
+
+  ResolvedName R = Scopes.resolve("bar");
+  ASSERT_EQ(R.NameKind, ResolvedName::Kind::Member);
+  ASSERT_TRUE(R.MemberResult.has_value());
+  EXPECT_EQ(R.MemberResult->Status, LookupStatus::Ambiguous);
+}
+
+TEST_F(UnqualifiedTest, UnknownMemberContinuesOutward) {
+  Scopes.pushLexicalScope("global");
+  Scopes.declare("helper");
+  Scopes.pushClassScope(H.findClass("H"));
+
+  ResolvedName R = Scopes.resolve("helper");
+  EXPECT_EQ(R.NameKind, ResolvedName::Kind::LocalName);
+  EXPECT_EQ(R.ScopeName, "global");
+}
+
+TEST_F(UnqualifiedTest, NestedClassScopesResolveInnermostFirst) {
+  // A member function of G nested (lexically) inside code of H: G's
+  // scope is searched first.
+  Scopes.pushClassScope(H.findClass("H"));
+  Scopes.pushClassScope(H.findClass("G"));
+
+  ResolvedName R = Scopes.resolve("bar");
+  ASSERT_EQ(R.NameKind, ResolvedName::Kind::Member);
+  EXPECT_EQ(R.ClassScope, H.findClass("G"));
+  EXPECT_EQ(R.MemberResult->Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.MemberResult->DefiningClass, H.findClass("G"));
+}
+
+TEST_F(UnqualifiedTest, NotFoundWhenNothingBinds) {
+  Scopes.pushLexicalScope("global");
+  Scopes.pushClassScope(H.findClass("A"));
+  ResolvedName R = Scopes.resolve("nowhere");
+  EXPECT_EQ(R.NameKind, ResolvedName::Kind::NotFound);
+}
+
+TEST_F(UnqualifiedTest, PopRestoresOuterBehavior) {
+  Scopes.pushLexicalScope("global");
+  Scopes.pushClassScope(H.findClass("H"));
+  EXPECT_EQ(Scopes.resolve("foo").NameKind, ResolvedName::Kind::Member);
+  Scopes.popScope();
+  EXPECT_EQ(Scopes.resolve("foo").NameKind, ResolvedName::Kind::NotFound);
+  EXPECT_EQ(Scopes.depth(), 1u);
+}

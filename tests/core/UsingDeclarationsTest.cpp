@@ -1,0 +1,211 @@
+//===- UsingDeclarationsTest.cpp ---------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// `using B::m;` - the standard C++ repair for exactly the ambiguities
+/// the paper's algorithm detects. Modeled as a declaration in the class
+/// containing the using-declaration, so every engine handles it
+/// unchanged; target validation/resolution is a post-pass.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/UsingDeclarations.h"
+
+#include "memlook/core/DifferentialCheck.h"
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/SubobjectLookupEngine.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+/// The classic diamond repair:
+///   struct A { f; };  struct L : A {};  struct R : A {};
+///   struct D : L, R { using L::f; };
+Hierarchy makeRepairedDiamond() {
+  HierarchyBuilder B;
+  B.addClass("A").withMember("f");
+  B.addClass("L").withBase("A");
+  B.addClass("R").withBase("A");
+  B.addClass("D").withBase("L").withBase("R").withUsing("L", "f");
+  return std::move(B).build();
+}
+
+} // namespace
+
+TEST(UsingDeclarationsTest, RepairsTheDiamondAmbiguity) {
+  // Without the using-declaration this is Figure-1-shaped: ambiguous.
+  {
+    HierarchyBuilder B;
+    B.addClass("A").withMember("f");
+    B.addClass("L").withBase("A");
+    B.addClass("R").withBase("A");
+    B.addClass("D").withBase("L").withBase("R");
+    Hierarchy H = std::move(B).build();
+    DominanceLookupEngine Engine(H);
+    EXPECT_EQ(Engine.lookup(H.findClass("D"), "f").Status,
+              LookupStatus::Ambiguous);
+  }
+  // With it, D declares f: unambiguous at D and below.
+  Hierarchy H = makeRepairedDiamond();
+  DominanceLookupEngine Engine(H);
+  LookupResult R = Engine.lookup(H.findClass("D"), "f");
+  ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.DefiningClass, H.findClass("D"))
+      << "the using-declaration is the found declaration";
+}
+
+TEST(UsingDeclarationsTest, TargetResolvesThroughTheNamedBase) {
+  Hierarchy H = makeRepairedDiamond();
+  DominanceLookupEngine Engine(H);
+  const MemberDecl *Decl =
+      H.declaredMember(H.findClass("D"), H.findName("f"));
+  ASSERT_NE(Decl, nullptr);
+  ASSERT_TRUE(Decl->isUsingDeclaration());
+  EXPECT_EQ(Decl->UsingFrom, H.findClass("L"));
+
+  LookupResult Target = resolveUsingTarget(H, Engine, *Decl);
+  ASSERT_EQ(Target.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(Target.DefiningClass, H.findClass("A"));
+  EXPECT_EQ(formatSubobjectKey(H, *Target.Subobject), "AL");
+}
+
+TEST(UsingDeclarationsTest, ValidationAcceptsWellFormed) {
+  Hierarchy H = makeRepairedDiamond();
+  DominanceLookupEngine Engine(H);
+  EXPECT_TRUE(validateUsingDeclarations(H, Engine).empty());
+}
+
+TEST(UsingDeclarationsTest, ValidationRejectsMissingMember) {
+  HierarchyBuilder B;
+  B.addClass("A").withMember("f");
+  B.addClass("D").withBase("A").withUsing("A", "nosuch");
+  Hierarchy H = std::move(B).build();
+  DominanceLookupEngine Engine(H);
+  std::vector<UsingIssue> Issues = validateUsingDeclarations(H, Engine);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_EQ(Issues[0].Status, LookupStatus::NotFound);
+  EXPECT_NE(Issues[0].Message.find("names no member"), std::string::npos);
+}
+
+TEST(UsingDeclarationsTest, ValidationRejectsAmbiguousTarget) {
+  // using B::m where m is ambiguous *in B* is ill-formed.
+  HierarchyBuilder Builder;
+  Builder.addClass("X").withMember("m");
+  Builder.addClass("Y").withMember("m");
+  Builder.addClass("B").withBase("X").withBase("Y");
+  Builder.addClass("D").withBase("B").withUsing("B", "m");
+  Hierarchy H = std::move(Builder).build();
+  DominanceLookupEngine Engine(H);
+  std::vector<UsingIssue> Issues = validateUsingDeclarations(H, Engine);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_EQ(Issues[0].Status, LookupStatus::Ambiguous);
+}
+
+TEST(UsingDeclarationsTest, NonBaseIsRejectedAtFinalize) {
+  Hierarchy H;
+  ClassId A = H.createClass("A");
+  ClassId B = H.createClass("B"); // unrelated
+  H.addMember(B, "m");
+  H.addUsingDeclaration(A, B, "m");
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(H.finalize(Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(UsingDeclarationsTest, ForwardingChainsResolve) {
+  // Mid re-exports Base::f; Leaf re-exports Mid::f; the chained target
+  // still lands on Base.
+  HierarchyBuilder B;
+  B.addClass("Base").withMember("f");
+  B.addClass("Mid").withBase("Base").withUsing("Base", "f");
+  B.addClass("Leaf").withBase("Mid").withUsing("Mid", "f");
+  Hierarchy H = std::move(B).build();
+  DominanceLookupEngine Engine(H);
+  EXPECT_TRUE(validateUsingDeclarations(H, Engine).empty());
+
+  const MemberDecl *LeafDecl =
+      H.declaredMember(H.findClass("Leaf"), H.findName("f"));
+  LookupResult Target = resolveUsingTarget(H, Engine, *LeafDecl);
+  ASSERT_EQ(Target.Status, LookupStatus::Unambiguous);
+  // The immediate target is Mid's using-declaration...
+  EXPECT_EQ(Target.DefiningClass, H.findClass("Mid"));
+  const MemberDecl *MidDecl =
+      H.declaredMember(Target.DefiningClass, H.findName("f"));
+  ASSERT_TRUE(MidDecl->isUsingDeclaration());
+  // ...which in turn resolves to Base.
+  LookupResult Final = resolveUsingTarget(H, Engine, *MidDecl);
+  EXPECT_EQ(Final.DefiningClass, H.findClass("Base"));
+}
+
+TEST(UsingDeclarationsTest, UltimateTargetFollowsChains) {
+  HierarchyBuilder B;
+  B.addClass("Base").withMember("f");
+  B.addClass("Mid").withBase("Base").withUsing("Base", "f");
+  B.addClass("Leaf").withBase("Mid").withUsing("Mid", "f");
+  Hierarchy H = std::move(B).build();
+  DominanceLookupEngine Engine(H);
+  Symbol F = H.findName("f");
+
+  EXPECT_EQ(ultimateUsingTarget(H, Engine, H.findClass("Leaf"), F),
+            H.findClass("Base"));
+  EXPECT_EQ(ultimateUsingTarget(H, Engine, H.findClass("Mid"), F),
+            H.findClass("Base"));
+  EXPECT_EQ(ultimateUsingTarget(H, Engine, H.findClass("Base"), F),
+            H.findClass("Base"))
+      << "a plain declaration is its own target";
+}
+
+TEST(UsingDeclarationsTest, UltimateTargetFailsOnBrokenChain) {
+  HierarchyBuilder B;
+  B.addClass("A").withMember("f");
+  B.addClass("D").withBase("A").withUsing("A", "missing");
+  Hierarchy H = std::move(B).build();
+  DominanceLookupEngine Engine(H);
+  EXPECT_FALSE(ultimateUsingTarget(H, Engine, H.findClass("D"),
+                                   H.findName("missing"))
+                   .isValid());
+}
+
+TEST(UsingDeclarationsTest, EnginesStillAgree) {
+  // The model claim: using-declarations are ordinary declarations, so
+  // the full differential audit passes unchanged.
+  Hierarchy H = makeRepairedDiamond();
+  EXPECT_TRUE(runDifferentialCheck(H).passed());
+
+  HierarchyBuilder B;
+  B.addClass("T").withMember("g").withStaticMember("s");
+  B.addClass("U").withBase("T");
+  B.addClass("V").withVirtualBase("T");
+  B.addClass("W").withBase("U").withBase("V").withUsing("U", "g").withUsing(
+      "T", "s");
+  Hierarchy H2 = std::move(B).build();
+  EXPECT_TRUE(runDifferentialCheck(H2).passed());
+}
+
+TEST(UsingDeclarationsTest, AccessOfUsingDeclarationApplies) {
+  // The common C++ idiom: privately inherit, publicly re-export one
+  // member. The re-export is a public declaration in the derived class.
+  HierarchyBuilder B;
+  B.addClass("Impl").withMember("helper", AccessSpec::Public);
+  B.addClass("Facade")
+      .withBase("Impl", AccessSpec::Private)
+      .withUsing("Impl", "helper", AccessSpec::Public);
+  Hierarchy H = std::move(B).build();
+  DominanceLookupEngine Engine(H);
+
+  LookupResult R = Engine.lookup(H.findClass("Facade"), "helper");
+  ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.DefiningClass, H.findClass("Facade"));
+  ASSERT_TRUE(R.EffectiveAccess.has_value());
+  EXPECT_EQ(*R.EffectiveAccess, AccessSpec::Public)
+      << "the re-export is public even though the base is private";
+}

@@ -1,0 +1,169 @@
+//===- CodeResolutionTest.cpp -------------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end Section 6: `code C { ... }` blocks resolving unqualified
+/// and qualified name uses through the scope-stack and naming-class
+/// machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/frontend/CodeResolution.h"
+
+#include "memlook/core/DominanceLookupEngine.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace memlook;
+
+namespace {
+
+using Kind = ResolvedUse::Kind;
+
+struct Resolved {
+  Hierarchy H;
+  std::vector<std::vector<ResolvedUse>> Blocks;
+};
+
+Resolved resolveAll(std::string_view Source) {
+  DiagnosticEngine Diags;
+  std::optional<ParsedProgram> Program = parseProgram(Source, Diags);
+  if (!Program) {
+    std::ostringstream OS;
+    Diags.print(OS, "<test>");
+    ADD_FAILURE() << "parse failed:\n" << OS.str();
+    return {};
+  }
+  Resolved Out{std::move(Program->H), {}};
+  DominanceLookupEngine Engine(Out.H);
+  for (const CodeBlock &Block : Program->CodeBlocks)
+    Out.Blocks.push_back(resolveCodeBlock(Out.H, Engine, Block));
+  return Out;
+}
+
+} // namespace
+
+TEST(CodeResolutionTest, UnqualifiedUsesResolveThroughTheClassScope) {
+  Resolved R = resolveAll(R"cpp(
+    struct A { void f(); void g(); };
+    struct B : A { void f(); };
+    code B { f; g; }
+  )cpp");
+  ASSERT_EQ(R.Blocks.size(), 1u);
+  const auto &Uses = R.Blocks[0];
+  ASSERT_EQ(Uses.size(), 2u);
+
+  EXPECT_EQ(Uses[0].UseKind, Kind::Member);
+  EXPECT_EQ(R.H.className(Uses[0].Member.DefiningClass), "B")
+      << "the override hides A::f";
+  EXPECT_EQ(Uses[1].UseKind, Kind::Member);
+  EXPECT_EQ(R.H.className(Uses[1].Member.DefiningClass), "A");
+}
+
+TEST(CodeResolutionTest, QualifiedUseBypassesTheOverride) {
+  Resolved R = resolveAll(R"cpp(
+    struct A { void f(); };
+    struct B : A { void f(); };
+    code B { A::f; B::f; }
+  )cpp");
+  const auto &Uses = R.Blocks.at(0);
+  ASSERT_EQ(Uses.size(), 2u);
+  EXPECT_EQ(Uses[0].UseKind, Kind::Member);
+  EXPECT_EQ(R.H.className(Uses[0].Member.DefiningClass), "A");
+  EXPECT_EQ(Uses[1].UseKind, Kind::Member);
+  EXPECT_EQ(R.H.className(Uses[1].Member.DefiningClass), "B");
+}
+
+TEST(CodeResolutionTest, AmbiguousUnqualifiedUseIsAnErrorNotNotFound) {
+  Resolved R = resolveAll(R"cpp(
+    struct X { void m(); };
+    struct Y { void m(); };
+    struct Z : X, Y {};
+    code Z { m; X::m; Y::m; }
+  )cpp");
+  const auto &Uses = R.Blocks.at(0);
+  ASSERT_EQ(Uses.size(), 3u);
+  EXPECT_EQ(Uses[0].UseKind, Kind::AmbiguousMember)
+      << "plain m is ambiguous in Z";
+  // But qualification resolves each side - the paper's Section 6 story.
+  EXPECT_EQ(Uses[1].UseKind, Kind::Member);
+  EXPECT_EQ(R.H.className(Uses[1].Member.DefiningClass), "X");
+  EXPECT_EQ(Uses[2].UseKind, Kind::Member);
+  EXPECT_EQ(R.H.className(Uses[2].Member.DefiningClass), "Y");
+}
+
+TEST(CodeResolutionTest, AmbiguousBaseQualifierIsRejected) {
+  Resolved R = resolveAll(R"cpp(
+    struct A { void m(); };
+    struct L : A {};
+    struct Rr : A {};
+    struct D : L, Rr {};
+    code D { A::m; L::m; }
+  )cpp");
+  const auto &Uses = R.Blocks.at(0);
+  ASSERT_EQ(Uses.size(), 2u);
+  EXPECT_EQ(Uses[0].UseKind, Kind::BadQualifier)
+      << "two A subobjects: the conversion is ambiguous";
+  EXPECT_EQ(Uses[1].UseKind, Kind::Member)
+      << "L is a unique base; through it the lookup succeeds";
+  EXPECT_EQ(R.H.className(Uses[1].Member.DefiningClass), "A");
+}
+
+TEST(CodeResolutionTest, UnknownNamesAndClasses) {
+  Resolved R = resolveAll(R"cpp(
+    struct A { void f(); };
+    struct Unrelated { void g(); };
+    code A { nosuch; Missing::f; Unrelated::g; A::nosuch; }
+  )cpp");
+  const auto &Uses = R.Blocks.at(0);
+  ASSERT_EQ(Uses.size(), 4u);
+  EXPECT_EQ(Uses[0].UseKind, Kind::UnknownName);
+  EXPECT_EQ(Uses[1].UseKind, Kind::BadQualifier) << "unknown class";
+  EXPECT_EQ(Uses[2].UseKind, Kind::BadQualifier) << "not a base";
+  EXPECT_EQ(Uses[3].UseKind, Kind::UnknownName);
+}
+
+TEST(CodeResolutionTest, UnknownBlockClassReportsOnce) {
+  Resolved R = resolveAll(R"cpp(
+    struct A { void f(); };
+    code Nope { f; }
+  )cpp");
+  const auto &Uses = R.Blocks.at(0);
+  ASSERT_EQ(Uses.size(), 1u);
+  EXPECT_EQ(Uses[0].UseKind, Kind::BadQualifier);
+  EXPECT_NE(Uses[0].Description.find("unknown class"), std::string::npos);
+}
+
+TEST(CodeResolutionTest, QualifiedUseThroughVirtualBaseReembeds) {
+  Resolved R = resolveAll(R"cpp(
+    struct Top { void op(); };
+    struct L : virtual Top {};
+    struct Rr : virtual Top {};
+    struct D : L, Rr {};
+    code D { Top::op; op; }
+  )cpp");
+  const auto &Uses = R.Blocks.at(0);
+  ASSERT_EQ(Uses.size(), 2u);
+  EXPECT_EQ(Uses[0].UseKind, Kind::Member)
+      << "the shared virtual Top is a unique base";
+  ASSERT_TRUE(Uses[0].Member.Subobject.has_value());
+  EXPECT_EQ(Uses[0].Member.Subobject->Mdc, R.H.findClass("D"))
+      << "the result is re-embedded into the D object";
+  EXPECT_EQ(Uses[1].UseKind, Kind::Member);
+}
+
+TEST(CodeResolutionTest, DescriptionsAreDiagnosticReady) {
+  Resolved R = resolveAll(R"cpp(
+    struct A { void f(); };
+    struct B : A {};
+    code B { f; A::f; }
+  )cpp");
+  const auto &Uses = R.Blocks.at(0);
+  EXPECT_NE(Uses[0].Description.find("f -> A"), std::string::npos);
+  EXPECT_NE(Uses[1].Description.find("A::f -> A"), std::string::npos);
+}

@@ -1,0 +1,147 @@
+//===- CorpusTest.cpp - Self-checking .mlk test vectors ---------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Runs every .mlk file in tests/corpus/ through the front end and
+/// verifies its `expect` directives against four engines: the Figure 8
+/// algorithm (eager and recursive-lazy), the killing propagation, and
+/// the Rossie-Friedman reference. The corpus doubles as executable
+/// documentation of the lookup semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/NaivePropagationEngine.h"
+#include "memlook/core/SubobjectLookupEngine.h"
+#include "memlook/frontend/CodeResolution.h"
+#include "memlook/frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+using namespace memlook;
+
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(MEMLOOK_CORPUS_DIR))
+    if (Entry.path().extension() == ".mlk")
+      Files.push_back(Entry.path().string());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+class CorpusTest : public ::testing::TestWithParam<std::string> {};
+
+std::string describeExpectation(const LookupExpectation &E) {
+  switch (E.ExpectKind) {
+  case LookupExpectation::Kind::Ambiguous:
+    return "ambiguous";
+  case LookupExpectation::Kind::NotFound:
+    return "notfound";
+  case LookupExpectation::Kind::ResolvesTo:
+    return E.DefiningClass;
+  }
+  return "?";
+}
+
+void checkDirective(const Hierarchy &H, LookupEngine &Engine,
+                    const LookupDirective &Directive) {
+  if (!Directive.Expectation)
+    return;
+  ClassId Id = H.findClass(Directive.ClassName);
+  ASSERT_TRUE(Id.isValid()) << Directive.ClassName;
+  LookupResult R = Engine.lookup(Id, Directive.MemberName);
+
+  const LookupExpectation &E = *Directive.Expectation;
+  std::string Context = Directive.ClassName + "::" + Directive.MemberName +
+                        " (line " + std::to_string(Directive.Loc.Line) +
+                        ", engine " + std::string(Engine.engineName()) +
+                        ", wanted " + describeExpectation(E) + ")";
+  switch (E.ExpectKind) {
+  case LookupExpectation::Kind::Ambiguous:
+    EXPECT_EQ(R.Status, LookupStatus::Ambiguous) << Context;
+    break;
+  case LookupExpectation::Kind::NotFound:
+    EXPECT_EQ(R.Status, LookupStatus::NotFound) << Context;
+    break;
+  case LookupExpectation::Kind::ResolvesTo:
+    ASSERT_EQ(R.Status, LookupStatus::Unambiguous) << Context;
+    EXPECT_EQ(H.className(R.DefiningClass), E.DefiningClass) << Context;
+    break;
+  }
+}
+
+} // namespace
+
+TEST_P(CorpusTest, ExpectationsHoldOnAllEngines) {
+  std::ifstream File(GetParam());
+  ASSERT_TRUE(File.good()) << GetParam();
+  std::ostringstream Buffer;
+  Buffer << File.rdbuf();
+  std::string Source = Buffer.str();
+
+  DiagnosticEngine Diags;
+  std::optional<ParsedProgram> Program = parseProgram(Source, Diags);
+  if (!Program) {
+    std::ostringstream OS;
+    Diags.print(OS, GetParam());
+    FAIL() << "parse failed:\n" << OS.str();
+  }
+  const Hierarchy &H = Program->H;
+
+  ASSERT_FALSE(Program->Lookups.empty() && Program->CodeBlocks.empty())
+      << "corpus files must contain expect directives or code blocks";
+  size_t WithExpectation = 0;
+  for (const LookupDirective &D : Program->Lookups)
+    if (D.Expectation)
+      ++WithExpectation;
+  for (const CodeBlock &Block : Program->CodeBlocks)
+    for (const NameUse &Use : Block.Uses)
+      if (!Use.Expected.empty())
+        ++WithExpectation;
+  EXPECT_GT(WithExpectation, 0u);
+
+  // Code-block assertions run on the primary engine.
+  {
+    DominanceLookupEngine Engine(H);
+    for (const CodeBlock &Block : Program->CodeBlocks)
+      for (const ResolvedUse &Use : resolveCodeBlock(H, Engine, Block))
+        EXPECT_TRUE(useMatchesExpectation(H, Use))
+            << GetParam() << ": " << Use.Description << " (wanted "
+            << (Use.Use ? Use.Use->Expected : std::string()) << ")";
+  }
+
+  DominanceLookupEngine Eager(H, DominanceLookupEngine::Mode::Eager);
+  DominanceLookupEngine Recursive(H,
+                                  DominanceLookupEngine::Mode::LazyRecursive);
+  NaivePropagationEngine Killing(H, NaivePropagationEngine::Killing::Enabled);
+  SubobjectLookupEngine Reference(H);
+  for (LookupEngine *Engine :
+       {static_cast<LookupEngine *>(&Eager),
+        static_cast<LookupEngine *>(&Recursive),
+        static_cast<LookupEngine *>(&Killing),
+        static_cast<LookupEngine *>(&Reference)})
+    for (const LookupDirective &Directive : Program->Lookups)
+      checkDirective(H, *Engine, Directive);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Files, CorpusTest, ::testing::ValuesIn(corpusFiles()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      std::string Name = std::filesystem::path(Info.param).stem().string();
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });

@@ -1,0 +1,104 @@
+//===- LexerTest.cpp -------------------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+
+namespace {
+
+std::vector<TokenKind> kindsOf(std::string_view Source) {
+  DiagnosticEngine Diags;
+  Lexer Lex(Source, Diags);
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Lex.tokens())
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+} // namespace
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  EXPECT_EQ(kindsOf(""), (std::vector<TokenKind>{TokenKind::EndOfFile}));
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  EXPECT_EQ(kindsOf("class struct virtual static public protected private "
+                    "lookup name _x x1"),
+            (std::vector<TokenKind>{
+                TokenKind::KwClass, TokenKind::KwStruct, TokenKind::KwVirtual,
+                TokenKind::KwStatic, TokenKind::KwPublic,
+                TokenKind::KwProtected, TokenKind::KwPrivate,
+                TokenKind::KwLookup, TokenKind::Identifier,
+                TokenKind::Identifier, TokenKind::Identifier,
+                TokenKind::EndOfFile}));
+}
+
+TEST(LexerTest, Punctuation) {
+  EXPECT_EQ(kindsOf("{ } ( ) , ; : ::"),
+            (std::vector<TokenKind>{
+                TokenKind::LBrace, TokenKind::RBrace, TokenKind::LParen,
+                TokenKind::RParen, TokenKind::Comma, TokenKind::Semicolon,
+                TokenKind::Colon, TokenKind::ColonColon,
+                TokenKind::EndOfFile}));
+}
+
+TEST(LexerTest, ColonColonIsGreedy) {
+  // ":::" lexes as "::" then ":".
+  EXPECT_EQ(kindsOf(":::"),
+            (std::vector<TokenKind>{TokenKind::ColonColon, TokenKind::Colon,
+                                    TokenKind::EndOfFile}));
+}
+
+TEST(LexerTest, LineAndBlockComments) {
+  EXPECT_EQ(kindsOf("class // whole line ignored\n/* block\nspanning */ X"),
+            (std::vector<TokenKind>{TokenKind::KwClass,
+                                    TokenKind::Identifier,
+                                    TokenKind::EndOfFile}));
+}
+
+TEST(LexerTest, UnterminatedBlockCommentDiagnosed) {
+  DiagnosticEngine Diags;
+  Lexer Lex("class /* oops", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, UnknownCharacterDiagnosedAndSkipped) {
+  DiagnosticEngine Diags;
+  Lexer Lex("class @ X", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // Lexing continues after the bad character.
+  EXPECT_EQ(Lex.tokens().size(), 4u); // class, invalid, X, eof
+}
+
+TEST(LexerTest, LocationsAreOneBased) {
+  DiagnosticEngine Diags;
+  Lexer Lex("class A\n  { };", Diags);
+  const std::vector<Token> &Toks = Lex.tokens();
+  ASSERT_GE(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[0].Loc.Col, 1u);
+  EXPECT_EQ(Toks[1].Loc.Col, 7u);  // A
+  EXPECT_EQ(Toks[2].Loc.Line, 2u); // {
+  EXPECT_EQ(Toks[2].Loc.Col, 3u);
+}
+
+TEST(LexerTest, TokenTextPointsIntoSource) {
+  DiagnosticEngine Diags;
+  std::string Source = "class Widget";
+  Lexer Lex(Source, Diags);
+  EXPECT_EQ(Lex.tokens()[1].Text, "Widget");
+}
+
+TEST(LexerTest, TokenKindNamesForDiagnostics) {
+  EXPECT_STREQ(tokenKindName(TokenKind::Identifier), "identifier");
+  EXPECT_STREQ(tokenKindName(TokenKind::KwLookup), "'lookup'");
+  EXPECT_STREQ(tokenKindName(TokenKind::ColonColon), "'::'");
+  EXPECT_STREQ(tokenKindName(TokenKind::EndOfFile), "end of input");
+}

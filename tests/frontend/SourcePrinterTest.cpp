@@ -1,0 +1,190 @@
+//===- SourcePrinterTest.cpp -------------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Round-trip property: printHierarchySource() emits text that
+/// parseProgram() turns back into an equivalent hierarchy - same
+/// classes, edges (kind + access), member declarations (flags + access),
+/// and, consequently, the same lookup table.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/frontend/SourcePrinter.h"
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/frontend/Parser.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+Hierarchy roundTrip(const Hierarchy &H) {
+  std::ostringstream OS;
+  printHierarchySource(H, OS);
+  DiagnosticEngine Diags;
+  std::optional<ParsedProgram> Program = parseProgram(OS.str(), Diags);
+  if (!Program) {
+    std::ostringstream Err;
+    Diags.print(Err, "<printed>");
+    ADD_FAILURE() << "round trip failed to parse:\n"
+                  << OS.str() << "\n"
+                  << Err.str();
+    return Hierarchy();
+  }
+  return std::move(Program->H);
+}
+
+void expectEquivalent(const Hierarchy &A, const Hierarchy &B,
+                      const char *Tag) {
+  ASSERT_EQ(A.numClasses(), B.numClasses()) << Tag;
+  ASSERT_EQ(A.numEdges(), B.numEdges()) << Tag;
+  ASSERT_EQ(A.numMemberDecls(), B.numMemberDecls()) << Tag;
+
+  for (uint32_t Idx = 0; Idx != A.numClasses(); ++Idx) {
+    ClassId CA(Idx);
+    ClassId CB = B.findClass(A.className(CA));
+    ASSERT_TRUE(CB.isValid()) << Tag << ": " << A.className(CA);
+
+    const auto &InfoA = A.info(CA);
+    const auto &InfoB = B.info(CB);
+    ASSERT_EQ(InfoA.DirectBases.size(), InfoB.DirectBases.size()) << Tag;
+    for (size_t I = 0; I != InfoA.DirectBases.size(); ++I) {
+      EXPECT_EQ(A.className(InfoA.DirectBases[I].Base),
+                B.className(InfoB.DirectBases[I].Base))
+          << Tag;
+      EXPECT_EQ(InfoA.DirectBases[I].Kind, InfoB.DirectBases[I].Kind)
+          << Tag;
+      EXPECT_EQ(InfoA.DirectBases[I].Access, InfoB.DirectBases[I].Access)
+          << Tag;
+    }
+
+    ASSERT_EQ(InfoA.Members.size(), InfoB.Members.size())
+        << Tag << ": " << A.className(CA);
+    for (size_t I = 0; I != InfoA.Members.size(); ++I) {
+      EXPECT_EQ(A.spelling(InfoA.Members[I].Name),
+                B.spelling(InfoB.Members[I].Name))
+          << Tag;
+      EXPECT_EQ(InfoA.Members[I].IsStatic, InfoB.Members[I].IsStatic) << Tag;
+      EXPECT_EQ(InfoA.Members[I].IsVirtual, InfoB.Members[I].IsVirtual)
+          << Tag;
+      EXPECT_EQ(InfoA.Members[I].Access, InfoB.Members[I].Access) << Tag;
+      ASSERT_EQ(InfoA.Members[I].isUsingDeclaration(),
+                InfoB.Members[I].isUsingDeclaration())
+          << Tag;
+      if (InfoA.Members[I].isUsingDeclaration())
+        EXPECT_EQ(A.className(InfoA.Members[I].UsingFrom),
+                  B.className(InfoB.Members[I].UsingFrom))
+            << Tag;
+    }
+  }
+}
+
+void expectSameLookupTable(const Hierarchy &A, Hierarchy &B,
+                           const char *Tag) {
+  DominanceLookupEngine EngineA(const_cast<const Hierarchy &>(A));
+  DominanceLookupEngine EngineB(B);
+  for (uint32_t Idx = 0; Idx != A.numClasses(); ++Idx) {
+    ClassId CA(Idx);
+    ClassId CB = B.findClass(A.className(CA));
+    for (Symbol MemberA : A.allMemberNames()) {
+      Symbol MemberB = B.findName(A.spelling(MemberA));
+      ASSERT_TRUE(MemberB.isValid()) << Tag;
+      LookupResult RA = EngineA.lookup(CA, MemberA);
+      LookupResult RB = EngineB.lookup(CB, MemberB);
+      EXPECT_EQ(RA.Status, RB.Status) << Tag;
+      if (RA.Status == LookupStatus::Unambiguous)
+        EXPECT_EQ(A.className(RA.DefiningClass),
+                  B.className(RB.DefiningClass))
+            << Tag;
+    }
+  }
+}
+
+void checkRoundTrip(const Hierarchy &H, const char *Tag) {
+  Hierarchy Reparsed = roundTrip(H);
+  if (Reparsed.numClasses() == 0 && H.numClasses() != 0)
+    return; // parse failure already reported
+  expectEquivalent(H, Reparsed, Tag);
+  expectSameLookupTable(H, Reparsed, Tag);
+}
+
+} // namespace
+
+TEST(SourcePrinterTest, RoundTripsPaperFigures) {
+  checkRoundTrip(makeFigure1(), "figure1");
+  checkRoundTrip(makeFigure2(), "figure2");
+  checkRoundTrip(makeFigure3(), "figure3");
+  checkRoundTrip(makeFigure9(), "figure9");
+}
+
+TEST(SourcePrinterTest, RoundTripsStructuredFamilies) {
+  checkRoundTrip(makeIostreamLike().H, "iostream");
+  checkRoundTrip(makeAmbiguityFan(6).H, "fan");
+  checkRoundTrip(makeWideForest(2, 2, 2).H, "forest");
+  checkRoundTrip(makeGrid(3, 3, true).H, "v-grid");
+}
+
+TEST(SourcePrinterTest, RoundTripsRandomHierarchiesWithAccessAndFlags) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 25;
+  Params.VirtualEdgeChance = 0.35;
+  Params.RestrictedEdgeChance = 0.5;
+  Params.StaticChance = 0.3;
+  Params.VirtualMemberChance = 0.4;
+  for (uint64_t Seed = 11; Seed <= 30; ++Seed)
+    checkRoundTrip(makeRandomHierarchy(Params, Seed).H, "random");
+}
+
+TEST(SourcePrinterTest, RoundTripsUsingDeclarations) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 20;
+  Params.UsingChance = 0.6;
+  Params.StaticChance = 0.2;
+  for (uint64_t Seed = 71; Seed <= 80; ++Seed)
+    checkRoundTrip(makeRandomHierarchy(Params, Seed).H, "random-using");
+
+  HierarchyBuilder B;
+  B.addClass("A").withMember("f");
+  B.addClass("L").withBase("A");
+  B.addClass("R").withBase("A");
+  B.addClass("D").withBase("L").withBase("R").withUsing("L", "f");
+  checkRoundTrip(std::move(B).build(), "repaired-diamond");
+}
+
+TEST(SourcePrinterTest, EmitsAccessLabelsOnlyWhenNeeded) {
+  HierarchyBuilder B;
+  B.addClass("A")
+      .withMember("pub", AccessSpec::Public)
+      .withMember("priv", AccessSpec::Private)
+      .withMember("priv2", AccessSpec::Private);
+  Hierarchy H = std::move(B).build();
+  std::ostringstream OS;
+  printHierarchySource(H, OS);
+  std::string Out = OS.str();
+  // One private label, no redundant public label up front, no repeat
+  // before priv2.
+  EXPECT_EQ(Out.find("public:"), std::string::npos);
+  size_t First = Out.find("private:");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(Out.find("private:", First + 1), std::string::npos);
+}
+
+TEST(SourcePrinterTest, EmptyHierarchyPrintsNothing) {
+  Hierarchy H;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(H.finalize(Diags));
+  std::ostringstream OS;
+  printHierarchySource(H, OS);
+  EXPECT_TRUE(OS.str().empty());
+}

@@ -1,0 +1,77 @@
+//===- ComposeKeysTest.cpp - Section 7.1 composition -----------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The subobject composition operator of Section 7.1 ([a] o [s] =
+/// [a . s]) on canonical keys: composing the keys of two paths must give
+/// the key of their concatenation, for every composable path pair.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/subobject/SubobjectGraph.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+void checkCompositionOn(const Hierarchy &H, ClassId Complete) {
+  std::vector<Path> Outer;
+  enumeratePathsTo(H, Complete, [&](const Path &P) { Outer.push_back(P); },
+                   /*MaxPaths=*/2048);
+
+  for (const Path &S : Outer) {
+    std::vector<Path> Inner;
+    enumeratePathsTo(H, S.ldc(), [&](const Path &P) { Inner.push_back(P); },
+                     /*MaxPaths=*/2048);
+    for (const Path &A : Inner) {
+      SubobjectKey Composed =
+          composeSubobjectKeys(subobjectKey(H, A), subobjectKey(H, S));
+      EXPECT_EQ(Composed, subobjectKey(H, concat(A, S)))
+          << formatPath(H, A) << " o " << formatPath(H, S);
+    }
+  }
+}
+
+} // namespace
+
+TEST(ComposeKeysTest, MatchesPathConcatenationOnFigure3) {
+  Hierarchy H = makeFigure3();
+  checkCompositionOn(H, H.findClass("H"));
+  checkCompositionOn(H, H.findClass("F"));
+}
+
+TEST(ComposeKeysTest, MatchesPathConcatenationOnFigure9) {
+  Hierarchy H = makeFigure9();
+  checkCompositionOn(H, H.findClass("E"));
+}
+
+TEST(ComposeKeysTest, MatchesOnRandomHierarchies) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 12;
+  Params.VirtualEdgeChance = 0.4;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    Workload W = makeRandomHierarchy(Params, Seed * 13 + 5);
+    for (ClassId C : W.QueryClasses)
+      if (C.index() % 3 == 0) // sample contexts to bound cost
+        checkCompositionOn(W.H, C);
+  }
+}
+
+TEST(ComposeKeysTest, IdentityComposition) {
+  Hierarchy H = makeFigure2();
+  ClassId E = H.findClass("E");
+  // Composing with the trivial complete-object key is the identity.
+  SubobjectKey Root{{E}, E};
+  Path ViaD = pathOf(H, {"A", "B", "D", "E"});
+  SubobjectKey Key = subobjectKey(H, ViaD);
+  EXPECT_EQ(composeSubobjectKeys(Key, Root), Key);
+}

@@ -1,0 +1,113 @@
+//===- DefnsTest.cpp - Experiment E4 ---------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces the paper's worked Defns examples on Figure 3:
+///   Defns(H, foo) = { {ABDFH, ABDGH}, {ACDFH, ACDGH}, {GH} }
+///   Defns(H, bar) = { {EFH}, {DFH, DGH}, {GH} }
+/// and the lookup outcomes lookup(H, foo) = {GH}, lookup(H, bar) = bottom.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/subobject/SubobjectGraph.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+std::set<std::string> defnsAsStrings(const Hierarchy &H,
+                                     const SubobjectGraph &Graph,
+                                     const char *Member) {
+  std::set<std::string> Out;
+  for (SubobjectId Id : Graph.definingSubobjects(H.findName(Member)))
+    Out.insert(formatSubobjectKey(H, Graph.subobject(Id).Key));
+  return Out;
+}
+
+} // namespace
+
+TEST(DefnsTest, DefnsOfFooAtH) {
+  Hierarchy H = makeFigure3();
+  auto Graph = SubobjectGraph::build(H, H.findClass("H"));
+  ASSERT_TRUE(Graph);
+  // The three equivalence classes, by canonical name: {ABDFH,ABDGH} is
+  // ABD*H, {ACDFH,ACDGH} is ACD*H, {GH} is GH.
+  EXPECT_EQ(defnsAsStrings(H, *Graph, "foo"),
+            (std::set<std::string>{"ABD*H", "ACD*H", "GH"}));
+}
+
+TEST(DefnsTest, DefnsOfBarAtH) {
+  Hierarchy H = makeFigure3();
+  auto Graph = SubobjectGraph::build(H, H.findClass("H"));
+  ASSERT_TRUE(Graph);
+  // {EFH} is EFH, {DFH,DGH} is D*H, {GH} is GH.
+  EXPECT_EQ(defnsAsStrings(H, *Graph, "bar"),
+            (std::set<std::string>{"EFH", "D*H", "GH"}));
+}
+
+TEST(DefnsTest, DefnsAtIntermediateNodes) {
+  Hierarchy H = makeFigure3();
+  auto GraphF = SubobjectGraph::build(H, H.findClass("F"));
+  ASSERT_TRUE(GraphF);
+  // At F: bar is declared by E (subobject EF) and D (virtual D*F).
+  EXPECT_EQ(defnsAsStrings(H, *GraphF, "bar"),
+            (std::set<std::string>{"EF", "D*F"}));
+  // foo reaches F only through the virtual D: two A subobjects.
+  EXPECT_EQ(defnsAsStrings(H, *GraphF, "foo"),
+            (std::set<std::string>{"ABD*F", "ACD*F"}));
+}
+
+TEST(DefnsTest, EmptyDefnsForUnknownMember) {
+  Hierarchy H = makeFigure3();
+  auto Graph = SubobjectGraph::build(H, H.findClass("H"));
+  ASSERT_TRUE(Graph);
+  Symbol Baz = H.internName("baz");
+  EXPECT_TRUE(Graph->definingSubobjects(Baz).empty());
+}
+
+TEST(DefnsTest, MostDominantFooIsGH) {
+  Hierarchy H = makeFigure3();
+  auto Graph = SubobjectGraph::build(H, H.findClass("H"));
+  ASSERT_TRUE(Graph);
+
+  std::vector<SubobjectId> Defs =
+      Graph->definingSubobjects(H.findName("foo"));
+  SubobjectId GH = Graph->find(
+      SubobjectKey{{H.findClass("G"), H.findClass("H")}, H.findClass("H")});
+  ASSERT_TRUE(GH.isValid());
+
+  // GH dominates (contains) every other defining subobject.
+  for (SubobjectId Def : Defs)
+    EXPECT_TRUE(Graph->contains(GH, Def))
+        << formatSubobjectKey(H, Graph->subobject(Def).Key);
+}
+
+TEST(DefnsTest, NoMostDominantBarAtH) {
+  Hierarchy H = makeFigure3();
+  auto Graph = SubobjectGraph::build(H, H.findClass("H"));
+  ASSERT_TRUE(Graph);
+
+  std::vector<SubobjectId> Defs =
+      Graph->definingSubobjects(H.findName("bar"));
+  ASSERT_EQ(Defs.size(), 3u);
+  for (SubobjectId Candidate : Defs) {
+    bool DominatesAll = true;
+    for (SubobjectId Other : Defs)
+      if (!Graph->contains(Candidate, Other))
+        DominatesAll = false;
+    EXPECT_FALSE(DominatesAll)
+        << formatSubobjectKey(H, Graph->subobject(Candidate).Key)
+        << " should not dominate all definitions";
+  }
+}

@@ -1,0 +1,143 @@
+//===- SubobjectCountTest.cpp ----------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The closed-form counters must agree with brute-force enumeration and
+/// with the materialized subobject graph wherever those are feasible -
+/// and must keep producing exact values (or saturate) far beyond.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/subobject/SubobjectCount.h"
+
+#include "memlook/subobject/SubobjectGraph.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+TEST(SubobjectCountTest, PathCountsOnFigure3) {
+  Hierarchy H = makeFigure3();
+  EXPECT_EQ(countPaths(H, H.findClass("A"), H.findClass("H")), 4u);
+  EXPECT_EQ(countPaths(H, H.findClass("A"), H.findClass("D")), 2u);
+  EXPECT_EQ(countPaths(H, H.findClass("E"), H.findClass("H")), 1u);
+  EXPECT_EQ(countPaths(H, H.findClass("E"), H.findClass("G")), 0u);
+  EXPECT_EQ(countPaths(H, H.findClass("H"), H.findClass("A")), 0u)
+      << "direction matters";
+  EXPECT_EQ(countPaths(H, H.findClass("A"), H.findClass("A")), 1u)
+      << "the trivial path";
+}
+
+TEST(SubobjectCountTest, PathCountsMatchEnumeration) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 14;
+  Params.AvgBases = 2.0;
+  for (uint64_t Seed = 1; Seed <= 15; ++Seed) {
+    Workload W = makeRandomHierarchy(Params, Seed * 37 + 5);
+    for (uint32_t From = 0; From != W.H.numClasses(); ++From)
+      for (uint32_t To = 0; To != W.H.numClasses(); ++To) {
+        uint64_t Enumerated = 0;
+        enumeratePaths(W.H, ClassId(From), ClassId(To),
+                       [&](const Path &) { ++Enumerated; });
+        EXPECT_EQ(countPaths(W.H, ClassId(From), ClassId(To)), Enumerated)
+            << W.H.className(ClassId(From)) << " -> "
+            << W.H.className(ClassId(To)) << " seed " << Seed;
+      }
+  }
+}
+
+TEST(SubobjectCountTest, SubobjectCountsMatchMaterializedGraph) {
+  auto CheckAll = [](const Hierarchy &H, const char *Tag) {
+    for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx) {
+      auto Graph = SubobjectGraph::build(H, ClassId(Idx));
+      ASSERT_TRUE(Graph) << Tag;
+      EXPECT_EQ(countSubobjects(H, ClassId(Idx)), Graph->numSubobjects())
+          << Tag << ", class " << H.className(ClassId(Idx));
+    }
+  };
+  CheckAll(makeFigure1(), "figure1");
+  CheckAll(makeFigure2(), "figure2");
+  CheckAll(makeFigure3(), "figure3");
+  CheckAll(makeFigure9(), "figure9");
+  CheckAll(makeIostreamLike().H, "iostream");
+  CheckAll(makeGrid(3, 3).H, "grid");
+  CheckAll(makeGrid(3, 3, true).H, "v-grid");
+}
+
+TEST(SubobjectCountTest, SubobjectCountsMatchOnRandomHierarchies) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 16;
+  Params.AvgBases = 1.9;
+  Params.VirtualEdgeChance = 0.35;
+  for (uint64_t Seed = 50; Seed != 80; ++Seed) {
+    Workload W = makeRandomHierarchy(Params, Seed);
+    for (ClassId C : W.QueryClasses) {
+      auto Graph = SubobjectGraph::build(W.H, C, 1u << 18);
+      if (!Graph)
+        continue;
+      EXPECT_EQ(countSubobjects(W.H, C), Graph->numSubobjects())
+          << W.H.className(C) << " seed " << Seed;
+    }
+  }
+}
+
+TEST(SubobjectCountTest, DiamondStackFormulae) {
+  // k non-virtual diamonds: the apex is replicated 2^k times, and the
+  // total subobject count telescopes to 2^(k+2) - 3 (the J_i at depth i
+  // contribute 2^i copies each, the L_i/R_i pairs 2*2^(i-1)).
+  for (uint32_t K = 1; K <= 20; ++K) {
+    Workload W = makeNonVirtualDiamondStack(K);
+    ClassId Apex = W.H.findClass("J0");
+    ClassId Top = W.H.findClass("J" + std::to_string(K));
+    EXPECT_EQ(countPaths(W.H, Apex, Top), uint64_t(1) << K);
+    EXPECT_EQ(countSubobjects(W.H, Top), (uint64_t(1) << (K + 2)) - 3);
+  }
+}
+
+TEST(SubobjectCountTest, VirtualDiamondStackIsLinear) {
+  for (uint32_t K = 1; K <= 20; ++K) {
+    Workload W = makeVirtualDiamondStack(K);
+    ClassId Top = W.H.findClass("J" + std::to_string(K));
+    EXPECT_LE(countSubobjects(W.H, Top), 3u * K + 1u);
+  }
+}
+
+TEST(SubobjectCountTest, SaturationInsteadOfOverflow) {
+  // 70 stacked diamonds: 2^70 paths overflow uint64; the counters must
+  // saturate, not wrap.
+  Workload W = makeNonVirtualDiamondStack(70);
+  ClassId Apex = W.H.findClass("J0");
+  ClassId Top = W.H.findClass("J70");
+  EXPECT_EQ(countPaths(W.H, Apex, Top), UINT64_MAX);
+  EXPECT_EQ(countSubobjects(W.H, Top), UINT64_MAX);
+
+  // 62 diamonds still fit exactly.
+  Workload W62 = makeNonVirtualDiamondStack(62);
+  EXPECT_EQ(countPaths(W62.H, W62.H.findClass("J0"),
+                       W62.H.findClass("J62")),
+            uint64_t(1) << 62);
+}
+
+TEST(SubobjectCountTest, MixedVirtualCut) {
+  // A virtual edge cuts the fixed part: B -> C virtual means C has the
+  // trivial fixed path only, plus B's non-virtual paths via the vbase
+  // rule.
+  HierarchyBuilder Builder;
+  Builder.addClass("A");
+  Builder.addClass("B").withBase("A");
+  Builder.addClass("C").withVirtualBase("B");
+  Hierarchy H = std::move(Builder).build();
+  // Subobjects of C: <C>, virtual <B>, <A,B>. (A alone is not a virtual
+  // base of C, but the AB fixed path ends at B which is.)
+  EXPECT_EQ(countSubobjects(H, H.findClass("C")), 3u);
+  auto Graph = SubobjectGraph::build(H, H.findClass("C"));
+  ASSERT_TRUE(Graph);
+  EXPECT_EQ(Graph->numSubobjects(), 3u);
+}

@@ -1,0 +1,158 @@
+//===- SubobjectGraphTest.cpp - Experiments E1/E2 structure ----------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Structural reproduction of the subobject graphs of Figures 1(c) and
+/// 2(c): "an E object has two subobjects of class A in the first case,
+/// but only one subobject of class A in the second case".
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/subobject/SubobjectGraph.h"
+
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+TEST(SubobjectGraphTest, Figure1HasTwoASubobjects) {
+  Hierarchy H = makeFigure1();
+  auto Graph = SubobjectGraph::build(H, H.findClass("E"));
+  ASSERT_TRUE(Graph);
+  // E, C, D, B-via-C, B-via-D, A-via-C, A-via-D.
+  EXPECT_EQ(Graph->numSubobjects(), 7u);
+  EXPECT_EQ(Graph->countWithLdc(H.findClass("A")), 2u);
+  EXPECT_EQ(Graph->countWithLdc(H.findClass("B")), 2u);
+  EXPECT_EQ(Graph->countWithLdc(H.findClass("E")), 1u);
+}
+
+TEST(SubobjectGraphTest, Figure2HasOneASubobject) {
+  Hierarchy H = makeFigure2();
+  auto Graph = SubobjectGraph::build(H, H.findClass("E"));
+  ASSERT_TRUE(Graph);
+  // E, C, D, shared virtual B, single A within it.
+  EXPECT_EQ(Graph->numSubobjects(), 5u);
+  EXPECT_EQ(Graph->countWithLdc(H.findClass("A")), 1u);
+  EXPECT_EQ(Graph->countWithLdc(H.findClass("B")), 1u);
+}
+
+TEST(SubobjectGraphTest, RootIsTheCompleteObject) {
+  Hierarchy H = makeFigure1();
+  ClassId E = H.findClass("E");
+  auto Graph = SubobjectGraph::build(H, E);
+  ASSERT_TRUE(Graph);
+  const SubobjectGraph::Subobject &Root = Graph->subobject(Graph->root());
+  EXPECT_EQ(Root.Key.ldc(), E);
+  EXPECT_EQ(Root.Key.Mdc, E);
+  EXPECT_EQ(Root.Repr.length(), 1u);
+}
+
+TEST(SubobjectGraphTest, ContainmentIsReflexiveAndFollowsBases) {
+  Hierarchy H = makeFigure2();
+  ClassId E = H.findClass("E");
+  auto Graph = SubobjectGraph::build(H, E);
+  ASSERT_TRUE(Graph);
+
+  SubobjectId Root = Graph->root();
+  EXPECT_TRUE(Graph->contains(Root, Root));
+
+  // The root contains everything.
+  for (uint32_t I = 0; I != Graph->numSubobjects(); ++I)
+    EXPECT_TRUE(Graph->contains(Root, SubobjectId(I)));
+
+  // The shared B subobject contains A but not the C subobject.
+  SubobjectId B = Graph->find(SubobjectKey{{H.findClass("B")}, E});
+  SubobjectId A =
+      Graph->find(SubobjectKey{{H.findClass("A"), H.findClass("B")}, E});
+  SubobjectId C =
+      Graph->find(SubobjectKey{{H.findClass("C"), E}, E});
+  ASSERT_TRUE(B.isValid() && A.isValid() && C.isValid());
+  EXPECT_TRUE(Graph->contains(B, A));
+  EXPECT_FALSE(Graph->contains(B, C));
+  EXPECT_FALSE(Graph->contains(A, B));
+}
+
+TEST(SubobjectGraphTest, ReachableFromAgreesWithContains) {
+  Hierarchy H = makeFigure3();
+  auto Graph = SubobjectGraph::build(H, H.findClass("H"));
+  ASSERT_TRUE(Graph);
+  for (uint32_t I = 0; I != Graph->numSubobjects(); ++I) {
+    BitVector Reach = Graph->reachableFrom(SubobjectId(I));
+    for (uint32_t J = 0; J != Graph->numSubobjects(); ++J)
+      EXPECT_EQ(Reach.test(J),
+                Graph->contains(SubobjectId(I), SubobjectId(J)));
+  }
+}
+
+TEST(SubobjectGraphTest, VirtualSharingMergesNodes) {
+  Hierarchy H = makeFigure9();
+  auto Graph = SubobjectGraph::build(H, H.findClass("E"));
+  ASSERT_TRUE(Graph);
+  // Virtual A, B, C, S are shared: exactly one subobject each.
+  for (const char *Name : {"S", "A", "B", "C"})
+    EXPECT_EQ(Graph->countWithLdc(H.findClass(Name)), 1u) << Name;
+}
+
+TEST(SubobjectGraphTest, ExponentialFamilyOverflowsBudget) {
+  Workload W = makeNonVirtualDiamondStack(12);
+  ClassId Top = W.QueryClasses.front();
+  // 2^12 apex subobjects exceed a budget of 1000.
+  EXPECT_FALSE(SubobjectGraph::build(W.H, Top, /*MaxSubobjects=*/1000));
+  // The virtual variant stays tiny.
+  Workload V = makeVirtualDiamondStack(12);
+  auto Graph = SubobjectGraph::build(V.H, V.QueryClasses.front(),
+                                     /*MaxSubobjects=*/1000);
+  ASSERT_TRUE(Graph);
+  EXPECT_LT(Graph->numSubobjects(), 100u);
+}
+
+TEST(SubobjectGraphTest, NonVirtualDiamondStackCountsArePowersOfTwo) {
+  for (uint32_t K = 1; K <= 6; ++K) {
+    Workload W = makeNonVirtualDiamondStack(K);
+    auto Graph = SubobjectGraph::build(W.H, W.QueryClasses.front());
+    ASSERT_TRUE(Graph);
+    EXPECT_EQ(Graph->countWithLdc(W.H.findClass("J0")), 1u << K)
+        << "apex replication at depth " << K;
+  }
+}
+
+TEST(SubobjectGraphTest, FindRejectsForeignKeys) {
+  Hierarchy H = makeFigure1();
+  auto Graph = SubobjectGraph::build(H, H.findClass("E"));
+  ASSERT_TRUE(Graph);
+  // A key whose mdc is not the complete class is never present.
+  SubobjectKey Foreign{{H.findClass("A")}, H.findClass("D")};
+  EXPECT_FALSE(Graph->find(Foreign).isValid());
+}
+
+TEST(SubobjectGraphTest, DotOutputListsAllSubobjects) {
+  Hierarchy H = makeFigure1();
+  auto Graph = SubobjectGraph::build(H, H.findClass("E"));
+  ASSERT_TRUE(Graph);
+  std::ostringstream OS;
+  Graph->writeDot(OS, "fig1c");
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("digraph"), std::string::npos);
+  // Two distinct A subobjects appear with distinct canonical names.
+  EXPECT_NE(Out.find("ABCE"), std::string::npos);
+  EXPECT_NE(Out.find("ABDE"), std::string::npos);
+}
+
+TEST(SubobjectGraphTest, DefiningSubobjectsFindsDeclaringLdcs) {
+  Hierarchy H = makeFigure1();
+  auto Graph = SubobjectGraph::build(H, H.findClass("E"));
+  ASSERT_TRUE(Graph);
+  Symbol M = H.findName("m");
+  std::vector<SubobjectId> Defs = Graph->definingSubobjects(M);
+  // Two A subobjects and one D subobject declare m.
+  EXPECT_EQ(Defs.size(), 3u);
+}

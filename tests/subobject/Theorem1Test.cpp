@@ -1,0 +1,67 @@
+//===- Theorem1Test.cpp - Experiment E9 ------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Theorem 1: the poset of ~-equivalence classes of CHG paths under the
+/// paper's dominance relation is isomorphic to the Rossie-Friedman
+/// subobject poset. checkTheorem1 verifies the isomorphism structurally;
+/// this test runs it over the paper's figures, the structured workload
+/// families, and a seeded random sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/subobject/SubobjectGraph.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::testutil;
+
+namespace {
+
+void expectTheorem1Everywhere(const Hierarchy &H, const char *Tag) {
+  for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx) {
+    std::optional<std::string> Violation =
+        checkTheorem1(H, ClassId(Idx), /*MaxPaths=*/1u << 14);
+    EXPECT_FALSE(Violation.has_value())
+        << Tag << ", class " << H.className(ClassId(Idx)) << ": "
+        << *Violation;
+  }
+}
+
+} // namespace
+
+TEST(Theorem1Test, HoldsOnPaperFigures) {
+  expectTheorem1Everywhere(makeFigure1(), "figure1");
+  expectTheorem1Everywhere(makeFigure2(), "figure2");
+  expectTheorem1Everywhere(makeFigure3(), "figure3");
+  expectTheorem1Everywhere(makeFigure9(), "figure9");
+}
+
+TEST(Theorem1Test, HoldsOnStructuredFamilies) {
+  expectTheorem1Everywhere(makeNonVirtualDiamondStack(4).H, "nv-diamonds");
+  expectTheorem1Everywhere(makeVirtualDiamondStack(6).H, "v-diamonds");
+  expectTheorem1Everywhere(makeGrid(3, 3).H, "grid");
+  expectTheorem1Everywhere(makeGrid(3, 3, /*Virtual=*/true).H, "v-grid");
+  expectTheorem1Everywhere(makeIostreamLike().H, "iostream");
+}
+
+class Theorem1RandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem1RandomTest, HoldsOnRandomHierarchies) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 16;
+  Params.AvgBases = 1.8;
+  Params.VirtualEdgeChance = 0.35;
+  Workload W = makeRandomHierarchy(Params, GetParam());
+  expectTheorem1Everywhere(W.H, "random");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1RandomTest,
+                         ::testing::Range<uint64_t>(100, 140));

@@ -1,0 +1,130 @@
+//===- BitVectorTest.cpp ---------------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/support/BitMatrix.h"
+#include "memlook/support/BitVector.h"
+#include "memlook/support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace memlook;
+
+TEST(BitVectorTest, StartsClear) {
+  BitVector V(130);
+  EXPECT_EQ(V.size(), 130u);
+  EXPECT_TRUE(V.none());
+  EXPECT_EQ(V.count(), 0u);
+}
+
+TEST(BitVectorTest, SetAndTestAcrossWordBoundaries) {
+  BitVector V(200);
+  for (size_t Idx : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 199u})
+    V.set(Idx);
+  for (size_t Idx : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 199u})
+    EXPECT_TRUE(V.test(Idx)) << Idx;
+  EXPECT_FALSE(V.test(2));
+  EXPECT_FALSE(V.test(62));
+  EXPECT_FALSE(V.test(66));
+  EXPECT_EQ(V.count(), 8u);
+}
+
+TEST(BitVectorTest, ResetClearsOneBit) {
+  BitVector V(70);
+  V.set(69);
+  V.set(3);
+  V.reset(69);
+  EXPECT_FALSE(V.test(69));
+  EXPECT_TRUE(V.test(3));
+}
+
+TEST(BitVectorTest, UnionMatchesSetSemantics) {
+  Rng Rng(42);
+  BitVector A(300), B(300);
+  std::set<size_t> Expect;
+  for (int I = 0; I != 80; ++I) {
+    size_t Bit = Rng.nextBelow(300);
+    if (I % 2 == 0)
+      A.set(Bit);
+    else
+      B.set(Bit);
+    Expect.insert(Bit);
+  }
+  A |= B;
+  std::set<size_t> Got;
+  A.forEachSetBit([&](size_t Idx) { Got.insert(Idx); });
+  EXPECT_EQ(Got, Expect);
+}
+
+TEST(BitVectorTest, IntersectionKeepsOnlyShared) {
+  BitVector A(100), B(100);
+  A.set(10);
+  A.set(50);
+  A.set(99);
+  B.set(50);
+  B.set(99);
+  B.set(0);
+  A &= B;
+  EXPECT_FALSE(A.test(10));
+  EXPECT_FALSE(A.test(0));
+  EXPECT_TRUE(A.test(50));
+  EXPECT_TRUE(A.test(99));
+  EXPECT_EQ(A.count(), 2u);
+}
+
+TEST(BitVectorTest, ForEachSetBitIsInIncreasingOrder) {
+  BitVector V(256);
+  for (size_t Idx : {200u, 5u, 64u, 63u})
+    V.set(Idx);
+  std::vector<size_t> Order;
+  V.forEachSetBit([&](size_t Idx) { Order.push_back(Idx); });
+  EXPECT_EQ(Order, (std::vector<size_t>{5, 63, 64, 200}));
+}
+
+TEST(BitVectorTest, EqualityComparesContentAndSize) {
+  BitVector A(10), B(10), C(11);
+  A.set(3);
+  B.set(3);
+  EXPECT_EQ(A, B);
+  EXPECT_FALSE(A == C);
+  B.set(4);
+  EXPECT_FALSE(A == B);
+}
+
+TEST(BitVectorTest, ClearResetsEverything) {
+  BitVector V(128);
+  V.set(0);
+  V.set(127);
+  V.clear();
+  EXPECT_TRUE(V.none());
+}
+
+TEST(BitMatrixTest, RowsAreIndependent) {
+  BitMatrix M(4, 100);
+  M.set(1, 42);
+  EXPECT_TRUE(M.test(1, 42));
+  EXPECT_FALSE(M.test(0, 42));
+  EXPECT_FALSE(M.test(2, 42));
+}
+
+TEST(BitMatrixTest, UnionRowsAccumulates) {
+  BitMatrix M(3, 64);
+  M.set(0, 1);
+  M.set(1, 2);
+  M.unionRows(2, 0);
+  M.unionRows(2, 1);
+  EXPECT_TRUE(M.test(2, 1));
+  EXPECT_TRUE(M.test(2, 2));
+  EXPECT_FALSE(M.test(2, 3));
+}
+
+TEST(BitMatrixTest, DimensionsReported) {
+  BitMatrix M(7, 33);
+  EXPECT_EQ(M.rows(), 7u);
+  EXPECT_EQ(M.cols(), 33u);
+}

@@ -1,0 +1,79 @@
+//===- ContractsTest.cpp - API contracts (assertion behavior) ----------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The library asserts its preconditions (the build keeps assertions on
+/// in every configuration); these death tests document the contracts a
+/// client must uphold. Also includes the umbrella-header smoke test.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/memlook.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+
+TEST(ContractsTest, UmbrellaHeaderCoversTheApi) {
+  // Compiling this file through memlook.h is the real test; exercise a
+  // couple of symbols from each layer so nothing is optimized away.
+  HierarchyBuilder B;
+  B.addClass("A").withMember("m");
+  Hierarchy H = std::move(B).build();
+  DominanceLookupEngine Engine(H);
+  EXPECT_EQ(Engine.lookup(H.findClass("A"), "m").Status,
+            LookupStatus::Unambiguous);
+  EXPECT_EQ(countSubobjects(H, H.findClass("A")), 1u);
+  EXPECT_TRUE(runDifferentialCheck(H).passed());
+}
+
+TEST(ContractsDeathTest, FinalizeTwiceAsserts) {
+  Hierarchy H;
+  H.createClass("A");
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(H.finalize(Diags));
+  EXPECT_DEATH(
+      {
+        DiagnosticEngine Again;
+        H.finalize(Again);
+      },
+      "finalize");
+}
+
+TEST(ContractsDeathTest, MutationAfterFinalizeAsserts) {
+  Hierarchy H;
+  ClassId A = H.createClass("A");
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(H.finalize(Diags));
+  EXPECT_DEATH(H.addMember(A, "late"), "after finalize");
+  EXPECT_DEATH(H.createClass("B"), "after finalize");
+}
+
+TEST(ContractsDeathTest, ClosureQueriesRequireFinalize) {
+  Hierarchy H;
+  ClassId A = H.createClass("A");
+  ClassId B = H.createClass("B");
+  H.addBase(B, A);
+  EXPECT_DEATH((void)H.isBaseOf(A, B), "finalize");
+}
+
+TEST(ContractsDeathTest, EngineRequiresFinalizedHierarchy) {
+  Hierarchy H;
+  H.createClass("A");
+  EXPECT_DEATH(DominanceLookupEngine Engine(H), "finalized");
+}
+
+TEST(ContractsDeathTest, InvalidIdAsserts) {
+  EXPECT_DEATH((void)ClassId().index(), "invalid id");
+}
+
+TEST(ContractsDeathTest, PathCalculusRejectsEmptyPaths) {
+  HierarchyBuilder B;
+  B.addClass("A");
+  Hierarchy H = std::move(B).build();
+  Path Empty;
+  EXPECT_DEATH((void)fixedLength(H, Empty), "empty path");
+}

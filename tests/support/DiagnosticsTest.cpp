@@ -1,0 +1,64 @@
+//===- DiagnosticsTest.cpp -------------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace memlook;
+
+TEST(DiagnosticsTest, StartsClean) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 0u);
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(DiagnosticsTest, ErrorsAreCounted) {
+  DiagnosticEngine Diags;
+  Diags.error("first problem");
+  Diags.error(SourceLoc{3, 7}, "second problem");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 2u);
+  EXPECT_EQ(Diags.diagnostics().size(), 2u);
+}
+
+TEST(DiagnosticsTest, WarningsDoNotCountAsErrors) {
+  DiagnosticEngine Diags;
+  Diags.warning(SourceLoc{1, 1}, "suspicious");
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Diags.diagnostics().size(), 1u);
+}
+
+TEST(DiagnosticsTest, PrintIncludesLocationWhenValid) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc{3, 7}, "bad thing");
+  std::ostringstream OS;
+  Diags.print(OS, "input.mlk");
+  EXPECT_EQ(OS.str(), "input.mlk:3:7: error: bad thing\n");
+}
+
+TEST(DiagnosticsTest, PrintOmitsInvalidLocation) {
+  DiagnosticEngine Diags;
+  Diags.error("global problem");
+  std::ostringstream OS;
+  Diags.print(OS, "tool");
+  EXPECT_EQ(OS.str(), "tool: error: global problem\n");
+}
+
+TEST(DiagnosticsTest, SeverityLabels) {
+  EXPECT_STREQ(severityLabel(Severity::Note), "note");
+  EXPECT_STREQ(severityLabel(Severity::Warning), "warning");
+  EXPECT_STREQ(severityLabel(Severity::Error), "error");
+}
+
+TEST(DiagnosticsTest, SourceLocValidity) {
+  EXPECT_FALSE(SourceLoc{}.isValid());
+  EXPECT_TRUE((SourceLoc{1, 0}).isValid());
+}

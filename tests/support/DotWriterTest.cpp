@@ -1,0 +1,61 @@
+//===- DotWriterTest.cpp ---------------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/support/DotWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace memlook;
+
+TEST(DotWriterTest, EmitsDigraphSkeleton) {
+  std::ostringstream OS;
+  { DotWriter W(OS, "g"); }
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("digraph \"g\" {"), std::string::npos);
+  EXPECT_EQ(Out.back(), '\n');
+  EXPECT_NE(Out.find("}\n"), std::string::npos);
+}
+
+TEST(DotWriterTest, NodesAndEdges) {
+  std::ostringstream OS;
+  {
+    DotWriter W(OS, "g");
+    W.node("A", "A label");
+    W.edge("A", "B");
+    W.edge("B", "C", /*Dashed=*/true);
+  }
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("\"A\" [label=\"A label\"];"), std::string::npos);
+  EXPECT_NE(Out.find("\"A\" -> \"B\";"), std::string::npos);
+  EXPECT_NE(Out.find("\"B\" -> \"C\" [style=dashed];"), std::string::npos);
+}
+
+TEST(DotWriterTest, EdgeLabelsAndCombinedAttrs) {
+  std::ostringstream OS;
+  {
+    DotWriter W(OS, "g");
+    W.edge("A", "B", /*Dashed=*/true, "virtual");
+  }
+  EXPECT_NE(OS.str().find("[style=dashed, label=\"virtual\"]"),
+            std::string::npos);
+}
+
+TEST(DotWriterTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(DotWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(DotWriter::escape("plain"), "plain");
+}
+
+TEST(DotWriterTest, ExtraNodeAttrsAppended) {
+  std::ostringstream OS;
+  {
+    DotWriter W(OS, "g");
+    W.node("N", "N", "shape=box");
+  }
+  EXPECT_NE(OS.str().find("[label=\"N\", shape=box];"), std::string::npos);
+}

@@ -1,0 +1,82 @@
+//===- RngTest.cpp ---------------------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Differences = 0;
+  for (int I = 0; I != 32; ++I)
+    if (A.next() != B.next())
+      ++Differences;
+  EXPECT_GT(Differences, 30);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng Rng(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(Rng.nextBelow(13), 13u);
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng Rng(7);
+  for (int I = 0; I != 20; ++I)
+    EXPECT_EQ(Rng.nextBelow(1), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng Rng(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    uint64_t V = Rng.nextInRange(5, 7);
+    EXPECT_GE(V, 5u);
+    EXPECT_LE(V, 7u);
+    SawLo |= (V == 5);
+    SawHi |= (V == 7);
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, UnitIsInHalfOpenInterval) {
+  Rng Rng(11);
+  for (int I = 0; I != 1000; ++I) {
+    double U = Rng.nextUnit();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng Rng(13);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_FALSE(Rng.nextChance(0, 10));
+    EXPECT_TRUE(Rng.nextChance(10, 10));
+  }
+}
+
+TEST(RngTest, RoughlyUniformBuckets) {
+  Rng Rng(17);
+  int Buckets[4] = {0, 0, 0, 0};
+  constexpr int Draws = 40000;
+  for (int I = 0; I != Draws; ++I)
+    ++Buckets[Rng.nextBelow(4)];
+  for (int Count : Buckets) {
+    EXPECT_GT(Count, Draws / 4 - Draws / 20);
+    EXPECT_LT(Count, Draws / 4 + Draws / 20);
+  }
+}

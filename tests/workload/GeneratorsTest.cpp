@@ -1,0 +1,186 @@
+//===- GeneratorsTest.cpp --------------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/workload/Generators.h"
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/SubobjectLookupEngine.h"
+#include "memlook/subobject/SubobjectGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+
+TEST(GeneratorsTest, ChainShape) {
+  Workload W = makeChain(10, 3);
+  EXPECT_EQ(W.H.numClasses(), 10u);
+  EXPECT_EQ(W.H.numEdges(), 9u);
+  ASSERT_EQ(W.QueryClasses.size(), 1u);
+  EXPECT_EQ(W.H.className(W.QueryClasses.front()), "C9");
+  // Declared in C0, C3, C6, C9.
+  EXPECT_EQ(W.H.numMemberDecls(), 4u);
+}
+
+TEST(GeneratorsTest, ChainLookupsResolveToNearestDeclaration) {
+  Workload W = makeChain(10, 3);
+  DominanceLookupEngine Engine(W.H);
+  LookupResult R = Engine.lookup(W.H.findClass("C8"), "m");
+  ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.DefiningClass, W.H.findClass("C6"));
+}
+
+TEST(GeneratorsTest, DiamondStackSizes) {
+  Workload NV = makeNonVirtualDiamondStack(5);
+  EXPECT_EQ(NV.H.numClasses(), 1u + 3 * 5);
+  EXPECT_EQ(NV.H.numEdges(), 4u * 5);
+  Workload V = makeVirtualDiamondStack(5);
+  EXPECT_EQ(V.H.numClasses(), NV.H.numClasses());
+}
+
+TEST(GeneratorsTest, NonVirtualDiamondAmbiguityProfile) {
+  Workload Plain = makeNonVirtualDiamondStack(4);
+  DominanceLookupEngine E1(Plain.H);
+  EXPECT_EQ(E1.lookup(Plain.H.findClass("J4"), "m").Status,
+            LookupStatus::Ambiguous);
+
+  Workload Redeclared = makeNonVirtualDiamondStack(4, true);
+  DominanceLookupEngine E2(Redeclared.H);
+  LookupResult R = E2.lookup(Redeclared.H.findClass("J4"), "m");
+  ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.DefiningClass, Redeclared.H.findClass("J4"));
+}
+
+TEST(GeneratorsTest, VirtualDiamondIsAmbiguityFree) {
+  Workload W = makeVirtualDiamondStack(6);
+  DominanceLookupEngine Engine(W.H);
+  for (uint32_t Idx = 0; Idx != W.H.numClasses(); ++Idx)
+    EXPECT_NE(Engine.lookup(ClassId(Idx), "m").Status,
+              LookupStatus::Ambiguous)
+        << W.H.className(ClassId(Idx));
+}
+
+TEST(GeneratorsTest, GridShapeAndAmbiguity) {
+  Workload W = makeGrid(3, 4);
+  EXPECT_EQ(W.H.numClasses(), 12u);
+  // Edges: vertical 2*4 + horizontal 3*3.
+  EXPECT_EQ(W.H.numEdges(), 17u);
+  DominanceLookupEngine Engine(W.H);
+  EXPECT_EQ(Engine.lookup(W.QueryClasses.front(), "m").Status,
+            LookupStatus::Ambiguous);
+
+  Workload Row = makeGrid(1, 6);
+  DominanceLookupEngine RowEngine(Row.H);
+  EXPECT_EQ(RowEngine.lookup(Row.QueryClasses.front(), "m").Status,
+            LookupStatus::Unambiguous);
+}
+
+TEST(GeneratorsTest, VirtualGridSubobjectsStaySmall) {
+  Workload W = makeGrid(4, 4, /*Virtual=*/true);
+  auto Graph = SubobjectGraph::build(W.H, W.QueryClasses.front(),
+                                     /*MaxSubobjects=*/100000);
+  ASSERT_TRUE(Graph);
+  Workload NV = makeGrid(4, 4, /*Virtual=*/false);
+  auto NVGraph = SubobjectGraph::build(NV.H, NV.QueryClasses.front(),
+                                       /*MaxSubobjects=*/100000);
+  ASSERT_TRUE(NVGraph);
+  EXPECT_LT(Graph->numSubobjects(), NVGraph->numSubobjects());
+}
+
+TEST(GeneratorsTest, AmbiguityFanGrowsBlueSets) {
+  Workload W = makeAmbiguityFan(6);
+  EXPECT_EQ(W.H.numClasses(), 2u * 6 + 5);
+  DominanceLookupEngine Engine(W.H);
+  Symbol M = W.H.findName("m");
+  // Every spine class is ambiguous, with one more blue element each.
+  for (uint32_t I = 1; I <= 5; ++I) {
+    ClassId C = W.H.findClass("C" + std::to_string(I));
+    const auto &E = Engine.entry(C, M);
+    ASSERT_EQ(E.EntryKind, DominanceLookupEngine::Entry::Kind::Blue)
+        << "C" << I;
+    EXPECT_EQ(E.Blues.size(), I + 1) << "C" << I;
+  }
+}
+
+TEST(GeneratorsTest, AmbiguityFanAgreesWithReference) {
+  Workload W = makeAmbiguityFan(5);
+  DominanceLookupEngine Figure8(W.H);
+  SubobjectLookupEngine Reference(W.H);
+  for (uint32_t Idx = 0; Idx != W.H.numClasses(); ++Idx) {
+    LookupResult A = Figure8.lookup(ClassId(Idx), "m");
+    LookupResult B = Reference.lookup(ClassId(Idx), "m");
+    EXPECT_EQ(A.Status, B.Status) << W.H.className(ClassId(Idx));
+  }
+}
+
+TEST(GeneratorsTest, WideForestShape) {
+  Workload W = makeWideForest(3, 2, 2, 4);
+  // Each tree: 1 + 2 + 4 = 7 classes.
+  EXPECT_EQ(W.H.numClasses(), 21u);
+  EXPECT_EQ(W.QueryClasses.size(), 3u);
+  // m0..m3 declared at roots.
+  EXPECT_EQ(W.H.allMemberNames().size(), 4u);
+}
+
+TEST(GeneratorsTest, RandomHierarchyIsDeterministic) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 30;
+  Workload A = makeRandomHierarchy(Params, 42);
+  Workload B = makeRandomHierarchy(Params, 42);
+  ASSERT_EQ(A.H.numClasses(), B.H.numClasses());
+  EXPECT_EQ(A.H.numEdges(), B.H.numEdges());
+  EXPECT_EQ(A.H.numMemberDecls(), B.H.numMemberDecls());
+  for (uint32_t Idx = 0; Idx != A.H.numClasses(); ++Idx) {
+    const auto &BasesA = A.H.info(ClassId(Idx)).DirectBases;
+    const auto &BasesB = B.H.info(ClassId(Idx)).DirectBases;
+    ASSERT_EQ(BasesA.size(), BasesB.size());
+    for (size_t I = 0; I != BasesA.size(); ++I) {
+      EXPECT_EQ(BasesA[I].Base, BasesB[I].Base);
+      EXPECT_EQ(BasesA[I].Kind, BasesB[I].Kind);
+    }
+  }
+}
+
+TEST(GeneratorsTest, RandomHierarchySeedsDiffer) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 30;
+  Workload A = makeRandomHierarchy(Params, 1);
+  Workload B = makeRandomHierarchy(Params, 2);
+  // Extremely unlikely to coincide in both edge and member counts.
+  EXPECT_TRUE(A.H.numEdges() != B.H.numEdges() ||
+              A.H.numMemberDecls() != B.H.numMemberDecls());
+}
+
+TEST(GeneratorsTest, RandomHierarchyRespectsVirtualChance) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 200;
+  Params.VirtualEdgeChance = 0.0;
+  Workload None = makeRandomHierarchy(Params, 7);
+  for (uint32_t Idx = 0; Idx != None.H.numClasses(); ++Idx)
+    for (const BaseSpecifier &Spec : None.H.info(ClassId(Idx)).DirectBases)
+      EXPECT_EQ(Spec.Kind, InheritanceKind::NonVirtual);
+
+  Params.VirtualEdgeChance = 1.0;
+  Workload All = makeRandomHierarchy(Params, 7);
+  for (uint32_t Idx = 0; Idx != All.H.numClasses(); ++Idx)
+    for (const BaseSpecifier &Spec : All.H.info(ClassId(Idx)).DirectBases)
+      EXPECT_EQ(Spec.Kind, InheritanceKind::Virtual);
+}
+
+TEST(GeneratorsTest, IostreamLikeShape) {
+  Workload W = makeIostreamLike();
+  EXPECT_EQ(W.H.numClasses(), 9u);
+  ClassId Ios = W.H.findClass("basic_ios");
+  ClassId IStream = W.H.findClass("basic_istream");
+  ASSERT_TRUE(Ios.isValid() && IStream.isValid());
+  EXPECT_TRUE(W.H.isVirtualBaseOf(Ios, IStream));
+
+  // The classic sanity check: fstream sees exactly one flags.
+  DominanceLookupEngine Engine(W.H);
+  LookupResult R = Engine.lookup(W.H.findClass("basic_fstream"), "flags");
+  ASSERT_EQ(R.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(R.DefiningClass, W.H.findClass("ios_base"));
+}
