@@ -1,0 +1,79 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "memlook::memlook_support" for configuration "RelWithDebInfo"
+set_property(TARGET memlook::memlook_support APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(memlook::memlook_support PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmemlook_support.a"
+  )
+
+list(APPEND _cmake_import_check_targets memlook::memlook_support )
+list(APPEND _cmake_import_check_files_for_memlook::memlook_support "${_IMPORT_PREFIX}/lib/libmemlook_support.a" )
+
+# Import target "memlook::memlook_chg" for configuration "RelWithDebInfo"
+set_property(TARGET memlook::memlook_chg APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(memlook::memlook_chg PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmemlook_chg.a"
+  )
+
+list(APPEND _cmake_import_check_targets memlook::memlook_chg )
+list(APPEND _cmake_import_check_files_for_memlook::memlook_chg "${_IMPORT_PREFIX}/lib/libmemlook_chg.a" )
+
+# Import target "memlook::memlook_subobject" for configuration "RelWithDebInfo"
+set_property(TARGET memlook::memlook_subobject APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(memlook::memlook_subobject PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmemlook_subobject.a"
+  )
+
+list(APPEND _cmake_import_check_targets memlook::memlook_subobject )
+list(APPEND _cmake_import_check_files_for_memlook::memlook_subobject "${_IMPORT_PREFIX}/lib/libmemlook_subobject.a" )
+
+# Import target "memlook::memlook_core" for configuration "RelWithDebInfo"
+set_property(TARGET memlook::memlook_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(memlook::memlook_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmemlook_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets memlook::memlook_core )
+list(APPEND _cmake_import_check_files_for_memlook::memlook_core "${_IMPORT_PREFIX}/lib/libmemlook_core.a" )
+
+# Import target "memlook::memlook_frontend" for configuration "RelWithDebInfo"
+set_property(TARGET memlook::memlook_frontend APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(memlook::memlook_frontend PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmemlook_frontend.a"
+  )
+
+list(APPEND _cmake_import_check_targets memlook::memlook_frontend )
+list(APPEND _cmake_import_check_files_for_memlook::memlook_frontend "${_IMPORT_PREFIX}/lib/libmemlook_frontend.a" )
+
+# Import target "memlook::memlook_apps" for configuration "RelWithDebInfo"
+set_property(TARGET memlook::memlook_apps APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(memlook::memlook_apps PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmemlook_apps.a"
+  )
+
+list(APPEND _cmake_import_check_targets memlook::memlook_apps )
+list(APPEND _cmake_import_check_files_for_memlook::memlook_apps "${_IMPORT_PREFIX}/lib/libmemlook_apps.a" )
+
+# Import target "memlook::memlook_workload" for configuration "RelWithDebInfo"
+set_property(TARGET memlook::memlook_workload APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(memlook::memlook_workload PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmemlook_workload.a"
+  )
+
+list(APPEND _cmake_import_check_targets memlook::memlook_workload )
+list(APPEND _cmake_import_check_files_for_memlook::memlook_workload "${_IMPORT_PREFIX}/lib/libmemlook_workload.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compiler_workload.dir/bench_compiler_workload.cpp.o"
+  "CMakeFiles/bench_compiler_workload.dir/bench_compiler_workload.cpp.o.d"
+  "bench_compiler_workload"
+  "bench_compiler_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compiler_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frontend.dir/bench_frontend.cpp.o"
+  "CMakeFiles/bench_frontend.dir/bench_frontend.cpp.o.d"
+  "bench_frontend"
+  "bench_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

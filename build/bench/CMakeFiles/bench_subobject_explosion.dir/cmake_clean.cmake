@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subobject_explosion.dir/bench_subobject_explosion.cpp.o"
+  "CMakeFiles/bench_subobject_explosion.dir/bench_subobject_explosion.cpp.o.d"
+  "bench_subobject_explosion"
+  "bench_subobject_explosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subobject_explosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tabulation.dir/bench_tabulation.cpp.o"
+  "CMakeFiles/bench_tabulation.dir/bench_tabulation.cpp.o.d"
+  "bench_tabulation"
+  "bench_tabulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tabulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gxx_counterexample.dir/gxx_counterexample.cpp.o"
+  "CMakeFiles/gxx_counterexample.dir/gxx_counterexample.cpp.o.d"
+  "gxx_counterexample"
+  "gxx_counterexample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gxx_counterexample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

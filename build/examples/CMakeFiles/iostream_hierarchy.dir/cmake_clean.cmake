@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iostream_hierarchy.dir/iostream_hierarchy.cpp.o"
+  "CMakeFiles/iostream_hierarchy.dir/iostream_hierarchy.cpp.o.d"
+  "iostream_hierarchy"
+  "iostream_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iostream_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookup_tool.dir/lookup_tool.cpp.o"
+  "CMakeFiles/lookup_tool.dir/lookup_tool.cpp.o.d"
+  "lookup_tool"
+  "lookup_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookup_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

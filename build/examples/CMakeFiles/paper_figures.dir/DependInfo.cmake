@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/paper_figures.cpp" "examples/CMakeFiles/paper_figures.dir/paper_figures.cpp.o" "gcc" "examples/CMakeFiles/paper_figures.dir/paper_figures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/memlook_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/memlook_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/memlook_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/memlook_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/subobject/CMakeFiles/memlook_subobject.dir/DependInfo.cmake"
+  "/root/repo/build/src/chg/CMakeFiles/memlook_chg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/memlook_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

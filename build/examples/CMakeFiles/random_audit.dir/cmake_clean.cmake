@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_audit.dir/random_audit.cpp.o"
+  "CMakeFiles/random_audit.dir/random_audit.cpp.o.d"
+  "random_audit"
+  "random_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/CompleteObjectVTables.cpp" "src/apps/CMakeFiles/memlook_apps.dir/CompleteObjectVTables.cpp.o" "gcc" "src/apps/CMakeFiles/memlook_apps.dir/CompleteObjectVTables.cpp.o.d"
+  "/root/repo/src/apps/HierarchySlicer.cpp" "src/apps/CMakeFiles/memlook_apps.dir/HierarchySlicer.cpp.o" "gcc" "src/apps/CMakeFiles/memlook_apps.dir/HierarchySlicer.cpp.o.d"
+  "/root/repo/src/apps/ObjectLayout.cpp" "src/apps/CMakeFiles/memlook_apps.dir/ObjectLayout.cpp.o" "gcc" "src/apps/CMakeFiles/memlook_apps.dir/ObjectLayout.cpp.o.d"
+  "/root/repo/src/apps/VTableBuilder.cpp" "src/apps/CMakeFiles/memlook_apps.dir/VTableBuilder.cpp.o" "gcc" "src/apps/CMakeFiles/memlook_apps.dir/VTableBuilder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/memlook_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/subobject/CMakeFiles/memlook_subobject.dir/DependInfo.cmake"
+  "/root/repo/build/src/chg/CMakeFiles/memlook_chg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/memlook_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlook_apps.dir/CompleteObjectVTables.cpp.o"
+  "CMakeFiles/memlook_apps.dir/CompleteObjectVTables.cpp.o.d"
+  "CMakeFiles/memlook_apps.dir/HierarchySlicer.cpp.o"
+  "CMakeFiles/memlook_apps.dir/HierarchySlicer.cpp.o.d"
+  "CMakeFiles/memlook_apps.dir/ObjectLayout.cpp.o"
+  "CMakeFiles/memlook_apps.dir/ObjectLayout.cpp.o.d"
+  "CMakeFiles/memlook_apps.dir/VTableBuilder.cpp.o"
+  "CMakeFiles/memlook_apps.dir/VTableBuilder.cpp.o.d"
+  "libmemlook_apps.a"
+  "libmemlook_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlook_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

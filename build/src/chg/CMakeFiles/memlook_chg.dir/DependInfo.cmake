@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chg/DotExport.cpp" "src/chg/CMakeFiles/memlook_chg.dir/DotExport.cpp.o" "gcc" "src/chg/CMakeFiles/memlook_chg.dir/DotExport.cpp.o.d"
+  "/root/repo/src/chg/Hierarchy.cpp" "src/chg/CMakeFiles/memlook_chg.dir/Hierarchy.cpp.o" "gcc" "src/chg/CMakeFiles/memlook_chg.dir/Hierarchy.cpp.o.d"
+  "/root/repo/src/chg/HierarchyBuilder.cpp" "src/chg/CMakeFiles/memlook_chg.dir/HierarchyBuilder.cpp.o" "gcc" "src/chg/CMakeFiles/memlook_chg.dir/HierarchyBuilder.cpp.o.d"
+  "/root/repo/src/chg/Path.cpp" "src/chg/CMakeFiles/memlook_chg.dir/Path.cpp.o" "gcc" "src/chg/CMakeFiles/memlook_chg.dir/Path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/memlook_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlook_chg.dir/DotExport.cpp.o"
+  "CMakeFiles/memlook_chg.dir/DotExport.cpp.o.d"
+  "CMakeFiles/memlook_chg.dir/Hierarchy.cpp.o"
+  "CMakeFiles/memlook_chg.dir/Hierarchy.cpp.o.d"
+  "CMakeFiles/memlook_chg.dir/HierarchyBuilder.cpp.o"
+  "CMakeFiles/memlook_chg.dir/HierarchyBuilder.cpp.o.d"
+  "CMakeFiles/memlook_chg.dir/Path.cpp.o"
+  "CMakeFiles/memlook_chg.dir/Path.cpp.o.d"
+  "libmemlook_chg.a"
+  "libmemlook_chg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlook_chg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AccessControl.cpp" "src/core/CMakeFiles/memlook_core.dir/AccessControl.cpp.o" "gcc" "src/core/CMakeFiles/memlook_core.dir/AccessControl.cpp.o.d"
+  "/root/repo/src/core/DifferentialCheck.cpp" "src/core/CMakeFiles/memlook_core.dir/DifferentialCheck.cpp.o" "gcc" "src/core/CMakeFiles/memlook_core.dir/DifferentialCheck.cpp.o.d"
+  "/root/repo/src/core/DominanceLookupEngine.cpp" "src/core/CMakeFiles/memlook_core.dir/DominanceLookupEngine.cpp.o" "gcc" "src/core/CMakeFiles/memlook_core.dir/DominanceLookupEngine.cpp.o.d"
+  "/root/repo/src/core/ExplainAmbiguity.cpp" "src/core/CMakeFiles/memlook_core.dir/ExplainAmbiguity.cpp.o" "gcc" "src/core/CMakeFiles/memlook_core.dir/ExplainAmbiguity.cpp.o.d"
+  "/root/repo/src/core/GxxBfsEngine.cpp" "src/core/CMakeFiles/memlook_core.dir/GxxBfsEngine.cpp.o" "gcc" "src/core/CMakeFiles/memlook_core.dir/GxxBfsEngine.cpp.o.d"
+  "/root/repo/src/core/LookupEngine.cpp" "src/core/CMakeFiles/memlook_core.dir/LookupEngine.cpp.o" "gcc" "src/core/CMakeFiles/memlook_core.dir/LookupEngine.cpp.o.d"
+  "/root/repo/src/core/LookupResult.cpp" "src/core/CMakeFiles/memlook_core.dir/LookupResult.cpp.o" "gcc" "src/core/CMakeFiles/memlook_core.dir/LookupResult.cpp.o.d"
+  "/root/repo/src/core/MostDominant.cpp" "src/core/CMakeFiles/memlook_core.dir/MostDominant.cpp.o" "gcc" "src/core/CMakeFiles/memlook_core.dir/MostDominant.cpp.o.d"
+  "/root/repo/src/core/NaivePropagationEngine.cpp" "src/core/CMakeFiles/memlook_core.dir/NaivePropagationEngine.cpp.o" "gcc" "src/core/CMakeFiles/memlook_core.dir/NaivePropagationEngine.cpp.o.d"
+  "/root/repo/src/core/QualifiedLookup.cpp" "src/core/CMakeFiles/memlook_core.dir/QualifiedLookup.cpp.o" "gcc" "src/core/CMakeFiles/memlook_core.dir/QualifiedLookup.cpp.o.d"
+  "/root/repo/src/core/SubobjectLookupEngine.cpp" "src/core/CMakeFiles/memlook_core.dir/SubobjectLookupEngine.cpp.o" "gcc" "src/core/CMakeFiles/memlook_core.dir/SubobjectLookupEngine.cpp.o.d"
+  "/root/repo/src/core/TableStatistics.cpp" "src/core/CMakeFiles/memlook_core.dir/TableStatistics.cpp.o" "gcc" "src/core/CMakeFiles/memlook_core.dir/TableStatistics.cpp.o.d"
+  "/root/repo/src/core/TopsortShortcutEngine.cpp" "src/core/CMakeFiles/memlook_core.dir/TopsortShortcutEngine.cpp.o" "gcc" "src/core/CMakeFiles/memlook_core.dir/TopsortShortcutEngine.cpp.o.d"
+  "/root/repo/src/core/UnqualifiedLookup.cpp" "src/core/CMakeFiles/memlook_core.dir/UnqualifiedLookup.cpp.o" "gcc" "src/core/CMakeFiles/memlook_core.dir/UnqualifiedLookup.cpp.o.d"
+  "/root/repo/src/core/UsingDeclarations.cpp" "src/core/CMakeFiles/memlook_core.dir/UsingDeclarations.cpp.o" "gcc" "src/core/CMakeFiles/memlook_core.dir/UsingDeclarations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chg/CMakeFiles/memlook_chg.dir/DependInfo.cmake"
+  "/root/repo/build/src/subobject/CMakeFiles/memlook_subobject.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/memlook_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlook_core.dir/AccessControl.cpp.o"
+  "CMakeFiles/memlook_core.dir/AccessControl.cpp.o.d"
+  "CMakeFiles/memlook_core.dir/DifferentialCheck.cpp.o"
+  "CMakeFiles/memlook_core.dir/DifferentialCheck.cpp.o.d"
+  "CMakeFiles/memlook_core.dir/DominanceLookupEngine.cpp.o"
+  "CMakeFiles/memlook_core.dir/DominanceLookupEngine.cpp.o.d"
+  "CMakeFiles/memlook_core.dir/ExplainAmbiguity.cpp.o"
+  "CMakeFiles/memlook_core.dir/ExplainAmbiguity.cpp.o.d"
+  "CMakeFiles/memlook_core.dir/GxxBfsEngine.cpp.o"
+  "CMakeFiles/memlook_core.dir/GxxBfsEngine.cpp.o.d"
+  "CMakeFiles/memlook_core.dir/LookupEngine.cpp.o"
+  "CMakeFiles/memlook_core.dir/LookupEngine.cpp.o.d"
+  "CMakeFiles/memlook_core.dir/LookupResult.cpp.o"
+  "CMakeFiles/memlook_core.dir/LookupResult.cpp.o.d"
+  "CMakeFiles/memlook_core.dir/MostDominant.cpp.o"
+  "CMakeFiles/memlook_core.dir/MostDominant.cpp.o.d"
+  "CMakeFiles/memlook_core.dir/NaivePropagationEngine.cpp.o"
+  "CMakeFiles/memlook_core.dir/NaivePropagationEngine.cpp.o.d"
+  "CMakeFiles/memlook_core.dir/QualifiedLookup.cpp.o"
+  "CMakeFiles/memlook_core.dir/QualifiedLookup.cpp.o.d"
+  "CMakeFiles/memlook_core.dir/SubobjectLookupEngine.cpp.o"
+  "CMakeFiles/memlook_core.dir/SubobjectLookupEngine.cpp.o.d"
+  "CMakeFiles/memlook_core.dir/TableStatistics.cpp.o"
+  "CMakeFiles/memlook_core.dir/TableStatistics.cpp.o.d"
+  "CMakeFiles/memlook_core.dir/TopsortShortcutEngine.cpp.o"
+  "CMakeFiles/memlook_core.dir/TopsortShortcutEngine.cpp.o.d"
+  "CMakeFiles/memlook_core.dir/UnqualifiedLookup.cpp.o"
+  "CMakeFiles/memlook_core.dir/UnqualifiedLookup.cpp.o.d"
+  "CMakeFiles/memlook_core.dir/UsingDeclarations.cpp.o"
+  "CMakeFiles/memlook_core.dir/UsingDeclarations.cpp.o.d"
+  "libmemlook_core.a"
+  "libmemlook_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlook_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlook_frontend.dir/CodeResolution.cpp.o"
+  "CMakeFiles/memlook_frontend.dir/CodeResolution.cpp.o.d"
+  "CMakeFiles/memlook_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/memlook_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/memlook_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/memlook_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/memlook_frontend.dir/SourcePrinter.cpp.o"
+  "CMakeFiles/memlook_frontend.dir/SourcePrinter.cpp.o.d"
+  "libmemlook_frontend.a"
+  "libmemlook_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlook_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

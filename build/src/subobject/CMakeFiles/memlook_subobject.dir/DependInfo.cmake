@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/subobject/SubobjectCount.cpp" "src/subobject/CMakeFiles/memlook_subobject.dir/SubobjectCount.cpp.o" "gcc" "src/subobject/CMakeFiles/memlook_subobject.dir/SubobjectCount.cpp.o.d"
+  "/root/repo/src/subobject/SubobjectGraph.cpp" "src/subobject/CMakeFiles/memlook_subobject.dir/SubobjectGraph.cpp.o" "gcc" "src/subobject/CMakeFiles/memlook_subobject.dir/SubobjectGraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chg/CMakeFiles/memlook_chg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/memlook_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlook_subobject.dir/SubobjectCount.cpp.o"
+  "CMakeFiles/memlook_subobject.dir/SubobjectCount.cpp.o.d"
+  "CMakeFiles/memlook_subobject.dir/SubobjectGraph.cpp.o"
+  "CMakeFiles/memlook_subobject.dir/SubobjectGraph.cpp.o.d"
+  "libmemlook_subobject.a"
+  "libmemlook_subobject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlook_subobject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

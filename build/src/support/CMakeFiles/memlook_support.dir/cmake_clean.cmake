@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlook_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/memlook_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/memlook_support.dir/DotWriter.cpp.o"
+  "CMakeFiles/memlook_support.dir/DotWriter.cpp.o.d"
+  "CMakeFiles/memlook_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/memlook_support.dir/StringInterner.cpp.o.d"
+  "CMakeFiles/memlook_support.dir/TopologicalSort.cpp.o"
+  "CMakeFiles/memlook_support.dir/TopologicalSort.cpp.o.d"
+  "libmemlook_support.a"
+  "libmemlook_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlook_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

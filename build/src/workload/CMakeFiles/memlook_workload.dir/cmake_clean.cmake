@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlook_workload.dir/Generators.cpp.o"
+  "CMakeFiles/memlook_workload.dir/Generators.cpp.o.d"
+  "libmemlook_workload.a"
+  "libmemlook_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlook_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlook_apps_tests.dir/apps/CompleteObjectVTablesTest.cpp.o"
+  "CMakeFiles/memlook_apps_tests.dir/apps/CompleteObjectVTablesTest.cpp.o.d"
+  "CMakeFiles/memlook_apps_tests.dir/apps/HierarchySlicerTest.cpp.o"
+  "CMakeFiles/memlook_apps_tests.dir/apps/HierarchySlicerTest.cpp.o.d"
+  "CMakeFiles/memlook_apps_tests.dir/apps/ObjectLayoutTest.cpp.o"
+  "CMakeFiles/memlook_apps_tests.dir/apps/ObjectLayoutTest.cpp.o.d"
+  "CMakeFiles/memlook_apps_tests.dir/apps/VTableBuilderTest.cpp.o"
+  "CMakeFiles/memlook_apps_tests.dir/apps/VTableBuilderTest.cpp.o.d"
+  "memlook_apps_tests"
+  "memlook_apps_tests.pdb"
+  "memlook_apps_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlook_apps_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for memlook_apps_tests.
+# This may be replaced when dependencies are built.

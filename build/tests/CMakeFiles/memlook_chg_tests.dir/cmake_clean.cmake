@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlook_chg_tests.dir/chg/ClosureBruteForceTest.cpp.o"
+  "CMakeFiles/memlook_chg_tests.dir/chg/ClosureBruteForceTest.cpp.o.d"
+  "CMakeFiles/memlook_chg_tests.dir/chg/DominanceLawsTest.cpp.o"
+  "CMakeFiles/memlook_chg_tests.dir/chg/DominanceLawsTest.cpp.o.d"
+  "CMakeFiles/memlook_chg_tests.dir/chg/DotExportTest.cpp.o"
+  "CMakeFiles/memlook_chg_tests.dir/chg/DotExportTest.cpp.o.d"
+  "CMakeFiles/memlook_chg_tests.dir/chg/HierarchyBuilderTest.cpp.o"
+  "CMakeFiles/memlook_chg_tests.dir/chg/HierarchyBuilderTest.cpp.o.d"
+  "CMakeFiles/memlook_chg_tests.dir/chg/HierarchyTest.cpp.o"
+  "CMakeFiles/memlook_chg_tests.dir/chg/HierarchyTest.cpp.o.d"
+  "CMakeFiles/memlook_chg_tests.dir/chg/PathCalculusTest.cpp.o"
+  "CMakeFiles/memlook_chg_tests.dir/chg/PathCalculusTest.cpp.o.d"
+  "memlook_chg_tests"
+  "memlook_chg_tests.pdb"
+  "memlook_chg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlook_chg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

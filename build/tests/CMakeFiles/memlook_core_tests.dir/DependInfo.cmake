@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/AccessTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/AccessTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/AccessTest.cpp.o.d"
+  "/root/repo/tests/core/DifferentialCheckTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/DifferentialCheckTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/DifferentialCheckTest.cpp.o.d"
+  "/root/repo/tests/core/DifferentialTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/DifferentialTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/DifferentialTest.cpp.o.d"
+  "/root/repo/tests/core/DynStatTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/DynStatTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/DynStatTest.cpp.o.d"
+  "/root/repo/tests/core/ExplainAmbiguityTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/ExplainAmbiguityTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/ExplainAmbiguityTest.cpp.o.d"
+  "/root/repo/tests/core/Figure8Test.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/Figure8Test.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/Figure8Test.cpp.o.d"
+  "/root/repo/tests/core/GxxCounterexampleTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/GxxCounterexampleTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/GxxCounterexampleTest.cpp.o.d"
+  "/root/repo/tests/core/KillingTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/KillingTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/KillingTest.cpp.o.d"
+  "/root/repo/tests/core/LookupResultTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/LookupResultTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/LookupResultTest.cpp.o.d"
+  "/root/repo/tests/core/OverflowBehaviorTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/OverflowBehaviorTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/OverflowBehaviorTest.cpp.o.d"
+  "/root/repo/tests/core/PaperFiguresTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/PaperFiguresTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/PaperFiguresTest.cpp.o.d"
+  "/root/repo/tests/core/PropagationTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/PropagationTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/PropagationTest.cpp.o.d"
+  "/root/repo/tests/core/QualifiedLookupTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/QualifiedLookupTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/QualifiedLookupTest.cpp.o.d"
+  "/root/repo/tests/core/StaticMembersTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/StaticMembersTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/StaticMembersTest.cpp.o.d"
+  "/root/repo/tests/core/StressTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/StressTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/StressTest.cpp.o.d"
+  "/root/repo/tests/core/TableStatisticsTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/TableStatisticsTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/TableStatisticsTest.cpp.o.d"
+  "/root/repo/tests/core/TabulationModesTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/TabulationModesTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/TabulationModesTest.cpp.o.d"
+  "/root/repo/tests/core/TopsortShortcutTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/TopsortShortcutTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/TopsortShortcutTest.cpp.o.d"
+  "/root/repo/tests/core/UnqualifiedTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/UnqualifiedTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/UnqualifiedTest.cpp.o.d"
+  "/root/repo/tests/core/UsingDeclarationsTest.cpp" "tests/CMakeFiles/memlook_core_tests.dir/core/UsingDeclarationsTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_core_tests.dir/core/UsingDeclarationsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/memlook_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/chg/CMakeFiles/memlook_chg.dir/DependInfo.cmake"
+  "/root/repo/build/src/subobject/CMakeFiles/memlook_subobject.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/memlook_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/memlook_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/memlook_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/memlook_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlook_frontend_tests.dir/frontend/CodeResolutionTest.cpp.o"
+  "CMakeFiles/memlook_frontend_tests.dir/frontend/CodeResolutionTest.cpp.o.d"
+  "CMakeFiles/memlook_frontend_tests.dir/frontend/CorpusTest.cpp.o"
+  "CMakeFiles/memlook_frontend_tests.dir/frontend/CorpusTest.cpp.o.d"
+  "CMakeFiles/memlook_frontend_tests.dir/frontend/LexerTest.cpp.o"
+  "CMakeFiles/memlook_frontend_tests.dir/frontend/LexerTest.cpp.o.d"
+  "CMakeFiles/memlook_frontend_tests.dir/frontend/ParserTest.cpp.o"
+  "CMakeFiles/memlook_frontend_tests.dir/frontend/ParserTest.cpp.o.d"
+  "CMakeFiles/memlook_frontend_tests.dir/frontend/SourcePrinterTest.cpp.o"
+  "CMakeFiles/memlook_frontend_tests.dir/frontend/SourcePrinterTest.cpp.o.d"
+  "memlook_frontend_tests"
+  "memlook_frontend_tests.pdb"
+  "memlook_frontend_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlook_frontend_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlook_subobject_tests.dir/subobject/ComposeKeysTest.cpp.o"
+  "CMakeFiles/memlook_subobject_tests.dir/subobject/ComposeKeysTest.cpp.o.d"
+  "CMakeFiles/memlook_subobject_tests.dir/subobject/DefnsTest.cpp.o"
+  "CMakeFiles/memlook_subobject_tests.dir/subobject/DefnsTest.cpp.o.d"
+  "CMakeFiles/memlook_subobject_tests.dir/subobject/SubobjectCountTest.cpp.o"
+  "CMakeFiles/memlook_subobject_tests.dir/subobject/SubobjectCountTest.cpp.o.d"
+  "CMakeFiles/memlook_subobject_tests.dir/subobject/SubobjectGraphTest.cpp.o"
+  "CMakeFiles/memlook_subobject_tests.dir/subobject/SubobjectGraphTest.cpp.o.d"
+  "CMakeFiles/memlook_subobject_tests.dir/subobject/Theorem1Test.cpp.o"
+  "CMakeFiles/memlook_subobject_tests.dir/subobject/Theorem1Test.cpp.o.d"
+  "memlook_subobject_tests"
+  "memlook_subobject_tests.pdb"
+  "memlook_subobject_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlook_subobject_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/BitVectorTest.cpp" "tests/CMakeFiles/memlook_support_tests.dir/support/BitVectorTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_support_tests.dir/support/BitVectorTest.cpp.o.d"
+  "/root/repo/tests/support/ContractsTest.cpp" "tests/CMakeFiles/memlook_support_tests.dir/support/ContractsTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_support_tests.dir/support/ContractsTest.cpp.o.d"
+  "/root/repo/tests/support/DiagnosticsTest.cpp" "tests/CMakeFiles/memlook_support_tests.dir/support/DiagnosticsTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_support_tests.dir/support/DiagnosticsTest.cpp.o.d"
+  "/root/repo/tests/support/DotWriterTest.cpp" "tests/CMakeFiles/memlook_support_tests.dir/support/DotWriterTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_support_tests.dir/support/DotWriterTest.cpp.o.d"
+  "/root/repo/tests/support/RngTest.cpp" "tests/CMakeFiles/memlook_support_tests.dir/support/RngTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_support_tests.dir/support/RngTest.cpp.o.d"
+  "/root/repo/tests/support/StringInternerTest.cpp" "tests/CMakeFiles/memlook_support_tests.dir/support/StringInternerTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_support_tests.dir/support/StringInternerTest.cpp.o.d"
+  "/root/repo/tests/support/TopologicalSortTest.cpp" "tests/CMakeFiles/memlook_support_tests.dir/support/TopologicalSortTest.cpp.o" "gcc" "tests/CMakeFiles/memlook_support_tests.dir/support/TopologicalSortTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/memlook_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/chg/CMakeFiles/memlook_chg.dir/DependInfo.cmake"
+  "/root/repo/build/src/subobject/CMakeFiles/memlook_subobject.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/memlook_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/memlook_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/memlook_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/memlook_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlook_support_tests.dir/support/BitVectorTest.cpp.o"
+  "CMakeFiles/memlook_support_tests.dir/support/BitVectorTest.cpp.o.d"
+  "CMakeFiles/memlook_support_tests.dir/support/ContractsTest.cpp.o"
+  "CMakeFiles/memlook_support_tests.dir/support/ContractsTest.cpp.o.d"
+  "CMakeFiles/memlook_support_tests.dir/support/DiagnosticsTest.cpp.o"
+  "CMakeFiles/memlook_support_tests.dir/support/DiagnosticsTest.cpp.o.d"
+  "CMakeFiles/memlook_support_tests.dir/support/DotWriterTest.cpp.o"
+  "CMakeFiles/memlook_support_tests.dir/support/DotWriterTest.cpp.o.d"
+  "CMakeFiles/memlook_support_tests.dir/support/RngTest.cpp.o"
+  "CMakeFiles/memlook_support_tests.dir/support/RngTest.cpp.o.d"
+  "CMakeFiles/memlook_support_tests.dir/support/StringInternerTest.cpp.o"
+  "CMakeFiles/memlook_support_tests.dir/support/StringInternerTest.cpp.o.d"
+  "CMakeFiles/memlook_support_tests.dir/support/TopologicalSortTest.cpp.o"
+  "CMakeFiles/memlook_support_tests.dir/support/TopologicalSortTest.cpp.o.d"
+  "memlook_support_tests"
+  "memlook_support_tests.pdb"
+  "memlook_support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlook_support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlook_workload_tests.dir/workload/GeneratorsTest.cpp.o"
+  "CMakeFiles/memlook_workload_tests.dir/workload/GeneratorsTest.cpp.o.d"
+  "memlook_workload_tests"
+  "memlook_workload_tests.pdb"
+  "memlook_workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlook_workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

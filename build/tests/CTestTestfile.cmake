@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/memlook_support_tests[1]_include.cmake")
+include("/root/repo/build/tests/memlook_chg_tests[1]_include.cmake")
+include("/root/repo/build/tests/memlook_subobject_tests[1]_include.cmake")
+include("/root/repo/build/tests/memlook_frontend_tests[1]_include.cmake")
+include("/root/repo/build/tests/memlook_apps_tests[1]_include.cmake")
+include("/root/repo/build/tests/memlook_workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/memlook_core_tests[1]_include.cmake")
