@@ -143,6 +143,16 @@ public:
                            SourceLoc Loc = SourceLoc(),
                            DiagnosticEngine *Diags = nullptr);
 
+  /// Non-mutating validation of the graph as described so far: reports
+  /// inheritance cycles and using-declarations that do not name a
+  /// (transitive) base, as structured Diagnostics. Duplicate classes and
+  /// duplicate/conflicting base edges are rejected at insertion time
+  /// (createClass / addBase), so a hierarchy that reached this point can
+  /// only be ill-formed in those two global ways. Returns true iff the
+  /// hierarchy would finalize successfully. Usable before finalize();
+  /// does not change any state.
+  bool validate(DiagnosticEngine &Diags) const;
+
   /// Validates the graph and computes the topological order and the base /
   /// virtual-base closures. Returns false (and reports) on a cycle.
   /// Construction calls are invalid after a successful finalize().

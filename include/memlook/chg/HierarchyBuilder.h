@@ -25,12 +25,21 @@
 #define MEMLOOK_CHG_HIERARCHYBUILDER_H
 
 #include "memlook/chg/Hierarchy.h"
+#include "memlook/support/Status.h"
 
 namespace memlook {
 
 /// Fluent builder over Hierarchy. Errors in the described hierarchy
-/// (unknown base, duplicate class, cycle) are programming errors in the
-/// caller and therefore assert.
+/// (unknown base, duplicate class, cycle) are *recorded* as structured
+/// diagnostics, never asserted: the offending call becomes a no-op and
+/// construction continues, so a whole batch of problems surfaces at
+/// once. Callers choose the failure policy at the end:
+///
+///   * tryBuild() returns Expected<Hierarchy> - the recoverable channel
+///     for untrusted descriptions;
+///   * build() keeps the historical contract for trusted programmatic
+///     callers (tests, generators): any recorded error or validation
+///     failure is a caller bug and asserts.
 class HierarchyBuilder {
 public:
   class ClassHandle;
@@ -44,16 +53,31 @@ public:
   static HierarchyBuilder fromHierarchy(const Hierarchy &Source);
 
   /// Creates class \p Name and returns a handle for attaching bases and
-  /// members.
+  /// members. A duplicate name records a DuplicateClass diagnostic and
+  /// returns an inert handle.
   ClassHandle addClass(std::string_view Name);
 
-  /// Returns a handle to the existing class \p Name (asserts on absence),
-  /// for incremental construction across helper functions.
+  /// Returns a handle to the existing class \p Name, for incremental
+  /// construction across helper functions. An unknown name records an
+  /// UnknownBase diagnostic and returns an inert handle on which every
+  /// fluent call is a no-op.
   ClassHandle getClass(std::string_view Name);
 
   /// Finalizes and returns the hierarchy. Consumes the builder; asserts
-  /// that validation succeeded.
+  /// that no construction error was recorded and validation succeeded.
+  /// For untrusted descriptions use tryBuild() instead.
   Hierarchy build() &&;
+
+  /// Recoverable twin of build(): finalizes and returns the hierarchy,
+  /// or the Status describing the first construction/validation error.
+  /// All diagnostics (including warnings) are appended to \p Diags when
+  /// provided.
+  Expected<Hierarchy> tryBuild(DiagnosticEngine *Diags = nullptr) &&;
+
+  /// Construction errors recorded so far (unknown base, duplicate
+  /// class, conflicting edge, ...). A non-empty error set means build()
+  /// would assert and tryBuild() would return its first error.
+  const DiagnosticEngine &diagnostics() const { return BuildDiags; }
 
   /// Access to the hierarchy under construction (e.g. to pre-intern
   /// names).
@@ -87,8 +111,12 @@ public:
     ClassHandle &withUsing(std::string_view From, std::string_view Name,
                            AccessSpec Access = AccessSpec::Public);
 
-    /// The id of the class being built.
+    /// The id of the class being built; invalid for an inert handle
+    /// (unknown getClass() name or duplicate addClass() name).
     ClassId id() const { return Id; }
+
+    /// False for an inert handle.
+    bool valid() const { return Id.isValid(); }
 
   private:
     friend class HierarchyBuilder;
@@ -101,6 +129,7 @@ public:
 
 private:
   Hierarchy H;
+  DiagnosticEngine BuildDiags;
 };
 
 } // namespace memlook

@@ -20,6 +20,7 @@
 #define MEMLOOK_CORE_DIFFERENTIALCHECK_H
 
 #include "memlook/chg/Hierarchy.h"
+#include "memlook/support/ResourceBudget.h"
 
 #include <cstdint>
 #include <string>
@@ -31,8 +32,10 @@ namespace memlook {
 struct DifferentialReport {
   /// (class, member) pairs compared.
   uint64_t PairsChecked = 0;
-  /// Pairs skipped because a reference engine exceeded its subobject or
-  /// definition budget (the hierarchy is replication-heavy).
+  /// Pairs skipped because a reference engine degraded: it exceeded its
+  /// subobject or definition budget (Overflow: the hierarchy is
+  /// replication-heavy) or tripped its per-lookup step budget / the
+  /// fault injector (Exhausted).
   uint64_t PairsSkipped = 0;
   /// Human-readable description of each disagreement. Empty = engines
   /// agree everywhere.
@@ -47,6 +50,13 @@ struct DifferentialReport {
 /// cannot afford are counted as skipped, not failed.
 DifferentialReport runDifferentialCheck(const Hierarchy &H,
                                         size_t MaxSubobjects = 1u << 18);
+
+/// Budgeted overload: the reference engines run under \p Budget
+/// (including its fault injector, if armed); pairs they cannot afford
+/// are counted as skipped, not failed. The Figure 8 baseline needs no
+/// budget and always answers.
+DifferentialReport runDifferentialCheck(const Hierarchy &H,
+                                        const ResourceBudget &Budget);
 
 } // namespace memlook
 

@@ -1,0 +1,63 @@
+//===- memlook/core/EngineFactory.h - Status-checked engines ----*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recoverable construction path for lookup engines. Engine
+/// constructors assert that their hierarchy is finalized - fine for
+/// programmatic callers, fatal for a service constructing engines over
+/// hierarchies that arrived from outside. createLookupEngine() performs
+/// the readiness check through the Status channel instead, so a
+/// non-finalized (or otherwise unusable) hierarchy is a reportable
+/// error, not an abort. All engines honor the passed ResourceBudget to
+/// the extent their algorithm needs one (the Figure 8 engines need
+/// none - that is the paper's point).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CORE_ENGINEFACTORY_H
+#define MEMLOOK_CORE_ENGINEFACTORY_H
+
+#include "memlook/core/LookupEngine.h"
+#include "memlook/support/ResourceBudget.h"
+#include "memlook/support/Status.h"
+
+#include <memory>
+
+namespace memlook {
+
+/// Every lookup engine the repository implements, addressable by value
+/// so tools and the fuzz harness can iterate over them.
+enum class EngineKind : uint8_t {
+  Figure8Eager,
+  Figure8Lazy,
+  Figure8LazyRecursive,
+  PropagationNaive,
+  PropagationKilling,
+  RossieFriedman,
+  GxxBfs,
+  TopsortShortcut,
+};
+
+/// Returns the engine's display name, e.g. "rossie-friedman".
+const char *engineKindName(EngineKind Kind);
+
+/// Checks that \p H can back a lookup engine: it must be finalized.
+/// (A drafting hierarchy has no topological order or closures; the
+/// constructors assert on it.) Ok, or a NotFinalized error.
+Status validateForLookup(const Hierarchy &H);
+
+/// Constructs the \p Kind engine over \p H through the Status channel:
+/// returns NotFinalized instead of tripping the constructor assert when
+/// \p H is not ready. Reference engines receive \p Budget; the Figure 8
+/// and topsort engines ignore it (they need no budget).
+Expected<std::unique_ptr<LookupEngine>>
+createLookupEngine(EngineKind Kind, const Hierarchy &H,
+                   const ResourceBudget &Budget = ResourceBudget());
+
+} // namespace memlook
+
+#endif // MEMLOOK_CORE_ENGINEFACTORY_H

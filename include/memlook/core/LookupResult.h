@@ -39,10 +39,24 @@ enum class LookupStatus : uint8_t {
   /// is worst-case exponential in the hierarchy size (Section 7.1), which
   /// is precisely the cost the paper's algorithm avoids.
   Overflow,
+  /// The engine gave up mid-lookup because a ResourceBudget step limit
+  /// (or the deterministic fault injector) tripped. Distinct from
+  /// Overflow, which means the engine's *data structure* is structurally
+  /// too large to materialize at all; Exhausted means the work of one
+  /// query ran out of budget. Both degrade gracefully: no answer, but no
+  /// hang, abort, or wrong result.
+  Exhausted,
 };
 
-/// Returns "unambiguous" / "ambiguous" / "not-found" / "overflow".
+/// Returns "unambiguous" / "ambiguous" / "not-found" / "overflow" /
+/// "exhausted".
 const char *lookupStatusLabel(LookupStatus Status);
+
+/// True for the two budget-degradation outcomes (Overflow, Exhausted):
+/// the query was not answered, through no fault of the hierarchy.
+inline bool isBudgetDegraded(LookupStatus Status) {
+  return Status == LookupStatus::Overflow || Status == LookupStatus::Exhausted;
+}
 
 /// Result of looking up member m in the context of class C.
 struct LookupResult {
@@ -83,6 +97,12 @@ struct LookupResult {
   static LookupResult overflow() {
     LookupResult R;
     R.Status = LookupStatus::Overflow;
+    return R;
+  }
+
+  static LookupResult exhausted() {
+    LookupResult R;
+    R.Status = LookupStatus::Exhausted;
     return R;
   }
 

@@ -37,6 +37,7 @@
 
 #include "memlook/core/LookupEngine.h"
 #include "memlook/core/MostDominant.h"
+#include "memlook/support/ResourceBudget.h"
 
 #include <unordered_map>
 #include <vector>
@@ -52,6 +53,15 @@ public:
   NaivePropagationEngine(const Hierarchy &H,
                          Killing KillPolicy = Killing::Disabled,
                          size_t MaxDefsPerClass = 1u << 20);
+
+  /// Budgeted construction: Budget.MaxDefsPerClass bounds the per-class
+  /// reaching sets (tripping it yields Overflow, as before);
+  /// Budget.MaxLookupSteps bounds the total definitions a column
+  /// computation may propagate (tripping it - or the
+  /// Budget.FaultAfterChecks injector, counted per column - yields
+  /// Exhausted).
+  NaivePropagationEngine(const Hierarchy &H, Killing KillPolicy,
+                         const ResourceBudget &Budget);
 
   LookupResult lookup(ClassId Context, Symbol Member) override;
   using LookupEngine::lookup;
@@ -76,17 +86,22 @@ public:
   /// the non-killing variant on replication-heavy hierarchies).
   bool overflowed(Symbol Member);
 
+  /// True if the member's column computation tripped the per-lookup step
+  /// budget (or the fault injector).
+  bool exhausted(Symbol Member);
+
 private:
   struct Column {
     std::vector<std::vector<Definition>> DefsPerClass;
     bool Overflowed = false;
+    bool Exhausted = false;
   };
 
   const Column &columnFor(Symbol Member);
   void computeColumn(Symbol Member, Column &Out);
 
   Killing KillPolicy;
-  size_t MaxDefsPerClass;
+  ResourceBudget Budget;
   std::unordered_map<Symbol, Column> Cache;
   std::vector<Definition> Empty;
 };

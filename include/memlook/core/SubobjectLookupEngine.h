@@ -26,6 +26,7 @@
 
 #include "memlook/core/LookupEngine.h"
 #include "memlook/subobject/SubobjectGraph.h"
+#include "memlook/support/ResourceBudget.h"
 
 #include <optional>
 #include <unordered_map>
@@ -37,6 +38,13 @@ class SubobjectLookupEngine : public LookupEngine {
 public:
   explicit SubobjectLookupEngine(const Hierarchy &H,
                                  size_t MaxSubobjects = 1u << 20);
+
+  /// Budgeted construction: Budget.MaxSubobjects bounds what the graph
+  /// may materialize per complete-object type (tripping it yields
+  /// Overflow); Budget.MaxLookupSteps bounds the per-query scan over
+  /// defining subobjects (tripping it - or the Budget.FaultAfterChecks
+  /// injector, counted per query - yields Exhausted).
+  SubobjectLookupEngine(const Hierarchy &H, const ResourceBudget &Budget);
 
   LookupResult lookup(ClassId Context, Symbol Member) override;
   using LookupEngine::lookup;
@@ -62,7 +70,7 @@ public:
                           Symbol Member);
 
 private:
-  size_t MaxSubobjects;
+  ResourceBudget Budget;
   std::unordered_map<ClassId, std::optional<SubobjectGraph>> GraphCache;
 };
 

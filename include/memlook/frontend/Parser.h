@@ -40,6 +40,7 @@
 
 #include "memlook/chg/Hierarchy.h"
 #include "memlook/frontend/Lexer.h"
+#include "memlook/support/ResourceBudget.h"
 
 #include <optional>
 #include <string>
@@ -98,11 +99,29 @@ struct ParsedProgram {
   std::vector<CodeBlock> CodeBlocks;
 };
 
+/// Knobs for parsing untrusted input. The Budget's construction-side
+/// limits (MaxClasses, MaxEdges, MaxMemberDecls) bound what the parse
+/// may build - exceeding one yields a structured TooManyClasses /
+/// TooManyEdges / TooManyMembers diagnostic and the parse gives up on
+/// the rest of the input. MaxErrorDiagnostics caps how many errors the
+/// recovering parser reports before bailing (it is installed on the
+/// caller's DiagnosticEngine via setErrorLimit()). For fully untrusted
+/// input start from ResourceBudget::untrustedInput().
+struct ParseOptions {
+  ResourceBudget Budget;
+};
+
 /// Parses \p Source. Returns std::nullopt (with diagnostics in \p Diags)
-/// on any error; the parser recovers within class bodies so that several
-/// errors can be reported per run.
+/// on any error; the parser recovers to the next `;` / `}` so one bad
+/// declaration doesn't kill the file, and several errors are reported
+/// per run (capped by ParseOptions::Budget.MaxErrorDiagnostics).
 std::optional<ParsedProgram> parseProgram(std::string_view Source,
                                           DiagnosticEngine &Diags);
+
+/// Overload with explicit resource limits for untrusted input.
+std::optional<ParsedProgram> parseProgram(std::string_view Source,
+                                          DiagnosticEngine &Diags,
+                                          const ParseOptions &Options);
 
 } // namespace memlook
 

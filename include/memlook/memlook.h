@@ -21,7 +21,9 @@
 #include "memlook/support/BitVector.h"
 #include "memlook/support/Diagnostics.h"
 #include "memlook/support/DotWriter.h"
+#include "memlook/support/ResourceBudget.h"
 #include "memlook/support/Rng.h"
+#include "memlook/support/Status.h"
 #include "memlook/support/StringInterner.h"
 #include "memlook/support/StrongId.h"
 #include "memlook/support/TopologicalSort.h"
@@ -40,6 +42,7 @@
 #include "memlook/core/AccessControl.h"
 #include "memlook/core/DifferentialCheck.h"
 #include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/EngineFactory.h"
 #include "memlook/core/ExplainAmbiguity.h"
 #include "memlook/core/GxxBfsEngine.h"
 #include "memlook/core/LookupEngine.h"
@@ -54,6 +57,7 @@
 #include "memlook/core/UsingDeclarations.h"
 
 // Front end
+#include "memlook/frontend/FuzzHarness.h"
 #include "memlook/frontend/Lexer.h"
 #include "memlook/frontend/Parser.h"
 #include "memlook/frontend/SourcePrinter.h"

@@ -41,9 +41,33 @@ enum class Severity { Note, Warning, Error };
 /// Returns a human-readable label for \p S ("note", "warning", "error").
 const char *severityLabel(Severity S);
 
+/// Machine-readable category of a diagnostic, so clients (tests, the
+/// fuzz oracle, services) can react to *what* went wrong without string
+/// matching. None marks legacy/free-form reports.
+enum class DiagCode : uint8_t {
+  None = 0,
+  SyntaxError,          ///< malformed token sequence
+  UnknownBase,          ///< base-specifier names an undefined class
+  DuplicateClass,       ///< class name defined twice
+  DuplicateBase,        ///< same class twice in one base-specifier list
+  ConflictingBase,      ///< duplicate base, once virtual and once not
+  SelfInheritance,      ///< class lists itself as a base
+  InheritanceCycle,     ///< the CHG has a directed cycle
+  InvalidUsingTarget,   ///< using-declaration names a non-base
+  RedeclaredMember,     ///< member name redeclared (folded; warning)
+  TooManyClasses,       ///< ResourceBudget::MaxClasses exceeded
+  TooManyEdges,         ///< ResourceBudget::MaxEdges exceeded
+  TooManyMembers,       ///< ResourceBudget::MaxMemberDecls exceeded
+  TooManyErrors,        ///< ResourceBudget::MaxErrorDiagnostics exceeded
+};
+
+/// Returns a stable kebab-case label, e.g. "unknown-base".
+const char *diagCodeLabel(DiagCode Code);
+
 /// One reported problem.
 struct Diagnostic {
   Severity Level = Severity::Error;
+  DiagCode Code = DiagCode::None;
   SourceLoc Loc;
   std::string Message;
 };
@@ -52,28 +76,44 @@ struct Diagnostic {
 class DiagnosticEngine {
 public:
   /// Appends a diagnostic of severity \p Level at \p Loc.
-  void report(Severity Level, SourceLoc Loc, std::string Message);
+  void report(Severity Level, SourceLoc Loc, std::string Message,
+              DiagCode Code = DiagCode::None);
 
   /// Appends an error with no source location.
-  void error(std::string Message) {
-    report(Severity::Error, SourceLoc(), std::move(Message));
+  void error(std::string Message, DiagCode Code = DiagCode::None) {
+    report(Severity::Error, SourceLoc(), std::move(Message), Code);
   }
 
   /// Appends an error at \p Loc.
-  void error(SourceLoc Loc, std::string Message) {
-    report(Severity::Error, Loc, std::move(Message));
+  void error(SourceLoc Loc, std::string Message,
+             DiagCode Code = DiagCode::None) {
+    report(Severity::Error, Loc, std::move(Message), Code);
   }
 
   /// Appends a warning at \p Loc.
-  void warning(SourceLoc Loc, std::string Message) {
-    report(Severity::Warning, Loc, std::move(Message));
+  void warning(SourceLoc Loc, std::string Message,
+               DiagCode Code = DiagCode::None) {
+    report(Severity::Warning, Loc, std::move(Message), Code);
   }
+
+  /// Caps the number of *error* diagnostics recorded (0 = unlimited;
+  /// the default). When the cap is reached one final TooManyErrors
+  /// error is appended and subsequent errors are dropped; warnings and
+  /// notes are dropped too once truncated, since their context is gone.
+  void setErrorLimit(unsigned Limit) { ErrorLimit = Limit; }
+
+  /// True once the error cap dropped at least one diagnostic. Consumers
+  /// that loop "report and recover" must check this and stop.
+  bool truncated() const { return Truncated; }
 
   /// True iff at least one error was reported.
   bool hasErrors() const { return NumErrors != 0; }
 
   /// Number of errors reported so far.
   unsigned errorCount() const { return NumErrors; }
+
+  /// True iff some recorded diagnostic carries \p Code.
+  bool hasCode(DiagCode Code) const;
 
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
 
@@ -83,6 +123,8 @@ public:
 private:
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
+  unsigned ErrorLimit = 0;
+  bool Truncated = false;
 };
 
 } // namespace memlook

@@ -1,0 +1,154 @@
+//===- memlook/support/ResourceBudget.h - Resource budgets ------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resource budgets for work driven by untrusted input. The paper's own
+/// algorithm (Figure 8) is polynomial and needs no guard, but the
+/// reference engines materialize worst-case-exponential structures
+/// (Section 7.1), and the front end will happily build a hierarchy as
+/// large as the input describes. A ResourceBudget bounds both sides:
+/// construction-side limits cap what the parser/builder will accept, and
+/// lookup-side limits cap what the reference engines will materialize.
+/// Work that trips a limit degrades gracefully: parsing reports a
+/// structured diagnostic, lookups return LookupStatus::Exhausted.
+///
+/// BudgetMeter is the counting side: a cheap monotone counter checked at
+/// the degradation points. It also hosts the deterministic
+/// fault-injection hook (FaultAfterChecks) that forces the Nth check to
+/// trip, so every degradation path is unit-testable without constructing
+/// a genuinely pathological input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SUPPORT_RESOURCEBUDGET_H
+#define MEMLOOK_SUPPORT_RESOURCEBUDGET_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace memlook {
+
+/// Limits on untrusted-input work. Defaults are generous (they exist to
+/// stop pathological inputs, not to squeeze ordinary ones); a service
+/// ingesting fully untrusted hierarchies should start from
+/// untrustedInput() instead.
+struct ResourceBudget {
+  //===--------------------------------------------------------------------===
+  // Construction-side limits (frontend / builder).
+  //===--------------------------------------------------------------------===
+
+  /// Maximum classes a parse may create.
+  size_t MaxClasses = 1u << 20;
+  /// Maximum inheritance edges a parse may create.
+  size_t MaxEdges = 1u << 21;
+  /// Maximum member declarations a parse may create.
+  size_t MaxMemberDecls = 1u << 21;
+  /// Maximum *error* diagnostics reported before the front end gives up
+  /// on the input (0 = unlimited).
+  size_t MaxErrorDiagnostics = 64;
+
+  //===--------------------------------------------------------------------===
+  // Lookup-side limits (reference engines only; Figure 8 needs none).
+  //===--------------------------------------------------------------------===
+
+  /// Maximum subobjects the Rossie-Friedman graph may materialize per
+  /// complete-object type (structural blowup -> LookupStatus::Overflow).
+  size_t MaxSubobjects = 1u << 20;
+  /// Maximum definitions the naive propagation may hold per class
+  /// (structural blowup -> LookupStatus::Overflow).
+  size_t MaxDefsPerClass = 1u << 20;
+  /// Maximum budget-metered steps a single lookup / column computation
+  /// may spend before degrading to LookupStatus::Exhausted.
+  size_t MaxLookupSteps = 1u << 22;
+
+  //===--------------------------------------------------------------------===
+  // Fault injection.
+  //===--------------------------------------------------------------------===
+
+  /// When nonzero, the Nth check through any BudgetMeter built from this
+  /// budget trips deterministically, regardless of the real counts. Test
+  /// hook for the Exhausted degradation paths; leave 0 in production.
+  size_t FaultAfterChecks = 0;
+
+  /// Tight limits for fully untrusted input: small enough that a single
+  /// adversarial request cannot consume noticeable memory or time, large
+  /// enough for any plausible real hierarchy (the largest hierarchies in
+  /// the C3-linearization literature are a few thousand classes).
+  static ResourceBudget untrustedInput() {
+    ResourceBudget B;
+    B.MaxClasses = 1u << 12;      // 4096
+    B.MaxEdges = 1u << 14;        // 16384
+    B.MaxMemberDecls = 1u << 14;  // 16384
+    B.MaxErrorDiagnostics = 32;
+    B.MaxSubobjects = 1u << 14;   // 16384
+    B.MaxDefsPerClass = 1u << 14; // 16384
+    B.MaxLookupSteps = 1u << 18;  // 262144
+    return B;
+  }
+
+  /// No limits (all maxed out). For trusted programmatic callers that
+  /// want the pre-budget behavior.
+  static ResourceBudget unlimited() {
+    ResourceBudget B;
+    B.MaxClasses = SIZE_MAX;
+    B.MaxEdges = SIZE_MAX;
+    B.MaxMemberDecls = SIZE_MAX;
+    B.MaxErrorDiagnostics = 0;
+    B.MaxSubobjects = SIZE_MAX;
+    B.MaxDefsPerClass = SIZE_MAX;
+    B.MaxLookupSteps = SIZE_MAX;
+    return B;
+  }
+};
+
+/// A monotone work counter against one limit, with the deterministic
+/// fault-injection hook. Once tripped it stays tripped.
+class BudgetMeter {
+public:
+  /// Meters up to \p Limit units; when \p FaultAfterChecks is nonzero,
+  /// the call number FaultAfterChecks to charge() trips regardless.
+  explicit BudgetMeter(size_t Limit, size_t FaultAfterChecks = 0)
+      : Limit(Limit), FaultAt(FaultAfterChecks) {}
+
+  /// Convenience: meter \p Budget's MaxLookupSteps with its fault hook.
+  static BudgetMeter lookupSteps(const ResourceBudget &Budget) {
+    return BudgetMeter(Budget.MaxLookupSteps, Budget.FaultAfterChecks);
+  }
+
+  /// Charges \p Amount units of work. Returns true while within budget;
+  /// returns false - permanently - once the running total exceeds the
+  /// limit or the fault injector fires.
+  bool charge(size_t Amount = 1) {
+    if (Tripped)
+      return false;
+    ++Checks;
+    Used += Amount;
+    if (Used > Limit || (FaultAt != 0 && Checks >= FaultAt))
+      Tripped = true;
+    return !Tripped;
+  }
+
+  /// True once any charge() failed.
+  bool exhausted() const { return Tripped; }
+
+  /// Units charged so far (including the charge that tripped).
+  size_t used() const { return Used; }
+
+  /// Number of charge() calls so far.
+  size_t checks() const { return Checks; }
+
+private:
+  size_t Limit;
+  size_t FaultAt;
+  size_t Used = 0;
+  size_t Checks = 0;
+  bool Tripped = false;
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_SUPPORT_RESOURCEBUDGET_H

@@ -1,0 +1,133 @@
+//===- memlook/support/Status.h - Recoverable errors ------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's recoverable error channel. The library does not use
+/// exceptions; APIs whose failure is caused by *input* (an untrusted
+/// hierarchy description, a resource budget) rather than by a caller bug
+/// return Status or Expected<T> instead of asserting. Assertions remain
+/// reserved for genuine programming errors (invalid ids, use before
+/// finalize() on the programmatic fast path).
+///
+/// A Status carries a machine-readable ErrorCode plus a human-readable
+/// message; Expected<T> is either a value or a non-ok Status. Both are
+/// [[nodiscard]]: ignoring an input error is exactly the bug this layer
+/// exists to prevent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SUPPORT_STATUS_H
+#define MEMLOOK_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace memlook {
+
+/// Machine-readable failure category of a Status.
+enum class ErrorCode : uint8_t {
+  Ok = 0,
+  /// A name in the input does not refer to any known class.
+  UnknownClass,
+  /// A class name was defined twice.
+  DuplicateClass,
+  /// The same class appears twice in one base-specifier list.
+  DuplicateBase,
+  /// A class inherits from itself or the inheritance graph has a cycle.
+  InheritanceCycle,
+  /// A using-declaration names a class that is not a base.
+  InvalidUsingTarget,
+  /// The input is syntactically malformed.
+  ParseError,
+  /// A ResourceBudget limit was exceeded.
+  BudgetExceeded,
+  /// An operation that requires a finalized hierarchy was given an
+  /// unfinalized one (or vice versa).
+  NotFinalized,
+  /// Catch-all for malformed requests not covered above.
+  InvalidArgument,
+};
+
+/// Returns a stable lowercase label, e.g. "unknown-class".
+const char *errorCodeLabel(ErrorCode Code);
+
+/// Success, or an ErrorCode plus message.
+class [[nodiscard]] Status {
+public:
+  /// Default-constructed Status is success.
+  Status() = default;
+
+  static Status ok() { return Status(); }
+
+  static Status error(ErrorCode Code, std::string Message) {
+    assert(Code != ErrorCode::Ok && "errors need a non-ok code");
+    Status S;
+    S.Code = Code;
+    S.Msg = std::move(Message);
+    return S;
+  }
+
+  bool isOk() const { return Code == ErrorCode::Ok; }
+  explicit operator bool() const { return isOk(); }
+
+  ErrorCode code() const { return Code; }
+
+  /// Empty for ok statuses.
+  const std::string &message() const { return Msg; }
+
+  /// "ok" or "<label>: <message>".
+  std::string toString() const;
+
+private:
+  ErrorCode Code = ErrorCode::Ok;
+  std::string Msg;
+};
+
+/// A value of type T, or the Status explaining why there is none.
+template <typename T> class [[nodiscard]] Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+
+  Expected(Status Error) : Err(std::move(Error)) {
+    assert(!Err.isOk() && "an ok status carries no value; pass the value");
+  }
+
+  bool hasValue() const { return Value.has_value(); }
+  explicit operator bool() const { return hasValue(); }
+
+  T &operator*() {
+    assert(hasValue() && "dereferencing an errored Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(hasValue() && "dereferencing an errored Expected");
+    return *Value;
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Moves the value out; the Expected is left empty-but-ok.
+  T takeValue() {
+    assert(hasValue() && "no value to take");
+    T Out = std::move(*Value);
+    Value.reset();
+    return Out;
+  }
+
+  /// Ok when a value is present.
+  const Status &status() const { return Err; }
+
+private:
+  std::optional<T> Value;
+  Status Err;
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_SUPPORT_STATUS_H

@@ -32,7 +32,8 @@ ClassId Hierarchy::createClass(std::string_view Name, SourceLoc Loc,
   auto It = ClassByName.find(Sym);
   if (It != ClassByName.end()) {
     if (Diags)
-      Diags->error(Loc, "redefinition of class '" + std::string(Name) + "'");
+      Diags->error(Loc, "redefinition of class '" + std::string(Name) + "'",
+                   DiagCode::DuplicateClass);
     return ClassId();
   }
 
@@ -52,21 +53,32 @@ bool Hierarchy::addBase(ClassId Derived, ClassId Base, InheritanceKind Kind,
 
   if (Base == Derived) {
     if (Diags)
-      Diags->error(Loc, "class '" + std::string(className(Derived)) +
-                            "' cannot inherit from itself");
+      Diags->error(Loc,
+                   "class '" + std::string(className(Derived)) +
+                       "' cannot inherit from itself",
+                   DiagCode::SelfInheritance);
     return false;
   }
 
   // C++ forbids naming the same class twice in one base-specifier list
   // ([class.mi]); this also keeps the CHG a plain graph rather than a
   // multigraph, which Definition 15's abstraction operator relies on.
+  // A repeat with the *other* inheritance kind gets its own code: it is
+  // the classic adversarial probe for engines that key edges by
+  // (base, derived) and would silently merge the two kinds.
   ClassInfo &DerivedInfo = Classes[Derived.index()];
   for (const BaseSpecifier &Spec : DerivedInfo.DirectBases)
     if (Spec.Base == Base) {
+      bool Conflicting = Spec.Kind != Kind;
       if (Diags)
-        Diags->error(Loc, "duplicate direct base class '" +
-                              std::string(className(Base)) + "' of '" +
-                              std::string(className(Derived)) + "'");
+        Diags->error(Loc,
+                     std::string(Conflicting ? "conflicting" : "duplicate") +
+                         " direct base class '" +
+                         std::string(className(Base)) + "' of '" +
+                         std::string(className(Derived)) +
+                         (Conflicting ? "' (virtual and non-virtual)" : "'"),
+                     Conflicting ? DiagCode::ConflictingBase
+                                 : DiagCode::DuplicateBase);
       return false;
     }
 
@@ -88,10 +100,12 @@ void Hierarchy::addMember(ClassId Class, std::string_view Name, bool IsStatic,
     if (Existing.Name == Sym) {
       // We model member *names*, not overload sets; fold redeclarations.
       if (Diags)
-        Diags->warning(Loc, "member '" + std::string(Name) +
-                                "' already declared in class '" +
-                                std::string(className(Class)) +
-                                "'; ignoring redeclaration");
+        Diags->warning(Loc,
+                       "member '" + std::string(Name) +
+                           "' already declared in class '" +
+                           std::string(className(Class)) +
+                           "'; ignoring redeclaration",
+                       DiagCode::RedeclaredMember);
       return;
     }
 
@@ -112,16 +126,75 @@ void Hierarchy::addUsingDeclaration(ClassId Class, ClassId From,
   for (const MemberDecl &Existing : Info.Members)
     if (Existing.Name == Sym) {
       if (Diags)
-        Diags->warning(Loc, "member '" + std::string(Name) +
-                                "' already declared in class '" +
-                                std::string(className(Class)) +
-                                "'; ignoring using-declaration");
+        Diags->warning(Loc,
+                       "member '" + std::string(Name) +
+                           "' already declared in class '" +
+                           std::string(className(Class)) +
+                           "'; ignoring using-declaration",
+                       DiagCode::RedeclaredMember);
       return;
     }
 
   Info.Members.push_back(MemberDecl{Sym, /*IsStatic=*/false,
                                     /*IsVirtual=*/false, Access, Loc, From});
   ++NumMemberDecls;
+}
+
+bool Hierarchy::validate(DiagnosticEngine &Diags) const {
+  uint32_t N = numClasses();
+  std::vector<std::vector<uint32_t>> Successors(N);
+  for (uint32_t D = 0; D != N; ++D)
+    for (const BaseSpecifier &Spec : Classes[D].DirectBases)
+      Successors[Spec.Base.index()].push_back(D);
+
+  bool Ok = true;
+  TopologicalSortResult Topo = topologicalSort(N, Successors);
+  if (!Topo.IsAcyclic) {
+    std::string Witness =
+        Topo.CycleWitness
+            ? std::string(className(ClassId(*Topo.CycleWitness)))
+            : std::string("<unknown>");
+    Diags.error("inheritance graph is cyclic (class '" + Witness +
+                    "' participates in a cycle)",
+                DiagCode::InheritanceCycle);
+    Ok = false;
+  }
+
+  // Using-declaration targets must be (transitive) bases. The closures
+  // may not exist yet (and never will on a cyclic graph), so walk the
+  // base DAG directly per declaring class; the visited set keeps this
+  // linear and cycle-safe.
+  std::vector<uint8_t> Reach;
+  for (uint32_t D = 0; D != N; ++D) {
+    bool AnyUsing = false;
+    for (const MemberDecl &Member : Classes[D].Members)
+      AnyUsing |= Member.isUsingDeclaration();
+    if (!AnyUsing)
+      continue;
+
+    Reach.assign(N, 0);
+    std::vector<uint32_t> Stack{D};
+    while (!Stack.empty()) {
+      uint32_t Cur = Stack.back();
+      Stack.pop_back();
+      for (const BaseSpecifier &Spec : Classes[Cur].DirectBases)
+        if (!Reach[Spec.Base.index()]) {
+          Reach[Spec.Base.index()] = 1;
+          Stack.push_back(Spec.Base.index());
+        }
+    }
+
+    for (const MemberDecl &Member : Classes[D].Members)
+      if (Member.isUsingDeclaration() && !Reach[Member.UsingFrom.index()]) {
+        Diags.error(Member.Loc,
+                    "'" + std::string(className(Member.UsingFrom)) +
+                        "' in using-declaration is not a base class of '" +
+                        std::string(className(ClassId(D))) + "'",
+                    DiagCode::InvalidUsingTarget);
+        Ok = false;
+      }
+  }
+  return Ok;
 }
 
 bool Hierarchy::finalize(DiagnosticEngine &Diags) {
@@ -140,7 +213,8 @@ bool Hierarchy::finalize(DiagnosticEngine &Diags) {
             ? std::string(className(ClassId(*Topo.CycleWitness)))
             : std::string("<unknown>");
     Diags.error("inheritance graph is cyclic (class '" + Witness +
-                "' participates in a cycle)");
+                    "' participates in a cycle)",
+                DiagCode::InheritanceCycle);
     return false;
   }
 
@@ -176,7 +250,8 @@ bool Hierarchy::finalize(DiagnosticEngine &Diags) {
         Diags.error(Member.Loc,
                     "'" + std::string(className(Member.UsingFrom)) +
                         "' in using-declaration is not a base class of '" +
-                        std::string(className(ClassId(D))) + "'");
+                        std::string(className(ClassId(D))) + "'",
+                    DiagCode::InvalidUsingTarget);
         UsingOk = false;
       }
   if (!UsingOk)

@@ -43,19 +43,24 @@ HierarchyBuilder HierarchyBuilder::fromHierarchy(const Hierarchy &Source) {
 
 HierarchyBuilder::ClassHandle
 HierarchyBuilder::addClass(std::string_view Name) {
-  ClassId Id = H.createClass(Name);
-  assert(Id.isValid() && "duplicate class in builder");
+  // createClass records the DuplicateClass diagnostic and returns an
+  // invalid id; the handle is then inert.
+  ClassId Id = H.createClass(Name, SourceLoc(), &BuildDiags);
   return ClassHandle(*this, Id);
 }
 
 HierarchyBuilder::ClassHandle
 HierarchyBuilder::getClass(std::string_view Name) {
   ClassId Id = H.findClass(Name);
-  assert(Id.isValid() && "getClass() of unknown class");
+  if (!Id.isValid())
+    BuildDiags.error("unknown class '" + std::string(Name) + "'",
+                     DiagCode::UnknownBase);
   return ClassHandle(*this, Id);
 }
 
 Hierarchy HierarchyBuilder::build() && {
+  assert(!BuildDiags.hasErrors() &&
+         "builder recorded construction errors; use tryBuild()");
   DiagnosticEngine Diags;
   bool Ok = H.finalize(Diags);
   (void)Ok;
@@ -63,50 +68,119 @@ Hierarchy HierarchyBuilder::build() && {
   return std::move(H);
 }
 
+Expected<Hierarchy> HierarchyBuilder::tryBuild(DiagnosticEngine *Diags) && {
+  auto FirstError = [](const DiagnosticEngine &Engine) {
+    for (const Diagnostic &D : Engine.diagnostics())
+      if (D.Level == Severity::Error) {
+        ErrorCode Code = ErrorCode::InvalidArgument;
+        switch (D.Code) {
+        case DiagCode::UnknownBase:
+          Code = ErrorCode::UnknownClass;
+          break;
+        case DiagCode::DuplicateClass:
+          Code = ErrorCode::DuplicateClass;
+          break;
+        case DiagCode::DuplicateBase:
+        case DiagCode::ConflictingBase:
+          Code = ErrorCode::DuplicateBase;
+          break;
+        case DiagCode::SelfInheritance:
+        case DiagCode::InheritanceCycle:
+          Code = ErrorCode::InheritanceCycle;
+          break;
+        case DiagCode::InvalidUsingTarget:
+          Code = ErrorCode::InvalidUsingTarget;
+          break;
+        default:
+          break;
+        }
+        return Status::error(Code, D.Message);
+      }
+    return Status::error(ErrorCode::InvalidArgument, "unknown builder error");
+  };
+
+  auto Forward = [&](const DiagnosticEngine &Engine) {
+    if (Diags)
+      for (const Diagnostic &D : Engine.diagnostics())
+        Diags->report(D.Level, D.Loc, D.Message, D.Code);
+  };
+
+  Forward(BuildDiags);
+  if (BuildDiags.hasErrors())
+    return FirstError(BuildDiags);
+
+  DiagnosticEngine FinalizeDiags;
+  if (!H.finalize(FinalizeDiags)) {
+    Forward(FinalizeDiags);
+    return FirstError(FinalizeDiags);
+  }
+  Forward(FinalizeDiags); // warnings only
+  return std::move(H);
+}
+
 HierarchyBuilder::ClassHandle &
 HierarchyBuilder::ClassHandle::withBase(std::string_view Name,
                                         AccessSpec Access) {
+  if (!valid())
+    return *this;
   ClassId Base = Builder.H.findClass(Name);
-  assert(Base.isValid() && "base class must be defined before use");
-  bool Ok =
-      Builder.H.addBase(Id, Base, InheritanceKind::NonVirtual, Access);
-  (void)Ok;
-  assert(Ok && "invalid base specifier");
+  if (!Base.isValid()) {
+    Builder.BuildDiags.error(
+        "base class '" + std::string(Name) + "' of '" +
+            std::string(Builder.H.className(Id)) + "' is not defined",
+        DiagCode::UnknownBase);
+    return *this;
+  }
+  Builder.H.addBase(Id, Base, InheritanceKind::NonVirtual, Access,
+                    SourceLoc(), &Builder.BuildDiags);
   return *this;
 }
 
 HierarchyBuilder::ClassHandle &
 HierarchyBuilder::ClassHandle::withVirtualBase(std::string_view Name,
                                                AccessSpec Access) {
+  if (!valid())
+    return *this;
   ClassId Base = Builder.H.findClass(Name);
-  assert(Base.isValid() && "base class must be defined before use");
-  bool Ok = Builder.H.addBase(Id, Base, InheritanceKind::Virtual, Access);
-  (void)Ok;
-  assert(Ok && "invalid base specifier");
+  if (!Base.isValid()) {
+    Builder.BuildDiags.error(
+        "base class '" + std::string(Name) + "' of '" +
+            std::string(Builder.H.className(Id)) + "' is not defined",
+        DiagCode::UnknownBase);
+    return *this;
+  }
+  Builder.H.addBase(Id, Base, InheritanceKind::Virtual, Access, SourceLoc(),
+                    &Builder.BuildDiags);
   return *this;
 }
 
 HierarchyBuilder::ClassHandle &
 HierarchyBuilder::ClassHandle::withMember(std::string_view Name,
                                           AccessSpec Access) {
+  if (!valid())
+    return *this;
   Builder.H.addMember(Id, Name, /*IsStatic=*/false, /*IsVirtual=*/false,
-                      Access);
+                      Access, SourceLoc(), &Builder.BuildDiags);
   return *this;
 }
 
 HierarchyBuilder::ClassHandle &
 HierarchyBuilder::ClassHandle::withStaticMember(std::string_view Name,
                                                 AccessSpec Access) {
+  if (!valid())
+    return *this;
   Builder.H.addMember(Id, Name, /*IsStatic=*/true, /*IsVirtual=*/false,
-                      Access);
+                      Access, SourceLoc(), &Builder.BuildDiags);
   return *this;
 }
 
 HierarchyBuilder::ClassHandle &
 HierarchyBuilder::ClassHandle::withVirtualMember(std::string_view Name,
                                                  AccessSpec Access) {
+  if (!valid())
+    return *this;
   Builder.H.addMember(Id, Name, /*IsStatic=*/false, /*IsVirtual=*/true,
-                      Access);
+                      Access, SourceLoc(), &Builder.BuildDiags);
   return *this;
 }
 
@@ -114,8 +188,16 @@ HierarchyBuilder::ClassHandle &
 HierarchyBuilder::ClassHandle::withUsing(std::string_view From,
                                          std::string_view Name,
                                          AccessSpec Access) {
+  if (!valid())
+    return *this;
   ClassId FromId = Builder.H.findClass(From);
-  assert(FromId.isValid() && "using-declaration names an unknown class");
-  Builder.H.addUsingDeclaration(Id, FromId, Name, Access);
+  if (!FromId.isValid()) {
+    Builder.BuildDiags.error("class '" + std::string(From) +
+                                 "' in using-declaration is not defined",
+                             DiagCode::UnknownBase);
+    return *this;
+  }
+  Builder.H.addUsingDeclaration(Id, FromId, Name, Access, SourceLoc(),
+                                &Builder.BuildDiags);
   return *this;
 }

@@ -35,6 +35,14 @@ std::string renderForComparison(const Hierarchy &H, const LookupResult &R) {
 
 DifferentialReport memlook::runDifferentialCheck(const Hierarchy &H,
                                                  size_t MaxSubobjects) {
+  ResourceBudget Budget;
+  Budget.MaxSubobjects = MaxSubobjects;
+  Budget.MaxDefsPerClass = MaxSubobjects;
+  return runDifferentialCheck(H, Budget);
+}
+
+DifferentialReport memlook::runDifferentialCheck(const Hierarchy &H,
+                                                 const ResourceBudget &Budget) {
   assert(H.isFinalized() && "differential check requires finalize()");
   DifferentialReport Report;
 
@@ -42,8 +50,8 @@ DifferentialReport memlook::runDifferentialCheck(const Hierarchy &H,
   DominanceLookupEngine Recursive(H,
                                   DominanceLookupEngine::Mode::LazyRecursive);
   NaivePropagationEngine Killing(H, NaivePropagationEngine::Killing::Enabled,
-                                 MaxSubobjects);
-  SubobjectLookupEngine Reference(H, MaxSubobjects);
+                                 Budget);
+  SubobjectLookupEngine Reference(H, Budget);
 
   std::vector<LookupEngine *> Others{&Recursive, &Killing, &Reference};
 
@@ -55,7 +63,7 @@ DifferentialReport memlook::runDifferentialCheck(const Hierarchy &H,
       bool Skipped = false;
       for (LookupEngine *Other : Others) {
         LookupResult R = Other->lookup(C, Member);
-        if (R.Status == LookupStatus::Overflow) {
+        if (isBudgetDegraded(R.Status)) {
           Skipped = true;
           continue;
         }

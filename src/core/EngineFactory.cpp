@@ -1,0 +1,89 @@
+//===- EngineFactory.cpp - Status-checked engines --------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/EngineFactory.h"
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/GxxBfsEngine.h"
+#include "memlook/core/NaivePropagationEngine.h"
+#include "memlook/core/SubobjectLookupEngine.h"
+#include "memlook/core/TopsortShortcutEngine.h"
+
+using namespace memlook;
+
+const char *memlook::engineKindName(EngineKind Kind) {
+  switch (Kind) {
+  case EngineKind::Figure8Eager:
+    return "figure8-eager";
+  case EngineKind::Figure8Lazy:
+    return "figure8-lazy";
+  case EngineKind::Figure8LazyRecursive:
+    return "figure8-lazy-recursive";
+  case EngineKind::PropagationNaive:
+    return "propagation-naive";
+  case EngineKind::PropagationKilling:
+    return "propagation-killing";
+  case EngineKind::RossieFriedman:
+    return "rossie-friedman";
+  case EngineKind::GxxBfs:
+    return "gxx-bfs";
+  case EngineKind::TopsortShortcut:
+    return "topsort-shortcut";
+  }
+  return "unknown";
+}
+
+Status memlook::validateForLookup(const Hierarchy &H) {
+  if (!H.isFinalized())
+    return Status::error(ErrorCode::NotFinalized,
+                         "lookup requires a finalized hierarchy; call "
+                         "finalize() (and fix its diagnostics) first");
+  return Status::ok();
+}
+
+Expected<std::unique_ptr<LookupEngine>>
+memlook::createLookupEngine(EngineKind Kind, const Hierarchy &H,
+                            const ResourceBudget &Budget) {
+  if (Status S = validateForLookup(H); !S)
+    return S;
+
+  std::unique_ptr<LookupEngine> Engine;
+  switch (Kind) {
+  case EngineKind::Figure8Eager:
+    Engine = std::make_unique<DominanceLookupEngine>(
+        H, DominanceLookupEngine::Mode::Eager);
+    break;
+  case EngineKind::Figure8Lazy:
+    Engine = std::make_unique<DominanceLookupEngine>(
+        H, DominanceLookupEngine::Mode::Lazy);
+    break;
+  case EngineKind::Figure8LazyRecursive:
+    Engine = std::make_unique<DominanceLookupEngine>(
+        H, DominanceLookupEngine::Mode::LazyRecursive);
+    break;
+  case EngineKind::PropagationNaive:
+    Engine = std::make_unique<NaivePropagationEngine>(
+        H, NaivePropagationEngine::Killing::Disabled, Budget);
+    break;
+  case EngineKind::PropagationKilling:
+    Engine = std::make_unique<NaivePropagationEngine>(
+        H, NaivePropagationEngine::Killing::Enabled, Budget);
+    break;
+  case EngineKind::RossieFriedman:
+    Engine = std::make_unique<SubobjectLookupEngine>(H, Budget);
+    break;
+  case EngineKind::GxxBfs:
+    Engine = std::make_unique<GxxBfsEngine>(H, Budget.MaxSubobjects);
+    break;
+  case EngineKind::TopsortShortcut:
+    Engine = std::make_unique<TopsortShortcutEngine>(H);
+    break;
+  }
+  if (!Engine)
+    return Status::error(ErrorCode::InvalidArgument, "unknown engine kind");
+  return Engine;
+}

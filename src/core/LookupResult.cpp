@@ -19,6 +19,8 @@ const char *memlook::lookupStatusLabel(LookupStatus Status) {
     return "not-found";
   case LookupStatus::Overflow:
     return "overflow";
+  case LookupStatus::Exhausted:
+    return "exhausted";
   }
   return "unknown";
 }
@@ -30,6 +32,8 @@ std::string memlook::formatLookupResult(const Hierarchy &H,
     return "not found";
   case LookupStatus::Overflow:
     return "overflow (engine budget exceeded)";
+  case LookupStatus::Exhausted:
+    return "exhausted (per-lookup step budget exceeded)";
   case LookupStatus::Ambiguous: {
     std::string Out = "ambiguous";
     if (!R.AmbiguousCandidates.empty()) {

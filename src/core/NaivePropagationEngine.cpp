@@ -17,8 +17,14 @@ using namespace memlook;
 NaivePropagationEngine::NaivePropagationEngine(const Hierarchy &H,
                                                Killing KillPolicy,
                                                size_t MaxDefsPerClass)
-    : LookupEngine(H), KillPolicy(KillPolicy),
-      MaxDefsPerClass(MaxDefsPerClass) {}
+    : LookupEngine(H), KillPolicy(KillPolicy) {
+  Budget.MaxDefsPerClass = MaxDefsPerClass;
+}
+
+NaivePropagationEngine::NaivePropagationEngine(const Hierarchy &H,
+                                               Killing KillPolicy,
+                                               const ResourceBudget &Budget)
+    : LookupEngine(H), KillPolicy(KillPolicy), Budget(Budget) {}
 
 const NaivePropagationEngine::Column &
 NaivePropagationEngine::columnFor(Symbol Member) {
@@ -32,6 +38,16 @@ NaivePropagationEngine::columnFor(Symbol Member) {
 
 void NaivePropagationEngine::computeColumn(Symbol Member, Column &Out) {
   Out.DefsPerClass.assign(H.numClasses(), {});
+
+  // One meter per column: every definition propagated across an edge is
+  // one unit of work, so the meter bounds the column's total cost (and
+  // hosts the deterministic fault injector).
+  BudgetMeter Meter = BudgetMeter::lookupSteps(Budget);
+  auto GiveUp = [&](bool Exhausted) {
+    Out.Exhausted = Exhausted;
+    Out.Overflowed = !Exhausted;
+    Out.DefsPerClass.assign(H.numClasses(), {});
+  };
 
   // Propagate definitions in topological order. A definition is a path;
   // ~-equivalent paths denote the same definition, so each class's set
@@ -49,6 +65,8 @@ void NaivePropagationEngine::computeColumn(Symbol Member, Column &Out) {
     // Generated definition: the trivial path <C> (Section 4 calls the
     // set of these { A::m | m in Members(A) }).
     if (H.declaresMember(C, Member)) {
+      if (!Meter.charge())
+        return GiveUp(/*Exhausted=*/true);
       Path Trivial(C);
       AddDefinition(Definition{subobjectKey(H, Trivial), Trivial});
     }
@@ -57,15 +75,14 @@ void NaivePropagationEngine::computeColumn(Symbol Member, Column &Out) {
     // across the edge X -> C.
     for (const BaseSpecifier &Spec : H.info(C).DirectBases) {
       for (const Definition &In : Out.DefsPerClass[Spec.Base.index()]) {
+        if (!Meter.charge())
+          return GiveUp(/*Exhausted=*/true);
         Path Extended = extend(In.Witness, C);
         AddDefinition(Definition{subobjectKey(H, Extended),
                                  std::move(Extended)});
       }
-      if (Defs.size() > MaxDefsPerClass) {
-        Out.Overflowed = true;
-        Out.DefsPerClass.assign(H.numClasses(), {});
-        return;
-      }
+      if (Defs.size() > Budget.MaxDefsPerClass)
+        return GiveUp(/*Exhausted=*/false);
     }
 
     // With killing enabled only the maximal definitions survive - both
@@ -82,7 +99,7 @@ NaivePropagationEngine::reachingDefinitions(ClassId Context, Symbol Member) {
   assert(Context.isValid() && Context.index() < H.numClasses() &&
          "bad class id");
   const Column &Col = columnFor(Member);
-  if (Col.Overflowed)
+  if (Col.Overflowed || Col.Exhausted)
     return Empty;
   return Col.DefsPerClass[Context.index()];
 }
@@ -91,12 +108,18 @@ bool NaivePropagationEngine::overflowed(Symbol Member) {
   return columnFor(Member).Overflowed;
 }
 
+bool NaivePropagationEngine::exhausted(Symbol Member) {
+  return columnFor(Member).Exhausted;
+}
+
 LookupResult NaivePropagationEngine::lookup(ClassId Context, Symbol Member) {
   assert(Context.isValid() && Context.index() < H.numClasses() &&
          "bad class id");
   const Column &Col = columnFor(Member);
   if (Col.Overflowed)
     return LookupResult::overflow();
+  if (Col.Exhausted)
+    return LookupResult::exhausted();
 
   return resolveByDominance(H, Col.DefsPerClass[Context.index()], Member);
 }

@@ -13,14 +13,20 @@ using namespace memlook;
 
 SubobjectLookupEngine::SubobjectLookupEngine(const Hierarchy &H,
                                              size_t MaxSubobjects)
-    : LookupEngine(H), MaxSubobjects(MaxSubobjects) {}
+    : LookupEngine(H) {
+  Budget.MaxSubobjects = MaxSubobjects;
+}
+
+SubobjectLookupEngine::SubobjectLookupEngine(const Hierarchy &H,
+                                             const ResourceBudget &Budget)
+    : LookupEngine(H), Budget(Budget) {}
 
 const SubobjectGraph *SubobjectLookupEngine::graphFor(ClassId Complete) {
   auto It = GraphCache.find(Complete);
   if (It == GraphCache.end())
     It = GraphCache
              .emplace(Complete,
-                      SubobjectGraph::build(H, Complete, MaxSubobjects))
+                      SubobjectGraph::build(H, Complete, Budget.MaxSubobjects))
              .first;
   return It->second ? &*It->second : nullptr;
 }
@@ -30,8 +36,13 @@ LookupResult SubobjectLookupEngine::lookup(ClassId Context, Symbol Member) {
   if (!Graph)
     return LookupResult::overflow();
 
+  // The defining-subobject set drives the (quadratic) dominance resolve,
+  // so metering its size bounds the whole query's work.
+  BudgetMeter Meter = BudgetMeter::lookupSteps(Budget);
   std::vector<DefinitionRecord> Defs;
   for (SubobjectId Id : Graph->definingSubobjects(Member)) {
+    if (!Meter.charge())
+      return LookupResult::exhausted();
     const SubobjectGraph::Subobject &S = Graph->subobject(Id);
     Defs.push_back(DefinitionRecord{S.Key, S.Repr});
   }

@@ -136,7 +136,8 @@ void Lexer::lexAll(std::string_view Source, DiagnosticEngine &Diags) {
       if (Source[Pos + 1] == '*') {
         size_t End = Source.find("*/", Pos + 2);
         if (End == std::string_view::npos) {
-          Diags.error(SourceLoc{Line, Col}, "unterminated block comment");
+          Diags.error(SourceLoc{Line, Col}, "unterminated block comment",
+                      DiagCode::SyntaxError);
           Advance(Source.size() - Pos);
           continue;
         }
@@ -190,7 +191,8 @@ void Lexer::lexAll(std::string_view Source, DiagnosticEngine &Diags) {
       continue;
     default:
       Diags.error(SourceLoc{Line, Col},
-                  std::string("unexpected character '") + C + "'");
+                  std::string("unexpected character '") + C + "'",
+                  DiagCode::SyntaxError);
       Emit(TokenKind::Invalid, 1);
       continue;
     }

@@ -16,8 +16,9 @@ namespace {
 /// Recursive-descent parser over the token stream.
 class Parser {
 public:
-  Parser(const std::vector<Token> &Tokens, DiagnosticEngine &Diags)
-      : Tokens(Tokens), Diags(Diags) {}
+  Parser(const std::vector<Token> &Tokens, DiagnosticEngine &Diags,
+         const ParseOptions &Options)
+      : Tokens(Tokens), Diags(Diags), Options(Options) {}
 
   std::optional<ParsedProgram> run();
 
@@ -46,8 +47,10 @@ private:
   bool expect(TokenKind Kind) {
     if (consumeIf(Kind))
       return true;
-    Diags.error(peek().Loc, std::string("expected ") + tokenKindName(Kind) +
-                                " before " + tokenKindName(peek().Kind));
+    Diags.error(peek().Loc,
+                std::string("expected ") + tokenKindName(Kind) + " before " +
+                    tokenKindName(peek().Kind),
+                DiagCode::SyntaxError);
     return false;
   }
 
@@ -62,6 +65,48 @@ private:
     }
   }
 
+  /// Abandons the rest of the input: reports \p Code at \p Loc and jumps
+  /// to EOF so every loop unwinds. Used when a construction-side budget
+  /// trips - past that point the input is hostile or broken, and
+  /// continuing would only buy an attacker more of our memory.
+  void giveUp(SourceLoc Loc, DiagCode Code, const std::string &Message) {
+    Diags.error(Loc, Message, Code);
+    GaveUp = true;
+    Pos = Tokens.size() - 1; // the EOF token
+  }
+
+  /// True if declaring one more class stays within budget; trips the
+  /// parse otherwise.
+  bool chargeClass(SourceLoc Loc) {
+    if (H.numClasses() < Options.Budget.MaxClasses)
+      return true;
+    giveUp(Loc, DiagCode::TooManyClasses,
+           "too many classes (limit " +
+               std::to_string(Options.Budget.MaxClasses) +
+               "); giving up on this input");
+    return false;
+  }
+
+  bool chargeEdge(SourceLoc Loc) {
+    if (H.numEdges() < Options.Budget.MaxEdges)
+      return true;
+    giveUp(Loc, DiagCode::TooManyEdges,
+           "too many inheritance edges (limit " +
+               std::to_string(Options.Budget.MaxEdges) +
+               "); giving up on this input");
+    return false;
+  }
+
+  bool chargeMember(SourceLoc Loc) {
+    if (H.numMemberDecls() < Options.Budget.MaxMemberDecls)
+      return true;
+    giveUp(Loc, DiagCode::TooManyMembers,
+           "too many member declarations (limit " +
+               std::to_string(Options.Budget.MaxMemberDecls) +
+               "); giving up on this input");
+    return false;
+  }
+
   void parseClassDef();
   void parseBaseList(ClassId Class, AccessSpec DefaultAccess);
   void parseMember(ClassId Class, AccessSpec &CurrentAccess);
@@ -70,7 +115,9 @@ private:
 
   const std::vector<Token> &Tokens;
   DiagnosticEngine &Diags;
+  const ParseOptions &Options;
   size_t Pos = 0;
+  bool GaveUp = false;
 
   Hierarchy H;
   std::vector<LookupDirective> Lookups;
@@ -81,6 +128,11 @@ private:
 
 std::optional<ParsedProgram> Parser::run() {
   while (!peek().is(TokenKind::EndOfFile)) {
+    // Once the error cap trips, every further diagnostic is dropped -
+    // parsing on would be silent busywork over input that has already
+    // proven itself broken.
+    if (Diags.truncated())
+      break;
     if (peek().is(TokenKind::KwClass) || peek().is(TokenKind::KwStruct)) {
       parseClassDef();
       continue;
@@ -97,7 +149,8 @@ std::optional<ParsedProgram> Parser::run() {
                 std::string(
                     "expected 'class', 'struct', 'lookup', 'expect', or "
                     "'code', got ") +
-                    tokenKindName(peek().Kind));
+                    tokenKindName(peek().Kind),
+                DiagCode::SyntaxError);
     advance();
   }
 
@@ -116,11 +169,13 @@ void Parser::parseClassDef() {
       IsStruct ? AccessSpec::Public : AccessSpec::Private;
 
   if (!peek().is(TokenKind::Identifier)) {
-    Diags.error(peek().Loc, "expected class name");
+    Diags.error(peek().Loc, "expected class name", DiagCode::SyntaxError);
     skipToSemicolon();
     return;
   }
   Token NameTok = advance();
+  if (!chargeClass(NameTok.Loc))
+    return;
   ClassId Class = H.createClass(NameTok.Text, NameTok.Loc, &Diags);
   if (!Class.isValid()) {
     skipToSemicolon();
@@ -140,6 +195,10 @@ void Parser::parseClassDef() {
   while (!peek().is(TokenKind::RBrace) && !peek().is(TokenKind::EndOfFile))
     parseMember(Class, CurrentAccess);
 
+  // A budget give-up already said everything worth saying; don't pile
+  // "expected '}'" on top of it.
+  if (GaveUp)
+    return;
   expect(TokenKind::RBrace);
   expect(TokenKind::Semicolon);
 }
@@ -160,7 +219,8 @@ void Parser::parseBaseList(ClassId Class, AccessSpec DefaultAccess) {
           peek().is(TokenKind::KwProtected) ||
           peek().is(TokenKind::KwPrivate)) {
         if (SawAccess)
-          Diags.error(peek().Loc, "duplicate access specifier in base");
+          Diags.error(peek().Loc, "duplicate access specifier in base",
+                      DiagCode::SyntaxError);
         SawAccess = true;
         TokenKind K = advance().Kind;
         Access = K == TokenKind::KwPublic      ? AccessSpec::Public
@@ -172,16 +232,21 @@ void Parser::parseBaseList(ClassId Class, AccessSpec DefaultAccess) {
     }
 
     if (!peek().is(TokenKind::Identifier)) {
-      Diags.error(peek().Loc, "expected base class name");
+      Diags.error(peek().Loc, "expected base class name",
+                  DiagCode::SyntaxError);
       return;
     }
     Token BaseTok = advance();
     ClassId Base = H.findClass(BaseTok.Text);
     if (!Base.isValid()) {
-      Diags.error(BaseTok.Loc, "base class '" + std::string(BaseTok.Text) +
-                                   "' is not defined");
+      Diags.error(BaseTok.Loc,
+                  "base class '" + std::string(BaseTok.Text) +
+                      "' is not defined",
+                  DiagCode::UnknownBase);
       continue;
     }
+    if (!chargeEdge(BaseTok.Loc))
+      return;
     H.addBase(Class, Base,
               Virtual ? InheritanceKind::Virtual : InheritanceKind::NonVirtual,
               Access, BaseTok.Loc, &Diags);
@@ -205,7 +270,8 @@ void Parser::parseMember(ClassId Class, AccessSpec &CurrentAccess) {
   // Using-declaration: `using Base::name;`.
   if (consumeIf(TokenKind::KwUsing)) {
     if (!peek().is(TokenKind::Identifier)) {
-      Diags.error(peek().Loc, "expected base class name after 'using'");
+      Diags.error(peek().Loc, "expected base class name after 'using'",
+                  DiagCode::SyntaxError);
       skipToSemicolon();
       return;
     }
@@ -215,7 +281,8 @@ void Parser::parseMember(ClassId Class, AccessSpec &CurrentAccess) {
       return;
     }
     if (!peek().is(TokenKind::Identifier)) {
-      Diags.error(peek().Loc, "expected member name after '::'");
+      Diags.error(peek().Loc, "expected member name after '::'",
+                  DiagCode::SyntaxError);
       skipToSemicolon();
       return;
     }
@@ -224,8 +291,10 @@ void Parser::parseMember(ClassId Class, AccessSpec &CurrentAccess) {
 
     ClassId Base = H.findClass(BaseTok.Text);
     if (!Base.isValid()) {
-      Diags.error(BaseTok.Loc, "class '" + std::string(BaseTok.Text) +
-                                   "' in using-declaration is not defined");
+      Diags.error(BaseTok.Loc,
+                  "class '" + std::string(BaseTok.Text) +
+                      "' in using-declaration is not defined",
+                  DiagCode::UnknownBase);
       return;
     }
     H.addUsingDeclaration(Class, Base, NameTok.Text, CurrentAccess,
@@ -248,8 +317,10 @@ void Parser::parseMember(ClassId Class, AccessSpec &CurrentAccess) {
   }
 
   if (!peek().is(TokenKind::Identifier)) {
-    Diags.error(peek().Loc, std::string("expected member declaration, got ") +
-                                tokenKindName(peek().Kind));
+    Diags.error(peek().Loc,
+                std::string("expected member declaration, got ") +
+                    tokenKindName(peek().Kind),
+                DiagCode::SyntaxError);
     skipToSemicolon();
     return;
   }
@@ -269,6 +340,8 @@ void Parser::parseMember(ClassId Class, AccessSpec &CurrentAccess) {
     return;
   }
 
+  if (!chargeMember(NameTok.Loc))
+    return;
   H.addMember(Class, NameTok.Text, IsStatic, IsVirtual, CurrentAccess,
               NameTok.Loc, &Diags);
 }
@@ -278,8 +351,10 @@ void Parser::parseLookupDirective() {
   SourceLoc Loc = advance().Loc; // 'lookup' or 'expect'
 
   if (!peek().is(TokenKind::Identifier)) {
-    Diags.error(peek().Loc, std::string("expected class name after '") +
-                                (IsExpect ? "expect'" : "lookup'"));
+    Diags.error(peek().Loc,
+                std::string("expected class name after '") +
+                    (IsExpect ? "expect'" : "lookup'"),
+                DiagCode::SyntaxError);
     skipToSemicolon();
     return;
   }
@@ -306,7 +381,8 @@ void Parser::parseLookupDirective() {
     if (!peek().is(TokenKind::Identifier)) {
       Diags.error(peek().Loc,
                   "expected class name, 'ambiguous', or 'notfound' "
-                  "after '='");
+                  "after '='",
+                  DiagCode::SyntaxError);
       skipToSemicolon();
       return;
     }
@@ -333,7 +409,8 @@ void Parser::parseCodeBlock() {
   SourceLoc Loc = advance().Loc; // 'code'
 
   if (!peek().is(TokenKind::Identifier)) {
-    Diags.error(peek().Loc, "expected class name after 'code'");
+    Diags.error(peek().Loc, "expected class name after 'code'",
+                DiagCode::SyntaxError);
     skipToSemicolon();
     return;
   }
@@ -352,7 +429,8 @@ void Parser::parseCodeBlock() {
     if (!peek().is(TokenKind::Identifier)) {
       Diags.error(peek().Loc,
                   std::string("expected a name use, got ") +
-                      tokenKindName(peek().Kind));
+                      tokenKindName(peek().Kind),
+                  DiagCode::SyntaxError);
       skipToSemicolon();
       continue;
     }
@@ -361,7 +439,8 @@ void Parser::parseCodeBlock() {
     Use.Loc = First.Loc;
     if (consumeIf(TokenKind::ColonColon)) {
       if (!peek().is(TokenKind::Identifier)) {
-        Diags.error(peek().Loc, "expected member name after '::'");
+        Diags.error(peek().Loc, "expected member name after '::'",
+                  DiagCode::SyntaxError);
         skipToSemicolon();
         continue;
       }
@@ -375,7 +454,8 @@ void Parser::parseCodeBlock() {
       if (!peek().is(TokenKind::Identifier)) {
         Diags.error(peek().Loc,
                     "expected class name, 'ambiguous', or 'error' "
-                    "after '=>'");
+                    "after '=>'",
+                    DiagCode::SyntaxError);
         skipToSemicolon();
         continue;
       }
@@ -392,7 +472,14 @@ void Parser::parseCodeBlock() {
 
 std::optional<ParsedProgram> memlook::parseProgram(std::string_view Source,
                                                    DiagnosticEngine &Diags) {
+  return parseProgram(Source, Diags, ParseOptions());
+}
+
+std::optional<ParsedProgram>
+memlook::parseProgram(std::string_view Source, DiagnosticEngine &Diags,
+                      const ParseOptions &Options) {
+  Diags.setErrorLimit(Options.Budget.MaxErrorDiagnostics);
   Lexer Lex(Source, Diags);
-  Parser P(Lex.tokens(), Diags);
+  Parser P(Lex.tokens(), Diags, Options);
   return P.run();
 }

@@ -21,11 +21,63 @@ const char *memlook::severityLabel(Severity S) {
   return "unknown";
 }
 
+const char *memlook::diagCodeLabel(DiagCode Code) {
+  switch (Code) {
+  case DiagCode::None:
+    return "none";
+  case DiagCode::SyntaxError:
+    return "syntax-error";
+  case DiagCode::UnknownBase:
+    return "unknown-base";
+  case DiagCode::DuplicateClass:
+    return "duplicate-class";
+  case DiagCode::DuplicateBase:
+    return "duplicate-base";
+  case DiagCode::ConflictingBase:
+    return "conflicting-base";
+  case DiagCode::SelfInheritance:
+    return "self-inheritance";
+  case DiagCode::InheritanceCycle:
+    return "inheritance-cycle";
+  case DiagCode::InvalidUsingTarget:
+    return "invalid-using-target";
+  case DiagCode::RedeclaredMember:
+    return "redeclared-member";
+  case DiagCode::TooManyClasses:
+    return "too-many-classes";
+  case DiagCode::TooManyEdges:
+    return "too-many-edges";
+  case DiagCode::TooManyMembers:
+    return "too-many-members";
+  case DiagCode::TooManyErrors:
+    return "too-many-errors";
+  }
+  return "unknown";
+}
+
 void DiagnosticEngine::report(Severity Level, SourceLoc Loc,
-                              std::string Message) {
-  if (Level == Severity::Error)
+                              std::string Message, DiagCode Code) {
+  if (Truncated)
+    return;
+  if (Level == Severity::Error) {
+    if (ErrorLimit != 0 && NumErrors >= ErrorLimit) {
+      Truncated = true;
+      ++NumErrors;
+      Diags.push_back(Diagnostic{Severity::Error, DiagCode::TooManyErrors,
+                                 SourceLoc(),
+                                 "too many errors; giving up on this input"});
+      return;
+    }
     ++NumErrors;
-  Diags.push_back(Diagnostic{Level, Loc, std::move(Message)});
+  }
+  Diags.push_back(Diagnostic{Level, Code, Loc, std::move(Message)});
+}
+
+bool DiagnosticEngine::hasCode(DiagCode Code) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Code == Code)
+      return true;
+  return false;
 }
 
 void DiagnosticEngine::print(std::ostream &OS,

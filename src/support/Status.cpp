@@ -1,0 +1,47 @@
+//===- Status.cpp - Recoverable errors -------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/support/Status.h"
+
+using namespace memlook;
+
+const char *memlook::errorCodeLabel(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::UnknownClass:
+    return "unknown-class";
+  case ErrorCode::DuplicateClass:
+    return "duplicate-class";
+  case ErrorCode::DuplicateBase:
+    return "duplicate-base";
+  case ErrorCode::InheritanceCycle:
+    return "inheritance-cycle";
+  case ErrorCode::InvalidUsingTarget:
+    return "invalid-using-target";
+  case ErrorCode::ParseError:
+    return "parse-error";
+  case ErrorCode::BudgetExceeded:
+    return "budget-exceeded";
+  case ErrorCode::NotFinalized:
+    return "not-finalized";
+  case ErrorCode::InvalidArgument:
+    return "invalid-argument";
+  }
+  return "unknown";
+}
+
+std::string Status::toString() const {
+  if (isOk())
+    return "ok";
+  std::string Out = errorCodeLabel(Code);
+  if (!Msg.empty()) {
+    Out += ": ";
+    Out += Msg;
+  }
+  return Out;
+}

@@ -114,3 +114,78 @@ TEST(HierarchyBuilderTest, BaseAccessIsRecorded) {
   EXPECT_EQ(*H.edgeAccess(H.findClass("A"), H.findClass("B")),
             AccessSpec::Private);
 }
+
+// Regression: referencing an unknown base on an otherwise-fine two-class
+// hierarchy used to assert inside the builder. It must instead record a
+// structured diagnostic and surface through tryBuild() as an error.
+TEST(HierarchyBuilderTest, UnknownBaseIsDiagnosedNotFatal) {
+  HierarchyBuilder B;
+  B.addClass("A").withMember("m");
+  B.addClass("B").withBase("A").withBase("Missing");
+  EXPECT_TRUE(B.diagnostics().hasErrors());
+  EXPECT_TRUE(B.diagnostics().hasCode(DiagCode::UnknownBase));
+
+  Expected<Hierarchy> Result = std::move(B).tryBuild();
+  ASSERT_FALSE(Result.hasValue());
+  EXPECT_EQ(Result.status().code(), ErrorCode::UnknownClass);
+}
+
+TEST(HierarchyBuilderTest, GetClassUnknownNameYieldsInertHandle) {
+  HierarchyBuilder B;
+  B.addClass("A");
+  HierarchyBuilder::ClassHandle Ghost = B.getClass("NoSuchClass");
+  EXPECT_FALSE(Ghost.valid());
+  Ghost.withMember("m").withBase("A"); // all no-ops, must not crash
+  EXPECT_TRUE(B.diagnostics().hasCode(DiagCode::UnknownBase));
+
+  DiagnosticEngine Diags;
+  Expected<Hierarchy> Result = std::move(B).tryBuild(&Diags);
+  ASSERT_FALSE(Result.hasValue());
+  EXPECT_EQ(Result.status().code(), ErrorCode::UnknownClass);
+  EXPECT_TRUE(Diags.hasCode(DiagCode::UnknownBase));
+}
+
+TEST(HierarchyBuilderTest, DuplicateClassIsDiagnosedNotFatal) {
+  HierarchyBuilder B;
+  B.addClass("A").withMember("m");
+  HierarchyBuilder::ClassHandle Again = B.addClass("A");
+  EXPECT_FALSE(Again.valid());
+  Expected<Hierarchy> Result = std::move(B).tryBuild();
+  ASSERT_FALSE(Result.hasValue());
+  EXPECT_EQ(Result.status().code(), ErrorCode::DuplicateClass);
+}
+
+TEST(HierarchyBuilderTest, MultiClassCycleIsDiagnosedAtTryBuild) {
+  // The fluent API can describe a cycle that insertion-time checks can't
+  // see (each edge is locally fine); validate() must catch it.
+  HierarchyBuilder B;
+  B.addClass("A");
+  B.addClass("B").withBase("A");
+  B.getClass("A").withBase("B");
+  Expected<Hierarchy> Result = std::move(B).tryBuild();
+  ASSERT_FALSE(Result.hasValue());
+  EXPECT_EQ(Result.status().code(), ErrorCode::InheritanceCycle);
+}
+
+TEST(HierarchyBuilderTest, TryBuildSucceedsOnCleanInput) {
+  HierarchyBuilder B;
+  B.addClass("A").withMember("m");
+  B.addClass("B").withBase("A");
+  DiagnosticEngine Diags;
+  Expected<Hierarchy> Result = std::move(B).tryBuild(&Diags);
+  ASSERT_TRUE(Result.hasValue());
+  EXPECT_FALSE(Diags.hasErrors());
+  Hierarchy H = Result.takeValue();
+  EXPECT_TRUE(H.isFinalized());
+  EXPECT_TRUE(H.isBaseOf(H.findClass("A"), H.findClass("B")));
+}
+
+TEST(HierarchyBuilderTest, ConflictingBaseKindIsDiagnosed) {
+  HierarchyBuilder B;
+  B.addClass("A");
+  B.addClass("B").withBase("A").withVirtualBase("A");
+  EXPECT_TRUE(B.diagnostics().hasCode(DiagCode::ConflictingBase));
+  Expected<Hierarchy> Result = std::move(B).tryBuild();
+  ASSERT_FALSE(Result.hasValue());
+  EXPECT_EQ(Result.status().code(), ErrorCode::DuplicateBase);
+}

@@ -194,3 +194,57 @@ TEST(HierarchyTest, AccessSpelling) {
   EXPECT_STREQ(accessSpelling(AccessSpec::Protected), "protected");
   EXPECT_STREQ(accessSpelling(AccessSpec::Private), "private");
 }
+
+TEST(HierarchyTest, ValidateAcceptsCleanDraft) {
+  Hierarchy H;
+  ClassId A = H.createClass("A");
+  ClassId B = H.createClass("B");
+  H.addBase(B, A, InheritanceKind::NonVirtual, AccessSpec::Public);
+  H.addMember(A, "m", false, false, AccessSpec::Public);
+  H.addUsingDeclaration(B, A, "m", AccessSpec::Public);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(H.validate(Diags));
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(HierarchyTest, ValidateReportsCycleWithoutMutating) {
+  Hierarchy H;
+  ClassId A = H.createClass("A");
+  ClassId B = H.createClass("B");
+  H.addBase(B, A, InheritanceKind::NonVirtual, AccessSpec::Public);
+  H.addBase(A, B, InheritanceKind::NonVirtual, AccessSpec::Public);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(H.validate(Diags));
+  EXPECT_TRUE(Diags.hasCode(DiagCode::InheritanceCycle));
+  // validate() is const: the draft is still usable for diagnosis.
+  EXPECT_FALSE(H.isFinalized());
+  EXPECT_EQ(H.numClasses(), 2u);
+}
+
+TEST(HierarchyTest, ValidateReportsNonBaseUsingTarget) {
+  Hierarchy H;
+  ClassId A = H.createClass("A");
+  ClassId B = H.createClass("B"); // unrelated to A
+  H.addMember(A, "m", false, false, AccessSpec::Public);
+  H.addUsingDeclaration(B, A, "m", AccessSpec::Public);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(H.validate(Diags));
+  EXPECT_TRUE(Diags.hasCode(DiagCode::InvalidUsingTarget));
+}
+
+TEST(HierarchyTest, ValidateIsCycleSafeWithUsingDeclarations) {
+  // Both problems at once: the using-target walk must not loop forever
+  // on a cyclic base graph.
+  Hierarchy H;
+  ClassId A = H.createClass("A");
+  ClassId B = H.createClass("B");
+  ClassId C = H.createClass("C");
+  H.addBase(B, A, InheritanceKind::NonVirtual, AccessSpec::Public);
+  H.addBase(A, B, InheritanceKind::NonVirtual, AccessSpec::Public);
+  H.addMember(A, "m", false, false, AccessSpec::Public);
+  H.addUsingDeclaration(C, A, "m", AccessSpec::Public);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(H.validate(Diags));
+  EXPECT_TRUE(Diags.hasCode(DiagCode::InheritanceCycle));
+  EXPECT_TRUE(Diags.hasCode(DiagCode::InvalidUsingTarget));
+}

@@ -64,3 +64,28 @@ TEST(DifferentialCheckTest, SkipsWhenReferenceOverflows) {
   EXPECT_TRUE(Report.passed());
   EXPECT_GT(Report.PairsSkipped, 0u);
 }
+
+TEST(DifferentialCheckTest, SkipsWhenFaultInjectorTripsReferences) {
+  // Force every metered reference lookup to exhaust on its first step:
+  // the audit must count those pairs as skipped - never as mismatches,
+  // since a degraded answer is not a wrong answer.
+  Hierarchy H = makeFigure3();
+  ResourceBudget Budget;
+  Budget.FaultAfterChecks = 1;
+  DifferentialReport Report = runDifferentialCheck(H, Budget);
+  EXPECT_TRUE(Report.passed());
+  EXPECT_GT(Report.PairsSkipped, 0u);
+  EXPECT_EQ(Report.PairsChecked + Report.PairsSkipped, 16u);
+}
+
+TEST(DifferentialCheckTest, BudgetOverloadMatchesLegacyOverload) {
+  Hierarchy H = makeFigure3();
+  DifferentialReport Legacy = runDifferentialCheck(H, size_t(1) << 18);
+  ResourceBudget Budget;
+  Budget.MaxSubobjects = size_t(1) << 18;
+  Budget.MaxDefsPerClass = size_t(1) << 18;
+  DifferentialReport Budgeted = runDifferentialCheck(H, Budget);
+  EXPECT_EQ(Legacy.PairsChecked, Budgeted.PairsChecked);
+  EXPECT_EQ(Legacy.PairsSkipped, Budgeted.PairsSkipped);
+  EXPECT_EQ(Legacy.Mismatches, Budgeted.Mismatches);
+}

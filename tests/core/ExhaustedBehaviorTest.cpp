@@ -1,0 +1,148 @@
+//===- ExhaustedBehaviorTest.cpp -------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Exhausted degradation path: when a reference engine's per-lookup
+/// step budget trips (forced deterministically here via the
+/// ResourceBudget fault injector), the engine must answer
+/// LookupStatus::Exhausted - never crash, never return a half-computed
+/// answer that looks authoritative. The Figure 8 engines take no budget
+/// at all; that their hot path stays meter-free is the paper's point.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/chg/HierarchyBuilder.h"
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/EngineFactory.h"
+#include "memlook/core/NaivePropagationEngine.h"
+#include "memlook/core/SubobjectLookupEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+
+namespace {
+
+Hierarchy makeDiamond() {
+  HierarchyBuilder B;
+  B.addClass("A").withMember("m");
+  B.addClass("L").withBase("A");
+  B.addClass("R").withBase("A");
+  B.addClass("D").withBase("L").withBase("R");
+  return std::move(B).build();
+}
+
+} // namespace
+
+TEST(ExhaustedBehaviorTest, SubobjectEngineTripsOnInjectedFault) {
+  Hierarchy H = makeDiamond();
+  ResourceBudget Budget;
+  Budget.FaultAfterChecks = 1; // very first metered step trips
+  SubobjectLookupEngine Engine(H, Budget);
+
+  LookupResult R = Engine.lookup(H.findClass("D"), H.findName("m"));
+  EXPECT_EQ(R.Status, LookupStatus::Exhausted);
+  EXPECT_TRUE(isBudgetDegraded(R.Status));
+}
+
+TEST(ExhaustedBehaviorTest, SubobjectEngineAnswersWithoutFault) {
+  Hierarchy H = makeDiamond();
+  SubobjectLookupEngine Engine(H, ResourceBudget());
+  LookupResult R = Engine.lookup(H.findClass("D"), H.findName("m"));
+  // Non-virtual diamond: two A subobjects both define m -> ambiguous.
+  EXPECT_EQ(R.Status, LookupStatus::Ambiguous);
+}
+
+TEST(ExhaustedBehaviorTest, PropagationEngineTripsOnInjectedFault) {
+  Hierarchy H = makeDiamond();
+  ResourceBudget Budget;
+  Budget.FaultAfterChecks = 1;
+  NaivePropagationEngine Engine(H, NaivePropagationEngine::Killing::Enabled,
+                                Budget);
+  LookupResult R = Engine.lookup(H.findClass("D"), H.findName("m"));
+  EXPECT_EQ(R.Status, LookupStatus::Exhausted);
+  EXPECT_TRUE(isBudgetDegraded(R.Status));
+  EXPECT_TRUE(Engine.exhausted(H.findName("m")));
+}
+
+TEST(ExhaustedBehaviorTest, PropagationEngineAnswersWithoutFault) {
+  Hierarchy H = makeDiamond();
+  NaivePropagationEngine Engine(H, NaivePropagationEngine::Killing::Enabled,
+                                ResourceBudget());
+  LookupResult R = Engine.lookup(H.findClass("D"), H.findName("m"));
+  EXPECT_EQ(R.Status, LookupStatus::Ambiguous);
+  EXPECT_FALSE(Engine.exhausted(H.findName("m")));
+}
+
+TEST(ExhaustedBehaviorTest, LaterFaultStillDegradesDeterministically) {
+  // The injector is positional: the same N always trips at the same
+  // point, so a degradation seen in CI reproduces exactly.
+  Hierarchy H = makeDiamond();
+  for (size_t N : {1u, 2u, 3u}) {
+    ResourceBudget Budget;
+    Budget.FaultAfterChecks = N;
+    SubobjectLookupEngine First(H, Budget);
+    SubobjectLookupEngine Second(H, Budget);
+    LookupResult A = First.lookup(H.findClass("D"), H.findName("m"));
+    LookupResult B = Second.lookup(H.findClass("D"), H.findName("m"));
+    EXPECT_EQ(A.Status, B.Status) << "fault at check " << N;
+  }
+}
+
+TEST(ExhaustedBehaviorTest, ExhaustedIsDistinctFromOverflow) {
+  EXPECT_TRUE(isBudgetDegraded(LookupStatus::Overflow));
+  EXPECT_TRUE(isBudgetDegraded(LookupStatus::Exhausted));
+  EXPECT_FALSE(isBudgetDegraded(LookupStatus::Unambiguous));
+  EXPECT_FALSE(isBudgetDegraded(LookupStatus::Ambiguous));
+  EXPECT_FALSE(isBudgetDegraded(LookupStatus::NotFound));
+  EXPECT_STREQ(lookupStatusLabel(LookupStatus::Exhausted), "exhausted");
+}
+
+TEST(EngineFactoryTest, RejectsNonFinalizedHierarchy) {
+  Hierarchy Draft;
+  Draft.createClass("A", SourceLoc(), nullptr);
+  Status S = validateForLookup(Draft);
+  ASSERT_FALSE(S.isOk());
+  EXPECT_EQ(S.code(), ErrorCode::NotFinalized);
+
+  Expected<std::unique_ptr<LookupEngine>> E =
+      createLookupEngine(EngineKind::RossieFriedman, Draft);
+  ASSERT_FALSE(E.hasValue());
+  EXPECT_EQ(E.status().code(), ErrorCode::NotFinalized);
+}
+
+TEST(EngineFactoryTest, BuildsEveryKindAndTheyAgree) {
+  Hierarchy H = makeDiamond();
+  ClassId D = H.findClass("D");
+  Symbol M = H.findName("m");
+
+  for (EngineKind Kind :
+       {EngineKind::Figure8Eager, EngineKind::Figure8Lazy,
+        EngineKind::Figure8LazyRecursive, EngineKind::PropagationNaive,
+        EngineKind::PropagationKilling, EngineKind::RossieFriedman,
+        EngineKind::GxxBfs, EngineKind::TopsortShortcut}) {
+    Expected<std::unique_ptr<LookupEngine>> E = createLookupEngine(Kind, H);
+    ASSERT_TRUE(E.hasValue()) << engineKindName(Kind);
+    LookupResult R = (*E)->lookup(D, M);
+    // topsort-shortcut is documented as unsound on ambiguous programs
+    // (Section 7.2); the factory only promises it constructs and
+    // answers. Every sound engine must see the diamond's ambiguity.
+    if (Kind != EngineKind::TopsortShortcut)
+      EXPECT_EQ(R.Status, LookupStatus::Ambiguous) << engineKindName(Kind);
+  }
+}
+
+TEST(EngineFactoryTest, FaultyBudgetReachesReferenceEngines) {
+  Hierarchy H = makeDiamond();
+  ResourceBudget Budget;
+  Budget.FaultAfterChecks = 1;
+  Expected<std::unique_ptr<LookupEngine>> E =
+      createLookupEngine(EngineKind::RossieFriedman, H, Budget);
+  ASSERT_TRUE(E.hasValue());
+  EXPECT_EQ((*E)->lookup(H.findClass("D"), H.findName("m")).Status,
+            LookupStatus::Exhausted);
+}

@@ -324,3 +324,66 @@ TEST(ParserTest, MultipleLookupDirectivesKeepOrder) {
   EXPECT_EQ(P.Lookups[1].MemberName, "n");
   EXPECT_EQ(P.Lookups[2].MemberName, "missing");
 }
+
+TEST(ParserTest, ClassBudgetTripsWithStructuredDiagnostic) {
+  std::string Source;
+  for (int I = 0; I != 10; ++I)
+    Source += "struct C" + std::to_string(I) + " { m; };\n";
+  DiagnosticEngine Diags;
+  ParseOptions Options;
+  Options.Budget.MaxClasses = 4;
+  EXPECT_FALSE(parseProgram(Source, Diags, Options).has_value());
+  EXPECT_TRUE(Diags.hasCode(DiagCode::TooManyClasses));
+}
+
+TEST(ParserTest, EdgeBudgetTripsWithStructuredDiagnostic) {
+  std::string Source = "struct A { m; };\n";
+  Source += "struct B : A, virtual A, public A, private A, protected A {};\n";
+  DiagnosticEngine Diags;
+  ParseOptions Options;
+  Options.Budget.MaxEdges = 1;
+  EXPECT_FALSE(parseProgram(Source, Diags, Options).has_value());
+  EXPECT_TRUE(Diags.hasCode(DiagCode::TooManyEdges));
+}
+
+TEST(ParserTest, MemberBudgetTripsWithStructuredDiagnostic) {
+  std::string Source = "struct A { m0; m1; m2; m3; m4; m5; };\n";
+  DiagnosticEngine Diags;
+  ParseOptions Options;
+  Options.Budget.MaxMemberDecls = 3;
+  EXPECT_FALSE(parseProgram(Source, Diags, Options).has_value());
+  EXPECT_TRUE(Diags.hasCode(DiagCode::TooManyMembers));
+}
+
+TEST(ParserTest, BudgetWithinLimitsParsesNormally) {
+  DiagnosticEngine Diags;
+  ParseOptions Options;
+  Options.Budget = ResourceBudget::untrustedInput();
+  std::optional<ParsedProgram> Program = parseProgram(
+      "struct A { m; };\nstruct B : A { n; };\n", Diags, Options);
+  ASSERT_TRUE(Program.has_value());
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Program->H.numClasses(), 2u);
+}
+
+TEST(ParserTest, ErrorCapStopsTheParseNotTheProcess) {
+  // 100 bogus top-level tokens: far more errors than the cap. The parse
+  // must stop at the cap with the TooManyErrors sentinel, not spend
+  // time reporting all 100.
+  std::string Source;
+  for (int I = 0; I != 100; ++I)
+    Source += "=\n";
+  DiagnosticEngine Diags;
+  ParseOptions Options;
+  Options.Budget.MaxErrorDiagnostics = 5;
+  EXPECT_FALSE(parseProgram(Source, Diags, Options).has_value());
+  EXPECT_TRUE(Diags.truncated());
+  EXPECT_TRUE(Diags.hasCode(DiagCode::TooManyErrors));
+  EXPECT_LE(Diags.diagnostics().size(), 6u);
+}
+
+TEST(ParserTest, SyntaxErrorsCarryTheSyntaxErrorCode) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseProgram("class { m; };", Diags).has_value());
+  EXPECT_TRUE(Diags.hasCode(DiagCode::SyntaxError));
+}

@@ -62,3 +62,52 @@ TEST(DiagnosticsTest, SourceLocValidity) {
   EXPECT_FALSE(SourceLoc{}.isValid());
   EXPECT_TRUE((SourceLoc{1, 0}).isValid());
 }
+
+TEST(DiagnosticsTest, CodesAreRecordedAndQueryable) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc{1, 1}, "no class 'X'", DiagCode::UnknownBase);
+  Diags.warning(SourceLoc{2, 1}, "member folded", DiagCode::RedeclaredMember);
+  EXPECT_TRUE(Diags.hasCode(DiagCode::UnknownBase));
+  EXPECT_TRUE(Diags.hasCode(DiagCode::RedeclaredMember));
+  EXPECT_FALSE(Diags.hasCode(DiagCode::InheritanceCycle));
+  EXPECT_EQ(Diags.diagnostics()[0].Code, DiagCode::UnknownBase);
+}
+
+TEST(DiagnosticsTest, EveryDiagCodeHasALabel) {
+  for (uint8_t Raw = 0;
+       Raw <= static_cast<uint8_t>(DiagCode::TooManyErrors); ++Raw) {
+    const char *Label = diagCodeLabel(static_cast<DiagCode>(Raw));
+    ASSERT_NE(Label, nullptr);
+    EXPECT_STRNE(Label, "");
+  }
+}
+
+TEST(DiagnosticsTest, ErrorLimitTruncatesWithSentinel) {
+  DiagnosticEngine Diags;
+  Diags.setErrorLimit(3);
+  for (int I = 0; I != 10; ++I)
+    Diags.error(SourceLoc{uint32_t(I + 1), 1}, "problem");
+  EXPECT_TRUE(Diags.truncated());
+  EXPECT_TRUE(Diags.hasCode(DiagCode::TooManyErrors));
+  // 3 real errors + the sentinel; the other 6 were dropped.
+  EXPECT_EQ(Diags.diagnostics().size(), 4u);
+  EXPECT_EQ(Diags.errorCount(), 4u);
+}
+
+TEST(DiagnosticsTest, TruncationDropsWarningsToo) {
+  DiagnosticEngine Diags;
+  Diags.setErrorLimit(1);
+  Diags.error("one");
+  Diags.error("two"); // trips the cap
+  Diags.warning(SourceLoc{1, 1}, "late warning");
+  EXPECT_TRUE(Diags.truncated());
+  EXPECT_EQ(Diags.diagnostics().size(), 2u); // "one" + sentinel
+}
+
+TEST(DiagnosticsTest, ZeroLimitMeansUnlimited) {
+  DiagnosticEngine Diags;
+  for (int I = 0; I != 100; ++I)
+    Diags.error("problem");
+  EXPECT_FALSE(Diags.truncated());
+  EXPECT_EQ(Diags.errorCount(), 100u);
+}

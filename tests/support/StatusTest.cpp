@@ -1,0 +1,125 @@
+//===- StatusTest.cpp ------------------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/support/ResourceBudget.h"
+#include "memlook/support/Status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace memlook;
+
+TEST(StatusTest, DefaultIsOk) {
+  Status S;
+  EXPECT_TRUE(S.isOk());
+  EXPECT_TRUE(static_cast<bool>(S));
+  EXPECT_EQ(S.code(), ErrorCode::Ok);
+  EXPECT_EQ(S.toString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status S = Status::error(ErrorCode::UnknownClass, "no class 'X'");
+  EXPECT_FALSE(S.isOk());
+  EXPECT_FALSE(static_cast<bool>(S));
+  EXPECT_EQ(S.code(), ErrorCode::UnknownClass);
+  EXPECT_EQ(S.message(), "no class 'X'");
+  EXPECT_EQ(S.toString(), "unknown-class: no class 'X'");
+}
+
+TEST(StatusTest, EveryErrorCodeHasALabel) {
+  for (uint8_t Raw = 0; Raw <= static_cast<uint8_t>(ErrorCode::InvalidArgument);
+       ++Raw) {
+    const char *Label = errorCodeLabel(static_cast<ErrorCode>(Raw));
+    ASSERT_NE(Label, nullptr);
+    EXPECT_STRNE(Label, "");
+  }
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> E(42);
+  ASSERT_TRUE(E.hasValue());
+  EXPECT_EQ(*E, 42);
+  EXPECT_TRUE(E.status().isOk());
+  EXPECT_EQ(E.takeValue(), 42);
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int> E(Status::error(ErrorCode::BudgetExceeded, "too big"));
+  EXPECT_FALSE(E.hasValue());
+  EXPECT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.status().code(), ErrorCode::BudgetExceeded);
+}
+
+TEST(ExpectedTest, MoveOnlyValueWorks) {
+  Expected<std::unique_ptr<int>> E(std::make_unique<int>(7));
+  ASSERT_TRUE(E.hasValue());
+  std::unique_ptr<int> P = E.takeValue();
+  EXPECT_EQ(*P, 7);
+}
+
+TEST(BudgetMeterTest, ChargesUpToLimit) {
+  BudgetMeter Meter(3);
+  EXPECT_TRUE(Meter.charge());
+  EXPECT_TRUE(Meter.charge());
+  EXPECT_TRUE(Meter.charge());
+  EXPECT_FALSE(Meter.charge()); // fourth unit exceeds the limit of 3
+  EXPECT_TRUE(Meter.exhausted());
+}
+
+TEST(BudgetMeterTest, StaysTrippedForever) {
+  BudgetMeter Meter(1);
+  EXPECT_TRUE(Meter.charge());
+  EXPECT_FALSE(Meter.charge());
+  for (int I = 0; I != 10; ++I)
+    EXPECT_FALSE(Meter.charge());
+  EXPECT_TRUE(Meter.exhausted());
+}
+
+TEST(BudgetMeterTest, BulkChargeCountsUnits) {
+  BudgetMeter Meter(10);
+  EXPECT_TRUE(Meter.charge(10)); // exactly at the limit is still fine
+  EXPECT_FALSE(Meter.charge(1));
+  EXPECT_EQ(Meter.used(), 11u);
+}
+
+TEST(BudgetMeterTest, FaultInjectionTripsNthCheck) {
+  // Limit is enormous; only the injector can trip it - on exactly the
+  // third charge() call.
+  BudgetMeter Meter(SIZE_MAX, /*FaultAfterChecks=*/3);
+  EXPECT_TRUE(Meter.charge());
+  EXPECT_TRUE(Meter.charge());
+  EXPECT_FALSE(Meter.charge());
+  EXPECT_TRUE(Meter.exhausted());
+  EXPECT_EQ(Meter.checks(), 3u);
+}
+
+TEST(BudgetMeterTest, LookupStepsPicksUpFaultHook) {
+  ResourceBudget Budget;
+  Budget.FaultAfterChecks = 1;
+  BudgetMeter Meter = BudgetMeter::lookupSteps(Budget);
+  EXPECT_FALSE(Meter.charge());
+  EXPECT_TRUE(Meter.exhausted());
+}
+
+TEST(ResourceBudgetTest, UntrustedPresetIsTighterThanDefault) {
+  ResourceBudget Default;
+  ResourceBudget Tight = ResourceBudget::untrustedInput();
+  EXPECT_LT(Tight.MaxClasses, Default.MaxClasses);
+  EXPECT_LT(Tight.MaxEdges, Default.MaxEdges);
+  EXPECT_LT(Tight.MaxMemberDecls, Default.MaxMemberDecls);
+  EXPECT_LT(Tight.MaxSubobjects, Default.MaxSubobjects);
+  EXPECT_LT(Tight.MaxLookupSteps, Default.MaxLookupSteps);
+  EXPECT_EQ(Tight.FaultAfterChecks, 0u);
+}
+
+TEST(ResourceBudgetTest, UnlimitedNeverTrips) {
+  BudgetMeter Meter = BudgetMeter::lookupSteps(ResourceBudget::unlimited());
+  EXPECT_TRUE(Meter.charge(1u << 30));
+  EXPECT_TRUE(Meter.charge(1u << 30));
+  EXPECT_FALSE(Meter.exhausted());
+}
