@@ -19,9 +19,19 @@
 //   $ ./fuzz_mlk 500 77           # 500 cases starting at seed 77
 //   $ ./fuzz_mlk --dump 42        # print the input derived from seed 42
 //
+// The --edits mode fuzzes the *service* instead of the parser: each seed
+// derives a random hierarchy plus a sequence of valid-and-invalid
+// transactions committed against a live LookupService, with the
+// differential check auditing every committed epoch and the
+// rollback-restores-answers invariant checking every rejected one:
+//
+//   $ ./fuzz_mlk --edits          # 200 edit-script cases, seeds 1..200
+//   $ ./fuzz_mlk --edits 500 77   # 500 cases starting at seed 77
+//
 //===----------------------------------------------------------------------===//
 
 #include "memlook/frontend/FuzzHarness.h"
+#include "memlook/service/EditScriptFuzz.h"
 
 #include <cstdlib>
 #include <cstring>
@@ -37,11 +47,40 @@ static bool parseCount(const char *Text, uint64_t &Out) {
 
 static int usage(const char *Prog) {
   std::cerr << "usage: " << Prog << " [count] [firstSeed]\n"
+            << "       " << Prog << " --edits [count] [firstSeed]\n"
             << "       " << Prog << " --dump <seed>\n";
   return 2;
 }
 
+static int runEditsMode(int ArgC, char **ArgV) {
+  uint64_t Count = 200, FirstSeed = 1;
+  if (ArgC > 4 || (ArgC > 2 && !parseCount(ArgV[2], Count)) ||
+      (ArgC > 3 && !parseCount(ArgV[3], FirstSeed)))
+    return usage(ArgV[0]);
+
+  service::EditScriptCampaignReport Report = service::runEditScriptCampaign(
+      FirstSeed, Count, ResourceBudget::untrustedInput());
+
+  for (const service::EditScriptCaseResult &Failure : Report.Failures) {
+    std::cout << "FAILURE at seed " << Failure.Seed
+              << " (reproduce: ./fuzz_mlk --edits 1 " << Failure.Seed
+              << "):\n";
+    for (const std::string &Mismatch : Failure.Mismatches)
+      std::cout << "  " << Mismatch << '\n';
+  }
+
+  std::cout << "fuzzed " << Report.CasesRun << " edit scripts: "
+            << Report.TxnsCommitted << " transactions committed, "
+            << Report.TxnsRejected << " rolled back, " << Report.PairsChecked
+            << " lookups compared, " << Report.PairsSkipped
+            << " skipped (budget), " << Report.Failures.size()
+            << " failing cases\n";
+  return Report.passed() ? 0 : 1;
+}
+
 int main(int ArgC, char **ArgV) {
+  if (ArgC >= 2 && std::strcmp(ArgV[1], "--edits") == 0)
+    return runEditsMode(ArgC, ArgV);
   if (ArgC >= 2 && std::strcmp(ArgV[1], "--dump") == 0) {
     uint64_t Seed;
     if (ArgC != 3 || !parseCount(ArgV[2], Seed))

@@ -15,6 +15,17 @@
 //   $ ./lookup_tool file.mlk --dot-chg out.dot
 //   $ echo 'class A { void m(); }; lookup A::m;' | ./lookup_tool -
 //
+// With --serve the parsed hierarchy seeds a live LookupService and the
+// tool becomes a line-oriented REPL: queries degrade along the deadline
+// ladder and report which rung answered, edit commands commit
+// transactions (singly, or batched between :begin and :commit), and
+// :audit runs the self-audit on demand. Type `help` at the prompt.
+//
+//   $ ./lookup_tool file.mlk --serve
+//   memlook> E::m
+//   memlook> add-member C n
+//   memlook> :audit
+//
 //===----------------------------------------------------------------------===//
 
 #include "memlook/chg/DotExport.h"
@@ -28,10 +39,14 @@
 #include "memlook/frontend/CodeResolution.h"
 #include "memlook/frontend/Parser.h"
 #include "memlook/frontend/SourcePrinter.h"
+#include "memlook/service/LookupService.h"
+#include "memlook/support/Deadline.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -43,6 +58,7 @@ namespace {
 int usage(const char *Prog) {
   std::cerr
       << "usage: " << Prog << " <file.mlk | -> [options]\n"
+      << "  --serve          start an interactive lookup service REPL\n"
       << "  --query C::m     resolve member m in class C (repeatable)\n"
       << "  --explain        list candidate subobjects for ambiguities\n"
       << "  --table          print the full lookup table\n"
@@ -73,6 +89,213 @@ std::unique_ptr<LookupEngine> makeEngine(const std::string &Name,
   return nullptr;
 }
 
+//===----------------------------------------------------------------------===//
+// --serve: the long-lived service REPL
+//===----------------------------------------------------------------------===//
+
+void serveHelp() {
+  std::cout
+      << "queries:\n"
+      << "  C::m [deadline-ms]   resolve m in C; with a deadline the answer\n"
+      << "                       degrades along the ladder (0 = instant floor)\n"
+      << "edits (each line commits one transaction unless inside :begin):\n"
+      << "  add-class C\n"
+      << "  remove-class C\n"
+      << "  add-base DERIVED BASE [virtual]\n"
+      << "  remove-base DERIVED BASE\n"
+      << "  add-member C m [static] [virtual]\n"
+      << "  remove-member C m\n"
+      << "  add-using C FROM m\n"
+      << "transactions:\n"
+      << "  :begin   start batching edits    :commit  apply atomically\n"
+      << "  :abort   discard the batch\n"
+      << "service:\n"
+      << "  :audit   run the self-audit      :warm    build this epoch's table\n"
+      << "  :health  cache health            :stats   operation counters\n"
+      << "  :epoch   current epoch           :quit    exit (also EOF)\n";
+}
+
+void printAnswer(const Hierarchy &H, const std::string &Class,
+                 const std::string &Member, const service::QueryAnswer &A) {
+  std::cout << Class << "::" << Member << " -> ";
+  if (!A.S.isOk())
+    std::cout << "error: " << A.S.toString();
+  else
+    std::cout << formatLookupResult(H, A.Result);
+  std::cout << "  [" << service::answerRungLabel(A.Rung) << ", epoch "
+            << A.Epoch;
+  if (A.Approximate)
+    std::cout << ", approximate";
+  if (A.DeadlineExpired)
+    std::cout << ", deadline-expired";
+  if (A.TableQuarantined)
+    std::cout << ", table-quarantined";
+  std::cout << "]\n";
+}
+
+/// Records one edit-command line into \p Txn. Returns false (with
+/// \p Err set) on a malformed line; actual validation happens at
+/// commit, like any transaction.
+bool recordEdit(service::Transaction &Txn,
+                const std::vector<std::string> &Tok, std::string &Err) {
+  auto Flag = [&](const char *Name, size_t From) {
+    for (size_t I = From; I < Tok.size(); ++I)
+      if (Tok[I] == Name)
+        return true;
+    return false;
+  };
+  const std::string &Cmd = Tok[0];
+  if (Cmd == "add-class" && Tok.size() == 2) {
+    Txn.addClass(Tok[1]);
+  } else if (Cmd == "remove-class" && Tok.size() == 2) {
+    Txn.removeClass(Tok[1]);
+  } else if (Cmd == "add-base" && Tok.size() >= 3) {
+    Txn.addBase(Tok[1], Tok[2],
+                Flag("virtual", 3) ? InheritanceKind::Virtual
+                                   : InheritanceKind::NonVirtual);
+  } else if (Cmd == "remove-base" && Tok.size() == 3) {
+    Txn.removeBase(Tok[1], Tok[2]);
+  } else if (Cmd == "add-member" && Tok.size() >= 3) {
+    Txn.addMember(Tok[1], Tok[2], Flag("static", 3), Flag("virtual", 3));
+  } else if (Cmd == "remove-member" && Tok.size() == 3) {
+    Txn.removeMember(Tok[1], Tok[2]);
+  } else if (Cmd == "add-using" && Tok.size() == 4) {
+    Txn.addUsing(Tok[1], Tok[2], Tok[3]);
+  } else {
+    Err = "malformed edit (try `help`)";
+    return false;
+  }
+  return true;
+}
+
+int runServe(Hierarchy H) {
+  Expected<std::unique_ptr<service::LookupService>> SvcOr =
+      service::LookupService::create(std::move(H));
+  if (!SvcOr.hasValue()) {
+    std::cerr << "error: " << SvcOr.status().toString() << '\n';
+    return 1;
+  }
+  service::LookupService &Svc = **SvcOr;
+
+  std::cout << "memlook service: epoch " << Svc.currentEpoch()
+            << ", table " << (Svc.tableHealth().isOk() ? "warm" : "cold")
+            << ". Type `help` for commands.\n";
+
+  std::optional<service::Transaction> Pending;
+  std::string Line;
+  while (std::getline(std::cin, Line)) {
+    std::istringstream Splitter(Line);
+    std::vector<std::string> Tok;
+    for (std::string Word; Splitter >> Word;)
+      Tok.push_back(Word);
+    if (Tok.empty())
+      continue;
+    const std::string &Cmd = Tok[0];
+
+    if (Cmd == ":quit" || Cmd == ":q") {
+      break;
+    } else if (Cmd == "help" || Cmd == ":help") {
+      serveHelp();
+    } else if (Cmd == ":epoch") {
+      std::cout << "epoch " << Svc.currentEpoch() << '\n';
+    } else if (Cmd == ":health") {
+      Status S = Svc.tableHealth();
+      std::cout << (S.isOk() ? "table warm" : S.toString()) << '\n';
+    } else if (Cmd == ":warm") {
+      Status S = Svc.warmCurrent();
+      std::cout << (S.isOk() ? "table warm" : S.toString()) << '\n';
+    } else if (Cmd == ":audit") {
+      service::AuditReport Report = Svc.auditNow();
+      std::cout << Report.toString() << '\n';
+      for (const std::string &Mismatch : Report.Mismatches)
+        std::cout << "  MISMATCH: " << Mismatch << '\n';
+    } else if (Cmd == ":stats") {
+      service::ServiceStats S = Svc.stats();
+      std::cout << "commits " << S.Commits << ", rejects "
+                << S.CommitRejects << ", conflicts " << S.CommitConflicts
+                << ", aborts " << S.AbortedTxns << '\n'
+                << "queries " << S.Queries << " (tabulated "
+                << S.RungAnswers[0] << ", figure8 " << S.RungAnswers[1]
+                << ", gxx " << S.RungAnswers[2] << "), unknown contexts "
+                << S.UnknownContexts << '\n'
+                << "audits " << S.Audits << ", mismatches "
+                << S.AuditMismatches << ", quarantines " << S.Quarantines
+                << ", rebuilds " << S.TableRebuilds << '\n';
+    } else if (Cmd == ":begin") {
+      if (Pending)
+        std::cout << "error: transaction already open (" << Pending->size()
+                  << " ops)\n";
+      else {
+        Pending.emplace(Svc.beginTxn());
+        std::cout << "transaction open against epoch "
+                  << Pending->baseEpoch() << '\n';
+      }
+    } else if (Cmd == ":commit") {
+      if (!Pending) {
+        std::cout << "error: no open transaction\n";
+      } else {
+        Status S = Svc.commit(*Pending);
+        Pending.reset();
+        if (S.isOk())
+          std::cout << "committed: epoch " << Svc.currentEpoch() << '\n';
+        else
+          std::cout << "rolled back: " << S.toString() << '\n';
+      }
+    } else if (Cmd == ":abort") {
+      if (!Pending) {
+        std::cout << "error: no open transaction\n";
+      } else {
+        Svc.abort(*Pending);
+        Pending.reset();
+        std::cout << "aborted\n";
+      }
+    } else if (Cmd.find("::") != std::string::npos) {
+      size_t Sep = Cmd.find("::");
+      std::string Class = Cmd.substr(0, Sep);
+      std::string Member = Cmd.substr(Sep + 2);
+      Deadline D = Deadline::never();
+      if (Tok.size() >= 2) {
+        char *End = nullptr;
+        long Millis = std::strtol(Tok[1].c_str(), &End, 10);
+        if (End == Tok[1].c_str() || *End != '\0' || Millis < 0) {
+          std::cout << "error: bad deadline '" << Tok[1] << "'\n";
+          continue;
+        }
+        D = Deadline::afterMillis(Millis);
+      }
+      std::shared_ptr<const service::Snapshot> Snap = Svc.snapshot();
+      printAnswer(*Snap->H, Class, Member,
+                  Svc.queryOn(*Snap, Class, Member, D));
+    } else if (Cmd[0] == ':') {
+      std::cout << "error: unknown command '" << Cmd
+                << "' (try `help`)\n";
+    } else {
+      // An edit command: batch it, or commit it as its own transaction.
+      std::string Err;
+      if (Pending) {
+        if (recordEdit(*Pending, Tok, Err))
+          std::cout << "recorded (" << Pending->size() << " ops)\n";
+        else
+          std::cout << "error: " << Err << '\n';
+      } else {
+        service::Transaction Txn = Svc.beginTxn();
+        if (!recordEdit(Txn, Tok, Err)) {
+          std::cout << "error: " << Err << '\n';
+          continue;
+        }
+        Status S = Svc.commit(Txn);
+        if (S.isOk())
+          std::cout << "committed: epoch " << Svc.currentEpoch() << '\n';
+        else
+          std::cout << "rolled back: " << S.toString() << '\n';
+      }
+    }
+  }
+  if (Pending)
+    Svc.abort(*Pending);
+  return 0;
+}
+
 } // namespace
 
 int main(int ArgC, char **ArgV) {
@@ -88,11 +311,14 @@ int main(int ArgC, char **ArgV) {
   bool Explain = false;
   bool SelfCheck = false;
   bool PrintStats = false;
+  bool Serve = false;
   std::string EmitSourceFile;
 
   for (int I = 2; I < ArgC; ++I) {
     std::string Arg = ArgV[I];
-    if (Arg == "--table") {
+    if (Arg == "--serve") {
+      Serve = true;
+    } else if (Arg == "--table") {
       PrintTable = true;
     } else if (Arg == "--explain") {
       Explain = true;
@@ -143,6 +369,11 @@ int main(int ArgC, char **ArgV) {
   if (!Program)
     return 1;
   Hierarchy &H = Program->H;
+
+  // Service REPL mode takes over the parsed hierarchy entirely; the
+  // batch-mode options below do not apply.
+  if (Serve)
+    return runServe(std::move(H));
 
   std::unique_ptr<LookupEngine> Engine = makeEngine(EngineName, H);
   if (!Engine) {

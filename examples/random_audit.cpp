@@ -15,24 +15,54 @@
 //   $ ./random_audit                 # 200 hierarchies, seeds 1..200
 //   $ ./random_audit 5000            # more hierarchies
 //   $ ./random_audit 100 42          # 100 hierarchies starting at seed 42
+//   $ ./random_audit 5000 1 --deadline-ms 800
+//
+// --deadline-ms caps the wall clock of the whole sweep: the audit stops
+// cleanly between hierarchies when the budget runs out and exits with
+// code 3 (distinct from 0 = clean sweep and 1 = mismatch found), so CI
+// can tell "time ran out" from "engines disagree". Completed seeds
+// remain fully audited either way.
 //
 //===----------------------------------------------------------------------===//
 
 #include "memlook/core/DifferentialCheck.h"
 #include "memlook/frontend/SourcePrinter.h"
+#include "memlook/support/Deadline.h"
 #include "memlook/workload/Generators.h"
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 using namespace memlook;
 
 int main(int ArgC, char **ArgV) {
-  uint64_t Count = ArgC > 1 ? std::strtoull(ArgV[1], nullptr, 10) : 200;
-  uint64_t FirstSeed = ArgC > 2 ? std::strtoull(ArgV[2], nullptr, 10) : 1;
+  uint64_t Positional[2] = {200, 1}; // count, first seed
+  int NumPositional = 0;
+  int64_t DeadlineMillis = 0;
+  for (int I = 1; I < ArgC; ++I) {
+    if (std::strcmp(ArgV[I], "--deadline-ms") == 0 && I + 1 < ArgC) {
+      DeadlineMillis = std::strtoll(ArgV[++I], nullptr, 10);
+    } else if (NumPositional < 2) {
+      Positional[NumPositional++] = std::strtoull(ArgV[I], nullptr, 10);
+    } else {
+      std::cerr << "usage: " << ArgV[0]
+                << " [count] [firstSeed] [--deadline-ms N]\n";
+      return 2;
+    }
+  }
+  uint64_t Count = Positional[0];
+  uint64_t FirstSeed = Positional[1];
+  Deadline SweepDeadline = DeadlineMillis > 0
+                               ? Deadline::afterMillis(DeadlineMillis)
+                               : Deadline::never();
 
   uint64_t TotalPairs = 0, TotalSkipped = 0, Failures = 0;
+  uint64_t Audited = 0;
   for (uint64_t Seed = FirstSeed; Seed != FirstSeed + Count; ++Seed) {
+    if (SweepDeadline.expired())
+      break;
+    ++Audited;
     // Vary the shape parameters with the seed so the sweep covers
     // sparse trees through dense virtual meshes.
     RandomHierarchyParams Params;
@@ -59,8 +89,18 @@ int main(int ArgC, char **ArgV) {
     std::cout << "---\n";
   }
 
-  std::cout << "audited " << Count << " hierarchies: " << TotalPairs
-            << " lookups compared, " << TotalSkipped << " skipped, "
-            << Failures << " mismatching hierarchies\n";
-  return Failures == 0 ? 0 : 1;
+  bool DeadlineExhausted = Audited != Count;
+  std::cout << "audited " << Audited << " of " << Count
+            << " hierarchies: " << TotalPairs << " lookups compared, "
+            << TotalSkipped << " skipped, " << Failures
+            << " mismatching hierarchies";
+  if (DeadlineExhausted)
+    std::cout << " (deadline exhausted after " << DeadlineMillis << "ms)";
+  std::cout << '\n';
+
+  // Mismatches dominate: a failed audit is a failed audit even if the
+  // clock also ran out.
+  if (Failures != 0)
+    return 1;
+  return DeadlineExhausted ? 3 : 0;
 }

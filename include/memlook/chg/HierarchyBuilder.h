@@ -29,6 +29,13 @@
 
 namespace memlook {
 
+/// Maps the first error in \p Diags to the Status channel (UnknownBase
+/// -> UnknownClass, InheritanceCycle -> InheritanceCycle, ...). Returns
+/// ok when \p Diags holds no errors. Shared by HierarchyBuilder's
+/// tryBuild() and by services that rebuild hierarchies through the raw
+/// Hierarchy mutation API.
+Status statusFromDiagnostics(const DiagnosticEngine &Diags);
+
 /// Fluent builder over Hierarchy. Errors in the described hierarchy
 /// (unknown base, duplicate class, cycle) are *recorded* as structured
 /// diagnostics, never asserted: the offending call becomes a no-op and

@@ -28,6 +28,17 @@
 
 namespace memlook {
 
+struct LookupResult;
+
+/// Canonical comparison rendering of a lookup answer: status, defining
+/// class, and (for non-static singleton results) the canonical
+/// subobject. Shared-static results compare on (status, class) only,
+/// since any representative is legal. Two answers are differentially
+/// equal iff their renderings match; the service self-audit compares
+/// cached tables against live engines with the same key.
+std::string renderLookupForComparison(const Hierarchy &H,
+                                      const LookupResult &R);
+
 /// Outcome of a differential audit.
 struct DifferentialReport {
   /// (class, member) pairs compared.

@@ -75,6 +75,7 @@
 #define MEMLOOK_CORE_DOMINANCELOOKUPENGINE_H
 
 #include "memlook/core/LookupEngine.h"
+#include "memlook/support/Deadline.h"
 
 #include <unordered_map>
 #include <unordered_set>
@@ -103,6 +104,24 @@ public:
   using LookupEngine::lookup;
 
   std::string_view engineName() const override;
+
+  /// Attaches a wall-clock deadline to subsequent tabulation work (the
+  /// service's per-query degradation hook). The engine checks it at
+  /// entry granularity - coarse enough to keep the paper's meter-free
+  /// inner loop intact, fine enough that one query cannot overshoot by
+  /// more than DeadlineStride entries. Once the deadline expires,
+  /// lookups whose entries are not yet tabulated return
+  /// LookupStatus::Exhausted; already-computed entries keep answering
+  /// (they are final - a topological prefix is always valid). Pass
+  /// nullptr to detach. \p D must outlive the engine's use of it.
+  void setDeadline(const Deadline *D) {
+    QueryDeadline = (D && !D->unlimited()) ? D : nullptr;
+    DeadlineTripped = QueryDeadline && QueryDeadline->expired();
+  }
+
+  /// True once an attached deadline expired mid-tabulation. Sticky, like
+  /// BudgetMeter: a cancelled computation stays cancelled.
+  bool deadlineTripped() const { return DeadlineTripped; }
 
   //===--------------------------------------------------------------------===
   // Introspection (used by the Figure 6/7 reproduction tests and the
@@ -217,7 +236,26 @@ private:
   /// Reconstructs the witness path of a red entry by walking Via links.
   Path reconstructWitness(ClassId Context, uint32_t MemberIdx) const;
 
+  /// Deadline check at entry granularity: consults the clock every
+  /// DeadlineStride entries, never when no deadline is attached.
+  bool deadlineExpired() {
+    if (!QueryDeadline)
+      return false;
+    if (DeadlineTripped)
+      return true;
+    if (++DeadlineCheckCounter % DeadlineStride != 0)
+      return false;
+    DeadlineTripped = QueryDeadline->expired();
+    return DeadlineTripped;
+  }
+
+  /// Entries tabulated between clock reads while a deadline is attached.
+  static constexpr uint32_t DeadlineStride = 64;
+
   Mode TabulationMode;
+  const Deadline *QueryDeadline = nullptr;
+  bool DeadlineTripped = false;
+  uint32_t DeadlineCheckCounter = 0;
   std::unordered_map<Symbol, uint32_t> MemberIndex;
   /// Column-major table: Columns[memberIdx][classIdx]. A column is
   /// allocated lazily; EntryComputed tracks which entries are final.

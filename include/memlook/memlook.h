@@ -21,6 +21,7 @@
 #include "memlook/support/BitVector.h"
 #include "memlook/support/Diagnostics.h"
 #include "memlook/support/DotWriter.h"
+#include "memlook/support/Deadline.h"
 #include "memlook/support/ResourceBudget.h"
 #include "memlook/support/Rng.h"
 #include "memlook/support/Status.h"
@@ -55,6 +56,12 @@
 #include "memlook/core/TopsortShortcutEngine.h"
 #include "memlook/core/UnqualifiedLookup.h"
 #include "memlook/core/UsingDeclarations.h"
+
+// Long-lived lookup service
+#include "memlook/service/EditScriptFuzz.h"
+#include "memlook/service/LookupService.h"
+#include "memlook/service/Snapshot.h"
+#include "memlook/service/Transaction.h"
 
 // Front end
 #include "memlook/frontend/FuzzHarness.h"

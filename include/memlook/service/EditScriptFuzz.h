@@ -1,0 +1,88 @@
+//===- memlook/service/EditScriptFuzz.h - Transaction fuzzing ---*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The edit-script mode of the fuzz harness: where frontend/FuzzHarness.h
+/// mutates *byte streams* against the parser, this mode mutates
+/// *sequences of transactions* against a live LookupService. Each case is
+/// derived purely from a 64-bit seed: a seeded random hierarchy becomes
+/// epoch 1, then a random mix of valid and deliberately invalid
+/// transactions (unknown names, duplicate bases, cycle-inducing edges,
+/// dangling removals) is committed against it. Two oracles check every
+/// step:
+///
+///  * **rollback restores answers**: a failed commit must leave the
+///    service's snapshot pointer, epoch, and every (class, member)
+///    answer bit-identical to before the transaction;
+///  * **differential check**: after every successful commit the new
+///    epoch is audited - engines against each other and the cached
+///    table against a fresh engine (LookupService::auditNow).
+///
+/// The contract is the same as the byte-level fuzzer's: no input
+/// sequence may crash, assert, trip a sanitizer, or produce a
+/// disagreement, and everything reproduces from the seed alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SERVICE_EDITSCRIPTFUZZ_H
+#define MEMLOOK_SERVICE_EDITSCRIPTFUZZ_H
+
+#include "memlook/support/ResourceBudget.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memlook {
+namespace service {
+
+/// Outcome of one edit-script fuzz case.
+struct EditScriptCaseResult {
+  uint64_t Seed = 0;
+  /// Transactions generated and committed (or rejected) in this case.
+  uint64_t TxnsAttempted = 0;
+  uint64_t TxnsCommitted = 0;
+  /// Rejected by replay/validation - expected for the invalid mix.
+  uint64_t TxnsRejected = 0;
+  /// (class, member) pairs compared across the case's audits.
+  uint64_t PairsChecked = 0;
+  uint64_t PairsSkipped = 0;
+  /// Oracle violations: engine disagreements, table corruption, or a
+  /// rollback that failed to restore answers. Always a bug.
+  std::vector<std::string> Mismatches;
+
+  bool passed() const { return Mismatches.empty(); }
+};
+
+/// Aggregate outcome of a seed range.
+struct EditScriptCampaignReport {
+  uint64_t CasesRun = 0;
+  uint64_t TxnsCommitted = 0;
+  uint64_t TxnsRejected = 0;
+  uint64_t PairsChecked = 0;
+  uint64_t PairsSkipped = 0;
+  std::vector<EditScriptCaseResult> Failures;
+
+  bool passed() const { return Failures.empty(); }
+};
+
+/// Runs one seeded edit-script case against a fresh LookupService under
+/// \p Budget. Never crashes or asserts on any seed, by contract.
+EditScriptCaseResult
+runEditScriptCase(uint64_t Seed,
+                  const ResourceBudget &Budget = ResourceBudget::untrustedInput());
+
+/// Runs seeds [FirstSeed, FirstSeed + NumCases) and aggregates.
+EditScriptCampaignReport
+runEditScriptCampaign(uint64_t FirstSeed, uint64_t NumCases,
+                      const ResourceBudget &Budget =
+                          ResourceBudget::untrustedInput());
+
+} // namespace service
+} // namespace memlook
+
+#endif // MEMLOOK_SERVICE_EDITSCRIPTFUZZ_H

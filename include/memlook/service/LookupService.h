@@ -1,0 +1,299 @@
+//===- memlook/service/LookupService.h - Long-lived service -----*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-lived, concurrency-safe front end over the lookup engines:
+/// the production regime the ROADMAP points at, where the hierarchy
+/// mutates over time, readers run concurrently with writers, and every
+/// query must answer within a deadline even when the cached table is
+/// cold, stale, or corrupted.
+///
+/// Four mechanisms, layered on the immutable-snapshot core:
+///
+///  1. **Versioned snapshots** (Snapshot.h): every committed state is an
+///     epoch-numbered Hierarchy + lazily tabulated LookupTable behind
+///     shared_ptr. Readers pin a snapshot and never block writers.
+///  2. **Transactional edits** (Transaction.h): beginTxn() records an
+///     edit script; commit() replays it onto a copy, validates, and
+///     either publishes epoch+1 or rolls back completely with a Status
+///     (TransactionConflict when another commit won the epoch race).
+///  3. **Deadlines**: queries carry a Deadline (wall clock and/or a
+///     cancellation flag). Answers come from an explicit degradation
+///     ladder - warm table, then a per-query Figure 8 engine bounded by
+///     the deadline, then the g++-style BFS as the
+///     approximate-but-instant floor - and every answer records which
+///     rung produced it. No query is dropped: the floor rung answers
+///     even after the deadline (flagged), because a late approximate
+///     answer beats none.
+///  4. **Self-audit**: auditNow() (or the background audit thread)
+///     differentially checks live snapshots - engine vs engine via
+///     DifferentialCheck, and cached table vs a fresh engine on sampled
+///     pairs. A mismatch quarantines the table, forces a rebuild, and
+///     surfaces a structured AuditReport.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SERVICE_LOOKUPSERVICE_H
+#define MEMLOOK_SERVICE_LOOKUPSERVICE_H
+
+#include "memlook/service/Snapshot.h"
+#include "memlook/service/Transaction.h"
+#include "memlook/support/Deadline.h"
+#include "memlook/support/ResourceBudget.h"
+#include "memlook/support/Status.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace memlook {
+namespace service {
+
+/// The rung of the degradation ladder that produced an answer.
+enum class AnswerRung : uint8_t {
+  /// The epoch's warm LookupTable: O(1), exact.
+  Tabulated = 0,
+  /// A per-query lazy-recursive Figure 8 engine under the query's
+  /// deadline: exact, bounded work.
+  Figure8PerQuery = 1,
+  /// The g++ 2.7.2 BFS floor: instant, but approximate (it reports
+  /// some unambiguous lookups as ambiguous - Figure 9) and so flagged.
+  GxxApproximate = 2,
+};
+
+/// Returns "tabulated" / "figure8-per-query" / "gxx-approximate".
+const char *answerRungLabel(AnswerRung Rung);
+
+/// One answered query. The ladder guarantees an answer: Result is
+/// always meaningful, with Approximate / DeadlineExpired qualifying it.
+struct QueryAnswer {
+  /// Ok, or UnknownClass when the context class does not exist at this
+  /// epoch (the one query shape no rung can answer).
+  Status S;
+  LookupResult Result;
+  /// Which rung answered.
+  AnswerRung Rung = AnswerRung::Tabulated;
+  /// The epoch the answer reflects.
+  uint64_t Epoch = 0;
+  /// True when the answer came from the approximate floor rung and may
+  /// over-report ambiguity (never wrong-class, never silently partial).
+  bool Approximate = false;
+  /// True when the answer was produced after the query's deadline had
+  /// already expired (the floor rung answers anyway).
+  bool DeadlineExpired = false;
+  /// True when the epoch's table existed but was quarantined, so the
+  /// tabulated rung was skipped.
+  bool TableQuarantined = false;
+};
+
+/// Service tuning knobs.
+struct ServiceOptions {
+  /// Construction-side caps for transactions (classes/edges/members)
+  /// and the budget handed to audit reference engines - including the
+  /// deterministic fault injector, which propagates into per-query
+  /// Figure 8 work (FaultAfterChecks entries) so every ladder rung is
+  /// reachable in tests.
+  ResourceBudget Budget;
+  /// Build the new epoch's table synchronously inside commit(). When
+  /// false, epochs start cold and warm via warmCurrent().
+  bool WarmOnCommit = true;
+  /// Wall-clock cap in milliseconds for each in-commit table build
+  /// (0 = unbounded). An over-deadline build leaves the epoch cold
+  /// rather than stalling the writer.
+  int64_t WarmBuildMillis = 0;
+  /// Max (class, member) pairs the table-integrity audit samples per
+  /// auditNow() (the full table is swept when it is smaller).
+  uint64_t AuditSampleLimit = 256;
+  /// Also run the engine-vs-engine DifferentialCheck in every audit.
+  /// Exact but O(full table); disable for huge hierarchies.
+  bool AuditEngineCheck = true;
+};
+
+/// Monotone operation counters (all reads are racy-by-design totals).
+struct ServiceStats {
+  uint64_t Commits = 0;          ///< transactions published
+  uint64_t CommitRejects = 0;    ///< commits rolled back by validation
+  uint64_t CommitConflicts = 0;  ///< commits rolled back by epoch race
+  uint64_t AbortedTxns = 0;      ///< explicit abort() calls
+  uint64_t Queries = 0;          ///< query()/queryOn() calls
+  uint64_t RungAnswers[3] = {0, 0, 0}; ///< answers per AnswerRung
+  uint64_t UnknownContexts = 0;  ///< queries naming no class (still answered)
+  uint64_t Audits = 0;           ///< audit passes completed
+  uint64_t AuditMismatches = 0;  ///< total mismatch lines across audits
+  uint64_t Quarantines = 0;      ///< tables quarantined
+  uint64_t TableRebuilds = 0;    ///< tables rebuilt after quarantine
+};
+
+/// Structured outcome of one self-audit pass.
+struct AuditReport {
+  uint64_t Epoch = 0;
+  /// Table-vs-engine pairs compared (0 when the epoch was cold).
+  uint64_t PairsSampled = 0;
+  /// Engine-vs-engine pairs compared by DifferentialCheck.
+  uint64_t EnginePairsChecked = 0;
+  /// Pairs a budget-degraded reference engine could not afford.
+  uint64_t PairsSkipped = 0;
+  bool TableWasWarm = false;
+  /// True when this audit quarantined the table and forced a rebuild.
+  bool QuarantinedTable = false;
+  /// Human-readable description of each disagreement.
+  std::vector<std::string> Mismatches;
+
+  bool passed() const { return Mismatches.empty(); }
+
+  /// One-line structured diagnostic, e.g.
+  /// "audit epoch 7: 256 sampled, 0 skipped, 2 mismatches, QUARANTINED".
+  std::string toString() const;
+};
+
+/// The long-lived, concurrency-safe lookup front end. Thread-safety
+/// contract: query()/queryOn()/snapshot()/stats() may be called from
+/// any number of threads concurrently with each other and with
+/// commit()/abort()/auditNow(); writers serialize internally.
+class LookupService {
+public:
+  /// Takes ownership of a finalized hierarchy as epoch 1. Asserts on an
+  /// unfinalized hierarchy (trusted path); services ingesting untrusted
+  /// hierarchies use create().
+  explicit LookupService(Hierarchy Initial,
+                         ServiceOptions Options = ServiceOptions());
+
+  /// Recoverable twin: NotFinalized instead of the constructor assert.
+  static Expected<std::unique_ptr<LookupService>>
+  create(Hierarchy Initial, ServiceOptions Options = ServiceOptions());
+
+  ~LookupService();
+
+  LookupService(const LookupService &) = delete;
+  LookupService &operator=(const LookupService &) = delete;
+
+  //===--------------------------------------------------------------------===
+  // Snapshots and queries
+  //===--------------------------------------------------------------------===
+
+  /// Pins the current snapshot: one shared_ptr copy under a brief lock.
+  /// The returned snapshot never changes; run any number of queryOn()
+  /// calls against it for a consistent multi-query view.
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Epoch of the current snapshot.
+  uint64_t currentEpoch() const { return snapshot()->Epoch; }
+
+  /// Resolves \p Member in the context of \p Class on the current
+  /// snapshot, degrading along the ladder as \p D demands.
+  QueryAnswer query(std::string_view Class, std::string_view Member,
+                    const Deadline &D = Deadline::never()) const;
+
+  /// Same, against an explicitly pinned snapshot.
+  QueryAnswer queryOn(const Snapshot &Snap, std::string_view Class,
+                      std::string_view Member,
+                      const Deadline &D = Deadline::never()) const;
+
+  //===--------------------------------------------------------------------===
+  // Transactional edits
+  //===--------------------------------------------------------------------===
+
+  /// Starts an edit script against the current epoch.
+  Transaction beginTxn() const;
+
+  /// Atomically applies \p Txn: validates the edited hierarchy and
+  /// either publishes epoch+1 (ok) or changes nothing and returns why -
+  /// TransactionConflict on an epoch race, UnknownClass /
+  /// DuplicateClass / DuplicateBase / InheritanceCycle /
+  /// InvalidUsingTarget / BudgetExceeded / InvalidArgument from
+  /// replay+validation. After a failed commit every lookup answer is
+  /// bit-identical to before the transaction began.
+  Status commit(const Transaction &Txn);
+
+  /// Explicitly discards \p Txn (bookkeeping only; a dropped
+  /// Transaction rolls back just as completely).
+  void abort(const Transaction &Txn);
+
+  //===--------------------------------------------------------------------===
+  // Table lifecycle
+  //===--------------------------------------------------------------------===
+
+  /// Builds (or rebuilds, if quarantined) the current epoch's table.
+  /// Ok if the epoch ends warm; DeadlineExceeded when \p D expired
+  /// mid-build (the epoch stays cold and keeps serving per-query).
+  Status warmCurrent(const Deadline &D = Deadline::never());
+
+  //===--------------------------------------------------------------------===
+  // Self-audit
+  //===--------------------------------------------------------------------===
+
+  /// Runs one audit pass against the live snapshot: DifferentialCheck
+  /// across engines (when AuditEngineCheck) plus a sampled comparison
+  /// of the cached table against a fresh Figure 8 engine. On mismatch:
+  /// quarantines the table, publishes a rebuilt snapshot at the same
+  /// epoch, and reports QuarantinedTable.
+  AuditReport auditNow();
+
+  /// Starts a background thread auditing every \p IntervalMillis until
+  /// stopBackgroundAudit() or destruction. No-op if already running.
+  void startBackgroundAudit(int64_t IntervalMillis);
+
+  /// Stops the background audit thread, joining it.
+  void stopBackgroundAudit();
+
+  //===--------------------------------------------------------------------===
+  // Observability and test hooks
+  //===--------------------------------------------------------------------===
+
+  ServiceStats stats() const;
+
+  const ServiceOptions &options() const { return Opts; }
+
+  /// Health of the current snapshot's cache through the Status channel:
+  /// ok when warm, TableQuarantined when quarantined, NotFinalized
+  /// never (snapshots are always finalized), InvalidArgument when cold.
+  Status tableHealth() const;
+
+  /// Test-and-demo hook: republishes the current snapshot with one
+  /// table answer deliberately corrupted, simulating the cache damage
+  /// the self-audit exists to catch. False when the epoch is cold or
+  /// the names are unknown.
+  bool corruptTableEntryForTesting(std::string_view Class,
+                                   std::string_view Member);
+
+private:
+  void publish(std::shared_ptr<const Snapshot> Next);
+
+  /// The table build deadline commit() uses (WarmBuildMillis).
+  Deadline warmDeadline() const;
+
+  ServiceOptions Opts;
+
+  /// Guards Current only; held for pointer copies, never across work.
+  mutable std::mutex SnapMutex;
+  std::shared_ptr<const Snapshot> Current;
+
+  /// Serializes writers (commit, warm, audit-rebuild, corrupt-hook).
+  std::mutex WriterMutex;
+
+  // Monotone stats counters (relaxed; totals, not synchronization).
+  mutable std::atomic<uint64_t> NumCommits{0}, NumCommitRejects{0},
+      NumCommitConflicts{0}, NumAbortedTxns{0}, NumQueries{0},
+      NumUnknownContexts{0}, NumAudits{0}, NumAuditMismatches{0},
+      NumQuarantines{0}, NumTableRebuilds{0};
+  mutable std::atomic<uint64_t> NumRungAnswers[3] = {{0}, {0}, {0}};
+
+  // Background audit thread state.
+  std::mutex AuditThreadMutex;
+  std::condition_variable AuditCv;
+  std::thread AuditThread;
+  bool AuditStopRequested = false;
+};
+
+} // namespace service
+} // namespace memlook
+
+#endif // MEMLOOK_SERVICE_LOOKUPSERVICE_H

@@ -1,0 +1,137 @@
+//===- memlook/service/Snapshot.h - Versioned snapshots ---------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The read side of the long-lived lookup service: epoch-numbered,
+/// immutable snapshots of a hierarchy plus its fully tabulated Figure 8
+/// lookup table.
+///
+/// The paper's Figure 8 tabulation assumes a frozen class hierarchy
+/// graph. The service keeps that assumption *per epoch*: every
+/// committed transaction produces a brand-new Snapshot (shared-ownership
+/// Hierarchy + LookupTable), published by pointer swap. Concurrent
+/// readers pin a snapshot with one shared_ptr copy and never observe a
+/// mutation, never take a lock while querying, and never block writers;
+/// a snapshot dies when its last pinning reader releases it.
+///
+/// The one concession to mutability is the quarantine flag: when the
+/// self-audit catches the cached table disagreeing with a live engine,
+/// it marks the table quarantined (a monotone atomic - set once, never
+/// cleared) so readers skip the tabulated rung until the service
+/// publishes a rebuilt snapshot. Everything else is deep-frozen at
+/// publication.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SERVICE_SNAPSHOT_H
+#define MEMLOOK_SERVICE_SNAPSHOT_H
+
+#include "memlook/chg/Hierarchy.h"
+#include "memlook/core/LookupResult.h"
+#include "memlook/support/Deadline.h"
+
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace memlook {
+namespace service {
+
+/// A fully materialized, immutable |M| x |N| table of lookup answers -
+/// the warm rung of the service's degradation ladder. Unlike a live
+/// DominanceLookupEngine (which memoizes, so concurrent lookups race),
+/// a LookupTable is computed once before publication and is then
+/// const-queryable from any number of threads.
+class LookupTable {
+public:
+  /// Tabulates every (class, member) answer over \p H with an eagerly
+  /// driven Figure 8 engine. Honors \p BuildDeadline at column
+  /// granularity: when it expires mid-build, returns nullptr and the
+  /// snapshot stays cold (queries degrade to the per-query rungs).
+  static std::shared_ptr<const LookupTable>
+  build(const Hierarchy &H, const Deadline &BuildDeadline = Deadline::never());
+
+  /// The tabulated answer for (\p Context, \p Member). Names never
+  /// declared anywhere in the epoch's hierarchy answer NotFound.
+  /// \p Context must be a valid class id of the hierarchy the table was
+  /// built over.
+  const LookupResult &find(ClassId Context, Symbol Member) const {
+    assert(Context.isValid() && Context.index() < NumClasses &&
+           "class id from a different epoch?");
+    auto It = MemberIndex.find(Member);
+    if (It == MemberIndex.end())
+      return NotFoundAnswer;
+    return Results[static_cast<size_t>(Context.index()) * MemberIndex.size() +
+                   It->second];
+  }
+
+  /// Number of materialized answers (classes x declared member names).
+  uint64_t numEntries() const { return Results.size(); }
+
+  /// Rough heap footprint, for capacity observability.
+  uint64_t approximateBytes() const;
+
+  /// Test-and-demo hook: a copy of this table with the (\p Context,
+  /// \p Member) answer replaced by a deliberately wrong one (the
+  /// corruption the self-audit exists to catch). Returns nullptr when
+  /// the member name is not tabulated.
+  std::shared_ptr<const LookupTable>
+  cloneWithCorruptedEntry(ClassId Context, Symbol Member) const;
+
+private:
+  LookupTable() = default;
+
+  uint32_t NumClasses = 0;
+  std::unordered_map<Symbol, uint32_t> MemberIndex;
+  /// Row-major: Results[classIdx * numMembers + memberIdx].
+  std::vector<LookupResult> Results;
+
+  static const LookupResult NotFoundAnswer;
+};
+
+/// One epoch-numbered, immutable hierarchy state. Readers pin it with a
+/// shared_ptr copy; the service publishes a new one on every committed
+/// transaction (epoch bumps) and on table warm/rebuild (epoch stays -
+/// the epoch names the *hierarchy content*, not the cache state).
+struct Snapshot {
+  /// Monotone epoch, starting at 1 for the service's initial hierarchy
+  /// and incremented by every committed transaction.
+  uint64_t Epoch = 0;
+
+  /// The finalized hierarchy of this epoch. Shared ownership: readers,
+  /// per-query engines, and audits all hold it without copying.
+  std::shared_ptr<const Hierarchy> H;
+
+  /// The warm lookup table, or nullptr while this epoch is cold (table
+  /// build deferred or its build deadline expired).
+  std::shared_ptr<const LookupTable> Table;
+
+  /// True when this snapshot's table was rebuilt after a self-audit
+  /// quarantined a predecessor at the same epoch.
+  bool RebuiltByAudit = false;
+
+  /// Set (once, never cleared) by the self-audit when the cached table
+  /// disagreed with a live engine. Readers skip the tabulated rung.
+  mutable std::atomic<bool> Quarantined{false};
+
+  /// True when the tabulated rung can answer.
+  bool warm() const { return Table != nullptr && !quarantined(); }
+
+  bool quarantined() const {
+    return Quarantined.load(std::memory_order_acquire);
+  }
+
+  void quarantine() const {
+    Quarantined.store(true, std::memory_order_release);
+  }
+};
+
+} // namespace service
+} // namespace memlook
+
+#endif // MEMLOOK_SERVICE_SNAPSHOT_H

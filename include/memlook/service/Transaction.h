@@ -1,0 +1,162 @@
+//===- memlook/service/Transaction.h - Batch edits --------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transactional batch edits against a LookupService epoch. A
+/// Transaction is a recorded *edit script* - class/edge/member
+/// additions and removals by name - begun against a base epoch and
+/// applied atomically at commit():
+///
+///   * the service replays the script onto a copy of the base epoch's
+///     hierarchy, enforces the construction-side ResourceBudget, and
+///     runs full validation (Hierarchy::validate semantics via
+///     finalize: cycles, duplicate bases, using-targets);
+///   * any failure - an op referencing a name that does not exist, a
+///     budget trip, a validation error, or a conflicting commit that
+///     moved the epoch - rolls the whole transaction back: the prior
+///     snapshot keeps serving, bit-identically, and the caller gets a
+///     Status explaining why;
+///   * success publishes a new epoch; readers pinning the old snapshot
+///     are unaffected until they re-pin.
+///
+/// Recording ops by name (not ClassId) is what makes rollback trivial
+/// and replay-after-conflict possible: ids are per-epoch, names are
+/// stable across epochs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SERVICE_TRANSACTION_H
+#define MEMLOOK_SERVICE_TRANSACTION_H
+
+#include "memlook/chg/Hierarchy.h"
+#include "memlook/support/ResourceBudget.h"
+#include "memlook/support/Status.h"
+
+#include <string>
+#include <vector>
+
+namespace memlook {
+namespace service {
+
+class LookupService;
+
+/// A recorded edit script against one base epoch. Ops accumulate
+/// unvalidated (recording never fails); all checking happens atomically
+/// at LookupService::commit().
+class Transaction {
+public:
+  enum class OpKind : uint8_t {
+    AddClass,     ///< create class A
+    RemoveClass,  ///< drop class A (must have no remaining references)
+    AddBase,      ///< append base B to A's base-specifier list
+    RemoveBase,   ///< remove the direct edge B -> A
+    AddMember,    ///< declare member M in A
+    RemoveMember, ///< remove A's declaration of M
+    AddUsing,     ///< add `using B::M;` to A
+  };
+
+  /// One recorded edit. Field use by kind: Class is the class being
+  /// edited; Target is the base (AddBase/RemoveBase), the using-source
+  /// (AddUsing), or empty; Member is the member name, or empty.
+  struct Op {
+    OpKind Kind;
+    std::string Class;
+    std::string Target;
+    std::string Member;
+    InheritanceKind EdgeKind = InheritanceKind::NonVirtual;
+    AccessSpec Access = AccessSpec::Public;
+    bool IsStatic = false;
+    bool IsVirtual = false;
+  };
+
+  /// The epoch this transaction was begun against; commit() refuses
+  /// (TransactionConflict) if the service has moved past it.
+  uint64_t baseEpoch() const { return BaseEpoch; }
+
+  const std::vector<Op> &ops() const { return Ops; }
+  size_t size() const { return Ops.size(); }
+  bool empty() const { return Ops.empty(); }
+
+  //===--------------------------------------------------------------------===
+  // Recording (fluent; never fails - validation happens at commit)
+  //===--------------------------------------------------------------------===
+
+  Transaction &addClass(std::string Name) {
+    Ops.push_back(Op{OpKind::AddClass, std::move(Name), {}, {},
+                     InheritanceKind::NonVirtual, AccessSpec::Public, false,
+                     false});
+    return *this;
+  }
+
+  Transaction &removeClass(std::string Name) {
+    Ops.push_back(Op{OpKind::RemoveClass, std::move(Name), {}, {},
+                     InheritanceKind::NonVirtual, AccessSpec::Public, false,
+                     false});
+    return *this;
+  }
+
+  Transaction &addBase(std::string Derived, std::string Base,
+                       InheritanceKind Kind = InheritanceKind::NonVirtual,
+                       AccessSpec Access = AccessSpec::Public) {
+    Ops.push_back(Op{OpKind::AddBase, std::move(Derived), std::move(Base), {},
+                     Kind, Access, false, false});
+    return *this;
+  }
+
+  Transaction &removeBase(std::string Derived, std::string Base) {
+    Ops.push_back(Op{OpKind::RemoveBase, std::move(Derived), std::move(Base),
+                     {}, InheritanceKind::NonVirtual, AccessSpec::Public,
+                     false, false});
+    return *this;
+  }
+
+  Transaction &addMember(std::string Class, std::string Member,
+                         bool IsStatic = false, bool IsVirtual = false,
+                         AccessSpec Access = AccessSpec::Public) {
+    Ops.push_back(Op{OpKind::AddMember, std::move(Class), {},
+                     std::move(Member), InheritanceKind::NonVirtual, Access,
+                     IsStatic, IsVirtual});
+    return *this;
+  }
+
+  Transaction &removeMember(std::string Class, std::string Member) {
+    Ops.push_back(Op{OpKind::RemoveMember, std::move(Class), {},
+                     std::move(Member), InheritanceKind::NonVirtual,
+                     AccessSpec::Public, false, false});
+    return *this;
+  }
+
+  Transaction &addUsing(std::string Class, std::string From,
+                        std::string Member,
+                        AccessSpec Access = AccessSpec::Public) {
+    Ops.push_back(Op{OpKind::AddUsing, std::move(Class), std::move(From),
+                     std::move(Member), InheritanceKind::NonVirtual, Access,
+                     false, false});
+    return *this;
+  }
+
+private:
+  friend class LookupService;
+  explicit Transaction(uint64_t BaseEpoch) : BaseEpoch(BaseEpoch) {}
+
+  uint64_t BaseEpoch;
+  std::vector<Op> Ops;
+};
+
+/// Replays \p Ops onto a copy of \p Base and returns the finalized
+/// result, or the Status explaining the first failure (unknown name,
+/// duplicate, budget trip, validation error). \p Base is never touched:
+/// this is the commit path's all-or-nothing core, exposed as a free
+/// function so the edit-script fuzzer can drive it directly.
+Expected<Hierarchy> applyEditScript(const Hierarchy &Base,
+                                    const std::vector<Transaction::Op> &Ops,
+                                    const ResourceBudget &Budget);
+
+} // namespace service
+} // namespace memlook
+
+#endif // MEMLOOK_SERVICE_TRANSACTION_H

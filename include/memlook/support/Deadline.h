@@ -1,0 +1,90 @@
+//===- memlook/support/Deadline.h - Deadlines & cancellation ----*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock deadlines and cooperative cancellation for long-lived
+/// callers. A ResourceBudget bounds the *amount* of work untrusted input
+/// can cause; a Deadline bounds the *time* one caller is willing to wait
+/// for it. The two compose: a service query carries a Deadline, the
+/// engines it fans out to check it at coarse-grained degradation points
+/// (per table entry, per budget-meter stride), and work that misses the
+/// deadline degrades to LookupStatus::Exhausted exactly like a tripped
+/// step budget - no answer, but no hang.
+///
+/// A Deadline may also carry a cancellation flag: an external
+/// std::atomic<bool> that, once set, expires the deadline immediately.
+/// This is how a service propagates "the client hung up" down through a
+/// computation without threading callbacks through every layer.
+///
+/// Checking the clock is not free (a syscall on some platforms), so
+/// expired() is meant to be called at degradation-point granularity;
+/// tight loops should use an every-N counter as BudgetMeter does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SUPPORT_DEADLINE_H
+#define MEMLOOK_SUPPORT_DEADLINE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace memlook {
+
+/// A point in time after which work should stop, plus an optional
+/// cancellation flag that can expire it early. Copyable and cheap; the
+/// never() deadline costs one branch to test.
+class Deadline {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// The default deadline never expires (and never reads the clock).
+  Deadline() = default;
+
+  /// Never expires unless the (optional) cancel flag is set.
+  static Deadline never() { return Deadline(); }
+
+  /// Expires at \p At.
+  static Deadline at(Clock::time_point At) {
+    Deadline D;
+    D.HasTime = true;
+    D.ExpiresAt = At;
+    return D;
+  }
+
+  /// Expires \p Millis milliseconds from now.
+  static Deadline afterMillis(int64_t Millis) {
+    return at(Clock::now() + std::chrono::milliseconds(Millis));
+  }
+
+  /// Attaches an external cancellation flag; the deadline counts as
+  /// expired as soon as *Flag becomes true. The flag must outlive every
+  /// expired() call. Returns *this for chaining.
+  Deadline &withCancelFlag(const std::atomic<bool> *Flag) {
+    CancelFlag = Flag;
+    return *this;
+  }
+
+  /// True when neither a time limit nor a cancel flag constrains work.
+  bool unlimited() const { return !HasTime && CancelFlag == nullptr; }
+
+  /// True once the time limit has passed or the cancel flag is set.
+  bool expired() const {
+    if (CancelFlag && CancelFlag->load(std::memory_order_relaxed))
+      return true;
+    return HasTime && Clock::now() >= ExpiresAt;
+  }
+
+private:
+  Clock::time_point ExpiresAt{};
+  const std::atomic<bool> *CancelFlag = nullptr;
+  bool HasTime = false;
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_SUPPORT_DEADLINE_H

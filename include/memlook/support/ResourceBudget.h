@@ -27,6 +27,8 @@
 #ifndef MEMLOOK_SUPPORT_RESOURCEBUDGET_H
 #define MEMLOOK_SUPPORT_RESOURCEBUDGET_H
 
+#include "memlook/support/Deadline.h"
+
 #include <cstddef>
 #include <cstdint>
 
@@ -119,15 +121,27 @@ public:
     return BudgetMeter(Budget.MaxLookupSteps, Budget.FaultAfterChecks);
   }
 
+  /// Attaches a wall-clock deadline: the meter trips once \p D expires,
+  /// exactly as if the step limit ran out. The clock is only consulted
+  /// every DeadlineStride checks so metered inner loops stay cheap.
+  /// \p D must outlive the meter. Returns *this for chaining.
+  BudgetMeter &withDeadline(const Deadline *D) {
+    QueryDeadline = (D && !D->unlimited()) ? D : nullptr;
+    return *this;
+  }
+
   /// Charges \p Amount units of work. Returns true while within budget;
   /// returns false - permanently - once the running total exceeds the
-  /// limit or the fault injector fires.
+  /// limit, the deadline expires, or the fault injector fires.
   bool charge(size_t Amount = 1) {
     if (Tripped)
       return false;
     ++Checks;
     Used += Amount;
     if (Used > Limit || (FaultAt != 0 && Checks >= FaultAt))
+      Tripped = true;
+    else if (QueryDeadline && Checks % DeadlineStride == 0 &&
+             QueryDeadline->expired())
       Tripped = true;
     return !Tripped;
   }
@@ -142,8 +156,14 @@ public:
   size_t checks() const { return Checks; }
 
 private:
+  /// How many charge() calls pass between clock reads when a deadline
+  /// is attached. Coarse enough that metering stays cheap, fine enough
+  /// that a runaway lookup overshoots its deadline by microseconds.
+  static constexpr size_t DeadlineStride = 1024;
+
   size_t Limit;
   size_t FaultAt;
+  const Deadline *QueryDeadline = nullptr;
   size_t Used = 0;
   size_t Checks = 0;
   bool Tripped = false;

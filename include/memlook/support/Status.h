@@ -50,6 +50,15 @@ enum class ErrorCode : uint8_t {
   /// An operation that requires a finalized hierarchy was given an
   /// unfinalized one (or vice versa).
   NotFinalized,
+  /// A transactional commit lost the race: the service moved to a newer
+  /// epoch after the transaction began. Re-begin against the new
+  /// snapshot and replay the edits.
+  TransactionConflict,
+  /// A wall-clock Deadline expired before the operation finished.
+  DeadlineExceeded,
+  /// The cached lookup table of a snapshot failed a self-audit and is
+  /// quarantined pending rebuild; answers came from a slower rung.
+  TableQuarantined,
   /// Catch-all for malformed requests not covered above.
   InvalidArgument,
 };

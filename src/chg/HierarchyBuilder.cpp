@@ -9,6 +9,43 @@
 
 using namespace memlook;
 
+Status memlook::statusFromDiagnostics(const DiagnosticEngine &Diags) {
+  for (const Diagnostic &D : Diags.diagnostics()) {
+    if (D.Level != Severity::Error)
+      continue;
+    ErrorCode Code = ErrorCode::InvalidArgument;
+    switch (D.Code) {
+    case DiagCode::UnknownBase:
+      Code = ErrorCode::UnknownClass;
+      break;
+    case DiagCode::DuplicateClass:
+      Code = ErrorCode::DuplicateClass;
+      break;
+    case DiagCode::DuplicateBase:
+    case DiagCode::ConflictingBase:
+      Code = ErrorCode::DuplicateBase;
+      break;
+    case DiagCode::SelfInheritance:
+    case DiagCode::InheritanceCycle:
+      Code = ErrorCode::InheritanceCycle;
+      break;
+    case DiagCode::InvalidUsingTarget:
+      Code = ErrorCode::InvalidUsingTarget;
+      break;
+    case DiagCode::TooManyClasses:
+    case DiagCode::TooManyEdges:
+    case DiagCode::TooManyMembers:
+    case DiagCode::TooManyErrors:
+      Code = ErrorCode::BudgetExceeded;
+      break;
+    default:
+      break;
+    }
+    return Status::error(Code, D.Message);
+  }
+  return Status::ok();
+}
+
 HierarchyBuilder HierarchyBuilder::fromHierarchy(const Hierarchy &Source) {
   assert(Source.isFinalized() && "copy the finished article, not a draft");
   HierarchyBuilder Builder;
@@ -70,32 +107,9 @@ Hierarchy HierarchyBuilder::build() && {
 
 Expected<Hierarchy> HierarchyBuilder::tryBuild(DiagnosticEngine *Diags) && {
   auto FirstError = [](const DiagnosticEngine &Engine) {
-    for (const Diagnostic &D : Engine.diagnostics())
-      if (D.Level == Severity::Error) {
-        ErrorCode Code = ErrorCode::InvalidArgument;
-        switch (D.Code) {
-        case DiagCode::UnknownBase:
-          Code = ErrorCode::UnknownClass;
-          break;
-        case DiagCode::DuplicateClass:
-          Code = ErrorCode::DuplicateClass;
-          break;
-        case DiagCode::DuplicateBase:
-        case DiagCode::ConflictingBase:
-          Code = ErrorCode::DuplicateBase;
-          break;
-        case DiagCode::SelfInheritance:
-        case DiagCode::InheritanceCycle:
-          Code = ErrorCode::InheritanceCycle;
-          break;
-        case DiagCode::InvalidUsingTarget:
-          Code = ErrorCode::InvalidUsingTarget;
-          break;
-        default:
-          break;
-        }
-        return Status::error(Code, D.Message);
-      }
+    Status S = statusFromDiagnostics(Engine);
+    if (!S.isOk())
+      return S;
     return Status::error(ErrorCode::InvalidArgument, "unknown builder error");
   };
 

@@ -13,12 +13,8 @@
 
 using namespace memlook;
 
-namespace {
-
-/// Comparison rendering: status, defining class, and (for non-static
-/// singleton results) the canonical subobject. Shared-static results
-/// compare on (status, class) only, since any representative is legal.
-std::string renderForComparison(const Hierarchy &H, const LookupResult &R) {
+std::string memlook::renderLookupForComparison(const Hierarchy &H,
+                                               const LookupResult &R) {
   std::string Out = lookupStatusLabel(R.Status);
   if (R.Status != LookupStatus::Unambiguous)
     return Out;
@@ -30,8 +26,6 @@ std::string renderForComparison(const Hierarchy &H, const LookupResult &R) {
   }
   return Out;
 }
-
-} // namespace
 
 DifferentialReport memlook::runDifferentialCheck(const Hierarchy &H,
                                                  size_t MaxSubobjects) {
@@ -59,7 +53,7 @@ DifferentialReport memlook::runDifferentialCheck(const Hierarchy &H,
     ClassId C(Idx);
     for (Symbol Member : H.allMemberNames()) {
       LookupResult Baseline = Eager.lookup(C, Member);
-      std::string BaselineKey = renderForComparison(H, Baseline);
+      std::string BaselineKey = renderLookupForComparison(H, Baseline);
       bool Skipped = false;
       for (LookupEngine *Other : Others) {
         LookupResult R = Other->lookup(C, Member);
@@ -67,7 +61,7 @@ DifferentialReport memlook::runDifferentialCheck(const Hierarchy &H,
           Skipped = true;
           continue;
         }
-        std::string Key = renderForComparison(H, R);
+        std::string Key = renderLookupForComparison(H, R);
         if (Key != BaselineKey)
           Report.Mismatches.push_back(
               std::string(H.className(C)) + "::" +

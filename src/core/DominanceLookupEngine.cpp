@@ -278,6 +278,11 @@ void DominanceLookupEngine::computeColumn(uint32_t MemberIdx) {
   for (ClassId C : H.topologicalOrder()) {
     if (Done[C.index()])
       continue;
+    // A deadline abort leaves the computed topological prefix valid and
+    // the column out of ColumnFullyComputed, so a later query (with a
+    // fresh deadline) resumes where this one stopped.
+    if (deadlineExpired())
+      return;
     computeEntryAt(Column, C, Member);
     Done[C.index()] = true;
   }
@@ -297,6 +302,8 @@ void DominanceLookupEngine::computeEntryRecursive(uint32_t MemberIdx,
 
   std::vector<ClassId> Stack{Context};
   while (!Stack.empty()) {
+    if (deadlineExpired())
+      return;
     ClassId Cur = Stack.back();
     if (Done[Cur.index()]) {
       Stack.pop_back();
@@ -373,6 +380,16 @@ Path DominanceLookupEngine::reconstructWitness(ClassId Context,
 
 LookupResult DominanceLookupEngine::lookup(ClassId Context, Symbol Member) {
   const Entry &E = entry(Context, Member);
+  if (DeadlineTripped) {
+    // The tabulation may have stopped before reaching this entry; an
+    // uncomputed slot reads as Absent, which would be a *wrong* answer.
+    // Degrade it to Exhausted like a tripped step budget instead.
+    auto It = MemberIndex.find(Member);
+    if (It != MemberIndex.end() &&
+        (Columns[It->second].empty() ||
+         !EntryComputed[It->second][Context.index()]))
+      return LookupResult::exhausted();
+  }
   switch (E.EntryKind) {
   case Entry::Kind::Absent:
     return LookupResult::notFound();

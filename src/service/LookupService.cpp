@@ -1,0 +1,418 @@
+//===- LookupService.cpp - Long-lived service --------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/service/LookupService.h"
+
+#include "memlook/core/DifferentialCheck.h"
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/GxxBfsEngine.h"
+#include "memlook/support/Rng.h"
+
+#include <chrono>
+
+using namespace memlook;
+using namespace memlook::service;
+
+const char *memlook::service::answerRungLabel(AnswerRung Rung) {
+  switch (Rung) {
+  case AnswerRung::Tabulated:
+    return "tabulated";
+  case AnswerRung::Figure8PerQuery:
+    return "figure8-per-query";
+  case AnswerRung::GxxApproximate:
+    return "gxx-approximate";
+  }
+  return "unknown";
+}
+
+std::string AuditReport::toString() const {
+  std::string Out = "audit epoch " + std::to_string(Epoch) + ": " +
+                    std::to_string(PairsSampled) + " table pairs sampled, " +
+                    std::to_string(EnginePairsChecked) +
+                    " engine pairs checked, " + std::to_string(PairsSkipped) +
+                    " skipped, " + std::to_string(Mismatches.size()) +
+                    " mismatches";
+  if (!TableWasWarm)
+    Out += ", table cold";
+  if (QuarantinedTable)
+    Out += ", QUARANTINED";
+  return Out;
+}
+
+LookupService::LookupService(Hierarchy Initial, ServiceOptions Options)
+    : Opts(std::move(Options)) {
+  assert(Initial.isFinalized() &&
+         "the service serves finalized hierarchies; use create() for "
+         "untrusted input");
+  auto Snap = std::make_shared<Snapshot>();
+  Snap->Epoch = 1;
+  Snap->H = std::make_shared<const Hierarchy>(std::move(Initial));
+  if (Opts.WarmOnCommit) {
+    Deadline BuildDeadline = warmDeadline();
+    Snap->Table = LookupTable::build(*Snap->H, BuildDeadline);
+  }
+  Current = std::move(Snap);
+}
+
+Expected<std::unique_ptr<LookupService>>
+LookupService::create(Hierarchy Initial, ServiceOptions Options) {
+  if (!Initial.isFinalized())
+    return Status::error(ErrorCode::NotFinalized,
+                         "service requires a finalized hierarchy");
+  return std::make_unique<LookupService>(std::move(Initial),
+                                         std::move(Options));
+}
+
+LookupService::~LookupService() { stopBackgroundAudit(); }
+
+std::shared_ptr<const Snapshot> LookupService::snapshot() const {
+  std::lock_guard<std::mutex> Lock(SnapMutex);
+  return Current;
+}
+
+void LookupService::publish(std::shared_ptr<const Snapshot> Next) {
+  std::lock_guard<std::mutex> Lock(SnapMutex);
+  Current = std::move(Next);
+}
+
+Deadline LookupService::warmDeadline() const {
+  return Opts.WarmBuildMillis > 0 ? Deadline::afterMillis(Opts.WarmBuildMillis)
+                                  : Deadline::never();
+}
+
+//===----------------------------------------------------------------------===//
+// Queries: the degradation ladder
+//===----------------------------------------------------------------------===//
+
+QueryAnswer LookupService::query(std::string_view Class,
+                                 std::string_view Member,
+                                 const Deadline &D) const {
+  return queryOn(*snapshot(), Class, Member, D);
+}
+
+QueryAnswer LookupService::queryOn(const Snapshot &Snap, std::string_view Class,
+                                   std::string_view Member,
+                                   const Deadline &D) const {
+  NumQueries.fetch_add(1, std::memory_order_relaxed);
+
+  QueryAnswer Answer;
+  Answer.Epoch = Snap.Epoch;
+  Answer.TableQuarantined = Snap.quarantined();
+
+  ClassId Context = Snap.H->findClass(Class);
+  if (!Context.isValid()) {
+    // The one unanswerable shape: no rung can resolve a member in the
+    // context of a class this epoch has never heard of. Constant time,
+    // so it counts as the tabulated rung.
+    NumUnknownContexts.fetch_add(1, std::memory_order_relaxed);
+    NumRungAnswers[0].fetch_add(1, std::memory_order_relaxed);
+    Answer.S = Status::error(ErrorCode::UnknownClass,
+                             "unknown context class '" + std::string(Class) +
+                                 "' at epoch " + std::to_string(Snap.Epoch));
+    Answer.Result = LookupResult::notFound();
+    Answer.Rung = AnswerRung::Tabulated;
+    return Answer;
+  }
+
+  Symbol MemberSym = Snap.H->findName(Member);
+  if (!MemberSym.isValid()) {
+    // Name never interned anywhere in this epoch: NotFound, O(1).
+    NumRungAnswers[0].fetch_add(1, std::memory_order_relaxed);
+    Answer.Result = LookupResult::notFound();
+    Answer.Rung = AnswerRung::Tabulated;
+    return Answer;
+  }
+
+  // Rung 0: the epoch's warm table - a constant-time const read.
+  if (Snap.warm()) {
+    NumRungAnswers[0].fetch_add(1, std::memory_order_relaxed);
+    Answer.Result = Snap.Table->find(Context, MemberSym);
+    Answer.Rung = AnswerRung::Tabulated;
+    Answer.DeadlineExpired = D.expired();
+    return Answer;
+  }
+
+  // Rung 1: a private Figure 8 engine, memoizing only this query's
+  // down-closure, bounded by the caller's deadline. Skipped outright
+  // when the deadline has already expired.
+  if (!D.expired()) {
+    DominanceLookupEngine Engine(*Snap.H,
+                                 DominanceLookupEngine::Mode::LazyRecursive);
+    Engine.setDeadline(&D);
+    LookupResult R = Engine.lookup(Context, MemberSym);
+    if (!isBudgetDegraded(R.Status)) {
+      NumRungAnswers[1].fetch_add(1, std::memory_order_relaxed);
+      Answer.Result = std::move(R);
+      Answer.Rung = AnswerRung::Figure8PerQuery;
+      return Answer;
+    }
+  }
+
+  // Rung 2: the floor. Instant-ish, never refuses, but approximate
+  // (g++ 2.7.2's eager ambiguity reporting) - a late or approximate
+  // answer beats none, so this rung answers even past the deadline,
+  // flagged.
+  GxxBfsEngine Floor(*Snap.H, Opts.Budget.MaxSubobjects);
+  NumRungAnswers[2].fetch_add(1, std::memory_order_relaxed);
+  Answer.Result = Floor.lookup(Context, MemberSym);
+  Answer.Rung = AnswerRung::GxxApproximate;
+  Answer.Approximate = true;
+  Answer.DeadlineExpired = D.expired();
+  return Answer;
+}
+
+//===----------------------------------------------------------------------===//
+// Transactions
+//===----------------------------------------------------------------------===//
+
+Transaction LookupService::beginTxn() const {
+  return Transaction(snapshot()->Epoch);
+}
+
+Status LookupService::commit(const Transaction &Txn) {
+  std::lock_guard<std::mutex> Writer(WriterMutex);
+
+  std::shared_ptr<const Snapshot> Base = snapshot();
+  if (Base->Epoch != Txn.baseEpoch()) {
+    NumCommitConflicts.fetch_add(1, std::memory_order_relaxed);
+    return Status::error(
+        ErrorCode::TransactionConflict,
+        "transaction began at epoch " + std::to_string(Txn.baseEpoch()) +
+            " but the service is at epoch " + std::to_string(Base->Epoch));
+  }
+
+  Expected<Hierarchy> Edited = applyEditScript(*Base->H, Txn.ops(), Opts.Budget);
+  if (!Edited) {
+    NumCommitRejects.fetch_add(1, std::memory_order_relaxed);
+    return Edited.status();
+  }
+
+  auto Next = std::make_shared<Snapshot>();
+  Next->Epoch = Base->Epoch + 1;
+  Next->H = std::make_shared<const Hierarchy>(Edited.takeValue());
+  if (Opts.WarmOnCommit) {
+    Deadline BuildDeadline = warmDeadline();
+    Next->Table = LookupTable::build(*Next->H, BuildDeadline);
+  }
+  publish(std::move(Next));
+  NumCommits.fetch_add(1, std::memory_order_relaxed);
+  return Status::ok();
+}
+
+void LookupService::abort(const Transaction &Txn) {
+  (void)Txn;
+  NumAbortedTxns.fetch_add(1, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Table lifecycle
+//===----------------------------------------------------------------------===//
+
+Status LookupService::warmCurrent(const Deadline &D) {
+  std::lock_guard<std::mutex> Writer(WriterMutex);
+
+  std::shared_ptr<const Snapshot> Base = snapshot();
+  if (Base->warm())
+    return Status::ok();
+
+  auto Table = LookupTable::build(*Base->H, D);
+  if (!Table)
+    return Status::error(ErrorCode::DeadlineExceeded,
+                         "table build missed its deadline at epoch " +
+                             std::to_string(Base->Epoch) +
+                             "; epoch stays cold");
+
+  auto Next = std::make_shared<Snapshot>();
+  Next->Epoch = Base->Epoch;
+  Next->H = Base->H;
+  Next->Table = std::move(Table);
+  Next->RebuiltByAudit = Base->RebuiltByAudit;
+  if (Base->quarantined())
+    NumTableRebuilds.fetch_add(1, std::memory_order_relaxed);
+  publish(std::move(Next));
+  return Status::ok();
+}
+
+Status LookupService::tableHealth() const {
+  std::shared_ptr<const Snapshot> Snap = snapshot();
+  if (Snap->quarantined())
+    return Status::error(ErrorCode::TableQuarantined,
+                         "epoch " + std::to_string(Snap->Epoch) +
+                             " table is quarantined pending rebuild");
+  if (!Snap->Table)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "epoch " + std::to_string(Snap->Epoch) +
+                             " table is cold");
+  return Status::ok();
+}
+
+//===----------------------------------------------------------------------===//
+// Self-audit
+//===----------------------------------------------------------------------===//
+
+AuditReport LookupService::auditNow() {
+  // Hold the writer lock for the whole pass: the audited snapshot is
+  // then guaranteed to still be current when a mismatch forces the
+  // quarantine + rebuild, and audits serialize with commits (readers
+  // are never blocked - they keep serving the pinned snapshot).
+  std::lock_guard<std::mutex> Writer(WriterMutex);
+
+  std::shared_ptr<const Snapshot> Snap = snapshot();
+  AuditReport Report;
+  Report.Epoch = Snap->Epoch;
+  Report.TableWasWarm = Snap->warm();
+
+  // Layer 1: engine vs engine, the repository's central correctness
+  // argument, run against the live hierarchy. Budget-degraded pairs are
+  // skips, not failures (the fault injector lands here in tests).
+  if (Opts.AuditEngineCheck) {
+    DifferentialReport Engines = runDifferentialCheck(*Snap->H, Opts.Budget);
+    Report.EnginePairsChecked = Engines.PairsChecked;
+    Report.PairsSkipped += Engines.PairsSkipped;
+    for (const std::string &M : Engines.Mismatches)
+      Report.Mismatches.push_back("engine: " + M);
+  }
+
+  // Layer 2: cached table vs a fresh Figure 8 engine on sampled pairs -
+  // the check that catches a corrupted or stale cache, which layer 1
+  // cannot see (it never consults the table).
+  bool TableBad = false;
+  if (Report.TableWasWarm) {
+    const Hierarchy &H = *Snap->H;
+    DominanceLookupEngine Fresh(H, DominanceLookupEngine::Mode::LazyRecursive);
+    const std::vector<Symbol> &Members = H.allMemberNames();
+    uint64_t TotalPairs =
+        static_cast<uint64_t>(H.numClasses()) * Members.size();
+
+    auto CheckPair = [&](ClassId C, Symbol M) {
+      const LookupResult &Cached = Snap->Table->find(C, M);
+      LookupResult Live = Fresh.lookup(C, M);
+      std::string CachedKey = renderLookupForComparison(H, Cached);
+      std::string LiveKey = renderLookupForComparison(H, Live);
+      ++Report.PairsSampled;
+      if (CachedKey != LiveKey) {
+        Report.Mismatches.push_back(
+            "table: " + std::string(H.className(C)) + "::" +
+            std::string(H.spelling(M)) + ": cached table says '" + CachedKey +
+            "' but figure8 says '" + LiveKey + "'");
+        TableBad = true;
+      }
+    };
+
+    if (TotalPairs <= Opts.AuditSampleLimit || Opts.AuditSampleLimit == 0) {
+      for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx)
+        for (Symbol M : Members)
+          CheckPair(ClassId(Idx), M);
+    } else {
+      // Deterministic sample keyed by the epoch: repeated audits of one
+      // epoch re-check the same pairs, different epochs rotate coverage.
+      Rng Sampler(0x5eed5eedULL ^ Snap->Epoch);
+      for (uint64_t N = 0; N != Opts.AuditSampleLimit; ++N) {
+        ClassId C(static_cast<uint32_t>(Sampler.nextBelow(H.numClasses())));
+        Symbol M = Members[Sampler.nextBelow(Members.size())];
+        CheckPair(C, M);
+      }
+    }
+  }
+
+  // A bad table is quarantined immediately (readers drop to the
+  // per-query rungs) and replaced at the same epoch: the hierarchy
+  // content did not change, only the cache was rebuilt.
+  if (TableBad) {
+    Snap->quarantine();
+    NumQuarantines.fetch_add(1, std::memory_order_relaxed);
+    Report.QuarantinedTable = true;
+
+    auto Next = std::make_shared<Snapshot>();
+    Next->Epoch = Snap->Epoch;
+    Next->H = Snap->H;
+    Next->Table = LookupTable::build(*Snap->H, warmDeadline());
+    Next->RebuiltByAudit = true;
+    publish(std::move(Next));
+    NumTableRebuilds.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  NumAudits.fetch_add(1, std::memory_order_relaxed);
+  NumAuditMismatches.fetch_add(Report.Mismatches.size(),
+                               std::memory_order_relaxed);
+  return Report;
+}
+
+void LookupService::startBackgroundAudit(int64_t IntervalMillis) {
+  std::lock_guard<std::mutex> Lock(AuditThreadMutex);
+  if (AuditThread.joinable())
+    return;
+  AuditStopRequested = false;
+  AuditThread = std::thread([this, IntervalMillis] {
+    std::unique_lock<std::mutex> Lock(AuditThreadMutex);
+    while (!AuditStopRequested) {
+      if (AuditCv.wait_for(Lock, std::chrono::milliseconds(IntervalMillis),
+                           [this] { return AuditStopRequested; }))
+        break;
+      Lock.unlock();
+      auditNow();
+      Lock.lock();
+    }
+  });
+}
+
+void LookupService::stopBackgroundAudit() {
+  std::thread Worker;
+  {
+    std::lock_guard<std::mutex> Lock(AuditThreadMutex);
+    AuditStopRequested = true;
+    Worker = std::move(AuditThread);
+  }
+  AuditCv.notify_all();
+  if (Worker.joinable())
+    Worker.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Observability and test hooks
+//===----------------------------------------------------------------------===//
+
+ServiceStats LookupService::stats() const {
+  ServiceStats S;
+  S.Commits = NumCommits.load(std::memory_order_relaxed);
+  S.CommitRejects = NumCommitRejects.load(std::memory_order_relaxed);
+  S.CommitConflicts = NumCommitConflicts.load(std::memory_order_relaxed);
+  S.AbortedTxns = NumAbortedTxns.load(std::memory_order_relaxed);
+  S.Queries = NumQueries.load(std::memory_order_relaxed);
+  for (size_t Idx = 0; Idx != 3; ++Idx)
+    S.RungAnswers[Idx] = NumRungAnswers[Idx].load(std::memory_order_relaxed);
+  S.UnknownContexts = NumUnknownContexts.load(std::memory_order_relaxed);
+  S.Audits = NumAudits.load(std::memory_order_relaxed);
+  S.AuditMismatches = NumAuditMismatches.load(std::memory_order_relaxed);
+  S.Quarantines = NumQuarantines.load(std::memory_order_relaxed);
+  S.TableRebuilds = NumTableRebuilds.load(std::memory_order_relaxed);
+  return S;
+}
+
+bool LookupService::corruptTableEntryForTesting(std::string_view Class,
+                                                std::string_view Member) {
+  std::lock_guard<std::mutex> Writer(WriterMutex);
+
+  std::shared_ptr<const Snapshot> Snap = snapshot();
+  if (!Snap->warm())
+    return false;
+  ClassId Context = Snap->H->findClass(Class);
+  Symbol MemberSym = Snap->H->findName(Member);
+  if (!Context.isValid() || !MemberSym.isValid())
+    return false;
+  auto Corrupted = Snap->Table->cloneWithCorruptedEntry(Context, MemberSym);
+  if (!Corrupted)
+    return false;
+
+  auto Next = std::make_shared<Snapshot>();
+  Next->Epoch = Snap->Epoch;
+  Next->H = Snap->H;
+  Next->Table = std::move(Corrupted);
+  Next->RebuiltByAudit = Snap->RebuiltByAudit;
+  publish(std::move(Next));
+  return true;
+}

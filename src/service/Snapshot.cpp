@@ -1,0 +1,89 @@
+//===- Snapshot.cpp - Versioned snapshots ------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/service/Snapshot.h"
+
+#include "memlook/core/DominanceLookupEngine.h"
+
+using namespace memlook;
+using namespace memlook::service;
+
+const LookupResult LookupTable::NotFoundAnswer{};
+
+std::shared_ptr<const LookupTable>
+LookupTable::build(const Hierarchy &H, const Deadline &BuildDeadline) {
+  assert(H.isFinalized() && "tabulation requires finalize()");
+
+  std::shared_ptr<LookupTable> Table(new LookupTable());
+  Table->NumClasses = H.numClasses();
+  const std::vector<Symbol> &Members = H.allMemberNames();
+  Table->MemberIndex.reserve(Members.size());
+  for (uint32_t Idx = 0; Idx != Members.size(); ++Idx)
+    Table->MemberIndex.emplace(Members[Idx], Idx);
+  Table->Results.resize(static_cast<size_t>(H.numClasses()) * Members.size());
+
+  // Lazy column-at-a-time tabulation so the deadline can stop the build
+  // between columns; Eager mode would commit to the whole table inside
+  // the constructor.
+  DominanceLookupEngine Engine(H, DominanceLookupEngine::Mode::Lazy);
+  Engine.setDeadline(&BuildDeadline);
+
+  for (uint32_t MemberIdx = 0; MemberIdx != Members.size(); ++MemberIdx) {
+    Symbol Member = Members[MemberIdx];
+    for (uint32_t ClassIdx = 0; ClassIdx != H.numClasses(); ++ClassIdx) {
+      LookupResult R = Engine.lookup(ClassId(ClassIdx), Member);
+      if (Engine.deadlineTripped())
+        return nullptr;
+      Table->Results[static_cast<size_t>(ClassIdx) * Members.size() +
+                     MemberIdx] = std::move(R);
+    }
+  }
+  return Table;
+}
+
+uint64_t LookupTable::approximateBytes() const {
+  uint64_t Bytes = sizeof(LookupTable);
+  Bytes += Results.capacity() * sizeof(LookupResult);
+  for (const LookupResult &R : Results) {
+    Bytes += R.AmbiguousCandidates.capacity() * sizeof(SubobjectKey);
+    if (R.Witness)
+      Bytes += R.Witness->Nodes.capacity() * sizeof(ClassId);
+    if (R.Subobject)
+      Bytes += R.Subobject->Fixed.capacity() * sizeof(ClassId);
+  }
+  Bytes += MemberIndex.size() * (sizeof(Symbol) + sizeof(uint32_t) +
+                                 2 * sizeof(void *)); // node overhead, roughly
+  return Bytes;
+}
+
+std::shared_ptr<const LookupTable>
+LookupTable::cloneWithCorruptedEntry(ClassId Context, Symbol Member) const {
+  if (!Context.isValid() || Context.index() >= NumClasses)
+    return nullptr;
+  auto It = MemberIndex.find(Member);
+  if (It == MemberIndex.end())
+    return nullptr;
+
+  std::shared_ptr<LookupTable> Copy(new LookupTable(*this));
+  LookupResult &Slot =
+      Copy->Results[static_cast<size_t>(Context.index()) * MemberIndex.size() +
+                    It->second];
+  // Any wrong answer works; pick one that changes the comparison key for
+  // every possible original status.
+  switch (Slot.Status) {
+  case LookupStatus::Unambiguous:
+    Slot = LookupResult::ambiguous({});
+    break;
+  case LookupStatus::Ambiguous:
+    Slot = LookupResult::notFound();
+    break;
+  default:
+    Slot = LookupResult::ambiguous({});
+    break;
+  }
+  return Copy;
+}

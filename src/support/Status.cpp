@@ -29,6 +29,12 @@ const char *memlook::errorCodeLabel(ErrorCode Code) {
     return "budget-exceeded";
   case ErrorCode::NotFinalized:
     return "not-finalized";
+  case ErrorCode::TransactionConflict:
+    return "transaction-conflict";
+  case ErrorCode::DeadlineExceeded:
+    return "deadline-exceeded";
+  case ErrorCode::TableQuarantined:
+    return "table-quarantined";
   case ErrorCode::InvalidArgument:
     return "invalid-argument";
   }

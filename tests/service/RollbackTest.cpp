@@ -1,0 +1,169 @@
+//===- RollbackTest.cpp ----------------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transactional-rollback correctness property, checked over
+/// randomized hierarchies: a transaction that aborts - whether rejected
+/// by validation, beaten by a conflicting commit, or explicitly
+/// abandoned - must leave every (class, member) lookup answer
+/// bit-identical to the pre-transaction state. "Bit-identical" is
+/// enforced two ways: the published snapshot must be the *same object*
+/// (nothing was swapped in), and the full answer map - every class
+/// crossed with every member name, rendered with the differential
+/// comparison key - must compare equal.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DifferentialCheck.h"
+#include "memlook/service/LookupService.h"
+#include "memlook/support/Rng.h"
+#include "memlook/workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace memlook;
+using namespace memlook::service;
+
+namespace {
+
+/// Every (class, member) answer of \p Snap as comparison-key renderings.
+std::map<std::string, std::string> answersOf(const LookupService &Svc,
+                                             const Snapshot &Snap) {
+  std::map<std::string, std::string> Out;
+  const Hierarchy &H = *Snap.H;
+  for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx) {
+    ClassId C(Idx);
+    for (Symbol Member : H.allMemberNames()) {
+      QueryAnswer A = Svc.queryOn(Snap, H.className(C), H.spelling(Member));
+      Out[std::string(H.className(C)) + "::" +
+          std::string(H.spelling(Member))] =
+          renderLookupForComparison(H, A.Result);
+    }
+  }
+  return Out;
+}
+
+LookupService makeRandomService(uint64_t Seed, uint32_t NumClasses) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = NumClasses;
+  Params.UsingChance = 0.1;
+  Workload W = makeRandomHierarchy(Params, Seed);
+  return LookupService(std::move(W.H));
+}
+
+} // namespace
+
+TEST(RollbackTest, RejectedCommitLeavesAnswersBitIdentical) {
+  for (uint64_t Seed = 1; Seed != 13; ++Seed) {
+    LookupService Svc = makeRandomService(Seed, 16);
+    std::shared_ptr<const Snapshot> Before = Svc.snapshot();
+    std::map<std::string, std::string> AnswersBefore =
+        answersOf(Svc, *Before);
+
+    // Three failure flavors, each prefixed with edits that *would* have
+    // changed answers had the transaction committed.
+    const char *Flavors[] = {"unknown-name", "cycle", "duplicate-base"};
+    for (const char *Flavor : Flavors) {
+      Transaction Txn = Svc.beginTxn();
+      Txn.addClass("Edited").addBase("Edited", "K0").addMember("K0", "m0");
+      // (m0 may already exist in C0 - then the *prefix* itself rejects;
+      // either way the commit must fail atomically.)
+      if (Flavor == std::string("unknown-name"))
+        Txn.addMember("NoSuchClass", "m1");
+      else if (Flavor == std::string("cycle"))
+        Txn.addBase("K0", "Edited"); // C0 -> Edited -> C0
+      else
+        Txn.addBase("Edited", "K0"); // second copy of the same edge
+      Status S = Svc.commit(Txn);
+      ASSERT_FALSE(S.isOk()) << "seed " << Seed << " flavor " << Flavor;
+
+      EXPECT_EQ(Svc.snapshot().get(), Before.get())
+          << "seed " << Seed << " flavor " << Flavor
+          << ": rejected commit published a snapshot";
+      EXPECT_EQ(answersOf(Svc, *Svc.snapshot()), AnswersBefore)
+          << "seed " << Seed << " flavor " << Flavor;
+    }
+  }
+}
+
+TEST(RollbackTest, ConflictedCommitLeavesAnswersBitIdentical) {
+  for (uint64_t Seed = 20; Seed != 26; ++Seed) {
+    LookupService Svc = makeRandomService(Seed, 12);
+
+    Transaction Stale = Svc.beginTxn();
+    Stale.addClass("StaleOnly").addMember("StaleOnly", "stale_m");
+
+    Transaction Winner = Svc.beginTxn();
+    Winner.addClass("WinnerOnly");
+    ASSERT_TRUE(Svc.commit(Winner).isOk()) << "seed " << Seed;
+
+    std::shared_ptr<const Snapshot> AfterWinner = Svc.snapshot();
+    std::map<std::string, std::string> Answers =
+        answersOf(Svc, *AfterWinner);
+
+    ASSERT_EQ(Svc.commit(Stale).code(), ErrorCode::TransactionConflict)
+        << "seed " << Seed;
+    EXPECT_EQ(Svc.snapshot().get(), AfterWinner.get()) << "seed " << Seed;
+    EXPECT_EQ(answersOf(Svc, *Svc.snapshot()), Answers) << "seed " << Seed;
+  }
+}
+
+TEST(RollbackTest, ExplicitAbortChangesNothing) {
+  LookupService Svc = makeRandomService(99, 16);
+  std::shared_ptr<const Snapshot> Before = Svc.snapshot();
+  std::map<std::string, std::string> Answers = answersOf(Svc, *Before);
+
+  {
+    Transaction Txn = Svc.beginTxn();
+    Txn.addClass("Dropped").removeClass("K3").addMember("K1", "abandoned");
+    Svc.abort(Txn);
+  } // recording ops and dropping the Transaction touches no state
+
+  EXPECT_EQ(Svc.snapshot().get(), Before.get());
+  EXPECT_EQ(answersOf(Svc, *Svc.snapshot()), Answers);
+  EXPECT_EQ(Svc.stats().AbortedTxns, 1u);
+  EXPECT_EQ(Svc.stats().Commits, 0u);
+}
+
+TEST(RollbackTest, InverseScriptRestoresAnswers) {
+  // Not a rollback but the semantic cousin: commit a script, commit its
+  // inverse, and the original answers must hold again (at a higher
+  // epoch - epochs name history, not content).
+  for (uint64_t Seed = 40; Seed != 46; ++Seed) {
+    LookupService Svc = makeRandomService(Seed, 12);
+    std::map<std::string, std::string> Original =
+        answersOf(Svc, *Svc.snapshot());
+
+    Transaction Forward = Svc.beginTxn();
+    Forward.addClass("Extra")
+        .addBase("Extra", "K2", InheritanceKind::Virtual)
+        .addMember("Extra", "extra_m")
+        .addMember("K0", "added_m");
+    ASSERT_TRUE(Svc.commit(Forward).isOk()) << "seed " << Seed;
+
+    Transaction Inverse = Svc.beginTxn();
+    Inverse.removeMember("K0", "added_m")
+        .removeMember("Extra", "extra_m")
+        .removeBase("Extra", "K2")
+        .removeClass("Extra");
+    ASSERT_TRUE(Svc.commit(Inverse).isOk()) << "seed " << Seed;
+
+    // Compare on the original pair set: the round trip may leave the
+    // member-name pool enlarged ("added_m" now renders NotFound rows),
+    // but every originally present answer must be restored exactly.
+    std::map<std::string, std::string> RoundTrip =
+        answersOf(Svc, *Svc.snapshot());
+    for (const auto &[Pair, Key] : Original) {
+      auto It = RoundTrip.find(Pair);
+      ASSERT_NE(It, RoundTrip.end()) << "seed " << Seed << " " << Pair;
+      EXPECT_EQ(It->second, Key) << "seed " << Seed << " " << Pair;
+    }
+    EXPECT_EQ(Svc.currentEpoch(), 3u);
+  }
+}

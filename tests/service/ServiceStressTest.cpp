@@ -1,0 +1,271 @@
+//===- ServiceStressTest.cpp -----------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrency contract, exercised for real: one writer thread
+/// pushing over a thousand transactions (valid, invalid, and
+/// deliberately stale) through a live LookupService while four reader
+/// threads query under a mix of deadlines and a background audit sweeps
+/// every few milliseconds. Run under the `tsan` preset this is the
+/// data-race proof; under any build it checks the ladder's liveness
+/// guarantee - every query is answered by *some* rung - and that the
+/// self-audit never finds a mismatch on an unfaulted service.
+///
+/// Reader threads record into plain per-thread structs and the main
+/// thread asserts after joining, so a TSan report can only ever be
+/// about the service itself.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DifferentialCheck.h"
+#include "memlook/service/LookupService.h"
+#include "memlook/support/Rng.h"
+#include "memlook/workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace memlook;
+using namespace memlook::service;
+
+namespace {
+
+/// What one reader thread saw; asserted on the main thread after join.
+struct ReaderLog {
+  uint64_t Queries = 0;
+  uint64_t RungSeen[3] = {0, 0, 0};
+  uint64_t OkAnswers = 0;
+  uint64_t UnknownContexts = 0;
+  /// Pinned-snapshot repeat queries whose exact rungs disagreed.
+  uint64_t RepeatDivergences = 0;
+  /// Answers whose rung was outside the ladder (should be impossible).
+  uint64_t BadRungs = 0;
+};
+
+std::string queryClassName(Rng &R, uint64_t WriterTxns) {
+  switch (R.nextBelow(4)) {
+  case 0: // a seed class, always present
+    return "K" + std::to_string(R.nextBelow(12));
+  case 1: // a writer-added class that may or may not exist yet
+    return "W" + std::to_string(R.nextBelow(WriterTxns + 1));
+  case 2: // never a class
+    return "Ghost" + std::to_string(R.nextBelow(3));
+  default:
+    return "K" + std::to_string(R.nextBelow(24));
+  }
+}
+
+void readerMain(const LookupService &Svc, const std::atomic<bool> &Done,
+                uint64_t Seed, uint64_t NumWriterTxns, ReaderLog &Log) {
+  Rng R(Seed);
+  std::atomic<bool> Cancelled{true};
+  uint64_t Iter = 0;
+  // At least 512 queries even if the writer finishes instantly, capped
+  // so a stalled writer cannot spin a reader forever.
+  while ((Iter < 512 || !Done.load(std::memory_order_acquire)) &&
+         Iter < 200000) {
+    ++Iter;
+    std::string Class = queryClassName(R, NumWriterTxns);
+    std::string Member = "m" + std::to_string(R.nextBelow(8));
+
+    QueryAnswer A;
+    switch (Iter % 4) {
+    case 0: { // already-cancelled deadline: floor rung on cold epochs
+      Deadline D = Deadline::never();
+      D.withCancelFlag(&Cancelled);
+      A = Svc.query(Class, Member, D);
+      break;
+    }
+    case 1: // tight wall-clock deadline
+      A = Svc.query(Class, Member, Deadline::afterMillis(5));
+      break;
+    case 2: { // pinned snapshot, exact-deadline-free query twice: the
+              // exact rungs (table, per-query engine) must agree
+      std::shared_ptr<const Snapshot> Snap = Svc.snapshot();
+      A = Svc.queryOn(*Snap, Class, Member);
+      QueryAnswer B = Svc.queryOn(*Snap, Class, Member);
+      if (!A.Approximate && !B.Approximate &&
+          renderLookupForComparison(*Snap->H, A.Result) !=
+              renderLookupForComparison(*Snap->H, B.Result))
+        ++Log.RepeatDivergences;
+      break;
+    }
+    default:
+      A = Svc.query(Class, Member);
+      break;
+    }
+
+    ++Log.Queries;
+    if (A.Rung > AnswerRung::GxxApproximate) {
+      ++Log.BadRungs;
+      continue;
+    }
+    ++Log.RungSeen[static_cast<uint8_t>(A.Rung)];
+    if (A.S.isOk())
+      ++Log.OkAnswers;
+    else if (A.S.code() == ErrorCode::UnknownClass)
+      ++Log.UnknownContexts;
+  }
+}
+
+} // namespace
+
+TEST(ServiceStressTest, ReadersWritersAndAuditShareOneService) {
+  RandomHierarchyParams Params;
+  Params.NumClasses = 16;
+  Params.MemberPool = 6;
+  Params.UsingChance = 0.1;
+  Workload W = makeRandomHierarchy(Params, /*Seed=*/20260805);
+
+  ServiceOptions Opts;
+  // Cold-by-default epochs keep the per-query rung in play; the writer
+  // warms periodically so the tabulated rung is exercised too.
+  Opts.WarmOnCommit = false;
+  // The table audit stays on every pass; the O(table) engine-vs-engine
+  // sweep is covered by single-threaded tests and would make a 10ms
+  // audit cadence dominate a TSan run.
+  Opts.AuditEngineCheck = false;
+  Opts.AuditSampleLimit = 64;
+  LookupService Svc(std::move(W.H), Opts);
+
+  constexpr uint64_t NumWriterTxns = 1100;
+  constexpr int NumReaders = 4;
+
+  Svc.startBackgroundAudit(/*IntervalMillis=*/10);
+
+  std::atomic<bool> Done{false};
+  std::vector<ReaderLog> Logs(NumReaders);
+  std::vector<std::thread> Readers;
+  for (int Idx = 0; Idx != NumReaders; ++Idx)
+    Readers.emplace_back(readerMain, std::cref(Svc), std::cref(Done),
+                         /*Seed=*/0xbeef + Idx, NumWriterTxns,
+                         std::ref(Logs[Idx]));
+
+  // The writer: NumWriterTxns transactions in three interleaved
+  // flavors - valid growth, validation rejects, and epoch-race
+  // conflicts - with a periodic warmCurrent() so readers see warm and
+  // cold epochs alike.
+  uint64_t ValidFailures = 0, RejectAnomalies = 0, ConflictAnomalies = 0;
+  {
+    Rng R(0x57e55);
+    uint64_t TxnCount = 0;
+    for (uint64_t I = 0; TxnCount < NumWriterTxns; ++I) {
+      switch (I % 3) {
+      case 0: { // valid: a fresh class joined under an existing one,
+                // or a fresh member on an existing class
+        std::shared_ptr<const Snapshot> Snap = Svc.snapshot();
+        Transaction Txn = Svc.beginTxn();
+        if (I % 12 == 0) {
+          std::string Fresh = "W" + std::to_string(I);
+          ClassId Under(
+              static_cast<uint32_t>(R.nextBelow(Snap->H->numClasses())));
+          Txn.addClass(Fresh)
+              .addBase(Fresh, std::string(Snap->H->className(Under)),
+                       R.nextChance(1, 3) ? InheritanceKind::Virtual
+                                          : InheritanceKind::NonVirtual)
+              .addMember(Fresh, "m" + std::to_string(R.nextBelow(6)));
+        } else {
+          ClassId Onto(
+              static_cast<uint32_t>(R.nextBelow(Snap->H->numClasses())));
+          Txn.addMember(std::string(Snap->H->className(Onto)),
+                        "s" + std::to_string(I));
+        }
+        if (!Svc.commit(Txn).isOk())
+          ++ValidFailures;
+        ++TxnCount;
+        break;
+      }
+      case 1: { // invalid: must reject and roll back
+        Transaction Txn = Svc.beginTxn();
+        Txn.addMember("NoSuchClassEver", "m0");
+        if (Svc.commit(Txn).code() != ErrorCode::UnknownClass)
+          ++RejectAnomalies;
+        ++TxnCount;
+        break;
+      }
+      default: { // stale: a second writer-side txn loses the epoch race
+        Transaction Stale = Svc.beginTxn();
+        Transaction Winner = Svc.beginTxn();
+        Winner.addMember("K" + std::to_string(R.nextBelow(4)),
+                         "w" + std::to_string(I));
+        bool WinnerOk = Svc.commit(Winner).isOk();
+        Stale.addClass("Stale" + std::to_string(I));
+        Status S = Svc.commit(Stale);
+        if (WinnerOk && S.code() != ErrorCode::TransactionConflict)
+          ++ConflictAnomalies;
+        TxnCount += 2;
+        break;
+      }
+      }
+      if (I % 25 == 0)
+        (void)Svc.warmCurrent();
+    }
+  }
+  Done.store(true, std::memory_order_release);
+
+  for (std::thread &T : Readers)
+    T.join();
+  Svc.stopBackgroundAudit();
+
+  // Writer-side sanity.
+  EXPECT_EQ(ValidFailures, 0u);
+  EXPECT_EQ(RejectAnomalies, 0u);
+  EXPECT_EQ(ConflictAnomalies, 0u);
+
+  // Reader-side: every query was answered by a ladder rung, exactly.
+  uint64_t ReaderQueries = 0;
+  for (const ReaderLog &Log : Logs) {
+    EXPECT_GE(Log.Queries, 512u);
+    EXPECT_EQ(Log.BadRungs, 0u);
+    EXPECT_EQ(Log.RepeatDivergences, 0u);
+    EXPECT_EQ(Log.Queries,
+              Log.RungSeen[0] + Log.RungSeen[1] + Log.RungSeen[2]);
+    EXPECT_EQ(Log.Queries, Log.OkAnswers + Log.UnknownContexts);
+    ReaderQueries += Log.Queries;
+  }
+
+  // Service-side totals line up with what the threads observed.
+  ServiceStats Stats = Svc.stats();
+  EXPECT_GE(Stats.Queries, ReaderQueries);
+  EXPECT_EQ(Stats.Queries,
+            Stats.RungAnswers[0] + Stats.RungAnswers[1] +
+                Stats.RungAnswers[2]);
+  EXPECT_GE(Stats.Commits, NumWriterTxns / 3);
+  EXPECT_GE(Stats.CommitRejects, NumWriterTxns / 5);
+  EXPECT_GE(Stats.CommitConflicts, NumWriterTxns / 5);
+  EXPECT_GE(Stats.Audits, 1u);
+
+  // No faults were injected, so the audit must never have disagreed.
+  EXPECT_EQ(Stats.AuditMismatches, 0u);
+  EXPECT_EQ(Stats.Quarantines, 0u);
+
+  // Deterministic rung coverage, now that the threads are quiet: warm
+  // epoch -> tabulated; fresh cold commit -> per-query engine; cold +
+  // cancelled deadline -> approximate floor.
+  ASSERT_TRUE(Svc.warmCurrent().isOk());
+  EXPECT_EQ(Svc.query("K0", "m0").Rung, AnswerRung::Tabulated);
+
+  Transaction Cooling = Svc.beginTxn();
+  Cooling.addClass("FinalCold");
+  ASSERT_TRUE(Svc.commit(Cooling).isOk());
+  EXPECT_EQ(Svc.query("K0", "m0").Rung, AnswerRung::Figure8PerQuery);
+
+  std::atomic<bool> Cancelled{true};
+  Deadline D = Deadline::never();
+  D.withCancelFlag(&Cancelled);
+  QueryAnswer Floor = Svc.query("K0", "m0", D);
+  EXPECT_EQ(Floor.Rung, AnswerRung::GxxApproximate);
+  EXPECT_TRUE(Floor.Approximate);
+  EXPECT_TRUE(Floor.DeadlineExpired);
+
+  AuditReport Final = Svc.auditNow();
+  EXPECT_TRUE(Final.passed()) << Final.toString();
+}
