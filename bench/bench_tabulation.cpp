@@ -18,13 +18,26 @@
 //
 // Expect a crossover: recursive wins at low density, eager at high.
 //
+// Besides the google-benchmark ablation, `bench_tabulation --json OUT`
+// runs a self-contained serial / parallel / incremental comparison (see
+// runJsonHarness below) and writes machine-readable results - the bench
+// trajectory CI's perf-smoke job and bench/run_bench.sh consume.
+//
 //===----------------------------------------------------------------------===//
 
 #include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/service/LookupService.h"
 #include "memlook/support/Rng.h"
+#include "memlook/support/ThreadPool.h"
 #include "memlook/workload/Generators.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 
 using namespace memlook;
 
@@ -96,6 +109,241 @@ void BM_EntriesComputedRecursive(benchmark::State &State) {
 }
 BENCHMARK(BM_EntriesComputedRecursive)->Arg(1)->Arg(100)->Arg(1000);
 
+//===----------------------------------------------------------------------===//
+// The --json harness: serial vs parallel vs incremental table builds
+//===----------------------------------------------------------------------===//
+
+using service::LookupTable;
+using service::Transaction;
+
+double elapsedMillis(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+/// Best-of-N wall time of \p Fn, in milliseconds. Best-of (not mean)
+/// because build times are one-sided noise: nothing makes a build
+/// spuriously fast.
+template <typename FnT> double bestOf(int Repeats, FnT Fn) {
+  double Best = 0;
+  for (int R = 0; R != Repeats; ++R) {
+    auto Start = std::chrono::steady_clock::now();
+    Fn();
+    double Ms = elapsedMillis(Start);
+    if (R == 0 || Ms < Best)
+      Best = Ms;
+  }
+  return Best;
+}
+
+struct ScenarioResult {
+  std::string Name;
+  uint32_t Classes = 0;
+  uint32_t Members = 0;
+  double SerialMs = 0;
+  double ParallelMs = 0;
+  uint32_t ParallelThreads = 1;
+  double RewarmMs = 0;
+  uint32_t RewarmColumnsBuilt = 0;
+  uint32_t RewarmColumnsShared = 0;
+
+  double speedup() const { return ParallelMs > 0 ? SerialMs / ParallelMs : 0; }
+  double retabFraction() const {
+    uint32_t Total = RewarmColumnsBuilt + RewarmColumnsShared;
+    return Total != 0 ? double(RewarmColumnsBuilt) / double(Total) : 1.0;
+  }
+};
+
+/// Measures one workload end to end: full serial build, full parallel
+/// build, and an incremental rewarm after \p Edit (a single-class edit
+/// script against the workload's hierarchy).
+ScenarioResult runScenario(std::string Name, Workload W,
+                           const std::vector<Transaction::Op> &Edit,
+                           uint32_t Threads, int Repeats) {
+  ScenarioResult R;
+  R.Name = std::move(Name);
+  R.Classes = W.H.numClasses();
+  R.Members = static_cast<uint32_t>(W.H.allMemberNames().size());
+  R.ParallelThreads = ParallelTabulator::resolveThreads(Threads);
+
+  // Interleave the serial and parallel measurements (A/B/A/B...) so
+  // allocator and frequency drift hits both sides equally.
+  std::shared_ptr<const LookupTable> Serial, Parallel;
+  for (int Rep = 0; Rep != Repeats; ++Rep) {
+    double SerialMs = bestOf(1, [&] {
+      Serial = LookupTable::build(W.H, Deadline::never(), /*Threads=*/1);
+    });
+    double ParallelMs = bestOf(1, [&] {
+      Parallel = LookupTable::build(W.H, Deadline::never(), Threads);
+    });
+    if (Rep == 0 || SerialMs < R.SerialMs)
+      R.SerialMs = SerialMs;
+    if (Rep == 0 || ParallelMs < R.ParallelMs)
+      R.ParallelMs = ParallelMs;
+  }
+
+  ResourceBudget Budget = ResourceBudget::unlimited();
+  Expected<Hierarchy> Edited = service::applyEditScript(W.H, Edit, Budget);
+  if (!Edited) {
+    std::cerr << "bench edit script failed: " << Edited.status().toString()
+              << "\n";
+    std::exit(2);
+  }
+  Hierarchy NewH = Edited.takeValue();
+  service::ImpactSet Impact = service::computeImpactSet(W.H, NewH, Edit);
+
+  std::shared_ptr<const LookupTable> Rewarmed;
+  R.RewarmMs = bestOf(Repeats, [&] {
+    Rewarmed = LookupTable::rewarm(NewH, W.H, *Serial, Impact.MemberNames,
+                                   Deadline::never(), Threads);
+  });
+  R.RewarmColumnsBuilt = Rewarmed->buildStats().ColumnsBuilt;
+  R.RewarmColumnsShared = Rewarmed->buildStats().ColumnsShared;
+  return R;
+}
+
+double geomean(const std::vector<double> &Xs) {
+  double LogSum = 0;
+  for (double X : Xs)
+    LogSum += std::log(X);
+  return Xs.empty() ? 0 : std::exp(LogSum / double(Xs.size()));
+}
+
+int runJsonHarness(const std::string &OutPath, uint32_t Threads, bool Check,
+                   int Repeats) {
+  std::vector<ScenarioResult> Results;
+
+  // The compiler-shaped workload: a modular forest with tree-local
+  // member names (how real libraries name things), where a single-class
+  // edit has a small impact set - the regime incremental rewarming is
+  // for. The edit touches tree 0's root, so tree 0's columns (plus the
+  // shared "g*" names) re-tabulate and every other tree's columns are
+  // shared.
+  {
+    std::vector<Transaction::Op> Edit;
+    Edit.push_back(Transaction::Op{Transaction::OpKind::AddMember, "T0", "",
+                                   "t0_fresh", InheritanceKind::NonVirtual,
+                                   AccessSpec::Public, false, false});
+    Results.push_back(runScenario("modular_forest",
+                                  makeModularForest(48, 3, 4, 6, 2), Edit,
+                                  Threads, Repeats));
+  }
+
+  {
+    // A dense random DAG: wide member pool, heavier per-column work
+    // (virtual edges + ambiguity), no name locality to exploit - the
+    // parallel build carries this one, the rewarm saves less.
+    RandomHierarchyParams Params;
+    Params.NumClasses = 1200;
+    Params.MemberPool = 220;
+    Params.DeclareChance = 0.04;
+    Params.AvgBases = 1.8;
+    Workload W = makeRandomHierarchy(Params, 0xb0b5);
+    std::string EditedClass(W.H.className(ClassId(W.H.numClasses() / 2)));
+    std::vector<Transaction::Op> Edit;
+    Edit.push_back(Transaction::Op{Transaction::OpKind::AddMember, EditedClass,
+                                   "", "bench_fresh",
+                                   InheritanceKind::NonVirtual,
+                                   AccessSpec::Public, false, false});
+    Results.push_back(
+        runScenario("random_large", std::move(W), Edit, Threads, Repeats));
+  }
+
+  std::vector<double> SerialMs, ParallelMs, RewarmMs, Speedups;
+  for (const ScenarioResult &R : Results) {
+    SerialMs.push_back(R.SerialMs);
+    ParallelMs.push_back(R.ParallelMs);
+    RewarmMs.push_back(R.RewarmMs);
+    Speedups.push_back(R.speedup());
+  }
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::cerr << "cannot write " << OutPath << "\n";
+    return 2;
+  }
+  Out << "{\n  \"bench\": \"tabulation\",\n";
+  Out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  Out << "  \"threads\": " << ParallelTabulator::resolveThreads(Threads)
+      << ",\n  \"workloads\": [\n";
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const ScenarioResult &R = Results[I];
+    Out << "    {\"name\": \"" << R.Name << "\", \"classes\": " << R.Classes
+        << ", \"members\": " << R.Members << ",\n     \"serial_build_ms\": "
+        << R.SerialMs << ", \"parallel_build_ms\": " << R.ParallelMs
+        << ", \"parallel_speedup\": " << R.speedup()
+        << ",\n     \"rewarm_ms\": " << R.RewarmMs
+        << ", \"rewarm_columns_retabulated\": " << R.RewarmColumnsBuilt
+        << ", \"rewarm_columns_shared\": " << R.RewarmColumnsShared
+        << ", \"retab_fraction\": " << R.retabFraction() << "}"
+        << (I + 1 == Results.size() ? "\n" : ",\n");
+  }
+  Out << "  ],\n  \"geomean\": {\"serial_build_ms\": " << geomean(SerialMs)
+      << ", \"parallel_build_ms\": " << geomean(ParallelMs)
+      << ", \"rewarm_ms\": " << geomean(RewarmMs)
+      << ", \"parallel_speedup\": " << geomean(Speedups) << "}\n}\n";
+  Out.close();
+
+  for (const ScenarioResult &R : Results)
+    std::cout << R.Name << ": serial " << R.SerialMs << " ms, parallel "
+              << R.ParallelMs << " ms (x" << R.speedup() << " at "
+              << R.ParallelThreads << " threads), rewarm " << R.RewarmMs
+              << " ms (" << R.RewarmColumnsBuilt << " rebuilt / "
+              << R.RewarmColumnsShared << " shared, "
+              << 100.0 * R.retabFraction() << "% retabulated)\n";
+
+  if (Check) {
+    // CI regression guard: a parallel build must never lose to serial,
+    // and the modular (compiler-shaped) workload's single-class edit
+    // must stay under 20% of columns re-tabulated. The speedup guard
+    // only means something when a real pool ran - on a single-core
+    // machine "parallel" degrades to the same serial loop and any
+    // difference is noise, so it is skipped there.
+    for (const ScenarioResult &R : Results) {
+      if (R.ParallelThreads >= 2 && R.speedup() < 1.0) {
+        std::cerr << "CHECK FAILED: " << R.Name << " parallel build ("
+                  << R.ParallelMs << " ms) slower than serial (" << R.SerialMs
+                  << " ms) at " << R.ParallelThreads << " threads\n";
+        return 1;
+      }
+      if (R.Name == "modular_forest" && R.retabFraction() >= 0.2) {
+        std::cerr << "CHECK FAILED: " << R.Name << " rewarm re-tabulated "
+                  << 100.0 * R.retabFraction() << "% of columns (>= 20%)\n";
+        return 1;
+      }
+    }
+    std::cout << "checks passed\n";
+  }
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  std::string JsonOut;
+  uint32_t Threads = 0;
+  bool Check = false;
+  int Repeats = 3;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc)
+      JsonOut = argv[++I];
+    else if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc)
+      Threads = static_cast<uint32_t>(std::atoi(argv[++I]));
+    else if (std::strcmp(argv[I], "--check") == 0)
+      Check = true;
+    else if (std::strcmp(argv[I], "--repeats") == 0 && I + 1 < argc)
+      Repeats = std::atoi(argv[++I]);
+  }
+  if (!JsonOut.empty())
+    return runJsonHarness(JsonOut, Threads, Check, Repeats);
+
+  // No --json: the classic google-benchmark ablation.
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

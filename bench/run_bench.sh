@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the tabulation benchmark harness and records BENCH_tabulation.json
+# at the repo root - the bench trajectory consumed by CI's perf-smoke job
+# and by humans comparing PRs.
+#
+# Usage: bench/run_bench.sh [build-dir] [-- extra bench_tabulation args]
+# Default build dir: build-release if present, else build.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-}"
+if [ -z "${BUILD_DIR}" ]; then
+  if [ -d "${REPO_ROOT}/build-release" ]; then
+    BUILD_DIR="${REPO_ROOT}/build-release"
+  else
+    BUILD_DIR="${REPO_ROOT}/build"
+  fi
+fi
+
+BENCH="${BUILD_DIR}/bench/bench_tabulation"
+if [ ! -x "${BENCH}" ]; then
+  echo "error: ${BENCH} not built (cmake --build ${BUILD_DIR} --target bench_tabulation)" >&2
+  exit 2
+fi
+
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+OUT="${REPO_ROOT}/BENCH_tabulation.json"
+"${BENCH}" --json "${OUT}" "$@"
+echo "wrote ${OUT}"

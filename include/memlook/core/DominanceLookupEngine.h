@@ -75,10 +75,10 @@
 #define MEMLOOK_CORE_DOMINANCELOOKUPENGINE_H
 
 #include "memlook/core/LookupEngine.h"
+#include "memlook/support/BitVector.h"
 #include "memlook/support/Deadline.h"
 
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace memlook {
@@ -194,8 +194,38 @@ public:
     uint64_t EntriesComputed = 0;   ///< table slots filled (incl. Absent)
     uint64_t DominanceTests = 0;    ///< Lemma 4 element tests performed
     uint64_t BlueElementsMoved = 0; ///< blue elements composed across edges
+
+    Stats &operator+=(const Stats &Other) {
+      EntriesComputed += Other.EntriesComputed;
+      DominanceTests += Other.DominanceTests;
+      BlueElementsMoved += Other.BlueElementsMoved;
+      return *this;
+    }
   };
   const Stats &stats() const { return EngineStats; }
+
+  //===--------------------------------------------------------------------===
+  // The Figure 8 kernel, exposed statically
+  //
+  // The table is column-independent: lookup[*, m] never reads another
+  // member's column. These statics are the whole per-column computation
+  // with no engine state beyond the caller-owned column and Stats, so
+  // the ParallelTabulator can drive the very same code - not a copy of
+  // it - from worker threads, one column per task.
+  //===--------------------------------------------------------------------===
+
+  /// Computes the single entry lookup[C, \p Member] into \p Column,
+  /// assuming the entries of every direct base of C are final (i.e. C's
+  /// predecessors in topological order were computed first).
+  static void computeEntry(const Hierarchy &H, std::vector<Entry> &Column,
+                           ClassId C, Symbol Member, Stats &S);
+
+  /// Converts the (final) entry for \p Context into the engine's public
+  /// LookupResult, reconstructing the red witness path via the column's
+  /// Via links. Every entry the witness chain crosses must be final.
+  static LookupResult entryToResult(const Hierarchy &H,
+                                    const std::vector<Entry> &Column,
+                                    ClassId Context);
 
   /// Approximate heap footprint of the materialized table (entry slots
   /// plus red-set and blue-set payloads) - the space counterpart of the
@@ -203,10 +233,6 @@ public:
   uint64_t approximateTableBytes() const;
 
 private:
-  /// Computes the single entry lookup[C, Member], assuming the entries
-  /// of every direct base of C in \p Column are final.
-  void computeEntryAt(std::vector<Entry> &Column, ClassId C, Symbol Member);
-
   /// Computes the full column lookup[*, Member] in topological order
   /// (skipping entries a LazyRecursive query already produced).
   void computeColumn(uint32_t MemberIdx);
@@ -218,10 +244,13 @@ private:
   /// Allocates a column's entry and computed-flag storage on first use.
   void ensureColumnStorage(uint32_t MemberIdx);
 
-  /// Lemma 4 on the set abstraction: does the red value (L, Vs) cover
-  /// the definition abstracted as V2 (arriving along a different edge)?
-  bool redCovers(ClassId L, const std::vector<ClassId> &Vs, ClassId V2,
-                 const std::vector<Entry> &Column);
+  /// True once every entry of the column is final: the column's
+  /// popcount equals the class count. Replaces the old
+  /// ColumnFullyComputed set - the BitVector already knows.
+  bool columnFullyComputed(uint32_t MemberIdx) const {
+    const BitVector &Done = EntryComputed[MemberIdx];
+    return Done.size() != 0 && Done.count() == Done.size();
+  }
 
   /// Definition 15's o operator across the direct edge \p Spec.Base ->
   /// derived (edge kind taken from \p Spec).
@@ -232,9 +261,6 @@ private:
       return Spec.Base;
     return ClassId(); // Omega
   }
-
-  /// Reconstructs the witness path of a red entry by walking Via links.
-  Path reconstructWitness(ClassId Context, uint32_t MemberIdx) const;
 
   /// Deadline check at entry granularity: consults the clock every
   /// DeadlineStride entries, never when no deadline is attached.
@@ -249,21 +275,25 @@ private:
     return DeadlineTripped;
   }
 
-  /// Entries tabulated between clock reads while a deadline is attached.
-  static constexpr uint32_t DeadlineStride = 64;
-
   Mode TabulationMode;
   const Deadline *QueryDeadline = nullptr;
   bool DeadlineTripped = false;
   uint32_t DeadlineCheckCounter = 0;
   std::unordered_map<Symbol, uint32_t> MemberIndex;
   /// Column-major table: Columns[memberIdx][classIdx]. A column is
-  /// allocated lazily; EntryComputed tracks which entries are final.
+  /// allocated lazily; EntryComputed tracks which entries are final as
+  /// a packed per-column BitVector, so each column's bookkeeping is
+  /// independently owned (no adjacent-bit sharing across columns).
   std::vector<std::vector<Entry>> Columns;
-  std::vector<std::vector<bool>> EntryComputed;
-  std::unordered_set<uint32_t> ColumnFullyComputed;
+  std::vector<BitVector> EntryComputed;
   Entry AbsentEntry;
   Stats EngineStats;
+
+public:
+  /// Entries tabulated between clock reads while a deadline is attached.
+  /// Shared with the ParallelTabulator so serial and parallel builds
+  /// overshoot an expired deadline by the same bounded amount.
+  static constexpr uint32_t DeadlineStride = 64;
 };
 
 } // namespace memlook

@@ -1,0 +1,104 @@
+//===- memlook/core/ParallelTabulator.h - Parallel Figure 8 -----*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel construction of the full lookup table, one member column per
+/// task. The enabling observation is in the complexity argument of
+/// Section 5 and is visible in Figure 8 itself: the computation of
+/// lookup[*, m] reads the hierarchy graph and *its own column* - never
+/// another member's column. The |M| columns are therefore independent
+/// jobs over shared immutable input, and the O(|M|*|N|*(|N|+|E|)) table
+/// build parallelizes across |M| with no synchronization inside the
+/// kernel at all.
+///
+/// The tabulator drives DominanceLookupEngine::computeEntry - the same
+/// statically-exposed kernel the serial engine runs, not a copy - and
+/// materializes each column to final LookupResults via entryToResult, so
+/// a parallel build is entry-for-entry identical to a serial one (the
+/// differential tests pin this).
+///
+/// Deadline cooperation mirrors the serial engine: each worker consults
+/// the shared Deadline every DominanceLookupEngine::DeadlineStride
+/// entries, and expiry is published through a shared sticky flag so the
+/// remaining workers stop within one stride. A column interrupted by
+/// expiry still holds a *valid topological prefix* - every computed
+/// entry is final and correct, because entries only ever read entries
+/// of base classes, which topological order put earlier. Partial
+/// columns carry a per-row Computed bitmap so callers can either use
+/// the prefix or discard the column wholesale.
+///
+/// Columns are produced as shared_ptr<const Column> deliberately: the
+/// service layer's incremental rewarming shares unaffected columns
+/// *across epochs* by aliasing these pointers, so "who owns a column"
+/// never depends on which table retires first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CORE_PARALLELTABULATOR_H
+#define MEMLOOK_CORE_PARALLELTABULATOR_H
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/support/BitVector.h"
+#include "memlook/support/Deadline.h"
+
+#include <memory>
+#include <vector>
+
+namespace memlook {
+
+/// Builds member columns of the Figure 8 table in parallel.
+class ParallelTabulator {
+public:
+  using Stats = DominanceLookupEngine::Stats;
+
+  /// One fully-materialized member column: the final LookupResult for
+  /// every class, indexed by ClassId::index(). Immutable once published
+  /// (always held as shared_ptr<const Column>), so epochs can share it.
+  struct Column {
+    std::vector<LookupResult> Rows;
+    /// Rows[i] is meaningful iff Computed.test(i). All-ones exactly
+    /// when Complete; a deadline-interrupted column holds the computed
+    /// topological prefix of the class order.
+    BitVector Computed;
+    bool Complete = false;
+  };
+
+  /// A (possibly partial) table build.
+  struct Result {
+    /// Indexed like Hierarchy::allMemberNames(). Entries for member
+    /// indices the caller did not request stay null - the incremental
+    /// rewarm fills those by sharing the predecessor epoch's columns.
+    std::vector<std::shared_ptr<const Column>> Columns;
+    /// Per-worker counters summed at join (column-granular, so the sum
+    /// is deterministic for a given hierarchy regardless of schedule).
+    Stats TabulationStats;
+    /// True iff every *requested* column completed before the deadline.
+    bool Complete = true;
+    uint32_t ThreadsUsed = 1;
+  };
+
+  /// Maps the caller's thread request to a pool size: 0 means "pick for
+  /// me" (hardware concurrency, capped - see defaultTabulationThreads),
+  /// anything else is taken literally so tests and benchmarks can force
+  /// serial (1) or oversubscribed pools.
+  static uint32_t resolveThreads(uint32_t Requested);
+
+  /// Tabulates every member column of \p H.
+  static Result tabulateAll(const Hierarchy &H, const Deadline &D,
+                            uint32_t Threads = 0);
+
+  /// Tabulates exactly the columns in \p MemberIdxs (indices into
+  /// Hierarchy::allMemberNames(); duplicates tolerated). Columns not
+  /// requested are left null in the result.
+  static Result tabulate(const Hierarchy &H,
+                         const std::vector<uint32_t> &MemberIdxs,
+                         const Deadline &D, uint32_t Threads = 0);
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_CORE_PARALLELTABULATOR_H

@@ -109,6 +109,15 @@ struct ServiceOptions {
   /// (0 = unbounded). An over-deadline build leaves the epoch cold
   /// rather than stalling the writer.
   int64_t WarmBuildMillis = 0;
+  /// Worker threads for table builds and rewarms (0 = pick from
+  /// hardware concurrency, 1 = serial). Columns are independent, so
+  /// builds scale across member names (ParallelTabulator).
+  uint32_t WarmThreads = 0;
+  /// Rewarm incrementally on commit: re-tabulate only the edit's impact
+  /// set and structurally share every other column with the predecessor
+  /// epoch's table. Falls back to a full build when the predecessor is
+  /// cold/quarantined or the script removed a class.
+  bool IncrementalRewarm = true;
   /// Max (class, member) pairs the table-integrity audit samples per
   /// auditNow() (the full table is swept when it is smaller).
   uint64_t AuditSampleLimit = 256;
@@ -130,6 +139,9 @@ struct ServiceStats {
   uint64_t AuditMismatches = 0;  ///< total mismatch lines across audits
   uint64_t Quarantines = 0;      ///< tables quarantined
   uint64_t TableRebuilds = 0;    ///< tables rebuilt after quarantine
+  uint64_t IncrementalRewarms = 0; ///< commits warmed by column sharing
+  uint64_t ColumnsShared = 0;      ///< columns aliased across epochs
+  uint64_t ColumnsRetabulated = 0; ///< columns rebuilt by rewarms
 };
 
 /// Structured outcome of one self-audit pass.
@@ -283,7 +295,8 @@ private:
   mutable std::atomic<uint64_t> NumCommits{0}, NumCommitRejects{0},
       NumCommitConflicts{0}, NumAbortedTxns{0}, NumQueries{0},
       NumUnknownContexts{0}, NumAudits{0}, NumAuditMismatches{0},
-      NumQuarantines{0}, NumTableRebuilds{0};
+      NumQuarantines{0}, NumTableRebuilds{0}, NumIncrementalRewarms{0},
+      NumColumnsShared{0}, NumColumnsRetabulated{0};
   mutable std::atomic<uint64_t> NumRungAnswers[3] = {{0}, {0}, {0}};
 
   // Background audit thread state.

@@ -32,10 +32,12 @@
 
 #include "memlook/chg/Hierarchy.h"
 #include "memlook/core/LookupResult.h"
+#include "memlook/core/ParallelTabulator.h"
 #include "memlook/support/Deadline.h"
 
 #include <atomic>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -47,14 +49,57 @@ namespace service {
 /// DominanceLookupEngine (which memoizes, so concurrent lookups race),
 /// a LookupTable is computed once before publication and is then
 /// const-queryable from any number of threads.
+///
+/// Storage is column-major behind per-column shared_ptrs - the unit of
+/// both parallel construction (one ParallelTabulator task per member
+/// name) and cross-epoch structural sharing: rewarm() aliases every
+/// column the committed edit provably did not affect into the new
+/// epoch's table, so a small edit re-tabulates a small impact set
+/// instead of the whole |M| x |N| product.
 class LookupTable {
 public:
-  /// Tabulates every (class, member) answer over \p H with an eagerly
-  /// driven Figure 8 engine. Honors \p BuildDeadline at column
-  /// granularity: when it expires mid-build, returns nullptr and the
-  /// snapshot stays cold (queries degrade to the per-query rungs).
+  using Column = ParallelTabulator::Column;
+
+  /// How a table came to be, for observability and the bench harness.
+  struct BuildStats {
+    uint32_t ColumnsBuilt = 0;  ///< columns tabulated by this build
+    uint32_t ColumnsShared = 0; ///< columns aliased from the predecessor
+    uint32_t ThreadsUsed = 1;
+    ParallelTabulator::Stats Tabulation; ///< kernel counters (built only)
+  };
+
+  /// Tabulates every (class, member) answer over \p H, sharding member
+  /// columns across \p Threads workers (0 = pick automatically, 1 =
+  /// serial). Honors \p BuildDeadline at DeadlineStride granularity:
+  /// when it expires mid-build, returns nullptr and the snapshot stays
+  /// cold (queries degrade to the per-query rungs).
   static std::shared_ptr<const LookupTable>
-  build(const Hierarchy &H, const Deadline &BuildDeadline = Deadline::never());
+  build(const Hierarchy &H, const Deadline &BuildDeadline = Deadline::never(),
+        uint32_t Threads = 0);
+
+  /// Incremental commit-time rewarm: builds the table for \p NewH by
+  /// re-tabulating only the member-name columns in \p ImpactedNames
+  /// (spellings) and structurally sharing every other column of
+  /// \p Prev, the predecessor epoch's table built over \p OldH.
+  ///
+  /// Soundness preconditions (the commit path guarantees both):
+  ///  * class ids are stable from OldH to NewH - the edit script
+  ///    removed no class, so surviving classes keep their dense ids and
+  ///    new classes take ids >= OldH.numClasses();
+  ///  * \p ImpactedNames covers every member name whose column differs
+  ///    between the two epochs (computeImpactSet's contract).
+  /// A shared column then answers correctly for every pre-existing
+  /// class, and for a *new* class the answer is NotFound - any name
+  /// visible from a new class is impacted by construction, so an
+  /// unimpacted name cannot reach it. find() encodes exactly that:
+  /// a row index beyond a shared column's size answers NotFound.
+  ///
+  /// Returns nullptr when the re-tabulation missed \p BuildDeadline.
+  static std::shared_ptr<const LookupTable>
+  rewarm(const Hierarchy &NewH, const Hierarchy &OldH, const LookupTable &Prev,
+         const std::vector<std::string> &ImpactedNames,
+         const Deadline &BuildDeadline = Deadline::never(),
+         uint32_t Threads = 0);
 
   /// The tabulated answer for (\p Context, \p Member). Names never
   /// declared anywhere in the epoch's hierarchy answer NotFound.
@@ -66,20 +111,27 @@ public:
     auto It = MemberIndex.find(Member);
     if (It == MemberIndex.end())
       return NotFoundAnswer;
-    return Results[static_cast<size_t>(Context.index()) * MemberIndex.size() +
-                   It->second];
+    const Column &Col = *Columns[It->second];
+    if (Context.index() >= Col.Rows.size())
+      return NotFoundAnswer; // shared short column, new class: see rewarm()
+    return Col.Rows[Context.index()];
   }
 
-  /// Number of materialized answers (classes x declared member names).
-  uint64_t numEntries() const { return Results.size(); }
+  /// Number of materialized answers across all columns (shared columns
+  /// count their own, possibly shorter, row span).
+  uint64_t numEntries() const;
 
-  /// Rough heap footprint, for capacity observability.
+  /// Rough heap footprint, for capacity observability. Shared columns
+  /// are charged to every table that references them.
   uint64_t approximateBytes() const;
+
+  const BuildStats &buildStats() const { return Build; }
 
   /// Test-and-demo hook: a copy of this table with the (\p Context,
   /// \p Member) answer replaced by a deliberately wrong one (the
   /// corruption the self-audit exists to catch). Returns nullptr when
-  /// the member name is not tabulated.
+  /// the member name is not tabulated. Only the corrupted column is
+  /// deep-copied; the rest stay shared.
   std::shared_ptr<const LookupTable>
   cloneWithCorruptedEntry(ClassId Context, Symbol Member) const;
 
@@ -88,8 +140,10 @@ private:
 
   uint32_t NumClasses = 0;
   std::unordered_map<Symbol, uint32_t> MemberIndex;
-  /// Row-major: Results[classIdx * numMembers + memberIdx].
-  std::vector<LookupResult> Results;
+  /// Columns[memberIdx], indexed like Hierarchy::allMemberNames(); all
+  /// non-null and Complete in a published table.
+  std::vector<std::shared_ptr<const Column>> Columns;
+  BuildStats Build;
 
   static const LookupResult NotFoundAnswer;
 };

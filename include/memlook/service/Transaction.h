@@ -156,6 +156,39 @@ Expected<Hierarchy> applyEditScript(const Hierarchy &Base,
                                     const std::vector<Transaction::Op> &Ops,
                                     const ResourceBudget &Budget);
 
+/// What a committed edit can possibly have changed in the lookup table,
+/// computed from the edit script plus both epoch hierarchies. The
+/// incremental rewarm re-tabulates exactly MemberNames and structurally
+/// shares every other column (LookupTable::rewarm).
+///
+/// The argument: lookup[C, m] is a function of C's up-closure (the
+/// classes C inherits from, their edges and their declarations) - the
+/// Figure 8 entry at C reads only entries of C's bases. An edit whose
+/// ops name class A therefore changes lookup[C, *] only for C in the
+/// *down*-closure of A ({A} plus everything that derives from A, in the
+/// old or new hierarchy). For such a C, the member names whose answers
+/// can differ are the names declared somewhere in C's up-closure - in
+/// the old hierarchy or the new one (removals make a previously visible
+/// name invisible; the old side catches those). Every op's member
+/// spelling is added conservatively on top.
+struct ImpactSet {
+  /// True when column sharing is unsound for this script and the table
+  /// must be rebuilt from scratch: RemoveClass compacts class ids, so
+  /// surviving classes change index and every shared column would be
+  /// misaligned.
+  bool FullRebuild = false;
+  /// Classes in the down-closure of the edited classes (stat only).
+  uint64_t ImpactedClasses = 0;
+  /// Spellings of the member names whose columns must be re-tabulated.
+  std::vector<std::string> MemberNames;
+};
+
+/// Computes the impact set of \p Ops, which took \p Old to \p New.
+/// Requires both hierarchies finalized; tolerant of ops naming classes
+/// that exist in only one of the two (AddClass, for instance).
+ImpactSet computeImpactSet(const Hierarchy &Old, const Hierarchy &New,
+                           const std::vector<Transaction::Op> &Ops);
+
 } // namespace service
 } // namespace memlook
 

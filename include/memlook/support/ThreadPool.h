@@ -1,0 +1,93 @@
+//===- memlook/support/ThreadPool.h - Small worker pool ---------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small fixed-size worker pool for the tabulation fast
+/// path. Design points, in order:
+///
+///  * No global state. Each ParallelTabulator call constructs its own
+///    pool and joins it before returning, so a build is a pure function
+///    of its inputs and TSan sees a clean fork/join: the joins give the
+///    caller a happens-before edge from every task the pool ran.
+///  * Tasks are indexed, not queued closures: the caller hands over one
+///    callable and a count, and workers claim indices from an atomic
+///    counter. That is exactly the shape of "N independent columns" and
+///    avoids a locked deque plus per-task allocation.
+///  * parallelFor degrades to a plain serial loop for Threads <= 1 or
+///    Count <= 1 - same code path the tests exercise, no thread spawn
+///    cost for tiny hierarchies.
+///
+/// Exceptions: tasks must not throw. The tabulation kernel reports
+/// failure through its column state (deadline expiry leaves a partial
+/// column), never by throwing, and a worker thread has nowhere sensible
+/// to rethrow to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SUPPORT_THREADPOOL_H
+#define MEMLOOK_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace memlook {
+
+/// Runs \p Body(I) for every I in [0, Count) on up to \p Threads worker
+/// threads (the calling thread participates, so Threads == 2 spawns one
+/// extra thread). Blocks until every index has been processed. \p Body
+/// must be safe to invoke concurrently for distinct indices and must not
+/// throw.
+template <typename BodyFn>
+void parallelFor(uint32_t Threads, uint32_t Count, BodyFn &&Body) {
+  if (Threads <= 1 || Count <= 1) {
+    for (uint32_t I = 0; I != Count; ++I)
+      Body(I);
+    return;
+  }
+
+  std::atomic<uint32_t> Next{0};
+  auto Worker = [&Next, &Body, Count]() {
+    // Dynamic (self-scheduling) claim order: columns vary wildly in
+    // cost (a hot ambiguous name vs. a leaf-only name), so static
+    // striding would leave workers idle behind one expensive stripe.
+    while (true) {
+      uint32_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Count)
+        return;
+      Body(I);
+    }
+  };
+
+  uint32_t Spawned = std::min(Threads, Count) - 1;
+  std::vector<std::thread> Pool;
+  Pool.reserve(Spawned);
+  for (uint32_t T = 0; T != Spawned; ++T)
+    Pool.emplace_back(Worker);
+  Worker(); // the calling thread is worker 0
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+/// The pool size the tabulation layer uses when the caller does not
+/// specify one: every hardware thread up to a small cap. The cap exists
+/// because column tabulation is memory-bound well before it is
+/// compute-bound - past a handful of workers the shared LLC, not the
+/// cores, is the bottleneck - and because the lookup service runs builds
+/// *behind* reader threads that must keep getting scheduled.
+inline uint32_t defaultTabulationThreads() {
+  uint32_t HW = std::thread::hardware_concurrency();
+  if (HW == 0)
+    HW = 1;
+  return HW < 8 ? HW : 8;
+}
+
+} // namespace memlook
+
+#endif // MEMLOOK_SUPPORT_THREADPOOL_H

@@ -88,6 +88,19 @@ Workload makeAmbiguityFan(uint32_t Arms);
 Workload makeWideForest(uint32_t Trees, uint32_t Fanout, uint32_t Depth,
                         uint32_t MembersPerRoot = 4);
 
+/// Like makeWideForest, but with *modular* member naming: tree T's root
+/// declares \p MembersPerRoot names private to that tree ("t<T>_m<K>")
+/// plus \p SharedMembers program-wide names ("g<K>") every root
+/// declares. Where wideForest reuses one "m0".."mN" pool across every
+/// tree - so an edit anywhere impacts every tree's columns - this
+/// family has member-name locality: editing one tree leaves the other
+/// trees' columns untouched. That is the shape real modular codebases
+/// have, and the one that makes incremental rewarming pay (the
+/// bench_tabulation rewarm scenario measures exactly this).
+Workload makeModularForest(uint32_t Trees, uint32_t Fanout, uint32_t Depth,
+                           uint32_t MembersPerRoot = 4,
+                           uint32_t SharedMembers = 2);
+
 /// Parameters of the random-hierarchy generator.
 struct RandomHierarchyParams {
   uint32_t NumClasses = 32;

@@ -38,11 +38,15 @@ std::string_view DominanceLookupEngine::engineName() const {
   return "figure8";
 }
 
-bool DominanceLookupEngine::redCovers(ClassId L,
-                                      const std::vector<ClassId> &Vs,
-                                      ClassId V2,
-                                      const std::vector<Entry> &Column) {
-  ++EngineStats.DominanceTests;
+namespace {
+
+/// Lemma 4 on the set abstraction: does the red value (L, Vs) cover the
+/// definition abstracted as V2 (arriving along a different edge)?
+bool redCovers(const Hierarchy &H, ClassId L, const std::vector<ClassId> &Vs,
+               ClassId V2, const std::vector<DominanceLookupEngine::Entry> &Column,
+               DominanceLookupEngine::Stats &S) {
+  using Entry = DominanceLookupEngine::Entry;
+  ++S.DominanceTests;
   if (!V2.isValid())
     return false;
   // Lemma 4 clause (i): V2 is a virtual base of the defining class.
@@ -64,8 +68,6 @@ bool DominanceLookupEngine::redCovers(ClassId L,
   return AtV2.EntryKind == Entry::Kind::Red && AtV2.DefiningClass == L;
 }
 
-namespace {
-
 /// Working state for one class's red candidate: the generalized red
 /// value (L, member V-set) plus representative provenance and the
 /// representative's composed access (the Section 6 access extension).
@@ -84,11 +86,31 @@ struct CandidateState {
   }
 };
 
+/// Reconstructs the witness path of a red entry by walking Via links.
+/// The witness runs ldc-first, so collect backwards and reverse.
+Path reconstructWitness(const std::vector<DominanceLookupEngine::Entry> &Column,
+                        ClassId Context) {
+  using Entry = DominanceLookupEngine::Entry;
+  std::vector<ClassId> Reversed;
+  ClassId Cur = Context;
+  while (true) {
+    Reversed.push_back(Cur);
+    const Entry &E = Column[Cur.index()];
+    assert(E.EntryKind == Entry::Kind::Red && "witness of non-red entry");
+    if (!E.Via.isValid())
+      break;
+    Cur = E.Via;
+  }
+  std::reverse(Reversed.begin(), Reversed.end());
+  return Path(std::move(Reversed));
+}
+
 } // namespace
 
-void DominanceLookupEngine::computeEntryAt(std::vector<Entry> &Column,
-                                           ClassId C, Symbol Member) {
-  ++EngineStats.EntriesComputed;
+void DominanceLookupEngine::computeEntry(const Hierarchy &H,
+                                         std::vector<Entry> &Column, ClassId C,
+                                         Symbol Member, Stats &S) {
+  ++S.EntriesComputed;
   Entry &Out = Column[C.index()];
 
   auto IsStaticIn = [&](ClassId L) {
@@ -115,6 +137,20 @@ void DominanceLookupEngine::computeEntryAt(std::vector<Entry> &Column,
   CandidateState Cand;
   std::vector<BlueElement> ToBeDominated;
 
+  // Pre-size the accumulators from the incoming entries so the eager
+  // path never regrows them mid-fold: every element they can receive
+  // originates in a base entry's blue set or red member set.
+  {
+    size_t IncomingBlues = 0, IncomingReds = 0;
+    for (const BaseSpecifier &Spec : H.info(C).DirectBases) {
+      const Entry &In = Column[Spec.Base.index()];
+      IncomingBlues += In.Blues.size();
+      IncomingReds += In.RedVs.size();
+    }
+    ToBeDominated.reserve(IncomingBlues + IncomingReds);
+    Cand.Vs.reserve(IncomingReds);
+  }
+
   // Duplicates are tolerated during accumulation and removed in one
   // sort+unique pass below: a per-insert membership scan would make the
   // ambiguity-heavy regime cubic instead of the paper's quadratic.
@@ -140,7 +176,7 @@ void DominanceLookupEngine::computeEntryAt(std::vector<Entry> &Column,
     if (In.EntryKind == Entry::Kind::Blue) {
       // Lines [29]-[32]: compose every blue element across the edge.
       for (const BlueElement &Elem : In.Blues) {
-        ++EngineStats.BlueElementsMoved;
+        ++S.BlueElementsMoved;
         AddBlue(BlueElement{composeAcross(Elem.LeastVirtual, Spec),
                             Elem.DefiningClass});
       }
@@ -152,6 +188,7 @@ void DominanceLookupEngine::computeEntryAt(std::vector<Entry> &Column,
     // (Section 6: access is determined along the witness path; private
     // inheritance demotes, protected caps).
     std::vector<ClassId> NewVs;
+    NewVs.reserve(In.RedVs.size());
     for (ClassId V : In.RedVs) {
       ClassId Composed = composeAcross(V, Spec);
       if (std::find(NewVs.begin(), NewVs.end(), Composed) == NewVs.end())
@@ -183,7 +220,7 @@ void DominanceLookupEngine::computeEntryAt(std::vector<Entry> &Column,
     auto Covers = [&](ClassId LA, const std::vector<ClassId> &VsA,
                       const std::vector<ClassId> &VsB) {
       for (ClassId V : VsB)
-        if (!redCovers(LA, VsA, V, Column))
+        if (!redCovers(H, LA, VsA, V, Column, S))
           return false;
       return true;
     };
@@ -204,7 +241,7 @@ void DominanceLookupEngine::computeEntryAt(std::vector<Entry> &Column,
       // distinct subobjects. Union the uncovered members: each must
       // keep constraining later competitors.
       for (ClassId V : NewVs)
-        if (!redCovers(Cand.L, Cand.Vs, V, Column))
+        if (!redCovers(H, Cand.L, Cand.Vs, V, Column, S))
           Cand.addV(V);
       Cand.StaticMerged = true;
       continue;
@@ -231,8 +268,9 @@ void DominanceLookupEngine::computeEntryAt(std::vector<Entry> &Column,
   // Lines [36]-[44]: the candidate must cover every blue element;
   // same-class static elements are absorbed instead (one entity).
   std::vector<BlueElement> Surviving;
+  Surviving.reserve(ToBeDominated.size() + Cand.Vs.size());
   for (const BlueElement &Elem : ToBeDominated) {
-    if (redCovers(Cand.L, Cand.Vs, Elem.LeastVirtual, Column))
+    if (redCovers(H, Cand.L, Cand.Vs, Elem.LeastVirtual, Column, S))
       continue;
     if (Elem.DefiningClass == Cand.L && IsStaticIn(Cand.L)) {
       Cand.addV(Elem.LeastVirtual);
@@ -262,10 +300,42 @@ void DominanceLookupEngine::computeEntryAt(std::vector<Entry> &Column,
   }
 }
 
+LookupResult
+DominanceLookupEngine::entryToResult(const Hierarchy &H,
+                                     const std::vector<Entry> &Column,
+                                     ClassId Context) {
+  const Entry &E = Column[Context.index()];
+  switch (E.EntryKind) {
+  case Entry::Kind::Absent:
+    return LookupResult::notFound();
+  case Entry::Kind::Blue:
+    // The blue abstraction intentionally forgets the candidate
+    // subobjects (that is the point of the algorithm); entry() exposes
+    // the abstraction itself, and explainAmbiguity() reconstructs the
+    // candidates for diagnostics.
+    return LookupResult::ambiguous({});
+  case Entry::Kind::Red:
+    break;
+  }
+
+  // The witness chain crosses entries for base classes, all of which
+  // were computed before this entry in every tabulation mode.
+  Path Witness = reconstructWitness(Column, Context);
+  assert(Witness.ldc() == E.DefiningClass &&
+         "witness does not start at the defining class");
+  assert(leastVirtual(H, Witness) == E.RepresentativeV &&
+         "witness abstraction disagrees with the table");
+  SubobjectKey Key = subobjectKey(H, Witness);
+  LookupResult R = LookupResult::unambiguous(
+      E.DefiningClass, std::move(Key), std::move(Witness), E.StaticMerged);
+  R.EffectiveAccess = E.Access;
+  return R;
+}
+
 void DominanceLookupEngine::ensureColumnStorage(uint32_t MemberIdx) {
   if (Columns[MemberIdx].empty()) {
     Columns[MemberIdx].assign(H.numClasses(), Entry{});
-    EntryComputed[MemberIdx].assign(H.numClasses(), false);
+    EntryComputed[MemberIdx] = BitVector(H.numClasses());
   }
 }
 
@@ -273,20 +343,19 @@ void DominanceLookupEngine::computeColumn(uint32_t MemberIdx) {
   ensureColumnStorage(MemberIdx);
   Symbol Member = H.allMemberNames()[MemberIdx];
   std::vector<Entry> &Column = Columns[MemberIdx];
-  std::vector<bool> &Done = EntryComputed[MemberIdx];
+  BitVector &Done = EntryComputed[MemberIdx];
 
   for (ClassId C : H.topologicalOrder()) {
-    if (Done[C.index()])
+    if (Done.test(C.index()))
       continue;
     // A deadline abort leaves the computed topological prefix valid and
-    // the column out of ColumnFullyComputed, so a later query (with a
+    // the column's popcount short of full, so a later query (with a
     // fresh deadline) resumes where this one stopped.
     if (deadlineExpired())
       return;
-    computeEntryAt(Column, C, Member);
-    Done[C.index()] = true;
+    computeEntry(H, Column, C, Member, EngineStats);
+    Done.set(C.index());
   }
-  ColumnFullyComputed.insert(MemberIdx);
 }
 
 void DominanceLookupEngine::computeEntryRecursive(uint32_t MemberIdx,
@@ -298,27 +367,27 @@ void DominanceLookupEngine::computeEntryRecursive(uint32_t MemberIdx,
   ensureColumnStorage(MemberIdx);
   Symbol Member = H.allMemberNames()[MemberIdx];
   std::vector<Entry> &Column = Columns[MemberIdx];
-  std::vector<bool> &Done = EntryComputed[MemberIdx];
+  BitVector &Done = EntryComputed[MemberIdx];
 
   std::vector<ClassId> Stack{Context};
   while (!Stack.empty()) {
     if (deadlineExpired())
       return;
     ClassId Cur = Stack.back();
-    if (Done[Cur.index()]) {
+    if (Done.test(Cur.index())) {
       Stack.pop_back();
       continue;
     }
     bool Ready = true;
     for (const BaseSpecifier &Spec : H.info(Cur).DirectBases)
-      if (!Done[Spec.Base.index()]) {
+      if (!Done.test(Spec.Base.index())) {
         Stack.push_back(Spec.Base);
         Ready = false;
       }
     if (!Ready)
       continue;
-    computeEntryAt(Column, Cur, Member);
-    Done[Cur.index()] = true;
+    computeEntry(H, Column, Cur, Member, EngineStats);
+    Done.set(Cur.index());
     Stack.pop_back();
   }
 }
@@ -336,12 +405,12 @@ DominanceLookupEngine::entry(ClassId Context, Symbol Member) {
   case Mode::Eager:
     break; // everything was computed at construction
   case Mode::Lazy:
-    if (!ColumnFullyComputed.count(MemberIdx))
+    if (!columnFullyComputed(MemberIdx))
       computeColumn(MemberIdx);
     break;
   case Mode::LazyRecursive:
     ensureColumnStorage(MemberIdx);
-    if (!EntryComputed[MemberIdx][Context.index()])
+    if (!EntryComputed[MemberIdx].test(Context.index()))
       computeEntryRecursive(MemberIdx, Context);
     break;
   }
@@ -360,24 +429,6 @@ uint64_t DominanceLookupEngine::approximateTableBytes() const {
   return Bytes;
 }
 
-Path DominanceLookupEngine::reconstructWitness(ClassId Context,
-                                               uint32_t MemberIdx) const {
-  // Follow Via links from Context down to the declaring class; the
-  // witness runs ldc-first, so collect backwards and reverse.
-  std::vector<ClassId> Reversed;
-  ClassId Cur = Context;
-  while (true) {
-    Reversed.push_back(Cur);
-    const Entry &E = Columns[MemberIdx][Cur.index()];
-    assert(E.EntryKind == Entry::Kind::Red && "witness of non-red entry");
-    if (!E.Via.isValid())
-      break;
-    Cur = E.Via;
-  }
-  std::reverse(Reversed.begin(), Reversed.end());
-  return Path(std::move(Reversed));
-}
-
 LookupResult DominanceLookupEngine::lookup(ClassId Context, Symbol Member) {
   const Entry &E = entry(Context, Member);
   if (DeadlineTripped) {
@@ -387,34 +438,10 @@ LookupResult DominanceLookupEngine::lookup(ClassId Context, Symbol Member) {
     auto It = MemberIndex.find(Member);
     if (It != MemberIndex.end() &&
         (Columns[It->second].empty() ||
-         !EntryComputed[It->second][Context.index()]))
+         !EntryComputed[It->second].test(Context.index())))
       return LookupResult::exhausted();
   }
-  switch (E.EntryKind) {
-  case Entry::Kind::Absent:
+  if (E.EntryKind == Entry::Kind::Absent)
     return LookupResult::notFound();
-  case Entry::Kind::Blue:
-    // The blue abstraction intentionally forgets the candidate
-    // subobjects (that is the point of the algorithm); entry() exposes
-    // the abstraction itself, and explainAmbiguity() reconstructs the
-    // candidates for diagnostics.
-    return LookupResult::ambiguous({});
-  case Entry::Kind::Red:
-    break;
-  }
-
-  uint32_t MemberIdx = MemberIndex.at(Member);
-
-  // The witness chain crosses entries for base classes, all of which
-  // were computed before this entry in every tabulation mode.
-  Path Witness = reconstructWitness(Context, MemberIdx);
-  assert(Witness.ldc() == E.DefiningClass &&
-         "witness does not start at the defining class");
-  assert(leastVirtual(H, Witness) == E.RepresentativeV &&
-         "witness abstraction disagrees with the table");
-  SubobjectKey Key = subobjectKey(H, Witness);
-  LookupResult R = LookupResult::unambiguous(
-      E.DefiningClass, std::move(Key), std::move(Witness), E.StaticMerged);
-  R.EffectiveAccess = E.Access;
-  return R;
+  return entryToResult(H, Columns[MemberIndex.at(Member)], Context);
 }

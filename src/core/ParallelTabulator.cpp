@@ -1,0 +1,106 @@
+//===- ParallelTabulator.cpp - Parallel Figure 8 ---------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/ParallelTabulator.h"
+
+#include "memlook/support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace memlook;
+
+uint32_t ParallelTabulator::resolveThreads(uint32_t Requested) {
+  return Requested != 0 ? Requested : defaultTabulationThreads();
+}
+
+namespace {
+
+/// Computes one member column start to finish and materializes it to
+/// LookupResults. Runs on a worker thread; touches only \p Out, \p S
+/// and the shared expiry flag - the hierarchy is immutable input.
+void tabulateColumn(const Hierarchy &H, Symbol Member, const Deadline &D,
+                    std::atomic<bool> &ExpiredFlag,
+                    ParallelTabulator::Column &Out,
+                    ParallelTabulator::Stats &S) {
+  using Engine = DominanceLookupEngine;
+
+  uint32_t NumClasses = H.numClasses();
+  Out.Computed = BitVector(NumClasses);
+  Out.Rows.assign(NumClasses, LookupResult::notFound());
+
+  if (ExpiredFlag.load(std::memory_order_relaxed))
+    return; // pre-expired: publish an empty (all-uncomputed) column
+
+  std::vector<Engine::Entry> Column(NumClasses);
+  bool CheckDeadline = !D.unlimited();
+  uint32_t SinceCheck = 0;
+
+  for (ClassId C : H.topologicalOrder()) {
+    if (CheckDeadline && ++SinceCheck % Engine::DeadlineStride == 0) {
+      // One worker's expiry stops the others within a stride: the flag
+      // is sticky and checked before the (possibly syscall-priced)
+      // clock read.
+      if (ExpiredFlag.load(std::memory_order_relaxed) || D.expired()) {
+        ExpiredFlag.store(true, std::memory_order_relaxed);
+        return; // the computed topological prefix stays valid
+      }
+    }
+    Engine::computeEntry(H, Column, C, Member, S);
+    Out.Rows[C.index()] = Engine::entryToResult(H, Column, C);
+    Out.Computed.set(C.index());
+  }
+  Out.Complete = true;
+}
+
+} // namespace
+
+ParallelTabulator::Result
+ParallelTabulator::tabulate(const Hierarchy &H,
+                            const std::vector<uint32_t> &MemberIdxs,
+                            const Deadline &D, uint32_t Threads) {
+  const std::vector<Symbol> &Names = H.allMemberNames();
+
+  std::vector<uint32_t> Work(MemberIdxs);
+  std::sort(Work.begin(), Work.end());
+  Work.erase(std::unique(Work.begin(), Work.end()), Work.end());
+
+  Result R;
+  R.Columns.resize(Names.size());
+  R.ThreadsUsed = std::min<uint32_t>(resolveThreads(Threads),
+                                     std::max<size_t>(Work.size(), 1));
+
+  // Per-task output slots: each worker writes only its claimed column
+  // and stats slot, and parallelFor's join publishes everything to this
+  // thread before the merge below runs.
+  std::vector<Column> Built(Work.size());
+  std::vector<Stats> PerColumn(Work.size());
+  std::atomic<bool> ExpiredFlag{D.expired()};
+
+  parallelFor(R.ThreadsUsed, static_cast<uint32_t>(Work.size()),
+              [&](uint32_t I) {
+                assert(Work[I] < Names.size() && "member index out of range");
+                tabulateColumn(H, Names[Work[I]], D, ExpiredFlag, Built[I],
+                               PerColumn[I]);
+              });
+
+  for (size_t I = 0; I != Work.size(); ++I) {
+    R.TabulationStats += PerColumn[I];
+    R.Complete &= Built[I].Complete;
+    R.Columns[Work[I]] = std::make_shared<const Column>(std::move(Built[I]));
+  }
+  return R;
+}
+
+ParallelTabulator::Result ParallelTabulator::tabulateAll(const Hierarchy &H,
+                                                         const Deadline &D,
+                                                         uint32_t Threads) {
+  std::vector<uint32_t> All(H.allMemberNames().size());
+  for (uint32_t I = 0, E = static_cast<uint32_t>(All.size()); I != E; ++I)
+    All[I] = I;
+  return tabulate(H, All, D, Threads);
+}

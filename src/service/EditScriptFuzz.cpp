@@ -138,6 +138,10 @@ memlook::service::runEditScriptCase(uint64_t Seed,
   ServiceOptions Opts;
   Opts.Budget = Budget;
   Opts.AuditSampleLimit = 64;
+  // Commits go down the incremental-rewarm path (the default), and the
+  // pool size rotates with the seed so the campaign covers serial,
+  // small-parallel, and auto-sized builds alike.
+  Opts.WarmThreads = static_cast<uint32_t>(Seed % 5); // 0 = auto
   LookupService Svc(std::move(W.H), Opts);
 
   uint64_t NumTxns = R.nextInRange(3, 8);
@@ -170,6 +174,33 @@ memlook::service::runEditScriptCase(uint64_t Seed,
         Result.Mismatches.push_back(
             "txn " + std::to_string(TxnIdx) +
             ": commit succeeded but epoch did not advance by one");
+      // Oracle 3: the published table - usually an incremental rewarm
+      // sharing columns with the predecessor epoch, built in parallel -
+      // must be entry-for-entry identical to a serial from-scratch
+      // build over the same hierarchy.
+      std::shared_ptr<const Snapshot> Now = Svc.snapshot();
+      if (Now->Table) {
+        auto Scratch =
+            LookupTable::build(*Now->H, Deadline::never(), /*Threads=*/1);
+        const Hierarchy &NH = *Now->H;
+        for (uint32_t Idx = 0;
+             Idx != NH.numClasses() && Result.Mismatches.size() < 16; ++Idx) {
+          for (Symbol M : NH.allMemberNames()) {
+            std::string Rewarmed =
+                renderLookupForComparison(NH, Now->Table->find(ClassId(Idx), M));
+            std::string FromScratch =
+                renderLookupForComparison(NH, Scratch->find(ClassId(Idx), M));
+            ++Result.PairsChecked;
+            if (Rewarmed != FromScratch)
+              Result.Mismatches.push_back(
+                  "txn " + std::to_string(TxnIdx) + " rewarm: " +
+                  std::string(NH.className(ClassId(Idx))) + "::" +
+                  std::string(NH.spelling(M)) + ": rewarmed table says '" +
+                  Rewarmed + "' but a from-scratch build says '" +
+                  FromScratch + "'");
+          }
+        }
+      }
     } else {
       ++Result.TxnsRejected;
       // Oracle 2: rollback restores answers. The snapshot pointer must

@@ -53,7 +53,7 @@ LookupService::LookupService(Hierarchy Initial, ServiceOptions Options)
   Snap->H = std::make_shared<const Hierarchy>(std::move(Initial));
   if (Opts.WarmOnCommit) {
     Deadline BuildDeadline = warmDeadline();
-    Snap->Table = LookupTable::build(*Snap->H, BuildDeadline);
+    Snap->Table = LookupTable::build(*Snap->H, BuildDeadline, Opts.WarmThreads);
   }
   Current = std::move(Snap);
 }
@@ -196,7 +196,34 @@ Status LookupService::commit(const Transaction &Txn) {
   Next->H = std::make_shared<const Hierarchy>(Edited.takeValue());
   if (Opts.WarmOnCommit) {
     Deadline BuildDeadline = warmDeadline();
-    Next->Table = LookupTable::build(*Next->H, BuildDeadline);
+
+    // Fast path: the predecessor epoch is warm and trustworthy and the
+    // script kept class ids stable, so the new table re-tabulates only
+    // the edit's impact set and aliases every other column.
+    if (Opts.IncrementalRewarm && Base->warm()) {
+      ImpactSet Impact = computeImpactSet(*Base->H, *Next->H, Txn.ops());
+      if (!Impact.FullRebuild) {
+        Next->Table =
+            LookupTable::rewarm(*Next->H, *Base->H, *Base->Table,
+                                Impact.MemberNames, BuildDeadline,
+                                Opts.WarmThreads);
+        if (Next->Table) {
+          const LookupTable::BuildStats &B = Next->Table->buildStats();
+          NumIncrementalRewarms.fetch_add(1, std::memory_order_relaxed);
+          NumColumnsShared.fetch_add(B.ColumnsShared,
+                                     std::memory_order_relaxed);
+          NumColumnsRetabulated.fetch_add(B.ColumnsBuilt,
+                                          std::memory_order_relaxed);
+        }
+      }
+    }
+
+    // Full build: first epoch shape (cold/quarantined predecessor),
+    // RemoveClass scripts, or a rewarm that missed its deadline (the
+    // remaining budget may still cover a from-scratch parallel build).
+    if (!Next->Table)
+      Next->Table =
+          LookupTable::build(*Next->H, BuildDeadline, Opts.WarmThreads);
   }
   publish(std::move(Next));
   NumCommits.fetch_add(1, std::memory_order_relaxed);
@@ -219,7 +246,7 @@ Status LookupService::warmCurrent(const Deadline &D) {
   if (Base->warm())
     return Status::ok();
 
-  auto Table = LookupTable::build(*Base->H, D);
+  auto Table = LookupTable::build(*Base->H, D, Opts.WarmThreads);
   if (!Table)
     return Status::error(ErrorCode::DeadlineExceeded,
                          "table build missed its deadline at epoch " +
@@ -330,7 +357,8 @@ AuditReport LookupService::auditNow() {
     auto Next = std::make_shared<Snapshot>();
     Next->Epoch = Snap->Epoch;
     Next->H = Snap->H;
-    Next->Table = LookupTable::build(*Snap->H, warmDeadline());
+    Next->Table = LookupTable::build(*Snap->H, warmDeadline(),
+                                     Opts.WarmThreads);
     Next->RebuiltByAudit = true;
     publish(std::move(Next));
     NumTableRebuilds.fetch_add(1, std::memory_order_relaxed);
@@ -390,6 +418,10 @@ ServiceStats LookupService::stats() const {
   S.AuditMismatches = NumAuditMismatches.load(std::memory_order_relaxed);
   S.Quarantines = NumQuarantines.load(std::memory_order_relaxed);
   S.TableRebuilds = NumTableRebuilds.load(std::memory_order_relaxed);
+  S.IncrementalRewarms = NumIncrementalRewarms.load(std::memory_order_relaxed);
+  S.ColumnsShared = NumColumnsShared.load(std::memory_order_relaxed);
+  S.ColumnsRetabulated =
+      NumColumnsRetabulated.load(std::memory_order_relaxed);
   return S;
 }
 

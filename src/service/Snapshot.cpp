@@ -7,7 +7,7 @@
 
 #include "memlook/service/Snapshot.h"
 
-#include "memlook/core/DominanceLookupEngine.h"
+#include <unordered_set>
 
 using namespace memlook;
 using namespace memlook::service;
@@ -15,8 +15,14 @@ using namespace memlook::service;
 const LookupResult LookupTable::NotFoundAnswer{};
 
 std::shared_ptr<const LookupTable>
-LookupTable::build(const Hierarchy &H, const Deadline &BuildDeadline) {
+LookupTable::build(const Hierarchy &H, const Deadline &BuildDeadline,
+                   uint32_t Threads) {
   assert(H.isFinalized() && "tabulation requires finalize()");
+
+  ParallelTabulator::Result R =
+      ParallelTabulator::tabulateAll(H, BuildDeadline, Threads);
+  if (!R.Complete)
+    return nullptr; // deadline expired mid-build: the epoch stays cold
 
   std::shared_ptr<LookupTable> Table(new LookupTable());
   Table->NumClasses = H.numClasses();
@@ -24,36 +30,86 @@ LookupTable::build(const Hierarchy &H, const Deadline &BuildDeadline) {
   Table->MemberIndex.reserve(Members.size());
   for (uint32_t Idx = 0; Idx != Members.size(); ++Idx)
     Table->MemberIndex.emplace(Members[Idx], Idx);
-  Table->Results.resize(static_cast<size_t>(H.numClasses()) * Members.size());
-
-  // Lazy column-at-a-time tabulation so the deadline can stop the build
-  // between columns; Eager mode would commit to the whole table inside
-  // the constructor.
-  DominanceLookupEngine Engine(H, DominanceLookupEngine::Mode::Lazy);
-  Engine.setDeadline(&BuildDeadline);
-
-  for (uint32_t MemberIdx = 0; MemberIdx != Members.size(); ++MemberIdx) {
-    Symbol Member = Members[MemberIdx];
-    for (uint32_t ClassIdx = 0; ClassIdx != H.numClasses(); ++ClassIdx) {
-      LookupResult R = Engine.lookup(ClassId(ClassIdx), Member);
-      if (Engine.deadlineTripped())
-        return nullptr;
-      Table->Results[static_cast<size_t>(ClassIdx) * Members.size() +
-                     MemberIdx] = std::move(R);
-    }
-  }
+  Table->Columns = std::move(R.Columns);
+  Table->Build.ColumnsBuilt = static_cast<uint32_t>(Members.size());
+  Table->Build.ThreadsUsed = R.ThreadsUsed;
+  Table->Build.Tabulation = R.TabulationStats;
   return Table;
+}
+
+std::shared_ptr<const LookupTable>
+LookupTable::rewarm(const Hierarchy &NewH, const Hierarchy &OldH,
+                    const LookupTable &Prev,
+                    const std::vector<std::string> &ImpactedNames,
+                    const Deadline &BuildDeadline, uint32_t Threads) {
+  assert(NewH.isFinalized() && "tabulation requires finalize()");
+
+  std::unordered_set<std::string_view> Impacted(ImpactedNames.begin(),
+                                                ImpactedNames.end());
+
+  // Partition the new epoch's member names: impacted spellings (and any
+  // name the predecessor does not tabulate, defensively - a genuinely
+  // new name is always impacted) get re-tabulated; the rest alias the
+  // predecessor's columns. Symbols are per-hierarchy interner ids, so
+  // the cross-epoch join key is the spelling, not the Symbol.
+  const std::vector<Symbol> &Members = NewH.allMemberNames();
+  std::vector<uint32_t> Retab;
+  std::vector<std::pair<uint32_t, uint32_t>> Shared; // (new idx, prev idx)
+  Retab.reserve(ImpactedNames.size());
+  Shared.reserve(Members.size());
+  for (uint32_t Idx = 0; Idx != Members.size(); ++Idx) {
+    std::string_view Spelling = NewH.spelling(Members[Idx]);
+    if (Impacted.count(Spelling) != 0) {
+      Retab.push_back(Idx);
+      continue;
+    }
+    Symbol OldSym = OldH.findName(Spelling);
+    auto PrevIt = OldSym.isValid() ? Prev.MemberIndex.find(OldSym)
+                                   : Prev.MemberIndex.end();
+    if (PrevIt == Prev.MemberIndex.end())
+      Retab.push_back(Idx);
+    else
+      Shared.emplace_back(Idx, PrevIt->second);
+  }
+
+  ParallelTabulator::Result R =
+      ParallelTabulator::tabulate(NewH, Retab, BuildDeadline, Threads);
+  if (!R.Complete)
+    return nullptr;
+
+  std::shared_ptr<LookupTable> Table(new LookupTable());
+  Table->NumClasses = NewH.numClasses();
+  Table->MemberIndex.reserve(Members.size());
+  for (uint32_t Idx = 0; Idx != Members.size(); ++Idx)
+    Table->MemberIndex.emplace(Members[Idx], Idx);
+  Table->Columns = std::move(R.Columns);
+  for (const auto &[NewIdx, PrevIdx] : Shared)
+    Table->Columns[NewIdx] = Prev.Columns[PrevIdx];
+  Table->Build.ColumnsBuilt = static_cast<uint32_t>(Retab.size());
+  Table->Build.ColumnsShared = static_cast<uint32_t>(Shared.size());
+  Table->Build.ThreadsUsed = R.ThreadsUsed;
+  Table->Build.Tabulation = R.TabulationStats;
+  return Table;
+}
+
+uint64_t LookupTable::numEntries() const {
+  uint64_t N = 0;
+  for (const std::shared_ptr<const Column> &Col : Columns)
+    N += Col->Rows.size();
+  return N;
 }
 
 uint64_t LookupTable::approximateBytes() const {
   uint64_t Bytes = sizeof(LookupTable);
-  Bytes += Results.capacity() * sizeof(LookupResult);
-  for (const LookupResult &R : Results) {
-    Bytes += R.AmbiguousCandidates.capacity() * sizeof(SubobjectKey);
-    if (R.Witness)
-      Bytes += R.Witness->Nodes.capacity() * sizeof(ClassId);
-    if (R.Subobject)
-      Bytes += R.Subobject->Fixed.capacity() * sizeof(ClassId);
+  for (const std::shared_ptr<const Column> &Col : Columns) {
+    Bytes += sizeof(Column) + Col->Rows.capacity() * sizeof(LookupResult);
+    for (const LookupResult &R : Col->Rows) {
+      Bytes += R.AmbiguousCandidates.capacity() * sizeof(SubobjectKey);
+      if (R.Witness)
+        Bytes += R.Witness->Nodes.capacity() * sizeof(ClassId);
+      if (R.Subobject)
+        Bytes += R.Subobject->Fixed.capacity() * sizeof(ClassId);
+    }
   }
   Bytes += MemberIndex.size() * (sizeof(Symbol) + sizeof(uint32_t) +
                                  2 * sizeof(void *)); // node overhead, roughly
@@ -67,11 +123,12 @@ LookupTable::cloneWithCorruptedEntry(ClassId Context, Symbol Member) const {
   auto It = MemberIndex.find(Member);
   if (It == MemberIndex.end())
     return nullptr;
+  if (Context.index() >= Columns[It->second]->Rows.size())
+    return nullptr; // shared short column: no materialized slot to damage
 
   std::shared_ptr<LookupTable> Copy(new LookupTable(*this));
-  LookupResult &Slot =
-      Copy->Results[static_cast<size_t>(Context.index()) * MemberIndex.size() +
-                    It->second];
+  auto Damaged = std::make_shared<Column>(*Copy->Columns[It->second]);
+  LookupResult &Slot = Damaged->Rows[Context.index()];
   // Any wrong answer works; pick one that changes the comparison key for
   // every possible original status.
   switch (Slot.Status) {
@@ -85,5 +142,6 @@ LookupTable::cloneWithCorruptedEntry(ClassId Context, Symbol Member) const {
     Slot = LookupResult::ambiguous({});
     break;
   }
+  Copy->Columns[It->second] = std::move(Damaged);
   return Copy;
 }

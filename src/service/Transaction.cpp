@@ -8,9 +8,11 @@
 #include "memlook/service/Transaction.h"
 
 #include "memlook/chg/HierarchyBuilder.h"
+#include "memlook/support/BitVector.h"
 #include "memlook/support/Diagnostics.h"
 
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace memlook;
 using namespace memlook::service;
@@ -287,4 +289,75 @@ memlook::service::applyEditScript(const Hierarchy &Base,
                            "transaction exceeds the member budget");
   }
   return rebuild(Model);
+}
+
+ImpactSet
+memlook::service::computeImpactSet(const Hierarchy &Old, const Hierarchy &New,
+                                   const std::vector<Transaction::Op> &Ops) {
+  assert(Old.isFinalized() && New.isFinalized() &&
+         "impact sets relate two epochs");
+
+  ImpactSet Impact;
+  std::unordered_set<std::string> Names;
+  std::unordered_set<std::string> EditedClasses;
+
+  for (const Transaction::Op &Op : Ops) {
+    // RemoveClass erases a slot out of the dense id space: every later
+    // class shifts down one index, so a shared column (indexed by class
+    // id) would answer for the wrong classes. Sharing is off the table.
+    if (Op.Kind == Transaction::OpKind::RemoveClass)
+      Impact.FullRebuild = true;
+    // Op.Class is the class whose declaration changes in every op kind
+    // (the base of an AddBase edge gains a *derived* class, which does
+    // not change any lookup at or above the base).
+    EditedClasses.insert(Op.Class);
+    if (!Op.Member.empty())
+      Names.insert(Op.Member);
+  }
+  if (Impact.FullRebuild)
+    return Impact;
+
+  // Down-closure of the edited classes, per epoch. Class ids are stable
+  // across the two epochs here (no RemoveClass), but closures differ -
+  // an AddBase edge extends the new epoch's closure only, a RemoveBase
+  // edge only the old one's - so both sides are collected.
+  auto MarkImpacted = [&EditedClasses](const Hierarchy &H, BitVector &Bits) {
+    for (const std::string &Name : EditedClasses) {
+      ClassId A = H.findClass(Name);
+      if (!A.isValid())
+        continue; // exists only in the other epoch (AddClass, say)
+      Bits.set(A.index());
+      for (uint32_t C = 0; C != H.numClasses(); ++C)
+        if (H.isBaseOf(A, ClassId(C)))
+          Bits.set(C);
+    }
+  };
+
+  // The names whose answers can change at an impacted class C are the
+  // names declared in C's up-closure - visible-before or visible-after,
+  // hence again both epochs.
+  auto CollectVisibleNames = [&Names](const Hierarchy &H,
+                                      const BitVector &Impacted) {
+    BitVector Sources(H.numClasses());
+    Impacted.forEachSetBit([&](size_t C) {
+      Sources.set(C);
+      H.basesOf(ClassId(static_cast<uint32_t>(C)))
+          .forEachSetBit([&](size_t B) { Sources.set(B); });
+    });
+    Sources.forEachSetBit([&](size_t C) {
+      for (const MemberDecl &M :
+           H.info(ClassId(static_cast<uint32_t>(C))).Members)
+        Names.insert(std::string(H.spelling(M.Name)));
+    });
+  };
+
+  BitVector OldImpacted(Old.numClasses()), NewImpacted(New.numClasses());
+  MarkImpacted(Old, OldImpacted);
+  MarkImpacted(New, NewImpacted);
+  CollectVisibleNames(Old, OldImpacted);
+  CollectVisibleNames(New, NewImpacted);
+
+  Impact.ImpactedClasses = NewImpacted.count();
+  Impact.MemberNames.assign(Names.begin(), Names.end());
+  return Impact;
 }

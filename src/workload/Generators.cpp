@@ -153,6 +153,44 @@ Workload memlook::makeWideForest(uint32_t Trees, uint32_t Fanout,
   return finish(std::move(B), std::move(Leaves));
 }
 
+Workload memlook::makeModularForest(uint32_t Trees, uint32_t Fanout,
+                                    uint32_t Depth, uint32_t MembersPerRoot,
+                                    uint32_t SharedMembers) {
+  assert(Trees > 0 && Fanout > 0 && "degenerate forest");
+  HierarchyBuilder B;
+  std::vector<std::string> Leaves;
+  for (uint32_t T = 0; T != Trees; ++T) {
+    std::string Prefix = "t" + std::to_string(T);
+    std::string Root = "T" + std::to_string(T);
+    auto R = B.addClass(Root);
+    for (uint32_t M = 0; M != MembersPerRoot; ++M) {
+      std::string Name = Prefix + "_m" + std::to_string(M);
+      if (M % 2 == 0)
+        R.withMember(Name);
+      else
+        R.withVirtualMember(Name);
+    }
+    for (uint32_t G = 0; G != SharedMembers; ++G)
+      R.withMember("g" + std::to_string(G));
+
+    std::vector<std::string> Frontier{Root};
+    for (uint32_t D = 0; D != Depth; ++D) {
+      std::vector<std::string> Next;
+      for (const std::string &Parent : Frontier)
+        for (uint32_t F = 0; F != Fanout; ++F) {
+          std::string Child = Parent + "_" + std::to_string(F);
+          auto C = B.addClass(Child).withBase(Parent);
+          if (D + 1 == Depth && MembersPerRoot != 0)
+            C.withMember(Prefix + "_m0"); // leaf-level overrider
+          Next.push_back(Child);
+        }
+      Frontier = std::move(Next);
+    }
+    Leaves.push_back(Depth == 0 ? Root : Frontier.front());
+  }
+  return finish(std::move(B), std::move(Leaves));
+}
+
 Workload memlook::makeRandomHierarchy(const RandomHierarchyParams &Params,
                                       uint64_t Seed) {
   assert(Params.NumClasses > 0 && "empty hierarchy");

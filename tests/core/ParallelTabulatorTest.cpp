@@ -1,0 +1,188 @@
+//===- ParallelTabulatorTest.cpp -------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel tabulator's contract: a parallel build is entry-for-entry
+/// identical to the serial Figure 8 engine on every hierarchy family
+/// (column independence is the whole theorem), thread count never changes
+/// answers, deadline expiry publishes only topological-prefix-valid
+/// partial columns, and the worker pool runs each index exactly once.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DifferentialCheck.h"
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/ParallelTabulator.h"
+#include "memlook/support/ThreadPool.h"
+#include "memlook/workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace memlook;
+
+namespace {
+
+/// Every (class, member) answer of a parallel build must render
+/// identically to the serial eager engine's.
+void expectMatchesSerial(const Hierarchy &H, uint32_t Threads) {
+  ParallelTabulator::Result R =
+      ParallelTabulator::tabulateAll(H, Deadline::never(), Threads);
+  ASSERT_TRUE(R.Complete);
+
+  DominanceLookupEngine Serial(H, DominanceLookupEngine::Mode::Eager);
+  const std::vector<Symbol> &Members = H.allMemberNames();
+  ASSERT_EQ(R.Columns.size(), Members.size());
+  for (uint32_t MIdx = 0; MIdx != Members.size(); ++MIdx) {
+    ASSERT_NE(R.Columns[MIdx], nullptr);
+    const ParallelTabulator::Column &Col = *R.Columns[MIdx];
+    ASSERT_TRUE(Col.Complete);
+    ASSERT_EQ(Col.Rows.size(), H.numClasses());
+    EXPECT_EQ(Col.Computed.count(), Col.Computed.size());
+    for (uint32_t CIdx = 0; CIdx != H.numClasses(); ++CIdx) {
+      LookupResult FromEngine = Serial.lookup(ClassId(CIdx), Members[MIdx]);
+      EXPECT_EQ(renderLookupForComparison(H, Col.Rows[CIdx]),
+                renderLookupForComparison(H, FromEngine))
+          << H.className(ClassId(CIdx)) << "::" << H.spelling(Members[MIdx])
+          << " at " << Threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelTabulatorTest, MatchesSerialAcrossFamilies) {
+  expectMatchesSerial(makeWideForest(6, 3, 2, 6).H, 4);
+  expectMatchesSerial(makeModularForest(5, 2, 3, 4, 2).H, 4);
+  expectMatchesSerial(makeGrid(4, 4).H, 4);            // ambiguity-rich
+  expectMatchesSerial(makeAmbiguityFan(12).H, 4);      // big blue sets
+  expectMatchesSerial(makeVirtualDiamondStack(6).H, 4);
+  expectMatchesSerial(makeNonVirtualDiamondStack(5).H, 4);
+}
+
+TEST(ParallelTabulatorTest, MatchesSerialOnRandomHierarchies) {
+  for (uint64_t Seed = 0; Seed != 12; ++Seed) {
+    RandomHierarchyParams Params;
+    Params.NumClasses = 40;
+    Params.MemberPool = 10;
+    Params.UsingChance = 0.1;
+    Workload W = makeRandomHierarchy(Params, Seed * 7919 + 3);
+    expectMatchesSerial(W.H, 1 + Seed % 5);
+  }
+}
+
+TEST(ParallelTabulatorTest, ThreadCountNeverChangesAnswers) {
+  Workload W = makeModularForest(4, 3, 3, 4, 1);
+  ParallelTabulator::Result One =
+      ParallelTabulator::tabulateAll(W.H, Deadline::never(), 1);
+  for (uint32_t Threads : {2u, 3u, 8u, 16u}) {
+    ParallelTabulator::Result Many =
+        ParallelTabulator::tabulateAll(W.H, Deadline::never(), Threads);
+    ASSERT_TRUE(Many.Complete);
+    ASSERT_EQ(Many.Columns.size(), One.Columns.size());
+    for (size_t Idx = 0; Idx != One.Columns.size(); ++Idx)
+      for (size_t Row = 0; Row != One.Columns[Idx]->Rows.size(); ++Row)
+        EXPECT_EQ(
+            renderLookupForComparison(W.H, Many.Columns[Idx]->Rows[Row]),
+            renderLookupForComparison(W.H, One.Columns[Idx]->Rows[Row]));
+    // The kernel counters are column-granular, so their merged totals
+    // are schedule-independent.
+    EXPECT_EQ(Many.TabulationStats.EntriesComputed,
+              One.TabulationStats.EntriesComputed);
+    EXPECT_EQ(Many.TabulationStats.DominanceTests,
+              One.TabulationStats.DominanceTests);
+  }
+}
+
+TEST(ParallelTabulatorTest, SubsetBuildsOnlyRequestedColumns) {
+  Workload W = makeWideForest(4, 2, 2, 6);
+  std::vector<uint32_t> Want{0, 2, 5, 2}; // duplicate tolerated
+  ParallelTabulator::Result R =
+      ParallelTabulator::tabulate(W.H, Want, Deadline::never(), 4);
+  ASSERT_TRUE(R.Complete);
+  for (uint32_t Idx = 0; Idx != R.Columns.size(); ++Idx) {
+    bool Requested = Idx == 0 || Idx == 2 || Idx == 5;
+    EXPECT_EQ(R.Columns[Idx] != nullptr, Requested) << "column " << Idx;
+  }
+}
+
+TEST(ParallelTabulatorTest, PreExpiredDeadlinePublishesEmptyColumns) {
+  Workload W = makeWideForest(3, 2, 2, 4);
+  std::atomic<bool> Cancelled{true};
+  Deadline D = Deadline::never();
+  D.withCancelFlag(&Cancelled);
+  ParallelTabulator::Result R =
+      ParallelTabulator::tabulateAll(W.H, D, 4);
+  EXPECT_FALSE(R.Complete);
+  for (const auto &Col : R.Columns) {
+    ASSERT_NE(Col, nullptr);
+    EXPECT_FALSE(Col->Complete);
+    EXPECT_EQ(Col->Computed.count(), 0u);
+  }
+}
+
+TEST(ParallelTabulatorTest, ExpiryMidBuildLeavesValidTopologicalPrefix) {
+  // A cancel flag tripped by a racing thread stops the build at an
+  // arbitrary point. Wherever it lands, the published partial columns
+  // must be *prefix-valid*: an entry is computed only if every direct
+  // base's entry is, and every computed entry matches the serial build.
+  Workload W = makeModularForest(8, 3, 4, 6, 2); // big enough to interrupt
+  const Hierarchy &H = W.H;
+  DominanceLookupEngine Serial(H, DominanceLookupEngine::Mode::Eager);
+
+  for (int Attempt = 0; Attempt != 4; ++Attempt) {
+    std::atomic<bool> Cancelled{false};
+    Deadline D = Deadline::never();
+    D.withCancelFlag(&Cancelled);
+
+    std::thread Canceller([&Cancelled, Attempt] {
+      // Vary the trip point; 0ms trips between the pre-check and the
+      // first stride on most schedules.
+      std::this_thread::sleep_for(std::chrono::milliseconds(Attempt * 2));
+      Cancelled.store(true, std::memory_order_relaxed);
+    });
+    ParallelTabulator::Result R = ParallelTabulator::tabulateAll(H, D, 4);
+    Canceller.join();
+
+    const std::vector<Symbol> &Members = H.allMemberNames();
+    for (uint32_t MIdx = 0; MIdx != Members.size(); ++MIdx) {
+      const ParallelTabulator::Column &Col = *R.Columns[MIdx];
+      for (uint32_t CIdx = 0; CIdx != H.numClasses(); ++CIdx) {
+        if (!Col.Computed.test(CIdx))
+          continue;
+        for (const BaseSpecifier &Spec : H.info(ClassId(CIdx)).DirectBases)
+          EXPECT_TRUE(Col.Computed.test(Spec.Base.index()))
+              << "computed entry above an uncomputed base: not a "
+                 "topological prefix";
+        EXPECT_EQ(renderLookupForComparison(H, Col.Rows[CIdx]),
+                  renderLookupForComparison(
+                      H, Serial.lookup(ClassId(CIdx), Members[MIdx])));
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEachIndexExactlyOnce) {
+  for (uint32_t Threads : {1u, 2u, 7u, 16u}) {
+    std::vector<std::atomic<uint32_t>> Hits(1000);
+    parallelFor(Threads, 1000,
+                [&](uint32_t I) { Hits[I].fetch_add(1); });
+    for (uint32_t I = 0; I != 1000; ++I)
+      ASSERT_EQ(Hits[I].load(), 1u) << "index " << I << " at " << Threads
+                                    << " threads";
+  }
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsSaneAndOverridable) {
+  EXPECT_GE(defaultTabulationThreads(), 1u);
+  EXPECT_LE(defaultTabulationThreads(), 8u);
+  EXPECT_EQ(ParallelTabulator::resolveThreads(0),
+            defaultTabulationThreads());
+  EXPECT_EQ(ParallelTabulator::resolveThreads(3), 3u);
+}
+
+} // namespace

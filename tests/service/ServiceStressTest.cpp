@@ -269,3 +269,224 @@ TEST(ServiceStressTest, ReadersWritersAndAuditShareOneService) {
   AuditReport Final = Svc.auditNow();
   EXPECT_TRUE(Final.passed()) << Final.toString();
 }
+
+//===----------------------------------------------------------------------===//
+// Parallel warm builds racing readers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A reader that hammers *real* class and member names, so the racing
+/// queries actually read table columns (including columns structurally
+/// shared across epochs by the incremental rewarm) rather than
+/// short-circuiting on unknown contexts.
+void tableReaderMain(const LookupService &Svc, const std::atomic<bool> &Done,
+                     uint64_t Seed, const std::vector<std::string> &Classes,
+                     const std::vector<std::string> &Members, ReaderLog &Log) {
+  Rng R(Seed);
+  uint64_t Iter = 0;
+  while ((Iter < 512 || !Done.load(std::memory_order_acquire)) &&
+         Iter < 200000) {
+    ++Iter;
+    const std::string &Class = Classes[R.nextBelow(Classes.size())];
+    const std::string &Member = Members[R.nextBelow(Members.size())];
+
+    QueryAnswer A;
+    if (Iter % 3 == 0) {
+      // Pinned snapshot queried twice: the answer must be stable even
+      // while the writer publishes rewarmed tables that alias this
+      // snapshot's columns.
+      std::shared_ptr<const Snapshot> Snap = Svc.snapshot();
+      A = Svc.queryOn(*Snap, Class, Member);
+      QueryAnswer B = Svc.queryOn(*Snap, Class, Member);
+      if (!A.Approximate && !B.Approximate &&
+          renderLookupForComparison(*Snap->H, A.Result) !=
+              renderLookupForComparison(*Snap->H, B.Result))
+        ++Log.RepeatDivergences;
+    } else {
+      A = Svc.query(Class, Member);
+    }
+
+    ++Log.Queries;
+    if (A.Rung > AnswerRung::GxxApproximate) {
+      ++Log.BadRungs;
+      continue;
+    }
+    ++Log.RungSeen[static_cast<uint8_t>(A.Rung)];
+    if (A.S.isOk())
+      ++Log.OkAnswers;
+    else if (A.S.code() == ErrorCode::UnknownClass)
+      ++Log.UnknownContexts;
+  }
+}
+
+} // namespace
+
+TEST(ServiceStressTest, ParallelRewarmCommitsRaceReaders) {
+  // Every commit warms synchronously with a 4-thread parallel build or
+  // incremental rewarm, while readers query the previous epochs' tables
+  // - whose columns the rewarms are concurrently aliasing into new
+  // tables. Under the tsan preset this is the data-race proof for
+  // ParallelTabulator and the column-sharing rewarm path.
+  Workload W = makeModularForest(6, 2, 3, 4, 2);
+
+  std::vector<std::string> Classes;
+  for (uint32_t Idx = 0; Idx != W.H.numClasses(); ++Idx)
+    Classes.emplace_back(W.H.className(ClassId(Idx)));
+  Classes.push_back("GhostClass"); // unknown contexts stay covered
+  std::vector<std::string> Members;
+  for (Symbol M : W.H.allMemberNames())
+    Members.emplace_back(W.H.spelling(M));
+  Members.push_back("ghost_member");
+
+  ServiceOptions Opts;
+  Opts.WarmOnCommit = true;
+  Opts.WarmThreads = 4;
+  Opts.AuditEngineCheck = false;
+  Opts.AuditSampleLimit = 64;
+  LookupService Svc(std::move(W.H), Opts);
+
+  Svc.startBackgroundAudit(/*IntervalMillis=*/10);
+
+  constexpr int NumReaders = 3;
+  std::atomic<bool> Done{false};
+  std::vector<ReaderLog> Logs(NumReaders);
+  std::vector<std::thread> Readers;
+  for (int Idx = 0; Idx != NumReaders; ++Idx)
+    Readers.emplace_back(tableReaderMain, std::cref(Svc), std::cref(Done),
+                         /*Seed=*/0xfeed + Idx, std::cref(Classes),
+                         std::cref(Members), std::ref(Logs[Idx]));
+
+  // The writer: module-local edits (one tree's names re-tabulated, the
+  // other trees' columns shared), fresh classes under existing roots,
+  // and the occasional member removal - all warmed in-commit.
+  uint64_t ValidFailures = 0;
+  {
+    Rng R(0x9a11e1);
+    for (uint64_t I = 0; I != 60; ++I) {
+      Transaction Txn = Svc.beginTxn();
+      std::string Root = "T" + std::to_string(R.nextBelow(6));
+      switch (I % 4) {
+      case 0:
+        Txn.addMember(Root, "fresh" + std::to_string(I), /*IsStatic=*/false,
+                      /*IsVirtual=*/R.nextChance(1, 2));
+        break;
+      case 1: {
+        std::string Fresh = "P" + std::to_string(I);
+        Txn.addClass(Fresh).addBase(Fresh, Root,
+                                    R.nextChance(1, 3)
+                                        ? InheritanceKind::Virtual
+                                        : InheritanceKind::NonVirtual);
+        break;
+      }
+      case 2:
+        Txn.addMember(Root + "_0", "deep" + std::to_string(I));
+        break;
+      default: {
+        // Add-then-remove in one script: a net no-op hierarchy-wise,
+        // but the impact set must still carry the name (the removal
+        // side is collected from the old closure) and the rewarm must
+        // stay sound under the race.
+        std::string Name = "blip" + std::to_string(I);
+        Txn.addMember(Root, Name).removeMember(Root, Name);
+        break;
+      }
+      }
+      if (!Svc.commit(Txn).isOk())
+        ++ValidFailures;
+    }
+  }
+  Done.store(true, std::memory_order_release);
+  for (std::thread &T : Readers)
+    T.join();
+  Svc.stopBackgroundAudit();
+
+  EXPECT_EQ(ValidFailures, 0u);
+  for (const ReaderLog &Log : Logs) {
+    EXPECT_GE(Log.Queries, 512u);
+    EXPECT_EQ(Log.BadRungs, 0u);
+    EXPECT_EQ(Log.RepeatDivergences, 0u);
+    EXPECT_EQ(Log.Queries, Log.OkAnswers + Log.UnknownContexts);
+  }
+
+  ServiceStats Stats = Svc.stats();
+  EXPECT_EQ(Stats.Commits, 60u);
+  // Module-local edits rewarm incrementally; only class-removing
+  // scripts (none here) may fall back.
+  EXPECT_GT(Stats.IncrementalRewarms, 0u);
+  EXPECT_GT(Stats.ColumnsShared, Stats.ColumnsRetabulated);
+  EXPECT_EQ(Stats.AuditMismatches, 0u);
+  EXPECT_EQ(Stats.Quarantines, 0u);
+  EXPECT_TRUE(Svc.snapshot()->warm());
+
+  AuditReport Final = Svc.auditNow();
+  EXPECT_TRUE(Final.passed()) << Final.toString();
+}
+
+TEST(ServiceStressTest, DeadlineExpiryMidParallelBuildLeavesEpochCold) {
+  // A 1ms warm budget on a hierarchy whose full tabulation costs far
+  // more: every in-commit parallel build trips its deadline mid-flight
+  // (cooperatively, at DeadlineStride granularity), the epoch publishes
+  // cold, and queries degrade to the per-query rung - while readers
+  // race the aborting builds. An explicit warmCurrent() with no
+  // deadline then warms the final epoch fully.
+  Workload W = makeModularForest(10, 3, 4, 4, 2); // 1210 classes
+
+  std::vector<std::string> Classes;
+  for (uint32_t Idx = 0; Idx != W.H.numClasses(); ++Idx)
+    Classes.emplace_back(W.H.className(ClassId(Idx)));
+  std::vector<std::string> Members;
+  for (Symbol M : W.H.allMemberNames())
+    Members.emplace_back(W.H.spelling(M));
+
+  ServiceOptions Opts;
+  Opts.WarmOnCommit = true;
+  Opts.WarmThreads = 4;
+  Opts.WarmBuildMillis = 1;
+  Opts.AuditEngineCheck = false;
+  Opts.AuditSampleLimit = 32;
+  LookupService Svc(std::move(W.H), Opts);
+
+  constexpr int NumReaders = 2;
+  std::atomic<bool> Done{false};
+  std::vector<ReaderLog> Logs(NumReaders);
+  std::vector<std::thread> Readers;
+  for (int Idx = 0; Idx != NumReaders; ++Idx)
+    Readers.emplace_back(tableReaderMain, std::cref(Svc), std::cref(Done),
+                         /*Seed=*/0xc01d + Idx, std::cref(Classes),
+                         std::cref(Members), std::ref(Logs[Idx]));
+
+  uint64_t ColdEpochs = 0;
+  for (uint64_t I = 0; I != 8; ++I) {
+    Transaction Txn = Svc.beginTxn();
+    Txn.addMember("T" + std::to_string(I % 10), "late" + std::to_string(I));
+    ASSERT_TRUE(Svc.commit(Txn).isOk());
+    if (!Svc.snapshot()->warm())
+      ++ColdEpochs;
+  }
+  Done.store(true, std::memory_order_release);
+  for (std::thread &T : Readers)
+    T.join();
+
+  // The builds must have been expiring: this tabulation is orders of
+  // magnitude over a 1ms budget. (Not asserted for all 8 - a pathological
+  // scheduler stall could let one squeak through the stride check.)
+  EXPECT_GE(ColdEpochs, 4u);
+  for (const ReaderLog &Log : Logs) {
+    EXPECT_EQ(Log.BadRungs, 0u);
+    EXPECT_EQ(Log.RepeatDivergences, 0u);
+  }
+
+  // Cold epoch answers come off the ladder's per-query rung...
+  if (!Svc.snapshot()->warm())
+    EXPECT_EQ(Svc.query("T0_0_0_0", "t0_m0").Rung,
+              AnswerRung::Figure8PerQuery);
+
+  // ...until an unbounded warm succeeds and the tabulated rung returns.
+  ASSERT_TRUE(Svc.warmCurrent().isOk());
+  EXPECT_TRUE(Svc.snapshot()->warm());
+  EXPECT_EQ(Svc.query("T0_0_0_0", "t0_m0").Rung, AnswerRung::Tabulated);
+
+  AuditReport Final = Svc.auditNow();
+  EXPECT_TRUE(Final.passed()) << Final.toString();
+}
