@@ -35,7 +35,7 @@ void reportTable(benchmark::State &State, const Hierarchy &H) {
     DominanceLookupEngine Engine(H);
     Ops = Engine.stats().EntriesComputed + Engine.stats().DominanceTests +
           Engine.stats().BlueElementsMoved;
-    Bytes = Engine.approximateTableBytes();
+    Bytes = Engine.tableHeapBytes();
     benchmark::DoNotOptimize(Engine.stats());
   }
   State.counters["classes"] = H.numClasses();

@@ -25,6 +25,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "memlook/core/DifferentialCheck.h"
 #include "memlook/core/DominanceLookupEngine.h"
 #include "memlook/service/LookupService.h"
 #include "memlook/support/Rng.h"
@@ -142,11 +143,20 @@ struct ScenarioResult {
   uint32_t Classes = 0;
   uint32_t Members = 0;
   double SerialMs = 0;
+  /// False when the pool resolves to one worker: "parallel" would run
+  /// the identical serial loop, so the A/B is skipped and the JSON
+  /// carries null instead of a meaningless 1.0x.
+  bool ParallelMeasured = false;
   double ParallelMs = 0;
   uint32_t ParallelThreads = 1;
   double RewarmMs = 0;
   uint32_t RewarmColumnsBuilt = 0;
   uint32_t RewarmColumnsShared = 0;
+  uint64_t TableBytes = 0;
+  uint32_t DedupedColumns = 0;
+  /// Differential --check verdicts (empty when the check passed or
+  /// did not run).
+  std::vector<std::string> CheckFailures;
 
   double speedup() const { return ParallelMs > 0 ? SerialMs / ParallelMs : 0; }
   double retabFraction() const {
@@ -155,17 +165,43 @@ struct ScenarioResult {
   }
 };
 
+/// Differential spot-check: \p Samples deterministic (class, member)
+/// pairs of \p Table against a fresh lazy-recursive Figure 8 engine
+/// over \p H. Appends human-readable mismatch lines to \p Failures.
+void checkTableAgainstEngine(const Hierarchy &H, const LookupTable &Table,
+                             const char *Label, uint64_t Samples,
+                             std::vector<std::string> &Failures) {
+  DominanceLookupEngine Engine(H, DominanceLookupEngine::Mode::LazyRecursive);
+  Rng R(0xcafe);
+  const std::vector<Symbol> &Names = H.allMemberNames();
+  for (uint64_t I = 0; I != Samples && Failures.size() < 8; ++I) {
+    ClassId C(static_cast<uint32_t>(R.nextBelow(H.numClasses())));
+    Symbol M = Names[R.nextBelow(Names.size())];
+    std::string FromTable =
+        renderLookupForComparison(H, Table.find(H, C, M));
+    std::string FromEngine =
+        renderLookupForComparison(H, Engine.lookup(C, M));
+    if (FromTable != FromEngine)
+      Failures.push_back(std::string(Label) + " table says '" + FromTable +
+                         "' but a fresh engine says '" + FromEngine +
+                         "' for " + std::string(H.className(C)) + "::" +
+                         std::string(H.spelling(M)));
+  }
+}
+
 /// Measures one workload end to end: full serial build, full parallel
-/// build, and an incremental rewarm after \p Edit (a single-class edit
-/// script against the workload's hierarchy).
+/// build (skipped on a 1-worker pool), and an incremental rewarm after
+/// \p Edit (a single-class edit script against the workload's
+/// hierarchy).
 ScenarioResult runScenario(std::string Name, Workload W,
                            const std::vector<Transaction::Op> &Edit,
-                           uint32_t Threads, int Repeats) {
+                           uint32_t Threads, int Repeats, bool Check) {
   ScenarioResult R;
   R.Name = std::move(Name);
   R.Classes = W.H.numClasses();
   R.Members = static_cast<uint32_t>(W.H.allMemberNames().size());
   R.ParallelThreads = ParallelTabulator::resolveThreads(Threads);
+  R.ParallelMeasured = R.ParallelThreads >= 2;
 
   // Interleave the serial and parallel measurements (A/B/A/B...) so
   // allocator and frequency drift hits both sides equally.
@@ -174,14 +210,18 @@ ScenarioResult runScenario(std::string Name, Workload W,
     double SerialMs = bestOf(1, [&] {
       Serial = LookupTable::build(W.H, Deadline::never(), /*Threads=*/1);
     });
+    if (Rep == 0 || SerialMs < R.SerialMs)
+      R.SerialMs = SerialMs;
+    if (!R.ParallelMeasured)
+      continue;
     double ParallelMs = bestOf(1, [&] {
       Parallel = LookupTable::build(W.H, Deadline::never(), Threads);
     });
-    if (Rep == 0 || SerialMs < R.SerialMs)
-      R.SerialMs = SerialMs;
     if (Rep == 0 || ParallelMs < R.ParallelMs)
       R.ParallelMs = ParallelMs;
   }
+  R.TableBytes = Serial->heapBytes();
+  R.DedupedColumns = Serial->buildStats().ColumnsDeduped;
 
   ResourceBudget Budget = ResourceBudget::unlimited();
   Expected<Hierarchy> Edited = service::applyEditScript(W.H, Edit, Budget);
@@ -200,6 +240,16 @@ ScenarioResult runScenario(std::string Name, Workload W,
   });
   R.RewarmColumnsBuilt = Rewarmed->buildStats().ColumnsBuilt;
   R.RewarmColumnsShared = Rewarmed->buildStats().ColumnsShared;
+
+  if (Check) {
+    // The compact columns and their dedup must not have changed any
+    // answer: spot-check the serial table and - across the sharing
+    // boundary - the rewarmed one against fresh engines.
+    checkTableAgainstEngine(W.H, *Serial, "serial", /*Samples=*/512,
+                            R.CheckFailures);
+    checkTableAgainstEngine(NewH, *Rewarmed, "rewarmed", /*Samples=*/512,
+                            R.CheckFailures);
+  }
   return R;
 }
 
@@ -211,7 +261,7 @@ double geomean(const std::vector<double> &Xs) {
 }
 
 int runJsonHarness(const std::string &OutPath, uint32_t Threads, bool Check,
-                   int Repeats) {
+                   bool Memory, int Repeats) {
   std::vector<ScenarioResult> Results;
 
   // The compiler-shaped workload: a modular forest with tree-local
@@ -227,7 +277,7 @@ int runJsonHarness(const std::string &OutPath, uint32_t Threads, bool Check,
                                    AccessSpec::Public, false, false});
     Results.push_back(runScenario("modular_forest",
                                   makeModularForest(48, 3, 4, 6, 2), Edit,
-                                  Threads, Repeats));
+                                  Threads, Repeats, Check));
   }
 
   {
@@ -246,16 +296,21 @@ int runJsonHarness(const std::string &OutPath, uint32_t Threads, bool Check,
                                    "", "bench_fresh",
                                    InheritanceKind::NonVirtual,
                                    AccessSpec::Public, false, false});
-    Results.push_back(
-        runScenario("random_large", std::move(W), Edit, Threads, Repeats));
+    Results.push_back(runScenario("random_large", std::move(W), Edit, Threads,
+                                  Repeats, Check));
   }
 
-  std::vector<double> SerialMs, ParallelMs, RewarmMs, Speedups;
+  std::vector<double> SerialMs, ParallelMs, RewarmMs, Speedups, TableBytes;
+  bool AnyParallel = false;
   for (const ScenarioResult &R : Results) {
     SerialMs.push_back(R.SerialMs);
-    ParallelMs.push_back(R.ParallelMs);
     RewarmMs.push_back(R.RewarmMs);
-    Speedups.push_back(R.speedup());
+    TableBytes.push_back(double(R.TableBytes));
+    if (R.ParallelMeasured) {
+      AnyParallel = true;
+      ParallelMs.push_back(R.ParallelMs);
+      Speedups.push_back(R.speedup());
+    }
   }
 
   std::ofstream Out(OutPath);
@@ -272,37 +327,60 @@ int runJsonHarness(const std::string &OutPath, uint32_t Threads, bool Check,
     const ScenarioResult &R = Results[I];
     Out << "    {\"name\": \"" << R.Name << "\", \"classes\": " << R.Classes
         << ", \"members\": " << R.Members << ",\n     \"serial_build_ms\": "
-        << R.SerialMs << ", \"parallel_build_ms\": " << R.ParallelMs
-        << ", \"parallel_speedup\": " << R.speedup()
-        << ",\n     \"rewarm_ms\": " << R.RewarmMs
+        << R.SerialMs << ", \"parallel_build_ms\": ";
+    // On a 1-worker pool the A/B is skipped: null, not a fake 1.0x.
+    if (R.ParallelMeasured)
+      Out << R.ParallelMs << ", \"parallel_speedup\": " << R.speedup();
+    else
+      Out << "null, \"parallel_speedup\": null";
+    Out << ",\n     \"rewarm_ms\": " << R.RewarmMs
         << ", \"rewarm_columns_retabulated\": " << R.RewarmColumnsBuilt
         << ", \"rewarm_columns_shared\": " << R.RewarmColumnsShared
-        << ", \"retab_fraction\": " << R.retabFraction() << "}"
-        << (I + 1 == Results.size() ? "\n" : ",\n");
+        << ", \"retab_fraction\": " << R.retabFraction();
+    if (Memory)
+      Out << ",\n     \"table_bytes\": " << R.TableBytes
+          << ", \"dedup_shared_columns\": " << R.DedupedColumns;
+    Out << "}" << (I + 1 == Results.size() ? "\n" : ",\n");
   }
   Out << "  ],\n  \"geomean\": {\"serial_build_ms\": " << geomean(SerialMs)
-      << ", \"parallel_build_ms\": " << geomean(ParallelMs)
-      << ", \"rewarm_ms\": " << geomean(RewarmMs)
-      << ", \"parallel_speedup\": " << geomean(Speedups) << "}\n}\n";
+      << ", \"parallel_build_ms\": ";
+  if (AnyParallel)
+    Out << geomean(ParallelMs);
+  else
+    Out << "null";
+  Out << ", \"rewarm_ms\": " << geomean(RewarmMs) << ", \"parallel_speedup\": ";
+  if (AnyParallel)
+    Out << geomean(Speedups);
+  else
+    Out << "null";
+  if (Memory)
+    Out << ", \"table_bytes\": " << geomean(TableBytes);
+  Out << "}\n}\n";
   Out.close();
 
-  for (const ScenarioResult &R : Results)
-    std::cout << R.Name << ": serial " << R.SerialMs << " ms, parallel "
-              << R.ParallelMs << " ms (x" << R.speedup() << " at "
-              << R.ParallelThreads << " threads), rewarm " << R.RewarmMs
-              << " ms (" << R.RewarmColumnsBuilt << " rebuilt / "
-              << R.RewarmColumnsShared << " shared, "
-              << 100.0 * R.retabFraction() << "% retabulated)\n";
+  for (const ScenarioResult &R : Results) {
+    std::cout << R.Name << ": serial " << R.SerialMs << " ms, ";
+    if (R.ParallelMeasured)
+      std::cout << "parallel " << R.ParallelMs << " ms (x" << R.speedup()
+                << " at " << R.ParallelThreads << " threads), ";
+    else
+      std::cout << "parallel skipped (1-worker pool), ";
+    std::cout << "rewarm " << R.RewarmMs << " ms (" << R.RewarmColumnsBuilt
+              << " rebuilt / " << R.RewarmColumnsShared << " shared, "
+              << 100.0 * R.retabFraction() << "% retabulated), "
+              << R.TableBytes << " table bytes, " << R.DedupedColumns
+              << " columns deduped\n";
+  }
 
   if (Check) {
     // CI regression guard: a parallel build must never lose to serial,
-    // and the modular (compiler-shaped) workload's single-class edit
-    // must stay under 20% of columns re-tabulated. The speedup guard
-    // only means something when a real pool ran - on a single-core
-    // machine "parallel" degrades to the same serial loop and any
-    // difference is noise, so it is skipped there.
+    // the modular (compiler-shaped) workload's single-class edit must
+    // stay under 20% of columns re-tabulated, and the compact tables
+    // must agree with fresh engines on the sampled differential. The
+    // speedup guard only means something when a real pool ran - on a
+    // single-core machine the A/B was skipped entirely.
     for (const ScenarioResult &R : Results) {
-      if (R.ParallelThreads >= 2 && R.speedup() < 1.0) {
+      if (R.ParallelMeasured && R.speedup() < 1.0) {
         std::cerr << "CHECK FAILED: " << R.Name << " parallel build ("
                   << R.ParallelMs << " ms) slower than serial (" << R.SerialMs
                   << " ms) at " << R.ParallelThreads << " threads\n";
@@ -311,6 +389,12 @@ int runJsonHarness(const std::string &OutPath, uint32_t Threads, bool Check,
       if (R.Name == "modular_forest" && R.retabFraction() >= 0.2) {
         std::cerr << "CHECK FAILED: " << R.Name << " rewarm re-tabulated "
                   << 100.0 * R.retabFraction() << "% of columns (>= 20%)\n";
+        return 1;
+      }
+      if (!R.CheckFailures.empty()) {
+        for (const std::string &F : R.CheckFailures)
+          std::cerr << "CHECK FAILED: " << R.Name << " differential: " << F
+                    << "\n";
         return 1;
       }
     }
@@ -325,6 +409,7 @@ int main(int argc, char **argv) {
   std::string JsonOut;
   uint32_t Threads = 0;
   bool Check = false;
+  bool Memory = false;
   int Repeats = 3;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc)
@@ -333,11 +418,13 @@ int main(int argc, char **argv) {
       Threads = static_cast<uint32_t>(std::atoi(argv[++I]));
     else if (std::strcmp(argv[I], "--check") == 0)
       Check = true;
+    else if (std::strcmp(argv[I], "--memory") == 0)
+      Memory = true;
     else if (std::strcmp(argv[I], "--repeats") == 0 && I + 1 < argc)
       Repeats = std::atoi(argv[++I]);
   }
   if (!JsonOut.empty())
-    return runJsonHarness(JsonOut, Threads, Check, Repeats);
+    return runJsonHarness(JsonOut, Threads, Check, Memory, Repeats);
 
   // No --json: the classic google-benchmark ablation.
   benchmark::Initialize(&argc, argv);

@@ -29,3 +29,22 @@ shift || true
 OUT="${REPO_ROOT}/BENCH_tabulation.json"
 "${BENCH}" --json "${OUT}" "$@"
 echo "wrote ${OUT}"
+
+# One-line geomean summary. parallel_speedup is null (not a number) when
+# the pool resolved to a single worker and the A/B was skipped.
+GEOMEAN_LINE="$(grep -o '"geomean": {[^}]*}' "${OUT}" || true)"
+if [ -n "${GEOMEAN_LINE}" ]; then
+  SERIAL="$(printf '%s' "${GEOMEAN_LINE}" | grep -o '"serial_build_ms": [0-9.eE+-]*' | cut -d' ' -f2 || true)"
+  SPEEDUP="$(printf '%s' "${GEOMEAN_LINE}" | grep -o '"parallel_speedup": [0-9.eE+-]*' | cut -d' ' -f2 || true)"
+  BYTES="$(printf '%s' "${GEOMEAN_LINE}" | grep -o '"table_bytes": [0-9.eE+-]*' | cut -d' ' -f2 || true)"
+  SUMMARY="geomean: serial ${SERIAL:-?} ms"
+  if [ -n "${SPEEDUP}" ]; then
+    SUMMARY="${SUMMARY}, parallel speedup x${SPEEDUP}"
+  else
+    SUMMARY="${SUMMARY}, parallel speedup n/a (1-worker pool)"
+  fi
+  if [ -n "${BYTES}" ]; then
+    SUMMARY="${SUMMARY}, table bytes ${BYTES}"
+  fi
+  echo "${SUMMARY}"
+fi

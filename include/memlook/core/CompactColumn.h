@@ -1,0 +1,293 @@
+//===- memlook/core/CompactColumn.h - Compact table columns -----*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compact storage form of one member column of the Figure 8 table.
+///
+/// The paper's entry is the pair abstraction (ldc, leastVirtual) - a
+/// couple of machine words - yet a naive struct-of-vectors table spends
+/// most of its bytes and build time on per-entry heap vectors that are
+/// empty or singletons in almost every slot: a red set is a singleton
+/// unless the Definition 17(2) static-member rule merged subobjects,
+/// and blue sets only exist at ambiguous entries. This header stores a
+/// column as two tiers:
+///
+///  * a dense array of fixed-size 24-byte POD entries (kind, defining
+///    class, representative V, via link, access and flags packed into
+///    one byte each, and the red singleton V inlined into the entry);
+///  * two append-only overflow pools - one of ClassId for the rare
+///    multi-element red member sets, one of BlueElement for blue sets -
+///    referenced by (offset, count) instead of owning vectors.
+///
+/// Entries are written exactly once (topological order guarantees every
+/// base entry is final before a derived entry reads it), so the pools
+/// never hold garbage and a finished column is value-immutable: equal
+/// columns built by the deterministic kernel are byte-equal, which is
+/// what makes structural column deduplication (LookupTable) a memcmp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_CORE_COMPACTCOLUMN_H
+#define MEMLOOK_CORE_COMPACTCOLUMN_H
+
+#include "memlook/chg/Hierarchy.h"
+
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace memlook {
+
+/// Classification of one lookup[C, m] entry.
+enum class EntryKind : uint8_t {
+  Absent = 0, ///< m is not a member of C
+  Red = 1,    ///< unambiguous
+  Blue = 2,   ///< ambiguous
+};
+
+/// One element of a blue set: the leastVirtual abstraction of a
+/// definition plus its defining class (the enrichment the static-member
+/// generalization needs; see DominanceLookupEngine.h).
+struct BlueElement {
+  ClassId LeastVirtual;
+  ClassId DefiningClass;
+
+  friend bool operator==(BlueElement A, BlueElement B) {
+    return A.LeastVirtual == B.LeastVirtual &&
+           A.DefiningClass == B.DefiningClass;
+  }
+  friend bool operator<(BlueElement A, BlueElement B) {
+    if (A.LeastVirtual != B.LeastVirtual)
+      return A.LeastVirtual < B.LeastVirtual;
+    return A.DefiningClass < B.DefiningClass;
+  }
+};
+
+/// One fixed-size table slot. All variable-length payload lives in the
+/// owning CompactColumn's pools; the common cases (absent, red with a
+/// singleton member set) never touch a pool at all.
+struct CompactEntry {
+  /// Red: ldc of the result (shared by the whole maximal set,
+  /// Definition 17(2)).
+  ClassId DefiningClass;
+  /// Red: leastVirtual of the representative member, whose witness path
+  /// the Via chain reconstructs.
+  ClassId RepresentativeV;
+  /// Red: the direct base the representative was inherited through, or
+  /// invalid when m is declared in C itself.
+  ClassId Via;
+  /// Red with PoolCount == 0: the raw id of the single member V
+  /// (ClassId::InvalidValue encodes the paper's Omega). Otherwise: the
+  /// entry's offset into the red pool (red) or blue pool (blue).
+  uint32_t InlineOrOffset = 0;
+  /// Red: 0 means "singleton member set, inlined"; otherwise the number
+  /// of pooled red Vs. Blue: the number of pooled blue elements.
+  uint32_t PoolCount = 0;
+  /// Bits 0-1: EntryKind. Bit 2: StaticMerged (the maximal set provably
+  /// names more than one subobject of one static entity).
+  uint8_t KindAndFlags = 0;
+  /// Red: the representative's access composed along its witness path
+  /// (AccessSpec, Section 6).
+  uint8_t AccessByte = 0;
+  /// Always zero, so the entry has no indeterminate bytes and columns
+  /// can be hashed and compared bytewise.
+  uint8_t Reserved0 = 0;
+  uint8_t Reserved1 = 0;
+
+  EntryKind kind() const { return static_cast<EntryKind>(KindAndFlags & 3); }
+  bool staticMerged() const { return (KindAndFlags & 4) != 0; }
+  AccessSpec access() const { return static_cast<AccessSpec>(AccessByte); }
+};
+
+static_assert(sizeof(CompactEntry) == 24, "the POD entry is 24 bytes");
+static_assert(std::has_unique_object_representations_v<CompactEntry>,
+              "no padding: columns are hashed and compared bytewise");
+static_assert(std::has_unique_object_representations_v<BlueElement>,
+              "no padding: pools are hashed and compared bytewise");
+
+/// One member column in compact form: |N| fixed-size entries plus the
+/// column's overflow pools.
+class CompactColumn {
+public:
+  CompactColumn() = default;
+
+  bool empty() const { return Entries.empty(); }
+  uint32_t size() const { return static_cast<uint32_t>(Entries.size()); }
+
+  /// (Re)initializes to \p NumClasses all-Absent entries with empty
+  /// pools.
+  void reset(uint32_t NumClasses) {
+    Entries.assign(NumClasses, CompactEntry{});
+    RedPool.clear();
+    BluePool.clear();
+  }
+
+  const CompactEntry &operator[](uint32_t Row) const { return Entries[Row]; }
+
+  /// Mutable slot access for the kernel. An entry must be written (via
+  /// setRed/setBlue, or left Absent) exactly once.
+  CompactEntry &slot(uint32_t Row) { return Entries[Row]; }
+
+  //===--------------------------------------------------------------------===
+  // Red member set (singleton inlined, larger sets pooled)
+  //===--------------------------------------------------------------------===
+
+  uint32_t redCount(const CompactEntry &E) const {
+    return E.PoolCount == 0 ? 1 : E.PoolCount;
+  }
+
+  ClassId redV(const CompactEntry &E, uint32_t I) const {
+    if (E.PoolCount == 0) {
+      assert(I == 0 && "inline red set is a singleton");
+      return ClassId(E.InlineOrOffset);
+    }
+    assert(I < E.PoolCount && "red set index out of range");
+    return RedPool[E.InlineOrOffset + I];
+  }
+
+  bool redContains(const CompactEntry &E, ClassId V) const {
+    if (E.PoolCount == 0)
+      return E.InlineOrOffset == V.rawValue();
+    for (uint32_t I = 0; I != E.PoolCount; ++I)
+      if (RedPool[E.InlineOrOffset + I] == V)
+        return true;
+    return false;
+  }
+
+  /// Writes a red entry. \p SortedVs must be sorted by raw id and
+  /// non-empty; a singleton is inlined, anything larger goes to the red
+  /// pool.
+  void setRed(CompactEntry &E, ClassId DefiningClass,
+              std::span<const ClassId> SortedVs, ClassId RepresentativeV,
+              ClassId Via, AccessSpec Access, bool StaticMerged) {
+    assert(!SortedVs.empty() && "a red member set is never empty");
+    E.DefiningClass = DefiningClass;
+    E.RepresentativeV = RepresentativeV;
+    E.Via = Via;
+    E.KindAndFlags = static_cast<uint8_t>(
+        static_cast<uint8_t>(EntryKind::Red) | (StaticMerged ? 4 : 0));
+    E.AccessByte = static_cast<uint8_t>(Access);
+    if (SortedVs.size() == 1) {
+      E.InlineOrOffset = SortedVs.front().rawValue();
+      E.PoolCount = 0;
+      return;
+    }
+    E.InlineOrOffset = static_cast<uint32_t>(RedPool.size());
+    E.PoolCount = static_cast<uint32_t>(SortedVs.size());
+    RedPool.insert(RedPool.end(), SortedVs.begin(), SortedVs.end());
+  }
+
+  //===--------------------------------------------------------------------===
+  // Blue set (always pooled)
+  //===--------------------------------------------------------------------===
+
+  std::span<const BlueElement> blues(const CompactEntry &E) const {
+    assert(E.kind() == EntryKind::Blue && "blues of a non-blue entry");
+    return {BluePool.data() + E.InlineOrOffset, E.PoolCount};
+  }
+
+  /// Writes a blue entry; \p SortedBlues must be sorted and unique.
+  void setBlue(CompactEntry &E, std::span<const BlueElement> SortedBlues) {
+    E.KindAndFlags = static_cast<uint8_t>(EntryKind::Blue);
+    E.InlineOrOffset = static_cast<uint32_t>(BluePool.size());
+    E.PoolCount = static_cast<uint32_t>(SortedBlues.size());
+    BluePool.insert(BluePool.end(), SortedBlues.begin(), SortedBlues.end());
+  }
+
+  //===--------------------------------------------------------------------===
+  // Footprint, hashing, equality
+  //===--------------------------------------------------------------------===
+
+  /// Trims pool capacity to size. Called once a column is finished so
+  /// heapBytes() reports the exact long-lived footprint, not growth
+  /// slack.
+  void shrinkPools() {
+    RedPool.shrink_to_fit();
+    BluePool.shrink_to_fit();
+  }
+
+  /// Exact heap footprint of this column (capacities, since capacity is
+  /// what the allocator actually holds).
+  uint64_t heapBytes() const {
+    return uint64_t(Entries.capacity()) * sizeof(CompactEntry) +
+           uint64_t(RedPool.capacity()) * sizeof(ClassId) +
+           uint64_t(BluePool.capacity()) * sizeof(BlueElement);
+  }
+
+  /// Pool occupancy, for table statistics: how often the inline
+  /// fast path sufficed versus spilling to a pool.
+  struct PoolStats {
+    uint64_t InlineRedEntries = 0;   ///< red entries with the V inlined
+    uint64_t OverflowRedEntries = 0; ///< red entries spilled to the pool
+    uint64_t RedPoolElements = 0;
+    uint64_t BlueEntries = 0;
+    uint64_t BluePoolElements = 0;
+
+    PoolStats &operator+=(const PoolStats &O) {
+      InlineRedEntries += O.InlineRedEntries;
+      OverflowRedEntries += O.OverflowRedEntries;
+      RedPoolElements += O.RedPoolElements;
+      BlueEntries += O.BlueEntries;
+      BluePoolElements += O.BluePoolElements;
+      return *this;
+    }
+  };
+
+  PoolStats poolStats() const {
+    PoolStats S;
+    for (const CompactEntry &E : Entries) {
+      if (E.kind() == EntryKind::Red)
+        ++(E.PoolCount == 0 ? S.InlineRedEntries : S.OverflowRedEntries);
+      else if (E.kind() == EntryKind::Blue)
+        ++S.BlueEntries;
+    }
+    S.RedPoolElements = RedPool.size();
+    S.BluePoolElements = BluePool.size();
+    return S;
+  }
+
+  /// FNV-1a over the entry array and both pools. Sound as a structural
+  /// hash because entries and pool elements have unique object
+  /// representations (static_asserts above) and the kernel writes
+  /// columns deterministically, so value-equal columns are byte-equal.
+  uint64_t structuralHash() const {
+    uint64_t Hsh = 0xcbf29ce484222325ULL;
+    auto Mix = [&Hsh](const void *Data, size_t Bytes) {
+      const auto *P = static_cast<const unsigned char *>(Data);
+      for (size_t I = 0; I != Bytes; ++I) {
+        Hsh ^= P[I];
+        Hsh *= 0x100000001b3ULL;
+      }
+    };
+    Mix(Entries.data(), Entries.size() * sizeof(CompactEntry));
+    Mix(RedPool.data(), RedPool.size() * sizeof(ClassId));
+    Mix(BluePool.data(), BluePool.size() * sizeof(BlueElement));
+    return Hsh;
+  }
+
+  friend bool operator==(const CompactColumn &A, const CompactColumn &B) {
+    auto BytesEqual = [](const auto &X, const auto &Y) {
+      using T = typename std::remove_reference_t<decltype(X)>::value_type;
+      return X.size() == Y.size() &&
+             (X.empty() ||
+              std::memcmp(X.data(), Y.data(), X.size() * sizeof(T)) == 0);
+    };
+    return BytesEqual(A.Entries, B.Entries) &&
+           BytesEqual(A.RedPool, B.RedPool) &&
+           BytesEqual(A.BluePool, B.BluePool);
+  }
+
+private:
+  std::vector<CompactEntry> Entries;
+  std::vector<ClassId> RedPool;
+  std::vector<BlueElement> BluePool;
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_CORE_COMPACTCOLUMN_H

@@ -74,6 +74,7 @@
 #ifndef MEMLOOK_CORE_DOMINANCELOOKUPENGINE_H
 #define MEMLOOK_CORE_DOMINANCELOOKUPENGINE_H
 
+#include "memlook/core/CompactColumn.h"
 #include "memlook/core/LookupEngine.h"
 #include "memlook/support/BitVector.h"
 #include "memlook/support/Deadline.h"
@@ -128,30 +129,16 @@ public:
   // operation-count benchmarks)
   //===--------------------------------------------------------------------===
 
-  /// One element of a blue set: the leastVirtual abstraction of a
-  /// definition plus its defining class (see file comment).
-  struct BlueElement {
-    ClassId LeastVirtual;
-    ClassId DefiningClass;
+  /// One element of a blue set (now a namespace-scope type shared with
+  /// the compact storage; see CompactColumn.h).
+  using BlueElement = memlook::BlueElement;
 
-    friend bool operator==(BlueElement A, BlueElement B) {
-      return A.LeastVirtual == B.LeastVirtual &&
-             A.DefiningClass == B.DefiningClass;
-    }
-    friend bool operator<(BlueElement A, BlueElement B) {
-      if (A.LeastVirtual != B.LeastVirtual)
-        return A.LeastVirtual < B.LeastVirtual;
-      return A.DefiningClass < B.DefiningClass;
-    }
-  };
-
-  /// The lookup[C,m] table entry.
+  /// The lookup[C,m] table entry, *expanded* for introspection. The
+  /// table itself stores CompactEntry slots (CompactColumn.h); entry()
+  /// inflates one slot into this self-contained view, so it is returned
+  /// by value.
   struct Entry {
-    enum class Kind : uint8_t {
-      Absent, ///< m is not a member of C
-      Red,    ///< unambiguous
-      Blue,   ///< ambiguous
-    };
+    using Kind = memlook::EntryKind;
 
     Kind EntryKind = Kind::Absent;
 
@@ -185,9 +172,16 @@ public:
   };
 
   /// The table entry for (Context, Member), computing the member's
-  /// column first if the engine is lazy. Returns the Absent entry for
-  /// names that are not members anywhere.
-  const Entry &entry(ClassId Context, Symbol Member);
+  /// column first if the engine is lazy. Returns an Absent entry for
+  /// names that are not members anywhere. By value: the entry is
+  /// expanded out of the compact column on demand.
+  Entry entry(ClassId Context, Symbol Member);
+
+  /// The finished compact column for \p Member, tabulating the whole
+  /// column now if the engine is lazy; nullptr for names never declared
+  /// anywhere. Statistics consumers iterate this directly instead of
+  /// expanding every entry.
+  const CompactColumn *column(Symbol Member);
 
   /// Operation counters for the complexity-validation benchmarks.
   struct Stats {
@@ -216,21 +210,34 @@ public:
 
   /// Computes the single entry lookup[C, \p Member] into \p Column,
   /// assuming the entries of every direct base of C are final (i.e. C's
-  /// predecessors in topological order were computed first).
-  static void computeEntry(const Hierarchy &H, std::vector<Entry> &Column,
+  /// predecessors in topological order were computed first). Writes the
+  /// compact slot directly; per-call heap churn is absorbed by a
+  /// thread_local scratch, so worker threads each reuse their own.
+  static void computeEntry(const Hierarchy &H, CompactColumn &Column,
                            ClassId C, Symbol Member, Stats &S);
 
   /// Converts the (final) entry for \p Context into the engine's public
   /// LookupResult, reconstructing the red witness path via the column's
   /// Via links. Every entry the witness chain crosses must be final.
   static LookupResult entryToResult(const Hierarchy &H,
-                                    const std::vector<Entry> &Column,
+                                    const CompactColumn &Column,
                                     ClassId Context);
 
-  /// Approximate heap footprint of the materialized table (entry slots
-  /// plus red-set and blue-set payloads) - the space counterpart of the
-  /// complexity story, reported by the scaling benchmarks.
-  uint64_t approximateTableBytes() const;
+  /// Exact heap footprint of the materialized table: entry slots plus
+  /// overflow-pool payloads plus per-column bookkeeping - the space
+  /// counterpart of the complexity story, reported by the scaling
+  /// benchmarks. (Replaces the old approximateTableBytes: the compact
+  /// pools make the exact number a few multiplies.)
+  uint64_t tableHeapBytes() const;
+
+  /// Table memory breakdown (exact bytes plus pool occupancy), for
+  /// TableStatistics and capacity observability.
+  struct MemoryStats {
+    uint64_t HeapBytes = 0;
+    CompactColumn::PoolStats Pools;
+    uint32_t ColumnsAllocated = 0;
+  };
+  MemoryStats memoryStats() const;
 
 private:
   /// Computes the full column lookup[*, Member] in topological order
@@ -280,13 +287,13 @@ private:
   bool DeadlineTripped = false;
   uint32_t DeadlineCheckCounter = 0;
   std::unordered_map<Symbol, uint32_t> MemberIndex;
-  /// Column-major table: Columns[memberIdx][classIdx]. A column is
-  /// allocated lazily; EntryComputed tracks which entries are final as
-  /// a packed per-column BitVector, so each column's bookkeeping is
-  /// independently owned (no adjacent-bit sharing across columns).
-  std::vector<std::vector<Entry>> Columns;
+  /// Column-major table: Columns[memberIdx][classIdx], in compact form.
+  /// A column is allocated lazily; EntryComputed tracks which entries
+  /// are final as a packed per-column BitVector, so each column's
+  /// bookkeeping is independently owned (no adjacent-bit sharing across
+  /// columns).
+  std::vector<CompactColumn> Columns;
   std::vector<BitVector> EntryComputed;
-  Entry AbsentEntry;
   Stats EngineStats;
 
 public:

@@ -17,9 +17,11 @@
 ///
 /// The tabulator drives DominanceLookupEngine::computeEntry - the same
 /// statically-exposed kernel the serial engine runs, not a copy - and
-/// materializes each column to final LookupResults via entryToResult, so
-/// a parallel build is entry-for-entry identical to a serial one (the
-/// differential tests pin this).
+/// publishes the *compact* column (CompactColumn.h) directly. Answers
+/// are materialized on read by entryToResult, so a parallel build is
+/// entry-for-entry identical to a serial one (the differential tests
+/// pin this) while the stored table is just the POD entry array plus
+/// overflow pools.
 ///
 /// Deadline cooperation mirrors the serial engine: each worker consults
 /// the shared Deadline every DominanceLookupEngine::DeadlineStride
@@ -55,16 +57,41 @@ class ParallelTabulator {
 public:
   using Stats = DominanceLookupEngine::Stats;
 
-  /// One fully-materialized member column: the final LookupResult for
-  /// every class, indexed by ClassId::index(). Immutable once published
-  /// (always held as shared_ptr<const Column>), so epochs can share it.
+  /// One tabulated member column in compact form. Immutable once
+  /// published (always held as shared_ptr<const Column>), so epochs can
+  /// share it, and value-immutable too: a Complete column with no
+  /// Overrides is exactly the deterministic kernel's output, which is
+  /// what makes structural dedup (LookupTable) sound.
   struct Column {
-    std::vector<LookupResult> Rows;
-    /// Rows[i] is meaningful iff Computed.test(i). All-ones exactly
+    /// The compact entry array plus overflow pools; the answer for a
+    /// class is materialized on read by resultFor().
+    CompactColumn Data;
+    /// Data[i] is meaningful iff Computed.test(i). All-ones exactly
     /// when Complete; a deadline-interrupted column holds the computed
     /// topological prefix of the class order.
     BitVector Computed;
     bool Complete = false;
+    /// Row-level answer replacements consulted before Data - the
+    /// corruption-injection hook (LookupTable::cloneWithCorruptedEntry)
+    /// writes here instead of mutating compact entries, because a
+    /// falsified entry would poison the Via chains of every descendant
+    /// row. A column with Overrides is never deduplicated.
+    std::vector<std::pair<uint32_t, LookupResult>> Overrides;
+    /// Data.structuralHash(), computed once when the column completes,
+    /// so the structural-dedup pass costs O(columns) map probes per
+    /// build instead of re-hashing every shared column's bytes on
+    /// every incremental rewarm. Meaningless while !Complete.
+    uint64_t StructuralHash = 0;
+
+    uint32_t numRows() const { return Data.size(); }
+
+    /// Materializes the answer for \p Context: Overrides first, then
+    /// entryToResult over the compact entry. Uncomputed or out-of-range
+    /// rows answer NotFound (the rewarm shared-short-column contract).
+    LookupResult resultFor(const Hierarchy &H, ClassId Context) const;
+
+    /// Exact heap footprint (compact storage + bookkeeping).
+    uint64_t heapBytes() const;
   };
 
   /// A (possibly partial) table build.

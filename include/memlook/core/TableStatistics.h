@@ -47,6 +47,15 @@ struct TableStatistics {
   uint64_t TotalSubobjects = 0;
   uint64_t MaxSubobjects = 0;
   ClassId MaxSubobjectsClass;
+
+  /// Memory layout of the compact table (CompactColumn.h): exact heap
+  /// bytes plus how often the inline red fast path sufficed versus
+  /// spilling to an overflow pool.
+  uint64_t TableHeapBytes = 0;
+  uint64_t InlineRedEntries = 0;
+  uint64_t OverflowRedEntries = 0;
+  uint64_t RedPoolElements = 0;
+  uint64_t BluePoolElements = 0;
 };
 
 /// Computes the statistics via the Figure 8 engine (eagerly tabulating

@@ -142,6 +142,12 @@ struct ServiceStats {
   uint64_t IncrementalRewarms = 0; ///< commits warmed by column sharing
   uint64_t ColumnsShared = 0;      ///< columns aliased across epochs
   uint64_t ColumnsRetabulated = 0; ///< columns rebuilt by rewarms
+  /// Column pointers unified by structural dedup across all table
+  /// builds and rewarms (byte-identical columns stored once).
+  uint64_t ColumnsDeduped = 0;
+  /// Exact heap bytes of the *current* snapshot's table (0 when cold) -
+  /// a gauge sampled at stats() time, not a monotone counter.
+  uint64_t TableHeapBytes = 0;
 };
 
 /// Structured outcome of one self-audit pass.
@@ -296,7 +302,7 @@ private:
       NumCommitConflicts{0}, NumAbortedTxns{0}, NumQueries{0},
       NumUnknownContexts{0}, NumAudits{0}, NumAuditMismatches{0},
       NumQuarantines{0}, NumTableRebuilds{0}, NumIncrementalRewarms{0},
-      NumColumnsShared{0}, NumColumnsRetabulated{0};
+      NumColumnsShared{0}, NumColumnsRetabulated{0}, NumColumnsDeduped{0};
   mutable std::atomic<uint64_t> NumRungAnswers[3] = {{0}, {0}, {0}};
 
   // Background audit thread state.

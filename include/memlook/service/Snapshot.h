@@ -64,6 +64,12 @@ public:
   struct BuildStats {
     uint32_t ColumnsBuilt = 0;  ///< columns tabulated by this build
     uint32_t ColumnsShared = 0; ///< columns aliased from the predecessor
+    /// Column pointers unified by structural dedup: distinct member
+    /// names whose finished columns are byte-identical share one
+    /// Column object. Counted as (columns) - (distinct objects), so a
+    /// rewarm that re-derives a column identical to a shared one also
+    /// counts. Orthogonal to ColumnsShared, which is cross-epoch.
+    uint32_t ColumnsDeduped = 0;
     uint32_t ThreadsUsed = 1;
     ParallelTabulator::Stats Tabulation; ///< kernel counters (built only)
   };
@@ -101,39 +107,48 @@ public:
          const Deadline &BuildDeadline = Deadline::never(),
          uint32_t Threads = 0);
 
-  /// The tabulated answer for (\p Context, \p Member). Names never
-  /// declared anywhere in the epoch's hierarchy answer NotFound.
-  /// \p Context must be a valid class id of the hierarchy the table was
-  /// built over.
-  const LookupResult &find(ClassId Context, Symbol Member) const {
+  /// The tabulated answer for (\p Context, \p Member), materialized on
+  /// read from the compact column (so it is returned by value). Names
+  /// never declared anywhere in the epoch's hierarchy answer NotFound.
+  /// \p Context must be a valid class id of \p H, the hierarchy the
+  /// table was built over (witness paths are reconstructed against it).
+  LookupResult find(const Hierarchy &H, ClassId Context, Symbol Member) const {
     assert(Context.isValid() && Context.index() < NumClasses &&
            "class id from a different epoch?");
     auto It = MemberIndex.find(Member);
     if (It == MemberIndex.end())
-      return NotFoundAnswer;
-    const Column &Col = *Columns[It->second];
-    if (Context.index() >= Col.Rows.size())
-      return NotFoundAnswer; // shared short column, new class: see rewarm()
-    return Col.Rows[Context.index()];
+      return LookupResult::notFound();
+    // resultFor answers NotFound for rows beyond a shared short
+    // column's span (new class, unimpacted name: see rewarm()).
+    return Columns[It->second]->resultFor(H, Context);
   }
 
-  /// Number of materialized answers across all columns (shared columns
-  /// count their own, possibly shorter, row span).
+  /// Number of tabulated entry slots across all columns (shared columns
+  /// count their own, possibly shorter, row span; deduped columns are
+  /// counted once per referencing member, matching the logical table).
   uint64_t numEntries() const;
 
-  /// Rough heap footprint, for capacity observability. Shared columns
-  /// are charged to every table that references them.
-  uint64_t approximateBytes() const;
+  /// Exact heap footprint of the compact storage, for capacity
+  /// observability. Each distinct Column object is counted once, so
+  /// dedup and cross-epoch sharing show up as genuine savings within
+  /// one table (a column shared with a *previous* epoch is still
+  /// charged here - the predecessor may retire first).
+  uint64_t heapBytes() const;
 
   const BuildStats &buildStats() const { return Build; }
 
   /// Test-and-demo hook: a copy of this table with the (\p Context,
   /// \p Member) answer replaced by a deliberately wrong one (the
   /// corruption the self-audit exists to catch). Returns nullptr when
-  /// the member name is not tabulated. Only the corrupted column is
-  /// deep-copied; the rest stay shared.
+  /// the member name is not tabulated. The wrong answer is recorded as
+  /// a row Override on a copy of the column - falsifying the compact
+  /// entry itself would corrupt the Via chains of every descendant row,
+  /// which is a different (and assert-fatal) failure than the
+  /// wrong-answer scenario the audit targets. Only the corrupted column
+  /// is copied; the rest stay shared.
   std::shared_ptr<const LookupTable>
-  cloneWithCorruptedEntry(ClassId Context, Symbol Member) const;
+  cloneWithCorruptedEntry(const Hierarchy &H, ClassId Context,
+                          Symbol Member) const;
 
 private:
   LookupTable() = default;
@@ -141,11 +156,12 @@ private:
   uint32_t NumClasses = 0;
   std::unordered_map<Symbol, uint32_t> MemberIndex;
   /// Columns[memberIdx], indexed like Hierarchy::allMemberNames(); all
-  /// non-null and Complete in a published table.
+  /// non-null and Complete in a published table. Distinct member
+  /// indices may alias one Column object (cross-epoch sharing and
+  /// structural dedup) - sound because published columns are
+  /// value-immutable.
   std::vector<std::shared_ptr<const Column>> Columns;
   BuildStats Build;
-
-  static const LookupResult NotFoundAnswer;
 };
 
 /// One epoch-numbered, immutable hierarchy state. Readers pin it with a

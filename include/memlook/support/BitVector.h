@@ -88,6 +88,10 @@ public:
     return N;
   }
 
+  /// Heap footprint of the word storage (capacity, what the allocator
+  /// actually holds), for exact table accounting.
+  size_t heapBytes() const { return Words.capacity() * sizeof(Word); }
+
   friend bool operator==(const BitVector &A, const BitVector &B) {
     return A.NumBits == B.NumBits && A.Words == B.Words;
   }

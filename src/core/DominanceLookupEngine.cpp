@@ -42,10 +42,9 @@ namespace {
 
 /// Lemma 4 on the set abstraction: does the red value (L, Vs) cover the
 /// definition abstracted as V2 (arriving along a different edge)?
-bool redCovers(const Hierarchy &H, ClassId L, const std::vector<ClassId> &Vs,
-               ClassId V2, const std::vector<DominanceLookupEngine::Entry> &Column,
+bool redCovers(const Hierarchy &H, ClassId L, std::span<const ClassId> Vs,
+               ClassId V2, const CompactColumn &Column,
                DominanceLookupEngine::Stats &S) {
-  using Entry = DominanceLookupEngine::Entry;
   ++S.DominanceTests;
   if (!V2.isValid())
     return false;
@@ -64,39 +63,42 @@ bool redCovers(const Hierarchy &H, ClassId L, const std::vector<ClassId> &Vs,
   // at V2.
   if (std::find(Vs.begin(), Vs.end(), V2) == Vs.end())
     return false;
-  const Entry &AtV2 = Column[V2.index()];
-  return AtV2.EntryKind == Entry::Kind::Red && AtV2.DefiningClass == L;
+  const CompactEntry &AtV2 = Column[V2.index()];
+  return AtV2.kind() == EntryKind::Red && AtV2.DefiningClass == L;
 }
 
-/// Working state for one class's red candidate: the generalized red
-/// value (L, member V-set) plus representative provenance and the
-/// representative's composed access (the Section 6 access extension).
-struct CandidateState {
-  bool Present = false;
-  ClassId L;
-  std::vector<ClassId> Vs; // unsorted during accumulation; deduped
-  ClassId RepresentativeV;
-  ClassId Via;
-  AccessSpec Access = AccessSpec::Public;
-  bool StaticMerged = false;
-
-  void addV(ClassId V) {
-    if (std::find(Vs.begin(), Vs.end(), V) == Vs.end())
-      Vs.push_back(V);
-  }
+/// Per-thread accumulation scratch for computeEntry. The generalized
+/// red member set and the blue to-be-dominated list vary per entry but
+/// their *capacity* stabilizes quickly; reusing one set of vectors per
+/// thread removes the per-entry heap churn that dominated the old
+/// vector-of-vectors build. Each worker thread (ParallelTabulator) gets
+/// its own copy, so the kernel stays synchronization-free.
+struct ComputeScratch {
+  std::vector<ClassId> CandVs; ///< candidate's member V-set (unsorted)
+  std::vector<ClassId> NewVs;  ///< arriving red set composed across an edge
+  std::vector<BlueElement> ToBeDominated;
+  std::vector<BlueElement> Surviving;
 };
+
+ComputeScratch &computeScratch() {
+  thread_local ComputeScratch S;
+  return S;
+}
+
+void addUniqueV(std::vector<ClassId> &Vs, ClassId V) {
+  if (std::find(Vs.begin(), Vs.end(), V) == Vs.end())
+    Vs.push_back(V);
+}
 
 /// Reconstructs the witness path of a red entry by walking Via links.
 /// The witness runs ldc-first, so collect backwards and reverse.
-Path reconstructWitness(const std::vector<DominanceLookupEngine::Entry> &Column,
-                        ClassId Context) {
-  using Entry = DominanceLookupEngine::Entry;
+Path reconstructWitness(const CompactColumn &Column, ClassId Context) {
   std::vector<ClassId> Reversed;
   ClassId Cur = Context;
   while (true) {
     Reversed.push_back(Cur);
-    const Entry &E = Column[Cur.index()];
-    assert(E.EntryKind == Entry::Kind::Red && "witness of non-red entry");
+    const CompactEntry &E = Column[Cur.index()];
+    assert(E.kind() == EntryKind::Red && "witness of non-red entry");
     if (!E.Via.isValid())
       break;
     Cur = E.Via;
@@ -108,10 +110,10 @@ Path reconstructWitness(const std::vector<DominanceLookupEngine::Entry> &Column,
 } // namespace
 
 void DominanceLookupEngine::computeEntry(const Hierarchy &H,
-                                         std::vector<Entry> &Column, ClassId C,
+                                         CompactColumn &Column, ClassId C,
                                          Symbol Member, Stats &S) {
   ++S.EntriesComputed;
-  Entry &Out = Column[C.index()];
+  CompactEntry &Out = Column.slot(C.index());
 
   auto IsStaticIn = [&](ClassId L) {
     const MemberDecl *Decl = H.declaredMember(L, Member);
@@ -121,21 +123,27 @@ void DominanceLookupEngine::computeEntry(const Hierarchy &H,
   // Line [12]: a local declaration trivially dominates everything that
   // reaches C (it hides every inherited definition).
   if (const MemberDecl *Decl = H.declaredMember(C, Member)) {
-    Out.EntryKind = Entry::Kind::Red;
-    Out.DefiningClass = C;
-    Out.RedVs = {ClassId()};
-    Out.RepresentativeV = ClassId();
-    Out.Via = ClassId();
-    Out.Access = Decl->Access;
+    const ClassId Omega[1] = {ClassId()};
+    Column.setRed(Out, C, Omega, ClassId(), ClassId(), Decl->Access,
+                  /*StaticMerged=*/false);
     return;
   }
 
   // Lines [14]-[33]: fold the values arriving along each incoming edge,
   // maintaining at most one red candidate (now a member *set*, see the
   // header) and the blue abstractions it must dominate.
+  ComputeScratch &Scr = computeScratch();
+  std::vector<ClassId> &CandVs = Scr.CandVs;
+  std::vector<ClassId> &NewVs = Scr.NewVs;
+  std::vector<BlueElement> &ToBeDominated = Scr.ToBeDominated;
+  CandVs.clear();
+  ToBeDominated.clear();
+
   bool SawAnything = false;
-  CandidateState Cand;
-  std::vector<BlueElement> ToBeDominated;
+  bool CandPresent = false;
+  ClassId CandL, CandRepV, CandVia;
+  AccessSpec CandAccess = AccessSpec::Public;
+  bool CandStaticMerged = false;
 
   // Pre-size the accumulators from the incoming entries so the eager
   // path never regrows them mid-fold: every element they can receive
@@ -143,12 +151,14 @@ void DominanceLookupEngine::computeEntry(const Hierarchy &H,
   {
     size_t IncomingBlues = 0, IncomingReds = 0;
     for (const BaseSpecifier &Spec : H.info(C).DirectBases) {
-      const Entry &In = Column[Spec.Base.index()];
-      IncomingBlues += In.Blues.size();
-      IncomingReds += In.RedVs.size();
+      const CompactEntry &In = Column[Spec.Base.index()];
+      if (In.kind() == EntryKind::Blue)
+        IncomingBlues += In.PoolCount;
+      else if (In.kind() == EntryKind::Red)
+        IncomingReds += Column.redCount(In);
     }
     ToBeDominated.reserve(IncomingBlues + IncomingReds);
-    Cand.Vs.reserve(IncomingReds);
+    CandVs.reserve(IncomingReds);
   }
 
   // Duplicates are tolerated during accumulation and removed in one
@@ -162,20 +172,22 @@ void DominanceLookupEngine::computeEntry(const Hierarchy &H,
   };
 
   auto DemoteCandidateToBlue = [&]() {
-    for (ClassId V : Cand.Vs)
-      AddBlue(BlueElement{V, Cand.L});
-    Cand = CandidateState{};
+    for (ClassId V : CandVs)
+      AddBlue(BlueElement{V, CandL});
+    CandPresent = false;
+    CandVs.clear();
+    CandStaticMerged = false;
   };
 
   for (const BaseSpecifier &Spec : H.info(C).DirectBases) {
-    const Entry &In = Column[Spec.Base.index()];
-    if (In.EntryKind == Entry::Kind::Absent)
+    const CompactEntry &In = Column[Spec.Base.index()];
+    if (In.kind() == EntryKind::Absent)
       continue;
     SawAnything = true;
 
-    if (In.EntryKind == Entry::Kind::Blue) {
+    if (In.kind() == EntryKind::Blue) {
       // Lines [29]-[32]: compose every blue element across the edge.
-      for (const BlueElement &Elem : In.Blues) {
+      for (const BlueElement &Elem : Column.blues(In)) {
         ++S.BlueElementsMoved;
         AddBlue(BlueElement{composeAcross(Elem.LeastVirtual, Spec),
                             Elem.DefiningClass});
@@ -187,29 +199,25 @@ void DominanceLookupEngine::computeEntry(const Hierarchy &H,
     // composed access restricts the inherited access by the edge's
     // (Section 6: access is determined along the witness path; private
     // inheritance demotes, protected caps).
-    std::vector<ClassId> NewVs;
-    NewVs.reserve(In.RedVs.size());
-    for (ClassId V : In.RedVs) {
-      ClassId Composed = composeAcross(V, Spec);
-      if (std::find(NewVs.begin(), NewVs.end(), Composed) == NewVs.end())
-        NewVs.push_back(Composed);
-    }
+    NewVs.clear();
+    for (uint32_t I = 0, E = Column.redCount(In); I != E; ++I)
+      addUniqueV(NewVs, composeAcross(Column.redV(In, I), Spec));
     ClassId NewL = In.DefiningClass;
     ClassId NewRepV = composeAcross(In.RepresentativeV, Spec);
-    AccessSpec NewAccess = restrictAccess(In.Access, Spec.Access);
-    bool NewStaticMerged = In.StaticMerged;
+    AccessSpec NewAccess = restrictAccess(In.access(), Spec.Access);
+    bool NewStaticMerged = In.staticMerged();
 
     auto AdoptNew = [&]() {
-      Cand.Present = true;
-      Cand.L = NewL;
-      Cand.Vs = std::move(NewVs);
-      Cand.RepresentativeV = NewRepV;
-      Cand.Via = Spec.Base;
-      Cand.Access = NewAccess;
-      Cand.StaticMerged = NewStaticMerged;
+      CandPresent = true;
+      CandL = NewL;
+      CandVs.swap(NewVs);
+      CandRepV = NewRepV;
+      CandVia = Spec.Base;
+      CandAccess = NewAccess;
+      CandStaticMerged = NewStaticMerged;
     };
 
-    if (!Cand.Present) {
+    if (!CandPresent) {
       AdoptNew();
       continue;
     }
@@ -217,33 +225,33 @@ void DominanceLookupEngine::computeEntry(const Hierarchy &H,
     // Lines [18]-[28], set-generalized: keep whichever side covers the
     // other; for same-class statics, union what neither side covers;
     // otherwise mutual non-domination means ambiguity.
-    auto Covers = [&](ClassId LA, const std::vector<ClassId> &VsA,
-                      const std::vector<ClassId> &VsB) {
+    auto Covers = [&](ClassId LA, std::span<const ClassId> VsA,
+                      std::span<const ClassId> VsB) {
       for (ClassId V : VsB)
         if (!redCovers(H, LA, VsA, V, Column, S))
           return false;
       return true;
     };
 
-    if (Covers(Cand.L, Cand.Vs, NewVs)) {
+    if (Covers(CandL, CandVs, NewVs)) {
       // Existing candidate dominates the arrival (which includes the
       // virtual-sharing case where both edges deliver the very same
       // subobject).
       continue;
     }
-    if (Covers(NewL, NewVs, Cand.Vs)) {
+    if (Covers(NewL, NewVs, CandVs)) {
       AdoptNew();
       continue;
     }
 
-    if (Cand.L == NewL && IsStaticIn(NewL)) {
+    if (CandL == NewL && IsStaticIn(NewL)) {
       // Definition 17(2): one entity seen through several genuinely
       // distinct subobjects. Union the uncovered members: each must
       // keep constraining later competitors.
       for (ClassId V : NewVs)
-        if (!redCovers(H, Cand.L, Cand.Vs, V, Column, S))
-          Cand.addV(V);
-      Cand.StaticMerged = true;
+        if (!redCovers(H, CandL, CandVs, V, Column, S))
+          addUniqueV(CandVs, V);
+      CandStaticMerged = true;
       continue;
     }
 
@@ -258,63 +266,56 @@ void DominanceLookupEngine::computeEntry(const Hierarchy &H,
 
   DedupeBlues(ToBeDominated);
 
-  if (!Cand.Present) {
+  if (!CandPresent) {
     // Lines [34]-[35].
-    Out.EntryKind = Entry::Kind::Blue;
-    Out.Blues = std::move(ToBeDominated);
+    Column.setBlue(Out, ToBeDominated);
     return;
   }
 
   // Lines [36]-[44]: the candidate must cover every blue element;
   // same-class static elements are absorbed instead (one entity).
-  std::vector<BlueElement> Surviving;
-  Surviving.reserve(ToBeDominated.size() + Cand.Vs.size());
+  std::vector<BlueElement> &Surviving = Scr.Surviving;
+  Surviving.clear();
+  Surviving.reserve(ToBeDominated.size() + CandVs.size());
   for (const BlueElement &Elem : ToBeDominated) {
-    if (redCovers(H, Cand.L, Cand.Vs, Elem.LeastVirtual, Column, S))
+    if (redCovers(H, CandL, CandVs, Elem.LeastVirtual, Column, S))
       continue;
-    if (Elem.DefiningClass == Cand.L && IsStaticIn(Cand.L)) {
-      Cand.addV(Elem.LeastVirtual);
-      Cand.StaticMerged = true;
+    if (Elem.DefiningClass == CandL && IsStaticIn(CandL)) {
+      addUniqueV(CandVs, Elem.LeastVirtual);
+      CandStaticMerged = true;
       continue;
     }
     Surviving.push_back(Elem);
   }
 
   if (Surviving.empty()) {
-    Out.EntryKind = Entry::Kind::Red;
-    Out.DefiningClass = Cand.L;
-    std::sort(Cand.Vs.begin(), Cand.Vs.end());
-    Out.RedVs = std::move(Cand.Vs);
-    Out.RepresentativeV = Cand.RepresentativeV;
-    Out.Via = Cand.Via;
-    Out.Access = Cand.Access;
-    Out.StaticMerged = Cand.StaticMerged;
+    std::sort(CandVs.begin(), CandVs.end());
+    Column.setRed(Out, CandL, CandVs, CandRepV, CandVia, CandAccess,
+                  CandStaticMerged);
   } else {
-    for (ClassId V : Cand.Vs)
-      Surviving.push_back(BlueElement{V, Cand.L});
+    for (ClassId V : CandVs)
+      Surviving.push_back(BlueElement{V, CandL});
     std::sort(Surviving.begin(), Surviving.end());
     Surviving.erase(std::unique(Surviving.begin(), Surviving.end()),
                     Surviving.end());
-    Out.EntryKind = Entry::Kind::Blue;
-    Out.Blues = std::move(Surviving);
+    Column.setBlue(Out, Surviving);
   }
 }
 
-LookupResult
-DominanceLookupEngine::entryToResult(const Hierarchy &H,
-                                     const std::vector<Entry> &Column,
-                                     ClassId Context) {
-  const Entry &E = Column[Context.index()];
-  switch (E.EntryKind) {
-  case Entry::Kind::Absent:
+LookupResult DominanceLookupEngine::entryToResult(const Hierarchy &H,
+                                                  const CompactColumn &Column,
+                                                  ClassId Context) {
+  const CompactEntry &E = Column[Context.index()];
+  switch (E.kind()) {
+  case EntryKind::Absent:
     return LookupResult::notFound();
-  case Entry::Kind::Blue:
+  case EntryKind::Blue:
     // The blue abstraction intentionally forgets the candidate
     // subobjects (that is the point of the algorithm); entry() exposes
     // the abstraction itself, and explainAmbiguity() reconstructs the
     // candidates for diagnostics.
     return LookupResult::ambiguous({});
-  case Entry::Kind::Red:
+  case EntryKind::Red:
     break;
   }
 
@@ -327,14 +328,14 @@ DominanceLookupEngine::entryToResult(const Hierarchy &H,
          "witness abstraction disagrees with the table");
   SubobjectKey Key = subobjectKey(H, Witness);
   LookupResult R = LookupResult::unambiguous(
-      E.DefiningClass, std::move(Key), std::move(Witness), E.StaticMerged);
-  R.EffectiveAccess = E.Access;
+      E.DefiningClass, std::move(Key), std::move(Witness), E.staticMerged());
+  R.EffectiveAccess = E.access();
   return R;
 }
 
 void DominanceLookupEngine::ensureColumnStorage(uint32_t MemberIdx) {
   if (Columns[MemberIdx].empty()) {
-    Columns[MemberIdx].assign(H.numClasses(), Entry{});
+    Columns[MemberIdx].reset(H.numClasses());
     EntryComputed[MemberIdx] = BitVector(H.numClasses());
   }
 }
@@ -342,7 +343,7 @@ void DominanceLookupEngine::ensureColumnStorage(uint32_t MemberIdx) {
 void DominanceLookupEngine::computeColumn(uint32_t MemberIdx) {
   ensureColumnStorage(MemberIdx);
   Symbol Member = H.allMemberNames()[MemberIdx];
-  std::vector<Entry> &Column = Columns[MemberIdx];
+  CompactColumn &Column = Columns[MemberIdx];
   BitVector &Done = EntryComputed[MemberIdx];
 
   for (ClassId C : H.topologicalOrder()) {
@@ -366,7 +367,7 @@ void DominanceLookupEngine::computeEntryRecursive(uint32_t MemberIdx,
   // so pathological chains cannot overflow the call stack.
   ensureColumnStorage(MemberIdx);
   Symbol Member = H.allMemberNames()[MemberIdx];
-  std::vector<Entry> &Column = Columns[MemberIdx];
+  CompactColumn &Column = Columns[MemberIdx];
   BitVector &Done = EntryComputed[MemberIdx];
 
   std::vector<ClassId> Stack{Context};
@@ -392,13 +393,14 @@ void DominanceLookupEngine::computeEntryRecursive(uint32_t MemberIdx,
   }
 }
 
-const DominanceLookupEngine::Entry &
-DominanceLookupEngine::entry(ClassId Context, Symbol Member) {
+DominanceLookupEngine::Entry DominanceLookupEngine::entry(ClassId Context,
+                                                          Symbol Member) {
   assert(Context.isValid() && Context.index() < H.numClasses() &&
          "bad class id");
+  Entry Out;
   auto It = MemberIndex.find(Member);
   if (It == MemberIndex.end())
-    return AbsentEntry; // name never declared anywhere
+    return Out; // name never declared anywhere
 
   uint32_t MemberIdx = It->second;
   switch (TabulationMode) {
@@ -414,34 +416,89 @@ DominanceLookupEngine::entry(ClassId Context, Symbol Member) {
       computeEntryRecursive(MemberIdx, Context);
     break;
   }
-  return Columns[MemberIdx][Context.index()];
+
+  const CompactColumn &Col = Columns[MemberIdx];
+  const CompactEntry &E = Col[Context.index()];
+  Out.EntryKind = E.kind();
+  switch (E.kind()) {
+  case EntryKind::Absent:
+    break;
+  case EntryKind::Red:
+    Out.DefiningClass = E.DefiningClass;
+    Out.RedVs.reserve(Col.redCount(E));
+    for (uint32_t I = 0, N = Col.redCount(E); I != N; ++I)
+      Out.RedVs.push_back(Col.redV(E, I));
+    Out.RepresentativeV = E.RepresentativeV;
+    Out.Via = E.Via;
+    Out.StaticMerged = E.staticMerged();
+    Out.Access = E.access();
+    break;
+  case EntryKind::Blue: {
+    std::span<const BlueElement> Blues = Col.blues(E);
+    Out.Blues.assign(Blues.begin(), Blues.end());
+    break;
+  }
+  }
+  return Out;
 }
 
-uint64_t DominanceLookupEngine::approximateTableBytes() const {
+const CompactColumn *DominanceLookupEngine::column(Symbol Member) {
+  auto It = MemberIndex.find(Member);
+  if (It == MemberIndex.end())
+    return nullptr;
+  if (!columnFullyComputed(It->second))
+    computeColumn(It->second);
+  return &Columns[It->second];
+}
+
+uint64_t DominanceLookupEngine::tableHeapBytes() const {
   uint64_t Bytes = 0;
-  for (const std::vector<Entry> &Column : Columns) {
-    Bytes += Column.capacity() * sizeof(Entry);
-    for (const Entry &E : Column) {
-      Bytes += E.RedVs.capacity() * sizeof(ClassId);
-      Bytes += E.Blues.capacity() * sizeof(BlueElement);
-    }
-  }
+  for (const CompactColumn &Column : Columns)
+    Bytes += Column.heapBytes();
+  for (const BitVector &Done : EntryComputed)
+    Bytes += Done.heapBytes();
   return Bytes;
 }
 
+DominanceLookupEngine::MemoryStats DominanceLookupEngine::memoryStats() const {
+  MemoryStats M;
+  M.HeapBytes = tableHeapBytes();
+  for (const CompactColumn &Column : Columns) {
+    if (Column.empty())
+      continue;
+    ++M.ColumnsAllocated;
+    M.Pools += Column.poolStats();
+  }
+  return M;
+}
+
 LookupResult DominanceLookupEngine::lookup(ClassId Context, Symbol Member) {
-  const Entry &E = entry(Context, Member);
+  // Force the mode's tabulation for this entry, exactly as entry() does
+  // (minus the expansion).
+  auto It = MemberIndex.find(Member);
+  if (It == MemberIndex.end())
+    return LookupResult::notFound();
+  uint32_t MemberIdx = It->second;
+  switch (TabulationMode) {
+  case Mode::Eager:
+    break;
+  case Mode::Lazy:
+    if (!columnFullyComputed(MemberIdx))
+      computeColumn(MemberIdx);
+    break;
+  case Mode::LazyRecursive:
+    ensureColumnStorage(MemberIdx);
+    if (!EntryComputed[MemberIdx].test(Context.index()))
+      computeEntryRecursive(MemberIdx, Context);
+    break;
+  }
   if (DeadlineTripped) {
     // The tabulation may have stopped before reaching this entry; an
     // uncomputed slot reads as Absent, which would be a *wrong* answer.
     // Degrade it to Exhausted like a tripped step budget instead.
-    auto It = MemberIndex.find(Member);
-    if (It != MemberIndex.end() &&
-        (Columns[It->second].empty() ||
-         !EntryComputed[It->second].test(Context.index())))
+    if (Columns[MemberIdx].empty() ||
+        !EntryComputed[MemberIdx].test(Context.index()))
       return LookupResult::exhausted();
   }
-  if (E.EntryKind == Entry::Kind::Absent)
-    return LookupResult::notFound();
-  return entryToResult(H, Columns[MemberIndex.at(Member)], Context);
+  return entryToResult(H, Columns[MemberIdx], Context);
 }

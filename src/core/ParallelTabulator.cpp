@@ -18,11 +18,27 @@ uint32_t ParallelTabulator::resolveThreads(uint32_t Requested) {
   return Requested != 0 ? Requested : defaultTabulationThreads();
 }
 
+LookupResult ParallelTabulator::Column::resultFor(const Hierarchy &H,
+                                                  ClassId Context) const {
+  for (const auto &[Row, Answer] : Overrides)
+    if (Row == Context.index())
+      return Answer;
+  if (Context.index() >= Data.size() || !Computed.test(Context.index()))
+    return LookupResult::notFound();
+  return DominanceLookupEngine::entryToResult(H, Data, Context);
+}
+
+uint64_t ParallelTabulator::Column::heapBytes() const {
+  uint64_t Bytes = Data.heapBytes() + Computed.heapBytes();
+  Bytes += Overrides.capacity() * sizeof(Overrides[0]);
+  return Bytes;
+}
+
 namespace {
 
-/// Computes one member column start to finish and materializes it to
-/// LookupResults. Runs on a worker thread; touches only \p Out, \p S
-/// and the shared expiry flag - the hierarchy is immutable input.
+/// Computes one member column start to finish in compact form. Runs on
+/// a worker thread; touches only \p Out, \p S and the shared expiry
+/// flag - the hierarchy is immutable input.
 void tabulateColumn(const Hierarchy &H, Symbol Member, const Deadline &D,
                     std::atomic<bool> &ExpiredFlag,
                     ParallelTabulator::Column &Out,
@@ -31,12 +47,11 @@ void tabulateColumn(const Hierarchy &H, Symbol Member, const Deadline &D,
 
   uint32_t NumClasses = H.numClasses();
   Out.Computed = BitVector(NumClasses);
-  Out.Rows.assign(NumClasses, LookupResult::notFound());
+  Out.Data.reset(NumClasses);
 
   if (ExpiredFlag.load(std::memory_order_relaxed))
     return; // pre-expired: publish an empty (all-uncomputed) column
 
-  std::vector<Engine::Entry> Column(NumClasses);
   bool CheckDeadline = !D.unlimited();
   uint32_t SinceCheck = 0;
 
@@ -50,11 +65,15 @@ void tabulateColumn(const Hierarchy &H, Symbol Member, const Deadline &D,
         return; // the computed topological prefix stays valid
       }
     }
-    Engine::computeEntry(H, Column, C, Member, S);
-    Out.Rows[C.index()] = Engine::entryToResult(H, Column, C);
+    Engine::computeEntry(H, Out.Data, C, Member, S);
     Out.Computed.set(C.index());
   }
   Out.Complete = true;
+  // Finished columns are long-lived (shared across epochs); drop the
+  // pools' growth slack so heapBytes() is the real footprint, and hash
+  // once so structural dedup never re-reads a shared column's bytes.
+  Out.Data.shrinkPools();
+  Out.StructuralHash = Out.Data.structuralHash();
 }
 
 } // namespace

@@ -22,27 +22,36 @@ memlook::computeTableStatistics(const Hierarchy &H,
   Stats.MemberNames = static_cast<uint32_t>(H.allMemberNames().size());
   Stats.MemberDecls = H.numMemberDecls();
 
-  using Entry = DominanceLookupEngine::Entry;
+  // Tabulate every column up front, then sweep the compact entries
+  // directly - same class-major order as before (the MaxBlueSet
+  // tie-break is "first strict maximum in class-major order"), without
+  // expanding |N| x |M| entries through entry().
+  const std::vector<Symbol> &Members = H.allMemberNames();
+  std::vector<const CompactColumn *> Columns;
+  Columns.reserve(Members.size());
+  for (Symbol Member : Members)
+    Columns.push_back(Engine.column(Member));
+
   for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx) {
     ClassId C(Idx);
-    for (Symbol Member : H.allMemberNames()) {
+    for (size_t MI = 0; MI != Members.size(); ++MI) {
       ++Stats.Pairs;
-      const Entry &E = Engine.entry(C, Member);
-      switch (E.EntryKind) {
-      case Entry::Kind::Absent:
+      const CompactEntry &E = (*Columns[MI])[Idx];
+      switch (E.kind()) {
+      case EntryKind::Absent:
         ++Stats.NotFoundPairs;
         break;
-      case Entry::Kind::Red:
+      case EntryKind::Red:
         ++Stats.UnambiguousPairs;
-        if (E.StaticMerged)
+        if (E.staticMerged())
           ++Stats.SharedStaticPairs;
         break;
-      case Entry::Kind::Blue:
+      case EntryKind::Blue:
         ++Stats.AmbiguousPairs;
-        if (E.Blues.size() > Stats.MaxBlueSetSize) {
-          Stats.MaxBlueSetSize = E.Blues.size();
+        if (E.PoolCount > Stats.MaxBlueSetSize) {
+          Stats.MaxBlueSetSize = E.PoolCount;
           Stats.MaxBlueSetClass = C;
-          Stats.MaxBlueSetMember = Member;
+          Stats.MaxBlueSetMember = Members[MI];
         }
         break;
       }
@@ -55,6 +64,13 @@ memlook::computeTableStatistics(const Hierarchy &H,
       Stats.MaxSubobjectsClass = C;
     }
   }
+
+  DominanceLookupEngine::MemoryStats Mem = Engine.memoryStats();
+  Stats.TableHeapBytes = Mem.HeapBytes;
+  Stats.InlineRedEntries = Mem.Pools.InlineRedEntries;
+  Stats.OverflowRedEntries = Mem.Pools.OverflowRedEntries;
+  Stats.RedPoolElements = Mem.Pools.RedPoolElements;
+  Stats.BluePoolElements = Mem.Pools.BluePoolElements;
   return Stats;
 }
 
@@ -85,5 +101,9 @@ std::string memlook::formatTableStatistics(const Hierarchy &H,
   if (Stats.MaxSubobjectsClass.isValid())
     OS << " (" << H.className(Stats.MaxSubobjectsClass) << ")";
   OS << '\n';
+  OS << "memory: " << Stats.TableHeapBytes << " table bytes, red entries "
+     << Stats.InlineRedEntries << " inline / " << Stats.OverflowRedEntries
+     << " pooled (" << Stats.RedPoolElements << " pool elements), "
+     << Stats.BluePoolElements << " blue pool elements\n";
   return OS.str();
 }

@@ -186,10 +186,10 @@ memlook::service::runEditScriptCase(uint64_t Seed,
         for (uint32_t Idx = 0;
              Idx != NH.numClasses() && Result.Mismatches.size() < 16; ++Idx) {
           for (Symbol M : NH.allMemberNames()) {
-            std::string Rewarmed =
-                renderLookupForComparison(NH, Now->Table->find(ClassId(Idx), M));
-            std::string FromScratch =
-                renderLookupForComparison(NH, Scratch->find(ClassId(Idx), M));
+            std::string Rewarmed = renderLookupForComparison(
+                NH, Now->Table->find(NH, ClassId(Idx), M));
+            std::string FromScratch = renderLookupForComparison(
+                NH, Scratch->find(NH, ClassId(Idx), M));
             ++Result.PairsChecked;
             if (Rewarmed != FromScratch)
               Result.Mismatches.push_back(

@@ -54,6 +54,9 @@ LookupService::LookupService(Hierarchy Initial, ServiceOptions Options)
   if (Opts.WarmOnCommit) {
     Deadline BuildDeadline = warmDeadline();
     Snap->Table = LookupTable::build(*Snap->H, BuildDeadline, Opts.WarmThreads);
+    if (Snap->Table)
+      NumColumnsDeduped.fetch_add(Snap->Table->buildStats().ColumnsDeduped,
+                                  std::memory_order_relaxed);
   }
   Current = std::move(Snap);
 }
@@ -130,7 +133,7 @@ QueryAnswer LookupService::queryOn(const Snapshot &Snap, std::string_view Class,
   // Rung 0: the epoch's warm table - a constant-time const read.
   if (Snap.warm()) {
     NumRungAnswers[0].fetch_add(1, std::memory_order_relaxed);
-    Answer.Result = Snap.Table->find(Context, MemberSym);
+    Answer.Result = Snap.Table->find(*Snap.H, Context, MemberSym);
     Answer.Rung = AnswerRung::Tabulated;
     Answer.DeadlineExpired = D.expired();
     return Answer;
@@ -214,6 +217,8 @@ Status LookupService::commit(const Transaction &Txn) {
                                      std::memory_order_relaxed);
           NumColumnsRetabulated.fetch_add(B.ColumnsBuilt,
                                           std::memory_order_relaxed);
+          NumColumnsDeduped.fetch_add(B.ColumnsDeduped,
+                                      std::memory_order_relaxed);
         }
       }
     }
@@ -221,9 +226,13 @@ Status LookupService::commit(const Transaction &Txn) {
     // Full build: first epoch shape (cold/quarantined predecessor),
     // RemoveClass scripts, or a rewarm that missed its deadline (the
     // remaining budget may still cover a from-scratch parallel build).
-    if (!Next->Table)
+    if (!Next->Table) {
       Next->Table =
           LookupTable::build(*Next->H, BuildDeadline, Opts.WarmThreads);
+      if (Next->Table)
+        NumColumnsDeduped.fetch_add(Next->Table->buildStats().ColumnsDeduped,
+                                    std::memory_order_relaxed);
+    }
   }
   publish(std::move(Next));
   NumCommits.fetch_add(1, std::memory_order_relaxed);
@@ -247,6 +256,9 @@ Status LookupService::warmCurrent(const Deadline &D) {
     return Status::ok();
 
   auto Table = LookupTable::build(*Base->H, D, Opts.WarmThreads);
+  if (Table)
+    NumColumnsDeduped.fetch_add(Table->buildStats().ColumnsDeduped,
+                                std::memory_order_relaxed);
   if (!Table)
     return Status::error(ErrorCode::DeadlineExceeded,
                          "table build missed its deadline at epoch " +
@@ -316,7 +328,7 @@ AuditReport LookupService::auditNow() {
         static_cast<uint64_t>(H.numClasses()) * Members.size();
 
     auto CheckPair = [&](ClassId C, Symbol M) {
-      const LookupResult &Cached = Snap->Table->find(C, M);
+      LookupResult Cached = Snap->Table->find(H, C, M);
       LookupResult Live = Fresh.lookup(C, M);
       std::string CachedKey = renderLookupForComparison(H, Cached);
       std::string LiveKey = renderLookupForComparison(H, Live);
@@ -359,6 +371,9 @@ AuditReport LookupService::auditNow() {
     Next->H = Snap->H;
     Next->Table = LookupTable::build(*Snap->H, warmDeadline(),
                                      Opts.WarmThreads);
+    if (Next->Table)
+      NumColumnsDeduped.fetch_add(Next->Table->buildStats().ColumnsDeduped,
+                                  std::memory_order_relaxed);
     Next->RebuiltByAudit = true;
     publish(std::move(Next));
     NumTableRebuilds.fetch_add(1, std::memory_order_relaxed);
@@ -422,6 +437,9 @@ ServiceStats LookupService::stats() const {
   S.ColumnsShared = NumColumnsShared.load(std::memory_order_relaxed);
   S.ColumnsRetabulated =
       NumColumnsRetabulated.load(std::memory_order_relaxed);
+  S.ColumnsDeduped = NumColumnsDeduped.load(std::memory_order_relaxed);
+  if (std::shared_ptr<const Snapshot> Snap = snapshot(); Snap->Table)
+    S.TableHeapBytes = Snap->Table->heapBytes();
   return S;
 }
 
@@ -436,7 +454,8 @@ bool LookupService::corruptTableEntryForTesting(std::string_view Class,
   Symbol MemberSym = Snap->H->findName(Member);
   if (!Context.isValid() || !MemberSym.isValid())
     return false;
-  auto Corrupted = Snap->Table->cloneWithCorruptedEntry(Context, MemberSym);
+  auto Corrupted =
+      Snap->Table->cloneWithCorruptedEntry(*Snap->H, Context, MemberSym);
   if (!Corrupted)
     return false;
 

@@ -7,12 +7,56 @@
 
 #include "memlook/service/Snapshot.h"
 
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace memlook;
 using namespace memlook::service;
 
-const LookupResult LookupTable::NotFoundAnswer{};
+namespace {
+
+/// Structural column deduplication: point member indices whose finished
+/// columns are byte-identical at one shared Column object. Sound
+/// because a Complete column with no Overrides is exactly the
+/// deterministic kernel's output for its member name - value-immutable
+/// from publication on - so aliasing is unobservable through find().
+/// Returns the number of aliased pointers in excess of the distinct
+/// objects (i.e. how many columns' storage the table no longer pays
+/// for), counting pointers that already aliased on entry (cross-epoch
+/// rewarm sharing can re-derive a column identical to a shared one).
+uint32_t dedupStructurallyEqualColumns(
+    std::vector<std::shared_ptr<const LookupTable::Column>> &Columns) {
+  std::unordered_map<uint64_t,
+                     std::vector<std::shared_ptr<const LookupTable::Column>>>
+      Buckets;
+  for (std::shared_ptr<const LookupTable::Column> &Col : Columns) {
+    if (!Col || !Col->Complete || !Col->Overrides.empty())
+      continue;
+    // The hash was computed once at tabulation time; the only bytes a
+    // dedup pass reads are the memcmp of genuinely colliding columns.
+    auto &Bucket = Buckets[Col->StructuralHash];
+    bool Unified = false;
+    for (const std::shared_ptr<const LookupTable::Column> &Canonical :
+         Bucket) {
+      if (Canonical == Col || Canonical->Data == Col->Data) {
+        Col = Canonical; // first occurrence wins; no-op if already aliased
+        Unified = true;
+        break;
+      }
+    }
+    if (!Unified)
+      Bucket.push_back(Col);
+  }
+
+  std::unordered_set<const LookupTable::Column *> Distinct;
+  uint32_t Aliased = 0;
+  for (const std::shared_ptr<const LookupTable::Column> &Col : Columns)
+    if (Col && !Distinct.insert(Col.get()).second)
+      ++Aliased;
+  return Aliased;
+}
+
+} // namespace
 
 std::shared_ptr<const LookupTable>
 LookupTable::build(const Hierarchy &H, const Deadline &BuildDeadline,
@@ -31,6 +75,7 @@ LookupTable::build(const Hierarchy &H, const Deadline &BuildDeadline,
   for (uint32_t Idx = 0; Idx != Members.size(); ++Idx)
     Table->MemberIndex.emplace(Members[Idx], Idx);
   Table->Columns = std::move(R.Columns);
+  Table->Build.ColumnsDeduped = dedupStructurallyEqualColumns(Table->Columns);
   Table->Build.ColumnsBuilt = static_cast<uint32_t>(Members.size());
   Table->Build.ThreadsUsed = R.ThreadsUsed;
   Table->Build.Tabulation = R.TabulationStats;
@@ -85,6 +130,12 @@ LookupTable::rewarm(const Hierarchy &NewH, const Hierarchy &OldH,
   Table->Columns = std::move(R.Columns);
   for (const auto &[NewIdx, PrevIdx] : Shared)
     Table->Columns[NewIdx] = Prev.Columns[PrevIdx];
+  // Dedup after sharing, so a re-tabulated column that came out
+  // identical to a shared (shorter-or-equal, here equal-length only:
+  // retabbed columns span NewH) column still unifies. Columns of
+  // different lengths are never byte-equal, so a retabbed column over a
+  // grown hierarchy cannot wrongly unify with a short shared one.
+  Table->Build.ColumnsDeduped = dedupStructurallyEqualColumns(Table->Columns);
   Table->Build.ColumnsBuilt = static_cast<uint32_t>(Retab.size());
   Table->Build.ColumnsShared = static_cast<uint32_t>(Shared.size());
   Table->Build.ThreadsUsed = R.ThreadsUsed;
@@ -95,21 +146,18 @@ LookupTable::rewarm(const Hierarchy &NewH, const Hierarchy &OldH,
 uint64_t LookupTable::numEntries() const {
   uint64_t N = 0;
   for (const std::shared_ptr<const Column> &Col : Columns)
-    N += Col->Rows.size();
+    N += Col->numRows();
   return N;
 }
 
-uint64_t LookupTable::approximateBytes() const {
+uint64_t LookupTable::heapBytes() const {
   uint64_t Bytes = sizeof(LookupTable);
+  Bytes += Columns.capacity() * sizeof(Columns[0]);
+  std::unordered_set<const Column *> Seen;
   for (const std::shared_ptr<const Column> &Col : Columns) {
-    Bytes += sizeof(Column) + Col->Rows.capacity() * sizeof(LookupResult);
-    for (const LookupResult &R : Col->Rows) {
-      Bytes += R.AmbiguousCandidates.capacity() * sizeof(SubobjectKey);
-      if (R.Witness)
-        Bytes += R.Witness->Nodes.capacity() * sizeof(ClassId);
-      if (R.Subobject)
-        Bytes += R.Subobject->Fixed.capacity() * sizeof(ClassId);
-    }
+    if (!Col || !Seen.insert(Col.get()).second)
+      continue; // aliased (deduped or cross-epoch shared): charge once
+    Bytes += sizeof(Column) + Col->heapBytes();
   }
   Bytes += MemberIndex.size() * (sizeof(Symbol) + sizeof(uint32_t) +
                                  2 * sizeof(void *)); // node overhead, roughly
@@ -117,31 +165,26 @@ uint64_t LookupTable::approximateBytes() const {
 }
 
 std::shared_ptr<const LookupTable>
-LookupTable::cloneWithCorruptedEntry(ClassId Context, Symbol Member) const {
+LookupTable::cloneWithCorruptedEntry(const Hierarchy &H, ClassId Context,
+                                     Symbol Member) const {
   if (!Context.isValid() || Context.index() >= NumClasses)
     return nullptr;
   auto It = MemberIndex.find(Member);
   if (It == MemberIndex.end())
     return nullptr;
-  if (Context.index() >= Columns[It->second]->Rows.size())
+  const Column &Original = *Columns[It->second];
+  if (Context.index() >= Original.numRows())
     return nullptr; // shared short column: no materialized slot to damage
 
   std::shared_ptr<LookupTable> Copy(new LookupTable(*this));
-  auto Damaged = std::make_shared<Column>(*Copy->Columns[It->second]);
-  LookupResult &Slot = Damaged->Rows[Context.index()];
+  auto Damaged = std::make_shared<Column>(Original);
+  LookupResult Current = Original.resultFor(H, Context);
   // Any wrong answer works; pick one that changes the comparison key for
   // every possible original status.
-  switch (Slot.Status) {
-  case LookupStatus::Unambiguous:
-    Slot = LookupResult::ambiguous({});
-    break;
-  case LookupStatus::Ambiguous:
-    Slot = LookupResult::notFound();
-    break;
-  default:
-    Slot = LookupResult::ambiguous({});
-    break;
-  }
+  LookupResult Wrong = Current.Status == LookupStatus::Ambiguous
+                           ? LookupResult::notFound()
+                           : LookupResult::ambiguous({});
+  Damaged->Overrides.emplace_back(Context.index(), std::move(Wrong));
   Copy->Columns[It->second] = std::move(Damaged);
   return Copy;
 }

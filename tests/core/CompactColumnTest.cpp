@@ -1,0 +1,287 @@
+//===- CompactColumnTest.cpp - Compact storage + dedup ----------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compact column representation (CompactColumn.h) and everything
+/// built on it: inline-vs-pooled red sets, bytewise hashing/equality,
+/// witness-path reconstruction through Via chains stored compactly, and
+/// structural column dedup in LookupTable. The heart is a 500+
+/// random-hierarchy differential campaign comparing the deduped
+/// compact table against the Rossie-Friedman subobject reference
+/// (exact) and the g++ 2.7.2 BFS (approximate: it may over-report
+/// ambiguity, Figure 9, and is allowed exactly that deviation).
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/core/GxxBfsEngine.h"
+#include "memlook/core/SubobjectLookupEngine.h"
+#include "memlook/service/Snapshot.h"
+#include "memlook/workload/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace memlook;
+using namespace memlook::service;
+using namespace memlook::testutil;
+
+namespace {
+
+TEST(CompactColumnTest, EntryLayoutIsPodAndPadFree) {
+  // The static_asserts in the header are the real guards; restate the
+  // load-bearing numbers where a failure produces a test name.
+  EXPECT_EQ(sizeof(CompactEntry), 24u);
+  EXPECT_TRUE(std::has_unique_object_representations_v<CompactEntry>);
+  EXPECT_TRUE(std::is_trivially_copyable_v<CompactEntry>);
+
+  CompactEntry E;
+  EXPECT_EQ(E.kind(), EntryKind::Absent);
+  EXPECT_FALSE(E.staticMerged());
+}
+
+TEST(CompactColumnTest, SingletonRedInlinesAndLargerSetsPool) {
+  CompactColumn Col;
+  Col.reset(3);
+
+  // Row 0: singleton red set (the overwhelmingly common case).
+  const ClassId One[1] = {ClassId(7)};
+  Col.setRed(Col.slot(0), ClassId(1), One, ClassId(7), ClassId(),
+             AccessSpec::Public, false);
+  EXPECT_EQ(Col[0].kind(), EntryKind::Red);
+  EXPECT_EQ(Col[0].PoolCount, 0u);
+  EXPECT_EQ(Col.redCount(Col[0]), 1u);
+  EXPECT_EQ(Col.redV(Col[0], 0), ClassId(7));
+  EXPECT_TRUE(Col.redContains(Col[0], ClassId(7)));
+  EXPECT_FALSE(Col.redContains(Col[0], ClassId(8)));
+
+  // An inline singleton must round-trip Omega (the invalid id) too.
+  const ClassId Omega[1] = {ClassId()};
+  Col.setRed(Col.slot(1), ClassId(2), Omega, ClassId(), ClassId(),
+             AccessSpec::Private, true);
+  EXPECT_FALSE(Col.redV(Col[1], 0).isValid());
+  EXPECT_TRUE(Col[1].staticMerged());
+  EXPECT_EQ(Col[1].access(), AccessSpec::Private);
+
+  // Row 2: a merged static set spills to the red pool.
+  const ClassId Three[3] = {ClassId(2), ClassId(5), ClassId(9)};
+  Col.setRed(Col.slot(2), ClassId(1), Three, ClassId(5), ClassId(0),
+             AccessSpec::Protected, true);
+  EXPECT_EQ(Col[2].PoolCount, 3u);
+  EXPECT_EQ(Col.redCount(Col[2]), 3u);
+  EXPECT_EQ(Col.redV(Col[2], 1), ClassId(5));
+  EXPECT_TRUE(Col.redContains(Col[2], ClassId(9)));
+  EXPECT_FALSE(Col.redContains(Col[2], ClassId(7)));
+
+  CompactColumn::PoolStats S = Col.poolStats();
+  EXPECT_EQ(S.InlineRedEntries, 2u);
+  EXPECT_EQ(S.OverflowRedEntries, 1u);
+  EXPECT_EQ(S.RedPoolElements, 3u);
+  EXPECT_EQ(S.BlueEntries, 0u);
+  EXPECT_GT(Col.heapBytes(), 0u);
+}
+
+TEST(CompactColumnTest, HashAndEqualityAreStructural) {
+  auto Build = [](ClassId Via) {
+    CompactColumn Col;
+    Col.reset(2);
+    const ClassId One[1] = {ClassId(3)};
+    Col.setRed(Col.slot(0), ClassId(0), One, ClassId(3), Via,
+               AccessSpec::Public, false);
+    const BlueElement Blues[2] = {{ClassId(1), ClassId(0)},
+                                  {ClassId(2), ClassId(0)}};
+    Col.setBlue(Col.slot(1), Blues);
+    return Col;
+  };
+
+  CompactColumn A = Build(ClassId(1));
+  CompactColumn B = Build(ClassId(1));
+  CompactColumn C = Build(ClassId(2));
+  EXPECT_TRUE(A == B);
+  EXPECT_EQ(A.structuralHash(), B.structuralHash());
+  EXPECT_FALSE(A == C);
+  EXPECT_NE(A.structuralHash(), C.structuralHash());
+}
+
+//===----------------------------------------------------------------------===//
+// Witness reconstruction over compacted + deduped columns
+//===----------------------------------------------------------------------===//
+
+/// Compares every (class, member) answer of a deduped compact table
+/// against the Rossie-Friedman reference (exact) and the g++ BFS
+/// (allowed to over-report ambiguity only), and checks that every
+/// unambiguous table answer carries a valid witness path from the
+/// defining class down to the query context.
+void auditCompactTable(const Hierarchy &H, const char *Tag) {
+  std::shared_ptr<const LookupTable> Table = LookupTable::build(H);
+  ASSERT_NE(Table, nullptr) << Tag;
+
+  SubobjectLookupEngine Reference(H);
+  GxxBfsEngine Gxx(H);
+
+  for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx) {
+    ClassId C(Idx);
+    for (Symbol Member : H.allMemberNames()) {
+      LookupResult FromTable = Table->find(H, C, Member);
+
+      if (FromTable.Status == LookupStatus::Unambiguous &&
+          FromTable.Witness) {
+        const Path &W = *FromTable.Witness;
+        EXPECT_TRUE(isValidPath(H, W))
+            << Tag << ": invalid witness for " << H.className(C)
+            << "::" << H.spelling(Member);
+        EXPECT_EQ(W.ldc(), FromTable.DefiningClass);
+        EXPECT_EQ(W.mdc(), C);
+      }
+
+      LookupResult Exact = Reference.lookup(C, Member);
+      if (Exact.Status != LookupStatus::Overflow)
+        EXPECT_EQ(comparisonKey(H, FromTable), comparisonKey(H, Exact))
+            << Tag << ": table disagrees with rossie-friedman on "
+            << H.className(C) << "::" << H.spelling(Member);
+
+      // The g++ baseline is only comparable where the paper compares
+      // it: members with no static declarations. Its one-entity mirror
+      // of Definition 17(2) checks a skipped same-class static pair
+      // against nothing later, so in the static regime it deviates in
+      // *both* directions; statics get their exact coverage from the
+      // rossie-friedman comparison above.
+      bool HasStaticDecl = false;
+      for (uint32_t DI = 0; DI != H.numClasses() && !HasStaticDecl; ++DI)
+        if (const MemberDecl *D = H.declaredMember(ClassId(DI), Member))
+          HasStaticDecl = D->IsStatic;
+      if (HasStaticDecl)
+        continue;
+      LookupResult Approx = Gxx.lookup(C, Member);
+      if (Approx.Status == LookupStatus::Overflow)
+        continue;
+      // Figure 9: the BFS may say Ambiguous where the truth is
+      // Unambiguous. Every other deviation is a bug.
+      if (FromTable.Status == LookupStatus::Unambiguous &&
+          Approx.Status == LookupStatus::Ambiguous)
+        continue;
+      EXPECT_EQ(comparisonKey(H, FromTable), comparisonKey(H, Approx))
+          << Tag << ": table vs gxx beyond the allowed over-ambiguity on "
+          << H.className(C) << "::" << H.spelling(Member);
+    }
+  }
+}
+
+TEST(CompactWitnessDifferentialTest, PaperFiguresAndFamilies) {
+  auditCompactTable(makeFigure1(), "figure1");
+  auditCompactTable(makeFigure2(), "figure2");
+  auditCompactTable(makeFigure3(), "figure3");
+  auditCompactTable(makeFigure9(), "figure9");
+  auditCompactTable(makeGrid(4, 4).H, "grid");
+  auditCompactTable(makeVirtualDiamondStack(6).H, "v-diamonds");
+  auditCompactTable(makeModularForest(4, 2, 2, 4, 2).H, "modular");
+}
+
+class CompactWitnessCampaignTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(CompactWitnessCampaignTest, RandomHierarchies) {
+  // Each instance audits a batch of seeds; 13 instances x 40 seeds =
+  // 520 random hierarchies through the full differential.
+  RandomHierarchyParams Params;
+  Params.NumClasses = 14;
+  Params.AvgBases = 1.8;
+  Params.VirtualEdgeChance = 0.3;
+  Params.MemberPool = 4;
+  Params.DeclareChance = 0.3;
+  Params.StaticChance = 0.2; // merged sets exercise the red pool
+  Params.UsingChance = 0.1;
+  for (uint64_t Seed = GetParam() * 40; Seed != GetParam() * 40 + 40; ++Seed)
+    auditCompactTable(makeRandomHierarchy(Params, Seed * 2246822519u + 11).H,
+                      "campaign");
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, CompactWitnessCampaignTest,
+                         ::testing::Range<uint64_t>(0, 13));
+
+TEST(CompactDedupTest, SharedColumnYieldsDistinctWitnessPathsPerContext) {
+  // Pinned: alpha and beta are declared identically on Base, so their
+  // finished columns are byte-identical and the table stores one Column
+  // object for both - yet each (member, context) query must still
+  // reconstruct its own witness path out of the shared Via chains.
+  HierarchyBuilder B;
+  B.addClass("Base").withMember("alpha").withMember("beta");
+  B.addClass("Mid").withVirtualBase("Base");
+  B.addClass("Leaf").withBase("Mid").withVirtualBase("Base");
+  Hierarchy H = std::move(B).build();
+
+  std::shared_ptr<const LookupTable> Table = LookupTable::build(H);
+  ASSERT_NE(Table, nullptr);
+  EXPECT_GE(Table->buildStats().ColumnsDeduped, 1u);
+
+  ClassId Base = H.findClass("Base");
+  ClassId Mid = H.findClass("Mid");
+  ClassId Leaf = H.findClass("Leaf");
+
+  for (const char *Member : {"alpha", "beta"}) {
+    Symbol M = H.findName(Member);
+    LookupResult AtMid = Table->find(H, Mid, M);
+    LookupResult AtLeaf = Table->find(H, Leaf, M);
+    ASSERT_EQ(AtMid.Status, LookupStatus::Unambiguous) << Member;
+    ASSERT_EQ(AtLeaf.Status, LookupStatus::Unambiguous) << Member;
+    ASSERT_TRUE(AtMid.Witness && AtLeaf.Witness) << Member;
+
+    // Different contexts, different witness paths - both valid, both
+    // rooted at Base, each ending at its own context.
+    EXPECT_NE(*AtMid.Witness, *AtLeaf.Witness) << Member;
+    for (const LookupResult *R : {&AtMid, &AtLeaf}) {
+      EXPECT_TRUE(isValidPath(H, *R->Witness)) << Member;
+      EXPECT_EQ(R->Witness->ldc(), Base) << Member;
+      EXPECT_EQ(R->DefiningClass, Base) << Member;
+    }
+    EXPECT_EQ(AtMid.Witness->mdc(), Mid) << Member;
+    EXPECT_EQ(AtLeaf.Witness->mdc(), Leaf) << Member;
+  }
+
+  // The dedup saved real bytes: the same table without sharing (one
+  // engine-owned column per member) is strictly larger per column.
+  DominanceLookupEngine Engine(H);
+  EXPECT_LT(Table->heapBytes(),
+            Engine.tableHeapBytes() + sizeof(LookupTable) + 4096)
+      << "sanity: deduped table is in the same ballpark as the engine's";
+}
+
+TEST(CompactDedupTest, CorruptionOverlayDoesNotLeakIntoDedupedSibling) {
+  // The corruption hook must damage one (member, context) answer
+  // without touching the byte-identical sibling that shares the Column
+  // object - Overrides live on a per-member copy, never in the shared
+  // compact data.
+  HierarchyBuilder B;
+  B.addClass("Base").withMember("alpha").withMember("beta");
+  B.addClass("Leaf").withBase("Base");
+  Hierarchy H = std::move(B).build();
+
+  std::shared_ptr<const LookupTable> Table = LookupTable::build(H);
+  ASSERT_NE(Table, nullptr);
+  ASSERT_GE(Table->buildStats().ColumnsDeduped, 1u);
+
+  ClassId Leaf = H.findClass("Leaf");
+  Symbol Alpha = H.findName("alpha");
+  Symbol Beta = H.findName("beta");
+
+  std::shared_ptr<const LookupTable> Damaged =
+      Table->cloneWithCorruptedEntry(H, Leaf, Alpha);
+  ASSERT_NE(Damaged, nullptr);
+
+  EXPECT_NE(Damaged->find(H, Leaf, Alpha).Status,
+            Table->find(H, Leaf, Alpha).Status)
+      << "corruption hook failed to change the answer";
+  EXPECT_EQ(comparisonKey(H, Damaged->find(H, Leaf, Beta)),
+            comparisonKey(H, Table->find(H, Leaf, Beta)))
+      << "corrupting alpha leaked into beta through the shared column";
+  EXPECT_EQ(comparisonKey(H, Table->find(H, Leaf, Alpha)),
+            comparisonKey(H, Table->find(H, Leaf, Beta)))
+      << "original table changed underneath the clone";
+}
+
+} // namespace

@@ -31,7 +31,7 @@ class Figure8Test : public ::testing::Test {
 protected:
   Figure8Test() : H(makeFigure3()), Engine(H) {}
 
-  const Entry &entryOf(const char *Class, const char *Member) {
+  Entry entryOf(const char *Class, const char *Member) {
     return Engine.entry(H.findClass(Class), H.findName(Member));
   }
 

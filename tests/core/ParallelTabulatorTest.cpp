@@ -43,11 +43,11 @@ void expectMatchesSerial(const Hierarchy &H, uint32_t Threads) {
     ASSERT_NE(R.Columns[MIdx], nullptr);
     const ParallelTabulator::Column &Col = *R.Columns[MIdx];
     ASSERT_TRUE(Col.Complete);
-    ASSERT_EQ(Col.Rows.size(), H.numClasses());
+    ASSERT_EQ(Col.numRows(), H.numClasses());
     EXPECT_EQ(Col.Computed.count(), Col.Computed.size());
     for (uint32_t CIdx = 0; CIdx != H.numClasses(); ++CIdx) {
       LookupResult FromEngine = Serial.lookup(ClassId(CIdx), Members[MIdx]);
-      EXPECT_EQ(renderLookupForComparison(H, Col.Rows[CIdx]),
+      EXPECT_EQ(renderLookupForComparison(H, Col.resultFor(H, ClassId(CIdx))),
                 renderLookupForComparison(H, FromEngine))
           << H.className(ClassId(CIdx)) << "::" << H.spelling(Members[MIdx])
           << " at " << Threads << " threads";
@@ -84,11 +84,16 @@ TEST(ParallelTabulatorTest, ThreadCountNeverChangesAnswers) {
         ParallelTabulator::tabulateAll(W.H, Deadline::never(), Threads);
     ASSERT_TRUE(Many.Complete);
     ASSERT_EQ(Many.Columns.size(), One.Columns.size());
-    for (size_t Idx = 0; Idx != One.Columns.size(); ++Idx)
-      for (size_t Row = 0; Row != One.Columns[Idx]->Rows.size(); ++Row)
-        EXPECT_EQ(
-            renderLookupForComparison(W.H, Many.Columns[Idx]->Rows[Row]),
-            renderLookupForComparison(W.H, One.Columns[Idx]->Rows[Row]));
+    for (size_t Idx = 0; Idx != One.Columns.size(); ++Idx) {
+      // Identical builds produce byte-identical compact columns - the
+      // determinism that makes structural dedup sound.
+      EXPECT_TRUE(Many.Columns[Idx]->Data == One.Columns[Idx]->Data);
+      for (uint32_t Row = 0; Row != One.Columns[Idx]->numRows(); ++Row)
+        EXPECT_EQ(renderLookupForComparison(
+                      W.H, Many.Columns[Idx]->resultFor(W.H, ClassId(Row))),
+                  renderLookupForComparison(
+                      W.H, One.Columns[Idx]->resultFor(W.H, ClassId(Row))));
+    }
     // The kernel counters are column-granular, so their merged totals
     // are schedule-independent.
     EXPECT_EQ(Many.TabulationStats.EntriesComputed,
@@ -158,7 +163,7 @@ TEST(ParallelTabulatorTest, ExpiryMidBuildLeavesValidTopologicalPrefix) {
           EXPECT_TRUE(Col.Computed.test(Spec.Base.index()))
               << "computed entry above an uncomputed base: not a "
                  "topological prefix";
-        EXPECT_EQ(renderLookupForComparison(H, Col.Rows[CIdx]),
+        EXPECT_EQ(renderLookupForComparison(H, Col.resultFor(H, ClassId(CIdx))),
                   renderLookupForComparison(
                       H, Serial.lookup(ClassId(CIdx), Members[MIdx])));
       }

@@ -17,7 +17,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "memlook/chg/HierarchyBuilder.h"
 #include "memlook/core/DifferentialCheck.h"
+#include "memlook/core/DominanceLookupEngine.h"
 #include "memlook/service/EditScriptFuzz.h"
 #include "memlook/service/LookupService.h"
 #include "memlook/service/Snapshot.h"
@@ -56,7 +58,7 @@ std::vector<std::string> renderTable(const Hierarchy &H,
   for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx)
     for (Symbol Member : H.allMemberNames())
       Out.push_back(
-          renderLookupForComparison(H, Table.find(ClassId(Idx), Member)));
+          renderLookupForComparison(H, Table.find(H, ClassId(Idx), Member)));
   return Out;
 }
 
@@ -185,8 +187,72 @@ TEST(RewarmTest, NewClassReadsNotFoundOffSharedShortColumns) {
   EXPECT_FALSE(contains(Impact.MemberNames, "t0_m0"));
   EXPECT_TRUE(contains(Impact.MemberNames, "t1_m0"));
   EXPECT_EQ(renderTable(New, *Rewarmed), renderTable(New, *Scratch));
-  EXPECT_EQ(Rewarmed->find(Fresh, New.findName("t0_m0")).Status,
+  EXPECT_EQ(Rewarmed->find(New, Fresh, New.findName("t0_m0")).Status,
             LookupStatus::NotFound);
+}
+
+TEST(RewarmTest, DedupNeverMutatesSharedColumnsInPlace) {
+  // PR 3's sharing invariant under dedup: a rewarm may alias the old
+  // epoch's columns (cross-epoch sharing) and unify byte-identical ones
+  // (structural dedup), but must never write through either. Render the
+  // old table before and after the rewarm - any in-place mutation of a
+  // shared or deduped column would change the old epoch's answers.
+  Workload W = makeModularForest(6, 2, 2, 4, 2);
+  std::shared_ptr<const LookupTable> Old = LookupTable::build(W.H);
+  ASSERT_NE(Old, nullptr);
+  std::vector<std::string> OldAnswersBefore = renderTable(W.H, *Old);
+
+  std::vector<Transaction::Op> Ops;
+  Ops.push_back(Transaction::Op{Transaction::OpKind::AddMember, "T1", "",
+                                "t1_fresh", InheritanceKind::NonVirtual,
+                                AccessSpec::Public, false, true});
+  Hierarchy New = applyOps(W.H, Ops);
+  ImpactSet Impact = computeImpactSet(W.H, New, Ops);
+  ASSERT_FALSE(Impact.FullRebuild);
+
+  std::shared_ptr<const LookupTable> Rewarmed =
+      LookupTable::rewarm(New, W.H, *Old, Impact.MemberNames);
+  ASSERT_NE(Rewarmed, nullptr);
+
+  EXPECT_EQ(renderTable(W.H, *Old), OldAnswersBefore)
+      << "rewarm mutated a column shared with the predecessor epoch";
+  std::shared_ptr<const LookupTable> Scratch =
+      LookupTable::build(New, Deadline::never(), /*Threads=*/1);
+  ASSERT_NE(Scratch, nullptr);
+  EXPECT_EQ(renderTable(New, *Rewarmed), renderTable(New, *Scratch));
+
+  // ColumnsBuilt/ColumnsShared keep their PR 3 meanings; dedup is the
+  // separate pointer-unification counter.
+  const LookupTable::BuildStats &Stats = Rewarmed->buildStats();
+  EXPECT_EQ(Stats.ColumnsBuilt + Stats.ColumnsShared,
+            New.allMemberNames().size());
+  EXPECT_EQ(Stats.ColumnsDeduped, Scratch->buildStats().ColumnsDeduped);
+}
+
+TEST(RewarmTest, DedupSavesBytesWhenColumnsCoincide) {
+  // Two member names declared identically on the same class produce
+  // byte-identical columns; the table must store them once and report
+  // both the dedup hit and the byte saving.
+  HierarchyBuilder B;
+  B.addClass("Base").withMember("alpha").withMember("beta");
+  B.addClass("Mid").withVirtualBase("Base");
+  B.addClass("Leaf").withBase("Mid").withVirtualBase("Base");
+  Hierarchy H = std::move(B).build();
+
+  std::shared_ptr<const LookupTable> Table = LookupTable::build(H);
+  ASSERT_NE(Table, nullptr);
+  EXPECT_GE(Table->buildStats().ColumnsDeduped, 1u);
+
+  // Both names still answer independently and correctly.
+  DominanceLookupEngine Engine(H);
+  for (const char *Member : {"alpha", "beta"})
+    for (const char *Class : {"Base", "Mid", "Leaf"}) {
+      ClassId C = H.findClass(Class);
+      EXPECT_EQ(renderLookupForComparison(H,
+                                          Table->find(H, C, H.findName(Member))),
+                renderLookupForComparison(H, Engine.lookup(C, H.findName(Member))))
+          << Class << "::" << Member;
+    }
 }
 
 TEST(ServiceTest, CommitRewarmsIncrementallyAndCountsIt) {

@@ -423,6 +423,133 @@ TEST(ServiceStressTest, ParallelRewarmCommitsRaceReaders) {
   EXPECT_TRUE(Final.passed()) << Final.toString();
 }
 
+namespace {
+
+/// Renders a fixed set of (class, member) answers straight off a pinned
+/// snapshot's table - the deduped compact columns themselves, no ladder
+/// in between.
+std::vector<std::string> renderPinnedPairs(
+    const Snapshot &Snap,
+    const std::vector<std::pair<std::string, std::string>> &Pairs) {
+  std::vector<std::string> Out;
+  const Hierarchy &H = *Snap.H;
+  for (const auto &[Class, Member] : Pairs) {
+    ClassId C = H.findClass(Class);
+    Symbol M = H.findName(Member);
+    if (!C.isValid() || !M.isValid()) {
+      Out.push_back("<absent>");
+      continue;
+    }
+    Out.push_back(renderLookupForComparison(H, Snap.Table->find(H, C, M)));
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(ServiceStressTest, DedupedColumnsStayFrozenUnderRewarmRaces) {
+  // The value-immutability proof for structural dedup: readers pin a
+  // warm snapshot whose table contains deduped columns (the modular
+  // forest's shared names g0/g1 are declared identically on every root,
+  // so their finished columns are byte-identical and unified), render a
+  // fixed pair set once, then re-render in a loop - while a writer
+  // commits edits whose incremental rewarms alias those very columns
+  // into new epochs and re-run dedup over the mixed shared/rebuilt
+  // column set. Any in-place mutation of a shared column is either a
+  // render divergence here or a TSan report under the tsan preset.
+  Workload W = makeModularForest(6, 2, 2, 4, 2);
+
+  std::vector<std::pair<std::string, std::string>> Pairs;
+  for (uint32_t T = 0; T != 6; ++T)
+    for (const char *Member : {"g0", "g1", "t0_m0", "ghost"})
+      Pairs.emplace_back("T" + std::to_string(T) + "_1_1", Member);
+
+  ServiceOptions Opts;
+  Opts.WarmOnCommit = true;
+  Opts.AuditEngineCheck = false;
+  Opts.AuditSampleLimit = 32;
+  LookupService Svc(std::move(W.H), Opts);
+  ASSERT_TRUE(Svc.snapshot()->warm());
+  ASSERT_GE(Svc.snapshot()->Table->buildStats().ColumnsDeduped, 1u)
+      << "the fixture must actually exercise dedup";
+
+  constexpr int NumReaders = 3;
+  std::atomic<bool> Done{false};
+  std::vector<uint64_t> Divergences(NumReaders, 0);
+  std::vector<std::thread> Readers;
+  for (int Idx = 0; Idx != NumReaders; ++Idx)
+    Readers.emplace_back([&, Idx] {
+      // Pin whatever epoch is current when this reader starts; the
+      // writer will rewarm past it while we keep re-reading it.
+      std::shared_ptr<const Snapshot> Pinned = Svc.snapshot();
+      while (!Pinned->warm())
+        Pinned = Svc.snapshot();
+      std::vector<std::string> First = renderPinnedPairs(*Pinned, Pairs);
+      uint64_t Iter = 0;
+      while ((Iter < 256 || !Done.load(std::memory_order_acquire)) &&
+             Iter < 200000) {
+        ++Iter;
+        if (renderPinnedPairs(*Pinned, Pairs) != First)
+          ++Divergences[Idx];
+        // Every few rounds, also chase the newest epoch once (reading
+        // the columns the rewarm just aliased) and re-pin our original.
+        if (Iter % 8 == 0) {
+          std::shared_ptr<const Snapshot> Now = Svc.snapshot();
+          if (Now->warm())
+            (void)renderPinnedPairs(*Now, Pairs);
+        }
+      }
+    });
+
+  uint64_t ValidFailures = 0;
+  {
+    Rng R(0xd0d0);
+    for (uint64_t I = 0; I != 48; ++I) {
+      Transaction Txn = Svc.beginTxn();
+      std::string Root = "T" + std::to_string(R.nextBelow(6));
+      if (I % 3 == 0) {
+        // A tree-local edit: the other trees' columns - including the
+        // deduped g0/g1 pair - are aliased, then deduped again.
+        Txn.addMember(Root, "local" + std::to_string(I));
+      } else if (I % 3 == 1) {
+        std::string Fresh = "Q" + std::to_string(I);
+        Txn.addClass(Fresh).addBase(Fresh, Root,
+                                    R.nextChance(1, 3)
+                                        ? InheritanceKind::Virtual
+                                        : InheritanceKind::NonVirtual);
+      } else {
+        // Declare a shared name further down one tree: g0's column is
+        // re-tabulated and must *stop* being deduped with g1's without
+        // disturbing the pinned epochs that still unify them. The
+        // (class, name) combos are unique across iterations, so every
+        // one of these commits is valid.
+        uint64_t K = I / 3;
+        Txn.addMember("T" + std::to_string(K % 6) + "_0",
+                      "g" + std::to_string(K / 6));
+      }
+      if (!Svc.commit(Txn).isOk())
+        ++ValidFailures;
+    }
+  }
+  Done.store(true, std::memory_order_release);
+  for (std::thread &T : Readers)
+    T.join();
+
+  EXPECT_EQ(ValidFailures, 0u);
+  for (int Idx = 0; Idx != NumReaders; ++Idx)
+    EXPECT_EQ(Divergences[Idx], 0u)
+        << "reader " << Idx
+        << ": a pinned table's answers changed under rewarm+dedup";
+
+  ServiceStats Stats = Svc.stats();
+  EXPECT_GT(Stats.IncrementalRewarms, 0u);
+  EXPECT_GE(Stats.ColumnsDeduped, 1u);
+  EXPECT_EQ(Stats.AuditMismatches, 0u);
+
+  AuditReport Final = Svc.auditNow();
+  EXPECT_TRUE(Final.passed()) << Final.toString();
+}
+
 TEST(ServiceStressTest, DeadlineExpiryMidParallelBuildLeavesEpochCold) {
   // A 1ms warm budget on a hierarchy whose full tabulation costs far
   // more: every in-commit parallel build trips its deadline mid-flight
