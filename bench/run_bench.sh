@@ -37,14 +37,30 @@ if [ -n "${GEOMEAN_LINE}" ]; then
   SERIAL="$(printf '%s' "${GEOMEAN_LINE}" | grep -o '"serial_build_ms": [0-9.eE+-]*' | cut -d' ' -f2 || true)"
   SPEEDUP="$(printf '%s' "${GEOMEAN_LINE}" | grep -o '"parallel_speedup": [0-9.eE+-]*' | cut -d' ' -f2 || true)"
   BYTES="$(printf '%s' "${GEOMEAN_LINE}" | grep -o '"table_bytes": [0-9.eE+-]*' | cut -d' ' -f2 || true)"
+  # snapshot_load_ms appeared with the persistence subsystem; tolerate
+  # its absence so the script still summarizes older JSON files.
+  SNAPLOAD="$(printf '%s' "${GEOMEAN_LINE}" | grep -o '"snapshot_load_ms": [0-9.eE+-]*' | cut -d' ' -f2 || true)"
   SUMMARY="geomean: serial ${SERIAL:-?} ms"
   if [ -n "${SPEEDUP}" ]; then
     SUMMARY="${SUMMARY}, parallel speedup x${SPEEDUP}"
   else
     SUMMARY="${SUMMARY}, parallel speedup n/a (1-worker pool)"
   fi
+  if [ -n "${SNAPLOAD}" ]; then
+    SUMMARY="${SUMMARY}, snapshot load ${SNAPLOAD} ms"
+  fi
   if [ -n "${BYTES}" ]; then
     SUMMARY="${SUMMARY}, table bytes ${BYTES}"
   fi
   echo "${SUMMARY}"
 fi
+
+# Per-workload snapshot columns (absent in pre-persistence JSON).
+grep -o '"name": "[a-z_]*"' "${OUT}" | cut -d'"' -f4 | while read -r NAME; do
+  WLINE="$(grep -A3 "\"name\": \"${NAME}\"" "${OUT}" | tr '\n' ' ')"
+  WLOAD="$(printf '%s' "${WLINE}" | grep -o '"snapshot_load_ms": [0-9.eE+-]*' | head -1 | cut -d' ' -f2 || true)"
+  WBYTES="$(printf '%s' "${WLINE}" | grep -o '"snapshot_bytes": [0-9.eE+-]*' | head -1 | cut -d' ' -f2 || true)"
+  if [ -n "${WLOAD}" ]; then
+    echo "  ${NAME}: snapshot load ${WLOAD} ms, ${WBYTES:-?} bytes"
+  fi
+done

@@ -28,10 +28,22 @@
 //   $ ./fuzz_mlk --edits          # 200 edit-script cases, seeds 1..200
 //   $ ./fuzz_mlk --edits 500 77   # 500 cases starting at seed 77
 //
+// The --snapshots mode fuzzes the *snapshot loader*: each seed derives a
+// random hierarchy, tabulates and serializes it, then mutates the bytes
+// (bit flips, truncations, section swaps, length lies - half of them
+// re-checksummed to reach the structural validators) and loads them
+// under the untrusted-input budget. Unsealed mutations must be rejected
+// with a recoverable Status; anything that loads must answer exactly
+// like a fresh tabulation over its own hierarchy:
+//
+//   $ ./fuzz_mlk --snapshots        # 200 snapshot cases, seeds 1..200
+//   $ ./fuzz_mlk --snapshots 1000 7 # 1000 cases starting at seed 7
+//
 //===----------------------------------------------------------------------===//
 
 #include "memlook/frontend/FuzzHarness.h"
 #include "memlook/service/EditScriptFuzz.h"
+#include "memlook/service/SnapshotFuzz.h"
 
 #include <cstdlib>
 #include <cstring>
@@ -48,8 +60,36 @@ static bool parseCount(const char *Text, uint64_t &Out) {
 static int usage(const char *Prog) {
   std::cerr << "usage: " << Prog << " [count] [firstSeed]\n"
             << "       " << Prog << " --edits [count] [firstSeed]\n"
+            << "       " << Prog << " --snapshots [count] [firstSeed]\n"
             << "       " << Prog << " --dump <seed>\n";
   return 2;
+}
+
+static int runSnapshotsMode(int ArgC, char **ArgV) {
+  uint64_t Count = 200, FirstSeed = 1;
+  if (ArgC > 4 || (ArgC > 2 && !parseCount(ArgV[2], Count)) ||
+      (ArgC > 3 && !parseCount(ArgV[3], FirstSeed)))
+    return usage(ArgV[0]);
+
+  service::SnapshotFuzzCampaignReport Report =
+      service::runSnapshotFuzzCampaign(FirstSeed, Count,
+                                       ResourceBudget::untrustedInput());
+
+  for (const service::SnapshotFuzzCaseResult &Failure : Report.Failures) {
+    std::cout << "FAILURE at seed " << Failure.Seed
+              << " (reproduce: ./fuzz_mlk --snapshots 1 " << Failure.Seed
+              << "):\n";
+    for (const std::string &Mismatch : Failure.Mismatches)
+      std::cout << "  " << Mismatch << '\n';
+  }
+
+  std::cout << "fuzzed " << Report.CasesRun << " snapshots ("
+            << Report.RoundsRun << " mutation rounds): "
+            << Report.RoundsRejected << " rejected with a Status, "
+            << Report.RoundsLoaded << " loaded, " << Report.PairsChecked
+            << " lookups compared, " << Report.Failures.size()
+            << " failing cases\n";
+  return Report.passed() ? 0 : 1;
 }
 
 static int runEditsMode(int ArgC, char **ArgV) {
@@ -81,6 +121,8 @@ static int runEditsMode(int ArgC, char **ArgV) {
 int main(int ArgC, char **ArgV) {
   if (ArgC >= 2 && std::strcmp(ArgV[1], "--edits") == 0)
     return runEditsMode(ArgC, ArgV);
+  if (ArgC >= 2 && std::strcmp(ArgV[1], "--snapshots") == 0)
+    return runSnapshotsMode(ArgC, ArgV);
   if (ArgC >= 2 && std::strcmp(ArgV[1], "--dump") == 0) {
     uint64_t Seed;
     if (ArgC != 3 || !parseCount(ArgV[2], Seed))

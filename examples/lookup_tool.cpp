@@ -40,6 +40,8 @@
 #include "memlook/frontend/Parser.h"
 #include "memlook/frontend/SourcePrinter.h"
 #include "memlook/service/LookupService.h"
+#include "memlook/service/SnapshotFile.h"
+#include "memlook/support/AtomicFile.h"
 #include "memlook/support/Deadline.h"
 
 #include <cstdlib>
@@ -68,9 +70,21 @@ int usage(const char *Prog) {
       << "  --stats          print aggregate lookup-table statistics\n"
       << "  --emit-source F  re-emit the hierarchy as mini-language text\n"
       << "  --dot-chg FILE   write the class hierarchy graph as DOT\n"
-      << "  --dot-sog C FILE write the subobject graph of class C\n";
+      << "  --dot-sog C FILE write the subobject graph of class C\n"
+      << "  --save FILE      write a checksummed snapshot (hierarchy +\n"
+      << "                   tabulated table) for later --load\n"
+      << "  --load FILE      restore from a snapshot; the input file is\n"
+      << "                   the rebuild fallback. Combines with --serve\n"
+      << "                   (warm start) and --query. Exits 4 when a bad\n"
+      << "                   snapshot was quarantined and rebuilt.\n";
   return 2;
 }
+
+/// Exit code for "the run succeeded, but only because the recovery
+/// ladder quarantined a bad snapshot and rebuilt from source" -
+/// distinct from usage (2) and hard failures (1), so supervisors can
+/// alert on silent snapshot rot without treating it as downtime.
+constexpr int ExitQuarantinedLoad = 4;
 
 std::unique_ptr<LookupEngine> makeEngine(const std::string &Name,
                                          const Hierarchy &H) {
@@ -168,15 +182,7 @@ bool recordEdit(service::Transaction &Txn,
   return true;
 }
 
-int runServe(Hierarchy H) {
-  Expected<std::unique_ptr<service::LookupService>> SvcOr =
-      service::LookupService::create(std::move(H));
-  if (!SvcOr.hasValue()) {
-    std::cerr << "error: " << SvcOr.status().toString() << '\n';
-    return 1;
-  }
-  service::LookupService &Svc = **SvcOr;
-
+int runServeOn(service::LookupService &Svc) {
   std::cout << "memlook service: epoch " << Svc.currentEpoch()
             << ", table " << (Svc.tableHealth().isOk() ? "warm" : "cold")
             << ". Type `help` for commands.\n";
@@ -296,6 +302,16 @@ int runServe(Hierarchy H) {
   return 0;
 }
 
+int runServe(Hierarchy H) {
+  Expected<std::unique_ptr<service::LookupService>> SvcOr =
+      service::LookupService::create(std::move(H));
+  if (!SvcOr.hasValue()) {
+    std::cerr << "error: " << SvcOr.status().toString() << '\n';
+    return 1;
+  }
+  return runServeOn(**SvcOr);
+}
+
 } // namespace
 
 int main(int ArgC, char **ArgV) {
@@ -313,6 +329,7 @@ int main(int ArgC, char **ArgV) {
   bool PrintStats = false;
   bool Serve = false;
   std::string EmitSourceFile;
+  std::string SaveFile, LoadFile;
 
   for (int I = 2; I < ArgC; ++I) {
     std::string Arg = ArgV[I];
@@ -337,6 +354,10 @@ int main(int ArgC, char **ArgV) {
     } else if (Arg == "--dot-sog" && I + 2 < ArgC) {
       DotSogClass = ArgV[++I];
       DotSogFile = ArgV[++I];
+    } else if (Arg == "--save" && I + 1 < ArgC) {
+      SaveFile = ArgV[++I];
+    } else if (Arg == "--load" && I + 1 < ArgC) {
+      LoadFile = ArgV[++I];
     } else {
       std::cerr << ArgV[0] << ": error: unknown option '" << Arg << "'\n";
       return usage(ArgV[0]);
@@ -370,10 +391,64 @@ int main(int ArgC, char **ArgV) {
     return 1;
   Hierarchy &H = Program->H;
 
+  // Restore mode: the snapshot file is the primary state and the parsed
+  // hierarchy is the recovery ladder's rebuild fallback. Queries (and
+  // --serve) run against the restored service; the batch-mode options
+  // below do not apply.
+  if (!LoadFile.empty()) {
+    service::RestoreReport Report;
+    Expected<std::unique_ptr<service::LookupService>> SvcOr =
+        service::LookupService::restore(LoadFile, std::move(H),
+                                        service::ServiceOptions(), &Report);
+    if (!SvcOr.hasValue()) {
+      std::cerr << ArgV[0] << ": error: " << SvcOr.status().toString()
+                << '\n';
+      return 1;
+    }
+    std::cerr << Report.toString() << '\n';
+    service::LookupService &Svc = **SvcOr;
+    int RC = 0;
+    if (Serve) {
+      RC = runServeOn(Svc);
+    } else {
+      std::shared_ptr<const service::Snapshot> Snap = Svc.snapshot();
+      for (const std::string &Query : Queries) {
+        size_t Sep = Query.find("::");
+        if (Sep == std::string::npos) {
+          std::cerr << ArgV[0] << ": error: bad query '" << Query
+                    << "' (want C::m)\n";
+          return usage(ArgV[0]);
+        }
+        std::string Class = Query.substr(0, Sep);
+        std::string Member = Query.substr(Sep + 2);
+        printAnswer(*Snap->H, Class, Member,
+                    Svc.queryOn(*Snap, Class, Member));
+      }
+    }
+    if (RC == 0 && Report.FileQuarantined)
+      return ExitQuarantinedLoad;
+    return RC;
+  }
+
   // Service REPL mode takes over the parsed hierarchy entirely; the
   // batch-mode options below do not apply.
   if (Serve)
     return runServe(std::move(H));
+
+  // Persist before anything else consumes the hierarchy: parse ->
+  // tabulate -> atomically replace the snapshot file.
+  if (!SaveFile.empty()) {
+    std::shared_ptr<const service::LookupTable> Table =
+        service::LookupTable::build(H);
+    Status S = writeFileAtomic(SaveFile,
+                               service::serializeSnapshot(/*Epoch=*/1, H,
+                                                          Table.get()));
+    if (!S.isOk()) {
+      std::cerr << ArgV[0] << ": error: " << S.toString() << '\n';
+      return 1;
+    }
+    std::cerr << "saved snapshot to " << SaveFile << '\n';
+  }
 
   std::unique_ptr<LookupEngine> Engine = makeEngine(EngineName, H);
   if (!Engine) {

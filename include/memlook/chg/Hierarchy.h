@@ -230,15 +230,15 @@ public:
     return VirtualClosure.test(Derived.index(), Base.index());
   }
 
-  /// The set of (transitive) bases of \p Derived as a bit row indexed by
-  /// class index.
-  const BitVector &basesOf(ClassId Derived) const {
+  /// The set of (transitive) bases of \p Derived as a bit-row view
+  /// indexed by class index (valid while this hierarchy lives).
+  BitRowView basesOf(ClassId Derived) const {
     assert(Finalized && "closures require finalize()");
     return BasesClosure.row(Derived.index());
   }
 
-  /// The set of virtual bases of \p Derived as a bit row.
-  const BitVector &virtualBasesOf(ClassId Derived) const {
+  /// The set of virtual bases of \p Derived as a bit-row view.
+  BitRowView virtualBasesOf(ClassId Derived) const {
     assert(Finalized && "closures require finalize()");
     return VirtualClosure.row(Derived.index());
   }

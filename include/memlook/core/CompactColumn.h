@@ -29,6 +29,14 @@
 /// columns built by the deterministic kernel are byte-equal, which is
 /// what makes structural column deduplication (LookupTable) a memcmp.
 ///
+/// A column either *owns* its storage (the kernel build path: three
+/// vectors) or *borrows* it (the snapshot load path: three spans into a
+/// caller-provided arena, pinned by a keepalive handle). Borrowing is
+/// what makes a warm start cheap - the loader validates the arena bytes
+/// in place and never copies the table - at the cost that a borrowed
+/// column keeps its whole arena alive. Readers cannot tell the modes
+/// apart; the mutating interface is owned-mode only.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MEMLOOK_CORE_COMPACTCOLUMN_H
@@ -37,6 +45,7 @@
 #include "memlook/chg/Hierarchy.h"
 
 #include <cstring>
+#include <memory>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -116,22 +125,26 @@ class CompactColumn {
 public:
   CompactColumn() = default;
 
-  bool empty() const { return Entries.empty(); }
-  uint32_t size() const { return static_cast<uint32_t>(Entries.size()); }
+  bool empty() const { return entries().empty(); }
+  uint32_t size() const { return static_cast<uint32_t>(entries().size()); }
 
   /// (Re)initializes to \p NumClasses all-Absent entries with empty
-  /// pools.
+  /// pools, in owned mode (dropping any borrowed arena).
   void reset(uint32_t NumClasses) {
+    Keepalive.reset();
     Entries.assign(NumClasses, CompactEntry{});
     RedPool.clear();
     BluePool.clear();
   }
 
-  const CompactEntry &operator[](uint32_t Row) const { return Entries[Row]; }
+  const CompactEntry &operator[](uint32_t Row) const { return entries()[Row]; }
 
   /// Mutable slot access for the kernel. An entry must be written (via
-  /// setRed/setBlue, or left Absent) exactly once.
-  CompactEntry &slot(uint32_t Row) { return Entries[Row]; }
+  /// setRed/setBlue, or left Absent) exactly once. Owned mode only.
+  CompactEntry &slot(uint32_t Row) {
+    assert(!Keepalive && "borrowed columns are immutable");
+    return Entries[Row];
+  }
 
   //===--------------------------------------------------------------------===
   // Red member set (singleton inlined, larger sets pooled)
@@ -147,14 +160,15 @@ public:
       return ClassId(E.InlineOrOffset);
     }
     assert(I < E.PoolCount && "red set index out of range");
-    return RedPool[E.InlineOrOffset + I];
+    return redPool()[E.InlineOrOffset + I];
   }
 
   bool redContains(const CompactEntry &E, ClassId V) const {
     if (E.PoolCount == 0)
       return E.InlineOrOffset == V.rawValue();
+    std::span<const ClassId> Pool = redPool();
     for (uint32_t I = 0; I != E.PoolCount; ++I)
-      if (RedPool[E.InlineOrOffset + I] == V)
+      if (Pool[E.InlineOrOffset + I] == V)
         return true;
     return false;
   }
@@ -166,6 +180,7 @@ public:
               std::span<const ClassId> SortedVs, ClassId RepresentativeV,
               ClassId Via, AccessSpec Access, bool StaticMerged) {
     assert(!SortedVs.empty() && "a red member set is never empty");
+    assert(!Keepalive && "borrowed columns are immutable");
     E.DefiningClass = DefiningClass;
     E.RepresentativeV = RepresentativeV;
     E.Via = Via;
@@ -188,11 +203,12 @@ public:
 
   std::span<const BlueElement> blues(const CompactEntry &E) const {
     assert(E.kind() == EntryKind::Blue && "blues of a non-blue entry");
-    return {BluePool.data() + E.InlineOrOffset, E.PoolCount};
+    return bluePool().subspan(E.InlineOrOffset, E.PoolCount);
   }
 
   /// Writes a blue entry; \p SortedBlues must be sorted and unique.
   void setBlue(CompactEntry &E, std::span<const BlueElement> SortedBlues) {
+    assert(!Keepalive && "borrowed columns are immutable");
     E.KindAndFlags = static_cast<uint8_t>(EntryKind::Blue);
     E.InlineOrOffset = static_cast<uint32_t>(BluePool.size());
     E.PoolCount = static_cast<uint32_t>(SortedBlues.size());
@@ -200,20 +216,78 @@ public:
   }
 
   //===--------------------------------------------------------------------===
+  // Raw storage access (snapshot persistence)
+  //===--------------------------------------------------------------------===
+
+  /// The serializer's view of the column: the exact POD arrays, no
+  /// interpretation. Entries/pool elements have unique object
+  /// representations (static_asserts above), so writing these bytes and
+  /// reading them back reconstructs a value-equal column.
+  std::span<const CompactEntry> rawEntries() const { return entries(); }
+  std::span<const ClassId> rawRedPool() const { return redPool(); }
+  std::span<const BlueElement> rawBluePool() const { return bluePool(); }
+
+  /// Adopts pre-built storage wholesale - a snapshot loader entry
+  /// point, after it has bounds-checked and semantically validated every
+  /// entry against the hierarchy (CompactColumn itself cannot: validity
+  /// of offsets is checkable here, but Via links and kinds only make
+  /// sense against the CHG, which a column does not hold).
+  static CompactColumn fromRaw(std::vector<CompactEntry> Entries,
+                               std::vector<ClassId> RedPool,
+                               std::vector<BlueElement> BluePool) {
+    CompactColumn Col;
+    Col.Entries = std::move(Entries);
+    Col.RedPool = std::move(RedPool);
+    Col.BluePool = std::move(BluePool);
+    return Col;
+  }
+
+  /// Borrows pre-validated storage in place: the spans must point into
+  /// memory that \p Keepalive pins for at least the column's lifetime
+  /// (the snapshot loader passes slices of the snapshot's own byte
+  /// buffer, so a warm start never copies the table). The same
+  /// validation obligations as fromRaw() apply, plus alignment: every
+  /// span must be aligned for its element type - the snapshot format
+  /// guarantees this by padding sections to 8 bytes, and the loader
+  /// re-checks it at runtime before borrowing.
+  static CompactColumn fromBorrowed(std::shared_ptr<const void> Keepalive,
+                                    std::span<const CompactEntry> Entries,
+                                    std::span<const ClassId> RedPool,
+                                    std::span<const BlueElement> BluePool) {
+    CompactColumn Col;
+    Col.Keepalive = std::move(Keepalive);
+    Col.BorrowedEntries = Entries;
+    Col.BorrowedRed = RedPool;
+    Col.BorrowedBlue = BluePool;
+    return Col;
+  }
+
+  /// Whether this column borrows its storage from an external arena.
+  bool borrowed() const { return Keepalive != nullptr; }
+
+  //===--------------------------------------------------------------------===
   // Footprint, hashing, equality
   //===--------------------------------------------------------------------===
 
   /// Trims pool capacity to size. Called once a column is finished so
   /// heapBytes() reports the exact long-lived footprint, not growth
-  /// slack.
+  /// slack. No-op for borrowed columns.
   void shrinkPools() {
     RedPool.shrink_to_fit();
     BluePool.shrink_to_fit();
   }
 
-  /// Exact heap footprint of this column (capacities, since capacity is
-  /// what the allocator actually holds).
+  /// Exact heap footprint of this column: owned capacities (capacity is
+  /// what the allocator actually holds), or the borrowed slices' bytes -
+  /// the column's share of its arena. Shares of one arena never overlap,
+  /// so summing heapBytes() over a loaded table counts each arena byte
+  /// at most once (arena slack, e.g. section padding, is not billed to
+  /// any column).
   uint64_t heapBytes() const {
+    if (Keepalive)
+      return uint64_t(BorrowedEntries.size_bytes()) +
+             uint64_t(BorrowedRed.size_bytes()) +
+             uint64_t(BorrowedBlue.size_bytes());
     return uint64_t(Entries.capacity()) * sizeof(CompactEntry) +
            uint64_t(RedPool.capacity()) * sizeof(ClassId) +
            uint64_t(BluePool.capacity()) * sizeof(BlueElement);
@@ -240,52 +314,85 @@ public:
 
   PoolStats poolStats() const {
     PoolStats S;
-    for (const CompactEntry &E : Entries) {
+    for (const CompactEntry &E : entries()) {
       if (E.kind() == EntryKind::Red)
         ++(E.PoolCount == 0 ? S.InlineRedEntries : S.OverflowRedEntries);
       else if (E.kind() == EntryKind::Blue)
         ++S.BlueEntries;
     }
-    S.RedPoolElements = RedPool.size();
-    S.BluePoolElements = BluePool.size();
+    S.RedPoolElements = redPool().size();
+    S.BluePoolElements = bluePool().size();
     return S;
   }
 
-  /// FNV-1a over the entry array and both pools. Sound as a structural
-  /// hash because entries and pool elements have unique object
-  /// representations (static_asserts above) and the kernel writes
-  /// columns deterministically, so value-equal columns are byte-equal.
+  /// FNV-1a folded eight bytes at a time over the entry array and both
+  /// pools. Sound as a structural hash because entries and pool
+  /// elements have unique object representations (static_asserts above)
+  /// and the kernel writes columns deterministically, so value-equal
+  /// columns are byte-equal. The word-wide fold matters: the hash runs
+  /// over every finished column at tabulation time; a byte-serial
+  /// multiply chain was a measurable slice of build time. The hash is an
+  /// in-process dedup key, not a wire value - structural dedup
+  /// byte-compares columns before aliasing them - so changing the fold
+  /// width is safe.
   uint64_t structuralHash() const {
     uint64_t Hsh = 0xcbf29ce484222325ULL;
     auto Mix = [&Hsh](const void *Data, size_t Bytes) {
       const auto *P = static_cast<const unsigned char *>(Data);
-      for (size_t I = 0; I != Bytes; ++I) {
-        Hsh ^= P[I];
-        Hsh *= 0x100000001b3ULL;
+      size_t I = 0;
+      for (; I + 8 <= Bytes; I += 8) {
+        uint64_t Word;
+        std::memcpy(&Word, P + I, 8);
+        Hsh = (Hsh ^ Word) * 0x100000001b3ULL;
       }
+      for (; I != Bytes; ++I)
+        Hsh = (Hsh ^ P[I]) * 0x100000001b3ULL;
     };
-    Mix(Entries.data(), Entries.size() * sizeof(CompactEntry));
-    Mix(RedPool.data(), RedPool.size() * sizeof(ClassId));
-    Mix(BluePool.data(), BluePool.size() * sizeof(BlueElement));
+    std::span<const CompactEntry> Es = entries();
+    std::span<const ClassId> Rs = redPool();
+    std::span<const BlueElement> Bs = bluePool();
+    Mix(Es.data(), Es.size_bytes());
+    Mix(Rs.data(), Rs.size_bytes());
+    Mix(Bs.data(), Bs.size_bytes());
     return Hsh;
   }
 
   friend bool operator==(const CompactColumn &A, const CompactColumn &B) {
     auto BytesEqual = [](const auto &X, const auto &Y) {
-      using T = typename std::remove_reference_t<decltype(X)>::value_type;
       return X.size() == Y.size() &&
              (X.empty() ||
-              std::memcmp(X.data(), Y.data(), X.size() * sizeof(T)) == 0);
+              std::memcmp(X.data(), Y.data(), X.size_bytes()) == 0);
     };
-    return BytesEqual(A.Entries, B.Entries) &&
-           BytesEqual(A.RedPool, B.RedPool) &&
-           BytesEqual(A.BluePool, B.BluePool);
+    return BytesEqual(A.entries(), B.entries()) &&
+           BytesEqual(A.redPool(), B.redPool()) &&
+           BytesEqual(A.bluePool(), B.bluePool());
   }
 
 private:
+  // Read accessors resolve the storage mode once; everything public
+  // reads through these, so owned and borrowed columns are
+  // indistinguishable to readers.
+  std::span<const CompactEntry> entries() const {
+    return Keepalive ? BorrowedEntries : std::span<const CompactEntry>(Entries);
+  }
+  std::span<const ClassId> redPool() const {
+    return Keepalive ? BorrowedRed : std::span<const ClassId>(RedPool);
+  }
+  std::span<const BlueElement> bluePool() const {
+    return Keepalive ? BorrowedBlue : std::span<const BlueElement>(BluePool);
+  }
+
+  // Owned storage (empty in borrowed mode).
   std::vector<CompactEntry> Entries;
   std::vector<ClassId> RedPool;
   std::vector<BlueElement> BluePool;
+  // Borrowed storage: views into an arena Keepalive pins. Non-null
+  // Keepalive is what "borrowed mode" means; default copy/move keep the
+  // views valid because they alias the arena, never this object.
+  std::shared_ptr<const void> Keepalive;
+  std::span<const CompactEntry> BorrowedEntries;
+  std::span<const ClassId> BorrowedRed;
+  std::span<const BlueElement> BorrowedBlue;
 };
 
 } // namespace memlook

@@ -94,6 +94,43 @@ struct QueryAnswer {
   bool TableQuarantined = false;
 };
 
+/// The rung of the recovery ladder that produced a restored service's
+/// initial state (LookupService::restore()).
+enum class RestoreRung : uint8_t {
+  /// The snapshot file: loaded, structurally validated, checksum-clean,
+  /// and spot-audited against a live kernel.
+  Snapshot = 0,
+  /// The fallback: full tabulation from the caller's source hierarchy,
+  /// because no usable snapshot existed (missing, corrupt, or failed
+  /// the restore audit - SnapshotStatus says which).
+  RebuildFromSource = 1,
+};
+
+/// Returns "snapshot" / "rebuild-from-source".
+const char *restoreRungLabel(RestoreRung Rung);
+
+/// Structured outcome of one LookupService::restore() call.
+struct RestoreReport {
+  RestoreRung Rung = RestoreRung::RebuildFromSource;
+  /// Ok when the snapshot rung served; otherwise why it was passed
+  /// over (SnapshotIoError / SnapshotVersionMismatch /
+  /// SnapshotChecksumMismatch / SnapshotMalformed / BudgetExceeded /
+  /// TableQuarantined when the restore audit caught a wrong answer).
+  Status SnapshotStatus;
+  /// Epoch the restored service starts at.
+  uint64_t Epoch = 0;
+  /// Member columns the restore audit recomputed and compared.
+  uint64_t AuditColumnsChecked = 0;
+  /// True when a bad snapshot file was moved aside for post-mortem.
+  bool FileQuarantined = false;
+  /// Where it was moved (Path + ".quarantined"), when FileQuarantined.
+  std::string QuarantinePath;
+
+  /// One-line structured diagnostic, e.g.
+  /// "restore: rung=snapshot epoch=7, 8 columns audited".
+  std::string toString() const;
+};
+
 /// Service tuning knobs.
 struct ServiceOptions {
   /// Construction-side caps for transactions (classes/edges/members)
@@ -124,6 +161,12 @@ struct ServiceOptions {
   /// Also run the engine-vs-engine DifferentialCheck in every audit.
   /// Exact but O(full table); disable for huge hierarchies.
   bool AuditEngineCheck = true;
+  /// Member columns restore() recomputes with a live kernel and
+  /// compares against the loaded table before trusting a snapshot
+  /// (0 disables the audit; the whole table is audited when it has
+  /// fewer columns). Structural validation already proved the table
+  /// *well-formed*; this samples that it is also *right*.
+  uint32_t RestoreAuditColumns = 8;
 };
 
 /// Monotone operation counters (all reads are racy-by-design totals).
@@ -148,6 +191,9 @@ struct ServiceStats {
   /// Exact heap bytes of the *current* snapshot's table (0 when cold) -
   /// a gauge sampled at stats() time, not a monotone counter.
   uint64_t TableHeapBytes = 0;
+  uint64_t SnapshotSaves = 0;    ///< saveSnapshot() calls that hit disk
+  uint64_t SnapshotRestores = 0; ///< restores served from the snapshot rung
+  uint64_t SnapshotQuarantines = 0; ///< snapshot files moved aside as bad
 };
 
 /// Structured outcome of one self-audit pass.
@@ -187,6 +233,36 @@ public:
   /// Recoverable twin: NotFinalized instead of the constructor assert.
   static Expected<std::unique_ptr<LookupService>>
   create(Hierarchy Initial, ServiceOptions Options = ServiceOptions());
+
+  //===--------------------------------------------------------------------===
+  // Durable snapshots (SnapshotFile.h)
+  //===--------------------------------------------------------------------===
+
+  /// Cold-starts a service down the recovery ladder:
+  ///
+  ///  1. **snapshot rung**: read + validate the file at \p Path (size
+  ///     caps, checksums, structural validation), then recompute
+  ///     RestoreAuditColumns member columns with a live kernel and
+  ///     require byte-for-byte agreement with the loaded table;
+  ///  2. **rebuild rung**: on any snapshot failure, quarantine the file
+  ///     (rename to \p Path + ".quarantined", preserving the evidence)
+  ///     and tabulate from \p FallbackSource as epoch 1.
+  ///
+  /// \p Report (optional) records which rung served and why. The only
+  /// overall failure is an unusable fallback: NotFinalized when the
+  /// snapshot rung did not serve and \p FallbackSource is not
+  /// finalized. A warm service restored from a snapshot answers
+  /// identically to one rebuilt from source - the persistence tests
+  /// hold exactly that comparison.
+  static Expected<std::unique_ptr<LookupService>>
+  restore(const std::string &Path, Hierarchy FallbackSource,
+          ServiceOptions Options = ServiceOptions(),
+          RestoreReport *Report = nullptr);
+
+  /// Atomically writes the current snapshot (epoch, hierarchy, and the
+  /// table when warm - a quarantined table is never persisted) to
+  /// \p Path via temp-file + fsync + rename.
+  Status saveSnapshot(const std::string &Path) const;
 
   ~LookupService();
 
@@ -283,6 +359,15 @@ public:
                                    std::string_view Member);
 
 private:
+  /// Restore-rung constructor: adopts an already-loaded epoch (possibly
+  /// > 1) instead of tabulating from scratch. The table may be null
+  /// (cold snapshot file); WarmOnCommit then builds it here.
+  struct RestoreTag {};
+  LookupService(RestoreTag, uint64_t Epoch,
+                std::shared_ptr<const Hierarchy> H,
+                std::shared_ptr<const LookupTable> Table,
+                ServiceOptions Options);
+
   void publish(std::shared_ptr<const Snapshot> Next);
 
   /// The table build deadline commit() uses (WarmBuildMillis).
@@ -302,7 +387,8 @@ private:
       NumCommitConflicts{0}, NumAbortedTxns{0}, NumQueries{0},
       NumUnknownContexts{0}, NumAudits{0}, NumAuditMismatches{0},
       NumQuarantines{0}, NumTableRebuilds{0}, NumIncrementalRewarms{0},
-      NumColumnsShared{0}, NumColumnsRetabulated{0}, NumColumnsDeduped{0};
+      NumColumnsShared{0}, NumColumnsRetabulated{0}, NumColumnsDeduped{0},
+      NumSnapshotSaves{0}, NumSnapshotRestores{0}, NumSnapshotQuarantines{0};
   mutable std::atomic<uint64_t> NumRungAnswers[3] = {{0}, {0}, {0}};
 
   // Background audit thread state.

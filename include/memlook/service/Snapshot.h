@@ -107,6 +107,16 @@ public:
          const Deadline &BuildDeadline = Deadline::never(),
          uint32_t Threads = 0);
 
+  /// Assembles a table directly from per-member column pointers - the
+  /// snapshot loader's factory, bypassing tabulation. \p Columns must be
+  /// indexed like \p H.allMemberNames(), all non-null, Complete,
+  /// Override-free, and already validated against \p H (SnapshotFile.h
+  /// owns that validation); aliased pointers preserve structural-dedup
+  /// sharing and are re-counted into ColumnsDeduped.
+  static std::shared_ptr<const LookupTable>
+  fromColumns(const Hierarchy &H,
+              std::vector<std::shared_ptr<const Column>> Columns);
+
   /// The tabulated answer for (\p Context, \p Member), materialized on
   /// read from the compact column (so it is returned by value). Names
   /// never declared anywhere in the epoch's hierarchy answer NotFound.
@@ -136,6 +146,17 @@ public:
   uint64_t heapBytes() const;
 
   const BuildStats &buildStats() const { return Build; }
+
+  /// The per-member column pointers, indexed like the hierarchy's
+  /// allMemberNames(). Exposed (const) for the snapshot serializer -
+  /// which must see pointer aliasing to store deduped columns once -
+  /// and for tests asserting that sharing survives a round trip.
+  const std::vector<std::shared_ptr<const Column>> &columns() const {
+    return Columns;
+  }
+
+  /// Row span the table was built over (the epoch's class count).
+  uint32_t numClassesTabulated() const { return NumClasses; }
 
   /// Test-and-demo hook: a copy of this table with the (\p Context,
   /// \p Member) answer replaced by a deliberately wrong one (the

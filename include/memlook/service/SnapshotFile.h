@@ -1,0 +1,181 @@
+//===- memlook/service/SnapshotFile.h - Durable snapshots -------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durable form of a service snapshot: a versioned, checksummed
+/// binary file holding the epoch, the hierarchy (with its name table),
+/// and - when the snapshot was warm - the LookupTable's compact columns,
+/// with structural-dedup sharing preserved (each distinct column is
+/// stored once and referenced by index).
+///
+/// ## Format (version 1, little-endian)
+///
+///   fixed header   magic "MLKSNAP\0", u32 version, u64 epoch,
+///                  u32 numClasses, u32 numMembers, u32 flags
+///                  (bit 0 = has table), u32 sectionCount
+///   section table  sectionCount x { u32 kind, u32 crc32c,
+///                  u64 offset, u64 size }
+///   header crc     u32 crc32c over everything above
+///   payloads       the sections' bytes, each covered by its table crc
+///
+/// Every section payload is zero-padded to a multiple of eight bytes
+/// (the pad sits under the section CRC; parsers verify it is zero). The
+/// header region is 8-aligned by construction, so the padding makes
+/// every section base 8-aligned in the file buffer - which is what lets
+/// a warm start borrow column entries and pools as typed spans straight
+/// out of the buffer instead of copying tens of megabytes through
+/// freshly zeroed vectors.
+///
+/// All checksums are CRC-32C (Castagnoli): x86-64 computes it in
+/// hardware, so verifying every byte of a multi-megabyte snapshot costs
+/// about a millisecond of a warm start instead of dominating it.
+///
+/// Section kinds: 1 = string table, 2 = hierarchy, 3 = columns. The
+/// hierarchy section records, per class, its name (a string-table
+/// index), base specifiers, and member declarations; the loader rebuilds
+/// by *replaying through the public Hierarchy API* and re-running
+/// finalize(), so every construction-time validation (duplicate classes
+/// and bases, cycles, using-targets) guards loaded files for free, and
+/// member-column order - which finalize() derives deterministically from
+/// class/declaration order - matches the save side exactly. The columns
+/// section opens with a u32 binding - the crc32 of the hierarchy payload
+/// the table was tabulated over - then stores each distinct
+/// CompactColumn (entries + overflow pools, plus its structural hash and
+/// row span - incremental rewarm legally publishes columns spanning an
+/// older, smaller epoch) followed by the per-member distinct-column
+/// references. The binding lives *inside* the checksummed payload, so a
+/// corruption that edits the hierarchy and recomputes the section-table
+/// CRCs still cannot pair the old table with the new hierarchy.
+///
+/// A column's stored structural hash is adopted without recomputation:
+/// it sits under the section CRC, and in-memory dedup byte-compares
+/// columns before aliasing them, so a forged hash can cost a future
+/// rewarm some sharing but can never alias unequal columns.
+///
+/// ## Trust model
+///
+/// A snapshot file is untrusted input, exactly like a .mlk source. The
+/// CRCs reject accidental corruption cheaply; after they pass, the
+/// loader still bounds-checks every read and semantically validates
+/// every column entry against the replayed hierarchy - kinds, flags,
+/// reserved bytes, pool offsets, and crucially the red Via chains
+/// (each valid Via must be a direct base whose entry is red with the
+/// same defining class and a consistently composed leastVirtual and
+/// access), which makes the witness-reconstruction asserts in
+/// DominanceLookupEngine::entryToResult unreachable for any loaded
+/// column. Two bindings tie the table to its hierarchy: the
+/// hierarchy-payload crc at the head of the columns section, and a
+/// per-reference check that a column's local-declaration rows are
+/// exactly the referencing member's declaration sites (so a corrupted
+/// reference cannot hand one member another member's well-formed
+/// column). The loader returns Status - it never asserts or over-reads
+/// on hostile bytes. Structural validity still does not prove the table
+/// answers *correctly*; LookupService::restore() layers a sampled
+/// differential audit against computeEntry on top.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SERVICE_SNAPSHOTFILE_H
+#define MEMLOOK_SERVICE_SNAPSHOTFILE_H
+
+#include "memlook/service/Snapshot.h"
+#include "memlook/support/ResourceBudget.h"
+#include "memlook/support/Status.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memlook {
+namespace service {
+
+/// The one format version this build writes and reads.
+constexpr uint32_t SnapshotFormatVersion = 1;
+
+/// Default cap on the file size readSnapshotFile will load into memory.
+constexpr uint64_t SnapshotFileReadCap = uint64_t(1) << 30;
+
+/// A successfully loaded and validated snapshot file.
+struct SnapshotPayload {
+  uint64_t Epoch = 0;
+  std::shared_ptr<const Hierarchy> H;
+  /// Null when the file was saved from a cold (or quarantined) epoch.
+  std::shared_ptr<const LookupTable> Table;
+};
+
+/// Serializes \p Epoch, \p H, and optionally \p Table (pass nullptr to
+/// save a cold snapshot) to the version-1 byte format. \p H must be
+/// finalized and, when present, \p Table must have been built over it
+/// (trusted path: asserts).
+std::string serializeSnapshot(uint64_t Epoch, const Hierarchy &H,
+                              const LookupTable *Table);
+
+/// Serializes \p Snap; the table is included only when the snapshot is
+/// warm (a quarantined table must not outlive the process).
+std::string serializeSnapshot(const Snapshot &Snap);
+
+/// Parses and fully validates a serialized snapshot, borrowing the
+/// loaded table's column storage directly from \p Bytes (which the
+/// returned columns keep alive through the shared_ptr - the buffer is
+/// pinned for as long as the table lives, a deliberate trade of resident
+/// file bytes for a copy-free warm start). \p Budget caps the hierarchy
+/// the file may describe (classes / edges / member declarations),
+/// exactly like the untrusted .mlk path. Failures are recoverable:
+/// SnapshotVersionMismatch / SnapshotChecksumMismatch /
+/// SnapshotMalformed / BudgetExceeded, never an assert or a read past
+/// the buffer.
+Expected<SnapshotPayload>
+deserializeSnapshot(std::shared_ptr<const std::string> Bytes,
+                    const ResourceBudget &Budget =
+                        ResourceBudget::untrustedInput());
+
+/// Convenience overload for callers holding a transient view: copies
+/// \p Bytes once into a pinned arena and delegates to the overload
+/// above. The result never references \p Bytes.
+Expected<SnapshotPayload>
+deserializeSnapshot(std::string_view Bytes,
+                    const ResourceBudget &Budget =
+                        ResourceBudget::untrustedInput());
+
+/// Atomically writes \p Snap to \p Path (temp + fsync + rename).
+Status writeSnapshotFile(const std::string &Path, const Snapshot &Snap);
+
+/// Reads (size-capped), parses, and validates the snapshot at \p Path.
+Expected<SnapshotPayload>
+readSnapshotFile(const std::string &Path,
+                 const ResourceBudget &Budget = ResourceBudget::untrustedInput(),
+                 uint64_t MaxFileBytes = SnapshotFileReadCap);
+
+//===----------------------------------------------------------------------===//
+// Introspection (fuzzing and corpus tooling)
+//===----------------------------------------------------------------------===//
+
+/// One row of a snapshot's section table.
+struct SnapshotSectionInfo {
+  uint32_t Kind = 0;
+  uint32_t StoredCrc = 0;
+  uint64_t Offset = 0;
+  uint64_t Size = 0;
+};
+
+/// Parses just the header and section table (verifying neither CRCs nor
+/// payloads), so mutation tooling can target individual sections.
+Expected<std::vector<SnapshotSectionInfo>>
+inspectSnapshotSections(std::string_view Bytes);
+
+/// Recomputes and patches every CRC (header and sections) in place.
+/// Lets the fuzz harness and corpus generator corrupt *payload content*
+/// and then re-seal the file, exercising the deep validation paths that
+/// live behind the checksum gate. Fails when the header or section
+/// geometry is itself unreadable.
+Status resealSnapshotChecksums(std::string &Bytes);
+
+} // namespace service
+} // namespace memlook
+
+#endif // MEMLOOK_SERVICE_SNAPSHOTFILE_H

@@ -1,0 +1,52 @@
+//===- memlook/support/AtomicFile.h - Atomic file I/O -----------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-tolerant file replacement and size-capped file reading for the
+/// snapshot subsystem.
+///
+/// writeFileAtomic follows the standard durable-replace recipe: write
+/// the full contents to a sibling temporary file, fsync it, rename it
+/// over the destination, then fsync the containing directory so the
+/// rename itself is durable. A reader (or a restart after a crash at
+/// any point in that sequence) therefore observes either the complete
+/// old file or the complete new file - never a torn mixture. Leftover
+/// temporaries from a crashed writer are inert: they never carry the
+/// destination name.
+///
+/// readFileCapped refuses files larger than the caller's cap before
+/// allocating, so a mis-pointed path (or an adversarially huge file)
+/// cannot balloon memory; the snapshot loader sizes the cap from its
+/// ResourceBudget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SUPPORT_ATOMICFILE_H
+#define MEMLOOK_SUPPORT_ATOMICFILE_H
+
+#include "memlook/support/Status.h"
+
+#include <string>
+#include <string_view>
+
+namespace memlook {
+
+/// Atomically replaces \p Path with \p Contents (temp file + fsync +
+/// rename + directory fsync). On failure nothing at \p Path changed and
+/// the temporary is unlinked; returns SnapshotIoError with the failing
+/// step and errno text.
+Status writeFileAtomic(const std::string &Path, std::string_view Contents);
+
+/// Reads \p Path fully into a string. Fails with SnapshotIoError when
+/// the file cannot be opened or read, or when it is larger than
+/// \p MaxBytes (checked before allocating).
+Expected<std::string> readFileCapped(const std::string &Path,
+                                     uint64_t MaxBytes);
+
+} // namespace memlook
+
+#endif // MEMLOOK_SUPPORT_ATOMICFILE_H

@@ -11,6 +11,13 @@
 /// the matrix provides it after an O(|N|*(|N|+|E|)) closure construction
 /// (which the paper notes a compiler computes anyway).
 ///
+/// Storage is one contiguous word buffer, not a vector of BitVectors:
+/// hierarchy-sized matrices (one row per class) used to cost one heap
+/// allocation per row, and the snapshot loader's replay - which builds
+/// two of these per warm start - spent a measurable slice of its time in
+/// the allocator. Rows are handed out as BitRowView, a non-owning view
+/// with BitVector's read API.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MEMLOOK_SUPPORT_BITMATRIX_H
@@ -19,6 +26,7 @@
 #include "memlook/support/BitVector.h"
 
 #include <cassert>
+#include <cstdint>
 #include <vector>
 
 namespace memlook {
@@ -30,40 +38,47 @@ public:
 
   /// Creates a \p Rows x \p Cols matrix, all clear.
   BitMatrix(size_t Rows, size_t Cols)
-      : RowData(Rows, BitVector(Cols)), NumCols(Cols) {}
+      : Words(Rows * wordsPerRow(Cols), 0), NumRows(Rows), NumCols(Cols),
+        RowWords(wordsPerRow(Cols)) {}
 
-  size_t rows() const { return RowData.size(); }
+  size_t rows() const { return NumRows; }
   size_t cols() const { return NumCols; }
 
   bool test(size_t Row, size_t Col) const {
-    assert(Row < RowData.size() && "row out of range");
-    return RowData[Row].test(Col);
+    assert(Row < NumRows && "row out of range");
+    assert(Col < NumCols && "column out of range");
+    return (Words[Row * RowWords + Col / 64] >> (Col % 64)) & 1;
   }
 
   void set(size_t Row, size_t Col) {
-    assert(Row < RowData.size() && "row out of range");
-    RowData[Row].set(Col);
+    assert(Row < NumRows && "row out of range");
+    assert(Col < NumCols && "column out of range");
+    Words[Row * RowWords + Col / 64] |= uint64_t(1) << (Col % 64);
   }
 
   /// Unions row \p Src into row \p Dst (Dst |= Src).
   void unionRows(size_t Dst, size_t Src) {
-    assert(Dst < RowData.size() && Src < RowData.size() && "row out of range");
-    RowData[Dst] |= RowData[Src];
+    assert(Dst < NumRows && Src < NumRows && "row out of range");
+    uint64_t *D = Words.data() + Dst * RowWords;
+    const uint64_t *S = Words.data() + Src * RowWords;
+    for (size_t I = 0; I != RowWords; ++I)
+      D[I] |= S[I];
   }
 
-  const BitVector &row(size_t Row) const {
-    assert(Row < RowData.size() && "row out of range");
-    return RowData[Row];
-  }
-
-  BitVector &row(size_t Row) {
-    assert(Row < RowData.size() && "row out of range");
-    return RowData[Row];
+  /// A non-owning view of row \p Row, valid while the matrix lives and
+  /// is not resized.
+  BitRowView row(size_t Row) const {
+    assert(Row < NumRows && "row out of range");
+    return BitRowView(Words.data() + Row * RowWords, NumCols);
   }
 
 private:
-  std::vector<BitVector> RowData;
+  static size_t wordsPerRow(size_t Cols) { return (Cols + 63) / 64; }
+
+  std::vector<uint64_t> Words;
+  size_t NumRows = 0;
   size_t NumCols = 0;
+  size_t RowWords = 0;
 };
 
 } // namespace memlook

@@ -1,0 +1,239 @@
+//===- memlook/support/Crc32.h - CRC-32 checksums ---------------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32 checksums over byte ranges, used by the snapshot file format
+/// to detect torn, truncated, or bit-rotted sections before the loader
+/// parses them. A CRC is a corruption detector, not an authenticator:
+/// the loader still bounds-checks and semantically validates everything
+/// it reads, because an adversarial file can carry correct checksums
+/// over impossible content.
+///
+/// Two polynomials are provided:
+///
+///  - crc32():  the IEEE 802.3 polynomial (reflected 0xEDB88320), the
+///    one zlib/gzip/PNG use. Kept for interoperability and as the
+///    reference implementation.
+///  - crc32c(): the Castagnoli polynomial (reflected 0x82F63B78), the
+///    one iSCSI/ext4/RocksDB use. This is what the snapshot format
+///    stores: x86-64 has carried a dedicated crc32c instruction since
+///    SSE4.2, so a warm start can checksum tens of megabytes in about a
+///    millisecond instead of dominating the load.
+///
+/// Software paths are slice-by-8 (eight input bytes folded per
+/// iteration through eight derived tables, all computed at compile
+/// time); crc32c() upgrades itself to the hardware instruction at
+/// runtime when the CPU has it. Crc32Test pins the published check
+/// values for both polynomials and forces every path to agree with the
+/// one-table byte loop, so the dispatch can never silently change the
+/// values a snapshot stores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SUPPORT_CRC32_H
+#define MEMLOOK_SUPPORT_CRC32_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace memlook {
+
+namespace detail {
+
+using CrcTables = std::array<std::array<uint32_t, 256>, 8>;
+
+constexpr CrcTables makeCrcTables(uint32_t ReflectedPoly) {
+  CrcTables Tables{};
+  for (uint32_t I = 0; I != 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K != 8; ++K)
+      C = (C & 1) ? (ReflectedPoly ^ (C >> 1)) : (C >> 1);
+    Tables[0][I] = C;
+  }
+  // Tables[S][I] advances the CRC of byte I through S additional zero
+  // bytes, which is what lets eight bytes fold in one step.
+  for (uint32_t I = 0; I != 256; ++I)
+    for (size_t S = 1; S != 8; ++S)
+      Tables[S][I] =
+          (Tables[S - 1][I] >> 8) ^ Tables[0][Tables[S - 1][I] & 0xFF];
+  return Tables;
+}
+
+inline constexpr CrcTables Crc32Tables = makeCrcTables(0xEDB88320u);
+inline constexpr CrcTables Crc32cTables = makeCrcTables(0x82F63B78u);
+
+/// The classic one-table byte loop: the reference every fast path must
+/// agree with, and the tail/short-input path. Operates on the raw
+/// (already-inverted) CRC state so callers can chain it.
+inline uint32_t crcBytewise(const CrcTables &T, const unsigned char *P,
+                            size_t Size, uint32_t C) {
+  for (size_t I = 0; I != Size; ++I)
+    C = T[0][(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return C;
+}
+
+/// Slice-by-8: fold eight input bytes per iteration. ~5x the byte loop,
+/// bit-identical results.
+inline uint32_t crcSliced(const CrcTables &T, const unsigned char *P,
+                          size_t Size, uint32_t C) {
+  while (Size >= 8) {
+    // The format (and this fold) are little-endian; memcpy keeps the
+    // loads alignment-safe.
+    uint32_t Lo, Hi;
+    std::memcpy(&Lo, P, 4);
+    std::memcpy(&Hi, P + 4, 4);
+    Lo ^= C;
+    C = T[7][Lo & 0xFF] ^ T[6][(Lo >> 8) & 0xFF] ^ T[5][(Lo >> 16) & 0xFF] ^
+        T[4][Lo >> 24] ^ T[3][Hi & 0xFF] ^ T[2][(Hi >> 8) & 0xFF] ^
+        T[1][(Hi >> 16) & 0xFF] ^ T[0][Hi >> 24];
+    P += 8;
+    Size -= 8;
+  }
+  return crcBytewise(T, P, Size, C);
+}
+
+/// Multiplies the GF(2) 32x32 matrix \p Mat by the bit-vector \p Vec.
+inline uint32_t gf2MatrixTimes(const uint32_t *Mat, uint32_t Vec) {
+  uint32_t Sum = 0;
+  while (Vec) {
+    if (Vec & 1)
+      Sum ^= *Mat;
+    Vec >>= 1;
+    ++Mat;
+  }
+  return Sum;
+}
+
+inline void gf2MatrixSquare(uint32_t *Sq, const uint32_t *Mat) {
+  for (int N = 0; N != 32; ++N)
+    Sq[N] = gf2MatrixTimes(Mat, Mat[N]);
+}
+
+/// Advances a raw CRC-32C state through \p ZeroBytes zero bytes in
+/// O(log ZeroBytes) GF(2) matrix squarings (the technique behind zlib's
+/// crc32_combine). The state update is linear over GF(2), so this is
+/// exactly what feeding that many zero bytes through the table loop
+/// would produce - it is what lets independent chunk CRCs recombine.
+inline uint32_t crc32cShiftZeros(uint32_t Crc, size_t ZeroBytes) {
+  if (ZeroBytes == 0 || Crc == 0)
+    return Crc;
+  uint32_t Even[32], Odd[32];
+  // The one-zero-bit operator: bit 0 folds into the polynomial, every
+  // other bit shifts right.
+  Odd[0] = 0x82F63B78u;
+  uint32_t Row = 1;
+  for (int N = 1; N != 32; ++N) {
+    Odd[N] = Row;
+    Row <<= 1;
+  }
+  gf2MatrixSquare(Even, Odd); // two zero bits
+  gf2MatrixSquare(Odd, Even); // four zero bits
+  size_t Len = ZeroBytes;
+  do {
+    gf2MatrixSquare(Even, Odd); // first pass: one zero byte
+    if (Len & 1)
+      Crc = gf2MatrixTimes(Even, Crc);
+    Len >>= 1;
+    if (Len == 0)
+      break;
+    gf2MatrixSquare(Odd, Even);
+    if (Len & 1)
+      Crc = gf2MatrixTimes(Odd, Crc);
+    Len >>= 1;
+  } while (Len);
+  return Crc;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define MEMLOOK_CRC32C_HW 1
+
+__attribute__((target("sse4.2"))) inline uint32_t
+crc32cHardware(const unsigned char *P, size_t Size, uint32_t C) {
+  uint64_t C64 = C;
+  // The crc32 instruction has multi-cycle latency but single-cycle
+  // throughput, so one dependent chain leaves most of the unit idle.
+  // For large buffers run three independent chains over three equal
+  // chunks and recombine with the GF(2) zero-shift - close to 3x the
+  // single-chain bandwidth, bit-identical result.
+  if (Size >= 3 * 1024) {
+    size_t L = (Size / 3) & ~size_t(7);
+    const unsigned char *P0 = P, *P1 = P + L, *P2 = P + 2 * L;
+    uint64_t S0 = C64, S1 = 0, S2 = 0;
+    for (size_t I = 0; I != L; I += 8) {
+      uint64_t W0, W1, W2;
+      std::memcpy(&W0, P0 + I, 8);
+      std::memcpy(&W1, P1 + I, 8);
+      std::memcpy(&W2, P2 + I, 8);
+      S0 = __builtin_ia32_crc32di(S0, W0);
+      S1 = __builtin_ia32_crc32di(S1, W1);
+      S2 = __builtin_ia32_crc32di(S2, W2);
+    }
+    // Chunk 0's state passes through chunks 1 and 2 (2L zero bytes),
+    // chunk 1's through chunk 2 (L zero bytes); chunk 2's is in place.
+    C64 = crc32cShiftZeros(static_cast<uint32_t>(S0), 2 * L) ^
+          crc32cShiftZeros(static_cast<uint32_t>(S1), L) ^
+          static_cast<uint32_t>(S2);
+    P += 3 * L;
+    Size -= 3 * L;
+  }
+  while (Size >= 8) {
+    uint64_t Word;
+    std::memcpy(&Word, P, 8);
+    C64 = __builtin_ia32_crc32di(C64, Word);
+    P += 8;
+    Size -= 8;
+  }
+  C = static_cast<uint32_t>(C64);
+  for (; Size; --Size, ++P)
+    C = __builtin_ia32_crc32qi(C, *P);
+  return C;
+}
+
+inline bool haveCrc32cHardware() {
+  static const bool Have = __builtin_cpu_supports("sse4.2");
+  return Have;
+}
+#endif
+
+} // namespace detail
+
+/// Continues a CRC-32 (IEEE 802.3) over \p Size bytes at \p Data. Chain
+/// calls by passing the previous return value as \p Seed; the default
+/// seed is the standalone checksum of the range.
+inline uint32_t crc32(const void *Data, size_t Size, uint32_t Seed = 0) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  return detail::crcSliced(detail::Crc32Tables, P, Size, Seed ^ 0xFFFFFFFFu) ^
+         0xFFFFFFFFu;
+}
+
+inline uint32_t crc32(std::string_view Bytes, uint32_t Seed = 0) {
+  return crc32(Bytes.data(), Bytes.size(), Seed);
+}
+
+/// Continues a CRC-32C (Castagnoli) over \p Size bytes at \p Data, using
+/// the SSE4.2 instruction when the CPU has it. Same chaining convention
+/// as crc32(). This is the snapshot format's checksum.
+inline uint32_t crc32c(const void *Data, size_t Size, uint32_t Seed = 0) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint32_t C = Seed ^ 0xFFFFFFFFu;
+#ifdef MEMLOOK_CRC32C_HW
+  if (detail::haveCrc32cHardware())
+    return detail::crc32cHardware(P, Size, C) ^ 0xFFFFFFFFu;
+#endif
+  return detail::crcSliced(detail::Crc32cTables, P, Size, C) ^ 0xFFFFFFFFu;
+}
+
+inline uint32_t crc32c(std::string_view Bytes, uint32_t Seed = 0) {
+  return crc32c(Bytes.data(), Bytes.size(), Seed);
+}
+
+} // namespace memlook
+
+#endif // MEMLOOK_SUPPORT_CRC32_H

@@ -61,6 +61,21 @@ enum class ErrorCode : uint8_t {
   TableQuarantined,
   /// Catch-all for malformed requests not covered above.
   InvalidArgument,
+  /// A snapshot file could not be opened, read, written, or renamed
+  /// (OS-level I/O failure, missing file, or over the read cap).
+  SnapshotIoError,
+  /// A snapshot file's magic or format version is not one this build
+  /// reads. Distinct from corruption: the file may be perfectly intact,
+  /// just from a different (or no) writer.
+  SnapshotVersionMismatch,
+  /// A snapshot section's stored CRC-32 does not match its bytes: the
+  /// file was torn, truncated, or bit-rotted after it was sealed.
+  SnapshotChecksumMismatch,
+  /// A snapshot file is structurally or semantically impossible even
+  /// though its checksums verify: truncated counts, out-of-range pool
+  /// offsets, entries no tabulation could produce, or a hierarchy that
+  /// fails replay validation. The untrusted-loader hardening rung.
+  SnapshotMalformed,
 };
 
 /// Returns a stable lowercase label, e.g. "unknown-class".

@@ -10,9 +10,11 @@
 #include "memlook/core/DifferentialCheck.h"
 #include "memlook/core/DominanceLookupEngine.h"
 #include "memlook/core/GxxBfsEngine.h"
+#include "memlook/service/SnapshotFile.h"
 #include "memlook/support/Rng.h"
 
 #include <chrono>
+#include <cstdio>
 
 using namespace memlook;
 using namespace memlook::service;
@@ -27,6 +29,28 @@ const char *memlook::service::answerRungLabel(AnswerRung Rung) {
     return "gxx-approximate";
   }
   return "unknown";
+}
+
+const char *memlook::service::restoreRungLabel(RestoreRung Rung) {
+  switch (Rung) {
+  case RestoreRung::Snapshot:
+    return "snapshot";
+  case RestoreRung::RebuildFromSource:
+    return "rebuild-from-source";
+  }
+  return "unknown";
+}
+
+std::string RestoreReport::toString() const {
+  std::string Out = std::string("restore: rung=") + restoreRungLabel(Rung) +
+                    " epoch=" + std::to_string(Epoch);
+  if (Rung == RestoreRung::Snapshot)
+    Out += ", " + std::to_string(AuditColumnsChecked) + " columns audited";
+  else if (!SnapshotStatus.isOk())
+    Out += ", snapshot passed over: " + SnapshotStatus.toString();
+  if (FileQuarantined)
+    Out += ", file quarantined to " + QuarantinePath;
+  return Out;
 }
 
 std::string AuditReport::toString() const {
@@ -68,6 +92,134 @@ LookupService::create(Hierarchy Initial, ServiceOptions Options) {
                          "service requires a finalized hierarchy");
   return std::make_unique<LookupService>(std::move(Initial),
                                          std::move(Options));
+}
+
+LookupService::LookupService(RestoreTag, uint64_t Epoch,
+                             std::shared_ptr<const Hierarchy> H,
+                             std::shared_ptr<const LookupTable> Table,
+                             ServiceOptions Options)
+    : Opts(std::move(Options)) {
+  assert(H && H->isFinalized() && "restore() validates before adopting");
+  auto Snap = std::make_shared<Snapshot>();
+  Snap->Epoch = Epoch;
+  Snap->H = std::move(H);
+  Snap->Table = std::move(Table);
+  if (!Snap->Table && Opts.WarmOnCommit)
+    Snap->Table = LookupTable::build(*Snap->H, warmDeadline(),
+                                     Opts.WarmThreads);
+  if (Snap->Table)
+    NumColumnsDeduped.fetch_add(Snap->Table->buildStats().ColumnsDeduped,
+                                std::memory_order_relaxed);
+  Current = std::move(Snap);
+}
+
+namespace {
+
+/// The restore audit: recompute up to \p SampleColumns member columns
+/// with a live kernel (the same code path commit-time warms use) and
+/// require the loaded table's answers to agree row-for-row. Structural
+/// validation proved the table internally consistent; this proves a
+/// deterministic sample of it *correct* - the defense against a
+/// CRC-valid, well-formed file whose entries answer wrongly.
+Status auditRestoredTable(const Hierarchy &H, const LookupTable &Table,
+                          uint32_t SampleColumns, uint64_t &ColumnsChecked) {
+  uint32_t NumMembers = static_cast<uint32_t>(H.allMemberNames().size());
+  if (SampleColumns == 0 || NumMembers == 0)
+    return Status::ok();
+  uint32_t Sample = std::min(SampleColumns, NumMembers);
+  // Deterministic evenly spread sample: restores are reproducible.
+  std::vector<uint32_t> Idxs;
+  Idxs.reserve(Sample);
+  for (uint32_t I = 0; I != Sample; ++I)
+    Idxs.push_back(static_cast<uint32_t>(uint64_t(I) * NumMembers / Sample));
+
+  ParallelTabulator::Result Fresh =
+      ParallelTabulator::tabulate(H, Idxs, Deadline::never(), /*Threads=*/1);
+  assert(Fresh.Complete && "an unbounded serial tabulation cannot expire");
+
+  for (uint32_t Idx : Idxs) {
+    ++ColumnsChecked;
+    const LookupTable::Column &Oracle = *Fresh.Columns[Idx];
+    Symbol Member = H.allMemberNames()[Idx];
+    for (uint32_t Row = 0; Row != H.numClasses(); ++Row) {
+      // find() consults the loaded column (short rows answer NotFound -
+      // legal only if the kernel also says the answer is NotFound).
+      std::string Got =
+          renderLookupForComparison(H, Table.find(H, ClassId(Row), Member));
+      std::string Want =
+          renderLookupForComparison(H, Oracle.resultFor(H, ClassId(Row)));
+      if (Got != Want)
+        return Status::error(
+            ErrorCode::TableQuarantined,
+            "restore audit: loaded table answers '" + Got + "' for " +
+                std::string(H.className(ClassId(Row))) + "::" +
+                std::string(H.spelling(Member)) +
+                " but a live kernel answers '" + Want + "'");
+    }
+  }
+  return Status::ok();
+}
+
+} // namespace
+
+Expected<std::unique_ptr<LookupService>>
+LookupService::restore(const std::string &Path, Hierarchy FallbackSource,
+                       ServiceOptions Options, RestoreReport *Report) {
+  RestoreReport Local;
+  RestoreReport &R = Report ? *Report : Local;
+  R = RestoreReport();
+
+  // Rung 1: the snapshot file.
+  Status SnapStatus = Status::ok();
+  Expected<SnapshotPayload> Loaded = readSnapshotFile(Path, Options.Budget);
+  if (!Loaded) {
+    SnapStatus = Loaded.status();
+  } else if (Loaded->Table) {
+    SnapStatus = auditRestoredTable(*Loaded->H, *Loaded->Table,
+                                    Options.RestoreAuditColumns,
+                                    R.AuditColumnsChecked);
+  }
+
+  if (SnapStatus.isOk() && Loaded) {
+    R.Rung = RestoreRung::Snapshot;
+    R.Epoch = Loaded->Epoch;
+    auto Svc = std::unique_ptr<LookupService>(
+        new LookupService(RestoreTag{}, Loaded->Epoch, std::move(Loaded->H),
+                          std::move(Loaded->Table), std::move(Options)));
+    Svc->NumSnapshotRestores.fetch_add(1, std::memory_order_relaxed);
+    return Svc;
+  }
+
+  // The file exists but is unusable: move it aside so the evidence
+  // survives the rebuild (and a crash loop cannot keep re-reading it).
+  // A missing file simply fails the rename - nothing to preserve.
+  R.SnapshotStatus = SnapStatus;
+  std::string Quarantine = Path + ".quarantined";
+  if (std::rename(Path.c_str(), Quarantine.c_str()) == 0) {
+    R.FileQuarantined = true;
+    R.QuarantinePath = Quarantine;
+  }
+
+  // Rung 2: full rebuild from source.
+  if (!FallbackSource.isFinalized())
+    return Status::error(ErrorCode::NotFinalized,
+                         "snapshot unusable (" + SnapStatus.toString() +
+                             ") and the fallback hierarchy is not finalized");
+  R.Rung = RestoreRung::RebuildFromSource;
+  R.Epoch = 1;
+  auto Svc = std::make_unique<LookupService>(std::move(FallbackSource),
+                                             std::move(Options));
+  if (R.FileQuarantined)
+    Svc->NumSnapshotQuarantines.fetch_add(1, std::memory_order_relaxed);
+  return Svc;
+}
+
+Status LookupService::saveSnapshot(const std::string &Path) const {
+  std::shared_ptr<const Snapshot> Snap = snapshot();
+  Status S = writeSnapshotFile(Path, *Snap);
+  if (S.isOk())
+    NumSnapshotSaves.fetch_add(1, std::memory_order_relaxed);
+  return S;
 }
 
 LookupService::~LookupService() { stopBackgroundAudit(); }
@@ -438,6 +590,10 @@ ServiceStats LookupService::stats() const {
   S.ColumnsRetabulated =
       NumColumnsRetabulated.load(std::memory_order_relaxed);
   S.ColumnsDeduped = NumColumnsDeduped.load(std::memory_order_relaxed);
+  S.SnapshotSaves = NumSnapshotSaves.load(std::memory_order_relaxed);
+  S.SnapshotRestores = NumSnapshotRestores.load(std::memory_order_relaxed);
+  S.SnapshotQuarantines =
+      NumSnapshotQuarantines.load(std::memory_order_relaxed);
   if (std::shared_ptr<const Snapshot> Snap = snapshot(); Snap->Table)
     S.TableHeapBytes = Snap->Table->heapBytes();
   return S;

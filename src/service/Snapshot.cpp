@@ -143,6 +143,36 @@ LookupTable::rewarm(const Hierarchy &NewH, const Hierarchy &OldH,
   return Table;
 }
 
+std::shared_ptr<const LookupTable>
+LookupTable::fromColumns(const Hierarchy &H,
+                         std::vector<std::shared_ptr<const Column>> Columns) {
+  assert(H.isFinalized() && "loading a table requires finalize()");
+  assert(Columns.size() == H.allMemberNames().size() &&
+         "one column pointer per member name");
+
+  std::shared_ptr<LookupTable> Table(new LookupTable());
+  Table->NumClasses = H.numClasses();
+  const std::vector<Symbol> &Members = H.allMemberNames();
+  Table->MemberIndex.reserve(Members.size());
+  for (uint32_t Idx = 0; Idx != Members.size(); ++Idx)
+    Table->MemberIndex.emplace(Members[Idx], Idx);
+  Table->Columns = std::move(Columns);
+
+  // Count the aliasing the file preserved, so loaded tables report the
+  // same dedup savings a fresh build would.
+  std::unordered_set<const Column *> Distinct;
+  uint32_t Aliased = 0;
+  for (const std::shared_ptr<const Column> &Col : Table->Columns) {
+    assert(Col && Col->Complete && Col->Overrides.empty() &&
+           "loaded columns are complete and override-free");
+    if (!Distinct.insert(Col.get()).second)
+      ++Aliased;
+  }
+  Table->Build.ColumnsDeduped = Aliased;
+  Table->Build.ColumnsBuilt = 0; // nothing tabulated: all columns loaded
+  return Table;
+}
+
 uint64_t LookupTable::numEntries() const {
   uint64_t N = 0;
   for (const std::shared_ptr<const Column> &Col : Columns)

@@ -1,0 +1,140 @@
+//===- AtomicFile.cpp - Atomic file I/O --------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/support/AtomicFile.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace memlook;
+
+namespace {
+
+Status ioError(const char *Step, const std::string &Path, int Err) {
+  return Status::error(ErrorCode::SnapshotIoError,
+                       std::string(Step) + " '" + Path +
+                           "': " + std::strerror(Err));
+}
+
+/// Directory part of \p Path, or "." when it has none.
+std::string dirOf(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  if (Slash == std::string::npos)
+    return ".";
+  if (Slash == 0)
+    return "/";
+  return Path.substr(0, Slash);
+}
+
+} // namespace
+
+Status memlook::writeFileAtomic(const std::string &Path,
+                                std::string_view Contents) {
+  std::string TmpPath = Path + ".tmp";
+  int Fd = ::open(TmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return ioError("create", TmpPath, errno);
+
+  const char *P = Contents.data();
+  size_t Left = Contents.size();
+  while (Left != 0) {
+    ssize_t N = ::write(Fd, P, Left);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      int Err = errno;
+      ::close(Fd);
+      ::unlink(TmpPath.c_str());
+      return ioError("write", TmpPath, Err);
+    }
+    P += N;
+    Left -= static_cast<size_t>(N);
+  }
+
+  if (::fsync(Fd) != 0) {
+    int Err = errno;
+    ::close(Fd);
+    ::unlink(TmpPath.c_str());
+    return ioError("fsync", TmpPath, Err);
+  }
+  if (::close(Fd) != 0) {
+    int Err = errno;
+    ::unlink(TmpPath.c_str());
+    return ioError("close", TmpPath, Err);
+  }
+
+  if (::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    int Err = errno;
+    ::unlink(TmpPath.c_str());
+    return ioError("rename", Path, Err);
+  }
+
+  // Make the rename durable. Failure here is reported but not rolled
+  // back: the replacement already happened atomically in the namespace.
+  std::string Dir = dirOf(Path);
+  int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (DirFd < 0)
+    return ioError("open directory", Dir, errno);
+  if (::fsync(DirFd) != 0) {
+    int Err = errno;
+    ::close(DirFd);
+    return ioError("fsync directory", Dir, Err);
+  }
+  ::close(DirFd);
+  return Status::ok();
+}
+
+Expected<std::string> memlook::readFileCapped(const std::string &Path,
+                                              uint64_t MaxBytes) {
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return ioError("open", Path, errno);
+
+  struct stat St;
+  if (::fstat(Fd, &St) != 0) {
+    int Err = errno;
+    ::close(Fd);
+    return ioError("stat", Path, Err);
+  }
+  if (!S_ISREG(St.st_mode)) {
+    ::close(Fd);
+    return Status::error(ErrorCode::SnapshotIoError,
+                         "'" + Path + "' is not a regular file");
+  }
+  if (static_cast<uint64_t>(St.st_size) > MaxBytes) {
+    ::close(Fd);
+    return Status::error(ErrorCode::SnapshotIoError,
+                         "'" + Path + "' is " + std::to_string(St.st_size) +
+                             " bytes, over the " + std::to_string(MaxBytes) +
+                             "-byte read cap");
+  }
+
+  std::string Out;
+  Out.resize(static_cast<size_t>(St.st_size));
+  size_t Got = 0;
+  while (Got != Out.size()) {
+    ssize_t N = ::read(Fd, Out.data() + Got, Out.size() - Got);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      int Err = errno;
+      ::close(Fd);
+      return ioError("read", Path, Err);
+    }
+    if (N == 0)
+      break; // shrank mid-read; return what exists (CRCs catch the rest)
+    Got += static_cast<size_t>(N);
+  }
+  Out.resize(Got);
+  ::close(Fd);
+  return Out;
+}

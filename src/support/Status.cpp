@@ -37,6 +37,14 @@ const char *memlook::errorCodeLabel(ErrorCode Code) {
     return "table-quarantined";
   case ErrorCode::InvalidArgument:
     return "invalid-argument";
+  case ErrorCode::SnapshotIoError:
+    return "snapshot-io-error";
+  case ErrorCode::SnapshotVersionMismatch:
+    return "snapshot-version-mismatch";
+  case ErrorCode::SnapshotChecksumMismatch:
+    return "snapshot-checksum-mismatch";
+  case ErrorCode::SnapshotMalformed:
+    return "snapshot-malformed";
   }
   return "unknown";
 }

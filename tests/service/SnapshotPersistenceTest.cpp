@@ -1,0 +1,355 @@
+//===- SnapshotPersistenceTest.cpp -----------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durable-snapshot contract, from both directions:
+///
+///  * **Fidelity**: hundreds of fuzz-generated hierarchies (with
+///    structural-dedup sharing, overflow pools, statics, and
+///    using-declarations among them, and the test proves it) round-trip
+///    through serialize + deserialize answering identically, with
+///    column sharing preserved on disk and after the load.
+///  * **Hostility**: every truncation prefix and every single-bit flip
+///    of a snapshot is rejected with a recoverable Status - the format
+///    keeps each byte under exactly one checksum, so nothing can change
+///    without being caught.
+///  * **Recovery**: LookupService::restore() serves from the snapshot
+///    rung when the file is good, and quarantines + rebuilds from
+///    source when it is not, reporting which rung served.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/chg/HierarchyBuilder.h"
+#include "memlook/core/DifferentialCheck.h"
+#include "memlook/service/LookupService.h"
+#include "memlook/service/SnapshotFile.h"
+#include "memlook/workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+using namespace memlook;
+using namespace memlook::service;
+
+namespace {
+
+/// Compares every (class, member) answer of \p Table over \p H against
+/// \p Oracle over \p OracleH. The join key is the member *spelling*:
+/// Symbol ids are per-interner and intentionally not persisted.
+void expectSameAnswers(const Hierarchy &H, const LookupTable &Table,
+                       const Hierarchy &OracleH, const LookupTable &Oracle,
+                       const char *What) {
+  ASSERT_EQ(H.numClasses(), OracleH.numClasses()) << What;
+  ASSERT_EQ(H.allMemberNames().size(), OracleH.allMemberNames().size())
+      << What;
+  for (uint32_t Idx = 0; Idx != H.numClasses(); ++Idx)
+    for (Symbol M : H.allMemberNames()) {
+      Symbol OracleM = OracleH.findName(H.spelling(M));
+      ASSERT_TRUE(OracleM.isValid()) << What << ": member spelling '"
+                                     << H.spelling(M) << "' lost";
+      EXPECT_EQ(renderLookupForComparison(H, Table.find(H, ClassId(Idx), M)),
+                renderLookupForComparison(
+                    OracleH, Oracle.find(OracleH, ClassId(Idx), OracleM)))
+          << What << ": " << H.className(ClassId(Idx))
+          << "::" << H.spelling(M);
+    }
+}
+
+RandomHierarchyParams paramsForSeed(uint64_t Seed) {
+  RandomHierarchyParams P;
+  P.NumClasses = 4 + static_cast<uint32_t>(Seed % 37);
+  P.MemberPool = 3 + static_cast<uint32_t>(Seed % 8);
+  P.StaticChance = 0.2;
+  P.UsingChance = 0.15;
+  return P;
+}
+
+std::filesystem::path freshTempDir(const char *Name) {
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+bool isRecoverableSnapshotRejection(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::SnapshotVersionMismatch:
+  case ErrorCode::SnapshotChecksumMismatch:
+  case ErrorCode::SnapshotMalformed:
+  case ErrorCode::BudgetExceeded:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+TEST(SnapshotPersistenceTest, FiveHundredSeededHierarchiesRoundTripExactly) {
+  // Cumulative feature counters prove the 500 cases actually cover the
+  // interesting column shapes, not just tiny red-only tables.
+  uint64_t SawDedupSharing = 0, SawRedPool = 0, SawBluePool = 0;
+  uint64_t SawStatics = 0, SawUsings = 0;
+
+  for (uint64_t Seed = 1; Seed <= 500; ++Seed) {
+    Workload W = makeRandomHierarchy(paramsForSeed(Seed), Seed);
+    const Hierarchy &H = W.H;
+    std::shared_ptr<const LookupTable> Table = LookupTable::build(H);
+    ASSERT_TRUE(Table) << "seed " << Seed;
+
+    for (uint32_t C = 0; C != H.numClasses(); ++C)
+      for (const MemberDecl &M : H.info(ClassId(C)).Members) {
+        SawStatics += M.IsStatic;
+        SawUsings += M.UsingFrom.isValid();
+      }
+    std::unordered_set<const LookupTable::Column *> DistinctCols;
+    for (const std::shared_ptr<const LookupTable::Column> &Col :
+         Table->columns()) {
+      DistinctCols.insert(Col.get());
+      SawRedPool += !Col->Data.rawRedPool().empty();
+      SawBluePool += !Col->Data.rawBluePool().empty();
+    }
+    SawDedupSharing += DistinctCols.size() < Table->columns().size();
+
+    std::string Bytes = serializeSnapshot(/*Epoch=*/Seed, H, Table.get());
+    Expected<SnapshotPayload> Loaded =
+        deserializeSnapshot(Bytes, ResourceBudget::untrustedInput());
+    ASSERT_TRUE(Loaded.hasValue())
+        << "seed " << Seed << ": " << Loaded.status().toString();
+    EXPECT_EQ(Loaded->Epoch, Seed);
+    ASSERT_TRUE(Loaded->Table) << "seed " << Seed;
+
+    expectSameAnswers(*Loaded->H, *Loaded->Table, H, *Table, "round-trip");
+    if (::testing::Test::HasFailure())
+      FAIL() << "first failing seed: " << Seed;
+
+    // Dedup sharing survives the round trip: the loaded table has
+    // exactly as many distinct column objects as the original.
+    std::unordered_set<const LookupTable::Column *> LoadedDistinct;
+    for (const std::shared_ptr<const LookupTable::Column> &Col :
+         Loaded->Table->columns())
+      LoadedDistinct.insert(Col.get());
+    EXPECT_EQ(LoadedDistinct.size(), DistinctCols.size()) << "seed " << Seed;
+  }
+
+  EXPECT_GT(SawDedupSharing, 0u) << "no case exercised dedup sharing";
+  EXPECT_GT(SawRedPool, 0u) << "no case exercised red overflow pools";
+  EXPECT_GT(SawBluePool, 0u) << "no case exercised blue overflow pools";
+  EXPECT_GT(SawStatics, 0u) << "no case exercised static members";
+  EXPECT_GT(SawUsings, 0u) << "no case exercised using-declarations";
+}
+
+TEST(SnapshotPersistenceTest, DedupSharedColumnsStaySharedOnDisk) {
+  // m and n are declared together in A, so their finished columns are
+  // byte-identical and structural dedup unifies them behind one Column
+  // object. The file must store that column once, and the loader must
+  // re-share it.
+  HierarchyBuilder B;
+  B.addClass("A").withMember("m").withMember("n");
+  B.addClass("B").withBase("A");
+  Hierarchy H = std::move(B).build();
+  std::shared_ptr<const LookupTable> Table = LookupTable::build(H);
+  ASSERT_TRUE(Table);
+  ASSERT_EQ(Table->columns().size(), 2u);
+  ASSERT_EQ(Table->columns()[0].get(), Table->columns()[1].get());
+
+  std::string Bytes = serializeSnapshot(1, H, Table.get());
+  Expected<SnapshotPayload> Loaded =
+      deserializeSnapshot(Bytes, ResourceBudget::untrustedInput());
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().toString();
+  ASSERT_TRUE(Loaded->Table);
+  ASSERT_EQ(Loaded->Table->columns().size(), 2u);
+  EXPECT_EQ(Loaded->Table->columns()[0].get(),
+            Loaded->Table->columns()[1].get());
+}
+
+TEST(SnapshotPersistenceTest, ColdSnapshotRoundTripsWithoutATable) {
+  Workload W = makeRandomHierarchy(paramsForSeed(11), 11);
+  std::string Bytes = serializeSnapshot(/*Epoch=*/9, W.H, nullptr);
+  Expected<SnapshotPayload> Loaded =
+      deserializeSnapshot(Bytes, ResourceBudget::untrustedInput());
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().toString();
+  EXPECT_EQ(Loaded->Epoch, 9u);
+  EXPECT_EQ(Loaded->Table, nullptr);
+  EXPECT_EQ(Loaded->H->numClasses(), W.H.numClasses());
+}
+
+TEST(SnapshotPersistenceTest, RewarmSharedShortColumnsRoundTrip) {
+  // A committed class addition rewarms incrementally: untouched columns
+  // are aliased from the previous epoch and legally span fewer rows
+  // than the new class count. Those short columns must persist and
+  // reload answering identically to a from-scratch build.
+  Workload W = makeModularForest(3, 2, 2, 3, 2);
+  LookupService Svc(std::move(W.H));
+  Transaction Txn = Svc.beginTxn();
+  Txn.addClass("Fresh").addMember("Fresh", "fresh_m");
+  ASSERT_TRUE(Svc.commit(Txn).isOk());
+  std::shared_ptr<const Snapshot> Snap = Svc.snapshot();
+  ASSERT_TRUE(Snap->warm());
+
+  const Hierarchy &H = *Snap->H;
+  bool SawShortColumn = false;
+  for (const std::shared_ptr<const LookupTable::Column> &Col :
+       Snap->Table->columns())
+    SawShortColumn |= Col->numRows() < H.numClasses();
+  ASSERT_TRUE(SawShortColumn)
+      << "the commit did not leave any rewarm-shared short column";
+
+  std::string Bytes =
+      serializeSnapshot(Snap->Epoch, H, Snap->Table.get());
+  Expected<SnapshotPayload> Loaded =
+      deserializeSnapshot(Bytes, ResourceBudget::untrustedInput());
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().toString();
+  ASSERT_TRUE(Loaded->Table);
+  std::shared_ptr<const LookupTable> Scratch = LookupTable::build(*Loaded->H);
+  expectSameAnswers(*Loaded->H, *Loaded->Table, *Loaded->H, *Scratch,
+                    "rewarmed");
+}
+
+TEST(SnapshotPersistenceTest, EveryTruncationPrefixIsRejectedRecoverably) {
+  Workload W = makeRandomHierarchy(paramsForSeed(3), 3);
+  std::shared_ptr<const LookupTable> Table = LookupTable::build(W.H);
+  std::string Bytes = serializeSnapshot(1, W.H, Table.get());
+
+  for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+    Expected<SnapshotPayload> Loaded = deserializeSnapshot(
+        std::string_view(Bytes).substr(0, Len),
+        ResourceBudget::untrustedInput());
+    ASSERT_FALSE(Loaded.hasValue()) << "prefix of " << Len << " bytes loaded";
+    EXPECT_TRUE(isRecoverableSnapshotRejection(Loaded.status().code()))
+        << "prefix " << Len << ": " << Loaded.status().toString();
+  }
+}
+
+TEST(SnapshotPersistenceTest, EverySingleBitFlipIsRejected) {
+  // Every byte of the file sits under exactly one checksum (the header
+  // CRC, a section CRC, or it *is* a stored CRC), so no unsealed
+  // single-bit change may load.
+  Workload W = makeRandomHierarchy(paramsForSeed(5), 5);
+  std::shared_ptr<const LookupTable> Table = LookupTable::build(W.H);
+  std::string Bytes = serializeSnapshot(1, W.H, Table.get());
+
+  for (size_t At = 0; At != Bytes.size(); ++At)
+    for (int Bit = 0; Bit != 8; ++Bit) {
+      std::string Mutated = Bytes;
+      Mutated[At] = static_cast<char>(Mutated[At] ^ (1 << Bit));
+      Expected<SnapshotPayload> Loaded =
+          deserializeSnapshot(Mutated, ResourceBudget::untrustedInput());
+      ASSERT_FALSE(Loaded.hasValue())
+          << "flip of byte " << At << " bit " << Bit << " loaded";
+      EXPECT_TRUE(isRecoverableSnapshotRejection(Loaded.status().code()))
+          << "byte " << At << " bit " << Bit << ": "
+          << Loaded.status().toString();
+    }
+}
+
+TEST(SnapshotPersistenceTest, RestoreServesFromTheSnapshotRung) {
+  std::filesystem::path Dir = freshTempDir("restore_good");
+  std::string Path = (Dir / "good.snap").string();
+
+  Workload Source = makeModularForest(3, 2, 2, 3, 2);
+  Workload Fallback = makeModularForest(3, 2, 2, 3, 2);
+  LookupService Original(std::move(Source.H));
+  ASSERT_TRUE(Original.saveSnapshot(Path).isOk());
+  EXPECT_EQ(Original.stats().SnapshotSaves, 1u);
+
+  RestoreReport Report;
+  Expected<std::unique_ptr<LookupService>> Restored =
+      LookupService::restore(Path, std::move(Fallback.H), ServiceOptions(),
+                             &Report);
+  ASSERT_TRUE(Restored.hasValue()) << Restored.status().toString();
+  EXPECT_EQ(Report.Rung, RestoreRung::Snapshot);
+  EXPECT_TRUE(Report.SnapshotStatus.isOk());
+  EXPECT_FALSE(Report.FileQuarantined);
+  EXPECT_GT(Report.AuditColumnsChecked, 0u);
+  EXPECT_EQ((*Restored)->stats().SnapshotRestores, 1u);
+
+  // Cold restart answers identically to the from-source build.
+  std::shared_ptr<const Snapshot> A = Original.snapshot();
+  std::shared_ptr<const Snapshot> B = (*Restored)->snapshot();
+  ASSERT_TRUE(A->warm());
+  ASSERT_TRUE(B->warm());
+  EXPECT_EQ(B->Epoch, A->Epoch);
+  expectSameAnswers(*B->H, *B->Table, *A->H, *A->Table, "restored");
+}
+
+TEST(SnapshotPersistenceTest, RestoreQuarantinesACorruptFileAndRebuilds) {
+  std::filesystem::path Dir = freshTempDir("restore_bad");
+  std::string Path = (Dir / "bad.snap").string();
+  {
+    // Valid magic, then garbage where the version belongs (the string
+    // carries an embedded NUL, so it is sized explicitly).
+    std::string Garbage("MLKSNAP\0garbage-after-the-magic", 31);
+    std::ofstream Out(Path, std::ios::binary);
+    Out.write(Garbage.data(), static_cast<std::streamsize>(Garbage.size()));
+  }
+
+  Workload Fallback = makeModularForest(2, 2, 2, 3, 2);
+  RestoreReport Report;
+  Expected<std::unique_ptr<LookupService>> Restored =
+      LookupService::restore(Path, std::move(Fallback.H), ServiceOptions(),
+                             &Report);
+  ASSERT_TRUE(Restored.hasValue()) << Restored.status().toString();
+  EXPECT_EQ(Report.Rung, RestoreRung::RebuildFromSource);
+  EXPECT_FALSE(Report.SnapshotStatus.isOk());
+  EXPECT_TRUE(Report.FileQuarantined);
+  EXPECT_EQ(Report.QuarantinePath, Path + ".quarantined");
+  EXPECT_TRUE(std::filesystem::exists(Report.QuarantinePath))
+      << "evidence file missing";
+  EXPECT_FALSE(std::filesystem::exists(Path)) << "corrupt file left behind";
+  EXPECT_EQ((*Restored)->stats().SnapshotQuarantines, 1u);
+
+  // The rebuilt service is fully operational at epoch 1.
+  EXPECT_EQ((*Restored)->snapshot()->Epoch, 1u);
+  EXPECT_TRUE((*Restored)->auditNow().passed());
+}
+
+TEST(SnapshotPersistenceTest, RestoreOfAMissingFileRebuildsWithoutQuarantine) {
+  std::filesystem::path Dir = freshTempDir("restore_missing");
+  Workload Fallback = makeModularForest(2, 2, 2, 3, 2);
+  RestoreReport Report;
+  Expected<std::unique_ptr<LookupService>> Restored = LookupService::restore(
+      (Dir / "never_written.snap").string(), std::move(Fallback.H),
+      ServiceOptions(), &Report);
+  ASSERT_TRUE(Restored.hasValue()) << Restored.status().toString();
+  EXPECT_EQ(Report.Rung, RestoreRung::RebuildFromSource);
+  EXPECT_FALSE(Report.FileQuarantined) << "nothing existed to quarantine";
+}
+
+TEST(SnapshotPersistenceTest, RestoreFailsOnlyWhenTheFallbackIsUnusable) {
+  std::filesystem::path Dir = freshTempDir("restore_nofallback");
+  Hierarchy Unfinalized; // never finalized: the one unusable fallback
+  Expected<std::unique_ptr<LookupService>> Restored = LookupService::restore(
+      (Dir / "missing.snap").string(), std::move(Unfinalized));
+  ASSERT_FALSE(Restored.hasValue());
+  EXPECT_EQ(Restored.status().code(), ErrorCode::NotFinalized);
+}
+
+TEST(SnapshotPersistenceTest, SaveSnapshotIsAtomicAndLeavesNoTempFiles) {
+  std::filesystem::path Dir = freshTempDir("atomic_save");
+  Workload W = makeModularForest(2, 2, 2, 3, 2);
+  LookupService Svc(std::move(W.H));
+  ASSERT_TRUE(Svc.saveSnapshot((Dir / "out.snap").string()).isOk());
+
+  size_t Entries = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir)) {
+    ++Entries;
+    EXPECT_EQ(Entry.path().filename().string(), "out.snap")
+        << "stray file: " << Entry.path();
+  }
+  EXPECT_EQ(Entries, 1u);
+
+  Expected<SnapshotPayload> Loaded = readSnapshotFile(
+      (Dir / "out.snap").string(), ResourceBudget::untrustedInput());
+  EXPECT_TRUE(Loaded.hasValue()) << Loaded.status().toString();
+}

@@ -32,8 +32,8 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(StatusTest, EveryErrorCodeHasALabel) {
-  for (uint8_t Raw = 0; Raw <= static_cast<uint8_t>(ErrorCode::InvalidArgument);
-       ++Raw) {
+  for (uint8_t Raw = 0;
+       Raw <= static_cast<uint8_t>(ErrorCode::SnapshotMalformed); ++Raw) {
     const char *Label = errorCodeLabel(static_cast<ErrorCode>(Raw));
     ASSERT_NE(Label, nullptr);
     EXPECT_STRNE(Label, "");

@@ -1,0 +1,300 @@
+//===- make_snapshot_corpus.cpp - Corrupted-snapshot corpus generator --------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates tests/corpus/snapshots/: one deliberately corrupted
+// snapshot file per loader rejection class, each derived from a real
+// serialized snapshot so the corruption sits exactly where the targeted
+// validator looks. Several are *resealed* (section and header CRCs
+// recomputed over the corrupted bytes) so they sail past the checksum
+// gate and exercise the structural validators behind it.
+//
+//   $ make_snapshot_corpus <output-dir>
+//
+// The tool is self-checking: after writing each file it loads it back
+// under the untrusted-input budget and aborts unless the loader rejects
+// it with the expected ErrorCode. Regenerating the corpus therefore
+// cannot silently land a file the loader accepts. SnapshotCorpusTest
+// mirrors the same expectation table against the committed files.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/chg/HierarchyBuilder.h"
+#include "memlook/core/CompactColumn.h"
+#include "memlook/service/SnapshotFile.h"
+#include "memlook/support/Crc32.h"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+using namespace memlook;
+using namespace memlook::service;
+
+namespace {
+
+/// The donor hierarchy every warm corpus file corrupts: two classes,
+/// two members, two distinct columns.
+///   class A { void m(); };  class B : A { void n(); };
+Hierarchy makeDonor() {
+  HierarchyBuilder B;
+  B.addClass("A").withMember("m");
+  B.addClass("B").withBase("A").withMember("n");
+  return std::move(B).build();
+}
+
+std::string serializeDonor(bool Warm) {
+  Hierarchy H = makeDonor();
+  std::shared_ptr<const LookupTable> Table;
+  if (Warm)
+    Table = LookupTable::build(H);
+  return serializeSnapshot(/*Epoch=*/1, H, Table.get());
+}
+
+uint64_t sectionOffset(const std::string &Bytes, size_t Index) {
+  Expected<std::vector<SnapshotSectionInfo>> Sections =
+      inspectSnapshotSections(Bytes);
+  if (!Sections || Index >= Sections->size()) {
+    std::cerr << "donor snapshot has no section " << Index << "\n";
+    std::exit(1);
+  }
+  return (*Sections)[Index].Offset;
+}
+
+/// Walks the columns section to its member-reference array. (Sections
+/// carry tail padding, so "section end minus a few words" would not
+/// land on the refs.)
+size_t memberRefsOffset(const std::string &Bytes) {
+  size_t Off = sectionOffset(Bytes, 2);
+  auto u32At = [&](size_t At) {
+    uint32_t V = 0;
+    std::memcpy(&V, Bytes.data() + At, sizeof(V));
+    return V;
+  };
+  uint32_t DistinctCount = u32At(Off + 4); // skip the hierarchy binding
+  size_t P = Off + 8;
+  for (uint32_t D = 0; D != DistinctCount; ++D) {
+    uint32_t NumRows = u32At(P), RedLen = u32At(P + 4), BlueLen = u32At(P + 8);
+    P += 20 + size_t(NumRows) * sizeof(CompactEntry) +
+         size_t(RedLen) * sizeof(ClassId) +
+         size_t(BlueLen) * sizeof(BlueElement);
+  }
+  return P + 4; // skip the reference count
+}
+
+void patchU32At(std::string &Bytes, size_t At, uint32_t Value) {
+  std::memcpy(Bytes.data() + At, &Value, sizeof(Value));
+}
+
+void reseal(std::string &Bytes) {
+  Status S = resealSnapshotChecksums(Bytes);
+  if (!S.isOk()) {
+    std::cerr << "reseal failed: " << S.toString() << "\n";
+    std::exit(1);
+  }
+}
+
+/// Overwrites row 0 of the first distinct column (class A's entry for
+/// member m) with \p E and reseals. Layout inside the columns section:
+/// u32 hierarchy binding, u32 distinctCount, then the first column's
+/// 20-byte header (numRows, redLen, blueLen, structuralHash) and its
+/// entries.
+void patchFirstEntry(std::string &Bytes, const CompactEntry &E) {
+  size_t ColumnsOff = sectionOffset(Bytes, 2);
+  std::memcpy(Bytes.data() + ColumnsOff + 28, &E, sizeof(E));
+  reseal(Bytes);
+}
+
+struct CorpusCase {
+  const char *FileName;
+  ErrorCode ExpectedCode;
+  std::string Bytes;
+};
+
+std::vector<CorpusCase> buildCases() {
+  std::vector<CorpusCase> Cases;
+
+  // Not even a header.
+  Cases.push_back({"empty.snap", ErrorCode::SnapshotMalformed, ""});
+
+  // Wrong magic: rejected before anything else is trusted.
+  {
+    std::string B = serializeDonor(/*Warm=*/true);
+    B[2] ^= 0x20;
+    Cases.push_back({"bad_magic.snap", ErrorCode::SnapshotVersionMismatch,
+                     std::move(B)});
+  }
+
+  // A future format version, with the header CRC recomputed by hand so
+  // the version check (not the checksum) is what rejects it.
+  // resealSnapshotChecksums itself refuses unknown versions, so the
+  // header geometry is recovered from the section table first.
+  {
+    std::string B = serializeDonor(/*Warm=*/true);
+    size_t HeaderBytes = sectionOffset(B, 0) - sizeof(uint32_t);
+    patchU32At(B, 8, 99); // version follows the 8-byte magic
+    patchU32At(B, HeaderBytes,
+               crc32c(std::string_view(B).substr(0, HeaderBytes)));
+    Cases.push_back({"bad_version.snap", ErrorCode::SnapshotVersionMismatch,
+                     std::move(B)});
+  }
+
+  // Crash mid-write: the file ends inside the hierarchy section, so the
+  // section table describes bytes that are not there.
+  {
+    std::string B = serializeDonor(/*Warm=*/true);
+    B.resize(sectionOffset(B, 1) + 3);
+    Cases.push_back({"truncated_mid_section.snap",
+                     ErrorCode::SnapshotMalformed, std::move(B)});
+  }
+
+  // Single flipped bit in a payload, checksums left alone: the cheap
+  // CRC gate must catch it before any structural validator runs.
+  {
+    std::string B = serializeDonor(/*Warm=*/true);
+    B[sectionOffset(B, 1) + 5] ^= 0x10;
+    Cases.push_back({"flipped_payload_bit.snap",
+                     ErrorCode::SnapshotChecksumMismatch, std::move(B)});
+  }
+
+  // Resealed blue entry whose pool reference points far outside the
+  // blue pool: the bounds check must fire, never an over-read.
+  {
+    std::string B = serializeDonor(/*Warm=*/true);
+    CompactEntry E;
+    E.KindAndFlags = 2; // blue
+    E.PoolCount = 3;
+    E.InlineOrOffset = 0xffffff00u;
+    patchFirstEntry(B, E);
+    Cases.push_back({"oob_pool_offset.snap", ErrorCode::SnapshotMalformed,
+                     std::move(B)});
+  }
+
+  // Resealed header lying about the class count: the hierarchy
+  // section's own count disagrees and the replay refuses.
+  {
+    std::string B = serializeDonor(/*Warm=*/true);
+    patchU32At(B, 20, 3); // numClasses field; the payload says 2
+    reseal(B);
+    Cases.push_back({"header_class_count_lie.snap",
+                     ErrorCode::SnapshotMalformed, std::move(B)});
+  }
+
+  // Resealed base reference rewritten to the class itself (B : B): the
+  // replay through the public Hierarchy API rejects the cycle exactly
+  // as it would in a .mlk source. Cold snapshot, so the rejection comes
+  // from the replay and not from the table's hierarchy binding.
+  {
+    std::string B = serializeDonor(/*Warm=*/false);
+    // Hierarchy payload: u32 numClasses, class A (nameRef, numBases=0,
+    // numMembers=1, one 10-byte member record), then class B's nameRef
+    // and numBases followed by its base record's class reference.
+    size_t HierOff = sectionOffset(B, 1);
+    patchU32At(B, HierOff + 4 + 22 + 8, 1);
+    reseal(B);
+    Cases.push_back({"cyclic_hierarchy.snap", ErrorCode::SnapshotMalformed,
+                     std::move(B)});
+  }
+
+  // Resealed header advertising a billion classes: rejected by the
+  // untrusted-input ResourceBudget before any allocation scales with
+  // the lie.
+  {
+    std::string B = serializeDonor(/*Warm=*/true);
+    patchU32At(B, 20, 1u << 30);
+    reseal(B);
+    Cases.push_back({"huge_counts.snap", ErrorCode::BudgetExceeded,
+                     std::move(B)});
+  }
+
+  // Resealed red entry whose Via names a class that is not a direct
+  // base of the row (B is derived from A, not a base of it): the
+  // witness-chain validator must refuse before entryToResult could
+  // ever walk it.
+  {
+    std::string B = serializeDonor(/*Warm=*/true);
+    CompactEntry E;
+    E.KindAndFlags = 1; // red
+    E.DefiningClass = ClassId(1);
+    E.Via = ClassId(1);
+    E.InlineOrOffset = ClassId::InvalidValue;
+    patchFirstEntry(B, E);
+    Cases.push_back({"via_not_base.snap", ErrorCode::SnapshotMalformed,
+                     std::move(B)});
+  }
+
+  // Resealed member references swapped: each column is individually
+  // well formed, but m now claims n's column and vice versa. The
+  // declaration-site binding must refuse to hand a member another
+  // member's answers.
+  {
+    std::string B = serializeDonor(/*Warm=*/true);
+    size_t Refs = memberRefsOffset(B);
+    patchU32At(B, Refs, 1);
+    patchU32At(B, Refs + 4, 0);
+    reseal(B);
+    Cases.push_back({"member_ref_swap.snap", ErrorCode::SnapshotMalformed,
+                     std::move(B)});
+  }
+
+  // Resealed inheritance kind flipped to virtual: the hierarchy replays
+  // fine, but the table was tabulated over the non-virtual original.
+  // The hierarchy binding at the head of the columns section must
+  // refuse the stale table.
+  {
+    std::string B = serializeDonor(/*Warm=*/true);
+    // Class B's base record {u32 base, u8 kind, u8 access} starts 8
+    // bytes into B's record; the kind byte follows the base reference.
+    size_t HierOff = sectionOffset(B, 1);
+    B[HierOff + 4 + 22 + 8 + 4] ^= 1; // NonVirtual -> Virtual
+    reseal(B);
+    Cases.push_back({"stale_table_after_hierarchy_edit.snap",
+                     ErrorCode::SnapshotMalformed, std::move(B)});
+  }
+
+  return Cases;
+}
+
+} // namespace
+
+int main(int ArgC, char **ArgV) {
+  if (ArgC != 2) {
+    std::cerr << "usage: " << ArgV[0] << " <output-dir>\n";
+    return 2;
+  }
+  std::filesystem::path Dir(ArgV[1]);
+  std::filesystem::create_directories(Dir);
+
+  int Failures = 0;
+  for (CorpusCase &Case : buildCases()) {
+    std::filesystem::path Path = Dir / Case.FileName;
+    {
+      std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+      Out.write(Case.Bytes.data(),
+                static_cast<std::streamsize>(Case.Bytes.size()));
+    }
+
+    Expected<SnapshotPayload> Loaded =
+        readSnapshotFile(Path.string(), ResourceBudget::untrustedInput());
+    if (Loaded) {
+      std::cerr << Case.FileName << ": ACCEPTED by the loader - the "
+                << "corruption no longer reaches its validator\n";
+      ++Failures;
+    } else if (Loaded.status().code() != Case.ExpectedCode) {
+      std::cerr << Case.FileName << ": rejected with '"
+                << Loaded.status().toString() << "', expected code "
+                << errorCodeLabel(Case.ExpectedCode) << "\n";
+      ++Failures;
+    } else {
+      std::cout << Case.FileName << ": " << Loaded.status().toString()
+                << "\n";
+    }
+  }
+  return Failures == 0 ? 0 : 1;
+}
