@@ -19,7 +19,8 @@
 // Expect a crossover: recursive wins at low density, eager at high.
 //
 // Besides the google-benchmark ablation, `bench_tabulation --json OUT`
-// runs a self-contained serial / parallel / incremental comparison (see
+// runs a self-contained serial / parallel / incremental comparison plus
+// a durable-commit A/B (WAL append + fsync vs plain publish; see
 // runJsonHarness below) and writes machine-readable results - the bench
 // trajectory CI's perf-smoke job and bench/run_bench.sh consume.
 //
@@ -35,11 +36,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+
+#include <unistd.h>
 
 using namespace memlook;
 
@@ -289,6 +294,116 @@ ScenarioResult runScenario(std::string Name, Workload W,
   return R;
 }
 
+//===----------------------------------------------------------------------===//
+// Durable-commit overhead: WAL append + fsync vs plain publish
+//===----------------------------------------------------------------------===//
+
+struct DurabilityResult {
+  uint32_t Commits = 0;
+  double NonDurableMs = 0;
+  double DurableMs = 0;
+  uint64_t WalBytes = 0;
+  /// Fractional commit-stream slowdown the write-ahead log buys
+  /// durability with (0.03 = 3% slower than the plain service).
+  double overheadFraction() const {
+    return NonDurableMs > 0 ? (DurableMs - NonDurableMs) / NonDurableMs : 0.0;
+  }
+};
+
+/// One timed single-member commit (globally fresh member name, so the
+/// replay never rejects). Returns the commit() wall time alone.
+double timedCommit(service::LookupService &Svc, const std::string &Target,
+                   const std::string &Member) {
+  Transaction Txn = Svc.beginTxn();
+  Txn.addMember(Target, Member);
+  auto Start = std::chrono::steady_clock::now();
+  Status S = Svc.commit(Txn);
+  double Ms = elapsedMillis(Start);
+  if (!S.isOk()) {
+    std::cerr << "bench durability commit failed: " << S.toString() << "\n";
+    std::exit(2);
+  }
+  return Ms;
+}
+
+/// Elementwise-min accumulator: commit I's best time across repeats.
+/// Scheduler preemption is one-sided noise at commit granularity, so
+/// the per-commit minimum converges on the true cost far faster than a
+/// whole-stream best-of - which matters here, because the fsync tax
+/// being measured is a fraction of a millisecond per commit.
+void foldMin(std::vector<double> &Acc, const std::vector<double> &Sample) {
+  if (Acc.empty()) {
+    Acc = Sample;
+    return;
+  }
+  for (size_t I = 0; I != Acc.size(); ++I)
+    Acc[I] = std::min(Acc[I], Sample[I]);
+}
+
+double sum(const std::vector<double> &Xs) {
+  double Total = 0;
+  for (double X : Xs)
+    Total += X;
+  return Total;
+}
+
+/// The durability A/B: the same deterministic commit stream runs
+/// against a plain service and a WAL-durable one (fdatasync on every
+/// append - the power-loss-safe configuration), interleaved repeat by
+/// repeat so drift hits both sides equally, best-of on each side. The
+/// --check guard pins the durability tax on the compiler-shaped
+/// workload: appending and syncing a few-hundred-byte record must stay
+/// in the noise next to replay + validation + incremental rewarm.
+DurabilityResult runDurabilityAB(int Repeats) {
+  DurabilityResult R;
+  R.Commits = 32;
+  Workload W = makeModularForest(96, 3, 4, 6, 2);
+  std::vector<std::string> Targets;
+  for (uint32_t C = 0; C < W.H.numClasses(); C += 37)
+    Targets.push_back(std::string(W.H.className(ClassId(C))));
+
+  std::filesystem::path Dir =
+      std::filesystem::temp_directory_path() /
+      ("memlook_bench_wal." + std::to_string(::getpid()));
+  std::filesystem::create_directories(Dir);
+  std::string WalPath = (Dir / "bench.wal").string();
+
+  // Hierarchy is move-only; the generator is deterministic, so each
+  // side of each repeat just re-derives the identical workload (the
+  // construction is outside the timed commit loop either way). Both
+  // services live through a repeat and the commits alternate plain /
+  // durable at commit granularity: frequency drift and cgroup
+  // throttling move on timescales much longer than one ~20ms commit,
+  // so each pair sees the same machine and the comparison survives a
+  // noisy runner that would swamp back-to-back whole streams.
+  std::vector<double> PlainMin, DurableMin;
+  for (int Rep = 0; Rep != Repeats; ++Rep) {
+    service::LookupService Plain(makeModularForest(96, 3, 4, 6, 2).H);
+    service::ServiceOptions Opts;
+    Opts.WalPath = WalPath; // fresh history each construction
+    service::LookupService Durable(makeModularForest(96, 3, 4, 6, 2).H,
+                                   Opts);
+    std::vector<double> PlainMs, DurableMs;
+    for (uint32_t I = 0; I != R.Commits; ++I) {
+      const std::string &Target = Targets[I % Targets.size()];
+      std::string Member = "wal_bench_" + std::to_string(I);
+      PlainMs.push_back(timedCommit(Plain, Target, Member));
+      DurableMs.push_back(timedCommit(Durable, Target, Member));
+    }
+    foldMin(PlainMin, PlainMs);
+    foldMin(DurableMin, DurableMs);
+    std::error_code Ec;
+    uint64_t Bytes = std::filesystem::file_size(WalPath, Ec);
+    if (!Ec)
+      R.WalBytes = Bytes;
+  }
+  R.NonDurableMs = sum(PlainMin);
+  R.DurableMs = sum(DurableMin);
+  std::error_code Ec;
+  std::filesystem::remove_all(Dir, Ec);
+  return R;
+}
+
 double geomean(const std::vector<double> &Xs) {
   double LogSum = 0;
   for (double X : Xs)
@@ -336,6 +451,8 @@ int runJsonHarness(const std::string &OutPath, uint32_t Threads, bool Check,
                                   Repeats, Check));
   }
 
+  DurabilityResult Durability = runDurabilityAB(Repeats);
+
   std::vector<double> SerialMs, ParallelMs, RewarmMs, Speedups, TableBytes;
   std::vector<double> SnapshotLoadMs;
   bool AnyParallel = false;
@@ -382,7 +499,12 @@ int runJsonHarness(const std::string &OutPath, uint32_t Threads, bool Check,
           << ", \"dedup_shared_columns\": " << R.DedupedColumns;
     Out << "}" << (I + 1 == Results.size() ? "\n" : ",\n");
   }
-  Out << "  ],\n  \"geomean\": {\"serial_build_ms\": " << geomean(SerialMs)
+  Out << "  ],\n  \"durability\": {\"commits\": " << Durability.Commits
+      << ", \"commit_stream_ms_plain\": " << Durability.NonDurableMs
+      << ", \"commit_stream_ms_wal\": " << Durability.DurableMs
+      << ", \"wal_overhead_fraction\": " << Durability.overheadFraction()
+      << ", \"wal_bytes\": " << Durability.WalBytes << "},\n";
+  Out << "  \"geomean\": {\"serial_build_ms\": " << geomean(SerialMs)
       << ", \"parallel_build_ms\": ";
   if (AnyParallel)
     Out << geomean(ParallelMs);
@@ -415,6 +537,11 @@ int runJsonHarness(const std::string &OutPath, uint32_t Threads, bool Check,
               << R.TableBytes << " table bytes, " << R.DedupedColumns
               << " columns deduped\n";
   }
+  std::cout << "durable commits: " << Durability.Commits << " txns, plain "
+            << Durability.NonDurableMs << " ms, wal+fsync "
+            << Durability.DurableMs << " ms (+"
+            << 100.0 * Durability.overheadFraction() << "% overhead, "
+            << Durability.WalBytes << " wal bytes)\n";
 
   if (Check) {
     // CI regression guard: a parallel build must never lose to serial,
@@ -452,6 +579,16 @@ int runJsonHarness(const std::string &OutPath, uint32_t Threads, bool Check,
         return 1;
       }
     }
+    // Durability guard: the WAL (append + fdatasync before publish)
+    // must cost under 5% of the commit stream on the compiler-shaped
+    // workload, or durable mode is too expensive to leave on.
+    if (Durability.overheadFraction() >= 0.05) {
+      std::cerr << "CHECK FAILED: WAL-durable commit stream ("
+                << Durability.DurableMs << " ms) exceeds the plain stream ("
+                << Durability.NonDurableMs << " ms) by "
+                << 100.0 * Durability.overheadFraction() << "% (>= 5%)\n";
+      return 1;
+    }
     std::cout << "checks passed\n";
   }
   return 0;
@@ -464,7 +601,10 @@ int main(int argc, char **argv) {
   uint32_t Threads = 0;
   bool Check = false;
   bool Memory = false;
-  int Repeats = 3;
+  // 5, not 3: the --check guards compare measurements whose true
+  // ratios sit near their thresholds, and on a busy single-core runner
+  // a best-of-3 still carries enough scheduler noise to flip them.
+  int Repeats = 5;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc)
       JsonOut = argv[++I];

@@ -26,6 +26,16 @@
 //   memlook> add-member C n
 //   memlook> :audit
 //
+// With --wal the service runs durably: every committed transaction is
+// appended (and fsynced) to the write-ahead log before it is published,
+// and `--load SNAP --wal LOG` replays logged commits newer than the
+// snapshot - the full recovery ladder, with exit codes distinguishing
+// clean recovery (0), quarantined-but-rebuilt state (4), and recovery
+// that provably lost durable history (5).
+//
+//   $ ./lookup_tool file.mlk --serve --wal state.wal
+//   $ ./lookup_tool file.mlk --load state.snap --wal state.wal --query E::m
+//
 //===----------------------------------------------------------------------===//
 
 #include "memlook/chg/DotExport.h"
@@ -76,7 +86,12 @@ int usage(const char *Prog) {
       << "  --load FILE      restore from a snapshot; the input file is\n"
       << "                   the rebuild fallback. Combines with --serve\n"
       << "                   (warm start) and --query. Exits 4 when a bad\n"
-      << "                   snapshot was quarantined and rebuilt.\n";
+      << "                   snapshot was quarantined and rebuilt.\n"
+      << "  --wal FILE       durable mode for --serve/--load: commits\n"
+      << "                   append to the write-ahead log before\n"
+      << "                   publishing, and --load replays logged\n"
+      << "                   transactions newer than the snapshot. Exits 5\n"
+      << "                   when recovery provably lost durable history.\n";
   return 2;
 }
 
@@ -85,6 +100,13 @@ int usage(const char *Prog) {
 /// distinct from usage (2) and hard failures (1), so supervisors can
 /// alert on silent snapshot rot without treating it as downtime.
 constexpr int ExitQuarantinedLoad = 4;
+
+/// Exit code for "recovery succeeded but durable history was provably
+/// lost": a corrupt WAL interior, a broken epoch chain, or a record
+/// that no longer replays. The service is up and consistent, but
+/// commits that were once acknowledged are gone - the loudest of the
+/// degraded-success codes.
+constexpr int ExitRecoveredWithLoss = 5;
 
 std::unique_ptr<LookupEngine> makeEngine(const std::string &Name,
                                          const Hierarchy &H) {
@@ -302,9 +324,9 @@ int runServeOn(service::LookupService &Svc) {
   return 0;
 }
 
-int runServe(Hierarchy H) {
+int runServe(Hierarchy H, service::ServiceOptions Options) {
   Expected<std::unique_ptr<service::LookupService>> SvcOr =
-      service::LookupService::create(std::move(H));
+      service::LookupService::create(std::move(H), std::move(Options));
   if (!SvcOr.hasValue()) {
     std::cerr << "error: " << SvcOr.status().toString() << '\n';
     return 1;
@@ -329,7 +351,7 @@ int main(int ArgC, char **ArgV) {
   bool PrintStats = false;
   bool Serve = false;
   std::string EmitSourceFile;
-  std::string SaveFile, LoadFile;
+  std::string SaveFile, LoadFile, WalFile;
 
   for (int I = 2; I < ArgC; ++I) {
     std::string Arg = ArgV[I];
@@ -358,10 +380,17 @@ int main(int ArgC, char **ArgV) {
       SaveFile = ArgV[++I];
     } else if (Arg == "--load" && I + 1 < ArgC) {
       LoadFile = ArgV[++I];
+    } else if (Arg == "--wal" && I + 1 < ArgC) {
+      WalFile = ArgV[++I];
     } else {
       std::cerr << ArgV[0] << ": error: unknown option '" << Arg << "'\n";
       return usage(ArgV[0]);
     }
+  }
+
+  if (!WalFile.empty() && !Serve && LoadFile.empty()) {
+    std::cerr << ArgV[0] << ": error: --wal requires --serve or --load\n";
+    return usage(ArgV[0]);
   }
 
   // Read the program text.
@@ -396,10 +425,12 @@ int main(int ArgC, char **ArgV) {
   // --serve) run against the restored service; the batch-mode options
   // below do not apply.
   if (!LoadFile.empty()) {
+    service::ServiceOptions Options;
+    Options.WalPath = WalFile;
     service::RestoreReport Report;
     Expected<std::unique_ptr<service::LookupService>> SvcOr =
         service::LookupService::restore(LoadFile, std::move(H),
-                                        service::ServiceOptions(), &Report);
+                                        std::move(Options), &Report);
     if (!SvcOr.hasValue()) {
       std::cerr << ArgV[0] << ": error: " << SvcOr.status().toString()
                 << '\n';
@@ -425,15 +456,21 @@ int main(int ArgC, char **ArgV) {
                     Svc.queryOn(*Snap, Class, Member));
       }
     }
-    if (RC == 0 && Report.FileQuarantined)
+    if (RC == 0 && Report.DataLoss)
+      return ExitRecoveredWithLoss;
+    if (RC == 0 && (Report.FileQuarantined || Report.WalQuarantined))
       return ExitQuarantinedLoad;
     return RC;
   }
 
   // Service REPL mode takes over the parsed hierarchy entirely; the
-  // batch-mode options below do not apply.
-  if (Serve)
-    return runServe(std::move(H));
+  // batch-mode options below do not apply. A --wal here starts a fresh
+  // durable history (restore-with-history is --load's job).
+  if (Serve) {
+    service::ServiceOptions Options;
+    Options.WalPath = WalFile;
+    return runServe(std::move(H), std::move(Options));
+  }
 
   // Persist before anything else consumes the hierarchy: parse ->
   // tabulate -> atomically replace the snapshot file.

@@ -57,6 +57,8 @@
 namespace memlook {
 namespace service {
 
+class WriteAheadLog;
+
 /// The rung of the degradation ladder that produced an answer.
 enum class AnswerRung : uint8_t {
   /// The epoch's warm LookupTable: O(1), exact.
@@ -95,18 +97,29 @@ struct QueryAnswer {
 };
 
 /// The rung of the recovery ladder that produced a restored service's
-/// initial state (LookupService::restore()).
+/// initial state (LookupService::restore()). The ladder descends
+/// snapshot+WAL replay -> snapshot only -> full rebuild; RestoreReport
+/// carries a per-rung Status explaining every rung that was passed
+/// over, not just the final outcome.
 enum class RestoreRung : uint8_t {
-  /// The snapshot file: loaded, structurally validated, checksum-clean,
-  /// and spot-audited against a live kernel.
+  /// The snapshot file alone: loaded, structurally validated,
+  /// checksum-clean, and spot-audited against a live kernel. In durable
+  /// mode this rung means the write-ahead log held nothing newer (or
+  /// could not be used - WalStatus says which).
   Snapshot = 0,
   /// The fallback: full tabulation from the caller's source hierarchy,
   /// because no usable snapshot existed (missing, corrupt, or failed
-  /// the restore audit - SnapshotStatus says which).
+  /// the restore audit - SnapshotStatus says which). Durable
+  /// transactions logged against the pristine source state are still
+  /// replayed on top when the log connects to it.
   RebuildFromSource = 1,
+  /// The top rung: the snapshot loaded clean *and* committed
+  /// transactions the log preserved past it were replayed through the
+  /// live transaction engine, recovering epochs no snapshot ever held.
+  SnapshotAndWal = 2,
 };
 
-/// Returns "snapshot" / "rebuild-from-source".
+/// Returns "snapshot" / "rebuild-from-source" / "snapshot+wal".
 const char *restoreRungLabel(RestoreRung Rung);
 
 /// Structured outcome of one LookupService::restore() call.
@@ -126,8 +139,33 @@ struct RestoreReport {
   /// Where it was moved (Path + ".quarantined"), when FileQuarantined.
   std::string QuarantinePath;
 
+  /// True when the restore ran in durable mode (Options.WalPath set)
+  /// and the fields below are meaningful.
+  bool WalAttempted = false;
+  /// Ok when the log was fully absorbed (replayed, already covered by
+  /// the snapshot, or legitimately absent); otherwise why the WAL rung
+  /// stopped early (WalIoError / WalCorrupt / WalEpochSkew, or the
+  /// commit error a record's replay hit).
+  Status WalStatus;
+  /// Logged transactions replayed through the transaction engine.
+  uint64_t WalRecordsReplayed = 0;
+  /// Logged transactions skipped as already covered by the snapshot's
+  /// epoch (a crash between snapshot write and log compaction leaves
+  /// these behind; they are expected, not data loss).
+  uint64_t WalRecordsSkipped = 0;
+  /// True when durable history provably could not be reapplied: a
+  /// corrupt log interior, a broken epoch chain, a fingerprint
+  /// mismatch, or a record whose replay failed. A torn tail is NOT
+  /// data loss - the interrupted append never reported success.
+  bool DataLoss = false;
+  /// True when an unusable log was moved aside for post-mortem.
+  bool WalQuarantined = false;
+  /// Where it was moved (WalPath + ".quarantined"), when quarantined.
+  std::string WalQuarantinePath;
+
   /// One-line structured diagnostic, e.g.
-  /// "restore: rung=snapshot epoch=7, 8 columns audited".
+  /// "restore: rung=snapshot+wal epoch=9, 8 columns audited, 3 wal
+  /// records replayed".
   std::string toString() const;
 };
 
@@ -167,6 +205,20 @@ struct ServiceOptions {
   /// fewer columns). Structural validation already proved the table
   /// *well-formed*; this samples that it is also *right*.
   uint32_t RestoreAuditColumns = 8;
+  /// Durable mode: path of the write-ahead log. When set, commit()
+  /// appends the transaction to the log (and syncs it, see
+  /// WalSyncEachAppend) *before* publishing, saveSnapshot() compacts
+  /// the log back to the snapshot's epoch, and restore() replays
+  /// logged transactions newer than the snapshot. Empty = commits are
+  /// durable only up to the last saveSnapshot(). A directly
+  /// constructed service starts a fresh log (truncating any file at
+  /// the path - a fresh service is a fresh history); restore() is the
+  /// path that preserves one.
+  std::string WalPath;
+  /// fdatasync the log on every commit append. True survives power
+  /// loss; false survives process death only (the page cache outlives
+  /// the process) and commits measurably faster.
+  bool WalSyncEachAppend = true;
 };
 
 /// Monotone operation counters (all reads are racy-by-design totals).
@@ -194,6 +246,11 @@ struct ServiceStats {
   uint64_t SnapshotSaves = 0;    ///< saveSnapshot() calls that hit disk
   uint64_t SnapshotRestores = 0; ///< restores served from the snapshot rung
   uint64_t SnapshotQuarantines = 0; ///< snapshot files moved aside as bad
+  uint64_t WalAppends = 0;       ///< commit records appended to the log
+  uint64_t WalBytesAppended = 0; ///< bytes those appends wrote
+  uint64_t WalResets = 0;        ///< log compactions (saveSnapshot)
+  uint64_t WalReplayedRecords = 0; ///< logged txns replayed by restore
+  uint64_t WalQuarantines = 0;   ///< log files moved aside as bad
 };
 
 /// Structured outcome of one self-audit pass.
@@ -240,13 +297,23 @@ public:
 
   /// Cold-starts a service down the recovery ladder:
   ///
-  ///  1. **snapshot rung**: read + validate the file at \p Path (size
+  ///  1. **snapshot+wal rung** (durable mode): everything rung 2 does,
+  ///     plus replay of the write-ahead log's committed transactions
+  ///     newer than the snapshot through the normal commit path, so
+  ///     the recovered table's rewarm/dedup invariants are
+  ///     re-established, not deserialized. A torn final append is
+  ///     silently truncated; a log with a corrupt interior or broken
+  ///     epoch chain is quarantined after its clean prefix is
+  ///     salvaged, and the report flags DataLoss;
+  ///  2. **snapshot rung**: read + validate the file at \p Path (size
   ///     caps, checksums, structural validation), then recompute
   ///     RestoreAuditColumns member columns with a live kernel and
   ///     require byte-for-byte agreement with the loaded table;
-  ///  2. **rebuild rung**: on any snapshot failure, quarantine the file
+  ///  3. **rebuild rung**: on any snapshot failure, quarantine the file
   ///     (rename to \p Path + ".quarantined", preserving the evidence)
-  ///     and tabulate from \p FallbackSource as epoch 1.
+  ///     and tabulate from \p FallbackSource as epoch 1. Durable
+  ///     transactions logged against that pristine state (base epoch 1,
+  ///     matching hierarchy fingerprint) are still replayed on top.
   ///
   /// \p Report (optional) records which rung served and why. The only
   /// overall failure is an unusable fallback: NotFinalized when the
@@ -261,7 +328,11 @@ public:
 
   /// Atomically writes the current snapshot (epoch, hierarchy, and the
   /// table when warm - a quarantined table is never persisted) to
-  /// \p Path via temp-file + fsync + rename.
+  /// \p Path via temp-file + fsync + rename. In durable mode a
+  /// successful write then compacts the write-ahead log to a single
+  /// base record at the saved epoch; a failed compaction is reported
+  /// through stats only, never as a save failure - the old log still
+  /// covers every epoch past the snapshot, so durability is unharmed.
   Status saveSnapshot(const std::string &Path) const;
 
   ~LookupService();
@@ -379,8 +450,17 @@ private:
   mutable std::mutex SnapMutex;
   std::shared_ptr<const Snapshot> Current;
 
-  /// Serializes writers (commit, warm, audit-rebuild, corrupt-hook).
-  std::mutex WriterMutex;
+  /// Serializes writers (commit, warm, audit-rebuild, corrupt-hook,
+  /// snapshot save + log compaction). Mutable because saveSnapshot()
+  /// is logically const but must fence the log against racing commits.
+  mutable std::mutex WriterMutex;
+
+  /// Durable mode (Opts.WalPath non-empty): the open log, guarded by
+  /// WriterMutex. Null with WalPath set means the log could not be
+  /// opened - WalHealth says why, and commit() refuses rather than
+  /// silently dropping durability.
+  std::unique_ptr<WriteAheadLog> Wal;
+  Status WalHealth;
 
   // Monotone stats counters (relaxed; totals, not synchronization).
   mutable std::atomic<uint64_t> NumCommits{0}, NumCommitRejects{0},
@@ -388,7 +468,9 @@ private:
       NumUnknownContexts{0}, NumAudits{0}, NumAuditMismatches{0},
       NumQuarantines{0}, NumTableRebuilds{0}, NumIncrementalRewarms{0},
       NumColumnsShared{0}, NumColumnsRetabulated{0}, NumColumnsDeduped{0},
-      NumSnapshotSaves{0}, NumSnapshotRestores{0}, NumSnapshotQuarantines{0};
+      NumSnapshotSaves{0}, NumSnapshotRestores{0}, NumSnapshotQuarantines{0},
+      NumWalAppends{0}, NumWalBytesAppended{0}, NumWalResets{0},
+      NumWalReplayedRecords{0}, NumWalQuarantines{0};
   mutable std::atomic<uint64_t> NumRungAnswers[3] = {{0}, {0}, {0}};
 
   // Background audit thread state.

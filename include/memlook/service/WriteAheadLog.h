@@ -1,0 +1,203 @@
+//===- memlook/service/WriteAheadLog.h - Durable commit log -----*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The write-ahead log that makes LookupService commits durable between
+/// snapshots. A durable service appends one record per committed
+/// transaction *before* publishing the new epoch; recovery replays the
+/// log's records through the normal transaction engine on top of the
+/// newest readable snapshot, so the rewarm/dedup invariants of the
+/// recovered table are re-established by the same code that built them
+/// live, not deserialized.
+///
+/// ## File format (version 1, little-endian)
+///
+/// A log is a flat sequence of records. Every record carries a 28-byte
+/// header:
+///
+///   offset  size  field
+///        0     4  magic "WAL1"
+///        4     4  kind           (1 = base, 2 = transaction)
+///        8     8  epoch
+///       16     4  payload size
+///       20     4  payload CRC-32C
+///       24     4  header CRC-32C (over the 24 bytes above)
+///
+/// The first record must be a *base* record; its epoch names the state
+/// the log extends and its payload pins the format version plus a
+/// fingerprint of the hierarchy at that epoch (hierarchyFingerprint),
+/// so a log can never be replayed onto a state it does not describe.
+/// Every following record is a *transaction* record whose epoch
+/// increments by exactly one and whose payload is the recorded edit
+/// script (Transaction ops, by name). saveSnapshot() compacts the log
+/// back to a single base record at the snapshot's epoch.
+///
+/// ## Torn tail vs corrupt interior
+///
+/// Appends are a single write(); a crash mid-append therefore leaves a
+/// *prefix* of the final record and nothing after it. Salvage exploits
+/// that asymmetry: a framing failure explainable as a truncated suffix
+/// (fewer bytes remain than the header - or the header's claimed
+/// payload - needs) is a torn tail, silently dropped and physically
+/// truncated on the next open-for-append. Any other failure - bad
+/// magic, a CRC mismatch over fully-present bytes, an impossible
+/// length, a broken epoch chain - cannot be produced by interrupting
+/// the writer and is reported (WalCorrupt / WalEpochSkew) so recovery
+/// can quarantine the file. The clean prefix before the failure is
+/// still returned: durable history is never discarded just because
+/// later bytes rotted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SERVICE_WRITEAHEADLOG_H
+#define MEMLOOK_SERVICE_WRITEAHEADLOG_H
+
+#include "memlook/service/Transaction.h"
+#include "memlook/support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memlook {
+namespace service {
+
+/// One salvaged transaction record: the epoch its commit produced and
+/// the edit script that produced it.
+struct WalRecord {
+  uint64_t Epoch = 0;
+  std::vector<Transaction::Op> Ops;
+};
+
+/// Everything salvage could read from a log's bytes. Records before the
+/// first problem are always returned; Error says why scanning stopped
+/// early (ok when it reached a clean end, possibly after dropping a
+/// torn tail).
+struct WalSalvage {
+  /// True when a valid base record led the file.
+  bool HasBase = false;
+  /// Epoch of the state the log extends (valid when HasBase).
+  uint64_t BaseEpoch = 0;
+  /// hierarchyFingerprint() of that state (valid when HasBase).
+  uint32_t BaseFingerprint = 0;
+  /// Cleanly framed transaction records, in append order, with a
+  /// contiguous epoch chain starting at BaseEpoch + 1.
+  std::vector<WalRecord> Records;
+  /// Byte length of the cleanly framed prefix.
+  uint64_t CleanBytes = 0;
+  /// Trailing bytes dropped as the torn tail of an interrupted append.
+  uint64_t TornBytesDropped = 0;
+  /// Ok, or the WalIoError / WalCorrupt / WalEpochSkew that stopped the
+  /// scan. Records salvaged before the stop are kept either way.
+  Status Error;
+};
+
+/// A 32-bit structural fingerprint of a finalized hierarchy: CRC-32C
+/// over every class's name, base specifiers, and member declarations in
+/// id order. Two hierarchies produced by the same construction sequence
+/// fingerprint identically; the base record stores this so replay can
+/// refuse a log that describes a different lineage. A fingerprint is a
+/// corruption/mismatch detector, not an authenticator - replay still
+/// validates every op through the transaction engine.
+uint32_t hierarchyFingerprint(const Hierarchy &H);
+
+/// Encodes a base record (see the format comment above).
+std::string encodeWalBaseRecord(uint64_t BaseEpoch, uint32_t Fingerprint);
+
+/// Encodes a transaction record for the commit that produced \p Epoch.
+std::string encodeWalTxnRecord(uint64_t Epoch,
+                               const std::vector<Transaction::Op> &Ops);
+
+/// Scans \p Bytes as a log and salvages what is cleanly framed. Never
+/// fails hard: every outcome, including "this is not a log at all", is
+/// a WalSalvage. Untrusted-input discipline: every read is
+/// bounds-checked and every decoded op field is range-checked.
+WalSalvage salvageWalBytes(std::string_view Bytes);
+
+/// Recomputes every record's payload and header CRC in place, walking
+/// the length fields. Fuzzing/corpus tooling: lets a mutation survive
+/// the checksum rung so the deeper validation rungs get exercised.
+/// Stops at the first record whose frame no longer walks.
+void resealWalChecksums(std::string &Bytes);
+
+/// An open, appendable log file. Move-only; the destructor closes the
+/// descriptor. All durability decisions (when to sync, when to compact)
+/// belong to the caller - this class only guarantees that what append()
+/// reported durable is readable back by salvage.
+class WriteAheadLog {
+public:
+  /// Read cap for replayFile: a log bigger than this is rejected
+  /// (WalIoError) before allocating, same discipline as the snapshot
+  /// loader's budget-derived cap.
+  static constexpr uint64_t MaxReplayBytes = 256ull << 20;
+  /// A single record's claimed payload larger than this is WalCorrupt
+  /// regardless of how many bytes remain: the writer never emits one,
+  /// so the length cannot be an honest torn tail.
+  static constexpr uint32_t MaxRecordPayloadBytes = 16u << 20;
+
+  WriteAheadLog(WriteAheadLog &&Other) noexcept;
+  WriteAheadLog &operator=(WriteAheadLog &&Other) noexcept;
+  WriteAheadLog(const WriteAheadLog &) = delete;
+  WriteAheadLog &operator=(const WriteAheadLog &) = delete;
+  ~WriteAheadLog();
+
+  /// Creates (or truncates) \p Path holding a single base record for
+  /// \p BaseEpoch, synced to disk (file and directory).
+  static Expected<WriteAheadLog> create(std::string Path, uint64_t BaseEpoch,
+                                        uint32_t Fingerprint,
+                                        bool SyncEachAppend);
+
+  /// Opens an existing log whose salvage \p S came back clean, truncates
+  /// the torn tail physically (if any), and positions for append.
+  static Expected<WriteAheadLog> openExisting(std::string Path,
+                                              const WalSalvage &S,
+                                              bool SyncEachAppend);
+
+  /// Reads and salvages the log at \p Path without opening it for
+  /// append. A missing/unreadable file comes back as Error = WalIoError
+  /// with zero records.
+  static WalSalvage replayFile(const std::string &Path);
+
+  /// True when a file exists at \p Path.
+  static bool exists(const std::string &Path);
+
+  /// Appends the record for the commit producing \p Epoch and (in sync
+  /// mode) makes it durable before returning. Epochs must arrive in
+  /// +1 steps - that is the service's writer-lock invariant, so a skew
+  /// here is a caller bug, not input. On failure the in-memory epoch
+  /// counter is unchanged and the caller must treat the commit as not
+  /// durable (the file may hold a torn tail; the next open truncates
+  /// it).
+  Status append(uint64_t Epoch, const std::vector<Transaction::Op> &Ops);
+
+  /// Compacts the log to a single base record at \p BaseEpoch via an
+  /// atomic sibling-file swap: a crash at any instant leaves either the
+  /// full old log or the fresh base record, never a mixture. Called
+  /// after a successful saveSnapshot at that epoch.
+  Status reset(uint64_t BaseEpoch, uint32_t Fingerprint);
+
+  const std::string &path() const { return Path; }
+  /// Epoch of the last record (base or transaction) in the file.
+  uint64_t lastEpoch() const { return LastEpoch; }
+  /// Bytes appended through this handle (stat surface, not file size).
+  uint64_t bytesAppended() const { return BytesAppended; }
+
+private:
+  WriteAheadLog() = default;
+
+  std::string Path;
+  int Fd = -1;
+  uint64_t LastEpoch = 0;
+  uint64_t BytesAppended = 0;
+  bool SyncEachAppend = true;
+};
+
+} // namespace service
+} // namespace memlook
+
+#endif // MEMLOOK_SERVICE_WRITEAHEADLOG_H

@@ -1,0 +1,86 @@
+//===- memlook/support/CrashPoint.h - Fault injection -----------*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic crash-point injection for durability testing.
+///
+/// Production code marks the interesting instants of its I/O sequences
+/// with named crash points: the byte about to be appended to the
+/// write-ahead log, the fsync that makes it durable, the gap between a
+/// temp-file write and the rename that publishes it. A test (or a
+/// parent process, via the environment) arms exactly one of those
+/// points, and on its Nth hit the point fires: the process dies with
+/// SIGKILL, the instrumented operation reports failure, or the write is
+/// deliberately torn after a chosen byte count. Recovery code can then
+/// be driven through every interruption window the happy path skips,
+/// reproducibly - the same arming fires at the same instruction every
+/// run.
+///
+/// Arming channels:
+///
+///  - armCrashPoint()/disarmCrashPoints() for in-process tests.
+///  - MEMLOOK_CRASH_POINT="<name>@<hit>" (kill mode),
+///    "<name>@<hit>=fail" or "<name>@<hit>=partial:<bytes>" for child
+///    processes spawned by a crash campaign. Parsed once, lazily.
+///
+/// When nothing is armed the per-hit cost is one relaxed atomic load,
+/// so instrumentation can stay on in production builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SUPPORT_CRASHPOINT_H
+#define MEMLOOK_SUPPORT_CRASHPOINT_H
+
+#include <cstdint>
+
+namespace memlook {
+
+/// What an armed crash point does when it fires.
+enum class CrashMode : uint8_t {
+  /// SIGKILL the process at the point - no destructors, no flushes,
+  /// exactly what a power cut looks like to everything already fsynced.
+  Kill,
+  /// The instrumented operation reports failure (directive.Fail) and the
+  /// process lives; exercises the error-return path.
+  FailOp,
+  /// The instrumented write persists only the first PartialBytes bytes,
+  /// then the process is killed; exercises torn-write recovery.
+  PartialThenKill,
+};
+
+/// What the instrumented call site should do for this hit. Returned by
+/// crashPointHit(); in Kill mode the call never returns.
+struct CrashDirective {
+  /// Report failure from the instrumented operation.
+  bool Fail = false;
+  /// Perform only PartialBytes bytes of the write, then call
+  /// crashPointKill().
+  bool Partial = false;
+  uint64_t PartialBytes = 0;
+};
+
+/// Marks one hit of the named crash point. Fires the armed behavior when
+/// this is the armed point and its hit count has been reached; otherwise
+/// returns an all-clear directive. Near-free when nothing is armed.
+CrashDirective crashPointHit(const char *Name);
+
+/// Dies with SIGKILL immediately. Call sites use this to finish a
+/// Partial directive after performing the torn write.
+[[noreturn]] void crashPointKill();
+
+/// Arms the \p HitNumber-th (1-based) hit of \p Name to fire with
+/// \p Mode. One point is armed at a time; arming replaces any previous
+/// arming and resets hit counters.
+void armCrashPoint(const char *Name, uint64_t HitNumber, CrashMode Mode,
+                   uint64_t PartialBytes = 0);
+
+/// Disarms everything and resets hit counters.
+void disarmCrashPoints();
+
+} // namespace memlook
+
+#endif // MEMLOOK_SUPPORT_CRASHPOINT_H

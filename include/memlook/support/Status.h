@@ -76,6 +76,19 @@ enum class ErrorCode : uint8_t {
   /// offsets, entries no tabulation could produce, or a hierarchy that
   /// fails replay validation. The untrusted-loader hardening rung.
   SnapshotMalformed,
+  /// A write-ahead log could not be opened, read, appended, or synced
+  /// (OS-level I/O failure, missing file, or over the read cap).
+  WalIoError,
+  /// A write-ahead log's interior is corrupt: a record that is not the
+  /// torn tail of the final append has a bad magic, a bad CRC, an
+  /// impossible length, or the file does not begin with a base record.
+  /// Distinct from a torn tail, which replay silently truncates.
+  WalCorrupt,
+  /// A write-ahead log's epoch chain is broken: records are duplicated,
+  /// out of order, or gapped, or the log's base epoch does not connect
+  /// to the state being recovered. The framing is intact; the history
+  /// it describes is not one the service could have produced.
+  WalEpochSkew,
 };
 
 /// Returns a stable lowercase label, e.g. "unknown-class".

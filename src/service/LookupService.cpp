@@ -11,6 +11,8 @@
 #include "memlook/core/DominanceLookupEngine.h"
 #include "memlook/core/GxxBfsEngine.h"
 #include "memlook/service/SnapshotFile.h"
+#include "memlook/service/WriteAheadLog.h"
+#include "memlook/support/CrashPoint.h"
 #include "memlook/support/Rng.h"
 
 #include <chrono>
@@ -37,6 +39,8 @@ const char *memlook::service::restoreRungLabel(RestoreRung Rung) {
     return "snapshot";
   case RestoreRung::RebuildFromSource:
     return "rebuild-from-source";
+  case RestoreRung::SnapshotAndWal:
+    return "snapshot+wal";
   }
   return "unknown";
 }
@@ -44,12 +48,25 @@ const char *memlook::service::restoreRungLabel(RestoreRung Rung) {
 std::string RestoreReport::toString() const {
   std::string Out = std::string("restore: rung=") + restoreRungLabel(Rung) +
                     " epoch=" + std::to_string(Epoch);
-  if (Rung == RestoreRung::Snapshot)
+  if (Rung == RestoreRung::Snapshot || Rung == RestoreRung::SnapshotAndWal)
     Out += ", " + std::to_string(AuditColumnsChecked) + " columns audited";
-  else if (!SnapshotStatus.isOk())
+  if (!SnapshotStatus.isOk())
     Out += ", snapshot passed over: " + SnapshotStatus.toString();
   if (FileQuarantined)
     Out += ", file quarantined to " + QuarantinePath;
+  if (WalAttempted) {
+    if (WalRecordsReplayed != 0)
+      Out += ", " + std::to_string(WalRecordsReplayed) + " wal records replayed";
+    if (WalRecordsSkipped != 0)
+      Out += ", " + std::to_string(WalRecordsSkipped) +
+             " wal records already covered";
+    if (!WalStatus.isOk())
+      Out += ", wal stopped: " + WalStatus.toString();
+    if (WalQuarantined)
+      Out += ", wal quarantined to " + WalQuarantinePath;
+    if (DataLoss)
+      Out += ", DATA LOSS";
+  }
   return Out;
 }
 
@@ -81,6 +98,19 @@ LookupService::LookupService(Hierarchy Initial, ServiceOptions Options)
     if (Snap->Table)
       NumColumnsDeduped.fetch_add(Snap->Table->buildStats().ColumnsDeduped,
                                   std::memory_order_relaxed);
+  }
+  if (!Opts.WalPath.empty()) {
+    // A fresh service is a fresh history: start the log at epoch 1.
+    // restore() is the entry point that preserves an existing log (it
+    // clears WalPath before reaching this constructor and attaches the
+    // log it salvaged itself).
+    Expected<WriteAheadLog> W = WriteAheadLog::create(
+        Opts.WalPath, /*BaseEpoch=*/1, hierarchyFingerprint(*Snap->H),
+        Opts.WalSyncEachAppend);
+    if (W)
+      Wal = std::make_unique<WriteAheadLog>(W.takeValue());
+    else
+      WalHealth = W.status();
   }
   Current = std::move(Snap);
 }
@@ -169,7 +199,23 @@ LookupService::restore(const std::string &Path, Hierarchy FallbackSource,
   RestoreReport &R = Report ? *Report : Local;
   R = RestoreReport();
 
-  // Rung 1: the snapshot file.
+  // Durable mode: salvage the log up front, before any rung can touch
+  // the filesystem, and keep the constructors away from the file
+  // (WalPath cleared) - restore owns the log's fate here.
+  const std::string WalPath = Options.WalPath;
+  const bool Durable = !WalPath.empty();
+  const bool Sync = Options.WalSyncEachAppend;
+  Options.WalPath.clear();
+  R.WalAttempted = Durable;
+  WalSalvage Salvage;
+  bool WalFileExists = false;
+  if (Durable) {
+    WalFileExists = WriteAheadLog::exists(WalPath);
+    if (WalFileExists)
+      Salvage = WriteAheadLog::replayFile(WalPath);
+  }
+
+  // Base state: the snapshot rung, else the rebuild rung.
   Status SnapStatus = Status::ok();
   Expected<SnapshotPayload> Loaded = readSnapshotFile(Path, Options.Budget);
   if (!Loaded) {
@@ -180,45 +226,179 @@ LookupService::restore(const std::string &Path, Hierarchy FallbackSource,
                                     R.AuditColumnsChecked);
   }
 
+  std::unique_ptr<LookupService> Svc;
   if (SnapStatus.isOk() && Loaded) {
     R.Rung = RestoreRung::Snapshot;
     R.Epoch = Loaded->Epoch;
-    auto Svc = std::unique_ptr<LookupService>(
+    Svc = std::unique_ptr<LookupService>(
         new LookupService(RestoreTag{}, Loaded->Epoch, std::move(Loaded->H),
                           std::move(Loaded->Table), std::move(Options)));
     Svc->NumSnapshotRestores.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // The file exists but is unusable: move it aside so the evidence
+    // survives the rebuild (and a crash loop cannot keep re-reading
+    // it). A missing file simply fails the rename - nothing to
+    // preserve.
+    R.SnapshotStatus = SnapStatus;
+    std::string Quarantine = Path + ".quarantined";
+    if (std::rename(Path.c_str(), Quarantine.c_str()) == 0) {
+      R.FileQuarantined = true;
+      R.QuarantinePath = Quarantine;
+    }
+
+    if (!FallbackSource.isFinalized())
+      return Status::error(ErrorCode::NotFinalized,
+                           "snapshot unusable (" + SnapStatus.toString() +
+                               ") and the fallback hierarchy is not finalized");
+    R.Rung = RestoreRung::RebuildFromSource;
+    R.Epoch = 1;
+    Svc = std::make_unique<LookupService>(std::move(FallbackSource), Options);
+    if (R.FileQuarantined)
+      Svc->NumSnapshotQuarantines.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (!Durable)
     return Svc;
+
+  // The WAL rung: replay the log's committed transactions onto the
+  // base state through the normal commit path. The log connects when
+  // its contiguous epoch chain reaches past the base epoch; records at
+  // or below it were compacted into the snapshot already and are
+  // skipped, not lost.
+  const uint64_t BaseEpoch = Svc->currentEpoch();
+  bool WalUsable = false;
+
+  if (!WalFileExists ||
+      (!Salvage.HasBase && Salvage.Records.empty() && Salvage.Error.isOk())) {
+    // No log, an empty file, or a create() torn before its base record
+    // landed: nothing was ever durable in it. Start fresh, no loss.
+  } else if (!Salvage.HasBase) {
+    R.WalStatus = Salvage.Error;
+    R.DataLoss = true; // unreadable from the first record: content unknown
+  } else if (Salvage.BaseEpoch > BaseEpoch) {
+    R.WalStatus = Status::error(
+        ErrorCode::WalEpochSkew,
+        "log begins at epoch " + std::to_string(Salvage.BaseEpoch) +
+            ", beyond the recovered epoch " + std::to_string(BaseEpoch) +
+            "; its history does not connect");
+    R.DataLoss = true;
+  } else if (Salvage.BaseEpoch == BaseEpoch &&
+             Salvage.BaseFingerprint !=
+                 hierarchyFingerprint(*Svc->snapshot()->H)) {
+    R.WalStatus = Status::error(
+        ErrorCode::WalCorrupt,
+        "log base fingerprint does not match the recovered state at epoch " +
+            std::to_string(BaseEpoch) + "; refusing to replay");
+    R.DataLoss = !Salvage.Records.empty();
+  } else {
+    // Connected. Skip what the snapshot already covers; contiguity
+    // guarantees the first kept record is exactly BaseEpoch + 1.
+    size_t Skip = 0;
+    while (Skip != Salvage.Records.size() &&
+           Salvage.Records[Skip].Epoch <= BaseEpoch)
+      ++Skip;
+    R.WalRecordsSkipped = Skip;
+
+    WalUsable = true;
+    for (size_t I = Skip; I != Salvage.Records.size(); ++I) {
+      WalRecord &Rec = Salvage.Records[I];
+      Transaction Txn(Svc->currentEpoch());
+      Txn.Ops = std::move(Rec.Ops);
+      if (Status C = Svc->commit(Txn); !C.isOk()) {
+        // The durable prefix before this record stands; the rest of
+        // the log describes commits this state can no longer accept.
+        R.WalStatus = Status::error(
+            C.code(), "replaying logged epoch " + std::to_string(Rec.Epoch) +
+                          ": " + C.message());
+        R.DataLoss = true;
+        WalUsable = false;
+        break;
+      }
+      ++R.WalRecordsReplayed;
+    }
+    if (WalUsable && !Salvage.Error.isOk()) {
+      // Clean prefix replayed, but the scan stopped early: whatever
+      // followed the damage is gone.
+      R.WalStatus = Salvage.Error;
+      R.DataLoss = true;
+      WalUsable = false;
+    }
   }
 
-  // The file exists but is unusable: move it aside so the evidence
-  // survives the rebuild (and a crash loop cannot keep re-reading it).
-  // A missing file simply fails the rename - nothing to preserve.
-  R.SnapshotStatus = SnapStatus;
-  std::string Quarantine = Path + ".quarantined";
-  if (std::rename(Path.c_str(), Quarantine.c_str()) == 0) {
-    R.FileQuarantined = true;
-    R.QuarantinePath = Quarantine;
-  }
+  Svc->NumWalReplayedRecords.fetch_add(R.WalRecordsReplayed,
+                                       std::memory_order_relaxed);
+  if (R.WalRecordsReplayed != 0 && R.Rung == RestoreRung::Snapshot)
+    R.Rung = RestoreRung::SnapshotAndWal;
+  R.Epoch = Svc->currentEpoch();
 
-  // Rung 2: full rebuild from source.
-  if (!FallbackSource.isFinalized())
-    return Status::error(ErrorCode::NotFinalized,
-                         "snapshot unusable (" + SnapStatus.toString() +
-                             ") and the fallback hierarchy is not finalized");
-  R.Rung = RestoreRung::RebuildFromSource;
-  R.Epoch = 1;
-  auto Svc = std::make_unique<LookupService>(std::move(FallbackSource),
-                                             std::move(Options));
-  if (R.FileQuarantined)
-    Svc->NumSnapshotQuarantines.fetch_add(1, std::memory_order_relaxed);
+  // Disposition on disk. Keep extending the existing log only when its
+  // end epoch is exactly the recovered epoch (so the append chain
+  // continues unbroken); a stale-but-clean log is superseded without
+  // ceremony, an unusable one is quarantined as evidence.
+  uint64_t LogEnd = Salvage.Records.empty()
+                        ? Salvage.BaseEpoch
+                        : Salvage.Records.back().Epoch;
+  if (WalUsable && Salvage.HasBase && LogEnd == Svc->currentEpoch()) {
+    Expected<WriteAheadLog> W =
+        WriteAheadLog::openExisting(WalPath, Salvage, Sync);
+    if (W)
+      Svc->Wal = std::make_unique<WriteAheadLog>(W.takeValue());
+    else {
+      Svc->WalHealth = W.status();
+      if (R.WalStatus.isOk())
+        R.WalStatus = W.status();
+    }
+  } else {
+    if (!R.WalStatus.isOk() && WalFileExists) {
+      std::string Quarantine = WalPath + ".quarantined";
+      if (std::rename(WalPath.c_str(), Quarantine.c_str()) == 0) {
+        R.WalQuarantined = true;
+        R.WalQuarantinePath = Quarantine;
+        Svc->NumWalQuarantines.fetch_add(1, std::memory_order_relaxed);
+      }
+      // The quarantined log held the only durable copy of the replayed
+      // prefix; persist a snapshot at the recovered epoch so that
+      // prefix survives the next crash too. Best-effort: on failure
+      // the state still serves, only re-crash durability suffers.
+      if (R.WalRecordsReplayed != 0)
+        (void)Svc->saveSnapshot(Path);
+    }
+    Expected<WriteAheadLog> W = WriteAheadLog::create(
+        WalPath, Svc->currentEpoch(),
+        hierarchyFingerprint(*Svc->snapshot()->H), Sync);
+    if (W)
+      Svc->Wal = std::make_unique<WriteAheadLog>(W.takeValue());
+    else {
+      Svc->WalHealth = W.status();
+      if (R.WalStatus.isOk())
+        R.WalStatus = W.status();
+    }
+  }
+  Svc->Opts.WalPath = WalPath;
   return Svc;
 }
 
 Status LookupService::saveSnapshot(const std::string &Path) const {
+  // The writer lock fences the save against racing commits so the log
+  // compaction below cannot truncate a record appended after the
+  // snapshot we wrote (write snapshot at epoch E, compact to base E,
+  // all while E stays current).
+  std::lock_guard<std::mutex> Writer(WriterMutex);
   std::shared_ptr<const Snapshot> Snap = snapshot();
   Status S = writeSnapshotFile(Path, *Snap);
-  if (S.isOk())
-    NumSnapshotSaves.fetch_add(1, std::memory_order_relaxed);
+  if (!S.isOk())
+    return S;
+  NumSnapshotSaves.fetch_add(1, std::memory_order_relaxed);
+  if (Wal) {
+    // Window under test: the snapshot is durable but the log still
+    // carries the records it covers. Recovery must skip them.
+    crashPointHit("wal-reset");
+    if (Wal->reset(Snap->Epoch, hierarchyFingerprint(*Snap->H)).isOk())
+      NumWalResets.fetch_add(1, std::memory_order_relaxed);
+    // A failed compaction is not a save failure: the old log's records
+    // are all <= the snapshot epoch or still replayable after it, so
+    // nothing durable was lost - restore skips the covered prefix.
+  }
   return S;
 }
 
@@ -344,6 +524,32 @@ Status LookupService::commit(const Transaction &Txn) {
   if (!Edited) {
     NumCommitRejects.fetch_add(1, std::memory_order_relaxed);
     return Edited.status();
+  }
+
+  // Durable mode: append-then-publish. The record reaches the log (and
+  // in sync mode, the platter) before any reader can observe the new
+  // epoch; an append failure rolls the whole commit back, exactly like
+  // a validation failure. Only *validated* scripts are logged, so
+  // recovery replays them through the same engine without re-hitting
+  // rejections.
+  if (!Opts.WalPath.empty()) {
+    if (!Wal) {
+      NumCommitRejects.fetch_add(1, std::memory_order_relaxed);
+      return WalHealth.isOk()
+                 ? Status::error(ErrorCode::WalIoError,
+                                 "durable mode with no open log")
+                 : WalHealth;
+    }
+    if (Status W = Wal->append(Base->Epoch + 1, Txn.ops()); !W.isOk()) {
+      NumCommitRejects.fetch_add(1, std::memory_order_relaxed);
+      return W;
+    }
+    NumWalAppends.fetch_add(1, std::memory_order_relaxed);
+    NumWalBytesAppended.store(Wal->bytesAppended(),
+                              std::memory_order_relaxed);
+    // The durable-but-unpublished window: a kill here must recover the
+    // transaction even though the caller never saw commit() return.
+    crashPointHit("wal-publish");
   }
 
   auto Next = std::make_shared<Snapshot>();
@@ -594,6 +800,12 @@ ServiceStats LookupService::stats() const {
   S.SnapshotRestores = NumSnapshotRestores.load(std::memory_order_relaxed);
   S.SnapshotQuarantines =
       NumSnapshotQuarantines.load(std::memory_order_relaxed);
+  S.WalAppends = NumWalAppends.load(std::memory_order_relaxed);
+  S.WalBytesAppended = NumWalBytesAppended.load(std::memory_order_relaxed);
+  S.WalResets = NumWalResets.load(std::memory_order_relaxed);
+  S.WalReplayedRecords =
+      NumWalReplayedRecords.load(std::memory_order_relaxed);
+  S.WalQuarantines = NumWalQuarantines.load(std::memory_order_relaxed);
   if (std::shared_ptr<const Snapshot> Snap = snapshot(); Snap->Table)
     S.TableHeapBytes = Snap->Table->heapBytes();
   return S;

@@ -1,0 +1,558 @@
+//===- WriteAheadLog.cpp - Durable commit log --------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/service/WriteAheadLog.h"
+
+#include "memlook/support/AtomicFile.h"
+#include "memlook/support/CrashPoint.h"
+#include "memlook/support/Crc32.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace memlook;
+using namespace memlook::service;
+
+namespace {
+
+// "WAL1" read as a little-endian u32.
+constexpr uint32_t WalMagic = 0x314C4157u;
+constexpr uint32_t WalFormatVersion = 1;
+constexpr uint32_t KindBase = 1;
+constexpr uint32_t KindTxn = 2;
+constexpr size_t HeaderSize = 28;
+// Header layout offsets (see the format comment in the header file).
+constexpr size_t OffMagic = 0;
+constexpr size_t OffKind = 4;
+constexpr size_t OffEpoch = 8;
+constexpr size_t OffPayloadSize = 16;
+constexpr size_t OffPayloadCrc = 20;
+constexpr size_t OffHeaderCrc = 24;
+
+void putU32(std::string &Out, uint32_t V) {
+  char B[4];
+  std::memcpy(B, &V, 4);
+  Out.append(B, 4);
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  char B[8];
+  std::memcpy(B, &V, 8);
+  Out.append(B, 8);
+}
+
+uint32_t loadU32(const char *P) {
+  uint32_t V;
+  std::memcpy(&V, P, 4);
+  return V;
+}
+
+uint64_t loadU64(const char *P) {
+  uint64_t V;
+  std::memcpy(&V, P, 8);
+  return V;
+}
+
+void storeU32(char *P, uint32_t V) { std::memcpy(P, &V, 4); }
+
+/// Bounds-checked cursor over an untrusted payload.
+struct Reader {
+  const char *P;
+  size_t Size;
+  size_t Off = 0;
+
+  bool u8(uint8_t &V) {
+    if (Size - Off < 1)
+      return false;
+    V = static_cast<uint8_t>(P[Off++]);
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (Size - Off < 4)
+      return false;
+    V = loadU32(P + Off);
+    Off += 4;
+    return true;
+  }
+  bool str(std::string &V) {
+    uint32_t Len;
+    if (!u32(Len) || Size - Off < Len)
+      return false;
+    V.assign(P + Off, Len);
+    Off += Len;
+    return true;
+  }
+};
+
+void encodeOps(std::string &Out, const std::vector<Transaction::Op> &Ops) {
+  putU32(Out, static_cast<uint32_t>(Ops.size()));
+  for (const Transaction::Op &Op : Ops) {
+    Out.push_back(static_cast<char>(Op.Kind));
+    Out.push_back(static_cast<char>(Op.EdgeKind));
+    Out.push_back(static_cast<char>(Op.Access));
+    Out.push_back(static_cast<char>((Op.IsStatic ? 1 : 0) |
+                                    (Op.IsVirtual ? 2 : 0)));
+    putU32(Out, static_cast<uint32_t>(Op.Class.size()));
+    Out.append(Op.Class);
+    putU32(Out, static_cast<uint32_t>(Op.Target.size()));
+    Out.append(Op.Target);
+    putU32(Out, static_cast<uint32_t>(Op.Member.size()));
+    Out.append(Op.Member);
+  }
+}
+
+/// Decodes a transaction payload. False on any bounds or range failure:
+/// a CRC-valid payload that does not decode is corruption (or an
+/// adversarial reseal), never a torn tail.
+bool decodeOps(std::string_view Payload, std::vector<Transaction::Op> &Ops) {
+  Reader R{Payload.data(), Payload.size()};
+  uint32_t Count;
+  if (!R.u32(Count))
+    return false;
+  // Each op occupies at least 4 flag bytes + three 4-byte lengths; an
+  // honest count can never exceed what the payload could hold.
+  if (Count > (Payload.size() - R.Off) / 16)
+    return false;
+  Ops.reserve(Count);
+  for (uint32_t I = 0; I != Count; ++I) {
+    uint8_t Kind, Edge, Access, Flags;
+    if (!R.u8(Kind) || !R.u8(Edge) || !R.u8(Access) || !R.u8(Flags))
+      return false;
+    if (Kind > static_cast<uint8_t>(Transaction::OpKind::AddUsing) ||
+        Edge > static_cast<uint8_t>(InheritanceKind::Virtual) ||
+        Access > static_cast<uint8_t>(AccessSpec::Private) || Flags > 3)
+      return false;
+    Transaction::Op Op;
+    Op.Kind = static_cast<Transaction::OpKind>(Kind);
+    Op.EdgeKind = static_cast<InheritanceKind>(Edge);
+    Op.Access = static_cast<AccessSpec>(Access);
+    Op.IsStatic = (Flags & 1) != 0;
+    Op.IsVirtual = (Flags & 2) != 0;
+    if (!R.str(Op.Class) || !R.str(Op.Target) || !R.str(Op.Member))
+      return false;
+    Ops.push_back(std::move(Op));
+  }
+  // Trailing bytes inside a CRC-valid payload were never written by the
+  // encoder.
+  return R.Off == Payload.size();
+}
+
+std::string frameRecord(uint32_t Kind, uint64_t Epoch,
+                        std::string_view Payload) {
+  std::string Out;
+  Out.reserve(HeaderSize + Payload.size());
+  putU32(Out, WalMagic);
+  putU32(Out, Kind);
+  putU64(Out, Epoch);
+  putU32(Out, static_cast<uint32_t>(Payload.size()));
+  putU32(Out, crc32c(Payload.data(), Payload.size()));
+  putU32(Out, crc32c(Out.data(), OffHeaderCrc));
+  Out.append(Payload);
+  return Out;
+}
+
+Status walError(ErrorCode Code, std::string Msg) {
+  return Status::error(Code, std::move(Msg));
+}
+
+Status walIo(const char *Step, const std::string &Path, int Err) {
+  return Status::error(ErrorCode::WalIoError, std::string(Step) + " '" + Path +
+                                                  "': " + std::strerror(Err));
+}
+
+} // namespace
+
+uint32_t memlook::service::hierarchyFingerprint(const Hierarchy &H) {
+  // Canonical structural stream in id order. Lengths are folded in so
+  // adjacent strings cannot alias ("ab","c" vs "a","bc"); ids are
+  // deterministic for a given construction sequence, which is the only
+  // lineage the fingerprint is ever compared across.
+  uint32_t C = crc32c(nullptr, 0);
+  char Buf[16];
+  auto foldU32 = [&](uint32_t V) {
+    std::memcpy(Buf, &V, 4);
+    C = crc32c(Buf, 4, C);
+  };
+  auto foldStr = [&](std::string_view S) {
+    foldU32(static_cast<uint32_t>(S.size()));
+    C = crc32c(S.data(), S.size(), C);
+  };
+  foldU32(H.numClasses());
+  for (uint32_t I = 0; I != H.numClasses(); ++I) {
+    ClassId Id(I);
+    const Hierarchy::ClassInfo &Info = H.info(Id);
+    foldStr(H.className(Id));
+    foldU32(static_cast<uint32_t>(Info.DirectBases.size()));
+    for (const BaseSpecifier &B : Info.DirectBases) {
+      foldStr(H.className(B.Base));
+      foldU32(static_cast<uint32_t>(B.Kind));
+      foldU32(static_cast<uint32_t>(B.Access));
+    }
+    foldU32(static_cast<uint32_t>(Info.Members.size()));
+    for (const MemberDecl &M : Info.Members) {
+      foldStr(H.spelling(M.Name));
+      foldU32(static_cast<uint32_t>(M.Access) | (M.IsStatic ? 0x100u : 0) |
+              (M.IsVirtual ? 0x200u : 0));
+      foldStr(M.UsingFrom.isValid() ? H.className(M.UsingFrom)
+                                    : std::string_view());
+    }
+  }
+  return C;
+}
+
+std::string memlook::service::encodeWalBaseRecord(uint64_t BaseEpoch,
+                                                  uint32_t Fingerprint) {
+  std::string Payload;
+  putU32(Payload, WalFormatVersion);
+  putU32(Payload, Fingerprint);
+  return frameRecord(KindBase, BaseEpoch, Payload);
+}
+
+std::string
+memlook::service::encodeWalTxnRecord(uint64_t Epoch,
+                                     const std::vector<Transaction::Op> &Ops) {
+  std::string Payload;
+  encodeOps(Payload, Ops);
+  return frameRecord(KindTxn, Epoch, Payload);
+}
+
+WalSalvage memlook::service::salvageWalBytes(std::string_view Bytes) {
+  WalSalvage S;
+  size_t Off = 0;
+  bool First = true;
+  while (Off < Bytes.size()) {
+    size_t Remaining = Bytes.size() - Off;
+    if (Remaining < HeaderSize) {
+      // Fewer bytes than a header: only an interrupted append leaves
+      // this, and only at the very end of the file.
+      S.TornBytesDropped = Remaining;
+      break;
+    }
+    const char *H = Bytes.data() + Off;
+    uint32_t HeaderCrc = loadU32(H + OffHeaderCrc);
+    if (crc32c(H, OffHeaderCrc) != HeaderCrc) {
+      // A torn append leaves a short suffix, handled above; a full
+      // header's worth of bytes with a bad CRC is interior damage.
+      S.Error = walError(ErrorCode::WalCorrupt,
+                         "record header CRC mismatch at offset " +
+                             std::to_string(Off));
+      break;
+    }
+    uint32_t Magic = loadU32(H + OffMagic);
+    uint32_t Kind = loadU32(H + OffKind);
+    uint64_t Epoch = loadU64(H + OffEpoch);
+    uint32_t PayloadSize = loadU32(H + OffPayloadSize);
+    uint32_t PayloadCrc = loadU32(H + OffPayloadCrc);
+    if (Magic != WalMagic) {
+      S.Error = walError(ErrorCode::WalCorrupt,
+                         "bad record magic at offset " + std::to_string(Off));
+      break;
+    }
+    if (Kind != KindBase && Kind != KindTxn) {
+      S.Error = walError(ErrorCode::WalCorrupt,
+                         "unknown record kind " + std::to_string(Kind) +
+                             " at offset " + std::to_string(Off));
+      break;
+    }
+    if (PayloadSize > WriteAheadLog::MaxRecordPayloadBytes) {
+      // The writer never emits a payload this large, so the length
+      // cannot be the honest prefix of a torn append.
+      S.Error = walError(ErrorCode::WalCorrupt,
+                         "impossible payload length " +
+                             std::to_string(PayloadSize) + " at offset " +
+                             std::to_string(Off));
+      break;
+    }
+    if (Remaining < HeaderSize + PayloadSize) {
+      // Valid header, short payload: the torn tail of the final append.
+      S.TornBytesDropped = Remaining;
+      break;
+    }
+    std::string_view Payload = Bytes.substr(Off + HeaderSize, PayloadSize);
+    if (crc32c(Payload.data(), Payload.size()) != PayloadCrc) {
+      S.Error = walError(ErrorCode::WalCorrupt,
+                         "payload CRC mismatch at offset " +
+                             std::to_string(Off));
+      break;
+    }
+    if (First) {
+      if (Kind != KindBase) {
+        S.Error = walError(ErrorCode::WalCorrupt,
+                           "log does not begin with a base record");
+        break;
+      }
+      Reader R{Payload.data(), Payload.size()};
+      uint32_t Version, Fingerprint;
+      if (!R.u32(Version) || !R.u32(Fingerprint) || R.Off != Payload.size()) {
+        S.Error =
+            walError(ErrorCode::WalCorrupt, "malformed base record payload");
+        break;
+      }
+      if (Version != WalFormatVersion) {
+        S.Error = walError(ErrorCode::WalCorrupt,
+                           "unsupported log format version " +
+                               std::to_string(Version));
+        break;
+      }
+      S.HasBase = true;
+      S.BaseEpoch = Epoch;
+      S.BaseFingerprint = Fingerprint;
+    } else {
+      if (Kind == KindBase) {
+        S.Error = walError(ErrorCode::WalCorrupt,
+                           "base record not first, at offset " +
+                               std::to_string(Off));
+        break;
+      }
+      uint64_t Expected = S.BaseEpoch + S.Records.size() + 1;
+      if (Epoch != Expected) {
+        S.Error = walError(ErrorCode::WalEpochSkew,
+                           "record epoch " + std::to_string(Epoch) +
+                               " where " + std::to_string(Expected) +
+                               " was required, at offset " +
+                               std::to_string(Off));
+        break;
+      }
+      WalRecord Rec;
+      Rec.Epoch = Epoch;
+      if (!decodeOps(Payload, Rec.Ops)) {
+        S.Error = walError(ErrorCode::WalCorrupt,
+                           "malformed transaction payload at offset " +
+                               std::to_string(Off));
+        break;
+      }
+      S.Records.push_back(std::move(Rec));
+    }
+    Off += HeaderSize + PayloadSize;
+    S.CleanBytes = Off;
+    First = false;
+  }
+  return S;
+}
+
+void memlook::service::resealWalChecksums(std::string &Bytes) {
+  size_t Off = 0;
+  while (Bytes.size() - Off >= HeaderSize) {
+    char *H = Bytes.data() + Off;
+    uint32_t PayloadSize = loadU32(H + OffPayloadSize);
+    if (PayloadSize > WriteAheadLog::MaxRecordPayloadBytes ||
+        Bytes.size() - Off < HeaderSize + PayloadSize)
+      return;
+    storeU32(H + OffPayloadCrc,
+             crc32c(H + HeaderSize, static_cast<size_t>(PayloadSize)));
+    storeU32(H + OffHeaderCrc, crc32c(H, OffHeaderCrc));
+    Off += HeaderSize + PayloadSize;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// WriteAheadLog
+//===----------------------------------------------------------------------===//
+
+WriteAheadLog::WriteAheadLog(WriteAheadLog &&Other) noexcept
+    : Path(std::move(Other.Path)), Fd(Other.Fd), LastEpoch(Other.LastEpoch),
+      BytesAppended(Other.BytesAppended),
+      SyncEachAppend(Other.SyncEachAppend) {
+  Other.Fd = -1;
+}
+
+WriteAheadLog &WriteAheadLog::operator=(WriteAheadLog &&Other) noexcept {
+  if (this != &Other) {
+    if (Fd >= 0)
+      ::close(Fd);
+    Path = std::move(Other.Path);
+    Fd = Other.Fd;
+    LastEpoch = Other.LastEpoch;
+    BytesAppended = Other.BytesAppended;
+    SyncEachAppend = Other.SyncEachAppend;
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+Expected<WriteAheadLog> WriteAheadLog::create(std::string Path,
+                                              uint64_t BaseEpoch,
+                                              uint32_t Fingerprint,
+                                              bool SyncEachAppend) {
+  // The base record goes through the atomic-replace recipe so a crash
+  // mid-create leaves either no log or a complete one - and so the
+  // file's very existence is durable before the service relies on it.
+  std::string Record = encodeWalBaseRecord(BaseEpoch, Fingerprint);
+  if (Status S = writeFileAtomic(Path, Record); !S.isOk())
+    return walError(ErrorCode::WalIoError, S.message());
+
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (Fd < 0)
+    return walIo("open", Path, errno);
+  WriteAheadLog W;
+  W.Path = std::move(Path);
+  W.Fd = Fd;
+  W.LastEpoch = BaseEpoch;
+  W.SyncEachAppend = SyncEachAppend;
+  return W;
+}
+
+Expected<WriteAheadLog> WriteAheadLog::openExisting(std::string Path,
+                                                    const WalSalvage &S,
+                                                    bool SyncEachAppend) {
+  if (!S.Error.isOk())
+    return S.Error;
+  if (!S.HasBase)
+    return walError(ErrorCode::WalCorrupt,
+                    "'" + Path + "' has no base record to append after");
+
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (Fd < 0)
+    return walIo("open", Path, errno);
+
+  // Physically drop the torn tail so the next append starts at the
+  // clean end; O_APPEND then lands writes exactly there.
+  struct stat St;
+  if (::fstat(Fd, &St) != 0) {
+    int Err = errno;
+    ::close(Fd);
+    return walIo("stat", Path, Err);
+  }
+  if (static_cast<uint64_t>(St.st_size) > S.CleanBytes) {
+    if (::ftruncate(Fd, static_cast<off_t>(S.CleanBytes)) != 0) {
+      int Err = errno;
+      ::close(Fd);
+      return walIo("truncate", Path, Err);
+    }
+    if (::fdatasync(Fd) != 0) {
+      int Err = errno;
+      ::close(Fd);
+      return walIo("fdatasync", Path, Err);
+    }
+  }
+
+  WriteAheadLog W;
+  W.Path = std::move(Path);
+  W.Fd = Fd;
+  W.LastEpoch = S.Records.empty() ? S.BaseEpoch : S.Records.back().Epoch;
+  W.SyncEachAppend = SyncEachAppend;
+  return W;
+}
+
+WalSalvage WriteAheadLog::replayFile(const std::string &Path) {
+  Expected<std::string> Bytes = readFileCapped(Path, MaxReplayBytes);
+  if (!Bytes) {
+    WalSalvage S;
+    S.Error = walError(ErrorCode::WalIoError, Bytes.status().message());
+    return S;
+  }
+  return salvageWalBytes(*Bytes);
+}
+
+bool WriteAheadLog::exists(const std::string &Path) {
+  return ::access(Path.c_str(), F_OK) == 0;
+}
+
+Status WriteAheadLog::append(uint64_t Epoch,
+                             const std::vector<Transaction::Op> &Ops) {
+  if (Fd < 0)
+    return walError(ErrorCode::WalIoError,
+                    "'" + Path + "' is poisoned after a failed append");
+  assert(Epoch == LastEpoch + 1 &&
+         "commit epochs reach the log in +1 steps under the writer lock");
+
+  std::string Record = encodeWalTxnRecord(Epoch, Ops);
+
+  // The current clean end, for rollback: an append whose sync fails
+  // must not leave a complete-but-unacknowledged record behind, or a
+  // retried commit would collide with it as a duplicate epoch.
+  off_t End = ::lseek(Fd, 0, SEEK_END);
+  if (End < 0)
+    return walIo("seek", Path, errno);
+
+  auto rollback = [&]() {
+    if (::ftruncate(Fd, End) != 0) {
+      // Cannot restore the clean end: poison the handle so no later
+      // append writes after a suspect region.
+      ::close(Fd);
+      Fd = -1;
+    }
+  };
+
+  CrashDirective Dir = crashPointHit("wal-append");
+  if (Dir.Fail)
+    return walError(ErrorCode::WalIoError, "append '" + Path +
+                                               "': injected write failure");
+  if (Dir.Partial) {
+    size_t N = std::min<size_t>(Dir.PartialBytes, Record.size());
+    (void)!::write(Fd, Record.data(), N);
+    crashPointKill();
+  }
+
+  const char *P = Record.data();
+  size_t Left = Record.size();
+  while (Left != 0) {
+    ssize_t N = ::write(Fd, P, Left);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      int Err = errno;
+      rollback();
+      return walIo("append", Path, Err);
+    }
+    P += N;
+    Left -= static_cast<size_t>(N);
+  }
+
+  if (SyncEachAppend) {
+    if (crashPointHit("wal-append-fsync").Fail) {
+      rollback();
+      return walError(ErrorCode::WalIoError,
+                      "fdatasync '" + Path + "': injected sync failure");
+    }
+    if (::fdatasync(Fd) != 0) {
+      int Err = errno;
+      rollback();
+      return walIo("fdatasync", Path, Err);
+    }
+  }
+
+  LastEpoch = Epoch;
+  BytesAppended += Record.size();
+  return Status::ok();
+}
+
+Status WriteAheadLog::reset(uint64_t BaseEpoch, uint32_t Fingerprint) {
+  // Atomic swap: the sibling-file rename means a crash at any instant
+  // leaves either the full old log or the fresh base record.
+  std::string Record = encodeWalBaseRecord(BaseEpoch, Fingerprint);
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Status S = writeFileAtomic(Path, Record);
+  // Whichever file won the swap is the one to append to next.
+  int NewFd = ::open(Path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (NewFd < 0) {
+    int Err = errno;
+    return S.isOk() ? walIo("reopen", Path, Err)
+                    : walError(ErrorCode::WalIoError, S.message());
+  }
+  Fd = NewFd;
+  if (!S.isOk()) {
+    // The swap failed but the old log is intact; keep extending it.
+    return walError(ErrorCode::WalIoError, S.message());
+  }
+  LastEpoch = BaseEpoch;
+  return Status::ok();
+}

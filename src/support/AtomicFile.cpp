@@ -7,6 +7,9 @@
 
 #include "memlook/support/AtomicFile.h"
 
+#include "memlook/support/CrashPoint.h"
+
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -44,6 +47,23 @@ Status memlook::writeFileAtomic(const std::string &Path,
   if (Fd < 0)
     return ioError("create", TmpPath, errno);
 
+  // Crash points bracket each durability-relevant step so a campaign
+  // can interrupt the write-fsync-rename-dirsync sequence in every
+  // window. A torn temp file is inert either way: it never carries the
+  // destination name.
+  CrashDirective WriteDir = crashPointHit("atomic-file-write");
+  if (WriteDir.Fail) {
+    ::close(Fd);
+    ::unlink(TmpPath.c_str());
+    return ioError("write", TmpPath, EIO);
+  }
+  if (WriteDir.Partial) {
+    size_t N = std::min<size_t>(WriteDir.PartialBytes, Contents.size());
+    // Best-effort torn write; the kill is the point, not the count.
+    (void)!::write(Fd, Contents.data(), N);
+    crashPointKill();
+  }
+
   const char *P = Contents.data();
   size_t Left = Contents.size();
   while (Left != 0) {
@@ -60,6 +80,11 @@ Status memlook::writeFileAtomic(const std::string &Path,
     Left -= static_cast<size_t>(N);
   }
 
+  if (crashPointHit("atomic-file-fsync").Fail) {
+    ::close(Fd);
+    ::unlink(TmpPath.c_str());
+    return ioError("fsync", TmpPath, EIO);
+  }
   if (::fsync(Fd) != 0) {
     int Err = errno;
     ::close(Fd);
@@ -72,6 +97,10 @@ Status memlook::writeFileAtomic(const std::string &Path,
     return ioError("close", TmpPath, Err);
   }
 
+  if (crashPointHit("atomic-file-rename").Fail) {
+    ::unlink(TmpPath.c_str());
+    return ioError("rename", Path, EIO);
+  }
   if (::rename(TmpPath.c_str(), Path.c_str()) != 0) {
     int Err = errno;
     ::unlink(TmpPath.c_str());

@@ -1,0 +1,148 @@
+//===- CrashPoint.cpp - Fault injection --------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/support/CrashPoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include <signal.h>
+#include <unistd.h>
+
+using namespace memlook;
+
+namespace {
+
+struct Arming {
+  std::string Name;
+  uint64_t HitNumber = 0; // 1-based; 0 = disarmed
+  CrashMode Mode = CrashMode::Kill;
+  uint64_t PartialBytes = 0;
+  uint64_t HitsSeen = 0;
+};
+
+// Armed is the fast-path gate: call sites pay one relaxed load until a
+// test (or the environment) arms a point, after which the slow path
+// takes the mutex. Crash points sit on I/O paths, so the locked slow
+// path is noise next to the write() beside it.
+std::atomic<bool> Armed{false};
+std::atomic<bool> EnvChecked{false};
+std::mutex Mu;
+Arming Current;
+bool EnvParsed = false;
+
+/// Parses MEMLOOK_CRASH_POINT ("<name>@<hit>", "<name>@<hit>=fail",
+/// "<name>@<hit>=partial:<bytes>") into Current. Bad specs disarm.
+void parseEnvLocked() {
+  EnvParsed = true;
+  const char *Spec = std::getenv("MEMLOOK_CRASH_POINT");
+  if (!Spec || !*Spec)
+    return;
+  std::string S(Spec);
+  size_t At = S.find('@');
+  if (At == std::string::npos || At == 0)
+    return;
+  Current.Name = S.substr(0, At);
+  std::string Rest = S.substr(At + 1);
+  size_t Eq = Rest.find('=');
+  std::string HitStr = Eq == std::string::npos ? Rest : Rest.substr(0, Eq);
+  char *End = nullptr;
+  unsigned long long Hit = std::strtoull(HitStr.c_str(), &End, 10);
+  if (!End || *End != '\0' || Hit == 0) {
+    Current = Arming();
+    return;
+  }
+  Current.HitNumber = Hit;
+  Current.Mode = CrashMode::Kill;
+  if (Eq != std::string::npos) {
+    std::string Mode = Rest.substr(Eq + 1);
+    if (Mode == "fail") {
+      Current.Mode = CrashMode::FailOp;
+    } else if (Mode.rfind("partial:", 0) == 0) {
+      unsigned long long Bytes =
+          std::strtoull(Mode.c_str() + std::strlen("partial:"), &End, 10);
+      if (!End || *End != '\0') {
+        Current = Arming();
+        return;
+      }
+      Current.Mode = CrashMode::PartialThenKill;
+      Current.PartialBytes = Bytes;
+    } else {
+      Current = Arming();
+      return;
+    }
+  }
+  Armed.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void memlook::crashPointKill() {
+  // SIGKILL, not _exit(): no atexit handlers, no stdio flushes, nothing
+  // the real process would not get to do when the power goes.
+  ::kill(::getpid(), SIGKILL);
+  // Unreachable unless signal delivery is deferred; make sure.
+  for (;;)
+    ::pause();
+}
+
+CrashDirective memlook::crashPointHit(const char *Name) {
+  // The environment channel must be consulted once even when nothing
+  // was armed programmatically; after that first consult the disarmed
+  // fast path is two relaxed loads.
+  if (!EnvChecked.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!EnvParsed)
+      parseEnvLocked();
+    EnvChecked.store(true, std::memory_order_release);
+  }
+  if (!Armed.load(std::memory_order_relaxed))
+    return CrashDirective();
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Current.HitNumber == 0 || Current.Name != Name)
+    return CrashDirective();
+  if (++Current.HitsSeen != Current.HitNumber)
+    return CrashDirective();
+  switch (Current.Mode) {
+  case CrashMode::Kill:
+    crashPointKill();
+  case CrashMode::FailOp: {
+    CrashDirective D;
+    D.Fail = true;
+    return D;
+  }
+  case CrashMode::PartialThenKill: {
+    CrashDirective D;
+    D.Partial = true;
+    D.PartialBytes = Current.PartialBytes;
+    return D;
+  }
+  }
+  return CrashDirective();
+}
+
+void memlook::armCrashPoint(const char *Name, uint64_t HitNumber,
+                            CrashMode Mode, uint64_t PartialBytes) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  EnvParsed = true; // programmatic arming overrides the environment
+  Current = Arming();
+  Current.Name = Name;
+  Current.HitNumber = HitNumber;
+  Current.Mode = Mode;
+  Current.PartialBytes = PartialBytes;
+  Armed.store(HitNumber != 0, std::memory_order_relaxed);
+}
+
+void memlook::disarmCrashPoints() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Current = Arming();
+  EnvParsed = true;
+  Armed.store(false, std::memory_order_relaxed);
+}

@@ -45,6 +45,12 @@ const char *memlook::errorCodeLabel(ErrorCode Code) {
     return "snapshot-checksum-mismatch";
   case ErrorCode::SnapshotMalformed:
     return "snapshot-malformed";
+  case ErrorCode::WalIoError:
+    return "wal-io-error";
+  case ErrorCode::WalCorrupt:
+    return "wal-corrupt";
+  case ErrorCode::WalEpochSkew:
+    return "wal-epoch-skew";
   }
   return "unknown";
 }

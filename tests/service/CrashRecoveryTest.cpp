@@ -1,0 +1,225 @@
+//===- CrashRecoveryTest.cpp -------------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The crash-recovery campaign: fork the crash_child binary, let it run
+/// the deterministic CrashWorkload script against a durable service,
+/// and SIGKILL it (or tear its write, or fail its op) at an injected
+/// crash point that rotates with the seed across every instrumented
+/// window - mid-append, before the append's fsync, between append and
+/// publish, between snapshot and log compaction, and inside the
+/// atomic-file recipe. Then recover the directory it left behind and
+/// hold the result to the durable-prefix contract:
+///
+///   * restore() succeeds, whatever the kill left on disk;
+///   * every epoch the child acked (commit() returned) is recovered -
+///     a kill may only lose the in-flight, never-acknowledged tail;
+///   * no rung reports data loss: process death leaves torn tails,
+///     which are silent, never corrupt interiors;
+///   * the recovered service answers exactly like an oracle that
+///     replays the same script, fresh and non-durably, to the same
+///     epoch - and it accepts new commits afterwards.
+///
+/// MEMLOOK_CRASH_SEEDS overrides the campaign size (default 200).
+///
+//===----------------------------------------------------------------------===//
+
+#include "tools/CrashWorkload.h"
+
+#include "memlook/core/DifferentialCheck.h"
+#include "memlook/service/LookupService.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace memlook;
+using namespace memlook::service;
+
+namespace {
+
+std::filesystem::path freshTempDir(const std::string &Name) {
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+/// The crash-point arming for this seed. Rotates over every
+/// instrumented window; hit numbers and torn-byte counts are seed-
+/// derived so the campaign sweeps the whole script, not one instant.
+std::string specForSeed(uint64_t Seed) {
+  // Appends and publishes happen once per committed transaction.
+  std::string H = std::to_string(1 + Seed % crashwk::NumScriptTxns);
+  std::string P = std::to_string(1 + Seed % 37);
+  // writeFileAtomic runs at WAL creation (1), the mid-run snapshot
+  // write (2), and the compacted log the reset writes (3).
+  std::string W = std::to_string(1 + (Seed / 8) % 3);
+  switch (Seed % 8) {
+  case 0: return "wal-append@" + H;
+  case 1: return "wal-append@" + H + "=partial:" + P;
+  case 2: return "wal-append-fsync@" + H + "=fail";
+  case 3: return "wal-publish@" + H;
+  case 4: return "wal-reset@1";
+  case 5: return "atomic-file-write@" + W + "=partial:" + P;
+  case 6: return "atomic-file-fsync@" + W;
+  default: return "atomic-file-rename@" + W;
+  }
+}
+
+/// Forks and execs crash_child for \p Seed with the crash point armed
+/// through the environment. Returns false on a campaign-harness failure
+/// (never from the child dying - SIGKILL is the expected outcome).
+bool runChild(uint64_t Seed, const std::string &Dir) {
+  std::string Spec = specForSeed(Seed);
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ADD_FAILURE() << "fork failed";
+    return false;
+  }
+  if (Pid == 0) {
+    ::setenv("MEMLOOK_CRASH_POINT", Spec.c_str(), 1);
+    std::string SeedStr = std::to_string(Seed);
+    ::execl(MEMLOOK_CRASH_CHILD, MEMLOOK_CRASH_CHILD, SeedStr.c_str(),
+            Dir.c_str(), static_cast<char *>(nullptr));
+    ::_exit(127);
+  }
+  int WStatus = 0;
+  if (::waitpid(Pid, &WStatus, 0) != Pid) {
+    ADD_FAILURE() << "waitpid failed for seed " << Seed;
+    return false;
+  }
+  if (WIFSIGNALED(WStatus)) {
+    EXPECT_EQ(WTERMSIG(WStatus), SIGKILL)
+        << "seed " << Seed << " spec " << Spec
+        << ": child died of an unexpected signal";
+    return WTERMSIG(WStatus) == SIGKILL;
+  }
+  // FailOp armings and out-of-range hit numbers let the script finish.
+  EXPECT_EQ(WEXITSTATUS(WStatus), 0)
+      << "seed " << Seed << " spec " << Spec
+      << ": child exited with a script failure";
+  return WEXITSTATUS(WStatus) == 0;
+}
+
+/// The last epoch the child acknowledged, i.e. the durability bar the
+/// recovered service must meet. 1 (the construction epoch) when the
+/// child died before its first ack.
+uint64_t lastAckedEpoch(const std::string &Dir) {
+  std::ifstream In(Dir + "/acks");
+  uint64_t Last = 1, E;
+  while (In >> E)
+    Last = E;
+  return Last;
+}
+
+/// Byte-for-byte answer comparison between recovered state and the
+/// oracle, joined on member spellings (Symbol ids are per-interner).
+void expectSameAnswers(uint64_t Seed, const Snapshot &Got,
+                       const Snapshot &Want) {
+  const Hierarchy &HG = *Got.H;
+  const Hierarchy &HW = *Want.H;
+  ASSERT_EQ(HG.numClasses(), HW.numClasses()) << "seed " << Seed;
+  ASSERT_TRUE(Got.warm()) << "seed " << Seed;
+  ASSERT_TRUE(Want.warm()) << "seed " << Seed;
+  for (uint32_t Idx = 0; Idx != HG.numClasses(); ++Idx)
+    for (Symbol M : HG.allMemberNames()) {
+      Symbol MW = HW.findName(HG.spelling(M));
+      ASSERT_TRUE(MW.isValid())
+          << "seed " << Seed << ": spelling '" << HG.spelling(M) << "' lost";
+      EXPECT_EQ(
+          renderLookupForComparison(HG, Got.Table->find(HG, ClassId(Idx), M)),
+          renderLookupForComparison(HW,
+                                    Want.Table->find(HW, ClassId(Idx), MW)))
+          << "seed " << Seed << ": " << HG.className(ClassId(Idx))
+          << "::" << HG.spelling(M);
+    }
+}
+
+/// One full campaign iteration: crash, recover, verify.
+void runOneSeed(uint64_t Seed, const std::filesystem::path &Base) {
+  std::filesystem::path Dir = Base / ("seed" + std::to_string(Seed));
+  std::filesystem::create_directories(Dir);
+  if (!runChild(Seed, Dir.string()))
+    return;
+
+  uint64_t LastAcked = lastAckedEpoch(Dir.string());
+
+  ServiceOptions Opts;
+  Opts.WalPath = (Dir / "state.wal").string();
+  RestoreReport Report;
+  auto Restored = LookupService::restore((Dir / "state.snap").string(),
+                                         crashwk::baseWorkload().H, Opts,
+                                         &Report);
+  ASSERT_TRUE(Restored.hasValue())
+      << "seed " << Seed << " spec " << specForSeed(Seed)
+      << ": recovery must always succeed: " << Restored.status().toString();
+  std::unique_ptr<LookupService> Svc = std::move(*Restored);
+
+  // Process death may tear the in-flight tail, never corrupt what was
+  // already synced - so no rung is allowed to report data loss here.
+  EXPECT_FALSE(Report.DataLoss)
+      << "seed " << Seed << " spec " << specForSeed(Seed) << ": "
+      << Report.toString() << " / wal: " << Report.WalStatus.toString();
+
+  uint64_t E = Svc->currentEpoch();
+  EXPECT_GE(E, LastAcked)
+      << "seed " << Seed << " spec " << specForSeed(Seed)
+      << ": an acknowledged commit was lost (" << Report.toString() << ")";
+  EXPECT_LE(E, 1 + crashwk::NumScriptTxns) << "seed " << Seed;
+
+  // The durable-prefix oracle: a fresh, non-durable service replaying
+  // the same deterministic script to the recovered epoch. Every script
+  // transaction is valid by construction, so oracle commits never fail.
+  auto Oracle =
+      std::make_unique<LookupService>(crashwk::baseWorkload().H);
+  for (uint64_t K = 0; K + 2 <= E; ++K) {
+    Transaction Txn = Oracle->beginTxn();
+    crashwk::recordScriptTxn(Seed, K, *Oracle->snapshot()->H, Txn);
+    ASSERT_TRUE(Oracle->commit(Txn).isOk())
+        << "seed " << Seed << ": oracle replay broke at txn " << K;
+  }
+
+  ASSERT_TRUE(Svc->warmCurrent().isOk()) << "seed " << Seed;
+  expectSameAnswers(Seed, *Svc->snapshot(), *Oracle->snapshot());
+
+  // Liveness: recovery hands back a service that still takes commits.
+  if (E < 1 + crashwk::NumScriptTxns) {
+    Transaction Txn = Svc->beginTxn();
+    crashwk::recordScriptTxn(Seed, E - 1, *Svc->snapshot()->H, Txn);
+    EXPECT_TRUE(Svc->commit(Txn).isOk())
+        << "seed " << Seed << ": recovered service refused a valid commit";
+  }
+}
+
+} // namespace
+
+TEST(CrashRecoveryTest, EveryKilledChildRecoversItsDurablePrefix) {
+  uint64_t NumSeeds = 200;
+  if (const char *Env = std::getenv("MEMLOOK_CRASH_SEEDS"))
+    NumSeeds = std::strtoull(Env, nullptr, 10);
+  ASSERT_GE(NumSeeds, 1u);
+
+  std::filesystem::path Base = freshTempDir("crash_campaign");
+  for (uint64_t Seed = 1; Seed <= NumSeeds; ++Seed) {
+    runOneSeed(Seed, Base);
+    if (::testing::Test::HasFatalFailure())
+      break;
+  }
+  // The campaign's disk footprint is hundreds of directories; clean up
+  // on success, keep the evidence on failure.
+  if (!::testing::Test::HasFailure())
+    std::filesystem::remove_all(Base);
+}

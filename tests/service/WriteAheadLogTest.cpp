@@ -1,0 +1,570 @@
+//===- WriteAheadLogTest.cpp -------------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durable-transaction contract, from both directions:
+///
+///  * **Format**: logs salvage exactly; every truncation prefix is a
+///    silent torn tail (the artifact of an interrupted append, never an
+///    error), and every single-bit flip either stops the scan with a
+///    recoverable WAL Status or leaves a salvage that is byte-identical
+///    to a prefix of what was written - corruption can shorten history
+///    but never rewrite it.
+///  * **Service**: commits are append-then-publish, so a service that
+///    never saved a snapshot still recovers every committed transaction
+///    from the log; saveSnapshot compacts the log; a crash between the
+///    two leaves covered records that recovery skips, not replays.
+///  * **Failure**: injected append/fsync failures roll the commit back
+///    with no duplicate-epoch residue; a corrupt log replays its clean
+///    prefix, flags data loss, and is quarantined; a log from a foreign
+///    hierarchy is refused by fingerprint.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DifferentialCheck.h"
+#include "memlook/service/LookupService.h"
+#include "memlook/service/WriteAheadLog.h"
+#include "memlook/support/CrashPoint.h"
+#include "memlook/workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+using namespace memlook;
+using namespace memlook::service;
+
+namespace {
+
+std::filesystem::path freshTempDir(const char *Name) {
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+/// Compares every (class, member) answer of \p A against \p B. The join
+/// key is the member spelling: Symbol ids are per-interner.
+void expectSameAnswers(const Snapshot &A, const Snapshot &B,
+                       const char *What) {
+  const Hierarchy &HA = *A.H;
+  const Hierarchy &HB = *B.H;
+  ASSERT_EQ(HA.numClasses(), HB.numClasses()) << What;
+  ASSERT_TRUE(A.warm()) << What;
+  ASSERT_TRUE(B.warm()) << What;
+  for (uint32_t Idx = 0; Idx != HA.numClasses(); ++Idx)
+    for (Symbol M : HA.allMemberNames()) {
+      Symbol MB = HB.findName(HA.spelling(M));
+      ASSERT_TRUE(MB.isValid())
+          << What << ": member spelling '" << HA.spelling(M) << "' lost";
+      EXPECT_EQ(
+          renderLookupForComparison(HA, A.Table->find(HA, ClassId(Idx), M)),
+          renderLookupForComparison(HB, B.Table->find(HB, ClassId(Idx), MB)))
+          << What << ": " << HA.className(ClassId(Idx))
+          << "::" << HA.spelling(M);
+    }
+}
+
+/// A three-record log over a small chain, with the per-record encodings
+/// kept for prefix comparison.
+struct EncodedLog {
+  std::vector<std::string> Records; // [0] is the base record
+  std::string Bytes;
+  uint64_t BaseEpoch = 0;
+  uint32_t Fingerprint = 0;
+};
+
+EncodedLog makeSampleLog() {
+  EncodedLog Log;
+  Workload W = makeModularForest(2, 2, 2, 3, 2);
+  Log.BaseEpoch = 1;
+  Log.Fingerprint = hierarchyFingerprint(W.H);
+  Log.Records.push_back(encodeWalBaseRecord(Log.BaseEpoch, Log.Fingerprint));
+
+  Hierarchy Cur = std::move(W.H);
+  for (uint64_t K = 0; K != 3; ++K) {
+    std::vector<Transaction::Op> Ops;
+    std::string Fresh = "Logged" + std::to_string(K);
+    Ops.push_back(Transaction::Op{Transaction::OpKind::AddClass, Fresh, {},
+                                  {}, InheritanceKind::NonVirtual,
+                                  AccessSpec::Public, false, false});
+    Ops.push_back(Transaction::Op{
+        Transaction::OpKind::AddBase, Fresh,
+        std::string(Cur.className(ClassId(0))), {},
+        K % 2 ? InheritanceKind::Virtual : InheritanceKind::NonVirtual,
+        AccessSpec::Public, false, false});
+    Ops.push_back(Transaction::Op{Transaction::OpKind::AddMember, Fresh, {},
+                                  "logged_m", InheritanceKind::NonVirtual,
+                                  AccessSpec::Public, K % 2 == 0, false});
+    Expected<Hierarchy> Next =
+        applyEditScript(Cur, Ops, ResourceBudget::untrustedInput());
+    EXPECT_TRUE(Next.hasValue());
+    Cur = std::move(*Next);
+    Log.Records.push_back(encodeWalTxnRecord(Log.BaseEpoch + K + 1, Ops));
+  }
+  for (const std::string &R : Log.Records)
+    Log.Bytes += R;
+  return Log;
+}
+
+/// True when the salvaged records are byte-identical to a prefix of the
+/// originally appended ones.
+bool isPrefixOfOriginal(const WalSalvage &S, const EncodedLog &Log) {
+  if (S.Records.size() + 1 > Log.Records.size())
+    return false;
+  for (size_t I = 0; I != S.Records.size(); ++I)
+    if (encodeWalTxnRecord(S.Records[I].Epoch, S.Records[I].Ops) !=
+        Log.Records[I + 1])
+      return false;
+  return true;
+}
+
+class WriteAheadLogTest : public ::testing::Test {
+protected:
+  void TearDown() override { disarmCrashPoints(); }
+};
+
+} // namespace
+
+TEST_F(WriteAheadLogTest, FingerprintIsStructural) {
+  Workload A = makeModularForest(2, 2, 2, 3, 2);
+  Workload B = makeModularForest(2, 2, 2, 3, 2);
+  EXPECT_EQ(hierarchyFingerprint(A.H), hierarchyFingerprint(B.H))
+      << "identical construction must fingerprint identically";
+
+  std::vector<Transaction::Op> Ops;
+  Ops.push_back(Transaction::Op{Transaction::OpKind::AddMember,
+                                std::string(B.H.className(ClassId(0))), {},
+                                "fp_extra", InheritanceKind::NonVirtual,
+                                AccessSpec::Public, false, false});
+  Expected<Hierarchy> Edited =
+      applyEditScript(B.H, Ops, ResourceBudget::untrustedInput());
+  ASSERT_TRUE(Edited.hasValue());
+  EXPECT_NE(hierarchyFingerprint(A.H), hierarchyFingerprint(*Edited))
+      << "one added member must change the fingerprint";
+}
+
+TEST_F(WriteAheadLogTest, PristineLogSalvagesCompletely) {
+  EncodedLog Log = makeSampleLog();
+  WalSalvage S = salvageWalBytes(Log.Bytes);
+  EXPECT_TRUE(S.Error.isOk()) << S.Error.toString();
+  EXPECT_TRUE(S.HasBase);
+  EXPECT_EQ(S.BaseEpoch, Log.BaseEpoch);
+  EXPECT_EQ(S.BaseFingerprint, Log.Fingerprint);
+  ASSERT_EQ(S.Records.size(), 3u);
+  EXPECT_EQ(S.Records[0].Epoch, Log.BaseEpoch + 1);
+  EXPECT_EQ(S.Records[2].Epoch, Log.BaseEpoch + 3);
+  EXPECT_EQ(S.CleanBytes, Log.Bytes.size());
+  EXPECT_EQ(S.TornBytesDropped, 0u);
+  EXPECT_TRUE(isPrefixOfOriginal(S, Log));
+}
+
+TEST_F(WriteAheadLogTest, EveryTruncationPrefixIsASilentTornTail) {
+  // An append is a single write(), so any prefix of the file is a state
+  // a crash can leave. None of them may be an error; each salvages
+  // exactly the records that are complete within it.
+  EncodedLog Log = makeSampleLog();
+
+  std::vector<size_t> Boundaries{0};
+  for (const std::string &R : Log.Records)
+    Boundaries.push_back(Boundaries.back() + R.size());
+
+  for (size_t Len = 0; Len != Log.Bytes.size(); ++Len) {
+    WalSalvage S = salvageWalBytes(std::string_view(Log.Bytes).substr(0, Len));
+    ASSERT_TRUE(S.Error.isOk())
+        << "prefix of " << Len << " bytes: " << S.Error.toString();
+
+    size_t CompleteRecords = 0;
+    while (CompleteRecords + 1 < Boundaries.size() &&
+           Boundaries[CompleteRecords + 1] <= Len)
+      ++CompleteRecords;
+    EXPECT_EQ(S.HasBase, CompleteRecords >= 1) << "prefix " << Len;
+    EXPECT_EQ(S.Records.size(),
+              CompleteRecords == 0 ? 0 : CompleteRecords - 1)
+        << "prefix " << Len;
+    EXPECT_EQ(S.CleanBytes, Boundaries[CompleteRecords]) << "prefix " << Len;
+    EXPECT_EQ(S.TornBytesDropped, Len - Boundaries[CompleteRecords])
+        << "prefix " << Len;
+    EXPECT_TRUE(isPrefixOfOriginal(S, Log)) << "prefix " << Len;
+  }
+}
+
+TEST_F(WriteAheadLogTest, NoSingleBitFlipEverForgesARecord) {
+  // A flip may shorten what salvages (torn tail, or a recoverable stop
+  // with the clean prefix kept) but must never change a salvaged
+  // record's bytes or invent one.
+  EncodedLog Log = makeSampleLog();
+  for (size_t At = 0; At != Log.Bytes.size(); ++At)
+    for (int Bit = 0; Bit != 8; ++Bit) {
+      std::string Mutated = Log.Bytes;
+      Mutated[At] = static_cast<char>(Mutated[At] ^ (1 << Bit));
+      WalSalvage S = salvageWalBytes(Mutated);
+      if (!S.Error.isOk())
+        ASSERT_TRUE(S.Error.code() == ErrorCode::WalCorrupt ||
+                    S.Error.code() == ErrorCode::WalEpochSkew)
+            << "byte " << At << " bit " << Bit << ": " << S.Error.toString();
+      if (S.HasBase) {
+        EXPECT_EQ(S.BaseEpoch, Log.BaseEpoch) << "byte " << At;
+        EXPECT_EQ(S.BaseFingerprint, Log.Fingerprint) << "byte " << At;
+      }
+      ASSERT_TRUE(isPrefixOfOriginal(S, Log))
+          << "flip of byte " << At << " bit " << Bit
+          << " forged a salvaged record";
+    }
+}
+
+TEST_F(WriteAheadLogTest, DurableCommitsSurviveARestartWithoutASnapshot) {
+  std::filesystem::path Dir = freshTempDir("wal_no_snapshot");
+  std::string SnapPath = (Dir / "state.snap").string();
+  std::string WalPath = (Dir / "state.wal").string();
+
+  ServiceOptions Opts;
+  Opts.WalPath = WalPath;
+  Workload Source = makeModularForest(2, 2, 2, 3, 2);
+  Workload Fallback = makeModularForest(2, 2, 2, 3, 2);
+
+  std::shared_ptr<const Snapshot> Final;
+  {
+    LookupService Svc(std::move(Source.H), Opts);
+    for (int K = 0; K != 3; ++K) {
+      Transaction Txn = Svc.beginTxn();
+      std::string Fresh = "Crashy" + std::to_string(K);
+      Txn.addClass(Fresh)
+          .addBase(Fresh, std::string(Svc.snapshot()->H->className(ClassId(0))))
+          .addMember(Fresh, "m_new");
+      ASSERT_TRUE(Svc.commit(Txn).isOk());
+    }
+    EXPECT_EQ(Svc.stats().WalAppends, 3u);
+    EXPECT_GT(Svc.stats().WalBytesAppended, 0u);
+    Final = Svc.snapshot();
+    // The service dies here having never called saveSnapshot: the log
+    // is the only durable copy of those three commits.
+  }
+
+  RestoreReport Report;
+  Expected<std::unique_ptr<LookupService>> Restored =
+      LookupService::restore(SnapPath, std::move(Fallback.H), Opts, &Report);
+  ASSERT_TRUE(Restored.hasValue()) << Restored.status().toString();
+  EXPECT_EQ(Report.Rung, RestoreRung::RebuildFromSource);
+  EXPECT_TRUE(Report.WalAttempted);
+  EXPECT_TRUE(Report.WalStatus.isOk()) << Report.WalStatus.toString();
+  EXPECT_EQ(Report.WalRecordsReplayed, 3u);
+  EXPECT_EQ(Report.WalRecordsSkipped, 0u);
+  EXPECT_FALSE(Report.DataLoss);
+  EXPECT_FALSE(Report.WalQuarantined);
+  EXPECT_EQ(Report.Epoch, 4u);
+  EXPECT_EQ((*Restored)->currentEpoch(), 4u);
+  EXPECT_EQ((*Restored)->stats().WalReplayedRecords, 3u);
+  expectSameAnswers(*(*Restored)->snapshot(), *Final, "wal-only recovery");
+}
+
+TEST_F(WriteAheadLogTest, SnapshotPlusWalServesTheNewestEpoch) {
+  std::filesystem::path Dir = freshTempDir("wal_ladder");
+  std::string SnapPath = (Dir / "state.snap").string();
+  std::string WalPath = (Dir / "state.wal").string();
+
+  ServiceOptions Opts;
+  Opts.WalPath = WalPath;
+  Workload Source = makeModularForest(2, 2, 2, 3, 2);
+  Workload Fallback = makeModularForest(2, 2, 2, 3, 2);
+
+  std::shared_ptr<const Snapshot> Final;
+  {
+    LookupService Svc(std::move(Source.H), Opts);
+    auto commitOne = [&](const std::string &Fresh) {
+      Transaction Txn = Svc.beginTxn();
+      Txn.addClass(Fresh).addMember(Fresh, "m_new");
+      ASSERT_TRUE(Svc.commit(Txn).isOk());
+    };
+    commitOne("PreSnapA");
+    commitOne("PreSnapB");
+    ASSERT_TRUE(Svc.saveSnapshot(SnapPath).isOk());
+    EXPECT_EQ(Svc.stats().WalResets, 1u);
+
+    // The compacted log is a single base record at the snapshot epoch.
+    WalSalvage Compacted = WriteAheadLog::replayFile(WalPath);
+    EXPECT_TRUE(Compacted.Error.isOk()) << Compacted.Error.toString();
+    EXPECT_TRUE(Compacted.HasBase);
+    EXPECT_EQ(Compacted.BaseEpoch, 3u);
+    EXPECT_TRUE(Compacted.Records.empty());
+
+    commitOne("PostSnapA");
+    commitOne("PostSnapB");
+    Final = Svc.snapshot();
+  }
+
+  RestoreReport Report;
+  Expected<std::unique_ptr<LookupService>> Restored =
+      LookupService::restore(SnapPath, std::move(Fallback.H), Opts, &Report);
+  ASSERT_TRUE(Restored.hasValue()) << Restored.status().toString();
+  EXPECT_EQ(Report.Rung, RestoreRung::SnapshotAndWal);
+  EXPECT_TRUE(Report.SnapshotStatus.isOk());
+  EXPECT_TRUE(Report.WalStatus.isOk()) << Report.WalStatus.toString();
+  EXPECT_EQ(Report.WalRecordsReplayed, 2u);
+  EXPECT_FALSE(Report.DataLoss);
+  EXPECT_EQ(Report.Epoch, 5u);
+  expectSameAnswers(*(*Restored)->snapshot(), *Final, "snapshot+wal");
+
+  // The report's diagnostic names the rung it served from.
+  EXPECT_NE(Report.toString().find("snapshot+wal"), std::string::npos)
+      << Report.toString();
+
+  // The restored service keeps committing durably on the same log.
+  Transaction Txn = (*Restored)->beginTxn();
+  Txn.addClass("AfterRestore").addMember("AfterRestore", "m_new");
+  ASSERT_TRUE((*Restored)->commit(Txn).isOk());
+  WalSalvage After = WriteAheadLog::replayFile(WalPath);
+  EXPECT_TRUE(After.Error.isOk()) << After.Error.toString();
+  ASSERT_FALSE(After.Records.empty());
+  EXPECT_EQ(After.Records.back().Epoch, 6u);
+}
+
+TEST_F(WriteAheadLogTest, CrashBetweenSnapshotAndCompactionSkipsCoveredRecords) {
+  std::filesystem::path Dir = freshTempDir("wal_skip");
+  std::string SnapPath = (Dir / "state.snap").string();
+  std::string WalPath = (Dir / "state.wal").string();
+
+  ServiceOptions Opts;
+  Opts.WalPath = WalPath;
+  Workload Source = makeModularForest(2, 2, 2, 3, 2);
+  Workload Fallback = makeModularForest(2, 2, 2, 3, 2);
+
+  std::shared_ptr<const Snapshot> Final;
+  {
+    LookupService Svc(std::move(Source.H), Opts);
+    for (int K = 0; K != 3; ++K) {
+      Transaction Txn = Svc.beginTxn();
+      std::string Fresh = "Covered" + std::to_string(K);
+      Txn.addClass(Fresh).addMember(Fresh, "m_new");
+      ASSERT_TRUE(Svc.commit(Txn).isOk());
+    }
+    // Simulate a crash after the snapshot rename but before the log
+    // compaction: save (which compacts), then put the full pre-save log
+    // back. Disk now holds snapshot@4 plus a log whose records 2..4 the
+    // snapshot already covers.
+    std::string FullLog = slurp(WalPath);
+    ASSERT_TRUE(Svc.saveSnapshot(SnapPath).isOk());
+    Final = Svc.snapshot();
+    spit(WalPath, FullLog);
+  }
+
+  RestoreReport Report;
+  Expected<std::unique_ptr<LookupService>> Restored =
+      LookupService::restore(SnapPath, std::move(Fallback.H), Opts, &Report);
+  ASSERT_TRUE(Restored.hasValue()) << Restored.status().toString();
+  EXPECT_EQ(Report.Rung, RestoreRung::Snapshot)
+      << "covered records are skipped, not replayed";
+  EXPECT_EQ(Report.WalRecordsSkipped, 3u);
+  EXPECT_EQ(Report.WalRecordsReplayed, 0u);
+  EXPECT_FALSE(Report.DataLoss);
+  EXPECT_EQ(Report.Epoch, 4u);
+  expectSameAnswers(*(*Restored)->snapshot(), *Final, "covered-skip");
+
+  // The stale-but-connected log keeps extending: a new commit appends
+  // epoch 5 after the covered records, and a second restore replays
+  // exactly that one.
+  Transaction Txn = (*Restored)->beginTxn();
+  Txn.addClass("Uncovered").addMember("Uncovered", "m_new");
+  ASSERT_TRUE((*Restored)->commit(Txn).isOk());
+  Restored->reset();
+
+  Workload Fallback2 = makeModularForest(2, 2, 2, 3, 2);
+  RestoreReport Report2;
+  Expected<std::unique_ptr<LookupService>> Again =
+      LookupService::restore(SnapPath, std::move(Fallback2.H), Opts, &Report2);
+  ASSERT_TRUE(Again.hasValue()) << Again.status().toString();
+  EXPECT_EQ(Report2.WalRecordsSkipped, 3u);
+  EXPECT_EQ(Report2.WalRecordsReplayed, 1u);
+  EXPECT_EQ(Report2.Epoch, 5u);
+  EXPECT_FALSE(Report2.DataLoss);
+}
+
+TEST_F(WriteAheadLogTest, InjectedAppendFailureRollsTheCommitBack) {
+  std::filesystem::path Dir = freshTempDir("wal_append_fail");
+  ServiceOptions Opts;
+  Opts.WalPath = (Dir / "state.wal").string();
+  Workload Source = makeModularForest(2, 2, 2, 3, 2);
+  LookupService Svc(std::move(Source.H), Opts);
+
+  std::shared_ptr<const Snapshot> Before = Svc.snapshot();
+  armCrashPoint("wal-append", 1, CrashMode::FailOp);
+  Transaction Txn = Svc.beginTxn();
+  Txn.addClass("NeverDurable").addMember("NeverDurable", "m_new");
+  Status S = Svc.commit(Txn);
+  ASSERT_FALSE(S.isOk());
+  EXPECT_EQ(S.code(), ErrorCode::WalIoError);
+  EXPECT_EQ(Svc.snapshot().get(), Before.get())
+      << "failed append must publish nothing";
+  EXPECT_EQ(Svc.stats().CommitRejects, 1u);
+  EXPECT_EQ(Svc.stats().WalAppends, 0u);
+  disarmCrashPoints();
+
+  // The same edit retried commits fine and the log stays contiguous.
+  Transaction Retry = Svc.beginTxn();
+  Retry.addClass("NeverDurable").addMember("NeverDurable", "m_new");
+  ASSERT_TRUE(Svc.commit(Retry).isOk());
+  WalSalvage After = WriteAheadLog::replayFile(Opts.WalPath);
+  EXPECT_TRUE(After.Error.isOk()) << After.Error.toString();
+  ASSERT_EQ(After.Records.size(), 1u);
+  EXPECT_EQ(After.Records[0].Epoch, 2u);
+}
+
+TEST_F(WriteAheadLogTest, InjectedSyncFailureLeavesNoDuplicateEpochResidue) {
+  // The fsync failure fires *after* the record's bytes hit the file, so
+  // this is the path where append must truncate its own write back out
+  // - otherwise the retried commit would append epoch 2 twice and the
+  // next salvage would stop with an epoch skew.
+  std::filesystem::path Dir = freshTempDir("wal_fsync_fail");
+  ServiceOptions Opts;
+  Opts.WalPath = (Dir / "state.wal").string();
+  Workload Source = makeModularForest(2, 2, 2, 3, 2);
+  LookupService Svc(std::move(Source.H), Opts);
+
+  armCrashPoint("wal-append-fsync", 1, CrashMode::FailOp);
+  Transaction Txn = Svc.beginTxn();
+  Txn.addClass("SyncLost").addMember("SyncLost", "m_new");
+  Status S = Svc.commit(Txn);
+  ASSERT_FALSE(S.isOk());
+  EXPECT_EQ(S.code(), ErrorCode::WalIoError);
+  disarmCrashPoints();
+
+  Transaction Retry = Svc.beginTxn();
+  Retry.addClass("SyncLost").addMember("SyncLost", "m_new");
+  ASSERT_TRUE(Svc.commit(Retry).isOk());
+
+  WalSalvage After = WriteAheadLog::replayFile(Opts.WalPath);
+  EXPECT_TRUE(After.Error.isOk())
+      << "duplicate-epoch residue: " << After.Error.toString();
+  ASSERT_EQ(After.Records.size(), 1u);
+  EXPECT_EQ(After.Records[0].Epoch, 2u);
+}
+
+TEST_F(WriteAheadLogTest, CorruptLogReplaysItsCleanPrefixAndIsQuarantined) {
+  std::filesystem::path Dir = freshTempDir("wal_corrupt");
+  std::string SnapPath = (Dir / "state.snap").string();
+  std::string WalPath = (Dir / "state.wal").string();
+
+  ServiceOptions Opts;
+  Opts.WalPath = WalPath;
+  Workload Source = makeModularForest(2, 2, 2, 3, 2);
+  Workload Fallback = makeModularForest(2, 2, 2, 3, 2);
+
+  std::shared_ptr<const Snapshot> AfterFirst;
+  {
+    LookupService Svc(std::move(Source.H), Opts);
+    for (int K = 0; K != 3; ++K) {
+      Transaction Txn = Svc.beginTxn();
+      std::string Fresh = "Rot" + std::to_string(K);
+      Txn.addClass(Fresh).addMember(Fresh, "m_new");
+      ASSERT_TRUE(Svc.commit(Txn).isOk());
+      if (K == 0)
+        AfterFirst = Svc.snapshot();
+    }
+  }
+
+  // Rot the *second* transaction record's payload: record 1 salvages,
+  // records 2 and 3 are lost.
+  std::string Bytes = slurp(WalPath);
+  WalSalvage Clean = salvageWalBytes(Bytes);
+  ASSERT_EQ(Clean.Records.size(), 3u);
+  size_t Record2HeaderEnd =
+      Clean.CleanBytes -
+      (encodeWalTxnRecord(Clean.Records[2].Epoch, Clean.Records[2].Ops).size() +
+       encodeWalTxnRecord(Clean.Records[1].Epoch, Clean.Records[1].Ops)
+           .size()) +
+      28;
+  Bytes[Record2HeaderEnd + 2] =
+      static_cast<char>(Bytes[Record2HeaderEnd + 2] ^ 0x40);
+  spit(WalPath, Bytes);
+
+  RestoreReport Report;
+  Expected<std::unique_ptr<LookupService>> Restored =
+      LookupService::restore(SnapPath, std::move(Fallback.H), Opts, &Report);
+  ASSERT_TRUE(Restored.hasValue()) << Restored.status().toString();
+  EXPECT_EQ(Report.WalRecordsReplayed, 1u);
+  EXPECT_TRUE(Report.DataLoss);
+  EXPECT_EQ(Report.WalStatus.code(), ErrorCode::WalCorrupt)
+      << Report.WalStatus.toString();
+  EXPECT_TRUE(Report.WalQuarantined);
+  EXPECT_EQ(Report.WalQuarantinePath, WalPath + ".quarantined");
+  EXPECT_TRUE(std::filesystem::exists(Report.WalQuarantinePath));
+  EXPECT_EQ(Report.Epoch, 2u);
+  EXPECT_EQ((*Restored)->stats().WalQuarantines, 1u);
+  expectSameAnswers(*(*Restored)->snapshot(), *AfterFirst, "clean prefix");
+
+  // The replayed prefix was immediately re-persisted (the quarantined
+  // log held its only durable copy), and a fresh log now starts at the
+  // recovered epoch.
+  EXPECT_TRUE(std::filesystem::exists(SnapPath))
+      << "replayed prefix not re-persisted";
+  WalSalvage FreshLog = WriteAheadLog::replayFile(WalPath);
+  EXPECT_TRUE(FreshLog.Error.isOk()) << FreshLog.Error.toString();
+  EXPECT_TRUE(FreshLog.HasBase);
+  EXPECT_EQ(FreshLog.BaseEpoch, 2u);
+  EXPECT_TRUE(FreshLog.Records.empty());
+}
+
+TEST_F(WriteAheadLogTest, ForeignLogIsRefusedByFingerprint) {
+  std::filesystem::path Dir = freshTempDir("wal_foreign");
+  std::string SnapPath = (Dir / "state.snap").string();
+  std::string WalPath = (Dir / "state.wal").string();
+
+  // A log written by a service over a *different* hierarchy.
+  ServiceOptions Opts;
+  Opts.WalPath = WalPath;
+  {
+    Workload Other = makeModularForest(3, 2, 2, 3, 2);
+    LookupService Svc(std::move(Other.H), Opts);
+    Transaction Txn = Svc.beginTxn();
+    Txn.addClass("Foreign").addMember("Foreign", "m_new");
+    ASSERT_TRUE(Svc.commit(Txn).isOk());
+  }
+
+  Workload Fallback = makeModularForest(2, 2, 2, 3, 2);
+  RestoreReport Report;
+  Expected<std::unique_ptr<LookupService>> Restored =
+      LookupService::restore(SnapPath, std::move(Fallback.H), Opts, &Report);
+  ASSERT_TRUE(Restored.hasValue()) << Restored.status().toString();
+  EXPECT_EQ(Report.WalStatus.code(), ErrorCode::WalCorrupt)
+      << Report.WalStatus.toString();
+  EXPECT_TRUE(Report.DataLoss);
+  EXPECT_TRUE(Report.WalQuarantined);
+  EXPECT_EQ(Report.WalRecordsReplayed, 0u);
+  EXPECT_EQ(Report.Epoch, 1u);
+
+  // The refused log is preserved as evidence and a fresh one serves.
+  EXPECT_TRUE(std::filesystem::exists(WalPath + ".quarantined"));
+  WalSalvage FreshLog = WriteAheadLog::replayFile(WalPath);
+  EXPECT_TRUE(FreshLog.HasBase);
+  EXPECT_EQ(FreshLog.BaseEpoch, 1u);
+}
+
+TEST_F(WriteAheadLogTest, NonDurableServiceWritesNoLog) {
+  std::filesystem::path Dir = freshTempDir("wal_off");
+  Workload Source = makeModularForest(2, 2, 2, 3, 2);
+  LookupService Svc(std::move(Source.H)); // default options: no WalPath
+  Transaction Txn = Svc.beginTxn();
+  Txn.addClass("Plain").addMember("Plain", "m_new");
+  ASSERT_TRUE(Svc.commit(Txn).isOk());
+  EXPECT_EQ(Svc.stats().WalAppends, 0u);
+  EXPECT_TRUE(std::filesystem::is_empty(Dir));
+}

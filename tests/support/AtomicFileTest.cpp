@@ -1,0 +1,202 @@
+//===- AtomicFileTest.cpp ----------------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The atomic-replace contract under failure. The happy path is covered
+/// incidentally by every snapshot test; these pin the *failure* paths:
+/// each step that can fail (create, write, fsync, rename) must report a
+/// recoverable Status, leave no stray temp file behind, and - the point
+/// of the recipe - leave any pre-existing destination untouched. The
+/// tests run as root in CI containers, where permission bits stop
+/// nothing, so real failures come from path shapes (directories where
+/// files belong) and injected ones from the crash-point facility.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/support/AtomicFile.h"
+#include "memlook/support/CrashPoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace memlook;
+
+namespace {
+
+std::filesystem::path freshTempDir(const char *Name) {
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+/// The directory must hold exactly the named entries - in particular,
+/// no leftover "*.tmp".
+void expectDirHoldsExactly(const std::filesystem::path &Dir,
+                           std::vector<std::string> Names) {
+  std::vector<std::string> Found;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir))
+    Found.push_back(Entry.path().filename().string());
+  std::sort(Found.begin(), Found.end());
+  std::sort(Names.begin(), Names.end());
+  EXPECT_EQ(Found, Names);
+}
+
+class AtomicFileTest : public ::testing::Test {
+protected:
+  void TearDown() override { disarmCrashPoints(); }
+};
+
+} // namespace
+
+TEST_F(AtomicFileTest, ReplacesExistingContentAtomically) {
+  std::filesystem::path Dir = freshTempDir("atomic_replace");
+  std::string Path = (Dir / "data").string();
+  ASSERT_TRUE(writeFileAtomic(Path, "old").isOk());
+  ASSERT_TRUE(writeFileAtomic(Path, "new").isOk());
+  EXPECT_EQ(slurp(Path), "new");
+  expectDirHoldsExactly(Dir, {"data"});
+}
+
+TEST_F(AtomicFileTest, PreExistingTempFileIsSimplyTruncated) {
+  // A stale *.tmp left by an interrupted earlier writer is inert: the
+  // next write truncates and replaces it.
+  std::filesystem::path Dir = freshTempDir("atomic_stale_tmp");
+  std::string Path = (Dir / "data").string();
+  {
+    std::ofstream Stale(Path + ".tmp", std::ios::binary);
+    Stale << "half-written garbage from a dead process";
+  }
+  ASSERT_TRUE(writeFileAtomic(Path, "fresh").isOk());
+  EXPECT_EQ(slurp(Path), "fresh");
+  expectDirHoldsExactly(Dir, {"data"});
+}
+
+TEST_F(AtomicFileTest, CreateFailureWhenTempPathIsADirectory) {
+  // The recipe's temp name is Path + ".tmp"; planting a directory there
+  // makes open(O_CREAT) fail before anything else happens.
+  std::filesystem::path Dir = freshTempDir("atomic_tmpdir");
+  std::string Path = (Dir / "data").string();
+  std::filesystem::create_directories(Path + ".tmp");
+
+  Status S = writeFileAtomic(Path, "content");
+  ASSERT_FALSE(S.isOk());
+  EXPECT_EQ(S.code(), ErrorCode::SnapshotIoError);
+  EXPECT_NE(S.message().find("create"), std::string::npos) << S.toString();
+  EXPECT_FALSE(std::filesystem::exists(Path))
+      << "failed create must not conjure the destination";
+}
+
+TEST_F(AtomicFileTest, RenameFailureLeavesTheOldFileAndNoTemp) {
+  // A directory at the destination makes rename() fail after the temp
+  // file was fully written and synced - the last failable step.
+  std::filesystem::path Dir = freshTempDir("atomic_rename");
+  std::string Path = (Dir / "data").string();
+  std::filesystem::create_directories(Path);
+
+  Status S = writeFileAtomic(Path, "content");
+  ASSERT_FALSE(S.isOk());
+  EXPECT_EQ(S.code(), ErrorCode::SnapshotIoError);
+  EXPECT_NE(S.message().find("rename"), std::string::npos) << S.toString();
+  EXPECT_TRUE(std::filesystem::is_directory(Path));
+  expectDirHoldsExactly(Dir, {"data"});
+}
+
+TEST_F(AtomicFileTest, InjectedWriteFailureLeavesTheOldContent) {
+  std::filesystem::path Dir = freshTempDir("atomic_write_fail");
+  std::string Path = (Dir / "data").string();
+  ASSERT_TRUE(writeFileAtomic(Path, "old").isOk());
+
+  armCrashPoint("atomic-file-write", 1, CrashMode::FailOp);
+  Status S = writeFileAtomic(Path, "new");
+  ASSERT_FALSE(S.isOk());
+  EXPECT_NE(S.message().find("write"), std::string::npos) << S.toString();
+  EXPECT_EQ(slurp(Path), "old");
+  expectDirHoldsExactly(Dir, {"data"});
+}
+
+TEST_F(AtomicFileTest, InjectedFsyncFailureLeavesTheOldContent) {
+  std::filesystem::path Dir = freshTempDir("atomic_fsync_fail");
+  std::string Path = (Dir / "data").string();
+  ASSERT_TRUE(writeFileAtomic(Path, "old").isOk());
+
+  armCrashPoint("atomic-file-fsync", 1, CrashMode::FailOp);
+  Status S = writeFileAtomic(Path, "new");
+  ASSERT_FALSE(S.isOk());
+  EXPECT_NE(S.message().find("fsync"), std::string::npos) << S.toString();
+  EXPECT_EQ(slurp(Path), "old");
+  expectDirHoldsExactly(Dir, {"data"});
+}
+
+TEST_F(AtomicFileTest, InjectedRenameFailureLeavesTheOldContent) {
+  std::filesystem::path Dir = freshTempDir("atomic_rename_fail");
+  std::string Path = (Dir / "data").string();
+  ASSERT_TRUE(writeFileAtomic(Path, "old").isOk());
+
+  armCrashPoint("atomic-file-rename", 1, CrashMode::FailOp);
+  Status S = writeFileAtomic(Path, "new");
+  ASSERT_FALSE(S.isOk());
+  EXPECT_NE(S.message().find("rename"), std::string::npos) << S.toString();
+  EXPECT_EQ(slurp(Path), "old");
+  expectDirHoldsExactly(Dir, {"data"});
+
+  // The injection is one-shot: the retry goes through.
+  ASSERT_TRUE(writeFileAtomic(Path, "new").isOk());
+  EXPECT_EQ(slurp(Path), "new");
+}
+
+TEST_F(AtomicFileTest, CrashPointsMatchByNameAndHitNumber) {
+  std::filesystem::path Dir = freshTempDir("atomic_hit_number");
+  std::string Path = (Dir / "data").string();
+
+  // Armed for the SECOND fsync: the first write succeeds, the second
+  // fails, the third (disarmed by consumption) succeeds again.
+  armCrashPoint("atomic-file-fsync", 2, CrashMode::FailOp);
+  EXPECT_TRUE(writeFileAtomic(Path, "one").isOk());
+  EXPECT_FALSE(writeFileAtomic(Path, "two").isOk());
+  EXPECT_EQ(slurp(Path), "one");
+  EXPECT_TRUE(writeFileAtomic(Path, "three").isOk());
+  EXPECT_EQ(slurp(Path), "three");
+
+  // A different point's arming never fires here.
+  armCrashPoint("wal-append", 1, CrashMode::FailOp);
+  EXPECT_TRUE(writeFileAtomic(Path, "four").isOk());
+}
+
+TEST_F(AtomicFileTest, ReadFileCappedEnforcesTheCap) {
+  std::filesystem::path Dir = freshTempDir("read_capped");
+  std::string Path = (Dir / "data").string();
+  ASSERT_TRUE(writeFileAtomic(Path, "0123456789").isOk());
+
+  Expected<std::string> Under = readFileCapped(Path, 10);
+  ASSERT_TRUE(Under.hasValue()) << Under.status().toString();
+  EXPECT_EQ(*Under, "0123456789");
+
+  Expected<std::string> Over = readFileCapped(Path, 9);
+  ASSERT_FALSE(Over.hasValue());
+  EXPECT_EQ(Over.status().code(), ErrorCode::SnapshotIoError);
+
+  Expected<std::string> Missing = readFileCapped((Dir / "nope").string(), 10);
+  ASSERT_FALSE(Missing.hasValue());
+
+  Expected<std::string> NotAFile = readFileCapped(Dir.string(), 1 << 20);
+  ASSERT_FALSE(NotAFile.hasValue());
+  EXPECT_NE(NotAFile.status().message().find("regular file"),
+            std::string::npos);
+}

@@ -1,0 +1,75 @@
+//===- tests/tools/CrashWorkload.h - Shared crash-campaign script -*- C++ -*-===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deterministic edit workload shared by the crash-recovery
+/// campaign's two sides: the crash_child binary *executes* it against a
+/// durable LookupService until it is killed at an injected crash point,
+/// and the CrashRecoveryTest parent *re-derives* it to build the
+/// durable-prefix oracle the recovered service is compared against.
+/// Everything here is a pure function of (seed, txn index), so the two
+/// processes agree on what transaction K contains without any channel
+/// between them beyond the seed on the command line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_TESTS_TOOLS_CRASHWORKLOAD_H
+#define MEMLOOK_TESTS_TOOLS_CRASHWORKLOAD_H
+
+#include "memlook/service/Transaction.h"
+#include "memlook/support/Rng.h"
+#include "memlook/workload/Generators.h"
+
+#include <string>
+
+namespace crashwk {
+
+/// Transactions in the scripted run. Epochs therefore range over
+/// [1, 1 + NumScriptTxns]: epoch E means the first E - 1 script
+/// transactions committed.
+constexpr uint64_t NumScriptTxns = 12;
+
+/// After committing this script index the child calls saveSnapshot, so
+/// kills around the snapshot/compaction window land mid-run with both
+/// covered and uncovered records in play.
+constexpr uint64_t SnapshotAfterTxn = 5;
+
+/// The starting hierarchy. Deterministic: child, oracle, and recovery
+/// fallback all construct the identical state (and so the identical
+/// WAL base fingerprint).
+inline memlook::Workload baseWorkload() {
+  return memlook::makeModularForest(2, 2, 2, 3, 2);
+}
+
+/// Records script transaction \p K (0-based) into \p Txn. Valid by
+/// construction against the state after the first K script
+/// transactions: every name it adds is derived from K, so it collides
+/// with nothing earlier.
+inline void recordScriptTxn(uint64_t Seed, uint64_t K,
+                            const memlook::Hierarchy &H,
+                            memlook::service::Transaction &Txn) {
+  memlook::Rng R(Seed * 0x9e3779b97f4a7c15ULL + K * 0x100000001b3ULL + 0xc4a5);
+  std::string Fresh = "Crash" + std::to_string(K);
+  Txn.addClass(Fresh);
+  memlook::ClassId BaseId(
+      static_cast<uint32_t>(R.nextBelow(H.numClasses())));
+  Txn.addBase(Fresh, std::string(H.className(BaseId)),
+              R.nextChance(1, 3) ? memlook::InheritanceKind::Virtual
+                                 : memlook::InheritanceKind::NonVirtual);
+  Txn.addMember(Fresh, "m" + std::to_string(R.nextBelow(6)),
+                /*IsStatic=*/R.nextChance(1, 6),
+                /*IsVirtual=*/R.nextChance(1, 4));
+  // A second edit against an existing class: the per-K member name is
+  // globally fresh, so replaying the script in order never rejects.
+  memlook::ClassId Victim(
+      static_cast<uint32_t>(R.nextBelow(H.numClasses())));
+  Txn.addMember(std::string(H.className(Victim)), "q" + std::to_string(K));
+}
+
+} // namespace crashwk
+
+#endif // MEMLOOK_TESTS_TOOLS_CRASHWORKLOAD_H

@@ -1,0 +1,110 @@
+//===- tests/tools/crash_child.cpp - Crash-campaign victim -------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+//
+// The process the crash-recovery campaign kills. Usage:
+//
+//   crash_child <seed> <dir>
+//
+// Runs a durable LookupService with its state under <dir> (state.snap,
+// state.wal) through the deterministic CrashWorkload script for <seed>,
+// taking a mid-run snapshot, while the parent-supplied
+// MEMLOOK_CRASH_POINT environment arms a SIGKILL / torn write / failed
+// op somewhere along the way. After every commit() that *returns*
+// success the child appends the new epoch to <dir>/acks with a raw
+// write(): those acknowledged epochs are the durability promises the
+// parent holds recovery to. Injected FailOp errors are retried once
+// (the injection is one-shot); anything else unexpected exits nonzero
+// so the parent can tell "killed as planned" from "script broke".
+//
+// Exit codes: 0 script completed (the armed point never fired or was
+// survivable), 2 usage, 3 a commit failed twice, 4 restore failed.
+// Death by SIGKILL is the expected outcome for kill-mode armings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "CrashWorkload.h"
+
+#include "memlook/service/LookupService.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fcntl.h>
+#include <string>
+#include <unistd.h>
+
+using namespace memlook;
+using namespace memlook::service;
+
+int main(int ArgC, char **ArgV) {
+  if (ArgC != 3) {
+    std::fprintf(stderr, "usage: crash_child <seed> <dir>\n");
+    return 2;
+  }
+  uint64_t Seed = std::strtoull(ArgV[1], nullptr, 10);
+  std::string Dir = ArgV[2];
+  std::string SnapPath = Dir + "/state.snap";
+
+  ServiceOptions Opts;
+  Opts.WalPath = Dir + "/state.wal";
+
+  // restore() rather than the constructor: on the campaign's fresh
+  // directory it lands on the rebuild rung and starts the log, and it
+  // keeps this binary reusable against a directory that already crashed
+  // once.
+  auto Restored = LookupService::restore(SnapPath, crashwk::baseWorkload().H,
+                                         Opts);
+  if (!Restored.hasValue()) {
+    std::fprintf(stderr, "restore: %s\n",
+                 Restored.status().toString().c_str());
+    return 4;
+  }
+  std::unique_ptr<LookupService> Svc = std::move(*Restored);
+
+  int AckFd = ::open((Dir + "/acks").c_str(),
+                     O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (AckFd < 0)
+    return 2;
+
+  // Drive the script from wherever the service currently stands: epoch
+  // E means the first E - 1 script transactions are already in.
+  while (Svc->currentEpoch() < 1 + crashwk::NumScriptTxns) {
+    uint64_t K = Svc->currentEpoch() - 1;
+    Status S;
+    for (int Attempt = 0; Attempt < 2; ++Attempt) {
+      Transaction Txn = Svc->beginTxn();
+      crashwk::recordScriptTxn(Seed, K, *Svc->snapshot()->H, Txn);
+      S = Svc->commit(Txn);
+      if (S.isOk())
+        break; // An injected FailOp is one-shot; one retry suffices.
+    }
+    if (!S.isOk()) {
+      std::fprintf(stderr, "commit %llu: %s\n",
+                   static_cast<unsigned long long>(K),
+                   S.toString().c_str());
+      return 3;
+    }
+
+    // The ack is the parent's durability bar: raw write(), because a
+    // SIGKILL later must not be able to lose it (page cache survives
+    // process death; only the process's own buffers die).
+    char Line[32];
+    int Len = std::snprintf(Line, sizeof(Line), "%llu\n",
+                            static_cast<unsigned long long>(
+                                Svc->currentEpoch()));
+    (void)!::write(AckFd, Line, static_cast<size_t>(Len));
+
+    // Mid-run compaction puts the snapshot/compaction crash points in
+    // play with live records on both sides of the new base epoch. A
+    // FailOp-injected save is survivable by design: the old log still
+    // covers everything.
+    if (K == crashwk::SnapshotAfterTxn)
+      (void)Svc->saveSnapshot(SnapPath);
+  }
+
+  ::close(AckFd);
+  return 0;
+}

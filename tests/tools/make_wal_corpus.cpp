@@ -1,0 +1,239 @@
+//===- make_wal_corpus.cpp - Corrupted-WAL corpus generator ------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates tests/corpus/wal/: one deliberately damaged write-ahead
+// log per salvage outcome class, each derived from a real three-record
+// log so the damage sits exactly where the targeted check looks. Files
+// whose damage must get past the CRC gate (epoch skews, a lying length,
+// a bad base version) are resealed or hand-checksummed.
+//
+//   $ make_wal_corpus <output-dir>
+//
+// Self-checking like make_snapshot_corpus: after writing each file the
+// tool salvages it back and aborts unless the outcome - stop code,
+// salvaged-record count, torn-tail bytes - matches the expectation.
+// WalCorpusTest mirrors the same table against the committed files.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memlook/service/WriteAheadLog.h"
+#include "memlook/support/Crc32.h"
+#include "memlook/workload/Generators.h"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace memlook;
+using namespace memlook::service;
+
+namespace {
+
+constexpr size_t HeaderSize = 28;
+constexpr size_t OffPayloadSize = 16;
+constexpr size_t OffHeaderCrc = 24;
+
+/// The donor: base record at epoch 1 over a small forest, then three
+/// valid transaction records. Offsets of each record are kept so damage
+/// can be aimed.
+struct DonorLog {
+  std::string Bytes;
+  std::vector<size_t> RecordOffsets; // [0] is the base record
+};
+
+DonorLog makeDonor() {
+  DonorLog Log;
+  Workload W = makeModularForest(2, 2, 2, 3, 2);
+
+  std::vector<std::string> Records;
+  Records.push_back(encodeWalBaseRecord(1, hierarchyFingerprint(W.H)));
+  for (uint64_t K = 0; K != 3; ++K) {
+    std::vector<Transaction::Op> Ops;
+    std::string Fresh = "Corpus" + std::to_string(K);
+    Ops.push_back(Transaction::Op{Transaction::OpKind::AddClass, Fresh, {},
+                                  {}, InheritanceKind::NonVirtual,
+                                  AccessSpec::Public, false, false});
+    Ops.push_back(Transaction::Op{Transaction::OpKind::AddMember, Fresh, {},
+                                  "corpus_m", InheritanceKind::NonVirtual,
+                                  AccessSpec::Public, false, K % 2 == 1});
+    Records.push_back(encodeWalTxnRecord(K + 2, Ops));
+  }
+  for (const std::string &R : Records) {
+    Log.RecordOffsets.push_back(Log.Bytes.size());
+    Log.Bytes += R;
+  }
+  return Log;
+}
+
+void patchU32At(std::string &Bytes, size_t At, uint32_t Value) {
+  std::memcpy(Bytes.data() + At, &Value, sizeof(Value));
+}
+
+/// Recomputes one record's header CRC by hand - for damage (a lying
+/// length) that resealWalChecksums refuses to walk past.
+void resealHeaderCrcAt(std::string &Bytes, size_t RecordOff) {
+  patchU32At(Bytes, RecordOff + OffHeaderCrc,
+             crc32c(Bytes.data() + RecordOff, OffHeaderCrc));
+}
+
+struct CorpusCase {
+  const char *FileName;
+  /// Expected salvage stop code (Ok for the torn-tail cases).
+  ErrorCode ExpectedCode;
+  /// Transaction records the clean prefix must still yield.
+  uint64_t ExpectedRecords;
+  /// Whether a silently dropped torn tail is expected.
+  bool ExpectTornDrop;
+  std::string Bytes;
+};
+
+std::vector<CorpusCase> buildCases() {
+  std::vector<CorpusCase> Cases;
+  DonorLog Donor = makeDonor();
+  size_t R1 = Donor.RecordOffsets[1];
+  size_t R2 = Donor.RecordOffsets[2];
+  size_t R3 = Donor.RecordOffsets[3];
+
+  // An empty file is a log that never got its base record written: no
+  // history, nothing wrong.
+  Cases.push_back({"empty.wal", ErrorCode::Ok, 0, false, ""});
+
+  // A log that does not open with a base record cannot name the state
+  // it extends; replaying it anywhere would be a guess.
+  Cases.push_back({"no_base_record.wal", ErrorCode::WalCorrupt, 0, false,
+                   Donor.Bytes.substr(R1)});
+
+  // Wrong magic on the first record: not a log at all.
+  {
+    std::string B = Donor.Bytes;
+    B[0] ^= 0x20;
+    Cases.push_back({"bad_magic.wal", ErrorCode::WalCorrupt, 0, false,
+                     std::move(B)});
+  }
+
+  // A future base-record version, resealed so the version check (not
+  // the CRC gate) is what refuses it.
+  {
+    std::string B = Donor.Bytes;
+    patchU32At(B, HeaderSize, 2); // base payload: u32 version, u32 fp
+    resealWalChecksums(B);
+    Cases.push_back({"bad_base_version.wal", ErrorCode::WalCorrupt, 0, false,
+                     std::move(B)});
+  }
+
+  // One flipped byte in the middle record's payload, checksums left
+  // alone: all bytes are present, so this is rot, not a torn tail. The
+  // record before it must still be salvaged.
+  {
+    std::string B = Donor.Bytes;
+    B[R2 + HeaderSize + 2] ^= 0x04;
+    Cases.push_back({"flipped_payload_byte.wal", ErrorCode::WalCorrupt, 1,
+                     false, std::move(B)});
+  }
+
+  // The second record spliced in twice: each copy is individually
+  // pristine, but epochs must chain +1 and history cannot repeat.
+  {
+    std::string B = Donor.Bytes.substr(0, R3) +
+                    Donor.Bytes.substr(R2, R3 - R2) + Donor.Bytes.substr(R3);
+    Cases.push_back({"duplicated_epoch.wal", ErrorCode::WalEpochSkew, 2,
+                     false, std::move(B)});
+  }
+
+  // The second record dropped: the chain jumps an epoch, so the records
+  // after the gap describe transactions against a state the salvage
+  // does not have.
+  {
+    std::string B = Donor.Bytes.substr(0, R2) + Donor.Bytes.substr(R3);
+    Cases.push_back({"epoch_gap.wal", ErrorCode::WalEpochSkew, 1, false,
+                     std::move(B)});
+  }
+
+  // The torn tail the format is designed around: the last record ends
+  // mid-payload, exactly what SIGKILL mid-append leaves. Silent.
+  {
+    std::string B = Donor.Bytes.substr(0, R3 + HeaderSize + 5);
+    Cases.push_back({"torn_tail.wal", ErrorCode::Ok, 2, true, std::move(B)});
+  }
+
+  // Torn even earlier: the file ends ten bytes into the final header.
+  {
+    std::string B = Donor.Bytes.substr(0, R3 + 10);
+    Cases.push_back({"truncated_mid_header.wal", ErrorCode::Ok, 2, true,
+                     std::move(B)});
+  }
+
+  // A header whose claimed payload exceeds the 16 MiB writer maximum,
+  // header CRC recomputed by hand: no honest writer emits this, so it
+  // can never be explained as a truncated suffix.
+  {
+    std::string B = Donor.Bytes;
+    patchU32At(B, R3 + OffPayloadSize, (16u << 20) + 1);
+    resealHeaderCrcAt(B, R3);
+    Cases.push_back({"length_lie.wal", ErrorCode::WalCorrupt, 2, false,
+                     std::move(B)});
+  }
+
+  // A full header's worth of garbage after the clean records: too long
+  // to be a torn header, so it must be called out, not dropped.
+  {
+    std::string B = Donor.Bytes;
+    for (int I = 0; I != 64; ++I)
+      B.push_back(static_cast<char>(0xA5 ^ (I * 29)));
+    Cases.push_back({"junk_interior.wal", ErrorCode::WalCorrupt, 3, false,
+                     std::move(B)});
+  }
+
+  return Cases;
+}
+
+} // namespace
+
+int main(int ArgC, char **ArgV) {
+  if (ArgC != 2) {
+    std::cerr << "usage: " << ArgV[0] << " <output-dir>\n";
+    return 2;
+  }
+  std::filesystem::path Dir(ArgV[1]);
+  std::filesystem::create_directories(Dir);
+
+  int Failures = 0;
+  for (CorpusCase &Case : buildCases()) {
+    std::filesystem::path Path = Dir / Case.FileName;
+    {
+      std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+      Out.write(Case.Bytes.data(),
+                static_cast<std::streamsize>(Case.Bytes.size()));
+    }
+
+    WalSalvage S = WriteAheadLog::replayFile(Path.string());
+    if (S.Error.code() != Case.ExpectedCode) {
+      std::cerr << Case.FileName << ": salvage stopped with '"
+                << S.Error.toString() << "', expected code "
+                << errorCodeLabel(Case.ExpectedCode) << "\n";
+      ++Failures;
+    } else if (S.Records.size() != Case.ExpectedRecords) {
+      std::cerr << Case.FileName << ": salvaged " << S.Records.size()
+                << " records, expected " << Case.ExpectedRecords << "\n";
+      ++Failures;
+    } else if ((S.TornBytesDropped != 0) != Case.ExpectTornDrop) {
+      std::cerr << Case.FileName << ": torn-tail bytes "
+                << S.TornBytesDropped << ", expected "
+                << (Case.ExpectTornDrop ? "nonzero" : "zero") << "\n";
+      ++Failures;
+    } else {
+      std::cout << Case.FileName << ": " << S.Error.toString() << ", "
+                << S.Records.size() << " records, " << S.TornBytesDropped
+                << " torn bytes\n";
+    }
+  }
+  return Failures == 0 ? 0 : 1;
+}
