@@ -158,6 +158,16 @@ struct ScenarioResult {
   double RewarmMs = 0;
   uint32_t RewarmColumnsBuilt = 0;
   uint32_t RewarmColumnsShared = 0;
+  /// Why a retab_fraction of 1 happened, when it did. A dense random
+  /// hierarchy *saturates* the impact set - one edit's down-closure
+  /// up-closes over every member name, so ImpactAllNames is true while
+  /// the rewarm machinery worked exactly as designed. FullRebuildForced
+  /// is the different case: the script contained a RemoveClass, id
+  /// compaction made column sharing unsound, and rewarm was bypassed
+  /// entirely. Telling them apart in the JSON keeps "retab_fraction: 1"
+  /// from reading as a rewarm bug.
+  bool ImpactAllNames = false;
+  bool FullRebuildForced = false;
   /// Full untrusted snapshot load (checksums, hierarchy replay, column
   /// validation, table assembly) of the serial table's serialized form.
   double SnapshotLoadMs = 0;
@@ -269,6 +279,9 @@ ScenarioResult runScenario(std::string Name, Workload W,
   }
   Hierarchy NewH = Edited.takeValue();
   service::ImpactSet Impact = service::computeImpactSet(W.H, NewH, Edit);
+  R.FullRebuildForced = Impact.FullRebuild;
+  R.ImpactAllNames =
+      Impact.MemberNames.size() >= NewH.allMemberNames().size();
 
   std::shared_ptr<const LookupTable> Rewarmed;
   R.RewarmMs = bestOf(Repeats, [&] {
@@ -492,6 +505,9 @@ int runJsonHarness(const std::string &OutPath, uint32_t Threads, bool Check,
         << ", \"rewarm_columns_retabulated\": " << R.RewarmColumnsBuilt
         << ", \"rewarm_columns_shared\": " << R.RewarmColumnsShared
         << ", \"retab_fraction\": " << R.retabFraction()
+        << ", \"impact_all_names\": " << (R.ImpactAllNames ? "true" : "false")
+        << ", \"full_rebuild_forced\": "
+        << (R.FullRebuildForced ? "true" : "false")
         << ",\n     \"snapshot_load_ms\": " << R.SnapshotLoadMs
         << ", \"snapshot_bytes\": " << R.SnapshotBytes;
     if (Memory)
@@ -531,7 +547,12 @@ int runJsonHarness(const std::string &OutPath, uint32_t Threads, bool Check,
       std::cout << "parallel skipped (1-worker pool), ";
     std::cout << "rewarm " << R.RewarmMs << " ms (" << R.RewarmColumnsBuilt
               << " rebuilt / " << R.RewarmColumnsShared << " shared, "
-              << 100.0 * R.retabFraction() << "% retabulated), "
+              << 100.0 * R.retabFraction() << "% retabulated";
+    if (R.FullRebuildForced)
+      std::cout << "; full rebuild forced by the edit script";
+    else if (R.ImpactAllNames)
+      std::cout << "; impact set saturated: every name impacted";
+    std::cout << "), "
               << "snapshot load " << R.SnapshotLoadMs << " ms ("
               << R.SnapshotBytes << " bytes on disk), "
               << R.TableBytes << " table bytes, " << R.DedupedColumns

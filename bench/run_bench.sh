@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Runs the tabulation benchmark harness and records BENCH_tabulation.json
-# at the repo root - the bench trajectory consumed by CI's perf-smoke job
-# and by humans comparing PRs.
+# Runs the tabulation and serving-side query benchmark harnesses and
+# records BENCH_tabulation.json + BENCH_query.json at the repo root -
+# the bench trajectories consumed by CI's perf-smoke job and by humans
+# comparing PRs.
 #
-# Usage: bench/run_bench.sh [build-dir] [-- extra bench_tabulation args]
+# Usage: bench/run_bench.sh [build-dir] [-- extra bench args]
+# Extra args go to both binaries (each ignores the other's flags).
 # Default build dir: build-release if present, else build.
 set -euo pipefail
 
@@ -64,3 +66,30 @@ grep -o '"name": "[a-z_]*"' "${OUT}" | cut -d'"' -f4 | while read -r NAME; do
     echo "  ${NAME}: snapshot load ${WLOAD} ms, ${WBYTES:-?} bytes"
   fi
 done
+
+# The serving-side query benchmark (query fast lane). Tolerate its
+# absence so the script still works against a build dir from before it
+# existed.
+QBENCH="${BUILD_DIR}/bench/bench_query"
+if [ -x "${QBENCH}" ]; then
+  QOUT="${REPO_ROOT}/BENCH_query.json"
+  "${QBENCH}" --json "${QOUT}" "$@"
+  echo "wrote ${QOUT}"
+
+  QGEO="$(grep -o '"geomean": {[^}]*}' "${QOUT}" || true)"
+  if [ -n "${QGEO}" ]; then
+    SQPS="$(printf '%s' "${QGEO}" | grep -o '"string_qps": [0-9.eE+-]*' | cut -d' ' -f2 || true)"
+    PQPS="$(printf '%s' "${QGEO}" | grep -o '"probe_qps": [0-9.eE+-]*' | cut -d' ' -f2 || true)"
+    BQPS="$(printf '%s' "${QGEO}" | grep -o '"batch_qps": [0-9.eE+-]*' | cut -d' ' -f2 || true)"
+    SPEED="$(printf '%s' "${QGEO}" | grep -o '"probe_speedup_vs_string": [0-9.eE+-]*' | cut -d' ' -f2 || true)"
+    echo "query geomean: string ${SQPS:-?} q/s, probe ${PQPS:-?} q/s (x${SPEED:-?}), batch ${BQPS:-?} q/s"
+  fi
+  # Multithreaded rows are null when the machine has fewer cores than
+  # the row's thread count - say so rather than printing nothing.
+  CORES="$(grep -o '"hardware_concurrency": [0-9]*' "${QOUT}" | head -1 | cut -d' ' -f2 || true)"
+  if grep -q '"qps": null' "${QOUT}"; then
+    echo "query multithreaded rows: n/a (${CORES:-1} core$( [ "${CORES:-1}" != 1 ] && echo s ) - rows beyond the core count are skipped, not fabricated)"
+  fi
+else
+  echo "note: ${QBENCH} not built; skipping the query benchmark"
+fi

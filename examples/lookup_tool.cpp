@@ -134,6 +134,12 @@ void serveHelp() {
       << "queries:\n"
       << "  C::m [deadline-ms]   resolve m in C; with a deadline the answer\n"
       << "                       degrades along the ladder (0 = instant floor)\n"
+      << "fast lane (resolved handles):\n"
+      << "  resolve C::m         intern both names once, print a key number\n"
+      << "  query-by-key N [ms]  full answer through key #N (re-resolves a\n"
+      << "                       stale key transparently after commits)\n"
+      << "  probe-by-key N       allocation-free probe through key #N: the\n"
+      << "                       classification straight from the compact entry\n"
       << "edits (each line commits one transaction unless inside :begin):\n"
       << "  add-class C\n"
       << "  remove-class C\n"
@@ -159,6 +165,30 @@ void printAnswer(const Hierarchy &H, const std::string &Class,
   else
     std::cout << formatLookupResult(H, A.Result);
   std::cout << "  [" << service::answerRungLabel(A.Rung) << ", epoch "
+            << A.Epoch;
+  if (A.Approximate)
+    std::cout << ", approximate";
+  if (A.DeadlineExpired)
+    std::cout << ", deadline-expired";
+  if (A.TableQuarantined)
+    std::cout << ", table-quarantined";
+  std::cout << "]\n";
+}
+
+void printProbe(const Hierarchy &H, const service::QueryKey &Key,
+                const service::ProbeAnswer &A) {
+  std::cout << Key.ClassName << "::" << Key.MemberName << " -> ";
+  if (A.UnknownContext)
+    std::cout << "error: no class named '" << Key.ClassName << "'";
+  else if (A.Status == LookupStatus::Unambiguous)
+    std::cout << "unambiguous: defined in " << H.className(A.DefiningClass)
+              << " (" << accessSpelling(A.Access)
+              << (A.SharedStatic ? ", shared static" : "") << ")";
+  else if (A.Status == LookupStatus::Ambiguous)
+    std::cout << "ambiguous";
+  else
+    std::cout << "not found";
+  std::cout << "  [probe, " << service::answerRungLabel(A.Rung) << ", epoch "
             << A.Epoch;
   if (A.Approximate)
     std::cout << ", approximate";
@@ -210,6 +240,21 @@ int runServeOn(service::LookupService &Svc) {
             << ". Type `help` for commands.\n";
 
   std::optional<service::Transaction> Pending;
+  // Keys minted by `resolve`, addressed by 1-based number. Stored here
+  // (not per query) because re-resolution after a commit mutates the
+  // key in place - exactly the behavior the REPL demonstrates.
+  std::vector<service::QueryKey> Keys;
+  auto KeyAt = [&](const std::string &Tok) -> service::QueryKey * {
+    char *End = nullptr;
+    long N = std::strtol(Tok.c_str(), &End, 10);
+    if (End == Tok.c_str() || *End != '\0' || N < 1 ||
+        static_cast<size_t>(N) > Keys.size()) {
+      std::cout << "error: no key #" << Tok << " (have " << Keys.size()
+                << ")\n";
+      return nullptr;
+    }
+    return &Keys[static_cast<size_t>(N) - 1];
+  };
   std::string Line;
   while (std::getline(std::cin, Line)) {
     std::istringstream Splitter(Line);
@@ -246,6 +291,11 @@ int runServeOn(service::LookupService &Svc) {
                 << S.RungAnswers[0] << ", figure8 " << S.RungAnswers[1]
                 << ", gxx " << S.RungAnswers[2] << "), unknown contexts "
                 << S.UnknownContexts << '\n'
+                << "fast lane: resolves " << S.Resolves << ", probes "
+                << S.Probes << ", batches " << S.BatchQueries
+                << ", stale-key re-resolves " << S.StaleKeyReresolves
+                << ", stale-context rejects " << S.StaleContextRejects
+                << '\n'
                 << "audits " << S.Audits << ", mismatches "
                 << S.AuditMismatches << ", quarantines " << S.Quarantines
                 << ", rebuilds " << S.TableRebuilds << '\n';
@@ -277,6 +327,44 @@ int runServeOn(service::LookupService &Svc) {
         Pending.reset();
         std::cout << "aborted\n";
       }
+    } else if (Cmd == "resolve" && Tok.size() == 2) {
+      size_t Sep = Tok[1].find("::");
+      if (Sep == std::string::npos) {
+        std::cout << "error: want resolve C::m\n";
+        continue;
+      }
+      Keys.push_back(
+          Svc.resolve(Tok[1].substr(0, Sep), Tok[1].substr(Sep + 2)));
+      const service::QueryKey &Key = Keys.back();
+      std::cout << "key #" << Keys.size() << ": " << Key.ClassName
+                << "::" << Key.MemberName << " (epoch " << Key.Epoch
+                << ", context "
+                << (Key.Context.isValid() ? "resolved" : "unknown")
+                << ", member "
+                << (Key.Member.isValid() ? "interned" : "unknown") << ")\n";
+    } else if (Cmd == "query-by-key" && Tok.size() >= 2) {
+      service::QueryKey *Key = KeyAt(Tok[1]);
+      if (!Key)
+        continue;
+      Deadline D = Deadline::never();
+      if (Tok.size() >= 3) {
+        char *End = nullptr;
+        long Millis = std::strtol(Tok[2].c_str(), &End, 10);
+        if (End == Tok[2].c_str() || *End != '\0' || Millis < 0) {
+          std::cout << "error: bad deadline '" << Tok[2] << "'\n";
+          continue;
+        }
+        D = Deadline::afterMillis(Millis);
+      }
+      std::shared_ptr<const service::Snapshot> Snap = Svc.snapshot();
+      printAnswer(*Snap->H, Key->ClassName, Key->MemberName,
+                  Svc.queryOn(*Snap, *Key, D));
+    } else if (Cmd == "probe-by-key" && Tok.size() == 2) {
+      service::QueryKey *Key = KeyAt(Tok[1]);
+      if (!Key)
+        continue;
+      std::shared_ptr<const service::Snapshot> Snap = Svc.snapshot();
+      printProbe(*Snap->H, *Key, Svc.probeOn(*Snap, *Key));
     } else if (Cmd.find("::") != std::string::npos) {
       size_t Sep = Cmd.find("::");
       std::string Class = Cmd.substr(0, Sep);
@@ -321,6 +409,14 @@ int runServeOn(service::LookupService &Svc) {
   }
   if (Pending)
     Svc.abort(*Pending);
+  // Exit summary: how the session's answers distributed across the
+  // degradation ladder - the at-a-glance health line for a service run.
+  service::ServiceStats S = Svc.stats();
+  std::cout << "answers by rung: tabulated " << S.RungAnswers[0]
+            << ", figure8 " << S.RungAnswers[1] << ", gxx "
+            << S.RungAnswers[2] << " (" << S.Queries << " queries, "
+            << S.Probes << " probes, " << S.Resolves << " keys resolved, "
+            << S.StaleKeyReresolves << " stale-key re-resolves)\n";
   return 0;
 }
 

@@ -191,6 +191,14 @@ public:
   /// Finds an already-interned name; invalid Symbol if never seen.
   Symbol findName(std::string_view Name) const { return Names.find(Name); }
 
+  /// Number of distinct interned names so far - class names, member
+  /// names, and query-side internName() calls share one dense id space,
+  /// so every valid Symbol's raw value is below this bound. The flat
+  /// member dispatch of service::LookupTable is sized by it.
+  uint32_t numInternedNames() const {
+    return static_cast<uint32_t>(Names.size());
+  }
+
   /// Spelling of an interned name.
   std::string_view spelling(Symbol Sym) const { return Names.spelling(Sym); }
 

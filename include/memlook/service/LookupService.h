@@ -44,11 +44,13 @@
 #include "memlook/service/Transaction.h"
 #include "memlook/support/Deadline.h"
 #include "memlook/support/ResourceBudget.h"
+#include "memlook/support/ShardedCounters.h"
 #include "memlook/support/Status.h"
 
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -93,6 +95,59 @@ struct QueryAnswer {
   bool DeadlineExpired = false;
   /// True when the epoch's table existed but was quarantined, so the
   /// tabulated rung was skipped.
+  bool TableQuarantined = false;
+};
+
+/// A resolved query handle: both names interned once at resolve() time,
+/// so repeated queries for the same (class, member) pair skip every
+/// string hash on the hot path. The key is stamped with the epoch it
+/// was resolved against, and query()/queryMany()/probe() transparently
+/// re-resolve a key whose epoch no longer matches the snapshot (the
+/// spellings are retained for exactly that), so a key minted once stays
+/// correct across any number of commits.
+///
+/// Keys are plain caller-owned values; re-resolution mutates the key in
+/// place, so give each thread its own copy rather than sharing one key
+/// mutably. An invalid Context/Member simply records that the name did
+/// not exist at Epoch - querying such a key is legal and answers
+/// UnknownClass / NotFound like the string path would.
+struct QueryKey {
+  std::string ClassName;
+  std::string MemberName;
+  /// The epoch Context and Member were resolved at; 0 = never resolved.
+  uint64_t Epoch = 0;
+  /// The context class at Epoch (invalid: no such class then).
+  ClassId Context;
+  /// The member name's symbol at Epoch (invalid: interned nowhere then).
+  Symbol Member;
+};
+
+/// The allocation-free answer of probe(): the "is it unique, and what
+/// is it" classification without materializing a LookupResult (whose
+/// witness path and candidate vectors are heap-backed). Plain POD all
+/// the way down - a warm probe touches one compact column entry and
+/// never allocates. DefiningClass / Access / SharedStatic are
+/// meaningful only when Status is Unambiguous, and mirror the full
+/// query's DefiningClass / EffectiveAccess / SharedStatic exactly.
+struct ProbeAnswer {
+  LookupStatus Status = LookupStatus::NotFound;
+  /// Unambiguous only: ldc of the dominant definition.
+  ClassId DefiningClass;
+  /// Unambiguous only: access composed along the witness path.
+  AccessSpec Access = AccessSpec::Public;
+  /// Unambiguous only: the Definition 17(2) static-merge applied.
+  bool SharedStatic = false;
+  /// Which rung answered (the cold-snapshot fallback descends the same
+  /// ladder as query()).
+  AnswerRung Rung = AnswerRung::Tabulated;
+  /// The epoch the answer reflects.
+  uint64_t Epoch = 0;
+  /// The key's context class does not exist at this epoch (the POD
+  /// stand-in for QueryAnswer's UnknownClass status). Status is
+  /// NotFound.
+  bool UnknownContext = false;
+  bool Approximate = false;
+  bool DeadlineExpired = false;
   bool TableQuarantined = false;
 };
 
@@ -227,9 +282,18 @@ struct ServiceStats {
   uint64_t CommitRejects = 0;    ///< commits rolled back by validation
   uint64_t CommitConflicts = 0;  ///< commits rolled back by epoch race
   uint64_t AbortedTxns = 0;      ///< explicit abort() calls
-  uint64_t Queries = 0;          ///< query()/queryOn() calls
+  uint64_t Queries = 0; ///< queries answered (string, key, and batch keys)
   uint64_t RungAnswers[3] = {0, 0, 0}; ///< answers per AnswerRung
   uint64_t UnknownContexts = 0;  ///< queries naming no class (still answered)
+  uint64_t Resolves = 0;         ///< resolve() calls (QueryKeys minted)
+  uint64_t Probes = 0;           ///< probe()/probeOn() calls
+  uint64_t BatchQueries = 0;     ///< queryMany() batches (keys count as Queries)
+  /// Keys transparently re-resolved because a commit outran their epoch.
+  uint64_t StaleKeyReresolves = 0;
+  /// Audit stat: context ids that were *valid-looking but out of the
+  /// epoch's range* (stale or forged), degraded to NotFound by the
+  /// release-safe checked find instead of undefined behavior.
+  uint64_t StaleContextRejects = 0;
   uint64_t Audits = 0;           ///< audit passes completed
   uint64_t AuditMismatches = 0;  ///< total mismatch lines across audits
   uint64_t Quarantines = 0;      ///< tables quarantined
@@ -363,6 +427,52 @@ public:
                       const Deadline &D = Deadline::never()) const;
 
   //===--------------------------------------------------------------------===
+  // The query fast lane: resolved handles, batches, probes
+  //===--------------------------------------------------------------------===
+
+  /// Interns both names once against the current snapshot and returns a
+  /// reusable handle for the fast-lane entry points below. Unknown
+  /// names are recorded as invalid ids, not errors - the key still
+  /// queries (and re-resolves itself if a later epoch introduces them).
+  QueryKey resolve(std::string_view Class, std::string_view Member) const;
+
+  /// Resolved-handle query: identical answers to the string overload,
+  /// with zero string hashing while \p Key's epoch matches the current
+  /// snapshot. A stale key (a commit happened since it was resolved) is
+  /// transparently re-resolved in place first.
+  QueryAnswer query(QueryKey &Key, const Deadline &D = Deadline::never()) const;
+
+  /// Same, against an explicitly pinned snapshot.
+  QueryAnswer queryOn(const Snapshot &Snap, QueryKey &Key,
+                      const Deadline &D = Deadline::never()) const;
+
+  /// Batch query: answers Keys[I] into Answers[I]. Pins the snapshot
+  /// once for the whole batch (one lock + shared_ptr copy amortized
+  /// over N keys) and software-prefetches the column entries a window
+  /// ahead, so the per-key cache misses overlap instead of serializing.
+  /// \p Answers must be exactly Keys.size() long.
+  void queryMany(std::span<QueryKey> Keys, std::span<QueryAnswer> Answers,
+                 const Deadline &D = Deadline::never()) const;
+
+  /// Same, against an explicitly pinned snapshot.
+  void queryManyOn(const Snapshot &Snap, std::span<QueryKey> Keys,
+                   std::span<QueryAnswer> Answers,
+                   const Deadline &D = Deadline::never()) const;
+
+  /// The allocation-free rung: classification + target member straight
+  /// from the 24-byte compact entry, no witness materialization. On a
+  /// warm snapshot this reads one column entry and touches no heap; on
+  /// a cold or quarantined one it descends the same ladder as query()
+  /// (which allocates internally) and compresses the result. Stale and
+  /// even forged context ids degrade to NotFound + the
+  /// StaleContextRejects audit stat - never undefined behavior.
+  ProbeAnswer probe(QueryKey &Key, const Deadline &D = Deadline::never()) const;
+
+  /// Same, against an explicitly pinned snapshot.
+  ProbeAnswer probeOn(const Snapshot &Snap, QueryKey &Key,
+                      const Deadline &D = Deadline::never()) const;
+
+  //===--------------------------------------------------------------------===
   // Transactional edits
   //===--------------------------------------------------------------------===
 
@@ -444,6 +554,16 @@ private:
   /// The table build deadline commit() uses (WarmBuildMillis).
   Deadline warmDeadline() const;
 
+  /// (Re-)resolves \p Key's ids against \p Snap and restamps its epoch.
+  void resolveKeyOn(const Snapshot &Snap, QueryKey &Key) const;
+
+  /// The degradation ladder after name resolution - shared by the
+  /// string-keyed and resolved-handle paths. \p ClassSpelling is only
+  /// read on the unknown-context error path.
+  QueryAnswer answerResolved(const Snapshot &Snap, ClassId Context,
+                             std::string_view ClassSpelling, Symbol Member,
+                             const Deadline &D) const;
+
   ServiceOptions Opts;
 
   /// Guards Current only; held for pointer copies, never across work.
@@ -462,16 +582,34 @@ private:
   std::unique_ptr<WriteAheadLog> Wal;
   Status WalHealth;
 
-  // Monotone stats counters (relaxed; totals, not synchronization).
+  // Monotone write-side stats counters (relaxed; totals, not
+  // synchronization). These are bumped under WriterMutex or on rare
+  // paths, so single atomics are fine.
   mutable std::atomic<uint64_t> NumCommits{0}, NumCommitRejects{0},
-      NumCommitConflicts{0}, NumAbortedTxns{0}, NumQueries{0},
-      NumUnknownContexts{0}, NumAudits{0}, NumAuditMismatches{0},
-      NumQuarantines{0}, NumTableRebuilds{0}, NumIncrementalRewarms{0},
-      NumColumnsShared{0}, NumColumnsRetabulated{0}, NumColumnsDeduped{0},
-      NumSnapshotSaves{0}, NumSnapshotRestores{0}, NumSnapshotQuarantines{0},
-      NumWalAppends{0}, NumWalBytesAppended{0}, NumWalResets{0},
-      NumWalReplayedRecords{0}, NumWalQuarantines{0};
-  mutable std::atomic<uint64_t> NumRungAnswers[3] = {{0}, {0}, {0}};
+      NumCommitConflicts{0}, NumAbortedTxns{0}, NumAudits{0},
+      NumAuditMismatches{0}, NumQuarantines{0}, NumTableRebuilds{0},
+      NumIncrementalRewarms{0}, NumColumnsShared{0}, NumColumnsRetabulated{0},
+      NumColumnsDeduped{0}, NumSnapshotSaves{0}, NumSnapshotRestores{0},
+      NumSnapshotQuarantines{0}, NumWalAppends{0}, NumWalBytesAppended{0},
+      NumWalResets{0}, NumWalReplayedRecords{0}, NumWalQuarantines{0};
+
+  /// Read-side counters, bumped on every query by every reader thread -
+  /// sharded so counting does not ping-pong cache lines between
+  /// readers. stats() sums the shards (eventually consistent).
+  enum ReadCounter : size_t {
+    RcQueries = 0,
+    RcRungTabulated,
+    RcRungFigure8,
+    RcRungGxx,
+    RcUnknownContexts,
+    RcResolves,
+    RcProbes,
+    RcBatchQueries,
+    RcStaleKeyReresolves,
+    RcStaleContextRejects,
+    RcNumReadCounters
+  };
+  mutable ShardedCounters<RcNumReadCounters> ReadStats;
 
   // Background audit thread state.
   std::mutex AuditThreadMutex;

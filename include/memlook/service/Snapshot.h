@@ -38,8 +38,16 @@
 #include <atomic>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
+
+/// Best-effort cache prefetch, used by the batch query path to overlap
+/// column-entry loads across a batch. A no-op on compilers without the
+/// builtin - prefetching is purely a hint, never semantics.
+#if defined(__GNUC__) || defined(__clang__)
+#define MEMLOOK_PREFETCH(Addr) __builtin_prefetch(Addr)
+#else
+#define MEMLOOK_PREFETCH(Addr) ((void)sizeof(Addr))
+#endif
 
 namespace memlook {
 namespace service {
@@ -125,12 +133,104 @@ public:
   LookupResult find(const Hierarchy &H, ClassId Context, Symbol Member) const {
     assert(Context.isValid() && Context.index() < NumClasses &&
            "class id from a different epoch?");
-    auto It = MemberIndex.find(Member);
-    if (It == MemberIndex.end())
+    uint32_t Col = columnIndexFor(Member);
+    if (Col == NoColumn)
       return LookupResult::notFound();
     // resultFor answers NotFound for rows beyond a shared short
     // column's span (new class, unimpacted name: see rewarm()).
-    return Columns[It->second]->resultFor(H, Context);
+    return Columns[Col]->resultFor(H, Context);
+  }
+
+  /// Release-safe twin of find(): a context id that is invalid or
+  /// beyond this table's row span - a stale id resolved at another
+  /// epoch, or a forged QueryKey - answers NotFound and sets
+  /// \p *StaleContext (when non-null) instead of relying on an assert
+  /// that compiles away in release builds. The service's tabulated rung
+  /// uses this for resolved-handle queries, whose raw ids the caller
+  /// stores across commits.
+  LookupResult findChecked(const Hierarchy &H, ClassId Context, Symbol Member,
+                           bool *StaleContext = nullptr) const {
+    if (Context.rawValue() >= NumClasses) { // invalid sentinel is UINT32_MAX
+      if (StaleContext)
+        *StaleContext = true;
+      return LookupResult::notFound();
+    }
+    return find(H, Context, Member);
+  }
+
+  /// The allocation-free answer of probe(): classification plus the
+  /// target member, read straight from one 24-byte compact entry - no
+  /// witness path, no candidate vector, no heap traffic. DefiningClass,
+  /// Access, and SharedStatic are meaningful only when Status is
+  /// Unambiguous (they mirror find()'s DefiningClass, EffectiveAccess,
+  /// and SharedStatic exactly).
+  struct Probe {
+    LookupStatus Status = LookupStatus::NotFound;
+    ClassId DefiningClass;
+    AccessSpec Access = AccessSpec::Public;
+    bool SharedStatic = false;
+    /// The context id was invalid or out of this table's row span
+    /// (stale epoch / forged key): answered NotFound, release-safe.
+    bool StaleContext = false;
+  };
+
+  /// Classifies (\p Context, \p Member) by reading one compact entry,
+  /// with findChecked()'s bounds discipline (a stale context answers
+  /// NotFound, flagged). Row Overrides - the corruption-injection side
+  /// channel - are honored without materializing their stored result,
+  /// so a probe never allocates on any path.
+  Probe probe(ClassId Context, Symbol Member) const {
+    Probe P;
+    if (Context.rawValue() >= NumClasses) {
+      P.StaleContext = true;
+      return P;
+    }
+    uint32_t Col = columnIndexFor(Member);
+    if (Col == NoColumn)
+      return P;
+    const Column &C = *Columns[Col];
+    uint32_t Row = Context.index();
+    if (!C.Overrides.empty()) {
+      for (const auto &[OverrideRow, Answer] : C.Overrides) {
+        if (OverrideRow != Row)
+          continue;
+        P.Status = Answer.Status;
+        P.DefiningClass = Answer.DefiningClass;
+        P.Access = Answer.EffectiveAccess.value_or(AccessSpec::Public);
+        P.SharedStatic = Answer.SharedStatic;
+        return P;
+      }
+    }
+    if (Row >= C.Data.size() || !C.Computed.test(Row))
+      return P; // shared short column or deadline prefix: NotFound
+    const CompactEntry &E = C.Data[Row];
+    switch (E.kind()) {
+    case EntryKind::Absent:
+      break;
+    case EntryKind::Red:
+      P.Status = LookupStatus::Unambiguous;
+      P.DefiningClass = E.DefiningClass;
+      P.Access = E.access();
+      P.SharedStatic = E.staticMerged();
+      break;
+    case EntryKind::Blue:
+      P.Status = LookupStatus::Ambiguous;
+      break;
+    }
+    return P;
+  }
+
+  /// Best-effort prefetch of the compact entry a subsequent probe() or
+  /// find() for (\p Context, \p Member) will read. queryMany() issues
+  /// these across a batch so the (cache-missing) column loads overlap
+  /// instead of serializing.
+  void prefetchEntry(ClassId Context, Symbol Member) const {
+    uint32_t Col = columnIndexFor(Member);
+    if (Col == NoColumn)
+      return;
+    std::span<const CompactEntry> Entries = Columns[Col]->Data.rawEntries();
+    if (Context.rawValue() < Entries.size())
+      MEMLOOK_PREFETCH(Entries.data() + Context.rawValue());
   }
 
   /// Number of tabulated entry slots across all columns (shared columns
@@ -174,8 +274,27 @@ public:
 private:
   LookupTable() = default;
 
+  /// MemberIndex sentinel: this Symbol has no tabulated column.
+  static constexpr uint32_t NoColumn = UINT32_MAX;
+
+  /// The flat symbol dispatch: MemberIndex[Sym.rawValue()] is the
+  /// column index of Sym, or NoColumn. One bounds check + one array
+  /// read replaces a hash probe on every query. Sized by the epoch's
+  /// whole interner (class names and member names share the dense id
+  /// space; non-member ids just hold the sentinel), which costs 4 bytes
+  /// a name - noise next to the columns. Symbols interned *after* the
+  /// build (query-side internName) fall off the end and correctly
+  /// answer NoColumn: a name interned post-build is declared nowhere.
+  uint32_t columnIndexFor(Symbol Member) const {
+    uint32_t Raw = Member.rawValue(); // invalid sentinel fails the bound
+    return Raw < MemberIndex.size() ? MemberIndex[Raw] : NoColumn;
+  }
+
+  /// Fills MemberIndex for \p H (shared by every factory).
+  void buildMemberIndex(const Hierarchy &H);
+
   uint32_t NumClasses = 0;
-  std::unordered_map<Symbol, uint32_t> MemberIndex;
+  std::vector<uint32_t> MemberIndex;
   /// Columns[memberIdx], indexed like Hierarchy::allMemberNames(); all
   /// non-null and Complete in a published table. Distinct member
   /// indices may alias one Column object (cross-epoch sharing and

@@ -432,40 +432,58 @@ QueryAnswer LookupService::query(std::string_view Class,
 QueryAnswer LookupService::queryOn(const Snapshot &Snap, std::string_view Class,
                                    std::string_view Member,
                                    const Deadline &D) const {
-  NumQueries.fetch_add(1, std::memory_order_relaxed);
+  ReadStats.add(RcQueries);
+  return answerResolved(Snap, Snap.H->findClass(Class), Class,
+                        Snap.H->findName(Member), D);
+}
 
+QueryAnswer LookupService::answerResolved(const Snapshot &Snap,
+                                          ClassId Context,
+                                          std::string_view ClassSpelling,
+                                          Symbol Member,
+                                          const Deadline &D) const {
   QueryAnswer Answer;
   Answer.Epoch = Snap.Epoch;
   Answer.TableQuarantined = Snap.quarantined();
 
-  ClassId Context = Snap.H->findClass(Class);
-  if (!Context.isValid()) {
+  if (Context.rawValue() >= Snap.H->numClasses()) {
     // The one unanswerable shape: no rung can resolve a member in the
     // context of a class this epoch has never heard of. Constant time,
-    // so it counts as the tabulated rung.
-    NumUnknownContexts.fetch_add(1, std::memory_order_relaxed);
-    NumRungAnswers[0].fetch_add(1, std::memory_order_relaxed);
+    // so it counts as the tabulated rung. A *valid-looking* id beyond
+    // the epoch's range is the stale/forged-handle case the release-
+    // safe bounds check exists for: same NotFound, plus an audit stat.
+    if (Context.isValid())
+      ReadStats.add(RcStaleContextRejects);
+    ReadStats.add(RcUnknownContexts);
+    ReadStats.add(RcRungTabulated);
     Answer.S = Status::error(ErrorCode::UnknownClass,
-                             "unknown context class '" + std::string(Class) +
-                                 "' at epoch " + std::to_string(Snap.Epoch));
+                             "unknown context class '" +
+                                 std::string(ClassSpelling) + "' at epoch " +
+                                 std::to_string(Snap.Epoch));
     Answer.Result = LookupResult::notFound();
     Answer.Rung = AnswerRung::Tabulated;
     return Answer;
   }
 
-  Symbol MemberSym = Snap.H->findName(Member);
-  if (!MemberSym.isValid()) {
+  if (!Member.isValid()) {
     // Name never interned anywhere in this epoch: NotFound, O(1).
-    NumRungAnswers[0].fetch_add(1, std::memory_order_relaxed);
+    ReadStats.add(RcRungTabulated);
     Answer.Result = LookupResult::notFound();
     Answer.Rung = AnswerRung::Tabulated;
     return Answer;
   }
 
-  // Rung 0: the epoch's warm table - a constant-time const read.
+  // Rung 0: the epoch's warm table - a constant-time const read. The
+  // checked find is belt-and-braces here (the bounds check above
+  // already validated Context against the snapshot's hierarchy, and a
+  // published table always spans it).
   if (Snap.warm()) {
-    NumRungAnswers[0].fetch_add(1, std::memory_order_relaxed);
-    Answer.Result = Snap.Table->find(*Snap.H, Context, MemberSym);
+    ReadStats.add(RcRungTabulated);
+    bool StaleContext = false;
+    Answer.Result =
+        Snap.Table->findChecked(*Snap.H, Context, Member, &StaleContext);
+    if (StaleContext)
+      ReadStats.add(RcStaleContextRejects);
     Answer.Rung = AnswerRung::Tabulated;
     Answer.DeadlineExpired = D.expired();
     return Answer;
@@ -478,9 +496,9 @@ QueryAnswer LookupService::queryOn(const Snapshot &Snap, std::string_view Class,
     DominanceLookupEngine Engine(*Snap.H,
                                  DominanceLookupEngine::Mode::LazyRecursive);
     Engine.setDeadline(&D);
-    LookupResult R = Engine.lookup(Context, MemberSym);
+    LookupResult R = Engine.lookup(Context, Member);
     if (!isBudgetDegraded(R.Status)) {
-      NumRungAnswers[1].fetch_add(1, std::memory_order_relaxed);
+      ReadStats.add(RcRungFigure8);
       Answer.Result = std::move(R);
       Answer.Rung = AnswerRung::Figure8PerQuery;
       return Answer;
@@ -492,12 +510,141 @@ QueryAnswer LookupService::queryOn(const Snapshot &Snap, std::string_view Class,
   // answer beats none, so this rung answers even past the deadline,
   // flagged.
   GxxBfsEngine Floor(*Snap.H, Opts.Budget.MaxSubobjects);
-  NumRungAnswers[2].fetch_add(1, std::memory_order_relaxed);
-  Answer.Result = Floor.lookup(Context, MemberSym);
+  ReadStats.add(RcRungGxx);
+  Answer.Result = Floor.lookup(Context, Member);
   Answer.Rung = AnswerRung::GxxApproximate;
   Answer.Approximate = true;
   Answer.DeadlineExpired = D.expired();
   return Answer;
+}
+
+//===----------------------------------------------------------------------===//
+// The query fast lane: resolved handles, batches, probes
+//===----------------------------------------------------------------------===//
+
+void LookupService::resolveKeyOn(const Snapshot &Snap, QueryKey &Key) const {
+  Key.Context = Snap.H->findClass(Key.ClassName);
+  Key.Member = Snap.H->findName(Key.MemberName);
+  Key.Epoch = Snap.Epoch;
+}
+
+QueryKey LookupService::resolve(std::string_view Class,
+                                std::string_view Member) const {
+  ReadStats.add(RcResolves);
+  QueryKey Key;
+  Key.ClassName.assign(Class);
+  Key.MemberName.assign(Member);
+  resolveKeyOn(*snapshot(), Key);
+  return Key;
+}
+
+QueryAnswer LookupService::query(QueryKey &Key, const Deadline &D) const {
+  return queryOn(*snapshot(), Key, D);
+}
+
+QueryAnswer LookupService::queryOn(const Snapshot &Snap, QueryKey &Key,
+                                   const Deadline &D) const {
+  ReadStats.add(RcQueries);
+  if (Key.Epoch != Snap.Epoch) {
+    ReadStats.add(RcStaleKeyReresolves);
+    resolveKeyOn(Snap, Key);
+  }
+  return answerResolved(Snap, Key.Context, Key.ClassName, Key.Member, D);
+}
+
+void LookupService::queryMany(std::span<QueryKey> Keys,
+                              std::span<QueryAnswer> Answers,
+                              const Deadline &D) const {
+  queryManyOn(*snapshot(), Keys, Answers, D);
+}
+
+void LookupService::queryManyOn(const Snapshot &Snap, std::span<QueryKey> Keys,
+                                std::span<QueryAnswer> Answers,
+                                const Deadline &D) const {
+  assert(Keys.size() == Answers.size() &&
+         "one answer slot per key in a batch");
+  ReadStats.add(RcBatchQueries);
+  ReadStats.add(RcQueries, Keys.size());
+  const bool Warm = Snap.warm();
+
+  // Window the batch: pass 1 refreshes stale keys and issues a software
+  // prefetch for each key's compact entry, pass 2 answers them. By the
+  // time pass 2 reads an entry, its cache line has been in flight for a
+  // whole window - the batch pays max(misses), not sum(misses).
+  constexpr size_t Window = 16;
+  for (size_t Base = 0; Base < Keys.size(); Base += Window) {
+    size_t End = std::min(Keys.size(), Base + Window);
+    for (size_t I = Base; I != End; ++I) {
+      QueryKey &Key = Keys[I];
+      if (Key.Epoch != Snap.Epoch) {
+        ReadStats.add(RcStaleKeyReresolves);
+        resolveKeyOn(Snap, Key);
+      }
+      if (Warm)
+        Snap.Table->prefetchEntry(Key.Context, Key.Member);
+    }
+    for (size_t I = Base; I != End; ++I)
+      Answers[I] = answerResolved(Snap, Keys[I].Context, Keys[I].ClassName,
+                                  Keys[I].Member, D);
+  }
+}
+
+ProbeAnswer LookupService::probe(QueryKey &Key, const Deadline &D) const {
+  return probeOn(*snapshot(), Key, D);
+}
+
+ProbeAnswer LookupService::probeOn(const Snapshot &Snap, QueryKey &Key,
+                                   const Deadline &D) const {
+  ReadStats.add(RcProbes);
+  if (Key.Epoch != Snap.Epoch) {
+    ReadStats.add(RcStaleKeyReresolves);
+    resolveKeyOn(Snap, Key);
+  }
+
+  ProbeAnswer A;
+  A.Epoch = Snap.Epoch;
+  A.TableQuarantined = Snap.quarantined();
+
+  if (Key.Context.rawValue() >= Snap.H->numClasses()) {
+    if (Key.Context.isValid())
+      ReadStats.add(RcStaleContextRejects);
+    ReadStats.add(RcUnknownContexts);
+    ReadStats.add(RcRungTabulated);
+    A.UnknownContext = true;
+    return A;
+  }
+  if (!Key.Member.isValid()) {
+    ReadStats.add(RcRungTabulated);
+    return A;
+  }
+
+  // The fast lane proper: one compact-entry read, no heap.
+  if (Snap.warm()) {
+    ReadStats.add(RcRungTabulated);
+    LookupTable::Probe P = Snap.Table->probe(Key.Context, Key.Member);
+    if (P.StaleContext)
+      ReadStats.add(RcStaleContextRejects);
+    A.Status = P.Status;
+    A.DefiningClass = P.DefiningClass;
+    A.Access = P.Access;
+    A.SharedStatic = P.SharedStatic;
+    A.DeadlineExpired = D.expired();
+    return A;
+  }
+
+  // Cold or quarantined snapshot: descend the materializing ladder
+  // (allocation is unavoidable there - the per-query engines build
+  // witness state) and compress to the POD shape.
+  QueryAnswer Full =
+      answerResolved(Snap, Key.Context, Key.ClassName, Key.Member, D);
+  A.Status = Full.Result.Status;
+  A.DefiningClass = Full.Result.DefiningClass;
+  A.Access = Full.Result.EffectiveAccess.value_or(AccessSpec::Public);
+  A.SharedStatic = Full.Result.SharedStatic;
+  A.Rung = Full.Rung;
+  A.Approximate = Full.Approximate;
+  A.DeadlineExpired = Full.DeadlineExpired;
+  return A;
 }
 
 //===----------------------------------------------------------------------===//
@@ -783,10 +930,16 @@ ServiceStats LookupService::stats() const {
   S.CommitRejects = NumCommitRejects.load(std::memory_order_relaxed);
   S.CommitConflicts = NumCommitConflicts.load(std::memory_order_relaxed);
   S.AbortedTxns = NumAbortedTxns.load(std::memory_order_relaxed);
-  S.Queries = NumQueries.load(std::memory_order_relaxed);
-  for (size_t Idx = 0; Idx != 3; ++Idx)
-    S.RungAnswers[Idx] = NumRungAnswers[Idx].load(std::memory_order_relaxed);
-  S.UnknownContexts = NumUnknownContexts.load(std::memory_order_relaxed);
+  S.Queries = ReadStats.total(RcQueries);
+  S.RungAnswers[0] = ReadStats.total(RcRungTabulated);
+  S.RungAnswers[1] = ReadStats.total(RcRungFigure8);
+  S.RungAnswers[2] = ReadStats.total(RcRungGxx);
+  S.UnknownContexts = ReadStats.total(RcUnknownContexts);
+  S.Resolves = ReadStats.total(RcResolves);
+  S.Probes = ReadStats.total(RcProbes);
+  S.BatchQueries = ReadStats.total(RcBatchQueries);
+  S.StaleKeyReresolves = ReadStats.total(RcStaleKeyReresolves);
+  S.StaleContextRejects = ReadStats.total(RcStaleContextRejects);
   S.Audits = NumAudits.load(std::memory_order_relaxed);
   S.AuditMismatches = NumAuditMismatches.load(std::memory_order_relaxed);
   S.Quarantines = NumQuarantines.load(std::memory_order_relaxed);

@@ -58,6 +58,13 @@ uint32_t dedupStructurallyEqualColumns(
 
 } // namespace
 
+void LookupTable::buildMemberIndex(const Hierarchy &H) {
+  const std::vector<Symbol> &Members = H.allMemberNames();
+  MemberIndex.assign(H.numInternedNames(), NoColumn);
+  for (uint32_t Idx = 0; Idx != Members.size(); ++Idx)
+    MemberIndex[Members[Idx].rawValue()] = Idx;
+}
+
 std::shared_ptr<const LookupTable>
 LookupTable::build(const Hierarchy &H, const Deadline &BuildDeadline,
                    uint32_t Threads) {
@@ -71,9 +78,7 @@ LookupTable::build(const Hierarchy &H, const Deadline &BuildDeadline,
   std::shared_ptr<LookupTable> Table(new LookupTable());
   Table->NumClasses = H.numClasses();
   const std::vector<Symbol> &Members = H.allMemberNames();
-  Table->MemberIndex.reserve(Members.size());
-  for (uint32_t Idx = 0; Idx != Members.size(); ++Idx)
-    Table->MemberIndex.emplace(Members[Idx], Idx);
+  Table->buildMemberIndex(H);
   Table->Columns = std::move(R.Columns);
   Table->Build.ColumnsDeduped = dedupStructurallyEqualColumns(Table->Columns);
   Table->Build.ColumnsBuilt = static_cast<uint32_t>(Members.size());
@@ -109,12 +114,11 @@ LookupTable::rewarm(const Hierarchy &NewH, const Hierarchy &OldH,
       continue;
     }
     Symbol OldSym = OldH.findName(Spelling);
-    auto PrevIt = OldSym.isValid() ? Prev.MemberIndex.find(OldSym)
-                                   : Prev.MemberIndex.end();
-    if (PrevIt == Prev.MemberIndex.end())
+    uint32_t PrevCol = Prev.columnIndexFor(OldSym);
+    if (PrevCol == NoColumn)
       Retab.push_back(Idx);
     else
-      Shared.emplace_back(Idx, PrevIt->second);
+      Shared.emplace_back(Idx, PrevCol);
   }
 
   ParallelTabulator::Result R =
@@ -124,9 +128,7 @@ LookupTable::rewarm(const Hierarchy &NewH, const Hierarchy &OldH,
 
   std::shared_ptr<LookupTable> Table(new LookupTable());
   Table->NumClasses = NewH.numClasses();
-  Table->MemberIndex.reserve(Members.size());
-  for (uint32_t Idx = 0; Idx != Members.size(); ++Idx)
-    Table->MemberIndex.emplace(Members[Idx], Idx);
+  Table->buildMemberIndex(NewH);
   Table->Columns = std::move(R.Columns);
   for (const auto &[NewIdx, PrevIdx] : Shared)
     Table->Columns[NewIdx] = Prev.Columns[PrevIdx];
@@ -152,10 +154,7 @@ LookupTable::fromColumns(const Hierarchy &H,
 
   std::shared_ptr<LookupTable> Table(new LookupTable());
   Table->NumClasses = H.numClasses();
-  const std::vector<Symbol> &Members = H.allMemberNames();
-  Table->MemberIndex.reserve(Members.size());
-  for (uint32_t Idx = 0; Idx != Members.size(); ++Idx)
-    Table->MemberIndex.emplace(Members[Idx], Idx);
+  Table->buildMemberIndex(H);
   Table->Columns = std::move(Columns);
 
   // Count the aliasing the file preserved, so loaded tables report the
@@ -189,8 +188,7 @@ uint64_t LookupTable::heapBytes() const {
       continue; // aliased (deduped or cross-epoch shared): charge once
     Bytes += sizeof(Column) + Col->heapBytes();
   }
-  Bytes += MemberIndex.size() * (sizeof(Symbol) + sizeof(uint32_t) +
-                                 2 * sizeof(void *)); // node overhead, roughly
+  Bytes += MemberIndex.capacity() * sizeof(uint32_t); // flat dispatch
   return Bytes;
 }
 
@@ -199,10 +197,10 @@ LookupTable::cloneWithCorruptedEntry(const Hierarchy &H, ClassId Context,
                                      Symbol Member) const {
   if (!Context.isValid() || Context.index() >= NumClasses)
     return nullptr;
-  auto It = MemberIndex.find(Member);
-  if (It == MemberIndex.end())
+  uint32_t Col = columnIndexFor(Member);
+  if (Col == NoColumn)
     return nullptr;
-  const Column &Original = *Columns[It->second];
+  const Column &Original = *Columns[Col];
   if (Context.index() >= Original.numRows())
     return nullptr; // shared short column: no materialized slot to damage
 
@@ -215,6 +213,6 @@ LookupTable::cloneWithCorruptedEntry(const Hierarchy &H, ClassId Context,
                            ? LookupResult::notFound()
                            : LookupResult::ambiguous({});
   Damaged->Overrides.emplace_back(Context.index(), std::move(Wrong));
-  Copy->Columns[It->second] = std::move(Damaged);
+  Copy->Columns[Col] = std::move(Damaged);
   return Copy;
 }

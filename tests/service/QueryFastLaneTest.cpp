@@ -1,0 +1,337 @@
+//===- QueryFastLaneTest.cpp -----------------------------------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The query fast lane's correctness contract: resolved-handle queries,
+/// batch queries, and allocation-free probes must answer *identically*
+/// to the string-keyed path and to a fresh reference engine - the fast
+/// lane is an implementation shortcut, never a semantic one. The core
+/// is a 500-hierarchy differential campaign (seeded random DAGs with
+/// virtual bases, restricted edges, statics, and using-declarations)
+/// holding probe(), query(QueryKey&), and queryMany() against
+/// DominanceLookupEngine over every (class, member) pair plus unknown
+/// names. On top: the post-rewarm shared-short-column regime (a class
+/// added after the table was built must get correct answers from both
+/// re-tabulated full-span columns and shared shorter ones), transparent
+/// stale-key re-resolution across commits, and the release-safe checked
+/// find's handling of forged context ids.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/core/DifferentialCheck.h"
+#include "memlook/core/DominanceLookupEngine.h"
+#include "memlook/service/LookupService.h"
+#include "memlook/workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+using namespace memlook;
+using namespace memlook::service;
+
+namespace {
+
+/// Asserts one probe answer against the full engine result for the same
+/// (context, member). A probe carries no witness, so agreement means:
+/// same classification, and for unambiguous answers the same defining
+/// class, effective access, and static-merge flag.
+void expectProbeMatches(const Hierarchy &H, const ProbeAnswer &P,
+                        const LookupResult &R, const std::string &Where) {
+  ASSERT_EQ(P.Status, R.Status) << Where;
+  if (R.Status != LookupStatus::Unambiguous)
+    return;
+  EXPECT_EQ(P.DefiningClass, R.DefiningClass)
+      << Where << ": probe says " << H.className(P.DefiningClass)
+      << ", engine says " << H.className(R.DefiningClass);
+  EXPECT_EQ(P.Access, R.EffectiveAccess.value_or(AccessSpec::Public)) << Where;
+  EXPECT_EQ(P.SharedStatic, R.SharedStatic) << Where;
+}
+
+/// One hierarchy's worth of the campaign: every (class, member) pair -
+/// plus unknown spellings - through all four entry points, against a
+/// fresh lazy-recursive reference engine.
+void runDifferential(LookupService &Svc, uint64_t Seed) {
+  std::shared_ptr<const Snapshot> Snap = Svc.snapshot();
+  const Hierarchy &H = *Snap->H;
+  ASSERT_TRUE(Snap->warm()) << "campaign fixtures warm on construction";
+  DominanceLookupEngine Engine(H, DominanceLookupEngine::Mode::LazyRecursive);
+
+  std::vector<QueryKey> Keys;
+  std::vector<LookupResult> Expected;
+  const std::vector<Symbol> &Names = H.allMemberNames();
+  for (uint32_t C = 0; C != H.numClasses(); ++C) {
+    std::string Class(H.className(ClassId(C)));
+    for (Symbol M : Names) {
+      std::string Member(H.spelling(M));
+      LookupResult Ref = Engine.lookup(ClassId(C), M);
+      std::string Where = "seed " + std::to_string(Seed) + ": " + Class +
+                          "::" + Member;
+
+      // String path against the reference.
+      QueryAnswer ByString = Svc.queryOn(*Snap, Class, Member);
+      ASSERT_TRUE(ByString.S.isOk()) << Where;
+      EXPECT_EQ(ByString.Rung, AnswerRung::Tabulated) << Where;
+      ASSERT_EQ(renderLookupForComparison(H, ByString.Result),
+                renderLookupForComparison(H, Ref))
+          << Where;
+
+      // Resolved-key path: identical rendering, zero string work.
+      QueryKey Key = Svc.resolve(Class, Member);
+      QueryAnswer ByKey = Svc.queryOn(*Snap, Key);
+      EXPECT_EQ(renderLookupForComparison(H, ByKey.Result),
+                renderLookupForComparison(H, ByString.Result))
+          << Where;
+
+      // Probe: the compressed classification.
+      ProbeAnswer P = Svc.probeOn(*Snap, Key);
+      EXPECT_EQ(P.Rung, AnswerRung::Tabulated) << Where;
+      expectProbeMatches(H, P, Ref, Where);
+
+      Keys.push_back(std::move(Key));
+      Expected.push_back(std::move(Ref));
+    }
+  }
+
+  // Unknown spellings answer like the string path: NotFound for a ghost
+  // member, UnknownClass for a ghost context - through every entry
+  // point, with nothing resolving them away.
+  QueryKey GhostMember = Svc.resolve(std::string(H.className(ClassId(0))),
+                                     "fastlane_ghost_member");
+  EXPECT_FALSE(GhostMember.Member.isValid());
+  EXPECT_EQ(Svc.queryOn(*Snap, GhostMember).Result.Status,
+            LookupStatus::NotFound);
+  EXPECT_EQ(Svc.probeOn(*Snap, GhostMember).Status, LookupStatus::NotFound);
+  QueryKey GhostClass = Svc.resolve("fastlane_ghost_class",
+                                    std::string(H.spelling(Names[0])));
+  EXPECT_FALSE(GhostClass.Context.isValid());
+  EXPECT_EQ(Svc.queryOn(*Snap, GhostClass).S.code(), ErrorCode::UnknownClass);
+  EXPECT_TRUE(Svc.probeOn(*Snap, GhostClass).UnknownContext);
+  Keys.push_back(GhostMember);
+  Expected.push_back(LookupResult::notFound());
+
+  // The batch path: one queryMany over the whole campaign's keys must
+  // reproduce every individual answer (the prefetch window and the
+  // shared snapshot pin are invisible to semantics).
+  std::vector<QueryAnswer> Answers(Keys.size());
+  Svc.queryManyOn(*Snap, std::span<QueryKey>(Keys),
+                  std::span<QueryAnswer>(Answers));
+  for (size_t I = 0; I != Keys.size(); ++I)
+    EXPECT_EQ(renderLookupForComparison(H, Answers[I].Result),
+              renderLookupForComparison(H, Expected[I]))
+        << "seed " << Seed << ": batch answer " << I << " ("
+        << Keys[I].ClassName << "::" << Keys[I].MemberName << ")";
+}
+
+} // namespace
+
+TEST(QueryFastLaneTest, FiveHundredHierarchyDifferentialCampaign) {
+  // 500 seeded random DAGs through the full fast lane. Parameters keep
+  // each hierarchy small (the campaign's power is breadth of shapes,
+  // not size) while exercising virtual bases, non-public edges, static
+  // members, and using-declarations - everything the compact entry
+  // encodes.
+  RandomHierarchyParams Params;
+  Params.NumClasses = 12;
+  Params.MemberPool = 5;
+  Params.DeclareChance = 0.3;
+  Params.VirtualEdgeChance = 0.3;
+  Params.RestrictedEdgeChance = 0.25;
+  Params.StaticChance = 0.2;
+  Params.UsingChance = 0.1;
+  for (uint64_t Seed = 0; Seed != 500; ++Seed) {
+    Workload W = makeRandomHierarchy(Params, 0xfa57 + Seed);
+    LookupService Svc(std::move(W.H));
+    runDifferential(Svc, Seed);
+    if (HasFatalFailure())
+      return; // one broken seed is enough diagnosis
+  }
+}
+
+TEST(QueryFastLaneTest, PostRewarmSharedShortColumnsAnswerCorrectly) {
+  // After an incremental rewarm, untouched columns are shared from the
+  // previous epoch at the *old* class count. A class added by the
+  // commit has rows only in the re-tabulated columns; in the shared
+  // short ones its row is beyond the span - and that is semantically
+  // right, because a name outside the new class's impact set cannot be
+  // inherited by it. The proof is differential: every pair, including
+  // every (new class, old name) pair, against a fresh engine on the new
+  // hierarchy.
+  Workload W = makeModularForest(6, 2, 3, 4, 2);
+  LookupService Svc(std::move(W.H));
+
+  Transaction Txn = Svc.beginTxn();
+  Txn.addClass("FastLaneLeaf")
+      .addBase("FastLaneLeaf", "T0")
+      .addBase("FastLaneLeaf", "T1", InheritanceKind::Virtual)
+      .addMember("T0", "t0_fresh");
+  ASSERT_TRUE(Svc.commit(Txn).isOk());
+
+  ServiceStats Stats = Svc.stats();
+  ASSERT_GT(Stats.IncrementalRewarms, 0u) << "fixture must rewarm, not rebuild";
+  ASSERT_GT(Stats.ColumnsShared, 0u);
+
+  std::shared_ptr<const Snapshot> Snap = Svc.snapshot();
+  const Hierarchy &H = *Snap->H;
+  DominanceLookupEngine Engine(H, DominanceLookupEngine::Mode::LazyRecursive);
+  ClassId Leaf = H.findClass("FastLaneLeaf");
+  ASSERT_TRUE(Leaf.isValid());
+
+  uint64_t LeafFound = 0, LeafNotFound = 0;
+  for (uint32_t C = 0; C != H.numClasses(); ++C)
+    for (Symbol M : H.allMemberNames()) {
+      LookupResult Ref = Engine.lookup(ClassId(C), M);
+      QueryKey Key = Svc.resolve(std::string(H.className(ClassId(C))),
+                                 std::string(H.spelling(M)));
+      std::string Where = Key.ClassName + "::" + Key.MemberName;
+      QueryAnswer A = Svc.queryOn(*Snap, Key);
+      EXPECT_EQ(A.Rung, AnswerRung::Tabulated) << Where;
+      ASSERT_EQ(renderLookupForComparison(H, A.Result),
+                renderLookupForComparison(H, Ref))
+          << Where;
+      expectProbeMatches(H, Svc.probeOn(*Snap, Key), Ref, Where);
+      if (ClassId(C) == Leaf)
+        ++(Ref.Status == LookupStatus::NotFound ? LeafNotFound : LeafFound);
+    }
+  // The new class must have hit both regimes: inherited names answered
+  // from re-tabulated full-span columns, out-of-closure names answered
+  // NotFound from shared short columns' beyond-span path.
+  EXPECT_GT(LeafFound, 0u);
+  EXPECT_GT(LeafNotFound, 0u);
+}
+
+TEST(QueryFastLaneTest, StaleKeysReresolveTransparentlyAcrossCommits) {
+  Workload W = makeModularForest(4, 2, 2, 3, 1);
+  LookupService Svc(std::move(W.H));
+
+  QueryKey Key = Svc.resolve("T0_0", "t0_m0");
+  ASSERT_TRUE(Key.Context.isValid());
+  EXPECT_EQ(Key.Epoch, 1u);
+  QueryAnswer Before = Svc.query(Key);
+  ASSERT_TRUE(Before.S.isOk());
+  ASSERT_EQ(Before.Result.Status, LookupStatus::Unambiguous);
+
+  // Three commits move the epoch; the key is only re-resolved when next
+  // used, and exactly once per epoch change it observes.
+  for (int I = 0; I != 3; ++I) {
+    Transaction Txn = Svc.beginTxn();
+    Txn.addMember("T1", "fresh" + std::to_string(I));
+    ASSERT_TRUE(Svc.commit(Txn).isOk());
+  }
+  uint64_t ReresolvesBefore = Svc.stats().StaleKeyReresolves;
+  QueryAnswer After = Svc.query(Key);
+  EXPECT_EQ(Key.Epoch, Svc.currentEpoch()) << "key restamped in place";
+  EXPECT_EQ(Svc.stats().StaleKeyReresolves, ReresolvesBefore + 1);
+  EXPECT_EQ(renderLookupForComparison(*Svc.snapshot()->H, After.Result),
+            renderLookupForComparison(*Svc.snapshot()->H, Before.Result));
+
+  // A key whose name did not exist at resolve() time picks the name up
+  // on re-resolution after the epoch that introduces it.
+  QueryKey Future = Svc.resolve("T1", "late_arrival");
+  EXPECT_FALSE(Future.Member.isValid());
+  EXPECT_EQ(Svc.query(Future).Result.Status, LookupStatus::NotFound);
+  Transaction Txn = Svc.beginTxn();
+  Txn.addMember("T1", "late_arrival");
+  ASSERT_TRUE(Svc.commit(Txn).isOk());
+  QueryAnswer Found = Svc.query(Future);
+  EXPECT_TRUE(Future.Member.isValid());
+  EXPECT_EQ(Found.Result.Status, LookupStatus::Unambiguous);
+
+  // Probes re-resolve stale keys the same way.
+  Transaction Probe = Svc.beginTxn();
+  Probe.addMember("T2", "probe_fresh");
+  ASSERT_TRUE(Svc.commit(Probe).isOk());
+  ProbeAnswer P = Svc.probe(Key);
+  EXPECT_EQ(Key.Epoch, Svc.currentEpoch());
+  EXPECT_EQ(P.Status, LookupStatus::Unambiguous);
+  EXPECT_EQ(P.Epoch, Svc.currentEpoch());
+}
+
+TEST(QueryFastLaneTest, ForgedContextIdsDegradeToNotFoundNotUB) {
+  // A context id that is valid-looking but beyond the epoch's class
+  // count - a stale id from a removed-and-compacted epoch, or a forged
+  // one - must answer UnknownClass / NotFound through every entry point
+  // and bump the StaleContextRejects audit stat, never touch memory out
+  // of range. The key's epoch matches the snapshot, so transparent
+  // re-resolution cannot paper over the bad id.
+  Workload W = makeModularForest(3, 2, 2, 3, 1);
+  LookupService Svc(std::move(W.H));
+  std::shared_ptr<const Snapshot> Snap = Svc.snapshot();
+
+  QueryKey Forged;
+  Forged.ClassName = "T0_0";
+  Forged.MemberName = "t0_m0";
+  Forged.Epoch = Snap->Epoch;
+  Forged.Context = ClassId(Snap->H->numClasses() + 17);
+  Forged.Member = Snap->H->findName("t0_m0");
+  ASSERT_TRUE(Forged.Member.isValid());
+
+  uint64_t RejectsBefore = Svc.stats().StaleContextRejects;
+  QueryKey KeyCopy = Forged;
+  QueryAnswer A = Svc.queryOn(*Snap, KeyCopy);
+  EXPECT_EQ(A.S.code(), ErrorCode::UnknownClass);
+
+  KeyCopy = Forged;
+  ProbeAnswer P = Svc.probeOn(*Snap, KeyCopy);
+  EXPECT_TRUE(P.UnknownContext);
+  EXPECT_EQ(P.Status, LookupStatus::NotFound);
+
+  KeyCopy = Forged;
+  QueryAnswer BatchAnswer;
+  Svc.queryManyOn(*Snap, std::span<QueryKey>(&KeyCopy, 1),
+                  std::span<QueryAnswer>(&BatchAnswer, 1));
+  EXPECT_EQ(BatchAnswer.S.code(), ErrorCode::UnknownClass);
+
+  EXPECT_EQ(Svc.stats().StaleContextRejects, RejectsBefore + 3);
+
+  // The release-safe checked find itself: the same forged id straight
+  // against the table degrades to NotFound and reports staleness,
+  // where the unchecked find would index out of range.
+  bool Stale = false;
+  LookupResult R = Snap->Table->findChecked(*Snap->H, Forged.Context,
+                                            Forged.Member, &Stale);
+  EXPECT_TRUE(Stale);
+  EXPECT_EQ(R.Status, LookupStatus::NotFound);
+
+  // An invalid (never-resolved) context is *unknown*, not stale: the
+  // audit stat must separate "no such name" from "id out of range".
+  QueryKey Unknown = Svc.resolve("no_such_class", "t0_m0");
+  EXPECT_FALSE(Unknown.Context.isValid());
+  uint64_t RejectsMid = Svc.stats().StaleContextRejects;
+  EXPECT_EQ(Svc.queryOn(*Snap, Unknown).S.code(), ErrorCode::UnknownClass);
+  EXPECT_EQ(Svc.stats().StaleContextRejects, RejectsMid);
+}
+
+TEST(QueryFastLaneTest, FastLaneStatsCountExactlyOncePerAnswer) {
+  Workload W = makeModularForest(3, 2, 2, 3, 1);
+  LookupService Svc(std::move(W.H));
+  std::shared_ptr<const Snapshot> Snap = Svc.snapshot();
+
+  QueryKey Key = Svc.resolve("T0_0", "t0_m0");
+  ServiceStats S0 = Svc.stats();
+  EXPECT_EQ(S0.Resolves, 1u);
+
+  (void)Svc.queryOn(*Snap, "T0_0", "t0_m0");
+  (void)Svc.queryOn(*Snap, Key);
+  (void)Svc.probeOn(*Snap, Key);
+  std::vector<QueryKey> Keys(4, Key);
+  std::vector<QueryAnswer> Answers(4);
+  Svc.queryManyOn(*Snap, std::span<QueryKey>(Keys),
+                  std::span<QueryAnswer>(Answers));
+
+  ServiceStats S1 = Svc.stats();
+  // Queries: 1 string + 1 key + 4 batch keys; probes counted apart.
+  EXPECT_EQ(S1.Queries - S0.Queries, 6u);
+  EXPECT_EQ(S1.Probes - S0.Probes, 1u);
+  EXPECT_EQ(S1.BatchQueries - S0.BatchQueries, 1u);
+  // Every answer - queries and probes alike - lands on exactly one rung.
+  uint64_t Rungs0 = S0.RungAnswers[0] + S0.RungAnswers[1] + S0.RungAnswers[2];
+  uint64_t Rungs1 = S1.RungAnswers[0] + S1.RungAnswers[1] + S1.RungAnswers[2];
+  EXPECT_EQ(Rungs1 - Rungs0, 7u);
+}

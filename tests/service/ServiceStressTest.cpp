@@ -29,6 +29,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -605,14 +606,173 @@ TEST(ServiceStressTest, DeadlineExpiryMidParallelBuildLeavesEpochCold) {
   }
 
   // Cold epoch answers come off the ladder's per-query rung...
-  if (!Svc.snapshot()->warm())
+  if (!Svc.snapshot()->warm()) {
     EXPECT_EQ(Svc.query("T0_0_0_0", "t0_m0").Rung,
               AnswerRung::Figure8PerQuery);
+  }
 
   // ...until an unbounded warm succeeds and the tabulated rung returns.
   ASSERT_TRUE(Svc.warmCurrent().isOk());
   EXPECT_TRUE(Svc.snapshot()->warm());
   EXPECT_EQ(Svc.query("T0_0_0_0", "t0_m0").Rung, AnswerRung::Tabulated);
+
+  AuditReport Final = Svc.auditNow();
+  EXPECT_TRUE(Final.passed()) << Final.toString();
+}
+
+TEST(ServiceStressTest, FastLaneReadersShardedStatsAndWriterShareOneService) {
+  // The query fast lane under contention: readers running the
+  // resolved-handle paths (probe, key query, queryMany batches) on
+  // their own key copies, a stats thread summing the sharded read
+  // counters mid-flight, and a writer committing member adds that
+  // invalidate every outstanding key's epoch. Under the tsan preset
+  // this is the data-race proof for ShardedCounters and the in-place
+  // key re-resolution; under any build it checks the fast-lane
+  // accounting invariant - every probe and every key answered by
+  // exactly one rung - and that sharded totals only ever move forward.
+  Workload W = makeModularForest(4, 2, 2, /*MembersPerRoot=*/4,
+                                 /*SharedMembers=*/2);
+
+  ServiceOptions Opts;
+  Opts.AuditEngineCheck = false;
+  Opts.AuditSampleLimit = 64;
+  LookupService Svc(std::move(W.H), Opts);
+
+  constexpr int NumReaders = 4;
+  constexpr uint64_t NumWriterTxns = 400;
+
+  // Keys minted once at epoch 1; each reader gets private copies (the
+  // QueryKey contract: re-resolution mutates in place, so keys are
+  // never shared mutably across threads).
+  std::vector<QueryKey> Master;
+  for (uint32_t T = 0; T != 4; ++T)
+    for (uint32_t M = 0; M != 4; ++M)
+      Master.push_back(Svc.resolve(
+          "T" + std::to_string(T) + "_0",
+          "t" + std::to_string(T) + "_m" + std::to_string(M)));
+  Master.push_back(Svc.resolve("T0", "g0"));
+  Master.push_back(Svc.resolve("NoSuchClass", "g0"));
+  Master.push_back(Svc.resolve("T1", "no_such_member"));
+
+  struct FastLaneLog {
+    uint64_t Probes = 0;
+    uint64_t KeyQueries = 0;
+    uint64_t BatchKeys = 0;
+    uint64_t RungSeen[3] = {0, 0, 0};
+    uint64_t BadAnswers = 0;
+  };
+
+  Svc.startBackgroundAudit(/*IntervalMillis=*/10);
+
+  std::atomic<bool> Done{false};
+  std::vector<FastLaneLog> Logs(NumReaders);
+  std::vector<std::thread> Readers;
+  for (int Idx = 0; Idx != NumReaders; ++Idx)
+    Readers.emplace_back([&Svc, &Done, &Master, Idx, &Log = Logs[Idx]] {
+      std::vector<QueryKey> Keys = Master; // private copies
+      std::vector<QueryAnswer> Answers(Keys.size());
+      uint64_t Iter = 0;
+      while ((Iter < 512 || !Done.load(std::memory_order_acquire)) &&
+             Iter < 200000) {
+        ++Iter;
+        QueryKey &Key = Keys[(Iter + Idx) % Keys.size()];
+        switch (Iter % 3) {
+        case 0: {
+          ProbeAnswer P = Svc.probe(Key);
+          ++Log.Probes;
+          if (P.Rung > AnswerRung::GxxApproximate)
+            ++Log.BadAnswers;
+          else
+            ++Log.RungSeen[static_cast<uint8_t>(P.Rung)];
+          break;
+        }
+        case 1: {
+          QueryAnswer A = Svc.query(Key);
+          ++Log.KeyQueries;
+          if (A.Rung > AnswerRung::GxxApproximate ||
+              (!A.S.isOk() && A.S.code() != ErrorCode::UnknownClass))
+            ++Log.BadAnswers;
+          else
+            ++Log.RungSeen[static_cast<uint8_t>(A.Rung)];
+          break;
+        }
+        default: {
+          Svc.queryMany(std::span<QueryKey>(Keys),
+                        std::span<QueryAnswer>(Answers));
+          for (const QueryAnswer &A : Answers) {
+            ++Log.BatchKeys;
+            if (A.Rung > AnswerRung::GxxApproximate)
+              ++Log.BadAnswers;
+            else
+              ++Log.RungSeen[static_cast<uint8_t>(A.Rung)];
+          }
+          break;
+        }
+        }
+      }
+    });
+
+  // The stats thread: sharded counters are eventually consistent, but
+  // totals are monotone - a sum that goes backwards means a torn or
+  // racy read. Checked mid-flight, not just after join.
+  uint64_t StatsRegressions = 0, StatsSamples = 0;
+  std::thread StatsThread([&Svc, &Done, &StatsRegressions, &StatsSamples] {
+    uint64_t LastQ = 0, LastP = 0, LastB = 0, LastR = 0, LastRungs = 0;
+    while (!Done.load(std::memory_order_acquire)) {
+      ServiceStats S = Svc.stats();
+      uint64_t Rungs =
+          S.RungAnswers[0] + S.RungAnswers[1] + S.RungAnswers[2];
+      if (S.Queries < LastQ || S.Probes < LastP || S.BatchQueries < LastB ||
+          S.StaleKeyReresolves < LastR || Rungs < LastRungs)
+        ++StatsRegressions;
+      LastQ = S.Queries;
+      LastP = S.Probes;
+      LastB = S.BatchQueries;
+      LastR = S.StaleKeyReresolves;
+      LastRungs = Rungs;
+      ++StatsSamples;
+      std::this_thread::yield();
+    }
+  });
+
+  // The writer: every commit moves the epoch, so each reader's next use
+  // of each key crosses a stale epoch and re-resolves in place.
+  for (uint64_t I = 0; I != NumWriterTxns; ++I) {
+    Transaction Txn = Svc.beginTxn();
+    Txn.addMember("T" + std::to_string(I % 4), "fresh" + std::to_string(I));
+    ASSERT_TRUE(Svc.commit(Txn).isOk());
+  }
+  Done.store(true, std::memory_order_release);
+
+  for (std::thread &T : Readers)
+    T.join();
+  StatsThread.join();
+  Svc.stopBackgroundAudit();
+
+  EXPECT_EQ(StatsRegressions, 0u);
+  EXPECT_GE(StatsSamples, 1u);
+
+  uint64_t SeenProbes = 0, SeenQueries = 0, SeenRungs = 0;
+  for (const FastLaneLog &Log : Logs) {
+    EXPECT_EQ(Log.BadAnswers, 0u);
+    EXPECT_EQ(Log.Probes + Log.KeyQueries + Log.BatchKeys,
+              Log.RungSeen[0] + Log.RungSeen[1] + Log.RungSeen[2]);
+    SeenProbes += Log.Probes;
+    SeenQueries += Log.KeyQueries + Log.BatchKeys;
+    SeenRungs += Log.RungSeen[0] + Log.RungSeen[1] + Log.RungSeen[2];
+  }
+
+  // The fast-lane accounting invariant: probes are counted apart from
+  // queries, and the rung totals cover both - exactly once each.
+  ServiceStats Stats = Svc.stats();
+  EXPECT_GE(Stats.Probes, SeenProbes);
+  EXPECT_GE(Stats.Queries, SeenQueries);
+  EXPECT_EQ(Stats.Queries + Stats.Probes,
+            Stats.RungAnswers[0] + Stats.RungAnswers[1] +
+                Stats.RungAnswers[2]);
+  EXPECT_GT(Stats.StaleKeyReresolves, 0u);
+  EXPECT_EQ(Stats.AuditMismatches, 0u);
+  EXPECT_EQ(Stats.Quarantines, 0u);
 
   AuditReport Final = Svc.auditNow();
   EXPECT_TRUE(Final.passed()) << Final.toString();
