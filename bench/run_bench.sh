@@ -76,6 +76,7 @@ if [ -x "${QBENCH}" ]; then
   "${QBENCH}" --json "${QOUT}" "$@"
   echo "wrote ${QOUT}"
 
+  CORES="$(grep -o '"hardware_concurrency": [0-9]*' "${QOUT}" | head -1 | cut -d' ' -f2 || true)"
   QGEO="$(grep -o '"geomean": {[^}]*}' "${QOUT}" || true)"
   if [ -n "${QGEO}" ]; then
     SQPS="$(printf '%s' "${QGEO}" | grep -o '"string_qps": [0-9.eE+-]*' | cut -d' ' -f2 || true)"
@@ -83,10 +84,18 @@ if [ -x "${QBENCH}" ]; then
     BQPS="$(printf '%s' "${QGEO}" | grep -o '"batch_qps": [0-9.eE+-]*' | cut -d' ' -f2 || true)"
     SPEED="$(printf '%s' "${QGEO}" | grep -o '"probe_speedup_vs_string": [0-9.eE+-]*' | cut -d' ' -f2 || true)"
     echo "query geomean: string ${SQPS:-?} q/s, probe ${PQPS:-?} q/s (x${SPEED:-?}), batch ${BQPS:-?} q/s"
+    # The reader-scaling column: hot_set probe qps@4t over qps@1t. The
+    # grep matches only a number, so a null (unmeasured on a small
+    # machine) falls through to the n/a arm.
+    SCAL="$(printf '%s' "${QGEO}" | grep -o '"probe_scaling_4t": [0-9.eE+-]*' | cut -d' ' -f2 || true)"
+    if [ -n "${SCAL}" ]; then
+      echo "query probe scaling: x${SCAL} (qps@4t / qps@1t)"
+    else
+      echo "query probe scaling: n/a (${CORES:-1} core$( [ "${CORES:-1}" != 1 ] && echo s ) - the 4-thread row was skipped)"
+    fi
   fi
   # Multithreaded rows are null when the machine has fewer cores than
   # the row's thread count - say so rather than printing nothing.
-  CORES="$(grep -o '"hardware_concurrency": [0-9]*' "${QOUT}" | head -1 | cut -d' ' -f2 || true)"
   if grep -q '"qps": null' "${QOUT}"; then
     echo "query multithreaded rows: n/a (${CORES:-1} core$( [ "${CORES:-1}" != 1 ] && echo s ) - rows beyond the core count are skipped, not fabricated)"
   fi

@@ -43,6 +43,7 @@
 #include "memlook/service/Snapshot.h"
 #include "memlook/service/Transaction.h"
 #include "memlook/support/Deadline.h"
+#include "memlook/support/EpochReclaimer.h"
 #include "memlook/support/ResourceBudget.h"
 #include "memlook/support/ShardedCounters.h"
 #include "memlook/support/Status.h"
@@ -315,6 +316,19 @@ struct ServiceStats {
   uint64_t WalResets = 0;        ///< log compactions (saveSnapshot)
   uint64_t WalReplayedRecords = 0; ///< logged txns replayed by restore
   uint64_t WalQuarantines = 0;   ///< log files moved aside as bad
+  /// Superseded snapshots handed to the epoch reclaimer at publish.
+  uint64_t SnapshotsRetired = 0;
+  /// Retired snapshots whose limbo reference was dropped (every pinned
+  /// reader had advanced past their retire epoch).
+  uint64_t SnapshotsReclaimed = 0;
+  /// Retired snapshots still awaiting reclamation - a gauge sampled at
+  /// stats() time, not a monotone counter. Bounded by reader progress:
+  /// it grows only while some reader guard stays pinned across commits.
+  uint64_t SnapshotLimboDepth = 0;
+  /// Reader pins that overflowed the per-thread slot table onto the
+  /// shared fallback counter (> EpochReclaimer::NumSlots concurrently
+  /// registered reader threads; correct but blocks reclamation).
+  uint64_t EpochPinOverflows = 0;
 };
 
 /// Structured outcome of one self-audit pass.
@@ -342,7 +356,12 @@ struct AuditReport {
 /// The long-lived, concurrency-safe lookup front end. Thread-safety
 /// contract: query()/queryOn()/snapshot()/stats() may be called from
 /// any number of threads concurrently with each other and with
-/// commit()/abort()/auditNow(); writers serialize internally.
+/// commit()/abort()/auditNow(); writers serialize internally. The hot
+/// entry points (query()/probe()/queryMany()/resolve()/currentEpoch())
+/// are lock-free: they pin the published snapshot through an
+/// epoch-reclamation ReadGuard (support/EpochReclaimer.h) - no mutex,
+/// no shared refcount - so readers never block writers and writers
+/// never block readers; see docs/SERVICE.md "Concurrency contract".
 class LookupService {
 public:
   /// Takes ownership of a finalized hierarchy as epoch 1. Asserts on an
@@ -408,13 +427,19 @@ public:
   // Snapshots and queries
   //===--------------------------------------------------------------------===
 
-  /// Pins the current snapshot: one shared_ptr copy under a brief lock.
-  /// The returned snapshot never changes; run any number of queryOn()
-  /// calls against it for a consistent multi-query view.
+  /// Pins the current snapshot with a shared_ptr: one pointer copy under
+  /// a brief lock. The returned snapshot never changes; run any number
+  /// of queryOn() calls against it for a consistent multi-query view.
+  /// This is the slow-path / external-pinning API - the hot entry points
+  /// (query(), probe(), queryMany(), resolve()) pin lock-free through
+  /// the epoch reclaimer instead and never touch SnapMutex.
   std::shared_ptr<const Snapshot> snapshot() const;
 
-  /// Epoch of the current snapshot.
-  uint64_t currentEpoch() const { return snapshot()->Epoch; }
+  /// Epoch of the current snapshot: a single relaxed atomic read,
+  /// updated at publish (hot in stale-key re-resolution checks).
+  uint64_t currentEpoch() const {
+    return CurrentEpoch.load(std::memory_order_relaxed);
+  }
 
   /// Resolves \p Member in the context of \p Class on the current
   /// snapshot, degrading along the ladder as \p D demands.
@@ -567,8 +592,38 @@ private:
   ServiceOptions Opts;
 
   /// Guards Current only; held for pointer copies, never across work.
+  /// Only the slow-path snapshot() API and publish() touch it - the hot
+  /// read paths go through CurrentPtr + Reclaimer below.
   mutable std::mutex SnapMutex;
   std::shared_ptr<const Snapshot> Current;
+
+  /// Lock-free publication point for the hot read paths. publish()
+  /// stores here (with EpochReclaimer::pointerOrder()) after swapping
+  /// Current; guard-pinned readers load it and dereference raw. The
+  /// pointee is kept alive by Current / external snapshot() holders /
+  /// the reclaimer's limbo list - never by the reader.
+  std::atomic<const Snapshot *> CurrentPtr{nullptr};
+
+  /// currentEpoch()'s backing store, updated at publish.
+  std::atomic<uint64_t> CurrentEpoch{0};
+
+  /// Epoch-based reclamation domain for guard-pinned readers. publish()
+  /// retires the superseded snapshot here (type-erased shared_ptr, so
+  /// external pins stay safe); the writer-side retire/reclaim calls are
+  /// already serialized by WriterMutex. Destroyed before Current, which
+  /// is the order we want: the drain happens while the final snapshot
+  /// is still alive.
+  EpochReclaimer Reclaimer;
+
+  /// Loads the published snapshot for a guard-pinned read. Only valid
+  /// while an EpochReclaimer::ReadGuard on Reclaimer is live.
+  const Snapshot *currentRaw() const {
+    return CurrentPtr.load(EpochReclaimer::pointerOrder());
+  }
+
+  /// Constructor helper: installs the first snapshot (no readers yet,
+  /// nothing to retire).
+  void adoptInitial(std::shared_ptr<const Snapshot> Snap);
 
   /// Serializes writers (commit, warm, audit-rebuild, corrupt-hook,
   /// snapshot save + log compaction). Mutable because saveSnapshot()

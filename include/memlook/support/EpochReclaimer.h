@@ -1,0 +1,273 @@
+//===- EpochReclaimer.h - epoch-based reclamation for read paths ----------===//
+//
+// RCU-style epoch-based reclamation (EBR) so hot read paths can pin a
+// published object with two plain stores instead of a mutex + shared_ptr
+// refcount bump.  The protocol:
+//
+//   * A single writer (the caller serializes writers externally, e.g. with
+//     LookupService::WriterMutex) publishes new versions through its own
+//     std::atomic<const T*> and hands superseded versions to retire().
+//     Each retire bumps the global epoch and tags the retired object with
+//     the post-bump value on a FIFO limbo list.
+//   * Readers construct a ReadGuard, which records the current epoch in a
+//     cache-line-aligned per-thread slot, and only then load the published
+//     pointer.  While the slot holds an epoch E, every object retired with
+//     a tag > E is kept alive.  Guard release stores a quiescent sentinel.
+//   * reclaim() (writer side) scans the slots: an object tagged T may be
+//     freed once every *pinned* slot holds an epoch >= T -- such readers
+//     pinned after the bump for T and therefore after the pointer swap
+//     that preceded it, so they cannot be holding the retired version.
+//     Quiescent slots never block.  A stuck reader delays reclamation of
+//     everything retired after its pin, but never correctness.
+//
+// Why a pinned epoch >= T proves safety: the writer orders
+//   (W1) publish new pointer   (W2) bump epoch to T   (W3) fence + scan
+// and the reader orders
+//   (R1) load epoch E          (R2) store slot := E   (R3) fence
+//   (R4) load published pointer.
+// If the scan observes slot == E with E >= T, the reader read the epoch
+// after W2, hence after W1, so R4 returns the new pointer (or a newer
+// one).  If the scan observes the slot as quiescent or with E < T, the
+// R3/W3 store-load barriers guarantee that either the reader's pin was
+// visible to the scan (object retained) or the reader's R4 saw the new
+// pointer (object not held).
+//
+// The R3/W3 fences are the classic store-load barrier every EBR needs.
+// Three build modes:
+//
+//   * TSan builds: the slot store and scan load (and the caller's pointer
+//     store/load, see pointerOrder()) are seq_cst atomics.  ThreadSanitizer
+//     does not model standalone fences, but it does model seq_cst atomics,
+//     so this mode is both correct and produces the happens-before edges
+//     TSan needs to see reclamation as race-free.
+//   * Linux with the membarrier(2) PRIVATE_EXPEDITED command available:
+//     readers issue only a compiler fence (free); the writer's scan is
+//     preceded by a membarrier syscall that interrupts every running
+//     thread with a full barrier.  This is the asymmetric URCU scheme:
+//     reader pin cost is two plain stores.
+//   * Otherwise: both sides issue atomic_thread_fence(seq_cst).
+//
+// Ownership: limbo entries are type-erased shared_ptr<const void>, so
+// external shared_ptr holders (LookupService::snapshot() callers) keep an
+// object alive past its reclamation; "free" here means dropping the limbo
+// reference.  The destructor drains the limbo list unconditionally -- the
+// caller must guarantee no raw-pointer reader is still dereferencing a
+// retired object (live guards from still-registered threads are fine; the
+// shared_ptr payloads keep externally-held objects valid regardless).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MEMLOOK_SUPPORT_EPOCHRECLAIMER_H
+#define MEMLOOK_SUPPORT_EPOCHRECLAIMER_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#if defined(__SANITIZE_THREAD__)
+#define MEMLOOK_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MEMLOOK_TSAN 1
+#endif
+#endif
+#ifndef MEMLOOK_TSAN
+#define MEMLOOK_TSAN 0
+#endif
+
+namespace memlook {
+
+namespace detail {
+
+/// True when the process successfully registered for
+/// membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED).  Initialized before main
+/// by a dynamic initializer in EpochReclaimer.cpp; never changes after.
+extern const bool MembarrierActive;
+
+/// Issues the expedited membarrier (only call when MembarrierActive).
+void issueMembarrier();
+
+/// Reader-side store-load barrier between the slot store and the pointer
+/// load.  Free (compiler-only) in membarrier mode.
+inline void readerFence() {
+  if (MembarrierActive)
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+  else
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+/// Writer-side barrier between the pointer swap / epoch bump and the slot
+/// scan.
+inline void writerFence() {
+  if (MembarrierActive)
+    issueMembarrier();
+  else
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+} // namespace detail
+
+class EpochReclaimer {
+public:
+  static constexpr uint64_t QuiescentState = UINT64_MAX;
+  static constexpr size_t NumSlots = 64;
+
+  /// Per-thread reader slot.  One cache line each so pin/release by one
+  /// thread never bounces another reader's line.
+  struct alignas(64) ReaderSlot {
+    /// Pinned epoch, or QuiescentState when no guard is active.  Written
+    /// only by the owning thread; read by the reclaiming writer.
+    std::atomic<uint64_t> State{QuiescentState};
+    /// Claimed flag (CAS'd by threads registering; cleared at thread exit
+    /// or lazily after the reclaimer closes).
+    std::atomic<uint32_t> Owned{0};
+    /// Guard nesting depth.  Touched only by the owning thread while it
+    /// owns the slot, so a plain field is safe; inner guards reuse the
+    /// outer pin, which is conservative (the outermost epoch is older).
+    uint32_t Depth = 0;
+  };
+
+  /// The shared state readers touch.  Owned via shared_ptr so a thread's
+  /// registration (kept in thread_local storage) can outlive the
+  /// reclaimer: after the reclaimer closes, registrations are purged
+  /// lazily and the array dies with its last reference.
+  struct SlotArray {
+    SlotArray(); // assigns a process-unique Id
+    /// Process-unique generation id.  The ReadGuard fast-path cache keys
+    /// on (address, Id) so a freed array whose address is reused by a new
+    /// reclaimer can never satisfy a stale cache entry.
+    uint64_t Id;
+    std::atomic<uint64_t> Epoch{0};
+    std::atomic<uint32_t> OverflowPins{0};
+    std::atomic<uint32_t> OverflowTotal{0};
+    std::atomic<bool> Closed{false};
+    alignas(64) ReaderSlot Slots[NumSlots];
+  };
+
+  EpochReclaimer();
+  ~EpochReclaimer();
+
+  EpochReclaimer(const EpochReclaimer &) = delete;
+  EpochReclaimer &operator=(const EpochReclaimer &) = delete;
+
+  /// RAII read-side pin.  Construct the guard FIRST, then load the
+  /// published pointer (with pointerOrder()); the snapshot stays valid
+  /// until the guard is destroyed.  Guards nest (inner guards reuse the
+  /// outer pin) and must be released on the thread that created them.
+  /// A guard must not outlive its reclaimer.
+  class ReadGuard {
+  public:
+    explicit ReadGuard(const EpochReclaimer &R) : Arr(R.Arr.get()) {
+      TlsCache &C = tlsCache();
+      Slot = (C.ArrKey == Arr && C.IdKey == Arr->Id) ? C.Slot
+                                                     : acquireSlotSlow(R, C);
+      if (Slot) {
+        if (Slot->Depth++ != 0)
+          return; // nested: outer guard's (older) pin already protects us
+        uint64_t E = Arr->Epoch.load(std::memory_order_acquire);
+#if MEMLOOK_TSAN
+        Slot->State.store(E, std::memory_order_seq_cst);
+#else
+        Slot->State.store(E, std::memory_order_relaxed);
+        detail::readerFence();
+#endif
+      } else {
+        // Slot table exhausted (> NumSlots concurrently registered
+        // threads): fall back to a shared pin that blocks all reclamation
+        // while held.  Slower, never wrong.
+        Arr->OverflowPins.fetch_add(1, std::memory_order_seq_cst);
+        Arr->OverflowTotal.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    ~ReadGuard() {
+      if (Slot) {
+        if (--Slot->Depth == 0)
+          Slot->State.store(QuiescentState, std::memory_order_release);
+      } else {
+        Arr->OverflowPins.fetch_sub(1, std::memory_order_release);
+      }
+    }
+
+    ReadGuard(const ReadGuard &) = delete;
+    ReadGuard &operator=(const ReadGuard &) = delete;
+
+    /// True when this guard had to take the shared-pin fallback.
+    bool overflowed() const { return Slot == nullptr; }
+
+  private:
+    struct TlsCache {
+      const SlotArray *ArrKey = nullptr;
+      uint64_t IdKey = 0;
+      ReaderSlot *Slot = nullptr;
+    };
+
+    static TlsCache &tlsCache();
+    static ReaderSlot *acquireSlotSlow(const EpochReclaimer &R, TlsCache &C);
+
+    SlotArray *Arr;
+    ReaderSlot *Slot;
+  };
+
+  /// Memory order the caller must use for its published-pointer store
+  /// (writer) and load (reader).  seq_cst: the load compiles to a plain
+  /// MOV on x86/aarch64, and under TSan it completes the happens-before
+  /// chain that standalone fences cannot express.
+  static constexpr std::memory_order pointerOrder() {
+    return std::memory_order_seq_cst;
+  }
+
+  /// Writer side (caller-serialized): bump the epoch, tag Obj with the
+  /// post-bump value, append it to the limbo list, then attempt
+  /// reclamation.  Null Obj is ignored.  Type-erased so any shared_ptr
+  /// payload works: std::static_pointer_cast<const void>(ptr).
+  void retire(std::shared_ptr<const void> Obj);
+
+  /// Writer side (caller-serialized): free every limbo entry whose tag is
+  /// <= the minimum pinned epoch.  Returns the number of entries freed.
+  size_t reclaim();
+
+  /// Current global epoch (bumped once per retire).
+  uint64_t epoch() const { return Arr->Epoch.load(std::memory_order_acquire); }
+
+  /// Number of retired objects awaiting reclamation.
+  size_t limboDepth() const { return LimboSize.load(std::memory_order_relaxed); }
+
+  /// Lifetime counters.
+  uint64_t retiredTotal() const {
+    return RetiredTotal.load(std::memory_order_relaxed);
+  }
+  uint64_t reclaimedTotal() const {
+    return ReclaimedTotal.load(std::memory_order_relaxed);
+  }
+  uint64_t overflowTotal() const {
+    return Arr->OverflowTotal.load(std::memory_order_relaxed);
+  }
+
+  /// Readers currently inside a guard (pinned slots + overflow pins).
+  /// Racy by nature; meant for tests and stats gauges.
+  size_t activeReaders() const;
+
+  /// Slots currently claimed by registered threads (test observability).
+  size_t ownedSlots() const;
+
+private:
+  std::shared_ptr<SlotArray> Arr;
+
+  /// Limbo list in retire order; tags are strictly increasing, so
+  /// reclamation always frees a prefix.  Writer-side only.
+  struct LimboEntry {
+    uint64_t Tag;
+    std::shared_ptr<const void> Obj;
+  };
+  std::deque<LimboEntry> Limbo;
+  std::atomic<size_t> LimboSize{0};
+  std::atomic<uint64_t> RetiredTotal{0};
+  std::atomic<uint64_t> ReclaimedTotal{0};
+};
+
+} // namespace memlook
+
+#endif // MEMLOOK_SUPPORT_EPOCHRECLAIMER_H

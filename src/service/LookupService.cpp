@@ -112,7 +112,7 @@ LookupService::LookupService(Hierarchy Initial, ServiceOptions Options)
     else
       WalHealth = W.status();
   }
-  Current = std::move(Snap);
+  adoptInitial(std::move(Snap));
 }
 
 Expected<std::unique_ptr<LookupService>>
@@ -140,7 +140,7 @@ LookupService::LookupService(RestoreTag, uint64_t Epoch,
   if (Snap->Table)
     NumColumnsDeduped.fetch_add(Snap->Table->buildStats().ColumnsDeduped,
                                 std::memory_order_relaxed);
-  Current = std::move(Snap);
+  adoptInitial(std::move(Snap));
 }
 
 namespace {
@@ -402,16 +402,41 @@ Status LookupService::saveSnapshot(const std::string &Path) const {
   return S;
 }
 
-LookupService::~LookupService() { stopBackgroundAudit(); }
+LookupService::~LookupService() {
+  stopBackgroundAudit();
+  // Member destruction then drains the reclaimer's limbo list (declared
+  // after Current, so it is destroyed first, while the pointees are
+  // still reachable). The caller owns the usual precondition: no reader
+  // thread is still inside a guard-pinned call on this service.
+}
 
 std::shared_ptr<const Snapshot> LookupService::snapshot() const {
   std::lock_guard<std::mutex> Lock(SnapMutex);
   return Current;
 }
 
+void LookupService::adoptInitial(std::shared_ptr<const Snapshot> Snap) {
+  // Construction only: no readers exist yet, so plain ordering suffices.
+  CurrentEpoch.store(Snap->Epoch, std::memory_order_relaxed);
+  CurrentPtr.store(Snap.get(), EpochReclaimer::pointerOrder());
+  Current = std::move(Snap);
+}
+
 void LookupService::publish(std::shared_ptr<const Snapshot> Next) {
-  std::lock_guard<std::mutex> Lock(SnapMutex);
-  Current = std::move(Next);
+  // Callers hold WriterMutex, which serializes the epoch-reclaimer's
+  // writer side (retire + reclaim) as well as the swap itself.
+  const Snapshot *Raw = Next.get();
+  std::shared_ptr<const Snapshot> Old;
+  {
+    std::lock_guard<std::mutex> Lock(SnapMutex);
+    Old = std::move(Current);
+    Current = std::move(Next);
+  }
+  CurrentEpoch.store(Raw->Epoch, std::memory_order_relaxed);
+  // The EBR publication point: the store must precede the epoch bump
+  // inside retire() (see EpochReclaimer.h's W1/W2/W3 ordering).
+  CurrentPtr.store(Raw, EpochReclaimer::pointerOrder());
+  Reclaimer.retire(std::static_pointer_cast<const void>(std::move(Old)));
 }
 
 Deadline LookupService::warmDeadline() const {
@@ -426,7 +451,8 @@ Deadline LookupService::warmDeadline() const {
 QueryAnswer LookupService::query(std::string_view Class,
                                  std::string_view Member,
                                  const Deadline &D) const {
-  return queryOn(*snapshot(), Class, Member, D);
+  EpochReclaimer::ReadGuard Guard(Reclaimer);
+  return queryOn(*currentRaw(), Class, Member, D);
 }
 
 QueryAnswer LookupService::queryOn(const Snapshot &Snap, std::string_view Class,
@@ -534,12 +560,14 @@ QueryKey LookupService::resolve(std::string_view Class,
   QueryKey Key;
   Key.ClassName.assign(Class);
   Key.MemberName.assign(Member);
-  resolveKeyOn(*snapshot(), Key);
+  EpochReclaimer::ReadGuard Guard(Reclaimer);
+  resolveKeyOn(*currentRaw(), Key);
   return Key;
 }
 
 QueryAnswer LookupService::query(QueryKey &Key, const Deadline &D) const {
-  return queryOn(*snapshot(), Key, D);
+  EpochReclaimer::ReadGuard Guard(Reclaimer);
+  return queryOn(*currentRaw(), Key, D);
 }
 
 QueryAnswer LookupService::queryOn(const Snapshot &Snap, QueryKey &Key,
@@ -555,7 +583,10 @@ QueryAnswer LookupService::queryOn(const Snapshot &Snap, QueryKey &Key,
 void LookupService::queryMany(std::span<QueryKey> Keys,
                               std::span<QueryAnswer> Answers,
                               const Deadline &D) const {
-  queryManyOn(*snapshot(), Keys, Answers, D);
+  // One guard pins one snapshot for the whole batch, so the windowed
+  // prefetch+answer passes see a consistent epoch.
+  EpochReclaimer::ReadGuard Guard(Reclaimer);
+  queryManyOn(*currentRaw(), Keys, Answers, D);
 }
 
 void LookupService::queryManyOn(const Snapshot &Snap, std::span<QueryKey> Keys,
@@ -590,7 +621,8 @@ void LookupService::queryManyOn(const Snapshot &Snap, std::span<QueryKey> Keys,
 }
 
 ProbeAnswer LookupService::probe(QueryKey &Key, const Deadline &D) const {
-  return probeOn(*snapshot(), Key, D);
+  EpochReclaimer::ReadGuard Guard(Reclaimer);
+  return probeOn(*currentRaw(), Key, D);
 }
 
 ProbeAnswer LookupService::probeOn(const Snapshot &Snap, QueryKey &Key,
@@ -652,7 +684,7 @@ ProbeAnswer LookupService::probeOn(const Snapshot &Snap, QueryKey &Key,
 //===----------------------------------------------------------------------===//
 
 Transaction LookupService::beginTxn() const {
-  return Transaction(snapshot()->Epoch);
+  return Transaction(currentEpoch());
 }
 
 Status LookupService::commit(const Transaction &Txn) {
@@ -959,6 +991,10 @@ ServiceStats LookupService::stats() const {
   S.WalReplayedRecords =
       NumWalReplayedRecords.load(std::memory_order_relaxed);
   S.WalQuarantines = NumWalQuarantines.load(std::memory_order_relaxed);
+  S.SnapshotsRetired = Reclaimer.retiredTotal();
+  S.SnapshotsReclaimed = Reclaimer.reclaimedTotal();
+  S.SnapshotLimboDepth = Reclaimer.limboDepth();
+  S.EpochPinOverflows = Reclaimer.overflowTotal();
   if (std::shared_ptr<const Snapshot> Snap = snapshot(); Snap->Table)
     S.TableHeapBytes = Snap->Table->heapBytes();
   return S;

@@ -1,0 +1,208 @@
+//===- EpochReclaimer.cpp - epoch-based reclamation for read paths --------===//
+
+#include "memlook/support/EpochReclaimer.h"
+
+#include <vector>
+
+#if defined(__linux__) && !MEMLOOK_TSAN
+#include <sys/syscall.h>
+#include <unistd.h>
+// Values from <linux/membarrier.h>; spelled out so pre-4.14 userspace
+// headers still compile (the runtime probe below handles old kernels).
+#ifndef MEMBARRIER_CMD_PRIVATE_EXPEDITED
+#define MEMBARRIER_CMD_PRIVATE_EXPEDITED (1 << 3)
+#endif
+#ifndef MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED
+#define MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED (1 << 4)
+#endif
+#define MEMLOOK_HAVE_MEMBARRIER 1
+#else
+#define MEMLOOK_HAVE_MEMBARRIER 0
+#endif
+
+namespace memlook {
+namespace detail {
+
+static bool initMembarrier() {
+#if MEMLOOK_HAVE_MEMBARRIER
+  // Registration is per-process and must precede the first expedited
+  // barrier.  Runs pre-main (dynamic initializer of MembarrierActive), so
+  // every EpochReclaimer user sees a settled flag.
+  return syscall(__NR_membarrier, MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED,
+                 0, 0) == 0;
+#else
+  return false;
+#endif
+}
+
+const bool MembarrierActive = initMembarrier();
+
+void issueMembarrier() {
+#if MEMLOOK_HAVE_MEMBARRIER
+  syscall(__NR_membarrier, MEMBARRIER_CMD_PRIVATE_EXPEDITED, 0, 0);
+#endif
+}
+
+} // namespace detail
+
+namespace {
+
+/// One thread's registration with one reclaimer.  The shared_ptr keeps the
+/// slot array alive until every registered thread has exited or purged,
+/// even if the reclaimer itself is long gone.
+struct TlsSlotRef {
+  std::shared_ptr<EpochReclaimer::SlotArray> Arr;
+  EpochReclaimer::ReaderSlot *Slot = nullptr;
+};
+
+/// Per-thread registry.  The destructor (thread exit) releases every
+/// claimed slot so slots recycle across short-lived threads.
+struct TlsRegistry {
+  std::vector<TlsSlotRef> Refs;
+
+  ~TlsRegistry() {
+    for (TlsSlotRef &R : Refs)
+      if (R.Slot)
+        R.Slot->Owned.store(0, std::memory_order_release);
+  }
+};
+
+TlsRegistry &tlsRegistry() {
+  static thread_local TlsRegistry Reg;
+  return Reg;
+}
+
+} // namespace
+
+EpochReclaimer::ReadGuard::TlsCache &EpochReclaimer::ReadGuard::tlsCache() {
+  static thread_local TlsCache Cache;
+  return Cache;
+}
+
+EpochReclaimer::ReaderSlot *
+EpochReclaimer::ReadGuard::acquireSlotSlow(const EpochReclaimer &R,
+                                           TlsCache &C) {
+  TlsRegistry &Reg = tlsRegistry();
+  SlotArray *A = R.Arr.get();
+
+  // Purge registrations for closed reclaimers (releases their slots and
+  // drops the shared_ptr keeping the dead array alive) while looking for
+  // an existing registration with this one.
+  ReaderSlot *Found = nullptr;
+  size_t Keep = 0;
+  for (size_t I = 0; I < Reg.Refs.size(); ++I) {
+    TlsSlotRef &Ref = Reg.Refs[I];
+    if (Ref.Arr->Closed.load(std::memory_order_acquire) &&
+        Ref.Slot->Depth == 0) { // never drop under a live guard of ours
+      Ref.Slot->Owned.store(0, std::memory_order_release);
+      continue; // drop
+    }
+    if (Ref.Arr.get() == A)
+      Found = Ref.Slot;
+    if (Keep != I)
+      Reg.Refs[Keep] = std::move(Ref);
+    ++Keep;
+  }
+  Reg.Refs.resize(Keep);
+
+  if (!Found) {
+    for (size_t I = 0; I < NumSlots; ++I) {
+      uint32_t Expected = 0;
+      if (A->Slots[I].Owned.compare_exchange_strong(
+              Expected, 1, std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {
+        Found = &A->Slots[I];
+        Found->Depth = 0;
+        Reg.Refs.push_back(TlsSlotRef{R.Arr, Found});
+        break;
+      }
+    }
+  }
+
+  // Cache the result for the fast path.  An overflow (Found == nullptr)
+  // is not cached: a later guard retries the claim in case a slot freed.
+  if (Found) {
+    C.ArrKey = A;
+    C.IdKey = A->Id;
+    C.Slot = Found;
+  }
+  return Found;
+}
+
+EpochReclaimer::SlotArray::SlotArray() {
+  static std::atomic<uint64_t> NextId{1};
+  Id = NextId.fetch_add(1, std::memory_order_relaxed);
+}
+
+EpochReclaimer::EpochReclaimer() : Arr(std::make_shared<SlotArray>()) {}
+
+EpochReclaimer::~EpochReclaimer() {
+  // Drain unconditionally: the caller guarantees raw-pointer readers are
+  // done with retired objects (external shared_ptr holders are safe
+  // regardless -- dropping the limbo reference only decrements).
+  ReclaimedTotal.fetch_add(Limbo.size(), std::memory_order_relaxed);
+  Limbo.clear();
+  LimboSize.store(0, std::memory_order_relaxed);
+  // Registered threads purge lazily on their next acquireSlotSlow (or at
+  // thread exit); the array dies with its last shared_ptr reference.
+  // Stale ReadGuard fast-path caches can never resurrect it: the cache is
+  // keyed on (address, Id) and Ids are process-unique.
+  Arr->Closed.store(true, std::memory_order_release);
+}
+
+void EpochReclaimer::retire(std::shared_ptr<const void> Obj) {
+  if (!Obj)
+    return;
+  uint64_t Tag = Arr->Epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+  Limbo.push_back(LimboEntry{Tag, std::move(Obj)});
+  RetiredTotal.fetch_add(1, std::memory_order_relaxed);
+  LimboSize.store(Limbo.size(), std::memory_order_relaxed);
+  reclaim();
+}
+
+size_t EpochReclaimer::reclaim() {
+  if (Limbo.empty())
+    return 0;
+
+  detail::writerFence();
+
+  uint64_t MinPinned = QuiescentState; // "nothing pinned" == free everything
+  if (Arr->OverflowPins.load(std::memory_order_seq_cst) != 0) {
+    MinPinned = 0; // conservative: overflow pins have no epoch; free nothing
+  } else {
+    for (ReaderSlot &S : Arr->Slots) {
+      uint64_t V = S.State.load(std::memory_order_seq_cst);
+      if (V != QuiescentState && V < MinPinned)
+        MinPinned = V;
+    }
+  }
+
+  size_t Freed = 0;
+  while (!Limbo.empty() && Limbo.front().Tag <= MinPinned) {
+    Limbo.pop_front();
+    ++Freed;
+  }
+  if (Freed) {
+    ReclaimedTotal.fetch_add(Freed, std::memory_order_relaxed);
+    LimboSize.store(Limbo.size(), std::memory_order_relaxed);
+  }
+  return Freed;
+}
+
+size_t EpochReclaimer::activeReaders() const {
+  size_t N = Arr->OverflowPins.load(std::memory_order_acquire);
+  for (const ReaderSlot &S : Arr->Slots)
+    if (S.State.load(std::memory_order_acquire) != QuiescentState)
+      ++N;
+  return N;
+}
+
+size_t EpochReclaimer::ownedSlots() const {
+  size_t N = 0;
+  for (const ReaderSlot &S : Arr->Slots)
+    if (S.Owned.load(std::memory_order_acquire) != 0)
+      ++N;
+  return N;
+}
+
+} // namespace memlook

@@ -777,3 +777,161 @@ TEST(ServiceStressTest, FastLaneReadersShardedStatsAndWriterShareOneService) {
   AuditReport Final = Svc.auditNow();
   EXPECT_TRUE(Final.passed()) << Final.toString();
 }
+
+TEST(ServiceStressTest, EpochReclamationRacesGuardPinnedReadersAndWriter) {
+  // The lock-free read path under its designed-for load: 4 readers
+  // hammer the guard-pinned entry points (probe / key query /
+  // queryMany) - each call pins the published snapshot through an
+  // EpochReclaimer::ReadGuard and dereferences it raw - while a writer
+  // commits every few milliseconds, retiring a snapshot per publish,
+  // and the reclaimer frees the limbo list behind the readers. Under
+  // the tsan preset this is the data-race proof for the whole EBR
+  // protocol (publish -> retire -> scan -> free vs. pin -> load ->
+  // deref); under ASan a reclamation bug is a hard heap-use-after-free.
+  // Build-independent assertions: answers from freed-candidate
+  // snapshots stay coherent (epochs never run backwards per thread, no
+  // answer carries epoch 0), the limbo list stays bounded by reader
+  // progress, and it drains to zero once the readers quiesce.
+  Workload W = makeModularForest(4, 2, 2, /*MembersPerRoot=*/4,
+                                 /*SharedMembers=*/2);
+
+  ServiceOptions Opts;
+  Opts.AuditEngineCheck = false;
+  Opts.AuditSampleLimit = 32;
+  LookupService Svc(std::move(W.H), Opts);
+
+  constexpr int NumReaders = 4;
+  constexpr uint64_t NumWriterTxns = 300;
+
+  std::vector<QueryKey> Master;
+  for (uint32_t T = 0; T != 4; ++T)
+    for (uint32_t M = 0; M != 4; ++M)
+      Master.push_back(Svc.resolve(
+          "T" + std::to_string(T) + "_0",
+          "t" + std::to_string(T) + "_m" + std::to_string(M)));
+  Master.push_back(Svc.resolve("T0", "g0"));
+
+  struct ReclaimLog {
+    uint64_t Ops = 0;
+    uint64_t NonMonotoneEpochs = 0; ///< a later answer from an older epoch
+    uint64_t ZeroEpochs = 0;        ///< an answer stamped with no epoch
+    uint64_t BadAnswers = 0;
+  };
+
+  std::atomic<bool> Done{false};
+  std::vector<ReclaimLog> Logs(NumReaders);
+  std::vector<std::thread> Readers;
+  for (int Idx = 0; Idx != NumReaders; ++Idx)
+    Readers.emplace_back([&Svc, &Done, &Master, Idx, &Log = Logs[Idx]] {
+      std::vector<QueryKey> Keys = Master; // private copies
+      std::vector<QueryAnswer> Answers(Keys.size());
+      uint64_t LastEpoch = 0;
+      auto Note = [&Log, &LastEpoch](uint64_t Epoch) {
+        if (Epoch == 0)
+          ++Log.ZeroEpochs;
+        if (Epoch < LastEpoch)
+          ++Log.NonMonotoneEpochs;
+        else
+          LastEpoch = Epoch;
+      };
+      uint64_t Iter = 0;
+      while ((Iter < 512 || !Done.load(std::memory_order_acquire)) &&
+             Iter < 200000) {
+        ++Iter;
+        QueryKey &Key = Keys[(Iter + Idx) % Keys.size()];
+        switch (Iter % 4) {
+        case 0:
+        case 1: { // probe-heavy, like the bench's fast lane
+          ProbeAnswer P = Svc.probe(Key);
+          Note(P.Epoch);
+          if (P.Rung > AnswerRung::GxxApproximate)
+            ++Log.BadAnswers;
+          break;
+        }
+        case 2: {
+          QueryAnswer A = Svc.query(Key);
+          Note(A.Epoch);
+          if (A.Rung > AnswerRung::GxxApproximate ||
+              (!A.S.isOk() && A.S.code() != ErrorCode::UnknownClass))
+            ++Log.BadAnswers;
+          break;
+        }
+        default: {
+          Svc.queryMany(std::span<QueryKey>(Keys),
+                        std::span<QueryAnswer>(Answers));
+          for (const QueryAnswer &A : Answers) {
+            Note(A.Epoch);
+            if (A.Rung > AnswerRung::GxxApproximate)
+              ++Log.BadAnswers;
+          }
+          break;
+        }
+        }
+        Log.Ops += 1;
+      }
+    });
+
+  // A sampler thread watches the reclaimer gauges mid-flight: the limbo
+  // list must stay bounded (readers release their guards every call, so
+  // reclamation keeps pace with retirement) and the running totals must
+  // stay consistent.
+  uint64_t MaxLimbo = 0, GaugeAnomalies = 0;
+  std::thread Sampler([&Svc, &Done, &MaxLimbo, &GaugeAnomalies] {
+    while (!Done.load(std::memory_order_acquire)) {
+      ServiceStats S = Svc.stats();
+      MaxLimbo = std::max(MaxLimbo, S.SnapshotLimboDepth);
+      if (S.SnapshotsReclaimed > S.SnapshotsRetired)
+        ++GaugeAnomalies;
+      std::this_thread::yield();
+    }
+  });
+
+  // The writer: a net no-op blip per commit (add + remove one member in
+  // one script) every couple of milliseconds - each publish retires the
+  // superseded snapshot while readers are mid-deref on it.
+  for (uint64_t I = 0; I != NumWriterTxns; ++I) {
+    Transaction Txn = Svc.beginTxn();
+    std::string Name = "storm" + std::to_string(I);
+    Txn.addMember("T" + std::to_string(I % 4), Name)
+        .removeMember("T" + std::to_string(I % 4), Name);
+    ASSERT_TRUE(Svc.commit(Txn).isOk());
+    if (I % 8 == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  Done.store(true, std::memory_order_release);
+
+  for (std::thread &T : Readers)
+    T.join();
+  Sampler.join();
+
+  for (const ReclaimLog &Log : Logs) {
+    EXPECT_GE(Log.Ops, 512u);
+    EXPECT_EQ(Log.BadAnswers, 0u);
+    EXPECT_EQ(Log.ZeroEpochs, 0u);
+    EXPECT_EQ(Log.NonMonotoneEpochs, 0u)
+        << "a guard-pinned read served an epoch older than one already "
+           "observed on the same thread";
+  }
+  EXPECT_EQ(GaugeAnomalies, 0u);
+  EXPECT_LE(MaxLimbo, EpochReclaimer::NumSlots)
+      << "the limbo list outgrew any plausible reader-progress bound";
+
+  // Quiescence: one more publish retires the last superseded snapshot
+  // and its reclaim pass - with every reader slot quiescent - must
+  // drain the limbo list completely.
+  Transaction FinalTxn = Svc.beginTxn();
+  FinalTxn.addMember("T0", "final_member");
+  ASSERT_TRUE(Svc.commit(FinalTxn).isOk());
+
+  ServiceStats Stats = Svc.stats();
+  EXPECT_GE(Stats.SnapshotsRetired, NumWriterTxns);
+  EXPECT_EQ(Stats.SnapshotLimboDepth, 0u);
+  EXPECT_EQ(Stats.SnapshotsReclaimed, Stats.SnapshotsRetired);
+  EXPECT_EQ(Stats.EpochPinOverflows, 0u);
+
+  // And the answers on the far side of ~300 reclaimed epochs are right.
+  QueryKey Check = Svc.resolve("T0", "final_member");
+  EXPECT_EQ(Svc.probe(Check).Status, LookupStatus::Unambiguous);
+  AuditReport Audit = Svc.auditNow();
+  EXPECT_TRUE(Audit.passed()) << Audit.toString();
+}
