@@ -37,25 +37,49 @@
 // keep flat. Storm rows sit outside the geomeans (they measure a
 // different contract) and carry the reclamation counters alongside.
 //
-// Latency percentiles come from per-thread fixed-size reservoirs
-// (Algorithm R) merged explicitly after each repeat, so every thread's
-// stream is represented in p50/p99 in proportion to the ops it ran.
+// Latency percentiles come from two independent instruments. The
+// bench's own per-thread fixed-size reservoirs (Algorithm R, merged
+// explicitly after each repeat) clock every 64th op from outside the
+// service; the service's observability layer clocks its own
+// 1-in-SamplePeriod sample into sharded latency histograms from
+// inside. Each row's JSON
+// carries both: reservoir p50/p99 plus the histogram window for that
+// row (diffSince across the row's run), so the trajectory can watch
+// the two estimators track each other. The two samplers are
+// deliberately phase-shifted a half period apart on 1-thread rows
+// (deskewServiceSampler below): if they clocked the same ops, every
+// reservoir sample would also be paying the service's internal clock
+// pair and the comparison would measure the overlap, not the path.
+// Batch histogram entries are whole-batch durations (the observability
+// layer records one sample per queryMany call); batch reservoir
+// entries stay per-key amortized.
 //
-// `bench_query --json OUT` writes queries/sec and sampled p50/p99
-// latency per (mix, path, thread count) to BENCH_query.json - the
+// `bench_query --json OUT` writes queries/sec and both percentile
+// views per (mix, path, thread count) to BENCH_query.json - the
 // serving-side bench trajectory CI's perf-smoke job consumes next to
-// BENCH_tabulation.json. Thread counts beyond the machine's cores (or
-// beyond an explicit `--threads N` cap) are skipped with a stderr
-// warning and carried as null, never fabricated. `--check` guards the
-// fast lane's reason to exist: probe must beat the string path >= 3x
+// BENCH_tabulation.json. `--metrics-out FILE` additionally dumps the
+// service's full metricsJson() after the run - every counter, the
+// per-path histograms, the trace ring, and the anomaly log the run
+// accumulated. Thread counts beyond the machine's cores (or beyond an
+// explicit `--threads N` cap) are skipped with a stderr warning and
+// carried as null, never fabricated. `--check` guards the fast lane's
+// reason to exist: probe must beat the string path >= 3x
 // single-threaded, 4 reader threads must scale >= 2.5x when measured
-// (no shared-line RMW on the read path), and the storm's limbo list
-// must end bounded.
+// (no shared-line RMW on the read path), the storm's limbo list must
+// end bounded, and - with histograms live on every row - the
+// histogram p99 must agree with the reservoir p99 within 15% on the
+// 1-thread probe rows (judged on the median disagreement across
+// mixes, since a single row's reservoir tail is noisy on a loaded
+// host). `--baseline FILE` extends --check with
+// the observability overhead guard: the fresh probe-path geomean qps
+// must stay within 3% of the committed BENCH_query.json baseline.
 //
 //===----------------------------------------------------------------------===//
 
 #include "memlook/service/LookupService.h"
+#include "memlook/service/Observability.h"
 #include "memlook/support/EpochReclaimer.h"
+#include "memlook/support/Histogram.h"
 #include "memlook/support/Rng.h"
 #include "memlook/workload/Generators.h"
 
@@ -82,6 +106,7 @@ using service::LookupService;
 using service::ProbeAnswer;
 using service::QueryAnswer;
 using service::QueryKey;
+using service::QueryPath;
 using service::Snapshot;
 using service::Transaction;
 
@@ -409,7 +434,66 @@ struct RunStats {
   double Qps = 0;
   double P50Ns = 0;
   double P99Ns = 0;
+  /// The service-side observability histogram, windowed across this
+  /// row with diffSince: how many ops the service's own 1-in-64
+  /// sampler clocked during the row, and the percentiles its bucketed
+  /// histogram reports for them. The second, independent estimate of
+  /// the same latency stream the reservoir fields above sample.
+  uint64_t HistCount = 0;
+  double HistP50Ns = 0;
+  double HistP99Ns = 0;
 };
+
+/// The observability path a bench path's sampled ops land under.
+QueryPath obsPath(PathKind Path) {
+  switch (Path) {
+  case PathKind::String:
+    return QueryPath::String;
+  case PathKind::Key:
+    return QueryPath::Key;
+  case PathKind::Probe:
+    return QueryPath::Probe;
+  case PathKind::Batch:
+    return QueryPath::Batch;
+  }
+  return QueryPath::String;
+}
+
+/// Phase-shifts the service's thread-local 1-in-SamplePeriod latency
+/// sampler away from this thread's (Op & SampleMask) == 0 reservoir
+/// clocking. Both strides are powers of two dividing OpsPerThread, so
+/// whatever offset holds at a row's first op holds for the whole row
+/// and every repeat: aligned, every reservoir-clocked op would also be
+/// paying the service's internal clock pair and the
+/// histogram-vs-reservoir comparison would measure that overlap.
+/// Detection is behavioral - ops are issued until one lands a sample
+/// (LatencySamples bumps), which pins the tick at 0 mod SamplePeriod,
+/// then exactly 31 more park it so the row's internally sampled ops
+/// land 32 mod 64 - half the reservoir's stride off - for any period
+/// that is a multiple of 64. Only meaningful for 1-thread rows
+/// (spawned workers start with a fresh tick); the alignment ops run
+/// outside the row's histogram window.
+void deskewServiceSampler(const LookupService &Svc, const MixData &Mix) {
+  const uint32_t Period =
+      std::max(64u, service::ObservabilityOptions().SamplePeriod);
+  std::shared_ptr<const Snapshot> Snap = Svc.snapshot();
+  uint64_t Before = Svc.stats().LatencySamples;
+  uint32_t Spent = 0;
+  for (; Spent != Period + 1; ++Spent) {
+    QueryAnswer A =
+        Svc.queryOn(*Snap, Mix.ClassNames[0], Mix.MemberNames[0]);
+    benchmark::DoNotOptimize(A);
+    if (Svc.stats().LatencySamples != Before)
+      break;
+  }
+  if (Spent == Period + 1)
+    return; // Sampling is disabled; there is no phase to shift.
+  for (int I = 0; I != 31; ++I) {
+    QueryAnswer A =
+        Svc.queryOn(*Snap, Mix.ClassNames[0], Mix.MemberNames[0]);
+    benchmark::DoNotOptimize(A);
+  }
+}
 
 /// Closed-loop measurement: \p Threads workers each run \p OpsPerThread
 /// operations flat out; qps is total ops over the wall time from the
@@ -671,8 +755,19 @@ MixResult runMix(const LookupService &Svc, const MixData &Mix, int Repeats,
         PR.ByThreads.push_back(RunStats{});
         continue;
       }
-      PR.ByThreads.push_back(
-          measurePath(Svc, Mix, Path, Threads, OpsPerThread, Repeats));
+      // 1-thread rows run inline on this thread, whose service-side
+      // sample tick has an arbitrary phase by now; park it a half
+      // period off the reservoir's before opening the row's window.
+      if (Threads == 1)
+        deskewServiceSampler(Svc, Mix);
+      LatencyHistogram HistBefore = Svc.latencySnapshot(obsPath(Path));
+      RunStats S = measurePath(Svc, Mix, Path, Threads, OpsPerThread, Repeats);
+      LatencyHistogram Win =
+          Svc.latencySnapshot(obsPath(Path)).diffSince(HistBefore);
+      S.HistCount = Win.count();
+      S.HistP50Ns = Win.percentile(50);
+      S.HistP99Ns = Win.percentile(99);
+      PR.ByThreads.push_back(S);
     }
     R.Paths.push_back(std::move(PR));
   }
@@ -699,9 +794,14 @@ void writeJson(std::ostream &Out, const std::vector<MixResult> &Results,
         Out << "{\"threads\": " << ThreadCounts[TI];
         if (S.Measured)
           Out << ", \"qps\": " << S.Qps << ", \"p50_ns\": " << S.P50Ns
-              << ", \"p99_ns\": " << S.P99Ns << "}";
+              << ", \"p99_ns\": " << S.P99Ns
+              << ", \"hist_count\": " << S.HistCount
+              << ", \"hist_p50_ns\": " << S.HistP50Ns
+              << ", \"hist_p99_ns\": " << S.HistP99Ns << "}";
         else
-          Out << ", \"qps\": null, \"p50_ns\": null, \"p99_ns\": null}";
+          Out << ", \"qps\": null, \"p50_ns\": null, \"p99_ns\": null, "
+                 "\"hist_count\": null, \"hist_p50_ns\": null, "
+                 "\"hist_p99_ns\": null}";
         Out << (TI + 1 == P.ByThreads.size() ? "" : ", ");
       }
       Out << "]}" << (PI + 1 == M.Paths.size() ? "\n" : ",\n");
@@ -767,8 +867,27 @@ void writeJson(std::ostream &Out, const std::vector<MixResult> &Results,
   Out << "}\n}\n";
 }
 
+/// The probe-path geomean qps recorded in a committed BENCH_query.json.
+/// "probe_qps" appears exactly once - in the geomean block (row-level
+/// throughput uses the bare "qps" key) - so a key search suffices; no
+/// JSON parser in the bench. Returns a negative value when the file or
+/// the key is missing.
+double baselineProbeQps(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return -1;
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  const std::string Key = "\"probe_qps\":";
+  size_t Pos = Text.find(Key);
+  if (Pos == std::string::npos)
+    return -1;
+  return std::strtod(Text.c_str() + Pos + Key.size(), nullptr);
+}
+
 int runJsonHarness(const std::string &OutPath, bool Check, int Repeats,
-                   uint32_t MaxThreads) {
+                   uint32_t MaxThreads, const std::string &MetricsOutPath,
+                   const std::string &BaselinePath) {
   uint32_t Cores = std::max(1u, std::thread::hardware_concurrency());
   // Up front and unmissable: which thread rows this run can measure.
   // Null rows in the JSON are this machine's shape, not a bench bug.
@@ -894,6 +1013,19 @@ int runJsonHarness(const std::string &OutPath, bool Check, int Repeats,
     writeJson(Out, Results, Storm, Classes, Members);
   }
 
+  // The service's own view of the whole run: every counter the catalog
+  // describes, the per-path latency histograms, the trace ring's tail,
+  // and any anomalies the storm's churn provoked.
+  if (!MetricsOutPath.empty()) {
+    std::ofstream MOut(MetricsOutPath);
+    if (!MOut) {
+      std::cerr << "cannot write " << MetricsOutPath << "\n";
+      return 2;
+    }
+    MOut << Svc.metricsJson();
+    std::cout << "service metrics written to " << MetricsOutPath << "\n";
+  }
+
   for (const MixResult &M : Results) {
     std::cout << M.Name << ": ";
     const char *Sep = "";
@@ -901,7 +1033,7 @@ int runJsonHarness(const std::string &OutPath, bool Check, int Repeats,
       const RunStats &S1 = P.ByThreads[0];
       std::cout << Sep << pathLabel(P.Path) << " "
                 << S1.Qps / 1e6 << " Mq/s (p50 " << S1.P50Ns << " ns, p99 "
-                << S1.P99Ns << " ns)";
+                << S1.P99Ns << " ns, hist p99 " << S1.HistP99Ns << " ns)";
       Sep = ", ";
     }
     double Speedup =
@@ -963,6 +1095,82 @@ int runJsonHarness(const std::string &OutPath, bool Check, int Repeats,
                      "line\n";
         return 1;
       }
+      const RunStats &P1 = M.at(PathKind::Probe, 0);
+      if (P1.HistCount < 1000) {
+        std::cerr << "CHECK FAILED: hot_set 1-thread probe row only "
+                  << P1.HistCount
+                  << " histogram samples - the service's latency sampler "
+                     "is not seeing the probe path\n";
+        return 1;
+      }
+    }
+    // Estimator agreement: the service's bucketed histogram and the
+    // bench's reservoir sample the same 1-thread probe stream (on
+    // deliberately disjoint ops); their p99s must agree within 15% -
+    // the histogram's <= 12.5% bucket resolution plus sampling noise.
+    // Judged on the median disagreement across the mixes' 1-thread
+    // probe rows: a p99 is a tail statistic of a few thousand samples,
+    // and on a loaded single-core host one row's reservoir tail can
+    // swing 20% run to run while the other rows sit within a few
+    // percent. A mis-clocked path shifts every row at once; one noisy
+    // tail does not.
+    {
+      std::vector<double> Rels;
+      const RunStats *Worst = nullptr;
+      const MixResult *WorstMix = nullptr;
+      for (const MixResult &M : Results) {
+        const RunStats &P1 = M.at(PathKind::Probe, 0);
+        if (P1.HistCount == 0 || P1.P99Ns <= 0)
+          continue;
+        double Rel = std::abs(P1.HistP99Ns - P1.P99Ns) / P1.P99Ns;
+        Rels.push_back(Rel);
+        if (!Worst || Rel > std::abs(Worst->HistP99Ns - Worst->P99Ns) /
+                                Worst->P99Ns) {
+          Worst = &P1;
+          WorstMix = &M;
+        }
+      }
+      if (!Rels.empty()) {
+        std::sort(Rels.begin(), Rels.end());
+        double Median = Rels[Rels.size() / 2];
+        if (Median > 0.15) {
+          std::cerr << "CHECK FAILED: histogram p99 disagrees with the "
+                       "reservoir p99 by "
+                    << 100.0 * Median
+                    << "% (median over 1-thread probe rows, > 15%); worst: "
+                    << WorstMix->Name << " histogram " << Worst->HistP99Ns
+                    << " ns vs reservoir " << Worst->P99Ns << " ns\n";
+          return 1;
+        }
+        std::cout << "histogram vs reservoir p99: median disagreement "
+                  << 100.0 * Median << "% over " << Rels.size()
+                  << " probe rows (within 15%)\n";
+      }
+    }
+    // Observability overhead guard: with the histogram layer live on
+    // every op (one thread-local tick when unsampled, one shard
+    // increment when sampled), the probe-path geomean must stay within
+    // 3% of the committed baseline - the hot path is the fast lane's
+    // whole point.
+    if (!BaselinePath.empty()) {
+      double Base = baselineProbeQps(BaselinePath);
+      if (Base <= 0) {
+        std::cerr << "CHECK FAILED: no probe_qps geomean found in baseline "
+                  << BaselinePath << "\n";
+        return 1;
+      }
+      std::vector<double> FreshProbe;
+      for (const MixResult &M : Results)
+        FreshProbe.push_back(M.at(PathKind::Probe, 0).Qps);
+      double Fresh = geomean(FreshProbe);
+      if (Fresh < 0.97 * Base) {
+        std::cerr << "CHECK FAILED: probe-path geomean (" << Fresh
+                  << " q/s) is more than 3% below the " << BaselinePath
+                  << " baseline (" << Base << " q/s)\n";
+        return 1;
+      }
+      std::cout << "probe geomean " << Fresh / 1e6 << " Mq/s vs baseline "
+                << Base / 1e6 << " Mq/s (within 3%)\n";
     }
     // Reclamation sanity under churn: retire must never lag reclaim
     // (the gauge pair would be lying), and the limbo list must end
@@ -1035,12 +1243,20 @@ BENCHMARK(BM_ProbeHot);
 
 int main(int argc, char **argv) {
   std::string JsonOut;
+  std::string MetricsOut;
+  std::string Baseline;
   bool Check = false;
   int Repeats = 5;
   uint32_t MaxThreads = 0;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc)
       JsonOut = argv[++I];
+    else if (std::strcmp(argv[I], "--metrics-out") == 0 && I + 1 < argc)
+      MetricsOut = argv[++I];
+    else if (std::strcmp(argv[I], "--baseline") == 0 && I + 1 < argc)
+      // A committed BENCH_query.json; --check compares the fresh
+      // probe-path geomean against its geomean.probe_qps (<= 3% drop).
+      Baseline = argv[++I];
     else if (std::strcmp(argv[I], "--check") == 0)
       Check = true;
     else if (std::strcmp(argv[I], "--repeats") == 0 && I + 1 < argc)
@@ -1054,8 +1270,9 @@ int main(int argc, char **argv) {
     // Other flags (e.g. bench_tabulation's --memory, passed through by
     // run_bench.sh) are deliberately ignored.
   }
-  if (!JsonOut.empty() || Check)
-    return runJsonHarness(JsonOut, Check, Repeats, MaxThreads);
+  if (!JsonOut.empty() || Check || !MetricsOut.empty())
+    return runJsonHarness(JsonOut, Check, Repeats, MaxThreads, MetricsOut,
+                          Baseline);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))

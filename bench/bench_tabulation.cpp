@@ -367,7 +367,12 @@ double sum(const std::vector<double> &Xs) {
 /// --check guard pins the durability tax on the compiler-shaped
 /// workload: appending and syncing a few-hundred-byte record must stay
 /// in the noise next to replay + validation + incremental rewarm.
-DurabilityResult runDurabilityAB(int Repeats) {
+/// With \p MetricsOutPath set, the durable service's metricsJson()
+/// from the final repeat is written there - the commit-latency
+/// histogram, WAL counters, and commit trace of a 32-commit durable
+/// stream, bench_tabulation's slice of the observability surface.
+DurabilityResult runDurabilityAB(int Repeats,
+                                 const std::string &MetricsOutPath) {
   DurabilityResult R;
   R.Commits = 32;
   Workload W = makeModularForest(96, 3, 4, 6, 2);
@@ -409,6 +414,16 @@ DurabilityResult runDurabilityAB(int Repeats) {
     uint64_t Bytes = std::filesystem::file_size(WalPath, Ec);
     if (!Ec)
       R.WalBytes = Bytes;
+    if (Rep + 1 == Repeats && !MetricsOutPath.empty()) {
+      std::ofstream MOut(MetricsOutPath);
+      if (!MOut) {
+        std::cerr << "cannot write " << MetricsOutPath << "\n";
+        std::exit(2);
+      }
+      MOut << Durable.metricsJson();
+      std::cout << "durable-service metrics written to " << MetricsOutPath
+                << "\n";
+    }
   }
   R.NonDurableMs = sum(PlainMin);
   R.DurableMs = sum(DurableMin);
@@ -425,7 +440,8 @@ double geomean(const std::vector<double> &Xs) {
 }
 
 int runJsonHarness(const std::string &OutPath, uint32_t Threads, bool Check,
-                   bool Memory, int Repeats) {
+                   bool Memory, int Repeats,
+                   const std::string &MetricsOutPath) {
   std::vector<ScenarioResult> Results;
 
   // The compiler-shaped workload: a modular forest with tree-local
@@ -464,7 +480,7 @@ int runJsonHarness(const std::string &OutPath, uint32_t Threads, bool Check,
                                   Repeats, Check));
   }
 
-  DurabilityResult Durability = runDurabilityAB(Repeats);
+  DurabilityResult Durability = runDurabilityAB(Repeats, MetricsOutPath);
 
   std::vector<double> SerialMs, ParallelMs, RewarmMs, Speedups, TableBytes;
   std::vector<double> SnapshotLoadMs;
@@ -481,10 +497,17 @@ int runJsonHarness(const std::string &OutPath, uint32_t Threads, bool Check,
     }
   }
 
-  std::ofstream Out(OutPath);
-  if (!Out) {
-    std::cerr << "cannot write " << OutPath << "\n";
-    return 2;
+  // --metrics-out without --json runs the full harness (the metrics
+  // describe the run) but skips the bench-trajectory file.
+  std::ofstream Out;
+  if (!OutPath.empty()) {
+    Out.open(OutPath);
+    if (!Out) {
+      std::cerr << "cannot write " << OutPath << "\n";
+      return 2;
+    }
+  } else {
+    Out.setstate(std::ios::badbit); // swallow the JSON writes below
   }
   Out << "{\n  \"bench\": \"tabulation\",\n";
   Out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
@@ -619,6 +642,7 @@ int runJsonHarness(const std::string &OutPath, uint32_t Threads, bool Check,
 
 int main(int argc, char **argv) {
   std::string JsonOut;
+  std::string MetricsOut;
   uint32_t Threads = 0;
   bool Check = false;
   bool Memory = false;
@@ -629,6 +653,8 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc)
       JsonOut = argv[++I];
+    else if (std::strcmp(argv[I], "--metrics-out") == 0 && I + 1 < argc)
+      MetricsOut = argv[++I];
     else if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc)
       Threads = static_cast<uint32_t>(std::atoi(argv[++I]));
     else if (std::strcmp(argv[I], "--check") == 0)
@@ -638,8 +664,9 @@ int main(int argc, char **argv) {
     else if (std::strcmp(argv[I], "--repeats") == 0 && I + 1 < argc)
       Repeats = std::atoi(argv[++I]);
   }
-  if (!JsonOut.empty())
-    return runJsonHarness(JsonOut, Threads, Check, Memory, Repeats);
+  if (!JsonOut.empty() || !MetricsOut.empty())
+    return runJsonHarness(JsonOut, Threads, Check, Memory, Repeats,
+                          MetricsOut);
 
   // No --json: the classic google-benchmark ablation.
   benchmark::Initialize(&argc, argv);

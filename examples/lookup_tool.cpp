@@ -108,6 +108,13 @@ constexpr int ExitQuarantinedLoad = 4;
 /// degraded-success codes.
 constexpr int ExitRecoveredWithLoss = 5;
 
+/// Exit code for a broken accounting invariant at quiescent REPL exit:
+/// Queries + Probes must equal the sum of the per-rung answer counters
+/// (every query is answered by exactly one ladder rung). A mismatch
+/// here means a counter was dropped or double-booked somewhere in the
+/// service - a bug, not an operational condition.
+constexpr int ExitAccountingViolation = 6;
+
 std::unique_ptr<LookupEngine> makeEngine(const std::string &Name,
                                          const Hierarchy &H) {
   if (Name == "figure8")
@@ -154,7 +161,11 @@ void serveHelp() {
       << "service:\n"
       << "  :audit   run the self-audit      :warm    build this epoch's table\n"
       << "  :health  cache health            :stats   operation counters\n"
-      << "  :epoch   current epoch           :quit    exit (also EOF)\n";
+      << "  :epoch   current epoch           :quit    exit (also EOF)\n"
+      << "observability:\n"
+      << "  :metrics [json]  full metrics exposition (Prometheus text, or\n"
+      << "                   JSON with latency percentiles)\n"
+      << "  :trace           recent trace-ring events and anomaly log\n";
 }
 
 void printAnswer(const Hierarchy &H, const std::string &Class,
@@ -299,6 +310,25 @@ int runServeOn(service::LookupService &Svc) {
                 << "audits " << S.Audits << ", mismatches "
                 << S.AuditMismatches << ", quarantines " << S.Quarantines
                 << ", rebuilds " << S.TableRebuilds << '\n';
+    } else if (Cmd == ":metrics") {
+      if (Tok.size() >= 2 && Tok[1] == "json")
+        std::cout << Svc.metricsJson();
+      else
+        std::cout << Svc.metricsText();
+    } else if (Cmd == ":trace") {
+      std::vector<service::TraceEvent> Events = Svc.drainTrace();
+      service::ServiceStats S = Svc.stats();
+      std::cout << "trace ring: " << Events.size() << " retained of "
+                << S.TraceEventsRecorded << " recorded ("
+                << S.TraceEventsOverwritten << " overwritten)\n";
+      for (const service::TraceEvent &E : Events)
+        std::cout << "  " << E.toString() << '\n';
+      std::vector<service::AnomalyRecord> Anomalies = Svc.recentAnomalies();
+      std::cout << "anomalies: " << Anomalies.size() << " retained of "
+                << S.AnomaliesLogged << " logged (" << S.AnomaliesSuppressed
+                << " suppressed)\n";
+      for (const service::AnomalyRecord &R : Anomalies)
+        std::cout << "  " << R.toString() << '\n';
     } else if (Cmd == ":begin") {
       if (Pending)
         std::cout << "error: transaction already open (" << Pending->size()
@@ -417,6 +447,30 @@ int runServeOn(service::LookupService &Svc) {
             << S.RungAnswers[2] << " (" << S.Queries << " queries, "
             << S.Probes << " probes, " << S.Resolves << " keys resolved, "
             << S.StaleKeyReresolves << " stale-key re-resolves)\n";
+  // And the observability one-liner: sampled latency spread plus how
+  // loud the session was (anomalies are the things worth reading back
+  // with :trace before they scroll away).
+  LatencyHistogram Merged;
+  for (size_t P = 0; P != service::NumQueryPaths; ++P)
+    Merged.merge(Svc.latencySnapshot(static_cast<service::QueryPath>(P)));
+  if (Merged.count() != 0)
+    std::cout << "sampled latency: " << Merged.count() << " samples, p50 "
+              << static_cast<uint64_t>(Merged.percentile(50)) << "ns, p99 "
+              << static_cast<uint64_t>(Merged.percentile(99)) << "ns, max "
+              << Merged.maxSeen() << "ns\n";
+  std::cout << "anomalies: " << S.AnomaliesLogged << " logged, "
+            << S.AnomaliesSuppressed << " suppressed\n";
+  // The quiescent accounting invariant: every query and probe was
+  // answered by exactly one ladder rung. With the REPL idle there is
+  // no in-flight operation to excuse a mismatch.
+  if (S.Queries + S.Probes !=
+      S.RungAnswers[0] + S.RungAnswers[1] + S.RungAnswers[2]) {
+    std::cerr << "error: accounting invariant violated: " << S.Queries
+              << " queries + " << S.Probes << " probes != "
+              << S.RungAnswers[0] + S.RungAnswers[1] + S.RungAnswers[2]
+              << " rung answers\n";
+    return ExitAccountingViolation;
+  }
   return 0;
 }
 

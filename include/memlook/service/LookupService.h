@@ -40,6 +40,7 @@
 #ifndef MEMLOOK_SERVICE_LOOKUPSERVICE_H
 #define MEMLOOK_SERVICE_LOOKUPSERVICE_H
 
+#include "memlook/service/Observability.h"
 #include "memlook/service/Snapshot.h"
 #include "memlook/service/Transaction.h"
 #include "memlook/support/Deadline.h"
@@ -275,6 +276,9 @@ struct ServiceOptions {
   /// loss; false survives process death only (the page cache outlives
   /// the process) and commits measurably faster.
   bool WalSyncEachAppend = true;
+  /// Observability layer knobs: latency sampling period, trace-ring
+  /// and anomaly-log capacities, rate limits (see Observability.h).
+  ObservabilityOptions Observability;
 };
 
 /// Monotone operation counters (all reads are racy-by-design totals).
@@ -329,6 +333,18 @@ struct ServiceStats {
   /// shared fallback counter (> EpochReclaimer::NumSlots concurrently
   /// registered reader threads; correct but blocks reclamation).
   uint64_t EpochPinOverflows = 0;
+  /// Operations clocked into the latency histograms (the 1-in-
+  /// SamplePeriod draws; equals the sum of all histogram counts).
+  uint64_t LatencySamples = 0;
+  /// Events written to the trace ring (sampled queries plus every
+  /// writer-side event).
+  uint64_t TraceEventsRecorded = 0;
+  /// Trace events lost to ring wrap-around (recorded minus retained).
+  uint64_t TraceEventsOverwritten = 0;
+  /// Anomaly records retained by the anomaly log.
+  uint64_t AnomaliesLogged = 0;
+  /// Anomalies dropped by the log's per-second rate limiter.
+  uint64_t AnomaliesSuppressed = 0;
 };
 
 /// Structured outcome of one self-audit pass.
@@ -550,6 +566,33 @@ public:
 
   ServiceStats stats() const;
 
+  /// Prometheus-style text exposition: every catalog metric
+  /// (serviceMetricCatalog()) plus the non-empty latency histograms
+  /// with cumulative 'le' buckets. See docs/OBSERVABILITY.md.
+  std::string metricsText() const;
+
+  /// The same data as a JSON document: stats keyed by ServiceStats
+  /// field name, histograms as percentile summaries (p50/p90/p99/p999)
+  /// rather than bucket lists.
+  std::string metricsJson() const;
+
+  /// Copies out the trace ring's stable records, oldest first.
+  /// Non-destructive and lock-free against concurrent readers and the
+  /// writer - see TraceRing::drain().
+  std::vector<TraceEvent> drainTrace() const;
+
+  /// The anomaly log's retained records, oldest first.
+  std::vector<AnomalyRecord> recentAnomalies() const;
+
+  /// Merged latency histogram for one query path (all rungs), or one
+  /// (path, rung) cell. Monotone snapshots: diffSince() an earlier one
+  /// to window a measurement (the bench harness does).
+  LatencyHistogram latencySnapshot(QueryPath Path) const;
+  LatencyHistogram latencySnapshot(QueryPath Path, AnswerRung Rung) const;
+
+  /// Commit durations (validate + WAL append + warm + publish).
+  LatencyHistogram commitLatencySnapshot() const;
+
   const ServiceOptions &options() const { return Opts; }
 
   /// Health of the current snapshot's cache through the Status channel:
@@ -589,7 +632,23 @@ private:
                              std::string_view ClassSpelling, Symbol Member,
                              const Deadline &D) const;
 
+  /// probeOn() after key refresh: the original probe body, split out
+  /// so the sampled-latency wrapper has one exit to clock.
+  ProbeAnswer probeResolved(const Snapshot &Snap, const QueryKey &Key,
+                            const Deadline &D) const;
+
+  /// Post-answer observability for the single-key paths: closes the
+  /// latency sample opened by Obs.sampleBegin() (when T0 != 0) and
+  /// logs a rung-drop anomaly for non-tabulated answers.
+  void finishQuery(QueryPath Path, uint64_t T0, const QueryAnswer &A) const;
+
   ServiceOptions Opts;
+
+  /// The observability instruments (Observability.h): latency
+  /// histograms, trace ring, anomaly log. Mutable because recording
+  /// from the const read paths is logically const - same contract as
+  /// ReadStats below.
+  mutable ObservabilityCenter Obs{Opts.Observability};
 
   /// Guards Current only; held for pointer copies, never across work.
   /// Only the slow-path snapshot() API and publish() touch it - the hot

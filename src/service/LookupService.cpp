@@ -198,6 +198,7 @@ LookupService::restore(const std::string &Path, Hierarchy FallbackSource,
   RestoreReport Local;
   RestoreReport &R = Report ? *Report : Local;
   R = RestoreReport();
+  const uint64_t T0 = observabilityNowNanos();
 
   // Durable mode: salvage the log up front, before any rung can touch
   // the filesystem, and keep the constructors away from the file
@@ -257,8 +258,13 @@ LookupService::restore(const std::string &Path, Hierarchy FallbackSource,
       Svc->NumSnapshotQuarantines.fetch_add(1, std::memory_order_relaxed);
   }
 
-  if (!Durable)
+  if (!Durable) {
+    // Restore trace events carry the RestoreRung in the Rung byte.
+    Svc->Obs.recordWriterEvent(TraceKind::Restore, R.Epoch,
+                               observabilityNowNanos() - T0,
+                               static_cast<uint8_t>(R.Rung));
     return Svc;
+  }
 
   // The WAL rung: replay the log's committed transactions onto the
   // base state through the normal commit path. The log connects when
@@ -375,6 +381,9 @@ LookupService::restore(const std::string &Path, Hierarchy FallbackSource,
     }
   }
   Svc->Opts.WalPath = WalPath;
+  Svc->Obs.recordWriterEvent(TraceKind::Restore, R.Epoch,
+                             observabilityNowNanos() - T0,
+                             static_cast<uint8_t>(R.Rung));
   return Svc;
 }
 
@@ -384,11 +393,14 @@ Status LookupService::saveSnapshot(const std::string &Path) const {
   // snapshot we wrote (write snapshot at epoch E, compact to base E,
   // all while E stays current).
   std::lock_guard<std::mutex> Writer(WriterMutex);
+  const uint64_t T0 = observabilityNowNanos();
   std::shared_ptr<const Snapshot> Snap = snapshot();
   Status S = writeSnapshotFile(Path, *Snap);
   if (!S.isOk())
     return S;
   NumSnapshotSaves.fetch_add(1, std::memory_order_relaxed);
+  Obs.recordWriterEvent(TraceKind::SnapshotSave, Snap->Epoch,
+                        observabilityNowNanos() - T0);
   if (Wal) {
     // Window under test: the snapshot is durable but the log still
     // carries the records it covers. Recovery must skip them.
@@ -455,12 +467,53 @@ QueryAnswer LookupService::query(std::string_view Class,
   return queryOn(*currentRaw(), Class, Member, D);
 }
 
+namespace {
+
+uint8_t traceFlagsOf(const QueryAnswer &A) {
+  uint8_t Flags = 0;
+  if (A.Approximate)
+    Flags |= TfApproximate;
+  if (A.DeadlineExpired)
+    Flags |= TfDeadlineExpired;
+  if (A.TableQuarantined)
+    Flags |= TfTableQuarantined;
+  if (!A.S.isOk())
+    Flags |= TfUnknownContext;
+  return Flags;
+}
+
+uint8_t traceFlagsOf(const ProbeAnswer &A) {
+  uint8_t Flags = 0;
+  if (A.Approximate)
+    Flags |= TfApproximate;
+  if (A.DeadlineExpired)
+    Flags |= TfDeadlineExpired;
+  if (A.TableQuarantined)
+    Flags |= TfTableQuarantined;
+  if (A.UnknownContext)
+    Flags |= TfUnknownContext;
+  return Flags;
+}
+
+} // namespace
+
+void LookupService::finishQuery(QueryPath Path, uint64_t T0,
+                                const QueryAnswer &A) const {
+  if (T0)
+    Obs.recordQuerySample(Path, A.Rung, T0, A.Epoch, traceFlagsOf(A));
+  if (A.Rung != AnswerRung::Tabulated)
+    Obs.noteRungDrop(Path, A.Rung, A.Epoch, A.DeadlineExpired);
+}
+
 QueryAnswer LookupService::queryOn(const Snapshot &Snap, std::string_view Class,
                                    std::string_view Member,
                                    const Deadline &D) const {
   ReadStats.add(RcQueries);
-  return answerResolved(Snap, Snap.H->findClass(Class), Class,
-                        Snap.H->findName(Member), D);
+  const uint64_t T0 = Obs.sampleBegin();
+  QueryAnswer A = answerResolved(Snap, Snap.H->findClass(Class), Class,
+                                 Snap.H->findName(Member), D);
+  finishQuery(QueryPath::String, T0, A);
+  return A;
 }
 
 QueryAnswer LookupService::answerResolved(const Snapshot &Snap,
@@ -573,11 +626,16 @@ QueryAnswer LookupService::query(QueryKey &Key, const Deadline &D) const {
 QueryAnswer LookupService::queryOn(const Snapshot &Snap, QueryKey &Key,
                                    const Deadline &D) const {
   ReadStats.add(RcQueries);
+  const uint64_t T0 = Obs.sampleBegin();
   if (Key.Epoch != Snap.Epoch) {
     ReadStats.add(RcStaleKeyReresolves);
     resolveKeyOn(Snap, Key);
+    Obs.noteStaleKey(Snap.Epoch);
   }
-  return answerResolved(Snap, Key.Context, Key.ClassName, Key.Member, D);
+  QueryAnswer A =
+      answerResolved(Snap, Key.Context, Key.ClassName, Key.Member, D);
+  finishQuery(QueryPath::Key, T0, A);
+  return A;
 }
 
 void LookupService::queryMany(std::span<QueryKey> Keys,
@@ -596,7 +654,9 @@ void LookupService::queryManyOn(const Snapshot &Snap, std::span<QueryKey> Keys,
          "one answer slot per key in a batch");
   ReadStats.add(RcBatchQueries);
   ReadStats.add(RcQueries, Keys.size());
+  const uint64_t T0 = Obs.sampleBegin();
   const bool Warm = Snap.warm();
+  AnswerRung Worst = AnswerRung::Tabulated;
 
   // Window the batch: pass 1 refreshes stale keys and issues a software
   // prefetch for each key's compact entry, pass 2 answers them. By the
@@ -610,14 +670,21 @@ void LookupService::queryManyOn(const Snapshot &Snap, std::span<QueryKey> Keys,
       if (Key.Epoch != Snap.Epoch) {
         ReadStats.add(RcStaleKeyReresolves);
         resolveKeyOn(Snap, Key);
+        Obs.noteStaleKey(Snap.Epoch);
       }
       if (Warm)
         Snap.Table->prefetchEntry(Key.Context, Key.Member);
     }
-    for (size_t I = Base; I != End; ++I)
+    for (size_t I = Base; I != End; ++I) {
       Answers[I] = answerResolved(Snap, Keys[I].Context, Keys[I].ClassName,
                                   Keys[I].Member, D);
+      Worst = std::max(Worst, Answers[I].Rung);
+    }
   }
+  if (T0 && !Keys.empty())
+    Obs.recordBatchSample(Worst, T0, Snap.Epoch, Keys.size());
+  if (Worst != AnswerRung::Tabulated)
+    Obs.noteRungDrop(QueryPath::Batch, Worst, Snap.Epoch, D.expired());
 }
 
 ProbeAnswer LookupService::probe(QueryKey &Key, const Deadline &D) const {
@@ -628,11 +695,24 @@ ProbeAnswer LookupService::probe(QueryKey &Key, const Deadline &D) const {
 ProbeAnswer LookupService::probeOn(const Snapshot &Snap, QueryKey &Key,
                                    const Deadline &D) const {
   ReadStats.add(RcProbes);
+  const uint64_t T0 = Obs.sampleBegin();
   if (Key.Epoch != Snap.Epoch) {
     ReadStats.add(RcStaleKeyReresolves);
     resolveKeyOn(Snap, Key);
+    Obs.noteStaleKey(Snap.Epoch);
   }
+  ProbeAnswer A = probeResolved(Snap, Key, D);
+  if (T0)
+    Obs.recordQuerySample(QueryPath::Probe, A.Rung, T0, A.Epoch,
+                          traceFlagsOf(A));
+  if (A.Rung != AnswerRung::Tabulated)
+    Obs.noteRungDrop(QueryPath::Probe, A.Rung, A.Epoch, A.DeadlineExpired);
+  return A;
+}
 
+ProbeAnswer LookupService::probeResolved(const Snapshot &Snap,
+                                         const QueryKey &Key,
+                                         const Deadline &D) const {
   ProbeAnswer A;
   A.Epoch = Snap.Epoch;
   A.TableQuarantined = Snap.quarantined();
@@ -689,10 +769,20 @@ Transaction LookupService::beginTxn() const {
 
 Status LookupService::commit(const Transaction &Txn) {
   std::lock_guard<std::mutex> Writer(WriterMutex);
+  const uint64_t T0 = observabilityNowNanos();
+  // Every exit traces: rejects as CommitReject (epoch = the epoch that
+  // refused them), publishes as Commit (epoch = the new epoch, and the
+  // duration feeds the commit latency histogram).
+  auto TraceReject = [&](uint64_t Epoch) {
+    Obs.recordWriterEvent(TraceKind::CommitReject, Epoch,
+                          observabilityNowNanos() - T0, /*Rung=*/0,
+                          TfRejected);
+  };
 
   std::shared_ptr<const Snapshot> Base = snapshot();
   if (Base->Epoch != Txn.baseEpoch()) {
     NumCommitConflicts.fetch_add(1, std::memory_order_relaxed);
+    TraceReject(Base->Epoch);
     return Status::error(
         ErrorCode::TransactionConflict,
         "transaction began at epoch " + std::to_string(Txn.baseEpoch()) +
@@ -702,6 +792,7 @@ Status LookupService::commit(const Transaction &Txn) {
   Expected<Hierarchy> Edited = applyEditScript(*Base->H, Txn.ops(), Opts.Budget);
   if (!Edited) {
     NumCommitRejects.fetch_add(1, std::memory_order_relaxed);
+    TraceReject(Base->Epoch);
     return Edited.status();
   }
 
@@ -714,6 +805,7 @@ Status LookupService::commit(const Transaction &Txn) {
   if (!Opts.WalPath.empty()) {
     if (!Wal) {
       NumCommitRejects.fetch_add(1, std::memory_order_relaxed);
+      TraceReject(Base->Epoch);
       return WalHealth.isOk()
                  ? Status::error(ErrorCode::WalIoError,
                                  "durable mode with no open log")
@@ -721,6 +813,7 @@ Status LookupService::commit(const Transaction &Txn) {
     }
     if (Status W = Wal->append(Base->Epoch + 1, Txn.ops()); !W.isOk()) {
       NumCommitRejects.fetch_add(1, std::memory_order_relaxed);
+      TraceReject(Base->Epoch);
       return W;
     }
     NumWalAppends.fetch_add(1, std::memory_order_relaxed);
@@ -773,6 +866,8 @@ Status LookupService::commit(const Transaction &Txn) {
   }
   publish(std::move(Next));
   NumCommits.fetch_add(1, std::memory_order_relaxed);
+  Obs.recordWriterEvent(TraceKind::Commit, Base->Epoch + 1,
+                        observabilityNowNanos() - T0);
   return Status::ok();
 }
 
@@ -787,6 +882,7 @@ void LookupService::abort(const Transaction &Txn) {
 
 Status LookupService::warmCurrent(const Deadline &D) {
   std::lock_guard<std::mutex> Writer(WriterMutex);
+  const uint64_t T0 = observabilityNowNanos();
 
   std::shared_ptr<const Snapshot> Base = snapshot();
   if (Base->warm())
@@ -810,6 +906,8 @@ Status LookupService::warmCurrent(const Deadline &D) {
   if (Base->quarantined())
     NumTableRebuilds.fetch_add(1, std::memory_order_relaxed);
   publish(std::move(Next));
+  Obs.recordWriterEvent(TraceKind::Warm, Base->Epoch,
+                        observabilityNowNanos() - T0);
   return Status::ok();
 }
 
@@ -836,6 +934,7 @@ AuditReport LookupService::auditNow() {
   // quarantine + rebuild, and audits serialize with commits (readers
   // are never blocked - they keep serving the pinned snapshot).
   std::lock_guard<std::mutex> Writer(WriterMutex);
+  const uint64_t T0 = observabilityNowNanos();
 
   std::shared_ptr<const Snapshot> Snap = snapshot();
   AuditReport Report;
@@ -902,6 +1001,14 @@ AuditReport LookupService::auditNow() {
     Snap->quarantine();
     NumQuarantines.fetch_add(1, std::memory_order_relaxed);
     Report.QuarantinedTable = true;
+    // Quarantines bypass the anomaly rate limiter: they are rare and
+    // operators must never miss one.
+    Obs.noteQuarantine(Snap->Epoch, Report.Mismatches.empty()
+                                        ? std::string("table audit mismatch")
+                                        : Report.Mismatches.front());
+    Obs.recordWriterEvent(TraceKind::Quarantine, Snap->Epoch,
+                          observabilityNowNanos() - T0, /*Rung=*/0,
+                          TfTableQuarantined);
 
     auto Next = std::make_shared<Snapshot>();
     Next->Epoch = Snap->Epoch;
@@ -919,6 +1026,8 @@ AuditReport LookupService::auditNow() {
   NumAudits.fetch_add(1, std::memory_order_relaxed);
   NumAuditMismatches.fetch_add(Report.Mismatches.size(),
                                std::memory_order_relaxed);
+  Obs.recordWriterEvent(TraceKind::Audit, Snap->Epoch,
+                        observabilityNowNanos() - T0);
   return Report;
 }
 
@@ -995,6 +1104,11 @@ ServiceStats LookupService::stats() const {
   S.SnapshotsReclaimed = Reclaimer.reclaimedTotal();
   S.SnapshotLimboDepth = Reclaimer.limboDepth();
   S.EpochPinOverflows = Reclaimer.overflowTotal();
+  S.LatencySamples = Obs.latencySamplesTotal();
+  S.TraceEventsRecorded = Obs.trace().recordedTotal();
+  S.TraceEventsOverwritten = Obs.trace().overwrittenTotal();
+  S.AnomaliesLogged = Obs.anomalies().loggedTotal();
+  S.AnomaliesSuppressed = Obs.anomalies().suppressedTotal();
   if (std::shared_ptr<const Snapshot> Snap = snapshot(); Snap->Table)
     S.TableHeapBytes = Snap->Table->heapBytes();
   return S;

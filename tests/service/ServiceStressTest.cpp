@@ -935,3 +935,108 @@ TEST(ServiceStressTest, EpochReclamationRacesGuardPinnedReadersAndWriter) {
   AuditReport Audit = Svc.auditNow();
   EXPECT_TRUE(Audit.passed()) << Audit.toString();
 }
+
+TEST(ServiceStressTest, TraceDrainRacesReadersAndCommittingWriter) {
+  // The trace ring's concurrency contract under TSan: a drainer thread
+  // repeatedly copies the ring (and renders the full metrics
+  // exposition) while reader threads record sampled query/probe events
+  // into it and a writer commits - drain() must never stop a reader,
+  // never tear a record, and every drained event must be well-formed.
+  Workload W = makeModularForest(4, 2, 2, /*MembersPerRoot=*/4,
+                                 /*ExtraMembersPerChild=*/2);
+  ServiceOptions Opts;
+  Opts.Observability.SamplePeriod = 1; // every operation traced
+  Opts.Observability.TraceShardCapacity = 32; // force wrap-around
+  Opts.Observability.SlowQueryNanos = 0;
+  LookupService Svc(std::move(W.H), Opts);
+
+  constexpr uint64_t NumWriterTxns = 200;
+  constexpr int NumReaders = 2;
+
+  std::atomic<bool> Done{false};
+  struct DrainLog {
+    uint64_t Drains = 0;
+    uint64_t Events = 0;
+    uint64_t Malformed = 0;
+    uint64_t UnsortedPairs = 0;
+  } Drain;
+  struct QueryLog {
+    uint64_t Ops = 0;
+    uint64_t BadAnswers = 0;
+  };
+  std::vector<QueryLog> Logs(NumReaders);
+
+  std::thread Drainer([&Svc, &Done, &Drain] {
+    while (!Done.load(std::memory_order_acquire)) {
+      std::vector<TraceEvent> Events = Svc.drainTrace();
+      ++Drain.Drains;
+      Drain.Events += Events.size();
+      for (size_t I = 0; I != Events.size(); ++I) {
+        const TraceEvent &E = Events[I];
+        if (size_t(E.Kind) >= NumTraceKinds || E.WhenNanos == 0 ||
+            E.toString().empty())
+          ++Drain.Malformed;
+        if (I && Events[I - 1].WhenNanos > E.WhenNanos)
+          ++Drain.UnsortedPairs;
+      }
+      // The expositions walk every instrument; render them in the race
+      // too so TSan sees the read side of the histograms and stats.
+      (void)Svc.metricsText();
+      (void)Svc.metricsJson();
+      (void)Svc.recentAnomalies();
+    }
+  });
+
+  std::vector<std::thread> Readers;
+  for (int Idx = 0; Idx != NumReaders; ++Idx)
+    Readers.emplace_back([&Svc, &Done, Idx, &Log = Logs[Idx]] {
+      Rng R(0x7ace + Idx);
+      uint64_t Iter = 0;
+      while ((Iter < 512 || !Done.load(std::memory_order_acquire)) &&
+             Iter < 200000) {
+        ++Iter;
+        std::string Class = "T" + std::to_string(R.nextBelow(4));
+        std::string Member = "m" + std::to_string(R.nextBelow(4));
+        QueryKey K = Svc.resolve(Class, Member);
+        QueryAnswer A = Svc.query(K);
+        ProbeAnswer P = Svc.probe(K);
+        Log.Ops += 2;
+        if (A.Rung > AnswerRung::GxxApproximate ||
+            P.Rung > AnswerRung::GxxApproximate)
+          ++Log.BadAnswers;
+      }
+    });
+
+  for (uint64_t I = 0; I != NumWriterTxns; ++I) {
+    Transaction Txn = Svc.beginTxn();
+    Txn.addMember("T" + std::to_string(I % 4),
+                  "trace_s" + std::to_string(I));
+    ASSERT_TRUE(Svc.commit(Txn).isOk());
+  }
+  Done.store(true, std::memory_order_release);
+
+  for (std::thread &T : Readers)
+    T.join();
+  Drainer.join();
+
+  EXPECT_GE(Drain.Drains, 1u);
+  EXPECT_GT(Drain.Events, 0u);
+  EXPECT_EQ(Drain.Malformed, 0u);
+  EXPECT_EQ(Drain.UnsortedPairs, 0u);
+  for (const QueryLog &Log : Logs)
+    EXPECT_EQ(Log.BadAnswers, 0u);
+
+  // Quiescent accounting: the sampled instruments and the sharded
+  // stat counters agree with each other and with the ring totals.
+  ServiceStats Stats = Svc.stats();
+  EXPECT_EQ(Stats.Queries + Stats.Probes,
+            Stats.RungAnswers[0] + Stats.RungAnswers[1] +
+                Stats.RungAnswers[2]);
+  EXPECT_EQ(Stats.LatencySamples, Stats.Queries + Stats.Probes);
+  EXPECT_GE(Stats.TraceEventsRecorded,
+            Stats.Queries + Stats.Probes + NumWriterTxns);
+  EXPECT_GE(Stats.TraceEventsRecorded, Stats.TraceEventsOverwritten);
+  std::vector<TraceEvent> Remaining = Svc.drainTrace();
+  EXPECT_EQ(Stats.TraceEventsRecorded - Stats.TraceEventsOverwritten,
+            Remaining.size());
+}

@@ -1,0 +1,214 @@
+//===- HistogramTest.cpp - Latency histogram unit tests -------------------===//
+//
+// Part of the memlook project: a reproduction of Ramalingam & Srinivasan,
+// "A Member Lookup Algorithm for C++", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit coverage of support/Histogram.h: the bucket map (exact unit
+/// buckets, sub-bucket boundaries, clamping), merge/diff algebra,
+/// percentile estimates checked against a sorted-sample oracle, and the
+/// sharded recorder's equivalence to serial recording - including under
+/// concurrent writers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memlook/support/Histogram.h"
+
+#include "memlook/support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+using memlook::LatencyHistogram;
+using memlook::Rng;
+using memlook::ShardedLatencyHistogram;
+
+namespace {
+
+TEST(HistogramTest, SmallValuesGetExactUnitBuckets) {
+  for (uint64_t V = 0; V != LatencyHistogram::SubBucketCount; ++V) {
+    uint32_t Idx = LatencyHistogram::bucketOf(V);
+    EXPECT_EQ(Idx, V);
+    EXPECT_EQ(LatencyHistogram::bucketLow(Idx), V);
+    EXPECT_EQ(LatencyHistogram::bucketHigh(Idx), V + 1);
+  }
+}
+
+TEST(HistogramTest, BucketBoundariesPartitionTheRange) {
+  // Every bucket's [low, high) must be non-empty, adjacent to its
+  // neighbor, and map back to itself through bucketOf at both ends.
+  for (uint32_t I = 0; I != LatencyHistogram::NumBuckets; ++I) {
+    uint64_t Low = LatencyHistogram::bucketLow(I);
+    uint64_t High = LatencyHistogram::bucketHigh(I);
+    ASSERT_LT(Low, High) << "bucket " << I;
+    EXPECT_EQ(LatencyHistogram::bucketOf(Low), I);
+    EXPECT_EQ(LatencyHistogram::bucketOf(High - 1), I);
+    if (I + 1 < LatencyHistogram::NumBuckets)
+      EXPECT_EQ(LatencyHistogram::bucketLow(I + 1), High);
+  }
+}
+
+TEST(HistogramTest, BucketRelativeWidthIsBounded) {
+  // Above the unit range, no bucket may be wider than low/SubBucketCount
+  // - the 12.5% resolution bound the percentile contract rests on.
+  for (uint32_t I = LatencyHistogram::SubBucketCount;
+       I != LatencyHistogram::NumBuckets; ++I) {
+    uint64_t Low = LatencyHistogram::bucketLow(I);
+    uint64_t Width = LatencyHistogram::bucketHigh(I) - Low;
+    EXPECT_LE(Width, Low / LatencyHistogram::SubBucketCount) << "bucket " << I;
+  }
+}
+
+TEST(HistogramTest, HugeValuesClampIntoTheLastBucket) {
+  EXPECT_EQ(LatencyHistogram::bucketOf(~uint64_t(0)),
+            LatencyHistogram::NumBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::bucketOf(uint64_t(1) << 60),
+            LatencyHistogram::NumBuckets - 1);
+  LatencyHistogram H;
+  H.record(~uint64_t(0));
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_EQ(H.maxSeen(), ~uint64_t(0));
+  EXPECT_EQ(H.bucketCount(LatencyHistogram::NumBuckets - 1), 1u);
+}
+
+TEST(HistogramTest, RecordTracksCountSumMax) {
+  LatencyHistogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.percentile(99), 0.0);
+  H.record(10);
+  H.record(20);
+  H.record(5);
+  EXPECT_EQ(H.count(), 3u);
+  EXPECT_EQ(H.sum(), 35u);
+  EXPECT_EQ(H.maxSeen(), 20u);
+  EXPECT_DOUBLE_EQ(H.mean(), 35.0 / 3.0);
+}
+
+TEST(HistogramTest, MergeEqualsConcatenation) {
+  Rng R(0x1234);
+  LatencyHistogram A, B, Both;
+  for (int I = 0; I != 500; ++I) {
+    uint64_t V = R.nextBelow(1'000'000);
+    (I % 2 ? A : B).record(V);
+    Both.record(V);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), Both.count());
+  EXPECT_EQ(A.sum(), Both.sum());
+  EXPECT_EQ(A.maxSeen(), Both.maxSeen());
+  for (uint32_t I = 0; I != LatencyHistogram::NumBuckets; ++I)
+    ASSERT_EQ(A.bucketCount(I), Both.bucketCount(I)) << "bucket " << I;
+}
+
+TEST(HistogramTest, DiffSinceIsolatesTheWindow) {
+  LatencyHistogram H;
+  H.record(100);
+  H.record(200);
+  LatencyHistogram Before = H;
+  H.record(3000);
+  H.record(4000);
+  LatencyHistogram D = H.diffSince(Before);
+  EXPECT_EQ(D.count(), 2u);
+  EXPECT_EQ(D.sum(), 7000u);
+  EXPECT_EQ(D.bucketCount(LatencyHistogram::bucketOf(100)), 0u);
+  EXPECT_EQ(D.bucketCount(LatencyHistogram::bucketOf(3000)), 1u);
+  EXPECT_EQ(D.bucketCount(LatencyHistogram::bucketOf(4000)), 1u);
+}
+
+/// Nearest-rank oracle over the raw samples.
+uint64_t oraclePercentile(std::vector<uint64_t> Samples, double P) {
+  std::sort(Samples.begin(), Samples.end());
+  uint64_t Rank = static_cast<uint64_t>(P / 100.0 * double(Samples.size()));
+  Rank = std::clamp<uint64_t>(Rank, 1, Samples.size());
+  return Samples[Rank - 1];
+}
+
+TEST(HistogramTest, PercentileAgreesWithSortedOracle) {
+  // Three shapes: uniform, log-uniform (the realistic latency shape),
+  // and bimodal fast-path/slow-path. In each, the histogram estimate
+  // must land inside the bucket holding the oracle's nearest-rank
+  // sample - i.e. within the advertised 12.5% relative resolution.
+  Rng R(0xfeed);
+  auto Check = [](const std::vector<uint64_t> &Samples) {
+    LatencyHistogram H;
+    for (uint64_t V : Samples)
+      H.record(V);
+    for (double P : {50.0, 90.0, 99.0, 99.9}) {
+      uint64_t Oracle = oraclePercentile(Samples, P);
+      double Est = H.percentile(P);
+      uint32_t OracleBucket = LatencyHistogram::bucketOf(Oracle);
+      EXPECT_GE(Est, double(LatencyHistogram::bucketLow(OracleBucket)))
+          << "p" << P;
+      EXPECT_LE(Est, double(LatencyHistogram::bucketHigh(OracleBucket)))
+          << "p" << P;
+    }
+  };
+
+  std::vector<uint64_t> Uniform, LogUniform, Bimodal;
+  for (int I = 0; I != 10'000; ++I) {
+    Uniform.push_back(20 + R.nextBelow(100'000));
+    LogUniform.push_back(uint64_t(1) << (4 + R.nextBelow(20)));
+    Bimodal.push_back(I % 100 == 0 ? 1'000'000 + R.nextBelow(500'000)
+                                   : 30 + R.nextBelow(40));
+  }
+  Check(Uniform);
+  Check(LogUniform);
+  Check(Bimodal);
+}
+
+TEST(HistogramTest, PercentileClampsToMaxSeen) {
+  LatencyHistogram H;
+  // One sample in a wide bucket: interpolation must not report a value
+  // beyond anything recorded.
+  H.record(1025);
+  EXPECT_LE(H.percentile(100), 1025.0);
+  EXPECT_GE(H.percentile(100), 1024.0);
+}
+
+TEST(HistogramTest, ShardedSnapshotMatchesSerialRecording) {
+  Rng R(0xabcd);
+  ShardedLatencyHistogram Sharded;
+  LatencyHistogram Serial;
+  for (int I = 0; I != 2000; ++I) {
+    uint64_t V = R.nextBelow(1u << 20);
+    Sharded.record(V);
+    Serial.record(V);
+  }
+  LatencyHistogram Snap = Sharded.snapshot();
+  EXPECT_EQ(Snap.count(), Serial.count());
+  EXPECT_EQ(Snap.sum(), Serial.sum());
+  EXPECT_EQ(Snap.maxSeen(), Serial.maxSeen());
+  EXPECT_EQ(Sharded.countTotal(), Serial.count());
+  for (uint32_t I = 0; I != LatencyHistogram::NumBuckets; ++I)
+    ASSERT_EQ(Snap.bucketCount(I), Serial.bucketCount(I)) << "bucket " << I;
+}
+
+TEST(HistogramTest, ConcurrentRecordersLoseNothing) {
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 20'000;
+  ShardedLatencyHistogram Sharded;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&Sharded, T] {
+      Rng R(0x9999 + T);
+      for (int I = 0; I != PerThread; ++I)
+        Sharded.record(1 + R.nextBelow(1'000'000));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  LatencyHistogram Snap = Sharded.snapshot();
+  EXPECT_EQ(Snap.count(), uint64_t(NumThreads) * PerThread);
+  uint64_t BucketSum = 0;
+  for (uint32_t I = 0; I != LatencyHistogram::NumBuckets; ++I)
+    BucketSum += Snap.bucketCount(I);
+  EXPECT_EQ(BucketSum, Snap.count());
+  EXPECT_GE(Snap.maxSeen(), 1u);
+}
+
+} // namespace

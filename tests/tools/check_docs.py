@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Docs-consistency check: headers and docs must describe the same system.
+
+Three cross-checks, each a set equality so drift in either direction
+fails:
+
+  1. ServiceStats fields: struct ServiceStats (LookupService.h)
+     <-> the metric catalog's StatField column (Observability.cpp)
+     <-> the metric-catalog table in docs/OBSERVABILITY.md.
+     The Prometheus series names in the doc table must also match the
+     catalog's PromName strings exactly (labels included).
+  2. ErrorCode enumerators (support/Status.h)
+     <-> the code-index table in docs/ERRORS.md.
+  3. lookup_tool exit codes (constexpr int Exit* in
+     examples/lookup_tool.cpp, plus the implicit 0/1/2)
+     <-> the exit-code table in docs/SERVICE.md.
+
+Run as `python3 tests/tools/check_docs.py [repo-root]`; registered in
+ctest as `docs_consistency`. Exits non-zero listing every discrepancy.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+
+def fail_list(errors):
+    for e in errors:
+        print(f"check_docs: {e}", file=sys.stderr)
+    if errors:
+        print(f"check_docs: FAILED ({len(errors)} discrepancies)",
+              file=sys.stderr)
+        sys.exit(1)
+
+
+def block(text, start_pat, end_pat, what):
+    """The text between the first start_pat match and the next end_pat."""
+    m = re.search(start_pat, text)
+    if not m:
+        sys.exit(f"check_docs: cannot find {what} (pattern {start_pat!r})")
+    rest = text[m.end():]
+    e = re.search(end_pat, rest)
+    return rest[: e.start()] if e else rest
+
+
+def service_stats_fields(header_text):
+    body = block(header_text, r"struct ServiceStats \{", r"\n\};",
+                 "struct ServiceStats")
+    return set(re.findall(r"uint64_t (\w+)(?:\[\d+\])? = ", body))
+
+
+def catalog_entries(cpp_text):
+    """(prom_name, stat_field) pairs from the Catalog[] initializer."""
+    body = block(cpp_text, r"const MetricDesc Catalog\[\] = \{", r"\n\};",
+                 "MetricDesc Catalog[]")
+    entries = []
+    for m in re.finditer(r'\b(COUNTER|GAUGE)\(\s*"([^"]*)",\s*(\w+),', body):
+        entries.append((m.group(2), m.group(3)))
+    for m in re.finditer(r'\bRUNG_COUNTER\(\s*"((?:[^"\\]|\\.)*)",', body):
+        entries.append((m.group(1).replace('\\"', '"'), "RungAnswers"))
+    return entries
+
+
+def doc_catalog_rows(doc_text):
+    """(prom_name, stat_field) pairs from OBSERVABILITY.md's catalog table.
+
+    Rows look like: | `memlook_x_total` | counter | `Field` | help |
+    """
+    body = block(doc_text, r"## .*[Mm]etric catalog", r"\n## ",
+                 "OBSERVABILITY.md metric-catalog section")
+    rows = []
+    for line in body.splitlines():
+        m = re.match(r"\|\s*`(memlook_[^`]+)`\s*\|[^|]*\|\s*`(\w+)`", line)
+        if m:
+            rows.append((m.group(1), m.group(2)))
+    return rows
+
+
+def error_code_enumerators(status_text):
+    body = block(status_text, r"enum class ErrorCode : uint8_t \{", r"\n\};",
+                 "enum class ErrorCode")
+    names = set()
+    for line in body.splitlines():
+        m = re.match(r"\s*(\w+)(?:\s*=\s*\w+)?,\s*(?://.*)?$", line)
+        if m:
+            names.add(m.group(1))
+    return names
+
+
+def doc_error_codes(errors_text):
+    body = block(errors_text, r"## Code index", r"\n## ",
+                 "ERRORS.md code-index table")
+    return set(re.findall(r"^\|\s*`(\w+)`", body, re.MULTILINE))
+
+
+def tool_exit_codes(tool_text):
+    codes = {0, 1, 2}  # success / hard failure / usage, returned inline
+    codes.update(int(v) for v in
+                 re.findall(r"constexpr int Exit\w+ = (\d+);", tool_text))
+    return codes
+
+
+def doc_exit_codes(service_text):
+    body = block(service_text, r"### Exit-code contract", r"\n#+ ",
+                 "SERVICE.md exit-code table")
+    return set(int(v) for v in re.findall(r"^\|\s*(\d+)\s*\|", body,
+                                          re.MULTILINE))
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        __file__).resolve().parents[2]
+    read = lambda rel: (root / rel).read_text(encoding="utf-8")
+
+    header = read("include/memlook/service/LookupService.h")
+    catalog_cpp = read("src/service/Observability.cpp")
+    obs_doc = read("docs/OBSERVABILITY.md")
+    status_h = read("include/memlook/support/Status.h")
+    errors_doc = read("docs/ERRORS.md")
+    tool_cpp = read("examples/lookup_tool.cpp")
+    service_doc = read("docs/SERVICE.md")
+
+    errors = []
+
+    def diff(what, a_name, a, b_name, b):
+        for x in sorted(a - b):
+            errors.append(f"{what} {x!r} is in {a_name} but not {b_name}")
+        for x in sorted(b - a):
+            errors.append(f"{what} {x!r} is in {b_name} but not {a_name}")
+
+    # 1. ServiceStats <-> catalog <-> OBSERVABILITY.md.
+    header_fields = service_stats_fields(header)
+    cat = catalog_entries(catalog_cpp)
+    cat_fields = {f for _, f in cat}
+    cat_proms = [p for p, _ in cat]
+    doc_rows = doc_catalog_rows(obs_doc)
+    doc_fields = {f for _, f in doc_rows}
+    doc_proms = [p for p, _ in doc_rows]
+
+    if len(set(cat_proms)) != len(cat_proms):
+        errors.append("duplicate PromName in the Observability.cpp catalog")
+    if len(set(doc_proms)) != len(doc_proms):
+        errors.append("duplicate series name in the OBSERVABILITY.md table")
+    diff("ServiceStats field", "LookupService.h", header_fields,
+         "the Observability.cpp catalog", cat_fields)
+    diff("ServiceStats field", "LookupService.h", header_fields,
+         "the OBSERVABILITY.md catalog table", doc_fields)
+    diff("metric series", "the Observability.cpp catalog", set(cat_proms),
+         "the OBSERVABILITY.md catalog table", set(doc_proms))
+
+    # 2. ErrorCode <-> ERRORS.md.
+    diff("ErrorCode", "Status.h", error_code_enumerators(status_h),
+         "the ERRORS.md code index", doc_error_codes(errors_doc))
+
+    # 3. lookup_tool exit codes <-> SERVICE.md.
+    diff("lookup_tool exit code", "lookup_tool.cpp",
+         tool_exit_codes(tool_cpp), "the SERVICE.md exit-code table",
+         doc_exit_codes(service_doc))
+
+    fail_list(errors)
+    print(f"check_docs: OK ({len(header_fields)} stats fields, "
+          f"{len(cat_proms)} metric series, "
+          f"{len(error_code_enumerators(status_h))} error codes, "
+          f"{len(tool_exit_codes(tool_cpp))} exit codes)")
+
+
+if __name__ == "__main__":
+    main()
